@@ -1,0 +1,163 @@
+//! Shared helpers for the baseline methods.
+//!
+//! The record-linkage style baselines (RSWOOSH, THRESHOLD, GREEDY) first
+//! produce an evidence mapping and then translate it into explanations the
+//! same way (Section 5.1.3): tuples without a match become provenance-based
+//! explanations, and matched groups with unequal impacts become value-based
+//! explanations.
+
+use explain3d_core::prelude::{CanonicalRelation, ExplanationSet, Side};
+use explain3d_linkage::TupleMapping;
+use std::collections::BTreeMap;
+
+/// Derives explanations from an evidence mapping exactly as the paper's
+/// baselines do: unmatched tuples are provenance-based explanations; matched
+/// groups (connected components of the evidence) whose left/right impact
+/// totals differ get a value-based explanation on the right side.
+pub fn explanations_from_evidence(
+    left: &CanonicalRelation,
+    right: &CanonicalRelation,
+    evidence: &TupleMapping,
+) -> ExplanationSet {
+    let mut out = ExplanationSet::new();
+    for m in evidence.matches() {
+        out.evidence.push(*m);
+    }
+
+    let matched_left = evidence.covered_left();
+    let matched_right = evidence.covered_right();
+
+    for i in 0..left.len() {
+        if !matched_left.contains(&i) {
+            out.add_provenance(Side::Left, i);
+        }
+    }
+    for j in 0..right.len() {
+        if !matched_right.contains(&j) {
+            out.add_provenance(Side::Right, j);
+        }
+    }
+
+    // Impact comparison per connected component of the evidence graph.
+    let mut dsu = explain3d_partition_dsu(left.len() + right.len());
+    for m in evidence.matches() {
+        dsu.union(m.left, left.len() + m.right);
+    }
+    #[derive(Default)]
+    struct Comp {
+        left_total: f64,
+        right_total: f64,
+        right_members: Vec<usize>,
+    }
+    let mut comps: BTreeMap<usize, Comp> = BTreeMap::new();
+    for &i in &matched_left {
+        let root = dsu.find(i);
+        comps.entry(root).or_default().left_total += left.tuples[i].impact;
+    }
+    for &j in &matched_right {
+        let root = dsu.find(left.len() + j);
+        let c = comps.entry(root).or_default();
+        c.right_total += right.tuples[j].impact;
+        c.right_members.push(j);
+    }
+    for comp in comps.values() {
+        let diff = comp.left_total - comp.right_total;
+        if diff.abs() > 1e-9 {
+            if let Some(&j) = comp.right_members.first() {
+                let old = right.tuples[j].impact;
+                out.add_value(Side::Right, j, old, old + diff);
+            }
+        }
+    }
+    out.normalise();
+    out
+}
+
+/// Tiny internal union-find (avoids a dependency on the partition crate for
+/// the baselines).
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+fn explain3d_partition_dsu(n: usize) -> Dsu {
+    Dsu { parent: (0..n).collect() }
+}
+
+impl Dsu {
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_core::prelude::CanonicalTuple;
+    use explain3d_linkage::TupleMatch;
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn canon(entries: &[(&str, f64)]) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: "Q".to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: entries
+                .iter()
+                .enumerate()
+                .map(|(i, (k, imp))| CanonicalTuple {
+                    id: i,
+                    key: vec![Value::str(*k)],
+                    impact: *imp,
+                    members: vec![i],
+                    representative: Row::new(vec![Value::str(*k)]),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    #[test]
+    fn unmatched_tuples_become_provenance_explanations() {
+        let t1 = canon(&[("A", 1.0), ("B", 1.0), ("C", 1.0)]);
+        let t2 = canon(&[("A", 1.0), ("D", 2.0)]);
+        let evidence: TupleMapping = vec![TupleMatch::new(0, 0, 1.0)].into_iter().collect();
+        let e = explanations_from_evidence(&t1, &t2, &evidence);
+        assert_eq!(e.provenance_tuples(Side::Left).len(), 2);
+        assert_eq!(e.provenance_tuples(Side::Right).len(), 1);
+        assert!(e.value.is_empty());
+        assert_eq!(e.evidence.len(), 1);
+    }
+
+    #[test]
+    fn impact_mismatch_becomes_value_explanation() {
+        let t1 = canon(&[("CS", 2.0)]);
+        let t2 = canon(&[("CSE", 1.0)]);
+        let evidence: TupleMapping = vec![TupleMatch::new(0, 0, 1.0)].into_iter().collect();
+        let e = explanations_from_evidence(&t1, &t2, &evidence);
+        assert_eq!(e.value.len(), 1);
+        assert_eq!(e.value[0].side, Side::Right);
+        assert_eq!(e.value[0].new_impact, 2.0);
+        assert!(e.provenance.is_empty());
+    }
+
+    #[test]
+    fn many_to_one_components_compare_totals() {
+        let t1 = canon(&[("ECE", 1.0), ("EE", 1.0)]);
+        let t2 = canon(&[("Engineering", 2.0)]);
+        let evidence: TupleMapping =
+            vec![TupleMatch::new(0, 0, 1.0), TupleMatch::new(1, 0, 1.0)].into_iter().collect();
+        let e = explanations_from_evidence(&t1, &t2, &evidence);
+        // 1 + 1 = 2: balanced, no explanations at all.
+        assert!(e.is_empty());
+    }
+}

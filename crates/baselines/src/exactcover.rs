@@ -1,0 +1,167 @@
+//! The EXACTCOVER baseline: adapt the integer-programming formulation of the
+//! Exact Cover problem (the source of the NP-completeness reduction) to the
+//! EXP-3D setting (Section 5.1.3).
+//!
+//! Left canonical tuples play the role of elements and right canonical tuples
+//! the role of sets; an element is covered by a set when an initial tuple
+//! match connects them. The optimisation variant maximises the total number
+//! of covered elements and selected sets, subject to each element being
+//! covered at most once. Selected (set, element) incidences become the
+//! evidence mapping; explanations are then derived as for the other
+//! evidence-based baselines.
+
+use crate::common::explanations_from_evidence;
+use explain3d_core::prelude::{CanonicalRelation, ExplanationSet};
+use explain3d_linkage::{TupleMapping, TupleMatch};
+use explain3d_milp::prelude::*;
+
+/// The EXACTCOVER baseline.
+#[derive(Debug, Clone)]
+pub struct ExactCoverBaseline {
+    /// MILP solver configuration.
+    pub milp: MilpConfig,
+}
+
+impl Default for ExactCoverBaseline {
+    fn default() -> Self {
+        ExactCoverBaseline { milp: MilpConfig::default() }
+    }
+}
+
+impl ExactCoverBaseline {
+    /// Runs the baseline.
+    pub fn explain(
+        &self,
+        left: &CanonicalRelation,
+        right: &CanonicalRelation,
+        mapping: &TupleMapping,
+    ) -> (ExplanationSet, TupleMapping) {
+        let mut model = Model::new();
+
+        // s_j: set (right tuple) selected; e_i: element (left tuple) covered.
+        let set_vars: Vec<VarId> =
+            (0..right.len()).map(|j| model.add_binary(format!("s{j}"))).collect();
+        let elem_vars: Vec<VarId> =
+            (0..left.len()).map(|i| model.add_binary(format!("e{i}"))).collect();
+
+        // Coverage structure from the initial mapping.
+        let mut covers: Vec<Vec<usize>> = vec![Vec::new(); left.len()]; // element -> sets
+        for m in mapping.matches() {
+            if m.left < left.len() && m.right < right.len() {
+                covers[m.left].push(m.right);
+            }
+        }
+
+        let mut objective = LinExpr::zero();
+        for &s in &set_vars {
+            objective.add_term(s, 1.0);
+        }
+        for &e in &elem_vars {
+            objective.add_term(e, 1.0);
+        }
+
+        for (i, sets) in covers.iter().enumerate() {
+            // Each element is covered at most once, and only counts as
+            // covered when one of its sets is selected.
+            let mut sum = LinExpr::zero();
+            for &j in sets {
+                sum.add_term(set_vars[j], 1.0);
+            }
+            model.add_le(format!("at_most_once_{i}"), sum.clone(), 1.0);
+            model.add_le(
+                format!("covered_{i}"),
+                LinExpr::term(elem_vars[i], 1.0) - sum,
+                0.0,
+            );
+        }
+        model.maximize(objective);
+
+        let solution = explain3d_milp::branch_bound::solve(&model, &self.milp);
+
+        let mut evidence = TupleMapping::new();
+        if solution.status.has_solution() {
+            for (i, sets) in covers.iter().enumerate() {
+                if !solution.is_set(elem_vars[i]) {
+                    continue;
+                }
+                // Attach the element to the first selected covering set.
+                if let Some(&j) = sets.iter().find(|&&j| solution.is_set(set_vars[j])) {
+                    let prob = mapping.prob(i, j).unwrap_or(1.0);
+                    evidence.push(TupleMatch::new(i, j, prob));
+                }
+            }
+        }
+        let explanations = explanations_from_evidence(left, right, &evidence);
+        (explanations, evidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_core::prelude::{CanonicalTuple, Side};
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn canon(entries: &[(&str, f64)]) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: "Q".to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: entries
+                .iter()
+                .enumerate()
+                .map(|(i, (k, imp))| CanonicalTuple {
+                    id: i,
+                    key: vec![Value::str(*k)],
+                    impact: *imp,
+                    members: vec![i],
+                    representative: Row::new(vec![Value::str(*k)]),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    #[test]
+    fn covers_elements_when_possible() {
+        let t1 = canon(&[("A", 1.0), ("B", 1.0)]);
+        let t2 = canon(&[("A", 1.0), ("B", 1.0)]);
+        let mapping: TupleMapping =
+            vec![TupleMatch::new(0, 0, 0.9), TupleMatch::new(1, 1, 0.9)].into_iter().collect();
+        let (e, evidence) = ExactCoverBaseline::default().explain(&t1, &t2, &mapping);
+        assert_eq!(evidence.len(), 2);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn ignores_impacts_entirely() {
+        // Exact Cover does not look at impacts, so a value mismatch is only
+        // discovered indirectly through the shared evidence-to-explanation
+        // translation, and coverage decisions may be arbitrary.
+        let t1 = canon(&[("CS", 2.0)]);
+        let t2 = canon(&[("CSE", 1.0)]);
+        let mapping: TupleMapping = vec![TupleMatch::new(0, 0, 0.7)].into_iter().collect();
+        let (e, evidence) = ExactCoverBaseline::default().explain(&t1, &t2, &mapping);
+        assert!(evidence.contains_pair(0, 0));
+        assert_eq!(e.value.len(), 1);
+    }
+
+    #[test]
+    fn uncoverable_elements_become_explanations() {
+        let t1 = canon(&[("A", 1.0), ("Orphan", 1.0)]);
+        let t2 = canon(&[("A", 1.0)]);
+        let mapping: TupleMapping = vec![TupleMatch::new(0, 0, 0.9)].into_iter().collect();
+        let (e, _) = ExactCoverBaseline::default().explain(&t1, &t2, &mapping);
+        assert!(e.provenance_tuples(Side::Left).contains(&1));
+    }
+
+    #[test]
+    fn each_element_covered_at_most_once() {
+        let t1 = canon(&[("X", 1.0)]);
+        let t2 = canon(&[("X1", 1.0), ("X2", 1.0)]);
+        let mapping: TupleMapping =
+            vec![TupleMatch::new(0, 0, 0.8), TupleMatch::new(0, 1, 0.8)].into_iter().collect();
+        let (_, evidence) = ExactCoverBaseline::default().explain(&t1, &t2, &mapping);
+        assert!(evidence.len() <= 1);
+    }
+}

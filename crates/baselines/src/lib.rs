@@ -1,0 +1,35 @@
+//! # explain3d-baselines
+//!
+//! The comparison algorithms evaluated against Explain3D in Section 5.1.3 of
+//! the paper:
+//!
+//! * [`threshold::ThresholdBaseline`] — keep initial matches above a fixed
+//!   probability threshold (THRESHOLD-0.9);
+//! * [`rswoosh_adapter::RSwooshBaseline`] — R-Swoosh entity resolution with
+//!   deterministic matches (RSWOOSH);
+//! * [`greedy::GreedyBaseline`] — greedy evidence construction driven by
+//!   Explain3D's objective (GREEDY);
+//! * [`exactcover::ExactCoverBaseline`] — an integer-programming adaptation
+//!   of the Exact Cover problem (EXACTCOVER);
+//! * [`formalexp::FormalExpBaseline`] — a single-dataset "why high / why
+//!   low" predicate-explanation framework (FORMALEXP-TopK).
+//!
+//! All evidence-based baselines translate their evidence mapping into
+//! explanations the same way ([`common::explanations_from_evidence`]), so
+//! accuracy differences in the benchmarks reflect the mapping quality.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod exactcover;
+pub mod formalexp;
+pub mod greedy;
+pub mod rswoosh_adapter;
+pub mod threshold;
+
+pub use common::explanations_from_evidence;
+pub use exactcover::ExactCoverBaseline;
+pub use formalexp::{FormalExpBaseline, Predicate};
+pub use greedy::GreedyBaseline;
+pub use rswoosh_adapter::RSwooshBaseline;
+pub use threshold::ThresholdBaseline;

@@ -1,0 +1,77 @@
+//! Figure 4 (dataset statistics) and Figure 5 (attribute matches).
+//!
+//! Prints the per-case statistics `N`, `|P|`, `|T|`, `|M_tuple|`,
+//! `|M*_tuple|`, `|E| → |E_S|` for the academic pairs and the IMDb query
+//! templates, plus the attribute matches used for each comparison.
+//!
+//! Run with: `cargo run --release -p explain3d-bench --bin fig4_dataset_stats`
+
+use explain3d::datagen::{
+    generate_academic, generate_views, AcademicConfig, ImdbConfig, ImdbTemplate,
+};
+use explain3d::eval::ResultTable;
+use explain3d::prelude::*;
+
+fn summarized_size(case: &explain3d::datagen::GeneratedCase) -> usize {
+    // |E_S|: Stage-3 summary size of the gold explanations on both sides.
+    let left = summarize_side(
+        &case.gold,
+        Side::Left,
+        &case.prepared.left_canonical,
+        &SummarizerConfig::default(),
+    );
+    let right = summarize_side(
+        &case.gold,
+        Side::Right,
+        &case.prepared.right_canonical,
+        &SummarizerConfig::default(),
+    );
+    left.size() + right.size()
+}
+
+fn main() {
+    let mut table = ResultTable::new(
+        "Figure 4: dataset statistics",
+        &["case", "N (rows)", "|P1|/|P2|", "|T1|/|T2|", "|M_tuple|", "|M*|", "|E| -> |E_S|"],
+    );
+    let mut matches_table =
+        ResultTable::new("Figure 5: attribute matches", &["case", "M_attr"]);
+
+    for config in [AcademicConfig::umass(), AcademicConfig::osu()] {
+        let case = generate_academic(&config);
+        let s = case.statistics();
+        table.add_row(vec![
+            s.name.clone(),
+            format!("{}/{}", s.left_rows, s.right_rows),
+            format!("{}/{}", s.left_provenance, s.right_provenance),
+            format!("{}/{}", s.left_canonical, s.right_canonical),
+            s.initial_matches.to_string(),
+            s.gold_evidence.to_string(),
+            format!("{} -> {}", s.gold_explanations, summarized_size(&case)),
+        ]);
+        matches_table.add_row(vec![s.name, case.attribute_matches.to_string()]);
+    }
+
+    let views = generate_views(&ImdbConfig::default());
+    for template in ImdbTemplate::all() {
+        let param = views.default_param(template, 17);
+        let case = views.case(template, &param);
+        let s = case.statistics();
+        table.add_row(vec![
+            format!("imdb {}", template.label()),
+            format!("{}/{}", s.left_rows, s.right_rows),
+            format!("{}/{}", s.left_provenance, s.right_provenance),
+            format!("{}/{}", s.left_canonical, s.right_canonical),
+            s.initial_matches.to_string(),
+            s.gold_evidence.to_string(),
+            format!("{} -> {}", s.gold_explanations, summarized_size(&case)),
+        ]);
+        matches_table.add_row(vec![
+            format!("imdb {}", template.label()),
+            case.attribute_matches.to_string(),
+        ]);
+    }
+
+    println!("{table}");
+    println!("{matches_table}");
+}

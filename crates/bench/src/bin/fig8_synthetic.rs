@@ -1,0 +1,82 @@
+//! Figure 8 (a–c): Stage-2 solve time of the basic algorithm (NoOpt) and the
+//! smart-partitioning optimiser (Batch-100, Batch-1000) over the synthetic
+//! generator's three sweeps: number of tuples `n`, difference ratio `d`, and
+//! vocabulary size `v`.
+//!
+//! Pass an argument to run a single sweep (`n`, `d`, or `v`); with no
+//! argument all three run. The paper sweeps n up to 100K with CPLEX; this
+//! harness scales the sweep to what the bundled exact solver handles while
+//! preserving the relative trends (see EXPERIMENTS.md).
+//!
+//! Run with: `cargo run --release -p explain3d-bench --bin fig8_synthetic [-- n|d|v]`
+
+use explain3d::datagen::{generate_synthetic, SyntheticConfig};
+use explain3d::eval::ResultTable;
+use explain3d::prelude::*;
+use explain3d_bench::{secs, time_explain3d};
+
+fn methods() -> Vec<(&'static str, Explain3DConfig)> {
+    vec![
+        ("NoOpt", Explain3DConfig::no_opt()),
+        ("Batch-100", Explain3DConfig::batched(100)),
+        ("Batch-1000", Explain3DConfig::batched(1000)),
+    ]
+}
+
+fn run_sweep(title: &str, configs: Vec<(String, SyntheticConfig)>, noopt_cap: usize) {
+    let mut table = ResultTable::new(
+        title,
+        &["setting", "|T1|+|T2|", "NoOpt (s)", "Batch-100 (s)", "Batch-1000 (s)", "expl F1 (Batch-100)"],
+    );
+    for (label, cfg) in configs {
+        let case = generate_synthetic(&cfg);
+        let gold = GoldStandard::new(case.gold.clone());
+        let size = case.prepared.left_canonical.len() + case.prepared.right_canonical.len();
+        let mut cells = vec![label, size.to_string()];
+        let mut batch100_f1 = String::new();
+        for (name, config) in methods() {
+            if name == "NoOpt" && size > noopt_cap {
+                cells.push("-".to_string());
+                continue;
+            }
+            let (t, report) = time_explain3d(&case, config);
+            cells.push(secs(t));
+            if name == "Batch-100" {
+                batch100_f1 =
+                    format!("{:.3}", explanation_accuracy(&report.explanations, &gold).f_measure);
+            }
+        }
+        cells.push(batch100_f1);
+        table.add_row(cells);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+
+    if which.is_empty() || which == "n" {
+        // Figure 8a: vary n, fixed d = 0.2, v = 1000.
+        let configs = [100usize, 300, 600, 1000, 2000]
+            .iter()
+            .map(|&n| (format!("n={n}"), SyntheticConfig::new(n, 0.2, 1000)))
+            .collect();
+        run_sweep("Figure 8a: solve time vs number of tuples (d=0.2, v=1000)", configs, 700);
+    }
+    if which.is_empty() || which == "d" {
+        // Figure 8b: vary d, fixed n = 500, v = 1000.
+        let configs = [0.1f64, 0.2, 0.3, 0.4, 0.5]
+            .iter()
+            .map(|&d| (format!("d={d}"), SyntheticConfig::new(500, d, 1000)))
+            .collect();
+        run_sweep("Figure 8b: solve time vs difference ratio (n=500, v=1000)", configs, 1200);
+    }
+    if which.is_empty() || which == "v" {
+        // Figure 8c: vary v, fixed n = 500, d = 0.2.
+        let configs = [100usize, 300, 1000, 3000, 10000]
+            .iter()
+            .map(|&v| (format!("v={v}"), SyntheticConfig::new(500, 0.2, v)))
+            .collect();
+        run_sweep("Figure 8c: solve time vs vocabulary size (n=500, d=0.2)", configs, 1200);
+    }
+}

@@ -1,0 +1,307 @@
+//! Attribute matches `M_attr` and query comparability (Definitions 2.1–2.2).
+
+use std::fmt;
+
+/// The semantic relation `φ` between two sets of attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticRelation {
+    /// `A_i ≡ A_j`: one-to-one correspondence between instantiations.
+    Equivalent,
+    /// `A_i ⊑ A_j`: the left attribute is less general (many left values map
+    /// to one right value; e.g. `program ⊑ college`).
+    LessGeneral,
+    /// `A_i ⊒ A_j`: the left attribute is more general (one left value maps
+    /// to many right values).
+    MoreGeneral,
+}
+
+impl SemanticRelation {
+    /// True when left tuples may match at most one right tuple in a valid
+    /// mapping (Definition 3.2).
+    pub fn left_degree_limited(&self) -> bool {
+        matches!(self, SemanticRelation::Equivalent | SemanticRelation::LessGeneral)
+    }
+
+    /// True when right tuples may match at most one left tuple in a valid
+    /// mapping (Definition 3.2).
+    pub fn right_degree_limited(&self) -> bool {
+        matches!(self, SemanticRelation::Equivalent | SemanticRelation::MoreGeneral)
+    }
+
+    /// The relation with left and right swapped.
+    pub fn flipped(&self) -> SemanticRelation {
+        match self {
+            SemanticRelation::Equivalent => SemanticRelation::Equivalent,
+            SemanticRelation::LessGeneral => SemanticRelation::MoreGeneral,
+            SemanticRelation::MoreGeneral => SemanticRelation::LessGeneral,
+        }
+    }
+}
+
+impl fmt::Display for SemanticRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SemanticRelation::Equivalent => "≡",
+            SemanticRelation::LessGeneral => "⊑",
+            SemanticRelation::MoreGeneral => "⊒",
+        })
+    }
+}
+
+/// One attribute match `(A_i φ A_j)` between sets of categorical attributes
+/// of the two queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeMatch {
+    /// Matching attributes of the left query's provenance relation.
+    pub left: Vec<String>,
+    /// Matching attributes of the right query's provenance relation.
+    pub right: Vec<String>,
+    /// The semantic relation between the attribute sets.
+    pub relation: SemanticRelation,
+}
+
+impl AttributeMatch {
+    /// An equivalence match on a single attribute pair.
+    pub fn equivalent(left: impl Into<String>, right: impl Into<String>) -> Self {
+        AttributeMatch {
+            left: vec![left.into()],
+            right: vec![right.into()],
+            relation: SemanticRelation::Equivalent,
+        }
+    }
+
+    /// A `⊑` (less general) match on a single attribute pair.
+    pub fn less_general(left: impl Into<String>, right: impl Into<String>) -> Self {
+        AttributeMatch {
+            left: vec![left.into()],
+            right: vec![right.into()],
+            relation: SemanticRelation::LessGeneral,
+        }
+    }
+
+    /// A `⊒` (more general) match on a single attribute pair.
+    pub fn more_general(left: impl Into<String>, right: impl Into<String>) -> Self {
+        AttributeMatch {
+            left: vec![left.into()],
+            right: vec![right.into()],
+            relation: SemanticRelation::MoreGeneral,
+        }
+    }
+
+    /// An equivalence match over multi-attribute sets.
+    pub fn equivalent_sets(left: Vec<String>, right: Vec<String>) -> Self {
+        AttributeMatch { left, right, relation: SemanticRelation::Equivalent }
+    }
+}
+
+impl fmt::Display for AttributeMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) {} ({})", self.left.join(", "), self.relation, self.right.join(", "))
+    }
+}
+
+/// The attribute matches `M_attr(Q1, Q2)` between two queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttributeMatches {
+    matches: Vec<AttributeMatch>,
+}
+
+impl AttributeMatches {
+    /// Creates an empty set of matches (non-comparable queries).
+    pub fn none() -> Self {
+        AttributeMatches::default()
+    }
+
+    /// Creates attribute matches from a list.
+    pub fn new(matches: Vec<AttributeMatch>) -> Self {
+        AttributeMatches { matches }
+    }
+
+    /// A single equivalence match on one attribute pair — the most common
+    /// configuration in the paper's experiments.
+    pub fn single_equivalent(left: impl Into<String>, right: impl Into<String>) -> Self {
+        AttributeMatches { matches: vec![AttributeMatch::equivalent(left, right)] }
+    }
+
+    /// A single `⊑` match (e.g. `program ⊑ college`).
+    pub fn single_less_general(left: impl Into<String>, right: impl Into<String>) -> Self {
+        AttributeMatches { matches: vec![AttributeMatch::less_general(left, right)] }
+    }
+
+    /// Adds a match.
+    pub fn push(&mut self, m: AttributeMatch) {
+        self.matches.push(m);
+    }
+
+    /// The matches.
+    pub fn matches(&self) -> &[AttributeMatch] {
+        &self.matches
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when there are no matches.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Definition 2.2: two queries are comparable iff `M_attr ≠ ∅`.
+    pub fn comparable(&self) -> bool {
+        !self.matches.is_empty()
+    }
+
+    /// The matching attributes of the left query (used for canonicalisation).
+    pub fn left_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for m in &self.matches {
+            for a in &m.left {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The matching attributes of the right query.
+    pub fn right_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for m in &self.matches {
+            for a in &m.right {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Pairs of `(left attribute, right attribute)` used by record linkage to
+    /// compute tuple similarities. Multi-attribute sets are flattened
+    /// pairwise (shorter side padded by repeating its last attribute).
+    pub fn attr_pairs(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for m in &self.matches {
+            let n = m.left.len().max(m.right.len());
+            for i in 0..n {
+                let l = m.left.get(i).or(m.left.last());
+                let r = m.right.get(i).or(m.right.last());
+                if let (Some(l), Some(r)) = (l, r) {
+                    let pair = (l.clone(), r.clone());
+                    if !out.contains(&pair) {
+                        out.push(pair);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The overall cardinality discipline of the evidence mapping
+    /// (Definition 3.2): if *any* match limits a side's degree, the valid
+    /// mapping must respect it. With multiple matches the strictest
+    /// combination applies.
+    pub fn mapping_relation(&self) -> SemanticRelation {
+        let mut left_limited = false;
+        let mut right_limited = false;
+        for m in &self.matches {
+            left_limited |= m.relation.left_degree_limited();
+            right_limited |= m.relation.right_degree_limited();
+        }
+        match (left_limited, right_limited) {
+            (true, true) | (false, false) => SemanticRelation::Equivalent,
+            (true, false) => SemanticRelation::LessGeneral,
+            (false, true) => SemanticRelation::MoreGeneral,
+        }
+    }
+}
+
+impl fmt::Display for AttributeMatches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.matches.is_empty() {
+            return f.write_str("∅");
+        }
+        for (i, m) in self.matches.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparability_requires_at_least_one_match() {
+        assert!(!AttributeMatches::none().comparable());
+        assert!(AttributeMatches::single_equivalent("program", "major").comparable());
+    }
+
+    #[test]
+    fn degree_limits_follow_definition_3_2() {
+        assert!(SemanticRelation::Equivalent.left_degree_limited());
+        assert!(SemanticRelation::Equivalent.right_degree_limited());
+        assert!(SemanticRelation::LessGeneral.left_degree_limited());
+        assert!(!SemanticRelation::LessGeneral.right_degree_limited());
+        assert!(!SemanticRelation::MoreGeneral.left_degree_limited());
+        assert!(SemanticRelation::MoreGeneral.right_degree_limited());
+    }
+
+    #[test]
+    fn flipping_relations() {
+        assert_eq!(SemanticRelation::LessGeneral.flipped(), SemanticRelation::MoreGeneral);
+        assert_eq!(SemanticRelation::MoreGeneral.flipped(), SemanticRelation::LessGeneral);
+        assert_eq!(SemanticRelation::Equivalent.flipped(), SemanticRelation::Equivalent);
+    }
+
+    #[test]
+    fn attribute_collection_and_pairs() {
+        let mut m = AttributeMatches::single_equivalent("program", "major");
+        m.push(AttributeMatch::less_general("program", "college"));
+        assert_eq!(m.left_attrs(), vec!["program".to_string()]);
+        assert_eq!(m.right_attrs(), vec!["major".to_string(), "college".to_string()]);
+        let pairs = m.attr_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&("program".to_string(), "major".to_string())));
+        assert!(pairs.contains(&("program".to_string(), "college".to_string())));
+    }
+
+    #[test]
+    fn multi_attribute_sets_flatten_pairwise() {
+        let m = AttributeMatches::new(vec![AttributeMatch::equivalent_sets(
+            vec!["firstname".into(), "lastname".into()],
+            vec!["name".into()],
+        )]);
+        let pairs = m.attr_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], ("firstname".to_string(), "name".to_string()));
+        assert_eq!(pairs[1], ("lastname".to_string(), "name".to_string()));
+    }
+
+    #[test]
+    fn mapping_relation_combines_matches() {
+        let eq = AttributeMatches::single_equivalent("a", "b");
+        assert_eq!(eq.mapping_relation(), SemanticRelation::Equivalent);
+        let lg = AttributeMatches::single_less_general("program", "college");
+        assert_eq!(lg.mapping_relation(), SemanticRelation::LessGeneral);
+        let mg = AttributeMatches::new(vec![AttributeMatch::more_general("college", "program")]);
+        assert_eq!(mg.mapping_relation(), SemanticRelation::MoreGeneral);
+        assert_eq!(AttributeMatches::none().mapping_relation(), SemanticRelation::Equivalent);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let m = AttributeMatches::single_less_general("program", "college");
+        let s = m.to_string();
+        assert!(s.contains('⊑'));
+        assert!(s.contains("program"));
+        assert_eq!(AttributeMatches::none().to_string(), "∅");
+    }
+}

@@ -1,0 +1,311 @@
+//! Stage 1: canonicalisation of provenance relations (Definition 3.1).
+//!
+//! Canonicalisation groups provenance tuples that share the same values on
+//! the matching attributes and sums their impacts:
+//! `T = π_{A,I}(A G_{SUM(I)} (P))`. Queries whose aggregate requires a strict
+//! one-to-one correspondence (AVG, MAX, MIN) are *not* grouped.
+
+use crate::attr_match::AttributeMatches;
+use explain3d_relation::prelude::{Aggregate, ProvenanceRelation, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// A canonical tuple: the values of the matching attributes, the aggregated
+/// impact, and the ids of the provenance tuples it represents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalTuple {
+    /// Index of the tuple within its canonical relation.
+    pub id: usize,
+    /// Values of the matching (key) attributes, in key-attribute order.
+    pub key: Vec<Value>,
+    /// Aggregated impact (`SUM` of the member tuples' impacts).
+    pub impact: f64,
+    /// Provenance tuple ids merged into this canonical tuple.
+    pub members: Vec<usize>,
+    /// A representative full provenance row (used by summarisation).
+    pub representative: Row,
+}
+
+impl CanonicalTuple {
+    /// Renders the key values as a single display string.
+    pub fn key_text(&self) -> String {
+        self.key
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+/// A canonical relation `T` (Definition 3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalRelation {
+    /// Name of the query this relation belongs to.
+    pub query_name: String,
+    /// Schema of the underlying provenance rows.
+    pub schema: Schema,
+    /// The matching (key) attributes used for grouping.
+    pub key_attrs: Vec<String>,
+    /// The canonical tuples.
+    pub tuples: Vec<CanonicalTuple>,
+    /// The aggregate of the originating query, if any.
+    pub aggregate: Option<Aggregate>,
+}
+
+impl CanonicalRelation {
+    /// Number of canonical tuples (the paper's `|T|`).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Total impact across canonical tuples (equals the provenance total).
+    pub fn total_impact(&self) -> f64 {
+        self.tuples.iter().map(|t| t.impact).sum()
+    }
+
+    /// The canonical tuple with the given id.
+    pub fn tuple(&self, id: usize) -> Option<&CanonicalTuple> {
+        self.tuples.get(id)
+    }
+
+    /// Key rows (one per canonical tuple) for similarity computation: the
+    /// schema restricted to the key attributes.
+    pub fn key_schema(&self) -> Schema {
+        let names: Vec<&str> = self.key_attrs.iter().map(String::as_str).collect();
+        self.schema.project(&names).unwrap_or_else(|_| self.schema.clone())
+    }
+
+    /// Rows containing only the key attribute values, aligned with
+    /// [`key_schema`](Self::key_schema).
+    pub fn key_rows(&self) -> Vec<Row> {
+        self.tuples.iter().map(|t| Row::new(t.key.clone())).collect()
+    }
+
+    /// Looks up a canonical tuple by its key values (loose value equality).
+    pub fn find_by_key(&self, key: &[Value]) -> Option<usize> {
+        self.tuples
+            .iter()
+            .position(|t| t.key.len() == key.len() && t.key.iter().zip(key).all(|(a, b)| a.loose_eq(b)))
+    }
+}
+
+/// Canonicalises a provenance relation with respect to the given key
+/// attributes (the side-specific attributes of `M_attr`).
+///
+/// Attributes that do not resolve in the provenance schema contribute NULL
+/// key values (this keeps the pipeline robust to partially-specified
+/// matches). Grouping is skipped for AVG/MAX/MIN queries per the paper.
+pub fn canonicalize(
+    provenance: &ProvenanceRelation,
+    key_attrs: &[String],
+) -> CanonicalRelation {
+    let indices: Vec<Option<usize>> = key_attrs
+        .iter()
+        .map(|a| provenance.schema.index_of(a).ok())
+        .collect();
+
+    let group = !provenance
+        .aggregate
+        .map(|a| a.requires_one_to_one())
+        .unwrap_or(false);
+
+    let mut tuples: Vec<CanonicalTuple> = Vec::new();
+    if group {
+        // `Value` is not hashable directly; group on a canonical textual form
+        // of the key (case-insensitive, as schema values are entity labels).
+        let mut by_text: HashMap<String, usize> = HashMap::new();
+        for t in &provenance.tuples {
+            let key: Vec<Value> = indices
+                .iter()
+                .map(|idx| idx.and_then(|i| t.row.get(i).cloned()).unwrap_or(Value::Null))
+                .collect();
+            let text = key.iter().map(|v| v.to_string().to_ascii_lowercase()).collect::<Vec<_>>().join("\u{1}");
+            match by_text.get(&text) {
+                Some(&pos) => {
+                    tuples[pos].impact += t.impact;
+                    tuples[pos].members.push(t.tid);
+                }
+                None => {
+                    let id = tuples.len();
+                    by_text.insert(text, id);
+                    tuples.push(CanonicalTuple {
+                        id,
+                        key,
+                        impact: t.impact,
+                        members: vec![t.tid],
+                        representative: t.row.clone(),
+                    });
+                }
+            }
+        }
+    } else {
+        for t in &provenance.tuples {
+            let key: Vec<Value> = indices
+                .iter()
+                .map(|idx| idx.and_then(|i| t.row.get(i).cloned()).unwrap_or(Value::Null))
+                .collect();
+            tuples.push(CanonicalTuple {
+                id: t.tid,
+                key,
+                impact: t.impact,
+                members: vec![t.tid],
+                representative: t.row.clone(),
+            });
+        }
+        for (i, t) in tuples.iter_mut().enumerate() {
+            t.id = i;
+        }
+    }
+
+    CanonicalRelation {
+        query_name: provenance.query_name.clone(),
+        schema: provenance.schema.clone(),
+        key_attrs: key_attrs.to_vec(),
+        tuples,
+        aggregate: provenance.aggregate,
+    }
+}
+
+/// Canonicalises both provenance relations of a comparison using the left and
+/// right attribute sets of `M_attr`.
+pub fn canonicalize_pair(
+    left: &ProvenanceRelation,
+    right: &ProvenanceRelation,
+    matches: &AttributeMatches,
+) -> (CanonicalRelation, CanonicalRelation) {
+    (
+        canonicalize(left, &matches.left_attrs()),
+        canonicalize(right, &matches.right_attrs()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_relation::prelude::*;
+    use explain3d_relation::row;
+
+    /// Provenance of Q1 from Figure 1: 7 programs, impact 1 each, with CS
+    /// listed twice (B.S. and B.A.).
+    fn q1_provenance() -> ProvenanceRelation {
+        let schema = Schema::from_pairs(&[
+            ("program", ValueType::Str),
+            ("degree", ValueType::Str),
+        ]);
+        let mut p = ProvenanceRelation::new("Q1", schema, Some(Aggregate::Count));
+        for (prog, deg) in [
+            ("Accounting", "B.S."),
+            ("CS", "B.A."),
+            ("CS", "B.S."),
+            ("ECE", "B.S."),
+            ("EE", "B.S."),
+            ("Management", "B.A."),
+            ("Design", "B.A."),
+        ] {
+            p.push(row![prog, deg], 1.0);
+        }
+        p
+    }
+
+    #[test]
+    fn figure_3_canonicalisation() {
+        let p = q1_provenance();
+        let t = canonicalize(&p, &["program".to_string()]);
+        // 7 provenance tuples collapse into 6 canonical tuples; CS has impact 2.
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.total_impact(), 7.0);
+        let cs = t.find_by_key(&[Value::str("CS")]).unwrap();
+        assert_eq!(t.tuples[cs].impact, 2.0);
+        assert_eq!(t.tuples[cs].members.len(), 2);
+        let acct = t.find_by_key(&[Value::str("Accounting")]).unwrap();
+        assert_eq!(t.tuples[acct].impact, 1.0);
+        // Ids are dense and sequential.
+        for (i, tup) in t.tuples.iter().enumerate() {
+            assert_eq!(tup.id, i);
+        }
+    }
+
+    #[test]
+    fn grouping_is_case_insensitive_on_keys() {
+        let schema = Schema::from_pairs(&[("program", ValueType::Str)]);
+        let mut p = ProvenanceRelation::new("Q", schema, Some(Aggregate::Count));
+        p.push(row!["Computer Science"], 1.0);
+        p.push(row!["computer science"], 1.0);
+        let t = canonicalize(&p, &["program".to_string()]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.tuples[0].impact, 2.0);
+    }
+
+    #[test]
+    fn one_to_one_aggregates_skip_grouping() {
+        let schema = Schema::from_pairs(&[("program", ValueType::Str), ("n", ValueType::Int)]);
+        let mut p = ProvenanceRelation::new("Qavg", schema, Some(Aggregate::Avg));
+        p.push(row!["CS", 3], 3.0);
+        p.push(row!["CS", 5], 5.0);
+        let t = canonicalize(&p, &["program".to_string()]);
+        assert_eq!(t.len(), 2, "AVG queries must not merge tuples");
+        assert_eq!(t.total_impact(), 8.0);
+    }
+
+    #[test]
+    fn non_aggregate_queries_are_grouped() {
+        let p = {
+            let schema = Schema::from_pairs(&[("program", ValueType::Str)]);
+            let mut p = ProvenanceRelation::new("Qsel", schema, None);
+            p.push(row!["CS"], 1.0);
+            p.push(row!["CS"], 1.0);
+            p.push(row!["EE"], 1.0);
+            p
+        };
+        let t = canonicalize(&p, &["program".to_string()]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unknown_key_attributes_become_null() {
+        let p = q1_provenance();
+        let t = canonicalize(&p, &["nonexistent".to_string()]);
+        // All tuples share the NULL key and collapse into one canonical tuple.
+        assert_eq!(t.len(), 1);
+        assert!(t.tuples[0].key[0].is_null());
+        assert_eq!(t.total_impact(), 7.0);
+    }
+
+    #[test]
+    fn key_schema_and_rows_align() {
+        let p = q1_provenance();
+        let t = canonicalize(&p, &["program".to_string()]);
+        let ks = t.key_schema();
+        assert_eq!(ks.arity(), 1);
+        let rows = t.key_rows();
+        assert_eq!(rows.len(), t.len());
+        assert_eq!(rows[0].arity(), 1);
+        assert_eq!(t.find_by_key(&[Value::str("Design")]).is_some(), true);
+        assert!(t.find_by_key(&[Value::str("Biology")]).is_none());
+        assert!(t.tuple(0).is_some());
+        assert!(t.tuple(99).is_none());
+        assert!(!t.is_empty());
+        assert!(t.tuples[0].key_text().contains("Accounting"));
+    }
+
+    #[test]
+    fn canonicalize_pair_uses_both_sides_of_mattr() {
+        let p1 = q1_provenance();
+        let schema2 = Schema::from_pairs(&[("college", ValueType::Str), ("num_bach", ValueType::Int)]);
+        let mut p2 = ProvenanceRelation::new("Q3", schema2, Some(Aggregate::Sum));
+        p2.push(row!["Business", 2], 2.0);
+        p2.push(row!["Engineering", 2], 2.0);
+        p2.push(row!["Computer Science", 1], 1.0);
+        let m = AttributeMatches::single_less_general("program", "college");
+        let (t1, t2) = canonicalize_pair(&p1, &p2, &m);
+        assert_eq!(t1.len(), 6);
+        assert_eq!(t2.len(), 3);
+        assert_eq!(t2.total_impact(), 5.0);
+        assert_eq!(t1.key_attrs, vec!["program".to_string()]);
+        assert_eq!(t2.key_attrs, vec!["college".to_string()]);
+    }
+}

@@ -1,0 +1,423 @@
+//! The Explain3D pipeline: Stage 2 orchestration with optional
+//! smart partitioning (Sections 3.2 and 4).
+//!
+//! Given two canonical relations, the attribute matches, and the initial
+//! tuple mapping, the pipeline
+//!
+//! 1. builds the bipartite mapping graph,
+//! 2. splits it according to the configured [`PartitioningStrategy`],
+//! 3. encodes and solves one MILP per sub-problem,
+//! 4. merges the decoded explanations and scores the result.
+
+use crate::attr_match::AttributeMatches;
+use crate::canonical::CanonicalRelation;
+use crate::encode::{solve_subproblem, SubProblem};
+use crate::explanation::ExplanationSet;
+use crate::probability::{log_probability, ProbabilityParams};
+use explain3d_linkage::TupleMapping;
+use explain3d_milp::prelude::MilpConfig;
+use explain3d_partition::{smart_partition, MappingGraph, SmartPartitionConfig};
+use std::time::{Duration, Instant};
+
+/// How Stage 2 splits the problem before encoding MILPs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitioningStrategy {
+    /// The basic algorithm: a single MILP over the whole problem (the
+    /// paper's NOOPT configuration).
+    None,
+    /// Split into maximal connected components of the mapping graph (exact,
+    /// but no size guarantee — Section 4's motivating observation).
+    ConnectedComponents,
+    /// Smart partitioning (Algorithm 3) with the given batch size:
+    /// `k = ⌈(|T1|+|T2|)/batch⌉` partitions of size at most `batch`.
+    Smart {
+        /// Maximum number of tuples per partition.
+        batch_size: usize,
+    },
+}
+
+/// Configuration of the Explain3D pipeline.
+#[derive(Debug, Clone)]
+pub struct Explain3DConfig {
+    /// Prior parameters of the probability model.
+    pub params: ProbabilityParams,
+    /// Partitioning strategy for Stage 2.
+    pub strategy: PartitioningStrategy,
+    /// MILP solver configuration (per sub-problem).
+    pub milp: MilpConfig,
+}
+
+impl Default for Explain3DConfig {
+    fn default() -> Self {
+        Explain3DConfig {
+            params: ProbabilityParams::default(),
+            strategy: PartitioningStrategy::Smart { batch_size: 1000 },
+            milp: MilpConfig::default(),
+        }
+    }
+}
+
+impl Explain3DConfig {
+    /// The basic (un-partitioned) configuration.
+    pub fn no_opt() -> Self {
+        Explain3DConfig { strategy: PartitioningStrategy::None, ..Default::default() }
+    }
+
+    /// Connected-component splitting only.
+    pub fn connected_components() -> Self {
+        Explain3DConfig {
+            strategy: PartitioningStrategy::ConnectedComponents,
+            ..Default::default()
+        }
+    }
+
+    /// Smart partitioning with the given batch size.
+    pub fn batched(batch_size: usize) -> Self {
+        Explain3DConfig {
+            strategy: PartitioningStrategy::Smart { batch_size },
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the probability parameters.
+    pub fn with_params(mut self, params: ProbabilityParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Overrides the MILP configuration.
+    pub fn with_milp(mut self, milp: MilpConfig) -> Self {
+        self.milp = milp;
+        self
+    }
+}
+
+/// Timing and size statistics for a pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Time spent partitioning the mapping graph.
+    pub partition_time: Duration,
+    /// Time spent encoding and solving MILPs.
+    pub solve_time: Duration,
+    /// Total wall-clock time of the pipeline.
+    pub total_time: Duration,
+    /// Number of sub-problems (MILPs) solved.
+    pub num_subproblems: usize,
+    /// Size (tuples) of the largest sub-problem.
+    pub max_subproblem_size: usize,
+    /// Total branch-and-bound nodes across all MILPs.
+    pub milp_nodes: usize,
+    /// Number of sub-problems whose MILP hit a limit before proving
+    /// optimality (their solutions are feasible but possibly sub-optimal).
+    pub suboptimal_subproblems: usize,
+}
+
+/// The result of an Explain3D run.
+#[derive(Debug, Clone)]
+pub struct ExplanationReport {
+    /// The derived explanations and evidence mapping.
+    pub explanations: ExplanationSet,
+    /// Log-probability score of the explanations (Equation 6).
+    pub log_probability: f64,
+    /// Whether the merged explanations satisfy the completeness property.
+    pub complete: bool,
+    /// Pipeline statistics.
+    pub stats: PipelineStats,
+}
+
+/// The Explain3D Stage-2 solver.
+#[derive(Debug, Clone, Default)]
+pub struct Explain3D {
+    config: Explain3DConfig,
+}
+
+impl Explain3D {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: Explain3DConfig) -> Self {
+        Explain3D { config }
+    }
+
+    /// Creates a solver with the default configuration (smart partitioning,
+    /// batch size 1000).
+    pub fn with_defaults() -> Self {
+        Explain3D::default()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Explain3DConfig {
+        &self.config
+    }
+
+    /// Runs Stage 2 on canonical relations and an initial tuple mapping,
+    /// returning the optimal (or best-found) explanations.
+    pub fn explain(
+        &self,
+        left: &CanonicalRelation,
+        right: &CanonicalRelation,
+        matches: &AttributeMatches,
+        mapping: &TupleMapping,
+    ) -> ExplanationReport {
+        let start = Instant::now();
+        let relation = matches.mapping_relation();
+
+        // Build the bipartite mapping graph.
+        let mut graph = MappingGraph::new(left.len(), right.len());
+        for m in mapping.matches() {
+            if m.left < left.len() && m.right < right.len() {
+                graph.add_edge(m.left, m.right, m.prob);
+            }
+        }
+
+        // Split into sub-problems according to the strategy.
+        let partition_start = Instant::now();
+        let subproblems: Vec<SubProblem> = match self.config.strategy {
+            PartitioningStrategy::None => {
+                vec![SubProblem::full(left, right, mapping)]
+            }
+            PartitioningStrategy::ConnectedComponents => graph
+                .connected_components()
+                .into_iter()
+                .map(|c| component_to_subproblem(&c, mapping))
+                .collect(),
+            PartitioningStrategy::Smart { batch_size } => {
+                let cfg = SmartPartitionConfig::with_batch_size(batch_size);
+                let partition = smart_partition(&graph, &cfg);
+                partition
+                    .parts(&graph)
+                    .into_iter()
+                    .map(|c| component_to_subproblem(&c, mapping))
+                    .collect()
+            }
+        };
+        let partition_time = partition_start.elapsed();
+
+        // Solve each sub-problem and merge.
+        let solve_start = Instant::now();
+        let mut merged = ExplanationSet::new();
+        let mut stats = PipelineStats {
+            partition_time,
+            num_subproblems: 0,
+            ..Default::default()
+        };
+        for sub in &subproblems {
+            if sub.is_empty() {
+                continue;
+            }
+            stats.num_subproblems += 1;
+            stats.max_subproblem_size = stats.max_subproblem_size.max(sub.size());
+            let encoded = crate::encode::encode(left, right, relation, &self.config.params, sub);
+            // Warm-start the branch-and-bound with a greedily-constructed
+            // complete solution so obviously-worse branches are pruned early;
+            // the same solution serves as a fallback when the exact search
+            // hits a node or time limit without an incumbent.
+            let (fallback, hint) =
+                crate::encode::heuristic_solution(left, right, relation, &self.config.params, sub);
+            let milp_config = self.config.milp.clone().with_incumbent_hint(hint);
+            let (solution, solve_stats) =
+                explain3d_milp::branch_bound::solve_with_stats(&encoded.model, &milp_config);
+            stats.milp_nodes += solve_stats.nodes;
+            if solution.status != explain3d_milp::prelude::SolveStatus::Optimal {
+                stats.suboptimal_subproblems += 1;
+            }
+            if solution.status.has_solution() {
+                merged.merge(crate::encode::decode(&encoded, &solution));
+            } else {
+                // Limit reached (or everything pruned by the warm-start
+                // bound): the greedy complete solution is still valid output.
+                merged.merge(fallback);
+            }
+        }
+        merged.normalise();
+        stats.solve_time = solve_start.elapsed();
+        stats.total_time = start.elapsed();
+
+        let log_prob = log_probability(&merged, left, right, mapping, &self.config.params);
+        let complete = merged.is_complete(left, right, relation);
+
+        ExplanationReport {
+            explanations: merged,
+            log_probability: log_prob,
+            complete,
+            stats,
+        }
+    }
+
+    /// Convenience wrapper that solves a single prepared sub-problem
+    /// (used by tests and the baselines).
+    pub fn explain_subproblem(
+        &self,
+        left: &CanonicalRelation,
+        right: &CanonicalRelation,
+        matches: &AttributeMatches,
+        sub: &SubProblem,
+    ) -> ExplanationSet {
+        let relation = matches.mapping_relation();
+        let (explanations, _) =
+            solve_subproblem(left, right, relation, &self.config.params, sub, &self.config.milp);
+        explanations
+    }
+}
+
+/// Converts a partition/component into a sub-problem, restricting matches to
+/// the component's own edges.
+fn component_to_subproblem(
+    component: &explain3d_partition::Component,
+    mapping: &TupleMapping,
+) -> SubProblem {
+    SubProblem {
+        left_tuples: component.left.clone(),
+        right_tuples: component.right.clone(),
+        matches: component
+            .edges
+            .iter()
+            .filter_map(|&e| mapping.matches().get(e).copied())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::CanonicalTuple;
+    use explain3d_linkage::TupleMatch;
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn canon(name: &str, entries: &[(&str, f64)]) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: name.to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: entries
+                .iter()
+                .enumerate()
+                .map(|(i, (k, imp))| CanonicalTuple {
+                    id: i,
+                    key: vec![Value::str(*k)],
+                    impact: *imp,
+                    members: vec![i],
+                    representative: Row::new(vec![Value::str(*k)]),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    /// A pair of relations with `n` matching entities, where entity 0 has an
+    /// impact mismatch and the last left entity is missing on the right.
+    fn scenario(n: usize) -> (CanonicalRelation, CanonicalRelation, TupleMapping) {
+        let left_entries: Vec<(String, f64)> = (0..n)
+            .map(|i| (format!("entity {i}"), if i == 0 { 2.0 } else { 1.0 }))
+            .collect();
+        let right_entries: Vec<(String, f64)> =
+            (0..n - 1).map(|i| (format!("entity {i}"), 1.0)).collect();
+        let left_refs: Vec<(&str, f64)> =
+            left_entries.iter().map(|(s, i)| (s.as_str(), *i)).collect();
+        let right_refs: Vec<(&str, f64)> =
+            right_entries.iter().map(|(s, i)| (s.as_str(), *i)).collect();
+        let t1 = canon("Q1", &left_refs);
+        let t2 = canon("Q2", &right_refs);
+        let mut mapping = TupleMapping::new();
+        for i in 0..n - 1 {
+            mapping.push(TupleMatch::new(i, i, 0.92));
+            if i + 1 < n - 1 {
+                mapping.push(TupleMatch::new(i, i + 1, 0.15));
+            }
+        }
+        (t1, t2, mapping)
+    }
+
+    fn attr() -> AttributeMatches {
+        AttributeMatches::single_equivalent("k", "k")
+    }
+
+    #[test]
+    fn all_strategies_find_the_same_explanations() {
+        let (t1, t2, mapping) = scenario(8);
+        let configs = [
+            Explain3DConfig::no_opt(),
+            Explain3DConfig::connected_components(),
+            Explain3DConfig::batched(4),
+        ];
+        let mut reports = Vec::new();
+        for cfg in configs {
+            let report = Explain3D::new(cfg).explain(&t1, &t2, &attr(), &mapping);
+            assert!(report.complete, "incomplete explanations: {:?}", report.explanations);
+            reports.push(report);
+        }
+        // Explanation sets agree across strategies (high-probability matches
+        // are never cut, so partitioning loses nothing here).
+        let base = &reports[0].explanations;
+        for r in &reports[1..] {
+            assert_eq!(base.provenance, r.explanations.provenance);
+            assert_eq!(base.value.len(), r.explanations.value.len());
+            assert_eq!(base.evidence.len(), r.explanations.evidence.len());
+        }
+        // Entity 7 is missing on the right; entity 0 has an impact mismatch.
+        assert_eq!(base.provenance.len(), 1);
+        assert_eq!(base.provenance[0].tuple, 7);
+        assert_eq!(base.value.len(), 1);
+    }
+
+    #[test]
+    fn stats_reflect_partitioning() {
+        let (t1, t2, mapping) = scenario(12);
+        let no_opt = Explain3D::new(Explain3DConfig::no_opt()).explain(&t1, &t2, &attr(), &mapping);
+        assert_eq!(no_opt.stats.num_subproblems, 1);
+        assert_eq!(no_opt.stats.max_subproblem_size, t1.len() + t2.len());
+
+        let batched =
+            Explain3D::new(Explain3DConfig::batched(6)).explain(&t1, &t2, &attr(), &mapping);
+        assert!(batched.stats.num_subproblems > 1);
+        assert!(batched.stats.max_subproblem_size <= 6);
+
+        let cc = Explain3D::new(Explain3DConfig::connected_components())
+            .explain(&t1, &t2, &attr(), &mapping);
+        assert!(cc.stats.num_subproblems >= 1);
+        assert!(cc.stats.total_time >= cc.stats.solve_time);
+    }
+
+    #[test]
+    fn identical_inputs_yield_no_explanations_and_high_score() {
+        let t1 = canon("Q1", &[("a", 1.0), ("b", 1.0)]);
+        let t2 = canon("Q2", &[("a", 1.0), ("b", 1.0)]);
+        let mut mapping = TupleMapping::new();
+        mapping.push(TupleMatch::new(0, 0, 0.9));
+        mapping.push(TupleMatch::new(1, 1, 0.9));
+        let report = Explain3D::with_defaults().explain(&t1, &t2, &attr(), &mapping);
+        assert!(report.explanations.is_empty());
+        assert!(report.complete);
+        assert_eq!(report.explanations.evidence.len(), 2);
+        assert!(report.log_probability < 0.0);
+    }
+
+    #[test]
+    fn empty_mapping_forces_all_tuples_to_be_explained() {
+        let t1 = canon("Q1", &[("a", 1.0), ("b", 1.0)]);
+        let t2 = canon("Q2", &[("c", 1.0)]);
+        let mapping = TupleMapping::new();
+        let report = Explain3D::with_defaults().explain(&t1, &t2, &attr(), &mapping);
+        assert!(report.complete);
+        // Every tuple is either removed or zeroed.
+        assert_eq!(report.explanations.len(), 3);
+        assert!(report.explanations.evidence.is_empty());
+    }
+
+    #[test]
+    fn empty_relations_produce_empty_report() {
+        let t1 = canon("Q1", &[]);
+        let t2 = canon("Q2", &[]);
+        let report =
+            Explain3D::with_defaults().explain(&t1, &t2, &attr(), &TupleMapping::new());
+        assert!(report.explanations.is_empty());
+        assert!(report.complete);
+        assert_eq!(report.stats.num_subproblems, 0);
+    }
+
+    #[test]
+    fn subproblem_helper_solves_directly() {
+        let (t1, t2, mapping) = scenario(4);
+        let sub = SubProblem::full(&t1, &t2, &mapping);
+        let e = Explain3D::with_defaults().explain_subproblem(&t1, &t2, &attr(), &sub);
+        assert!(e.is_complete(&t1, &t2, attr().mapping_relation()));
+    }
+}

@@ -1,0 +1,315 @@
+//! Stage 1 front-end: execute the two queries, derive provenance, and build
+//! the canonical relations and initial tuple mapping.
+
+use crate::attr_match::AttributeMatches;
+use crate::canonical::{canonicalize, CanonicalRelation};
+use explain3d_linkage::{
+    generate_calibrated_mapping, generate_mapping, BucketCalibrator, MappingConfig, StringMetric,
+    TupleMapping,
+};
+use explain3d_relation::prelude::{execute, Database, Query, QueryOutput, RelationError, Value};
+use std::collections::HashSet;
+
+/// One side of a comparison: a database and a query over it.
+#[derive(Debug, Clone)]
+pub struct QueryCase {
+    /// The database the query runs against.
+    pub database: Database,
+    /// The query.
+    pub query: Query,
+}
+
+impl QueryCase {
+    /// Creates a case.
+    pub fn new(database: Database, query: Query) -> Self {
+        QueryCase { database, query }
+    }
+}
+
+/// The output of Stage 1: query results, provenance, and canonical relations.
+#[derive(Debug, Clone)]
+pub struct PreparedComparison {
+    /// Execution output of the left query (result + provenance).
+    pub left_output: QueryOutput,
+    /// Execution output of the right query.
+    pub right_output: QueryOutput,
+    /// Canonical relation `T1`.
+    pub left_canonical: CanonicalRelation,
+    /// Canonical relation `T2`.
+    pub right_canonical: CanonicalRelation,
+}
+
+impl PreparedComparison {
+    /// The two scalar query results, when the queries are aggregates.
+    pub fn results(&self) -> (Value, Value) {
+        (
+            self.left_output.result.scalar().unwrap_or(Value::Null),
+            self.right_output.result.scalar().unwrap_or(Value::Null),
+        )
+    }
+
+    /// True when the two query results disagree (loose value comparison; a
+    /// NULL result on either side also counts as a disagreement).
+    pub fn disagrees(&self) -> bool {
+        let (l, r) = self.results();
+        if l.is_null() || r.is_null() {
+            return true;
+        }
+        !l.loose_eq(&r)
+    }
+}
+
+/// Executes both queries and canonicalises their provenance with respect to
+/// the attribute matches (Stage 1 of the framework).
+pub fn prepare(
+    left: &QueryCase,
+    right: &QueryCase,
+    matches: &AttributeMatches,
+) -> Result<PreparedComparison, RelationError> {
+    if !matches.comparable() {
+        return Err(RelationError::invalid(
+            "queries are not comparable: no attribute matches were provided",
+        ));
+    }
+    let left_output = execute(&left.database, &left.query)?;
+    let right_output = execute(&right.database, &right.query)?;
+    let left_canonical = canonicalize(&left_output.provenance, &matches.left_attrs());
+    let right_canonical = canonicalize(&right_output.provenance, &matches.right_attrs());
+    Ok(PreparedComparison { left_output, right_output, left_canonical, right_canonical })
+}
+
+/// Options for building the initial tuple mapping from the canonical
+/// relations (Section 5.1.2).
+#[derive(Debug, Clone)]
+pub struct MappingOptions {
+    /// String similarity metric.
+    pub metric: StringMetric,
+    /// Minimum raw similarity for a candidate pair to be kept.
+    pub min_similarity: f64,
+    /// Use token blocking when generating candidates.
+    pub use_blocking: bool,
+    /// Label one candidate out of every `sample_every` against the gold
+    /// standard when calibrating probabilities.
+    pub sample_every: usize,
+}
+
+impl Default for MappingOptions {
+    fn default() -> Self {
+        MappingOptions {
+            metric: StringMetric::Jaccard,
+            // Candidates below this similarity are almost never true matches
+            // but would bloat the MILP; the calibrated probability of the
+            // survivors still spans the full range.
+            min_similarity: 0.15,
+            use_blocking: true,
+            sample_every: 1,
+        }
+    }
+}
+
+impl MappingOptions {
+    fn to_config(&self, matches: &AttributeMatches) -> MappingConfig {
+        // Canonical-relation keys are projected to the key attributes, so the
+        // similarity is computed pairwise over the key columns in order.
+        let left_attrs = matches.left_attrs();
+        let right_attrs = matches.right_attrs();
+        let n = left_attrs.len().max(right_attrs.len());
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let l = left_attrs.get(i).or(left_attrs.last());
+            let r = right_attrs.get(i).or(right_attrs.last());
+            if let (Some(l), Some(r)) = (l, r) {
+                pairs.push((l.clone(), r.clone()));
+            }
+        }
+        let mut cfg = MappingConfig::new(pairs)
+            .with_metric(self.metric)
+            .with_min_similarity(self.min_similarity);
+        if !self.use_blocking {
+            cfg = cfg.without_blocking();
+        }
+        cfg
+    }
+}
+
+/// Builds the initial tuple mapping between two canonical relations.
+///
+/// With a gold evidence set (pairs of canonical tuple indexes) the
+/// similarity-to-probability calibration of Section 5.1.2 is applied;
+/// otherwise probabilities fall back to bucketed raw similarities.
+pub fn build_initial_mapping(
+    left: &CanonicalRelation,
+    right: &CanonicalRelation,
+    matches: &AttributeMatches,
+    options: &MappingOptions,
+    gold_evidence: Option<&HashSet<(usize, usize)>>,
+) -> TupleMapping {
+    let config = options.to_config(matches);
+    let left_schema = left.schema.clone();
+    let right_schema = right.schema.clone();
+    // Key rows follow the key-attribute order, matching the schema of the
+    // full provenance rows by name resolution.
+    let left_rows: Vec<_> = left.tuples.iter().map(|t| t.representative.clone()).collect();
+    let right_rows: Vec<_> = right.tuples.iter().map(|t| t.representative.clone()).collect();
+
+    match gold_evidence {
+        Some(gold) => {
+            let (mapping, _calibrator) = generate_calibrated_mapping(
+                &left_schema,
+                &left_rows,
+                &right_schema,
+                &right_rows,
+                &config,
+                gold,
+                options.sample_every.max(1),
+            );
+            mapping
+        }
+        None => {
+            let calibrator = BucketCalibrator::with_default_buckets();
+            generate_mapping(
+                &left_schema,
+                &left_rows,
+                &right_schema,
+                &right_rows,
+                &config,
+                &calibrator,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_relation::prelude::*;
+    use explain3d_relation::row;
+
+    /// The D1/D2 datasets and queries of Figure 1.
+    fn figure1() -> (QueryCase, QueryCase) {
+        let mut db1 = Database::new();
+        db1.add(
+            Relation::with_rows(
+                "D1",
+                Schema::from_pairs(&[("program", ValueType::Str), ("degree", ValueType::Str)]),
+                vec![
+                    row!["Accounting", "B.S."],
+                    row!["CS", "B.A."],
+                    row!["CS", "B.S."],
+                    row!["ECE", "B.S."],
+                    row!["EE", "B.S."],
+                    row!["Management", "B.A."],
+                    row!["Design", "B.A."],
+                ],
+            )
+            .unwrap(),
+        );
+        let q1 = Query::scan("D1").named("Q1").count("program");
+
+        let mut db2 = Database::new();
+        db2.add(
+            Relation::with_rows(
+                "D2",
+                Schema::from_pairs(&[("univ", ValueType::Str), ("major", ValueType::Str)]),
+                vec![
+                    row!["A", "Accounting"],
+                    row!["A", "CSE"],
+                    row!["A", "ECE"],
+                    row!["A", "EE"],
+                    row!["A", "Management"],
+                    row!["A", "Design"],
+                    row!["B", "Art"],
+                ],
+            )
+            .unwrap(),
+        );
+        let q2 = Query::scan("D2")
+            .named("Q2")
+            .filter(Expr::col("univ").eq(Expr::lit("A")))
+            .count("major");
+
+        (QueryCase::new(db1, q1), QueryCase::new(db2, q2))
+    }
+
+    #[test]
+    fn prepare_runs_stage_one_end_to_end() {
+        let (left, right) = figure1();
+        let matches = AttributeMatches::single_equivalent("program", "major");
+        let prepared = prepare(&left, &right, &matches).unwrap();
+        let (r1, r2) = prepared.results();
+        assert_eq!(r1, Value::Int(7));
+        assert_eq!(r2, Value::Int(6));
+        assert!(prepared.disagrees());
+        // Canonicalisation merges the two CS rows.
+        assert_eq!(prepared.left_canonical.len(), 6);
+        assert_eq!(prepared.right_canonical.len(), 6);
+        assert_eq!(prepared.left_output.provenance.len(), 7);
+    }
+
+    #[test]
+    fn non_comparable_queries_are_rejected() {
+        let (left, right) = figure1();
+        let err = prepare(&left, &right, &AttributeMatches::none()).unwrap_err();
+        assert!(err.to_string().contains("not comparable"));
+    }
+
+    #[test]
+    fn initial_mapping_covers_exact_matches() {
+        let (left, right) = figure1();
+        let matches = AttributeMatches::single_equivalent("program", "major");
+        let prepared = prepare(&left, &right, &matches).unwrap();
+        let mapping = build_initial_mapping(
+            &prepared.left_canonical,
+            &prepared.right_canonical,
+            &matches,
+            &MappingOptions::default(),
+            None,
+        );
+        assert!(!mapping.is_empty());
+        // Accounting ↔ Accounting must be a candidate with high probability.
+        let acct_l = prepared
+            .left_canonical
+            .find_by_key(&[Value::str("Accounting")])
+            .unwrap();
+        let acct_r = prepared
+            .right_canonical
+            .find_by_key(&[Value::str("Accounting")])
+            .unwrap();
+        assert!(mapping.prob(acct_l, acct_r).unwrap() > 0.8);
+    }
+
+    #[test]
+    fn gold_calibration_boosts_true_pairs() {
+        let (left, right) = figure1();
+        let matches = AttributeMatches::single_equivalent("program", "major");
+        let prepared = prepare(&left, &right, &matches).unwrap();
+        // Gold: identical names match.
+        let mut gold = HashSet::new();
+        for (i, lt) in prepared.left_canonical.tuples.iter().enumerate() {
+            if let Some(j) = prepared.right_canonical.find_by_key(&lt.key) {
+                gold.insert((i, j));
+            }
+        }
+        let mapping = build_initial_mapping(
+            &prepared.left_canonical,
+            &prepared.right_canonical,
+            &matches,
+            &MappingOptions::default(),
+            Some(&gold),
+        );
+        for &(i, j) in &gold {
+            assert!(
+                mapping.prob(i, j).unwrap_or(0.0) > 0.5,
+                "gold pair ({i}, {j}) got low probability"
+            );
+        }
+    }
+
+    #[test]
+    fn agreement_is_detected() {
+        let (left, _) = figure1();
+        let matches = AttributeMatches::single_equivalent("program", "program");
+        let prepared = prepare(&left, &left, &matches).unwrap();
+        assert!(!prepared.disagrees());
+    }
+}

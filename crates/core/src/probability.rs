@@ -1,0 +1,233 @@
+//! The probabilistic objective of the EXP-3D problem (Section 3.1, Eq. 1–6).
+//!
+//! `Pr(E | T1, T2, M_tuple) ∝ Pr(T1, T2 | E) · Pr(M_tuple | T1, T2, E) · Pr(E)`
+//!
+//! with per-tuple priors `α` (the tuple is covered by both queries) and `β`
+//! (the tuple's impact is correct), and per-match probability `p`. The prior
+//! `Pr(E)` is 1 for complete explanations and 0 otherwise, so the search only
+//! considers complete explanations and maximises the first two factors in
+//! log-space.
+
+use crate::canonical::CanonicalRelation;
+use crate::explanation::{ExplanationSet, Side};
+use explain3d_linkage::TupleMapping;
+
+/// Prior parameters of the probability model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilityParams {
+    /// `α ∈ (0.5, 1]`: a-priori probability that a tuple is covered by both
+    /// queries (i.e. it is *not* a provenance-based explanation).
+    pub alpha: f64,
+    /// `β ∈ (0.5, 1]`: a-priori probability that a tuple's impact is correct
+    /// (i.e. it is *not* a value-based explanation).
+    pub beta: f64,
+    /// Probabilities are clamped into `[ε, 1-ε]` before taking logs so the
+    /// objective stays finite even for matches reported with p = 1.
+    pub prob_floor: f64,
+}
+
+impl Default for ProbabilityParams {
+    fn default() -> Self {
+        ProbabilityParams { alpha: 0.8, beta: 0.9, prob_floor: 1e-3 }
+    }
+}
+
+impl ProbabilityParams {
+    /// Creates parameters, validating `α, β ∈ (0.5, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!((0.5..=1.0).contains(&alpha) && alpha > 0.5, "α must be in (0.5, 1]");
+        assert!((0.5..=1.0).contains(&beta) && beta > 0.5, "β must be in (0.5, 1]");
+        ProbabilityParams { alpha, beta, ..Default::default() }
+    }
+
+    fn clamp(&self, p: f64) -> f64 {
+        p.clamp(self.prob_floor, 1.0 - self.prob_floor)
+    }
+
+    /// `a = log(1 - α)`: log-probability of a provenance-based explanation.
+    pub fn log_removed(&self) -> f64 {
+        (1.0 - self.clamp(self.alpha)).ln()
+    }
+
+    /// `b = log α + log β`: log-probability of a kept tuple with correct
+    /// impact.
+    pub fn log_kept_correct(&self) -> f64 {
+        self.clamp(self.alpha).ln() + self.clamp(self.beta).ln()
+    }
+
+    /// `c = log α + log(1 - β)`: log-probability of a kept tuple whose impact
+    /// is changed by a value-based explanation.
+    pub fn log_kept_changed(&self) -> f64 {
+        self.clamp(self.alpha).ln() + (1.0 - self.clamp(self.beta)).ln()
+    }
+
+    /// `log p` for a tuple match included in the evidence.
+    pub fn log_match_kept(&self, p: f64) -> f64 {
+        self.clamp(p).ln()
+    }
+
+    /// `log(1 - p)` for a tuple match excluded from the evidence.
+    pub fn log_match_dropped(&self, p: f64) -> f64 {
+        (1.0 - self.clamp(p)).ln()
+    }
+}
+
+/// Scores a set of explanations against the canonical relations and the
+/// initial tuple mapping: `log Pr(T1, T2 | E) + log Pr(M_tuple | T1, T2, E)`
+/// (Equation 6). The completeness prior `Pr(E)` is *not* checked here; use
+/// [`ExplanationSet::is_complete`] for that.
+pub fn log_probability(
+    explanations: &ExplanationSet,
+    left: &CanonicalRelation,
+    right: &CanonicalRelation,
+    initial_mapping: &TupleMapping,
+    params: &ProbabilityParams,
+) -> f64 {
+    let mut total = 0.0;
+
+    // Per-tuple factor (Equations 2-3).
+    let removed_left = explanations.provenance_tuples(Side::Left);
+    let removed_right = explanations.provenance_tuples(Side::Right);
+    let changed_left = explanations.value_changes(Side::Left);
+    let changed_right = explanations.value_changes(Side::Right);
+
+    for i in 0..left.len() {
+        total += if removed_left.contains(&i) {
+            params.log_removed()
+        } else if changed_left.contains_key(&i) {
+            params.log_kept_changed()
+        } else {
+            params.log_kept_correct()
+        };
+    }
+    for j in 0..right.len() {
+        total += if removed_right.contains(&j) {
+            params.log_removed()
+        } else if changed_right.contains_key(&j) {
+            params.log_kept_changed()
+        } else {
+            params.log_kept_correct()
+        };
+    }
+
+    // Per-match factor (Equations 4-5).
+    for m in initial_mapping.matches() {
+        let kept = explanations.evidence.contains_pair(m.left, m.right);
+        total += if kept {
+            params.log_match_kept(m.prob)
+        } else {
+            params.log_match_dropped(m.prob)
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::CanonicalTuple;
+    use explain3d_linkage::TupleMatch;
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn canon(entries: &[(&str, f64)]) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: "Q".to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: entries
+                .iter()
+                .enumerate()
+                .map(|(i, (k, imp))| CanonicalTuple {
+                    id: i,
+                    key: vec![Value::str(*k)],
+                    impact: *imp,
+                    members: vec![i],
+                    representative: Row::new(vec![Value::str(*k)]),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    #[test]
+    fn constants_are_ordered_as_expected() {
+        let p = ProbabilityParams::default();
+        // Keeping a tuple with correct impact is the most likely outcome;
+        // changing its value or removing it are both penalised.
+        assert!(p.log_kept_correct() > p.log_kept_changed());
+        assert!(p.log_kept_correct() > p.log_removed());
+        // All log-probabilities are finite and negative.
+        for v in [p.log_kept_correct(), p.log_kept_changed(), p.log_removed()] {
+            assert!(v.is_finite() && v < 0.0);
+        }
+    }
+
+    #[test]
+    fn match_probabilities_are_clamped() {
+        let p = ProbabilityParams::default();
+        assert!(p.log_match_kept(1.0).is_finite());
+        assert!(p.log_match_dropped(1.0).is_finite());
+        assert!(p.log_match_kept(0.0).is_finite());
+        assert!(p.log_match_kept(0.9) > p.log_match_kept(0.5));
+        assert!(p.log_match_dropped(0.1) > p.log_match_dropped(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "α")]
+    fn alpha_must_exceed_half() {
+        ProbabilityParams::new(0.4, 0.9);
+    }
+
+    #[test]
+    fn fewer_explanations_score_higher() {
+        let t1 = canon(&[("A", 1.0), ("B", 1.0)]);
+        let t2 = canon(&[("A", 1.0), ("B", 1.0)]);
+        let mut mapping = TupleMapping::new();
+        mapping.push(TupleMatch::new(0, 0, 0.9));
+        mapping.push(TupleMatch::new(1, 1, 0.9));
+        let params = ProbabilityParams::default();
+
+        // Perfect evidence, no explanations.
+        let mut perfect = ExplanationSet::new();
+        perfect.evidence.push(TupleMatch::new(0, 0, 0.9));
+        perfect.evidence.push(TupleMatch::new(1, 1, 0.9));
+
+        // Same evidence but with a gratuitous provenance explanation.
+        let mut noisy = perfect.clone();
+        noisy.add_provenance(Side::Left, 1);
+
+        let s_perfect = log_probability(&perfect, &t1, &t2, &mapping, &params);
+        let s_noisy = log_probability(&noisy, &t1, &t2, &mapping, &params);
+        assert!(s_perfect > s_noisy);
+    }
+
+    #[test]
+    fn keeping_high_probability_matches_scores_higher() {
+        let t1 = canon(&[("A", 1.0)]);
+        let t2 = canon(&[("A", 1.0)]);
+        let mut mapping = TupleMapping::new();
+        mapping.push(TupleMatch::new(0, 0, 0.95));
+        let params = ProbabilityParams::default();
+
+        let mut with_match = ExplanationSet::new();
+        with_match.evidence.push(TupleMatch::new(0, 0, 0.95));
+        let without_match = ExplanationSet::new();
+
+        let s_with = log_probability(&with_match, &t1, &t2, &mapping, &params);
+        let s_without = log_probability(&without_match, &t1, &t2, &mapping, &params);
+        assert!(s_with > s_without);
+    }
+
+    #[test]
+    fn value_change_beats_removal_only_when_alpha_is_low_enough() {
+        // With α = β the two penalties are log(1-α) vs log α + log(1-β);
+        // for α = β = 0.9 removal (log 0.1 ≈ -2.30) is slightly cheaper than
+        // a value change (log 0.9 + log 0.1 ≈ -2.41)... in fact removal wins.
+        let p = ProbabilityParams::new(0.9, 0.9);
+        assert!(p.log_removed() > p.log_kept_changed());
+        // With a much higher α (tuples almost surely covered), changing a
+        // value becomes cheaper than claiming the tuple is unmatched.
+        let p = ProbabilityParams::new(0.99, 0.9);
+        assert!(p.log_kept_changed() > p.log_removed());
+    }
+}

@@ -1,0 +1,156 @@
+//! Gold-standard construction.
+//!
+//! All generators in this crate know the true entity correspondence between
+//! the two datasets they emit (they created both from a single ground-truth
+//! corpus). Given that correspondence at the canonical-tuple level, the gold
+//! explanations follow mechanically:
+//!
+//! * canonical tuples with no counterpart → provenance-based explanations;
+//! * matched groups whose impact totals differ → value-based explanations;
+//! * the correspondence itself → the gold evidence mapping.
+
+use explain3d_core::prelude::{CanonicalRelation, ExplanationSet, Side};
+use explain3d_linkage::TupleMatch;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Builds the gold explanation set from the true canonical-tuple
+/// correspondence `true_pairs` (left index, right index).
+pub fn gold_from_truth(
+    left: &CanonicalRelation,
+    right: &CanonicalRelation,
+    true_pairs: &[(usize, usize)],
+) -> ExplanationSet {
+    let mut gold = ExplanationSet::new();
+    let mut matched_left: BTreeSet<usize> = BTreeSet::new();
+    let mut matched_right: BTreeSet<usize> = BTreeSet::new();
+    for &(l, r) in true_pairs {
+        if l >= left.len() || r >= right.len() {
+            continue;
+        }
+        gold.evidence.push(TupleMatch::new(l, r, 1.0));
+        matched_left.insert(l);
+        matched_right.insert(r);
+    }
+
+    // Unmatched tuples are provenance-based explanations.
+    for i in 0..left.len() {
+        if !matched_left.contains(&i) {
+            gold.add_provenance(Side::Left, i);
+        }
+    }
+    for j in 0..right.len() {
+        if !matched_right.contains(&j) {
+            gold.add_provenance(Side::Right, j);
+        }
+    }
+
+    // Impact comparison per correspondence group (grouped by right tuple so
+    // many-to-one containment matches compare totals).
+    let mut group: BTreeMap<usize, (f64, Vec<usize>)> = BTreeMap::new();
+    for &(l, r) in true_pairs {
+        if l >= left.len() || r >= right.len() {
+            continue;
+        }
+        let e = group.entry(r).or_insert((0.0, Vec::new()));
+        e.0 += left.tuples[l].impact;
+        e.1.push(l);
+    }
+    for (r, (left_total, _members)) in group {
+        let right_impact = right.tuples[r].impact;
+        if (left_total - right_impact).abs() > 1e-9 {
+            gold.add_value(Side::Right, r, right_impact, left_total);
+        }
+    }
+    gold.normalise();
+    gold
+}
+
+/// Computes the true canonical-tuple correspondence from per-tuple entity
+/// keys: tuple `i` of the left relation corresponds to tuple `j` of the right
+/// relation when `left_keys[i] == right_keys[j]` (first right occurrence
+/// wins; keys are compared case-insensitively).
+pub fn pairs_from_entity_keys(left_keys: &[String], right_keys: &[String]) -> Vec<(usize, usize)> {
+    let mut right_index: BTreeMap<String, usize> = BTreeMap::new();
+    for (j, k) in right_keys.iter().enumerate() {
+        right_index.entry(k.to_ascii_lowercase()).or_insert(j);
+    }
+    let mut pairs = Vec::new();
+    for (i, k) in left_keys.iter().enumerate() {
+        if let Some(&j) = right_index.get(&k.to_ascii_lowercase()) {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_core::prelude::CanonicalTuple;
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn canon(entries: &[(&str, f64)]) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: "Q".to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: entries
+                .iter()
+                .enumerate()
+                .map(|(i, (k, imp))| CanonicalTuple {
+                    id: i,
+                    key: vec![Value::str(*k)],
+                    impact: *imp,
+                    members: vec![i],
+                    representative: Row::new(vec![Value::str(*k)]),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    #[test]
+    fn gold_covers_missing_and_mismatched_tuples() {
+        let t1 = canon(&[("A", 1.0), ("CS", 2.0), ("Design", 1.0)]);
+        let t2 = canon(&[("A", 1.0), ("CS", 1.0)]);
+        let pairs = vec![(0, 0), (1, 1)];
+        let gold = gold_from_truth(&t1, &t2, &pairs);
+        assert_eq!(gold.evidence.len(), 2);
+        assert_eq!(gold.provenance_tuples(Side::Left), BTreeSet::from([2]));
+        assert!(gold.provenance_tuples(Side::Right).is_empty());
+        assert_eq!(gold.value.len(), 1);
+        assert_eq!(gold.value[0].tuple, 1);
+        assert_eq!(gold.value[0].new_impact, 2.0);
+    }
+
+    #[test]
+    fn many_to_one_groups_compare_totals() {
+        let t1 = canon(&[("ECE", 1.0), ("EE", 1.0)]);
+        let t2 = canon(&[("Engineering", 2.0)]);
+        let gold = gold_from_truth(&t1, &t2, &[(0, 0), (1, 0)]);
+        assert!(gold.value.is_empty());
+        assert!(gold.provenance.is_empty());
+        // Unbalanced totals produce one value explanation on the right.
+        let t2b = canon(&[("Engineering", 3.0)]);
+        let gold = gold_from_truth(&t1, &t2b, &[(0, 0), (1, 0)]);
+        assert_eq!(gold.value.len(), 1);
+        assert_eq!(gold.value[0].new_impact, 2.0);
+    }
+
+    #[test]
+    fn out_of_range_pairs_are_ignored() {
+        let t1 = canon(&[("A", 1.0)]);
+        let t2 = canon(&[("A", 1.0)]);
+        let gold = gold_from_truth(&t1, &t2, &[(0, 0), (5, 0), (0, 9)]);
+        assert_eq!(gold.evidence.len(), 1);
+        assert!(gold.is_empty());
+    }
+
+    #[test]
+    fn entity_key_pairing_is_case_insensitive() {
+        let left = vec!["Computer Science".to_string(), "Design".to_string()];
+        let right = vec!["computer science".to_string(), "Art".to_string()];
+        let pairs = pairs_from_entity_keys(&left, &right);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,738 @@
+//! The IMDb-style two-view generator.
+//!
+//! The paper builds a pair of disjoint datasets as two differently-shaped
+//! views over the IMDb dump, loses some information in the first view by
+//! design (one genre/country per movie), injects ~5% random errors with BART,
+//! and evaluates ten query templates over both views. This module reproduces
+//! that construction over a generated film corpus:
+//!
+//! * **View 1** — `Movie(movie_id, title, release_year, genre, country,
+//!   runtimes, gross, budget)`, `Actor`, `Director`, `MovieActor`,
+//!   `MovieDirector`;
+//! * **View 2** — `Movie(m_id, title, release_year)`,
+//!   `MovieInfo(m_id, info_type, info)`, `Person(p_id, name, gender, dob)`,
+//!   `MoviePerson(m_id, p_id)`;
+//! * lossy migration (view 1 keeps a single genre and country, and drops a
+//!   fraction of movies and cast links), plus random numeric corruptions in
+//!   both views;
+//! * the ten query templates Q1–Q10 of Section 5.1.1.
+
+use crate::scenario::{assemble_case, GeneratedCase};
+use crate::vocab::{movie_title, person_name, pick, COUNTRIES, GENRES};
+use explain3d_core::prelude::{AttributeMatch, AttributeMatches, MappingOptions, QueryCase};
+use explain3d_relation::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the IMDb-style generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImdbConfig {
+    /// Number of movies in the ground-truth corpus.
+    pub num_movies: usize,
+    /// Number of persons (actors and directors).
+    pub num_persons: usize,
+    /// Average number of actors per movie.
+    pub actors_per_movie: usize,
+    /// Fraction of randomly corrupted numeric cells in each view (~5% in the
+    /// paper, injected with BART).
+    pub error_rate: f64,
+    /// Fraction of movies dropped from view 1 during the lossy migration.
+    pub view1_drop_rate: f64,
+    /// Release-year range (inclusive).
+    pub year_range: (i64, i64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig {
+            num_movies: 400,
+            num_persons: 500,
+            actors_per_movie: 3,
+            error_rate: 0.05,
+            view1_drop_rate: 0.04,
+            year_range: (1970, 2003),
+            seed: 11,
+        }
+    }
+}
+
+impl ImdbConfig {
+    /// Scales the corpus so that per-year query provenance grows roughly
+    /// linearly (used by the Figure 7c runtime sweep).
+    pub fn with_movies(mut self, num_movies: usize) -> Self {
+        self.num_movies = num_movies;
+        self.num_persons = (num_movies * 5 / 4).max(10);
+        self
+    }
+}
+
+/// The ten query templates of Section 5.1.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImdbTemplate {
+    /// Q1: actors cast in short movies released in `year`.
+    ActorsInShortMovies,
+    /// Q2: movies directed by someone born in `year`.
+    MoviesByDirectorBirthYear,
+    /// Q3: number of comedy movies released in `year`.
+    CountComedies,
+    /// Q4: number of movies released in the US in `year`.
+    CountUsMovies,
+    /// Q5: total gross value for movies released in `year`.
+    TotalGross,
+    /// Q6: maximum gross value for movies released in `year`.
+    MaxGross,
+    /// Q7: the longest movie released in `year`.
+    LongestMovie,
+    /// Q8: average gross value for movies released in `year`.
+    AvgGross,
+    /// Q9: average runtime for movies released in `year`.
+    AvgRuntime,
+    /// Q10: actresses who have not starred in any `genre` movies.
+    ActressesNotInGenre,
+}
+
+impl ImdbTemplate {
+    /// All ten templates, in paper order.
+    pub fn all() -> [ImdbTemplate; 10] {
+        [
+            ImdbTemplate::ActorsInShortMovies,
+            ImdbTemplate::MoviesByDirectorBirthYear,
+            ImdbTemplate::CountComedies,
+            ImdbTemplate::CountUsMovies,
+            ImdbTemplate::TotalGross,
+            ImdbTemplate::MaxGross,
+            ImdbTemplate::LongestMovie,
+            ImdbTemplate::AvgGross,
+            ImdbTemplate::AvgRuntime,
+            ImdbTemplate::ActressesNotInGenre,
+        ]
+    }
+
+    /// The template's paper label (`Q1`–`Q10`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ImdbTemplate::ActorsInShortMovies => "Q1",
+            ImdbTemplate::MoviesByDirectorBirthYear => "Q2",
+            ImdbTemplate::CountComedies => "Q3",
+            ImdbTemplate::CountUsMovies => "Q4",
+            ImdbTemplate::TotalGross => "Q5",
+            ImdbTemplate::MaxGross => "Q6",
+            ImdbTemplate::LongestMovie => "Q7",
+            ImdbTemplate::AvgGross => "Q8",
+            ImdbTemplate::AvgRuntime => "Q9",
+            ImdbTemplate::ActressesNotInGenre => "Q10",
+        }
+    }
+}
+
+/// A parameter instantiation for a template: a year for Q1–Q9, a genre for Q10.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateParam {
+    /// A release year.
+    Year(i64),
+    /// A genre name.
+    Genre(String),
+}
+
+/// The generated pair of views (databases), reusable across templates.
+#[derive(Debug, Clone)]
+pub struct ImdbViews {
+    /// View 1 (wide movie table + separate actor/director tables).
+    pub view1: Database,
+    /// View 2 (narrow movie table + key/value MovieInfo + unified Person).
+    pub view2: Database,
+    config: ImdbConfig,
+}
+
+struct MovieRec {
+    id: i64,
+    title: String,
+    year: i64,
+    genres: Vec<String>,
+    countries: Vec<String>,
+    runtime: i64,
+    gross: i64,
+    budget: i64,
+}
+
+struct PersonRec {
+    id: i64,
+    first: String,
+    last: String,
+    gender: &'static str,
+    dob: i64,
+    is_director: bool,
+}
+
+/// Generates the two views from a fresh ground-truth corpus.
+pub fn generate_views(config: &ImdbConfig) -> ImdbViews {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- Ground-truth corpus. ---
+    let movies: Vec<MovieRec> = (0..config.num_movies)
+        .map(|i| {
+            let num_genres = 1 + rng.gen_range(0..2usize);
+            let mut genres: Vec<String> =
+                (0..num_genres).map(|_| pick(&mut rng, GENRES).to_string()).collect();
+            genres.dedup();
+            let num_countries = 1 + rng.gen_range(0..2usize);
+            let mut countries: Vec<String> =
+                (0..num_countries).map(|_| pick(&mut rng, COUNTRIES).to_string()).collect();
+            countries.dedup();
+            MovieRec {
+                id: i as i64,
+                title: movie_title(&mut rng, i),
+                year: rng.gen_range(config.year_range.0..=config.year_range.1),
+                genres,
+                countries,
+                runtime: rng.gen_range(45..=200),
+                gross: rng.gen_range(1..=500) * 100_000,
+                budget: rng.gen_range(1..=200) * 100_000,
+            }
+        })
+        .collect();
+    let persons: Vec<PersonRec> = (0..config.num_persons)
+        .map(|i| {
+            let (first, last) = person_name(&mut rng, i);
+            PersonRec {
+                id: i as i64,
+                first,
+                last,
+                gender: if rng.gen_bool(0.5) { "f" } else { "m" },
+                dob: rng.gen_range(1930..=1985),
+                is_director: rng.gen_bool(0.2),
+            }
+        })
+        .collect();
+    let directors: Vec<&PersonRec> = persons.iter().filter(|p| p.is_director).collect();
+    let actors: Vec<&PersonRec> = persons.iter().filter(|p| !p.is_director).collect();
+
+    let mut movie_actors: Vec<(i64, i64)> = Vec::new();
+    let mut movie_directors: Vec<(i64, i64)> = Vec::new();
+    for m in &movies {
+        if !directors.is_empty() {
+            movie_directors.push((m.id, directors[rng.gen_range(0..directors.len())].id));
+        }
+        for _ in 0..config.actors_per_movie {
+            if !actors.is_empty() {
+                movie_actors.push((m.id, actors[rng.gen_range(0..actors.len())].id));
+            }
+        }
+    }
+    movie_actors.sort();
+    movie_actors.dedup();
+
+    // Helper: corrupt a numeric value with probability `error_rate`.
+    let corrupt = |rng: &mut StdRng, v: i64| -> i64 {
+        if rng.gen_bool(config.error_rate) {
+            let factor = rng.gen_range(2..=5);
+            if rng.gen_bool(0.5) {
+                v * factor
+            } else {
+                (v / factor).max(1)
+            }
+        } else {
+            v
+        }
+    };
+
+    // --- View 1 (lossy wide schema). ---
+    let mut movie1 = Relation::new(
+        "Movie",
+        Schema::from_pairs(&[
+            ("movie_id", ValueType::Int),
+            ("title", ValueType::Str),
+            ("release_year", ValueType::Int),
+            ("genre", ValueType::Str),
+            ("country", ValueType::Str),
+            ("runtimes", ValueType::Int),
+            ("gross", ValueType::Int),
+            ("budget", ValueType::Int),
+        ]),
+    );
+    for m in &movies {
+        if rng.gen_bool(config.view1_drop_rate) {
+            continue; // lost during migration
+        }
+        movie1
+            .insert(Row::new(vec![
+                Value::Int(m.id),
+                Value::str(m.title.clone()),
+                Value::Int(m.year),
+                Value::str(m.genres[0].clone()),
+                Value::str(m.countries[0].clone()),
+                Value::Int(corrupt(&mut rng, m.runtime)),
+                Value::Int(corrupt(&mut rng, m.gross)),
+                Value::Int(m.budget),
+            ]))
+            .expect("arity");
+    }
+    let person_schema = |id_name: &str| {
+        Schema::from_pairs(&[
+            (id_name, ValueType::Int),
+            ("firstname", ValueType::Str),
+            ("lastname", ValueType::Str),
+            ("gender", ValueType::Str),
+            ("dob", ValueType::Int),
+        ])
+    };
+    let mut actor1 = Relation::new("Actor", person_schema("actor_id"));
+    let mut director1 = Relation::new("Director", person_schema("director_id"));
+    for p in &persons {
+        let row = Row::new(vec![
+            Value::Int(p.id),
+            Value::str(p.first.clone()),
+            Value::str(p.last.clone()),
+            Value::str(p.gender),
+            Value::Int(p.dob),
+        ]);
+        if p.is_director {
+            director1.insert(row).expect("arity");
+        } else {
+            actor1.insert(row).expect("arity");
+        }
+    }
+    let mut movie_actor1 = Relation::new(
+        "MovieActor",
+        Schema::from_pairs(&[("movie_id", ValueType::Int), ("actor_id", ValueType::Int)]),
+    );
+    for &(m, a) in &movie_actors {
+        if rng.gen_bool(config.error_rate) {
+            continue; // dropped link
+        }
+        movie_actor1
+            .insert(Row::new(vec![Value::Int(m), Value::Int(a)]))
+            .expect("arity");
+    }
+    let mut movie_director1 = Relation::new(
+        "MovieDirector",
+        Schema::from_pairs(&[("movie_id", ValueType::Int), ("director_id", ValueType::Int)]),
+    );
+    for &(m, d) in &movie_directors {
+        movie_director1
+            .insert(Row::new(vec![Value::Int(m), Value::Int(d)]))
+            .expect("arity");
+    }
+    let mut view1 = Database::new();
+    view1.add(movie1).add(actor1).add(director1).add(movie_actor1).add(movie_director1);
+
+    // --- View 2 (narrow schema with MovieInfo). ---
+    let mut movie2 = Relation::new(
+        "Movie",
+        Schema::from_pairs(&[
+            ("m_id", ValueType::Int),
+            ("title", ValueType::Str),
+            ("release_year", ValueType::Int),
+        ]),
+    );
+    let mut info2 = Relation::new(
+        "MovieInfo",
+        Schema::from_pairs(&[
+            ("m_id", ValueType::Int),
+            ("info_type", ValueType::Str),
+            ("info", ValueType::Str),
+        ]),
+    );
+    for m in &movies {
+        movie2
+            .insert(Row::new(vec![
+                Value::Int(m.id),
+                Value::str(m.title.clone()),
+                Value::Int(m.year),
+            ]))
+            .expect("arity");
+        for g in &m.genres {
+            info2
+                .insert(Row::new(vec![Value::Int(m.id), Value::str("genre"), Value::str(g.clone())]))
+                .expect("arity");
+        }
+        for c in &m.countries {
+            info2
+                .insert(Row::new(vec![
+                    Value::Int(m.id),
+                    Value::str("country"),
+                    Value::str(c.clone()),
+                ]))
+                .expect("arity");
+        }
+        for (ty, v) in [
+            ("runtimes", m.runtime),
+            ("gross", m.gross),
+            ("budget", m.budget),
+        ] {
+            info2
+                .insert(Row::new(vec![
+                    Value::Int(m.id),
+                    Value::str(ty),
+                    Value::Int(corrupt(&mut rng, v)),
+                ]))
+                .expect("arity");
+        }
+    }
+    let mut person2 = Relation::new(
+        "Person",
+        Schema::from_pairs(&[
+            ("p_id", ValueType::Int),
+            ("name", ValueType::Str),
+            ("gender", ValueType::Str),
+            ("dob", ValueType::Int),
+        ]),
+    );
+    for p in &persons {
+        person2
+            .insert(Row::new(vec![
+                Value::Int(p.id),
+                Value::str(format!("{} {}", p.first, p.last)),
+                Value::str(p.gender),
+                Value::Int(p.dob),
+            ]))
+            .expect("arity");
+    }
+    let mut movie_person2 = Relation::new(
+        "MoviePerson",
+        Schema::from_pairs(&[("m_id", ValueType::Int), ("p_id", ValueType::Int)]),
+    );
+    for &(m, a) in &movie_actors {
+        movie_person2
+            .insert(Row::new(vec![Value::Int(m), Value::Int(a)]))
+            .expect("arity");
+    }
+    for &(m, d) in &movie_directors {
+        movie_person2
+            .insert(Row::new(vec![Value::Int(m), Value::Int(d)]))
+            .expect("arity");
+    }
+    let mut view2 = Database::new();
+    view2.add(movie2).add(info2).add(person2).add(movie_person2);
+
+    ImdbViews { view1, view2, config: *config }
+}
+
+impl ImdbViews {
+    /// Instantiates a template on both views, returning the two queries and
+    /// the attribute matches appropriate for the template's provenance.
+    pub fn instantiate(&self, template: ImdbTemplate, param: &TemplateParam) -> (Query, Query, AttributeMatches) {
+        let year = match param {
+            TemplateParam::Year(y) => *y,
+            TemplateParam::Genre(_) => 0,
+        };
+        let genre = match param {
+            TemplateParam::Genre(g) => g.clone(),
+            TemplateParam::Year(_) => "comedy".to_string(),
+        };
+        let title_match = AttributeMatches::single_equivalent("title", "title");
+        let person_match = AttributeMatches::new(vec![AttributeMatch::equivalent_sets(
+            vec!["firstname".to_string(), "lastname".to_string()],
+            vec!["name".to_string()],
+        )]);
+
+        // Movie-level source expressions with the year filter.
+        let movie1_year = QueryExpr::scan("Movie")
+            .filter(Expr::col("release_year").eq(Expr::lit(year)));
+        let movie2_year = QueryExpr::scan("Movie")
+            .filter(Expr::col("release_year").eq(Expr::lit(year)));
+        // View-2 MovieInfo restricted to one info type.
+        let info = |ty: &str| {
+            QueryExpr::scan("MovieInfo")
+                .filter(Expr::col("info_type").eq(Expr::lit(ty)))
+        };
+
+        match template {
+            ImdbTemplate::ActorsInShortMovies => {
+                let q1 = Query::over(
+                    movie1_year
+                        .clone()
+                        .filter(Expr::col("runtimes").lt(Expr::lit(80)))
+                        .join_on(QueryExpr::scan("MovieActor"), "Movie.movie_id", "MovieActor.movie_id")
+                        .join_on(QueryExpr::scan("Actor"), "MovieActor.actor_id", "Actor.actor_id"),
+                )
+                .named("Q1-v1")
+                .select(["firstname", "lastname"]);
+                let q2 = Query::over(
+                    movie2_year
+                        .clone()
+                        .join_on(info("runtimes"), "Movie.m_id", "MovieInfo.m_id")
+                        .filter(Expr::col("info").lt(Expr::lit(80)))
+                        .join_on(QueryExpr::scan("MoviePerson"), "Movie.m_id", "MoviePerson.m_id")
+                        .join_on(QueryExpr::scan("Person"), "MoviePerson.p_id", "Person.p_id"),
+                )
+                .named("Q1-v2")
+                .select(["name"]);
+                (q1, q2, person_match)
+            }
+            ImdbTemplate::MoviesByDirectorBirthYear => {
+                let q1 = Query::over(
+                    QueryExpr::scan("Director")
+                        .filter(Expr::col("dob").eq(Expr::lit(year)))
+                        .join_on(QueryExpr::scan("MovieDirector"), "Director.director_id", "MovieDirector.director_id")
+                        .join_on(QueryExpr::scan("Movie"), "MovieDirector.movie_id", "Movie.movie_id"),
+                )
+                .named("Q2-v1")
+                .select(["title"]);
+                let q2 = Query::over(
+                    QueryExpr::scan("Person")
+                        .filter(Expr::col("dob").eq(Expr::lit(year)))
+                        .join_on(QueryExpr::scan("MoviePerson"), "Person.p_id", "MoviePerson.p_id")
+                        .join_on(QueryExpr::scan("Movie"), "MoviePerson.m_id", "Movie.m_id"),
+                )
+                .named("Q2-v2")
+                .select(["title"]);
+                (q1, q2, title_match)
+            }
+            ImdbTemplate::CountComedies | ImdbTemplate::CountUsMovies => {
+                let (ty, value) = if template == ImdbTemplate::CountComedies {
+                    ("genre", "comedy")
+                } else {
+                    ("country", "us")
+                };
+                let q1 = Query::over(movie1_year.clone().filter(Expr::col(ty).eq(Expr::lit(value))))
+                    .named("Q3-v1")
+                    .count("title");
+                let q2 = Query::over(
+                    movie2_year
+                        .clone()
+                        .join_on(
+                            info(ty).filter(Expr::col("info").eq(Expr::lit(value))),
+                            "Movie.m_id",
+                            "MovieInfo.m_id",
+                        ),
+                )
+                .named("Q3-v2")
+                .count("title");
+                (q1, q2, title_match)
+            }
+            ImdbTemplate::TotalGross
+            | ImdbTemplate::MaxGross
+            | ImdbTemplate::AvgGross
+            | ImdbTemplate::LongestMovie
+            | ImdbTemplate::AvgRuntime => {
+                let (attr, ty) = match template {
+                    ImdbTemplate::LongestMovie | ImdbTemplate::AvgRuntime => ("runtimes", "runtimes"),
+                    _ => ("gross", "gross"),
+                };
+                let b1 = Query::over(movie1_year.clone()).named("Qn-v1");
+                let b2 = Query::over(
+                    movie2_year
+                        .clone()
+                        .join_on(info(ty), "Movie.m_id", "MovieInfo.m_id"),
+                )
+                .named("Qn-v2");
+                let (q1, q2) = match template {
+                    ImdbTemplate::TotalGross => (b1.sum(attr), b2.sum("info")),
+                    ImdbTemplate::MaxGross | ImdbTemplate::LongestMovie => {
+                        (b1.max(attr), b2.max("info"))
+                    }
+                    _ => (b1.avg(attr), b2.avg("info")),
+                };
+                (q1, q2, title_match)
+            }
+            ImdbTemplate::ActressesNotInGenre => {
+                let genre_movies_1 = QueryExpr::scan("Movie")
+                    .filter(Expr::col("genre").eq(Expr::lit(genre.clone())))
+                    .join_on(QueryExpr::scan("MovieActor"), "Movie.movie_id", "MovieActor.movie_id");
+                let q1 = Query::over(
+                    QueryExpr::scan("Actor")
+                        .filter(Expr::col("gender").eq(Expr::lit("f")))
+                        .anti_join(genre_movies_1, "actor_id", "MovieActor.actor_id"),
+                )
+                .named("Q10-v1")
+                .select(["firstname", "lastname"]);
+                let genre_movies_2 = info("genre")
+                    .filter(Expr::col("info").eq(Expr::lit(genre)))
+                    .join_on(QueryExpr::scan("MoviePerson"), "MovieInfo.m_id", "MoviePerson.m_id");
+                let q2 = Query::over(
+                    QueryExpr::scan("Person")
+                        .filter(Expr::col("gender").eq(Expr::lit("f")))
+                        .anti_join(genre_movies_2, "p_id", "MoviePerson.p_id"),
+                )
+                .named("Q10-v2")
+                .select(["name"]);
+                (q1, q2, person_match)
+            }
+        }
+    }
+
+    /// Builds a complete generated case for one template instantiation.
+    pub fn case(&self, template: ImdbTemplate, param: &TemplateParam) -> GeneratedCase {
+        let (q1, q2, matches) = self.instantiate(template, param);
+        let left = QueryCase::new(self.view1.clone(), q1);
+        let right = QueryCase::new(self.view2.clone(), q2);
+        // Entity keys: canonical key text with separators and case removed,
+        // so "james | smith 3" (firstname, lastname) equals "james smith 3"
+        // (name) and titles compare directly.
+        let entity_key = |t: &explain3d_core::prelude::CanonicalTuple| -> String {
+            t.key_text()
+                .to_ascii_lowercase()
+                .chars()
+                .filter(|c| c.is_alphanumeric())
+                .collect()
+        };
+        assemble_case(
+            format!("imdb {} {:?}", template.label(), param),
+            left,
+            right,
+            matches,
+            &MappingOptions::default(),
+            entity_key,
+            entity_key,
+        )
+        .expect("imdb case assembly cannot fail")
+    }
+
+    /// A default parameter for a template: a mid-range year, or "comedy".
+    pub fn default_param(&self, template: ImdbTemplate, instance: u64) -> TemplateParam {
+        match template {
+            ImdbTemplate::ActressesNotInGenre => {
+                let idx = (instance as usize) % GENRES.len();
+                TemplateParam::Genre(GENRES[idx].to_string())
+            }
+            _ => {
+                let span = (self.config.year_range.1 - self.config.year_range.0).max(1);
+                TemplateParam::Year(self.config.year_range.0 + (instance as i64 % span))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_views() -> ImdbViews {
+        generate_views(&ImdbConfig { num_movies: 120, num_persons: 150, ..Default::default() })
+    }
+
+    #[test]
+    fn views_have_the_expected_schemas() {
+        let views = small_views();
+        assert!(views.view1.get("Movie").is_ok());
+        assert!(views.view1.get("Actor").is_ok());
+        assert!(views.view1.get("MovieDirector").is_ok());
+        assert!(views.view2.get("MovieInfo").is_ok());
+        assert!(views.view2.get("Person").is_ok());
+        // View 2 keeps every movie; view 1 loses a few.
+        let m1 = views.view1.get("Movie").unwrap().len();
+        let m2 = views.view2.get("Movie").unwrap().len();
+        assert_eq!(m2, 120);
+        assert!(m1 <= m2);
+        // MovieInfo stores one row per info item (genres + countries + 3 numerics).
+        assert!(views.view2.get("MovieInfo").unwrap().len() >= 5 * m2);
+    }
+
+    #[test]
+    fn count_template_runs_and_may_disagree() {
+        let views = small_views();
+        let case = views.case(ImdbTemplate::CountComedies, &TemplateParam::Year(1999));
+        let (r1, r2) = case.prepared.results();
+        assert!(r1.as_i64().is_some());
+        assert!(r2.as_i64().is_some());
+        // Gold standard and initial mapping are consistent with canonical sizes.
+        assert!(case.gold.evidence.len() <= case.prepared.left_canonical.len());
+        assert!(case.gold.evidence.len() <= case.prepared.right_canonical.len());
+    }
+
+    #[test]
+    fn aggregate_templates_produce_numeric_results() {
+        let views = small_views();
+        for template in [
+            ImdbTemplate::TotalGross,
+            ImdbTemplate::MaxGross,
+            ImdbTemplate::AvgGross,
+            ImdbTemplate::LongestMovie,
+            ImdbTemplate::AvgRuntime,
+        ] {
+            let case = views.case(template, &TemplateParam::Year(1985));
+            let (r1, r2) = case.prepared.results();
+            assert!(
+                r1.as_f64().is_some() || r1.is_null(),
+                "{template:?} view1 result {r1:?}"
+            );
+            assert!(
+                r2.as_f64().is_some() || r2.is_null(),
+                "{template:?} view2 result {r2:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn person_templates_use_the_person_attribute_match() {
+        let views = small_views();
+        let (q1, q2, matches) =
+            views.instantiate(ImdbTemplate::ActorsInShortMovies, &TemplateParam::Year(1990));
+        assert!(matches.left_attrs().contains(&"firstname".to_string()));
+        assert!(matches.right_attrs().contains(&"name".to_string()));
+        assert!(q1.to_string().contains("Actor"));
+        assert!(q2.to_string().contains("Person"));
+
+        // Person entity keys line up across the two different name encodings:
+        // with no injected errors or dropped links, the first year that has a
+        // short movie must yield matching actor tuples on both sides.
+        let clean = generate_views(&ImdbConfig {
+            num_movies: 200,
+            num_persons: 250,
+            error_rate: 0.0,
+            view1_drop_rate: 0.0,
+            ..Default::default()
+        });
+        let mut found = false;
+        for year in 1970..2004 {
+            let case = clean.case(ImdbTemplate::ActorsInShortMovies, &TemplateParam::Year(year));
+            if !case.prepared.left_canonical.is_empty() {
+                assert!(
+                    !case.gold.evidence.is_empty(),
+                    "clean views must have aligned person keys for year {year}"
+                );
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no year with short movies in the generated corpus");
+    }
+
+    #[test]
+    fn anti_join_template_runs() {
+        let views = small_views();
+        let case =
+            views.case(ImdbTemplate::ActressesNotInGenre, &TemplateParam::Genre("comedy".into()));
+        // Non-aggregate query: provenance impacts are all 1.
+        assert!(case
+            .prepared
+            .left_output
+            .provenance
+            .tuples
+            .iter()
+            .all(|t| t.impact == 1.0));
+        assert!(!case.prepared.right_canonical.is_empty());
+    }
+
+    #[test]
+    fn default_params_cycle_through_years_and_genres() {
+        let views = small_views();
+        let p0 = views.default_param(ImdbTemplate::CountComedies, 0);
+        let p1 = views.default_param(ImdbTemplate::CountComedies, 1);
+        assert_ne!(p0, p1);
+        let g = views.default_param(ImdbTemplate::ActressesNotInGenre, 3);
+        assert!(matches!(g, TemplateParam::Genre(_)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_views(&ImdbConfig::default());
+        let b = generate_views(&ImdbConfig::default());
+        assert_eq!(a.view1.get("Movie").unwrap().len(), b.view1.get("Movie").unwrap().len());
+        assert_eq!(
+            a.view2.get("MovieInfo").unwrap().len(),
+            b.view2.get("MovieInfo").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn scaling_helper_grows_the_corpus() {
+        let small = ImdbConfig::default().with_movies(100);
+        let large = ImdbConfig::default().with_movies(400);
+        assert!(large.num_movies > small.num_movies);
+        assert!(large.num_persons > small.num_persons);
+    }
+}

@@ -1,0 +1,33 @@
+//! # explain3d-datagen
+//!
+//! Workload generators for the Explain3D reproduction (VLDB 2019). The
+//! paper's evaluation uses two real-world dataset pairs (university catalogs
+//! vs. NCES, and two views over IMDb) plus a parametric synthetic generator.
+//! The raw real-world datasets are not redistributable, so this crate ships
+//! simulators that reproduce their *structure* and the phenomena Explain3D
+//! must detect, together with exact gold standards:
+//!
+//! * [`synthetic`] — the Section 5.3 generator (`Table(id, match_attr, val)`,
+//!   parameters `n`, `d`, `v`);
+//! * [`academic`] — campus catalog vs. NCES-style statistics (UMass and OSU
+//!   sized configurations);
+//! * [`imdb`] — two differently-shaped views over a generated film corpus
+//!   with lossy migration, ~5% injected errors, and the ten query templates;
+//! * [`gold`] / [`scenario`] — gold-standard construction and the common
+//!   [`scenario::GeneratedCase`] bundle (data + queries + Stage-1 output +
+//!   calibrated initial mapping + gold explanations).
+
+#![warn(missing_docs)]
+
+pub mod academic;
+pub mod gold;
+pub mod imdb;
+pub mod scenario;
+pub mod synthetic;
+pub mod vocab;
+
+pub use academic::{AcademicConfig, generate as generate_academic};
+pub use gold::{gold_from_truth, pairs_from_entity_keys};
+pub use imdb::{generate_views, ImdbConfig, ImdbTemplate, ImdbViews, TemplateParam};
+pub use scenario::{assemble_case, CaseStatistics, GeneratedCase};
+pub use synthetic::{generate as generate_synthetic, generate_raw as generate_synthetic_raw, SyntheticConfig};

@@ -1,0 +1,182 @@
+//! Common scenario types shared by all generators.
+
+use crate::gold::{gold_from_truth, pairs_from_entity_keys};
+use explain3d_core::prelude::{
+    build_initial_mapping, prepare, AttributeMatches, ExplanationSet, MappingOptions,
+    PreparedComparison, QueryCase,
+};
+use explain3d_linkage::TupleMapping;
+use explain3d_relation::prelude::RelationError;
+use std::collections::HashSet;
+
+/// A fully generated comparison case: datasets, queries, attribute matches,
+/// Stage-1 outputs, the initial tuple mapping, and the gold standard.
+#[derive(Debug, Clone)]
+pub struct GeneratedCase {
+    /// Human-readable name (e.g. `"synthetic n=1000 d=0.2 v=1000"`).
+    pub name: String,
+    /// Left database + query.
+    pub left: QueryCase,
+    /// Right database + query.
+    pub right: QueryCase,
+    /// The attribute matches `M_attr`.
+    pub attribute_matches: AttributeMatches,
+    /// Stage-1 output: provenance and canonical relations.
+    pub prepared: PreparedComparison,
+    /// The initial probabilistic tuple mapping `M_tuple`.
+    pub initial_mapping: TupleMapping,
+    /// The gold standard: true explanations and true evidence mapping.
+    pub gold: ExplanationSet,
+}
+
+impl GeneratedCase {
+    /// Dataset statistics in the style of Figure 4 of the paper.
+    pub fn statistics(&self) -> CaseStatistics {
+        CaseStatistics {
+            name: self.name.clone(),
+            left_rows: self.left.database.total_rows(),
+            right_rows: self.right.database.total_rows(),
+            left_provenance: self.prepared.left_output.provenance.len(),
+            right_provenance: self.prepared.right_output.provenance.len(),
+            left_canonical: self.prepared.left_canonical.len(),
+            right_canonical: self.prepared.right_canonical.len(),
+            initial_matches: self.initial_mapping.len(),
+            gold_evidence: self.gold.evidence.len(),
+            gold_explanations: self.gold.len(),
+        }
+    }
+}
+
+/// Figure-4-style statistics of one generated case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseStatistics {
+    /// Case name.
+    pub name: String,
+    /// Total rows in the left database (`N`).
+    pub left_rows: usize,
+    /// Total rows in the right database (`N`).
+    pub right_rows: usize,
+    /// Left provenance size `|P1|`.
+    pub left_provenance: usize,
+    /// Right provenance size `|P2|`.
+    pub right_provenance: usize,
+    /// Left canonical size `|T1|`.
+    pub left_canonical: usize,
+    /// Right canonical size `|T2|`.
+    pub right_canonical: usize,
+    /// Initial mapping size `|M_tuple|`.
+    pub initial_matches: usize,
+    /// Gold evidence size `|M*_tuple|`.
+    pub gold_evidence: usize,
+    /// Gold explanation count `|E|`.
+    pub gold_explanations: usize,
+}
+
+/// Assembles a [`GeneratedCase`] from its raw parts: runs Stage 1, computes
+/// the true correspondence from per-canonical-tuple entity keys, builds the
+/// gold standard, and generates the calibrated initial mapping.
+///
+/// `entity_key` maps a canonical tuple's key values to an entity identifier
+/// string; tuples of the two relations with equal identifiers correspond.
+pub fn assemble_case(
+    name: impl Into<String>,
+    left: QueryCase,
+    right: QueryCase,
+    attribute_matches: AttributeMatches,
+    mapping_options: &MappingOptions,
+    left_entity_key: impl Fn(&explain3d_core::prelude::CanonicalTuple) -> String,
+    right_entity_key: impl Fn(&explain3d_core::prelude::CanonicalTuple) -> String,
+) -> Result<GeneratedCase, RelationError> {
+    let prepared = prepare(&left, &right, &attribute_matches)?;
+    let left_keys: Vec<String> =
+        prepared.left_canonical.tuples.iter().map(&left_entity_key).collect();
+    let right_keys: Vec<String> =
+        prepared.right_canonical.tuples.iter().map(&right_entity_key).collect();
+    let true_pairs = pairs_from_entity_keys(&left_keys, &right_keys);
+    let gold = gold_from_truth(&prepared.left_canonical, &prepared.right_canonical, &true_pairs);
+
+    let gold_pairs: HashSet<(usize, usize)> =
+        gold.evidence.matches().iter().map(|m| (m.left, m.right)).collect();
+    let initial_mapping = build_initial_mapping(
+        &prepared.left_canonical,
+        &prepared.right_canonical,
+        &attribute_matches,
+        mapping_options,
+        Some(&gold_pairs),
+    );
+
+    Ok(GeneratedCase {
+        name: name.into(),
+        left,
+        right,
+        attribute_matches,
+        prepared,
+        initial_mapping,
+        gold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_core::prelude::QueryCase;
+    use explain3d_relation::prelude::*;
+    use explain3d_relation::row;
+
+    fn tiny_case() -> (QueryCase, QueryCase, AttributeMatches) {
+        let mut db1 = Database::new();
+        db1.add(
+            Relation::with_rows(
+                "L",
+                Schema::from_pairs(&[("name", ValueType::Str), ("v", ValueType::Int)]),
+                vec![row!["alpha", 1], row!["beta", 2], row!["gamma", 3]],
+            )
+            .unwrap(),
+        );
+        let mut db2 = Database::new();
+        db2.add(
+            Relation::with_rows(
+                "R",
+                Schema::from_pairs(&[("name", ValueType::Str), ("v", ValueType::Int)]),
+                vec![row!["alpha", 1], row!["beta", 5]],
+            )
+            .unwrap(),
+        );
+        let q1 = Query::scan("L").named("Q1").sum("v");
+        let q2 = Query::scan("R").named("Q2").sum("v");
+        (
+            QueryCase::new(db1, q1),
+            QueryCase::new(db2, q2),
+            AttributeMatches::single_equivalent("name", "name"),
+        )
+    }
+
+    #[test]
+    fn assemble_builds_gold_and_mapping() {
+        let (l, r, m) = tiny_case();
+        let case = assemble_case(
+            "tiny",
+            l,
+            r,
+            m,
+            &MappingOptions::default(),
+            |t| t.key_text().to_ascii_lowercase(),
+            |t| t.key_text().to_ascii_lowercase(),
+        )
+        .unwrap();
+        assert_eq!(case.prepared.left_canonical.len(), 3);
+        assert_eq!(case.prepared.right_canonical.len(), 2);
+        // Gold: gamma missing on the right, beta impact mismatch.
+        assert_eq!(case.gold.evidence.len(), 2);
+        assert_eq!(case.gold.provenance.len(), 1);
+        assert_eq!(case.gold.value.len(), 1);
+        assert!(!case.initial_mapping.is_empty());
+
+        let stats = case.statistics();
+        assert_eq!(stats.left_rows, 3);
+        assert_eq!(stats.right_rows, 2);
+        assert_eq!(stats.left_canonical, 3);
+        assert_eq!(stats.gold_explanations, 2);
+        assert_eq!(stats.name, "tiny");
+    }
+}

@@ -1,0 +1,217 @@
+//! The synthetic data generator of Section 5.3.
+//!
+//! Both datasets share the schema `Table(id, match_attr, val)` and the query
+//! `SELECT SUM(val) FROM Table`. Generation follows the paper's three steps:
+//!
+//! 1. create `n` tuples with random attribute values and add them to both
+//!    datasets (`match_attr` is a phrase of 5 random words from a vocabulary
+//!    of `v` words, `val` is an integer in `[1, 10]`);
+//! 2. randomly drop a fraction `d` of the tuples (from the second dataset);
+//! 3. randomly corrupt the `val` attribute of a fraction `d` of the tuples
+//!    (in the second dataset).
+
+use crate::scenario::{assemble_case, GeneratedCase};
+use crate::vocab::synthetic_phrase;
+use explain3d_core::prelude::{AttributeMatches, MappingOptions, QueryCase};
+use explain3d_relation::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic generator (the paper's `n`, `d`, `v`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of tuples `n`.
+    pub num_tuples: usize,
+    /// Difference ratio `d ∈ [0, 1)`: fraction dropped and fraction corrupted.
+    pub difference_ratio: f64,
+    /// Vocabulary size `v` for the `match_attr` phrases.
+    pub vocabulary_size: usize,
+    /// Number of words per phrase (the paper uses 5).
+    pub words_per_phrase: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            num_tuples: 1000,
+            difference_ratio: 0.2,
+            vocabulary_size: 1000,
+            words_per_phrase: 5,
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Creates a configuration with the paper's main knobs.
+    pub fn new(num_tuples: usize, difference_ratio: f64, vocabulary_size: usize) -> Self {
+        SyntheticConfig {
+            num_tuples,
+            difference_ratio,
+            vocabulary_size,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A descriptive name for the configuration.
+    pub fn name(&self) -> String {
+        format!(
+            "synthetic n={} d={} v={}",
+            self.num_tuples, self.difference_ratio, self.vocabulary_size
+        )
+    }
+}
+
+fn table_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("id", ValueType::Int),
+        ("match_attr", ValueType::Str),
+        ("val", ValueType::Int),
+    ])
+}
+
+/// Generates only the two databases and queries (no Stage-1 execution); used
+/// when the caller wants to time the full pipeline itself.
+pub fn generate_raw(config: &SyntheticConfig) -> (QueryCase, QueryCase, AttributeMatches) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_tuples;
+
+    // Step 1: n shared tuples.
+    let mut base: Vec<(i64, String, i64)> = Vec::with_capacity(n);
+    for i in 0..n {
+        let phrase = synthetic_phrase(&mut rng, config.vocabulary_size, config.words_per_phrase);
+        let val = rng.gen_range(1..=10i64);
+        base.push((i as i64, phrase, val));
+    }
+
+    let mut left_rel = Relation::new("Table", table_schema());
+    for (id, phrase, val) in &base {
+        left_rel
+            .insert(Row::new(vec![Value::Int(*id), Value::str(phrase.clone()), Value::Int(*val)]))
+            .expect("arity");
+    }
+
+    // Steps 2-3: drop and corrupt in the second dataset.
+    let mut right_rel = Relation::new("Table", table_schema());
+    for (id, phrase, val) in &base {
+        if rng.gen_bool(config.difference_ratio) {
+            continue; // dropped
+        }
+        let mut v = *val;
+        if rng.gen_bool(config.difference_ratio) {
+            // Corrupt to a different value in [1, 10].
+            let mut corrupted = rng.gen_range(1..=10i64);
+            if corrupted == v {
+                corrupted = (corrupted % 10) + 1;
+            }
+            v = corrupted;
+        }
+        right_rel
+            .insert(Row::new(vec![Value::Int(*id), Value::str(phrase.clone()), Value::Int(v)]))
+            .expect("arity");
+    }
+
+    let mut left_db = Database::new();
+    left_db.add(left_rel);
+    let mut right_db = Database::new();
+    right_db.add(right_rel);
+
+    let q1 = Query::scan("Table").named("Q1").sum("val");
+    let q2 = Query::scan("Table").named("Q2").sum("val");
+    let matches = AttributeMatches::single_equivalent("match_attr", "match_attr");
+
+    (QueryCase::new(left_db, q1), QueryCase::new(right_db, q2), matches)
+}
+
+/// Generates a complete synthetic case: data, queries, Stage-1 output,
+/// calibrated initial mapping, and gold standard.
+pub fn generate(config: &SyntheticConfig) -> GeneratedCase {
+    let (left, right, matches) = generate_raw(config);
+    assemble_case(
+        config.name(),
+        left,
+        right,
+        matches,
+        &MappingOptions::default(),
+        |t| t.key_text().to_ascii_lowercase(),
+        |t| t.key_text().to_ascii_lowercase(),
+    )
+    .expect("synthetic case assembly cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_core::prelude::Side;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::new(50, 0.2, 100);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.left.database.total_rows(), b.left.database.total_rows());
+        assert_eq!(a.right.database.total_rows(), b.right.database.total_rows());
+        assert_eq!(a.gold.len(), b.gold.len());
+        assert_eq!(a.initial_mapping.len(), b.initial_mapping.len());
+    }
+
+    #[test]
+    fn sizes_follow_the_configuration() {
+        let cfg = SyntheticConfig::new(200, 0.25, 500);
+        let case = generate(&cfg);
+        assert_eq!(case.left.database.total_rows(), 200);
+        // Roughly d of the tuples are dropped (binomial, generous bounds).
+        let right_rows = case.right.database.total_rows();
+        assert!(right_rows < 200 && right_rows > 110, "right rows {right_rows}");
+        // The two queries disagree.
+        assert!(case.prepared.disagrees());
+        assert_eq!(case.name, cfg.name());
+    }
+
+    #[test]
+    fn gold_matches_injected_differences() {
+        let cfg = SyntheticConfig::new(100, 0.3, 200).with_seed(7);
+        let case = generate(&cfg);
+        // Dropped tuples appear as left-side provenance explanations.
+        let dropped = case.left.database.total_rows() - case.right.database.total_rows();
+        assert_eq!(case.gold.provenance_tuples(Side::Left).len(), dropped);
+        // There is at least one corrupted value for this seed/ratio.
+        assert!(!case.gold.value.is_empty());
+        // Every gold value explanation refers to a right-side tuple whose
+        // impact really differs from its left counterpart.
+        for v in &case.gold.value {
+            assert_eq!(v.side, Side::Right);
+            assert!((v.new_impact - v.old_impact).abs() > 1e-9);
+        }
+        // Evidence covers exactly the non-dropped tuples.
+        assert_eq!(case.gold.evidence.len(), case.prepared.right_canonical.len());
+    }
+
+    #[test]
+    fn zero_difference_ratio_produces_agreeing_queries() {
+        let cfg = SyntheticConfig::new(60, 0.0, 100);
+        let case = generate(&cfg);
+        assert!(!case.prepared.disagrees());
+        assert!(case.gold.is_empty());
+    }
+
+    #[test]
+    fn smaller_vocabulary_produces_more_initial_matches() {
+        let small_vocab = generate(&SyntheticConfig::new(150, 0.2, 20));
+        let large_vocab = generate(&SyntheticConfig::new(150, 0.2, 5000));
+        assert!(
+            small_vocab.initial_mapping.len() > large_vocab.initial_mapping.len(),
+            "small vocab {} vs large vocab {}",
+            small_vocab.initial_mapping.len(),
+            large_vocab.initial_mapping.len()
+        );
+    }
+}

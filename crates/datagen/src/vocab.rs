@@ -1,0 +1,143 @@
+//! Word lists and deterministic pseudo-random text helpers used by the
+//! generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Subject words used to build academic program names.
+pub const SUBJECT_WORDS: &[&str] = &[
+    "accounting", "anthropology", "architecture", "astronomy", "biochemistry", "biology",
+    "business", "chemistry", "communication", "computer", "dance", "design", "economics",
+    "education", "electrical", "engineering", "english", "environmental", "equine", "finance",
+    "food", "french", "geography", "geology", "german", "history", "horticulture", "informatics",
+    "italian", "japanese", "journalism", "kinesiology", "linguistics", "management", "marketing",
+    "mathematics", "mechanical", "microbiology", "music", "neuroscience", "nursing", "nutrition",
+    "philosophy", "physics", "politics", "psychology", "science", "sociology", "spanish",
+    "statistics", "studies", "systems", "theatre", "turfgrass", "administration", "animal",
+    "resource", "public", "health", "policy", "civil", "industrial", "materials", "aerospace",
+];
+
+/// College names used for the containment (⊑) attribute match.
+pub const COLLEGE_NAMES: &[&str] = &[
+    "College of Natural Sciences",
+    "College of Engineering",
+    "College of Computer Science",
+    "School of Business",
+    "College of Humanities",
+    "College of Social Sciences",
+    "School of Public Health",
+    "College of Education",
+    "School of Nursing",
+    "College of Fine Arts",
+];
+
+/// Words used to build movie titles.
+pub const TITLE_WORDS: &[&str] = &[
+    "midnight", "shadow", "river", "garden", "empire", "silent", "crimson", "winter", "summer",
+    "broken", "golden", "hidden", "last", "first", "lost", "city", "ocean", "mountain", "dream",
+    "storm", "paper", "glass", "iron", "velvet", "electric", "distant", "burning", "frozen",
+    "endless", "secret", "stolen", "forgotten", "wild", "quiet", "savage", "tender", "holy",
+    "northern", "southern", "eastern", "western", "ancient", "modern", "final", "return",
+];
+
+/// First names for generated persons.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "betty", "anthony",
+    "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul", "emily",
+    "andrew", "donna", "joshua", "michelle",
+];
+
+/// Last names for generated persons.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores",
+];
+
+/// Movie genres.
+pub const GENRES: &[&str] = &[
+    "comedy", "drama", "action", "thriller", "romance", "horror", "documentary", "animation",
+    "crime", "adventure",
+];
+
+/// Countries.
+pub const COUNTRIES: &[&str] = &["us", "uk", "france", "germany", "japan", "canada", "italy", "india"];
+
+/// Picks one element of a slice uniformly at random.
+pub fn pick<'a, T: ?Sized>(rng: &mut StdRng, items: &'a [&'a T]) -> &'a T {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// Builds a synthetic phrase of `words` words drawn from a numbered
+/// vocabulary of size `vocab_size` (the paper's synthetic `match_attr`).
+pub fn synthetic_phrase(rng: &mut StdRng, vocab_size: usize, words: usize) -> String {
+    (0..words)
+        .map(|_| format!("w{}", rng.gen_range(0..vocab_size.max(1))))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Builds a program name of 1–3 subject words.
+pub fn program_name(rng: &mut StdRng, index: usize) -> String {
+    let words = 1 + rng.gen_range(0..3usize.min(SUBJECT_WORDS.len()));
+    let mut parts: Vec<String> = (0..words)
+        .map(|_| pick(rng, SUBJECT_WORDS).to_string())
+        .collect();
+    parts.dedup();
+    // Suffix a stable index so program names are unique entities.
+    format!("{} {}", parts.join(" "), index)
+}
+
+/// Builds a movie title of 2–3 title words plus a unique index.
+pub fn movie_title(rng: &mut StdRng, index: usize) -> String {
+    let words = 2 + rng.gen_range(0..2usize);
+    let parts: Vec<String> = (0..words).map(|_| pick(rng, TITLE_WORDS).to_string()).collect();
+    format!("{} {}", parts.join(" "), index)
+}
+
+/// Builds a person name `(first, last)` with a unique index in the last name.
+pub fn person_name(rng: &mut StdRng, index: usize) -> (String, String) {
+    (
+        pick(rng, FIRST_NAMES).to_string(),
+        format!("{} {}", pick(rng, LAST_NAMES), index),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(synthetic_phrase(&mut a, 100, 5), synthetic_phrase(&mut b, 100, 5));
+        assert_eq!(program_name(&mut a, 3), program_name(&mut b, 3));
+        assert_eq!(movie_title(&mut a, 9), movie_title(&mut b, 9));
+        assert_eq!(person_name(&mut a, 1), person_name(&mut b, 1));
+    }
+
+    #[test]
+    fn phrases_have_the_requested_arity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = synthetic_phrase(&mut rng, 50, 5);
+        assert_eq!(p.split_whitespace().count(), 5);
+        assert!(p.split_whitespace().all(|w| w.starts_with('w')));
+        // Degenerate vocabulary still works.
+        let p = synthetic_phrase(&mut rng, 0, 3);
+        assert_eq!(p, "w0 w0 w0");
+    }
+
+    #[test]
+    fn names_embed_unique_indexes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(program_name(&mut rng, 42).ends_with("42"));
+        assert!(movie_title(&mut rng, 7).ends_with('7'));
+        assert!(person_name(&mut rng, 5).1.ends_with('5'));
+    }
+}

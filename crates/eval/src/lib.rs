@@ -1,0 +1,16 @@
+//! # explain3d-eval
+//!
+//! Evaluation metrics for the Explain3D reproduction (Section 5.1.4):
+//! precision, recall and F-measure of derived explanations and evidence
+//! mappings against a gold standard, plus small helpers for assembling the
+//! result tables printed by the benchmark harness.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod table;
+
+pub use metrics::{
+    evidence_accuracy, explanation_accuracy, normalized_value_key, Accuracy, GoldStandard,
+};
+pub use table::ResultTable;

@@ -1,0 +1,271 @@
+//! Precision / recall / F-measure over explanations and evidence mappings.
+
+use explain3d_core::prelude::{ExplanationSet, Side};
+use explain3d_linkage::TupleMapping;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Precision, recall, and F-measure of a derived set against a gold set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Accuracy {
+    /// Fraction of derived items that are correct.
+    pub precision: f64,
+    /// Fraction of gold items that were derived.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f_measure: f64,
+    /// Number of derived items.
+    pub derived: usize,
+    /// Number of gold items.
+    pub gold: usize,
+    /// Number of correctly derived items.
+    pub correct: usize,
+}
+
+impl Accuracy {
+    /// Computes accuracy from counts. Empty derived and gold sets count as
+    /// perfect agreement (precision = recall = 1).
+    pub fn from_counts(correct: usize, derived: usize, gold: usize) -> Self {
+        let precision = if derived == 0 {
+            if gold == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            correct as f64 / derived as f64
+        };
+        let recall = if gold == 0 {
+            1.0
+        } else {
+            correct as f64 / gold as f64
+        };
+        let f_measure = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Accuracy { precision, recall, f_measure, derived, gold, correct }
+    }
+
+    /// Averages a collection of accuracies (used for the IMDb experiments,
+    /// which report means over query instantiations).
+    pub fn mean(items: &[Accuracy]) -> Accuracy {
+        if items.is_empty() {
+            return Accuracy::default();
+        }
+        let n = items.len() as f64;
+        let precision = items.iter().map(|a| a.precision).sum::<f64>() / n;
+        let recall = items.iter().map(|a| a.recall).sum::<f64>() / n;
+        let f_measure = items.iter().map(|a| a.f_measure).sum::<f64>() / n;
+        Accuracy {
+            precision,
+            recall,
+            f_measure,
+            derived: items.iter().map(|a| a.derived).sum(),
+            gold: items.iter().map(|a| a.gold).sum(),
+            correct: items.iter().map(|a| a.correct).sum(),
+        }
+    }
+}
+
+/// The gold standard of one comparison: the true explanations and the true
+/// evidence mapping (both expressed over canonical tuple indexes).
+#[derive(Debug, Clone, Default)]
+pub struct GoldStandard {
+    /// The true explanations (Δ and δ) and evidence.
+    pub explanations: ExplanationSet,
+}
+
+impl GoldStandard {
+    /// Creates a gold standard from an explanation set.
+    pub fn new(explanations: ExplanationSet) -> Self {
+        GoldStandard { explanations }
+    }
+
+    /// The gold evidence pairs.
+    pub fn evidence_pairs(&self) -> BTreeSet<(usize, usize)> {
+        self.explanations
+            .evidence
+            .matches()
+            .iter()
+            .map(|m| (m.left, m.right))
+            .collect()
+    }
+}
+
+/// A normalised identity for explanation items so that a value-based
+/// explanation reported on either endpoint of a gold-matched pair counts as
+/// the same explanation (the MILP may repair whichever side is cheaper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExplanationKey {
+    /// A provenance-based explanation on a specific tuple.
+    Provenance(Side, usize),
+    /// A value-based explanation on a tuple that has no gold counterpart.
+    ValueSingle(Side, usize),
+    /// A value-based explanation on either endpoint of a gold-matched pair.
+    ValuePair(usize, usize),
+}
+
+/// Normalises a value-explanation endpoint into an [`ExplanationKey`], using
+/// the gold evidence to identify pairs.
+pub fn normalized_value_key(
+    side: Side,
+    tuple: usize,
+    gold_pairs: &BTreeSet<(usize, usize)>,
+) -> ExplanationKey {
+    match side {
+        Side::Left => gold_pairs
+            .iter()
+            .find(|&&(l, _)| l == tuple)
+            .map(|&(l, r)| ExplanationKey::ValuePair(l, r))
+            .unwrap_or(ExplanationKey::ValueSingle(Side::Left, tuple)),
+        Side::Right => gold_pairs
+            .iter()
+            .find(|&&(_, r)| r == tuple)
+            .map(|&(l, r)| ExplanationKey::ValuePair(l, r))
+            .unwrap_or(ExplanationKey::ValueSingle(Side::Right, tuple)),
+    }
+}
+
+fn explanation_keys(
+    explanations: &ExplanationSet,
+    gold_pairs: &BTreeSet<(usize, usize)>,
+) -> BTreeSet<ExplanationKey> {
+    let mut keys = BTreeSet::new();
+    for p in &explanations.provenance {
+        keys.insert(ExplanationKey::Provenance(p.side, p.tuple));
+    }
+    for v in &explanations.value {
+        keys.insert(normalized_value_key(v.side, v.tuple, gold_pairs));
+    }
+    keys
+}
+
+/// Explanation accuracy: precision/recall/F-measure of the derived Δ ∪ δ
+/// against the gold Δ ∪ δ (value explanations normalised across gold pairs).
+pub fn explanation_accuracy(derived: &ExplanationSet, gold: &GoldStandard) -> Accuracy {
+    let gold_pairs = gold.evidence_pairs();
+    let derived_keys = explanation_keys(derived, &gold_pairs);
+    let gold_keys = explanation_keys(&gold.explanations, &gold_pairs);
+    let correct = derived_keys.intersection(&gold_keys).count();
+    Accuracy::from_counts(correct, derived_keys.len(), gold_keys.len())
+}
+
+/// Evidence accuracy: precision/recall/F-measure of the derived evidence
+/// mapping against the gold evidence mapping (as sets of index pairs).
+pub fn evidence_accuracy(derived: &TupleMapping, gold: &GoldStandard) -> Accuracy {
+    let derived_pairs: BTreeSet<(usize, usize)> =
+        derived.matches().iter().map(|m| (m.left, m.right)).collect();
+    let gold_pairs = gold.evidence_pairs();
+    let correct = derived_pairs.intersection(&gold_pairs).count();
+    Accuracy::from_counts(correct, derived_pairs.len(), gold_pairs.len())
+}
+
+/// Per-method accuracy results, keyed by method name (used by the harness).
+pub type MethodResults = BTreeMap<String, Accuracy>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_linkage::TupleMatch;
+
+    fn gold() -> GoldStandard {
+        let mut e = ExplanationSet::new();
+        e.evidence.push(TupleMatch::new(0, 0, 1.0));
+        e.evidence.push(TupleMatch::new(1, 1, 1.0));
+        e.add_provenance(Side::Left, 2);
+        e.add_value(Side::Right, 1, 1.0, 2.0);
+        GoldStandard::new(e)
+    }
+
+    #[test]
+    fn perfect_agreement_scores_one() {
+        let g = gold();
+        let acc = explanation_accuracy(&g.explanations, &g);
+        assert_eq!(acc.precision, 1.0);
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.f_measure, 1.0);
+        let ev = evidence_accuracy(&g.explanations.evidence, &g);
+        assert_eq!(ev.f_measure, 1.0);
+    }
+
+    #[test]
+    fn value_explanation_on_the_other_side_of_a_pair_still_counts() {
+        let g = gold();
+        let mut derived = ExplanationSet::new();
+        derived.add_provenance(Side::Left, 2);
+        // Gold says the right tuple 1 has the wrong value; the solver instead
+        // repaired the matched left tuple 1 — same underlying discrepancy.
+        derived.add_value(Side::Left, 1, 2.0, 1.0);
+        derived.evidence.push(TupleMatch::new(0, 0, 0.9));
+        derived.evidence.push(TupleMatch::new(1, 1, 0.9));
+        let acc = explanation_accuracy(&derived, &g);
+        assert_eq!(acc.precision, 1.0);
+        assert_eq!(acc.recall, 1.0);
+    }
+
+    #[test]
+    fn missing_and_spurious_items_lower_scores() {
+        let g = gold();
+        let mut derived = ExplanationSet::new();
+        derived.add_provenance(Side::Left, 2); // correct
+        derived.add_provenance(Side::Right, 0); // spurious
+        // missing the value explanation entirely
+        let acc = explanation_accuracy(&derived, &g);
+        assert!((acc.precision - 0.5).abs() < 1e-12);
+        assert!((acc.recall - 0.5).abs() < 1e-12);
+        assert!(acc.f_measure > 0.0 && acc.f_measure < 1.0);
+        assert_eq!(acc.derived, 2);
+        assert_eq!(acc.gold, 2);
+        assert_eq!(acc.correct, 1);
+    }
+
+    #[test]
+    fn evidence_accuracy_counts_pairs() {
+        let g = gold();
+        let derived: TupleMapping = vec![
+            TupleMatch::new(0, 0, 0.9), // correct
+            TupleMatch::new(1, 0, 0.8), // wrong
+        ]
+        .into_iter()
+        .collect();
+        let acc = evidence_accuracy(&derived, &g);
+        assert!((acc.precision - 0.5).abs() < 1e-12);
+        assert!((acc.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_are_handled() {
+        let empty_gold = GoldStandard::default();
+        let empty = ExplanationSet::new();
+        let acc = explanation_accuracy(&empty, &empty_gold);
+        assert_eq!(acc.precision, 1.0);
+        assert_eq!(acc.recall, 1.0);
+
+        // Nothing derived but gold non-empty: recall 0, precision 0.
+        let g = gold();
+        let acc = explanation_accuracy(&empty, &g);
+        assert_eq!(acc.recall, 0.0);
+        assert_eq!(acc.precision, 0.0);
+        assert_eq!(acc.f_measure, 0.0);
+
+        // Something derived but gold empty: precision 0, recall 1.
+        let mut derived = ExplanationSet::new();
+        derived.add_provenance(Side::Left, 0);
+        let acc = explanation_accuracy(&derived, &empty_gold);
+        assert_eq!(acc.precision, 0.0);
+        assert_eq!(acc.recall, 1.0);
+    }
+
+    #[test]
+    fn mean_aggregates_accuracies() {
+        let a = Accuracy::from_counts(1, 1, 2); // p=1, r=0.5
+        let b = Accuracy::from_counts(1, 2, 1); // p=0.5, r=1
+        let m = Accuracy::mean(&[a, b]);
+        assert!((m.precision - 0.75).abs() < 1e-12);
+        assert!((m.recall - 0.75).abs() < 1e-12);
+        assert_eq!(m.derived, 3);
+        assert_eq!(m.gold, 3);
+        assert_eq!(Accuracy::mean(&[]), Accuracy::default());
+    }
+}

@@ -1,0 +1,161 @@
+//! Similarity-to-probability calibration (Section 5.1.2 of the paper).
+//!
+//! The paper converts raw similarity scores into match probabilities with a
+//! two-step bucketing method: (1) divide candidate matches into `k`
+//! contiguous buckets over the similarity range, and (2) set each bucket's
+//! probability to the fraction of *true* matches among a labelled sample of
+//! the bucket's candidates. True labels come from a labelled subset or from
+//! a gold standard.
+
+/// Calibrates similarity scores into probabilities using equal-width buckets.
+#[derive(Debug, Clone)]
+pub struct BucketCalibrator {
+    /// Number of contiguous buckets over `[0, 1]` (the paper uses 50).
+    buckets: usize,
+    /// Learned probability per bucket.
+    probs: Vec<f64>,
+    /// Number of labelled samples that landed in each bucket.
+    support: Vec<usize>,
+}
+
+impl BucketCalibrator {
+    /// The default number of buckets used in the paper's experiments.
+    pub const DEFAULT_BUCKETS: usize = 50;
+
+    /// Creates an uncalibrated calibrator with `buckets` equal-width buckets.
+    /// Before [`fit`](Self::fit) is called, each bucket's probability falls
+    /// back to the bucket's mid-point similarity (identity calibration).
+    pub fn new(buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        let probs = (0..buckets).map(|i| (i as f64 + 0.5) / buckets as f64).collect();
+        BucketCalibrator { buckets, probs, support: vec![0; buckets] }
+    }
+
+    /// Creates a calibrator with the paper's default of 50 buckets.
+    pub fn with_default_buckets() -> Self {
+        Self::new(Self::DEFAULT_BUCKETS)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Index of the bucket a similarity value falls into.
+    fn bucket_of(&self, similarity: f64) -> usize {
+        let s = similarity.clamp(0.0, 1.0);
+        ((s * self.buckets as f64) as usize).min(self.buckets - 1)
+    }
+
+    /// Fits bucket probabilities from labelled `(similarity, is_true_match)`
+    /// samples. Buckets with no labelled samples keep their previous
+    /// (identity) probability; buckets where every sample is negative get a
+    /// small floor probability so downstream log-probabilities stay finite.
+    pub fn fit(&mut self, labelled: &[(f64, bool)]) {
+        let mut positives = vec![0usize; self.buckets];
+        let mut totals = vec![0usize; self.buckets];
+        for &(sim, label) in labelled {
+            let b = self.bucket_of(sim);
+            totals[b] += 1;
+            if label {
+                positives[b] += 1;
+            }
+        }
+        for b in 0..self.buckets {
+            self.support[b] = totals[b];
+            if totals[b] > 0 {
+                // Laplace-style smoothing keeps probabilities in (0, 1) so
+                // that log(p) and log(1-p) are both finite.
+                let p = (positives[b] as f64 + 0.5) / (totals[b] as f64 + 1.0);
+                self.probs[b] = p.clamp(0.01, 0.99);
+            }
+        }
+    }
+
+    /// Converts a similarity value into a calibrated probability.
+    pub fn probability(&self, similarity: f64) -> f64 {
+        self.probs[self.bucket_of(similarity)]
+    }
+
+    /// Number of labelled samples observed in the bucket containing
+    /// `similarity` during [`fit`](Self::fit).
+    pub fn support_at(&self, similarity: f64) -> usize {
+        self.support[self.bucket_of(similarity)]
+    }
+
+    /// The learned per-bucket probabilities (low-similarity bucket first).
+    pub fn bucket_probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+impl Default for BucketCalibrator {
+    fn default() -> Self {
+        Self::with_default_buckets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_calibration_before_fit() {
+        let c = BucketCalibrator::new(10);
+        // Mid-point of the bucket containing 0.95 is 0.95.
+        assert!((c.probability(0.95) - 0.95).abs() < 1e-12);
+        assert!((c.probability(0.0) - 0.05).abs() < 1e-12);
+        assert_eq!(c.buckets(), 10);
+        // Degenerate bucket counts are clamped to at least one bucket.
+        assert_eq!(BucketCalibrator::new(0).buckets(), 1);
+    }
+
+    #[test]
+    fn fit_learns_bucket_ratios() {
+        let mut c = BucketCalibrator::new(10);
+        // High-similarity pairs are mostly true matches, low mostly false.
+        let mut labelled = Vec::new();
+        for _ in 0..90 {
+            labelled.push((0.95, true));
+        }
+        for _ in 0..10 {
+            labelled.push((0.95, false));
+        }
+        for _ in 0..5 {
+            labelled.push((0.15, true));
+        }
+        for _ in 0..95 {
+            labelled.push((0.15, false));
+        }
+        c.fit(&labelled);
+        assert!(c.probability(0.97) > 0.85);
+        assert!(c.probability(0.12) < 0.1);
+        assert_eq!(c.support_at(0.95), 100);
+        assert_eq!(c.support_at(0.5), 0);
+        // Unlabelled buckets keep the identity fallback.
+        assert!((c.probability(0.55) - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_stay_strictly_inside_unit_interval() {
+        let mut c = BucketCalibrator::new(5);
+        let labelled: Vec<(f64, bool)> = (0..50).map(|_| (0.9, true)).collect();
+        c.fit(&labelled);
+        let p = c.probability(0.9);
+        assert!(p > 0.0 && p < 1.0);
+
+        let mut c2 = BucketCalibrator::new(5);
+        let all_false: Vec<(f64, bool)> = (0..50).map(|_| (0.9, false)).collect();
+        c2.fit(&all_false);
+        let p2 = c2.probability(0.9);
+        assert!(p2 > 0.0 && p2 < 1.0);
+        assert!(p2 < 0.1);
+    }
+
+    #[test]
+    fn out_of_range_similarities_are_clamped() {
+        let c = BucketCalibrator::new(10);
+        assert_eq!(c.probability(1.5), c.probability(1.0));
+        assert_eq!(c.probability(-0.5), c.probability(0.0));
+    }
+}

@@ -1,0 +1,358 @@
+//! Initial tuple-mapping generation.
+//!
+//! Explain3D treats record-linkage as a black-box component that produces an
+//! *initial*, probabilistic tuple mapping `M_tuple` between the two canonical
+//! relations (Section 5.1.2). This module implements that component:
+//! pairwise similarity computation (with optional token blocking to avoid a
+//! quadratic blow-up on large inputs), followed by similarity-to-probability
+//! calibration.
+
+use crate::calibrate::BucketCalibrator;
+use crate::matches::{TupleMatch, TupleMapping};
+use crate::similarity::{tuple_similarity, StringMetric};
+use crate::tokenize::token_set;
+use explain3d_relation::prelude::{Row, Schema, Value};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Configuration for initial-mapping generation.
+#[derive(Debug, Clone)]
+pub struct MappingConfig {
+    /// Pairs of matching attributes `(left column, right column)` derived
+    /// from the attribute matches `M_attr`.
+    pub attr_pairs: Vec<(String, String)>,
+    /// String similarity metric.
+    pub metric: StringMetric,
+    /// Candidate pairs with similarity strictly below this value are dropped
+    /// from the initial mapping (the paper keeps only plausible candidates).
+    pub min_similarity: f64,
+    /// Use token blocking on the first matching attribute: only pairs that
+    /// share at least one token (or the exact numeric value) are compared.
+    pub use_blocking: bool,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig {
+            attr_pairs: Vec::new(),
+            metric: StringMetric::Jaccard,
+            min_similarity: 0.05,
+            use_blocking: true,
+        }
+    }
+}
+
+impl MappingConfig {
+    /// Creates a config over the given matching attribute pairs.
+    pub fn new(attr_pairs: Vec<(String, String)>) -> Self {
+        MappingConfig { attr_pairs, ..Default::default() }
+    }
+
+    /// Disables blocking (compares every pair of tuples).
+    pub fn without_blocking(mut self) -> Self {
+        self.use_blocking = false;
+        self
+    }
+
+    /// Sets the minimum similarity for a candidate to be retained.
+    pub fn with_min_similarity(mut self, min: f64) -> Self {
+        self.min_similarity = min;
+        self
+    }
+
+    /// Sets the string metric.
+    pub fn with_metric(mut self, metric: StringMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+}
+
+/// A candidate pair with its raw similarity (before calibration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Left tuple index.
+    pub left: usize,
+    /// Right tuple index.
+    pub right: usize,
+    /// Raw similarity in `[0, 1]`.
+    pub similarity: f64,
+}
+
+/// Computes candidate pairs and their raw similarities.
+pub fn candidate_pairs(
+    left_schema: &Schema,
+    left_rows: &[Row],
+    right_schema: &Schema,
+    right_rows: &[Row],
+    config: &MappingConfig,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    if config.attr_pairs.is_empty() {
+        return out;
+    }
+
+    let pairs_to_check: Vec<(usize, usize)> = if config.use_blocking {
+        blocked_pairs(left_schema, left_rows, right_schema, right_rows, &config.attr_pairs)
+    } else {
+        let mut all = Vec::with_capacity(left_rows.len() * right_rows.len());
+        for i in 0..left_rows.len() {
+            for j in 0..right_rows.len() {
+                all.push((i, j));
+            }
+        }
+        all
+    };
+
+    for (i, j) in pairs_to_check {
+        let sim = tuple_similarity(
+            left_schema,
+            &left_rows[i],
+            right_schema,
+            &right_rows[j],
+            &config.attr_pairs,
+            config.metric,
+        );
+        if sim >= config.min_similarity {
+            out.push(Candidate { left: i, right: j, similarity: sim });
+        }
+    }
+    out
+}
+
+/// Token blocking: candidate pairs share at least one token (strings) or the
+/// exact value (numbers/booleans) on at least one matching attribute.
+fn blocked_pairs(
+    left_schema: &Schema,
+    left_rows: &[Row],
+    right_schema: &Schema,
+    right_rows: &[Row],
+    attr_pairs: &[(String, String)],
+) -> Vec<(usize, usize)> {
+    let mut pair_set: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+    for (lcol, rcol) in attr_pairs {
+        let (Ok(li), Ok(ri)) = (left_schema.index_of(lcol), right_schema.index_of(rcol)) else {
+            continue;
+        };
+        // Inverted index over the right side's blocking keys.
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (j, row) in right_rows.iter().enumerate() {
+            for key in blocking_keys(row.get(ri).unwrap_or(&Value::Null)) {
+                index.entry(key).or_default().push(j);
+            }
+        }
+        for (i, row) in left_rows.iter().enumerate() {
+            let mut seen: HashSet<usize> = HashSet::new();
+            for key in blocking_keys(row.get(li).unwrap_or(&Value::Null)) {
+                if let Some(js) = index.get(&key) {
+                    for &j in js {
+                        if seen.insert(j) {
+                            pair_set.insert((i, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pair_set.into_iter().collect()
+}
+
+/// Blocking keys of a value: word tokens for strings, canonical text for
+/// numbers and booleans, nothing for NULL.
+fn blocking_keys(value: &Value) -> Vec<String> {
+    match value {
+        Value::Null => Vec::new(),
+        Value::Str(s) => token_set(s).into_iter().collect(),
+        other => vec![other.to_string()],
+    }
+}
+
+/// Labels a deterministic sample of candidates against a gold evidence set,
+/// producing `(similarity, is_true_match)` pairs for calibrator fitting.
+///
+/// `sample_every` keeps one candidate out of every `sample_every` (1 = all).
+pub fn label_candidates(
+    candidates: &[Candidate],
+    gold_pairs: &HashSet<(usize, usize)>,
+    sample_every: usize,
+) -> Vec<(f64, bool)> {
+    let step = sample_every.max(1);
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| idx % step == 0)
+        .map(|(_, c)| (c.similarity, gold_pairs.contains(&(c.left, c.right))))
+        .collect()
+}
+
+/// Generates the initial tuple mapping: candidates → calibrated probabilities.
+pub fn generate_mapping(
+    left_schema: &Schema,
+    left_rows: &[Row],
+    right_schema: &Schema,
+    right_rows: &[Row],
+    config: &MappingConfig,
+    calibrator: &BucketCalibrator,
+) -> TupleMapping {
+    let candidates = candidate_pairs(left_schema, left_rows, right_schema, right_rows, config);
+    candidates
+        .into_iter()
+        .map(|c| TupleMatch::new(c.left, c.right, calibrator.probability(c.similarity)))
+        .collect()
+}
+
+/// Convenience wrapper that also fits the calibrator from a gold standard
+/// before producing the mapping — this mirrors the paper's experimental
+/// setup, where bucket probabilities are estimated from a labelled sample.
+pub fn generate_calibrated_mapping(
+    left_schema: &Schema,
+    left_rows: &[Row],
+    right_schema: &Schema,
+    right_rows: &[Row],
+    config: &MappingConfig,
+    gold_pairs: &HashSet<(usize, usize)>,
+    sample_every: usize,
+) -> (TupleMapping, BucketCalibrator) {
+    let candidates = candidate_pairs(left_schema, left_rows, right_schema, right_rows, config);
+    // Use the paper's 50 buckets when there are enough labelled candidates to
+    // estimate each bucket; otherwise coarsen so per-bucket ratios are not
+    // dominated by sampling noise.
+    let buckets = (candidates.len() / 10)
+        .clamp(5, BucketCalibrator::DEFAULT_BUCKETS);
+    let mut calibrator = BucketCalibrator::new(buckets);
+    let labelled = label_candidates(&candidates, gold_pairs, sample_every);
+    calibrator.fit(&labelled);
+    let mapping = candidates
+        .into_iter()
+        .map(|c| TupleMatch::new(c.left, c.right, calibrator.probability(c.similarity)))
+        .collect();
+    (mapping, calibrator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_relation::prelude::ValueType;
+    use explain3d_relation::row;
+
+    fn left() -> (Schema, Vec<Row>) {
+        (
+            Schema::from_pairs(&[("program", ValueType::Str)]),
+            vec![
+                row!["Accounting"],
+                row!["Computer Science"],
+                row!["Electrical Engineering"],
+                row!["Design"],
+            ],
+        )
+    }
+
+    fn right() -> (Schema, Vec<Row>) {
+        (
+            Schema::from_pairs(&[("major", ValueType::Str)]),
+            vec![
+                row!["Accounting"],
+                row!["Computer Science and Engineering"],
+                row!["Electrical Engineering"],
+            ],
+        )
+    }
+
+    fn config() -> MappingConfig {
+        MappingConfig::new(vec![("program".to_string(), "major".to_string())])
+    }
+
+    #[test]
+    fn candidates_respect_min_similarity() {
+        let (ls, lr) = left();
+        let (rs, rr) = right();
+        let cands = candidate_pairs(&ls, &lr, &rs, &rr, &config());
+        // "Design" shares no token with any right tuple, so it produces no candidate.
+        assert!(cands.iter().all(|c| c.left != 3));
+        // Exact matches have similarity 1.
+        assert!(cands
+            .iter()
+            .any(|c| c.left == 0 && c.right == 0 && (c.similarity - 1.0).abs() < 1e-12));
+        // Partial overlap: Computer Science vs Computer Science and Engineering.
+        assert!(cands.iter().any(|c| c.left == 1 && c.right == 1 && c.similarity > 0.3));
+    }
+
+    #[test]
+    fn blocking_matches_exhaustive_comparison_above_threshold() {
+        let (ls, lr) = left();
+        let (rs, rr) = right();
+        let blocked = candidate_pairs(&ls, &lr, &rs, &rr, &config());
+        let exhaustive = candidate_pairs(&ls, &lr, &rs, &rr, &config().without_blocking());
+        // Every exhaustive candidate above the similarity floor that shares a
+        // token must also be found by blocking.
+        for c in &exhaustive {
+            if c.similarity > 0.0 {
+                assert!(
+                    blocked.iter().any(|b| b.left == c.left && b.right == c.right),
+                    "blocking missed pair ({}, {})",
+                    c.left,
+                    c.right
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_blocking_uses_exact_values() {
+        let ls = Schema::from_pairs(&[("year", ValueType::Int)]);
+        let rs = Schema::from_pairs(&[("year", ValueType::Int)]);
+        let lr = vec![row![1999], row![2000]];
+        let rr = vec![row![1999], row![2001]];
+        let cfg = MappingConfig::new(vec![("year".to_string(), "year".to_string())]);
+        let cands = candidate_pairs(&ls, &lr, &rs, &rr, &cfg);
+        assert_eq!(cands.len(), 1);
+        assert_eq!((cands[0].left, cands[0].right), (0, 0));
+    }
+
+    #[test]
+    fn empty_attr_pairs_produce_no_candidates() {
+        let (ls, lr) = left();
+        let (rs, rr) = right();
+        let cfg = MappingConfig::new(vec![]);
+        assert!(candidate_pairs(&ls, &lr, &rs, &rr, &cfg).is_empty());
+    }
+
+    #[test]
+    fn calibrated_mapping_boosts_true_matches() {
+        let (ls, lr) = left();
+        let (rs, rr) = right();
+        let gold: HashSet<(usize, usize)> = HashSet::from([(0, 0), (1, 1), (2, 2)]);
+        let (mapping, calibrator) =
+            generate_calibrated_mapping(&ls, &lr, &rs, &rr, &config(), &gold, 1);
+        assert!(!mapping.is_empty());
+        // The exact-match bucket should have learned a high probability.
+        assert!(calibrator.probability(1.0) > 0.5);
+        let p00 = mapping.prob(0, 0).unwrap();
+        assert!(p00 > 0.5);
+    }
+
+    #[test]
+    fn generate_mapping_with_identity_calibration() {
+        let (ls, lr) = left();
+        let (rs, rr) = right();
+        let calib = BucketCalibrator::new(10);
+        let mapping = generate_mapping(&ls, &lr, &rs, &rr, &config(), &calib);
+        // Probabilities fall back to bucket mid-points of the raw similarity.
+        let p = mapping.prob(0, 0).unwrap();
+        assert!(p > 0.9);
+    }
+
+    #[test]
+    fn label_candidates_samples_deterministically() {
+        let cands: Vec<Candidate> = (0..10)
+            .map(|i| Candidate { left: i, right: i, similarity: 0.5 })
+            .collect();
+        let gold: HashSet<(usize, usize)> = HashSet::from([(0, 0), (2, 2)]);
+        let all = label_candidates(&cands, &gold, 1);
+        assert_eq!(all.len(), 10);
+        assert_eq!(all.iter().filter(|(_, l)| *l).count(), 2);
+        let sampled = label_candidates(&cands, &gold, 3);
+        assert_eq!(sampled.len(), 4); // indexes 0, 3, 6, 9
+        let zero_step = label_candidates(&cands, &gold, 0);
+        assert_eq!(zero_step.len(), 10);
+    }
+}

@@ -1,0 +1,243 @@
+//! Tuple matches and tuple mappings (Definition 2.4 of the paper).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A single probabilistic tuple match `(t_i, t_j, p)`.
+///
+/// `left` and `right` are indexes into the two (canonical) relations being
+/// compared; `prob` is the probability that the two tuples refer to the same
+/// or associated (containment) entities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TupleMatch {
+    /// Index of the tuple in the left relation (`T1`).
+    pub left: usize,
+    /// Index of the tuple in the right relation (`T2`).
+    pub right: usize,
+    /// Match probability in `(0, 1]`.
+    pub prob: f64,
+}
+
+impl TupleMatch {
+    /// Creates a match, clamping the probability into `(0, 1]`.
+    pub fn new(left: usize, right: usize, prob: f64) -> Self {
+        TupleMatch { left, right, prob: prob.clamp(f64::MIN_POSITIVE, 1.0) }
+    }
+
+    /// The pair `(left, right)` identifying the matched tuples.
+    pub fn pair(&self) -> (usize, usize) {
+        (self.left, self.right)
+    }
+}
+
+impl fmt::Display for TupleMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(t{} ↔ t'{}, p={:.3})", self.left, self.right, self.prob)
+    }
+}
+
+/// A tuple mapping `M_tuple`: a set of probabilistic tuple matches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TupleMapping {
+    matches: Vec<TupleMatch>,
+}
+
+impl TupleMapping {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        TupleMapping::default()
+    }
+
+    /// Creates a mapping from a vector of matches.
+    pub fn from_matches(matches: Vec<TupleMatch>) -> Self {
+        TupleMapping { matches }
+    }
+
+    /// Number of matches (the paper's `|M_tuple|`).
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when the mapping has no matches.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Adds a match.
+    pub fn push(&mut self, m: TupleMatch) {
+        self.matches.push(m);
+    }
+
+    /// The matches, in insertion order.
+    pub fn matches(&self) -> &[TupleMatch] {
+        &self.matches
+    }
+
+    /// Iterates over the matches.
+    pub fn iter(&self) -> impl Iterator<Item = &TupleMatch> {
+        self.matches.iter()
+    }
+
+    /// The probability of the match between `left` and `right`, if present.
+    pub fn prob(&self, left: usize, right: usize) -> Option<f64> {
+        self.matches
+            .iter()
+            .find(|m| m.left == left && m.right == right)
+            .map(|m| m.prob)
+    }
+
+    /// True when the mapping contains the pair `(left, right)`.
+    pub fn contains_pair(&self, left: usize, right: usize) -> bool {
+        self.prob(left, right).is_some()
+    }
+
+    /// All matches touching the given left tuple.
+    pub fn matches_of_left(&self, left: usize) -> Vec<&TupleMatch> {
+        self.matches.iter().filter(|m| m.left == left).collect()
+    }
+
+    /// All matches touching the given right tuple.
+    pub fn matches_of_right(&self, right: usize) -> Vec<&TupleMatch> {
+        self.matches.iter().filter(|m| m.right == right).collect()
+    }
+
+    /// Left tuple indexes that appear in at least one match.
+    pub fn covered_left(&self) -> BTreeSet<usize> {
+        self.matches.iter().map(|m| m.left).collect()
+    }
+
+    /// Right tuple indexes that appear in at least one match.
+    pub fn covered_right(&self) -> BTreeSet<usize> {
+        self.matches.iter().map(|m| m.right).collect()
+    }
+
+    /// Keeps only matches satisfying `keep`; returns how many were dropped.
+    pub fn retain<F: FnMut(&TupleMatch) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.matches.len();
+        self.matches.retain(|m| keep(m));
+        before - self.matches.len()
+    }
+
+    /// Returns a new mapping containing only matches with `prob >= threshold`.
+    pub fn filter_by_threshold(&self, threshold: f64) -> TupleMapping {
+        TupleMapping {
+            matches: self.matches.iter().copied().filter(|m| m.prob >= threshold).collect(),
+        }
+    }
+
+    /// Sorts matches by descending probability (ties broken by indexes for
+    /// determinism).
+    pub fn sorted_by_prob_desc(&self) -> Vec<TupleMatch> {
+        let mut ms = self.matches.clone();
+        ms.sort_by(|a, b| {
+            b.prob
+                .partial_cmp(&a.prob)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.left.cmp(&b.left))
+                .then(a.right.cmp(&b.right))
+        });
+        ms
+    }
+
+    /// Groups matches by left tuple index.
+    pub fn by_left(&self) -> BTreeMap<usize, Vec<TupleMatch>> {
+        let mut map: BTreeMap<usize, Vec<TupleMatch>> = BTreeMap::new();
+        for m in &self.matches {
+            map.entry(m.left).or_default().push(*m);
+        }
+        map
+    }
+
+    /// Groups matches by right tuple index.
+    pub fn by_right(&self) -> BTreeMap<usize, Vec<TupleMatch>> {
+        let mut map: BTreeMap<usize, Vec<TupleMatch>> = BTreeMap::new();
+        for m in &self.matches {
+            map.entry(m.right).or_default().push(*m);
+        }
+        map
+    }
+}
+
+impl FromIterator<TupleMatch> for TupleMapping {
+    fn from_iter<T: IntoIterator<Item = TupleMatch>>(iter: T) -> Self {
+        TupleMapping { matches: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for TupleMapping {
+    type Item = TupleMatch;
+    type IntoIter = std::vec::IntoIter<TupleMatch>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.matches.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> TupleMapping {
+        TupleMapping::from_matches(vec![
+            TupleMatch::new(0, 0, 1.0),
+            TupleMatch::new(1, 1, 0.9),
+            TupleMatch::new(1, 2, 0.4),
+            TupleMatch::new(2, 2, 0.7),
+        ])
+    }
+
+    #[test]
+    fn probability_is_clamped_to_unit_interval() {
+        assert_eq!(TupleMatch::new(0, 0, 2.0).prob, 1.0);
+        assert!(TupleMatch::new(0, 0, 0.0).prob > 0.0);
+        assert_eq!(TupleMatch::new(0, 0, 0.5).prob, 0.5);
+    }
+
+    #[test]
+    fn lookup_and_grouping() {
+        let m = mapping();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.prob(1, 1), Some(0.9));
+        assert_eq!(m.prob(0, 2), None);
+        assert!(m.contains_pair(2, 2));
+        assert_eq!(m.matches_of_left(1).len(), 2);
+        assert_eq!(m.matches_of_right(2).len(), 2);
+        assert_eq!(m.covered_left(), BTreeSet::from([0, 1, 2]));
+        assert_eq!(m.covered_right(), BTreeSet::from([0, 1, 2]));
+        assert_eq!(m.by_left().get(&1).unwrap().len(), 2);
+        assert_eq!(m.by_right().get(&0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn threshold_filtering() {
+        let m = mapping();
+        let hi = m.filter_by_threshold(0.9);
+        assert_eq!(hi.len(), 2);
+        assert!(hi.contains_pair(0, 0));
+        assert!(hi.contains_pair(1, 1));
+    }
+
+    #[test]
+    fn sorted_by_probability_is_deterministic() {
+        let m = mapping();
+        let sorted = m.sorted_by_prob_desc();
+        let probs: Vec<f64> = sorted.iter().map(|x| x.prob).collect();
+        assert_eq!(probs, vec![1.0, 0.9, 0.7, 0.4]);
+    }
+
+    #[test]
+    fn retain_drops_matches() {
+        let mut m = mapping();
+        let dropped = m.retain(|x| x.prob >= 0.5);
+        assert_eq!(dropped, 1);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn iteration_and_collection() {
+        let m = mapping();
+        let collected: TupleMapping = m.iter().copied().collect();
+        assert_eq!(collected.len(), 4);
+        let pairs: Vec<(usize, usize)> = m.into_iter().map(|x| x.pair()).collect();
+        assert_eq!(pairs[0], (0, 0));
+    }
+}

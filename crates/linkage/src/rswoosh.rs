@@ -1,0 +1,291 @@
+//! R-Swoosh entity resolution (Benjelloun et al., VLDB Journal 2009).
+//!
+//! R-Swoosh is the state-of-the-art record-linkage baseline the paper
+//! compares against (Section 5.1.3). It repeatedly picks a record, compares
+//! it against the already-resolved set, and either merges it with a matching
+//! record (re-inserting the merged record into the work list) or adds it to
+//! the resolved set. The output is a set of merged clusters; matches are
+//! deterministic (probability 1.0).
+//!
+//! Our records carry the values of the matching attributes of tuples drawn
+//! from the two datasets being compared. The match predicate is a mean
+//! pairwise similarity threshold over those values, and merge keeps the union
+//! of source ids and values (a standard "union" merge domination model).
+
+use crate::matches::{TupleMatch, TupleMapping};
+use crate::similarity::{value_similarity, StringMetric, jaro, jaro_winkler};
+use explain3d_relation::prelude::Value;
+use std::collections::BTreeSet;
+
+/// Which side of the comparison a source record came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// The first dataset / canonical relation (`T1`).
+    Left,
+    /// The second dataset / canonical relation (`T2`).
+    Right,
+}
+
+/// A record fed into R-Swoosh: one tuple's values on the matching attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwooshRecord {
+    /// Which relation the record came from.
+    pub side: Side,
+    /// The tuple's index within its relation.
+    pub index: usize,
+    /// The tuple's values on the matching attributes.
+    pub values: Vec<Value>,
+}
+
+impl SwooshRecord {
+    /// Creates a record.
+    pub fn new(side: Side, index: usize, values: Vec<Value>) -> Self {
+        SwooshRecord { side, index, values }
+    }
+}
+
+/// A merged cluster of records deemed to refer to the same entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// `(side, index)` identifiers of the merged source records.
+    pub members: BTreeSet<(Side, usize)>,
+    /// Union of all member values (the merge result).
+    pub values: Vec<Value>,
+}
+
+impl Cluster {
+    fn from_record(r: &SwooshRecord) -> Self {
+        Cluster {
+            members: BTreeSet::from([(r.side, r.index)]),
+            values: r.values.clone(),
+        }
+    }
+
+    fn merge(&self, other: &Cluster) -> Cluster {
+        let mut members = self.members.clone();
+        members.extend(other.members.iter().copied());
+        let mut values = self.values.clone();
+        for v in &other.values {
+            if !values.iter().any(|x| x.loose_eq(v)) {
+                values.push(v.clone());
+            }
+        }
+        Cluster { members, values }
+    }
+
+    /// Left-relation tuple indexes in this cluster.
+    pub fn left_members(&self) -> Vec<usize> {
+        self.members
+            .iter()
+            .filter(|(s, _)| *s == Side::Left)
+            .map(|(_, i)| *i)
+            .collect()
+    }
+
+    /// Right-relation tuple indexes in this cluster.
+    pub fn right_members(&self) -> Vec<usize> {
+        self.members
+            .iter()
+            .filter(|(s, _)| *s == Side::Right)
+            .map(|(_, i)| *i)
+            .collect()
+    }
+}
+
+/// R-Swoosh configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RSwooshConfig {
+    /// Similarity threshold above which two clusters match. The paper uses
+    /// Jaccard with a default threshold of 0.75.
+    pub threshold: f64,
+    /// String similarity metric.
+    pub metric: StringMetric,
+}
+
+impl Default for RSwooshConfig {
+    fn default() -> Self {
+        RSwooshConfig { threshold: 0.75, metric: StringMetric::Jaccard }
+    }
+}
+
+/// The R-Swoosh entity-resolution algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct RSwoosh {
+    config: RSwooshConfig,
+}
+
+impl RSwoosh {
+    /// Creates an R-Swoosh instance with the given configuration.
+    pub fn new(config: RSwooshConfig) -> Self {
+        RSwoosh { config }
+    }
+
+    /// Creates an R-Swoosh instance with the paper's defaults
+    /// (Jaccard, threshold 0.75).
+    pub fn with_threshold(threshold: f64) -> Self {
+        RSwoosh { config: RSwooshConfig { threshold, ..Default::default() } }
+    }
+
+    /// Match predicate between two clusters: best pairwise value similarity
+    /// reaches the threshold.
+    fn matches(&self, a: &Cluster, b: &Cluster) -> bool {
+        for va in &a.values {
+            for vb in &b.values {
+                let sim = match (va, vb, self.config.metric) {
+                    (Value::Str(x), Value::Str(y), StringMetric::Jaro) => jaro(x, y),
+                    (Value::Str(x), Value::Str(y), StringMetric::JaroWinkler) => jaro_winkler(x, y),
+                    _ => value_similarity(va, vb),
+                };
+                if sim >= self.config.threshold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Runs R-Swoosh over the input records, returning the merged clusters.
+    pub fn resolve(&self, records: &[SwooshRecord]) -> Vec<Cluster> {
+        // Work list I and resolved set I'.
+        let mut work: Vec<Cluster> = records.iter().map(Cluster::from_record).collect();
+        let mut resolved: Vec<Cluster> = Vec::new();
+
+        while let Some(current) = work.pop() {
+            let mut merged_with: Option<usize> = None;
+            for (i, existing) in resolved.iter().enumerate() {
+                if self.matches(&current, existing) {
+                    merged_with = Some(i);
+                    break;
+                }
+            }
+            match merged_with {
+                Some(i) => {
+                    let existing = resolved.swap_remove(i);
+                    work.push(existing.merge(&current));
+                }
+                None => resolved.push(current),
+            }
+        }
+        resolved
+    }
+
+    /// Runs R-Swoosh over two relations' matching-attribute values and
+    /// converts the clusters into a deterministic cross-dataset tuple
+    /// mapping (all probabilities 1.0), as the paper's RSWOOSH baseline does.
+    pub fn cross_mapping(
+        &self,
+        left_values: &[Vec<Value>],
+        right_values: &[Vec<Value>],
+    ) -> (Vec<Cluster>, TupleMapping) {
+        let mut records = Vec::with_capacity(left_values.len() + right_values.len());
+        for (i, vals) in left_values.iter().enumerate() {
+            records.push(SwooshRecord::new(Side::Left, i, vals.clone()));
+        }
+        for (j, vals) in right_values.iter().enumerate() {
+            records.push(SwooshRecord::new(Side::Right, j, vals.clone()));
+        }
+        let clusters = self.resolve(&records);
+        let mut mapping = TupleMapping::new();
+        for cluster in &clusters {
+            for &l in &cluster.left_members() {
+                for &r in &cluster.right_members() {
+                    mapping.push(TupleMatch::new(l, r, 1.0));
+                }
+            }
+        }
+        (clusters, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Vec<Value> {
+        vec![Value::str(s)]
+    }
+
+    #[test]
+    fn identical_records_merge_into_one_cluster() {
+        let rs = RSwoosh::default();
+        let records = vec![
+            SwooshRecord::new(Side::Left, 0, v("Accounting")),
+            SwooshRecord::new(Side::Right, 0, v("Accounting")),
+            SwooshRecord::new(Side::Left, 1, v("Design")),
+        ];
+        let clusters = rs.resolve(&records);
+        assert_eq!(clusters.len(), 2);
+        let acct = clusters.iter().find(|c| c.members.len() == 2).unwrap();
+        assert_eq!(acct.left_members(), vec![0]);
+        assert_eq!(acct.right_members(), vec![0]);
+    }
+
+    #[test]
+    fn merging_is_transitive_through_merged_values() {
+        // "computer science" matches "computer science dept" which matches
+        // "science dept" only after the first merge unions the values.
+        let rs = RSwoosh::with_threshold(0.6);
+        let records = vec![
+            SwooshRecord::new(Side::Left, 0, v("computer science")),
+            SwooshRecord::new(Side::Left, 1, v("computer science dept")),
+            SwooshRecord::new(Side::Right, 0, v("computer science dept building")),
+        ];
+        let clusters = rs.resolve(&records);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members.len(), 3);
+    }
+
+    #[test]
+    fn below_threshold_records_stay_separate() {
+        let rs = RSwoosh::default();
+        let records = vec![
+            SwooshRecord::new(Side::Left, 0, v("art history")),
+            SwooshRecord::new(Side::Right, 0, v("mechanical engineering")),
+        ];
+        let clusters = rs.resolve(&records);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn cross_mapping_produces_deterministic_pairs() {
+        let rs = RSwoosh::default();
+        let left = vec![v("Accounting"), v("Computer Science"), v("Design")];
+        let right = vec![v("Accounting"), v("Computer Science and Engineering")];
+        let (clusters, mapping) = rs.cross_mapping(&left, &right);
+        assert!(!clusters.is_empty());
+        // Exact duplicate matches with probability 1.
+        assert_eq!(mapping.prob(0, 0), Some(1.0));
+        // Design has no counterpart.
+        assert!(mapping.matches_of_left(2).is_empty());
+        // With the default 0.75 Jaccard threshold, CS vs CSE (2/4 tokens) does not match.
+        assert!(!mapping.contains_pair(1, 1));
+    }
+
+    #[test]
+    fn lower_threshold_recovers_fuzzy_matches() {
+        let rs = RSwoosh::with_threshold(0.4);
+        let left = vec![v("Computer Science")];
+        let right = vec![v("Computer Science and Engineering")];
+        let (_, mapping) = rs.cross_mapping(&left, &right);
+        assert!(mapping.contains_pair(0, 0));
+    }
+
+    #[test]
+    fn numeric_values_participate_in_matching() {
+        let rs = RSwoosh::with_threshold(0.9);
+        let left = vec![vec![Value::Int(1999)]];
+        let right = vec![vec![Value::Int(1999)], vec![Value::Int(1950)]];
+        let (_, mapping) = rs.cross_mapping(&left, &right);
+        assert!(mapping.contains_pair(0, 0));
+        assert!(!mapping.contains_pair(0, 1));
+    }
+
+    #[test]
+    fn jaro_metric_variant_runs() {
+        let rs = RSwoosh::new(RSwooshConfig { threshold: 0.9, metric: StringMetric::JaroWinkler });
+        let left = vec![v("Management")];
+        let right = vec![v("Managemant")]; // typo
+        let (_, mapping) = rs.cross_mapping(&left, &right);
+        assert!(mapping.contains_pair(0, 0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Similarity measures between attribute values and between tuples.
+//!
+//! The paper (Section 5.1.2) combines token-wise Jaccard similarity for
+//! string attributes with normalised Euclidean distance for numeric
+//! attributes, averaging across the matching attributes. Jaro and
+//! Jaro-Winkler are also provided because the paper's RSWOOSH baseline
+//! experimented with Jaro.
+
+use crate::tokenize::token_set;
+use explain3d_relation::prelude::{Row, Schema, Value};
+
+/// Token-wise Jaccard similarity between two strings, in `[0, 1]`.
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let sa = token_set(a);
+    let sb = token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Normalised Euclidean similarity between two numbers:
+/// `1 / (1 + |a - b|^2)`, as used in the paper.
+pub fn numeric_similarity(a: f64, b: f64) -> f64 {
+    1.0 / (1.0 + (a - b).powi(2))
+}
+
+/// Jaro similarity between two strings, in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.to_ascii_lowercase().chars().collect();
+    let b: Vec<char> = b.to_ascii_lowercase().chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    let mut b_matches: Vec<char> = Vec::new();
+
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    for (j, &cb) in b.iter().enumerate() {
+        if b_matched[j] {
+            b_matches.push(cb);
+        }
+    }
+    let m = a_matches.len() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity (Jaro boosted by shared prefix up to 4 chars).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .to_ascii_lowercase()
+        .chars()
+        .zip(b.to_ascii_lowercase().chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Similarity between two [`Value`]s: Jaccard for strings, normalised
+/// Euclidean for numbers, exact match for booleans, 0 for NULL-vs-non-NULL.
+pub fn value_similarity(a: &Value, b: &Value) -> f64 {
+    match (a, b) {
+        (Value::Null, Value::Null) => 1.0,
+        (Value::Null, _) | (_, Value::Null) => 0.0,
+        (Value::Str(x), Value::Str(y)) => jaccard(x, y),
+        (Value::Bool(x), Value::Bool(y)) => {
+            if x == y {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        (x, y) => match (x.as_f64(), y.as_f64()) {
+            (Some(fx), Some(fy)) => numeric_similarity(fx, fy),
+            // Mixed string/number: compare textual forms.
+            _ => jaccard(&x.to_string(), &y.to_string()),
+        },
+    }
+}
+
+/// Which string metric to use for tuple-level similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StringMetric {
+    /// Token-wise Jaccard (the paper's default).
+    #[default]
+    Jaccard,
+    /// Jaro similarity.
+    Jaro,
+    /// Jaro-Winkler similarity.
+    JaroWinkler,
+}
+
+/// Computes the similarity of two tuples over pairs of matching attributes:
+/// the mean of per-attribute similarities, per Section 5.1.2.
+///
+/// `attr_pairs` maps a column of `left_schema` to a column of `right_schema`.
+/// Unknown columns contribute similarity 0 (they cannot support a match).
+pub fn tuple_similarity(
+    left_schema: &Schema,
+    left: &Row,
+    right_schema: &Schema,
+    right: &Row,
+    attr_pairs: &[(String, String)],
+    metric: StringMetric,
+) -> f64 {
+    if attr_pairs.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (lcol, rcol) in attr_pairs {
+        let lv = left_schema
+            .index_of(lcol)
+            .ok()
+            .and_then(|i| left.get(i).cloned())
+            .unwrap_or(Value::Null);
+        let rv = right_schema
+            .index_of(rcol)
+            .ok()
+            .and_then(|i| right.get(i).cloned())
+            .unwrap_or(Value::Null);
+        total += match (&lv, &rv, metric) {
+            (Value::Str(a), Value::Str(b), StringMetric::Jaro) => jaro(a, b),
+            (Value::Str(a), Value::Str(b), StringMetric::JaroWinkler) => jaro_winkler(a, b),
+            _ => value_similarity(&lv, &rv),
+        };
+    }
+    total / attr_pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_relation::row;
+    use explain3d_relation::prelude::ValueType;
+
+    #[test]
+    fn jaccard_basic_properties() {
+        assert_eq!(jaccard("computer science", "computer science"), 1.0);
+        assert_eq!(jaccard("computer science", "science computer"), 1.0);
+        assert!((jaccard("computer science", "computer engineering") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard("art", "biology"), 0.0);
+        assert_eq!(jaccard("", ""), 1.0);
+        assert_eq!(jaccard("x", ""), 0.0);
+    }
+
+    #[test]
+    fn jaccard_symmetry_and_bounds() {
+        let pairs = [
+            ("food business management", "foodservice systems administration"),
+            ("equine management", "management"),
+            ("cs", "cse"),
+        ];
+        for (a, b) in pairs {
+            let s1 = jaccard(a, b);
+            let s2 = jaccard(b, a);
+            assert!((s1 - s2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s1));
+        }
+    }
+
+    #[test]
+    fn numeric_similarity_decreases_with_distance() {
+        assert_eq!(numeric_similarity(2.0, 2.0), 1.0);
+        assert!(numeric_similarity(2.0, 3.0) > numeric_similarity(2.0, 5.0));
+        assert!((numeric_similarity(1.0, 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_and_jaro_winkler() {
+        assert_eq!(jaro("martha", "martha"), 1.0);
+        assert!(jaro("martha", "marhta") > 0.9);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("xyz", "abc"), 0.0);
+        // Winkler boosts shared prefixes.
+        assert!(jaro_winkler("computer", "computation") >= jaro("computer", "computation"));
+        assert!(jaro_winkler("dixon", "dicksonx") > jaro("dixon", "dicksonx"));
+    }
+
+    #[test]
+    fn value_similarity_dispatches_by_type() {
+        assert_eq!(value_similarity(&Value::str("cs"), &Value::str("cs")), 1.0);
+        assert_eq!(value_similarity(&Value::Int(2), &Value::Int(2)), 1.0);
+        assert!(value_similarity(&Value::Int(2), &Value::Int(4)) < 1.0);
+        assert_eq!(value_similarity(&Value::Null, &Value::str("x")), 0.0);
+        assert_eq!(value_similarity(&Value::Null, &Value::Null), 1.0);
+        assert_eq!(value_similarity(&Value::Bool(true), &Value::Bool(true)), 1.0);
+        assert_eq!(value_similarity(&Value::Bool(true), &Value::Bool(false)), 0.0);
+        // Mixed types compare textually.
+        assert_eq!(value_similarity(&Value::Int(1999), &Value::str("1999")), 1.0);
+    }
+
+    #[test]
+    fn tuple_similarity_averages_attribute_pairs() {
+        let ls = Schema::from_pairs(&[("program", ValueType::Str), ("n", ValueType::Int)]);
+        let rs = Schema::from_pairs(&[("major", ValueType::Str), ("m", ValueType::Int)]);
+        let lrow = row!["computer science", 2];
+        let rrow = row!["computer science", 1];
+        let pairs = vec![
+            ("program".to_string(), "major".to_string()),
+            ("n".to_string(), "m".to_string()),
+        ];
+        let s = tuple_similarity(&ls, &lrow, &rs, &rrow, &pairs, StringMetric::Jaccard);
+        assert!((s - (1.0 + 0.5) / 2.0).abs() < 1e-12);
+
+        // Empty attribute pair list means no basis for similarity.
+        assert_eq!(
+            tuple_similarity(&ls, &lrow, &rs, &rrow, &[], StringMetric::Jaccard),
+            0.0
+        );
+        // Unknown columns contribute zero rather than erroring.
+        let bad = vec![("nope".to_string(), "major".to_string())];
+        assert_eq!(
+            tuple_similarity(&ls, &lrow, &rs, &rrow, &bad, StringMetric::Jaccard),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Tokenisation of string attribute values.
+//!
+//! Token-wise Jaccard similarity (Section 5.1.2 of the paper) operates on
+//! word tokens. Tokenisation lower-cases, splits on non-alphanumeric
+//! characters, and drops empty tokens.
+
+use std::collections::BTreeSet;
+
+/// Splits a string into lower-cased word tokens.
+pub fn tokens(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// Splits a string into the *set* of lower-cased word tokens.
+pub fn token_set(text: &str) -> BTreeSet<String> {
+    tokens(text).into_iter().collect()
+}
+
+/// Character n-grams of a string (used by fallback similarity for values
+/// without word boundaries). Strings shorter than `n` yield a single gram.
+pub fn ngrams(text: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = text.to_ascii_lowercase().chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= n {
+        return vec![chars.iter().collect()];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_split_and_lowercase() {
+        assert_eq!(tokens("Computer Science"), vec!["computer", "science"]);
+        assert_eq!(tokens("Equine-Management (B.S.)"), vec!["equine", "management", "b", "s"]);
+        assert!(tokens("  ").is_empty());
+        assert!(tokens("").is_empty());
+    }
+
+    #[test]
+    fn token_set_deduplicates() {
+        let s = token_set("data data Data");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains("data"));
+    }
+
+    #[test]
+    fn ngrams_cover_short_strings() {
+        assert_eq!(ngrams("cs", 3), vec!["cs".to_string()]);
+        assert_eq!(ngrams("abcd", 3), vec!["abc".to_string(), "bcd".to_string()]);
+        assert!(ngrams("", 3).is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! Branch-and-bound MILP solver on top of the simplex LP relaxation.
+
+use crate::expr::VarId;
+use crate::model::{Direction, Model, Solution, SolveStatus};
+use crate::simplex::{solve_lp, LpStatus};
+use std::time::{Duration, Instant};
+
+/// Configuration of the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct MilpConfig {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: usize,
+    /// Optional wall-clock time limit.
+    pub time_limit: Option<Duration>,
+    /// Integrality tolerance: a value within this distance of an integer is
+    /// considered integral.
+    pub int_tolerance: f64,
+    /// Absolute optimality gap: nodes whose LP bound improves the incumbent
+    /// by less than this are pruned.
+    pub gap_tolerance: f64,
+    /// Optional warm-start objective value of a known feasible solution
+    /// (in the model's direction); used only for pruning.
+    pub incumbent_hint: Option<f64>,
+}
+
+impl Default for MilpConfig {
+    fn default() -> Self {
+        MilpConfig {
+            max_nodes: 200_000,
+            time_limit: Some(Duration::from_secs(10)),
+            int_tolerance: 1e-6,
+            gap_tolerance: 1e-7,
+            incumbent_hint: None,
+        }
+    }
+}
+
+impl MilpConfig {
+    /// A configuration with a specific node limit.
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// A configuration with a specific time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Supplies a warm-start bound from a known feasible solution.
+    pub fn with_incumbent_hint(mut self, objective: f64) -> Self {
+        self.incumbent_hint = Some(objective);
+        self
+    }
+}
+
+/// Statistics about a branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Number of nodes explored.
+    pub nodes: usize,
+    /// Number of LP relaxations solved.
+    pub lp_solves: usize,
+    /// Whether a limit (node or time) interrupted the search.
+    pub limit_hit: bool,
+}
+
+/// Solves a MILP, returning the best solution found and search statistics.
+pub fn solve_with_stats(model: &Model, config: &MilpConfig) -> (Solution, SolveStats) {
+    let start = Instant::now();
+    let n = model.num_vars();
+    let sign = match model.direction() {
+        Direction::Maximize => 1.0,
+        Direction::Minimize => -1.0,
+    };
+
+    let int_vars: Vec<VarId> = model.integral_vars();
+    let root_bounds: Vec<(f64, f64)> =
+        model.variables().iter().map(|v| (v.lower, v.upper)).collect();
+
+    let mut stats = SolveStats::default();
+    let mut best: Option<(f64, Vec<f64>)> = None; // (objective in max-sense, values)
+    // The warm-start hint is relaxed by a small epsilon so a solution equal
+    // to the hint is still discovered (and reported) by the search.
+    let mut incumbent_bound = config.incumbent_hint.map(|o| o * sign - 1e-6);
+
+    // Depth-first stack of nodes, each carrying its own bound vector.
+    let mut stack: Vec<Vec<(f64, f64)>> = vec![root_bounds];
+    let mut fully_explored = true;
+
+    while let Some(bounds) = stack.pop() {
+        if stats.nodes >= config.max_nodes {
+            fully_explored = false;
+            stats.limit_hit = true;
+            break;
+        }
+        if let Some(limit) = config.time_limit {
+            if start.elapsed() > limit {
+                fully_explored = false;
+                stats.limit_hit = true;
+                break;
+            }
+        }
+        stats.nodes += 1;
+        stats.lp_solves += 1;
+
+        let lp = solve_lp(model, &bounds);
+        match lp.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // An unbounded relaxation at the root means the MILP itself is
+                // unbounded (or has no useful bound); report it directly.
+                return (
+                    Solution {
+                        status: SolveStatus::Unbounded,
+                        values: vec![0.0; n],
+                        objective: 0.0,
+                    },
+                    stats,
+                );
+            }
+            LpStatus::Optimal => {}
+        }
+        let node_bound = lp.objective * sign;
+        if let Some(inc) = incumbent_bound {
+            if node_bound <= inc + config.gap_tolerance {
+                continue; // cannot improve the incumbent
+            }
+        }
+
+        // Find the most fractional integral variable.
+        let mut branch_var: Option<(VarId, f64)> = None;
+        let mut best_frac = config.int_tolerance;
+        for &v in &int_vars {
+            let x = lp.values[v.index()];
+            let frac = (x - x.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some((v, x));
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral solution: candidate incumbent.
+                let mut values = lp.values.clone();
+                for &v in &int_vars {
+                    values[v.index()] = values[v.index()].round();
+                }
+                let obj = evaluate_objective(model, &values);
+                let obj_max = obj * sign;
+                if best.as_ref().map(|(b, _)| obj_max > *b).unwrap_or(true) {
+                    incumbent_bound = Some(obj_max);
+                    best = Some((obj_max, values));
+                }
+            }
+            Some((v, x)) => {
+                let idx = v.index();
+                let floor = x.floor();
+                let ceil = x.ceil();
+                // Child with x >= ceil.
+                let mut up = bounds.clone();
+                up[idx].0 = up[idx].0.max(ceil);
+                // Child with x <= floor.
+                let mut down = bounds.clone();
+                down[idx].1 = down[idx].1.min(floor);
+                // Explore the side closer to the fractional value first
+                // (pushed last so it is popped first).
+                if x - floor > 0.5 {
+                    if down[idx].0 <= down[idx].1 {
+                        stack.push(down);
+                    }
+                    if up[idx].0 <= up[idx].1 {
+                        stack.push(up);
+                    }
+                } else {
+                    if up[idx].0 <= up[idx].1 {
+                        stack.push(up);
+                    }
+                    if down[idx].0 <= down[idx].1 {
+                        stack.push(down);
+                    }
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((_, values)) => {
+            let objective = evaluate_objective(model, &values);
+            let status = if fully_explored { SolveStatus::Optimal } else { SolveStatus::Feasible };
+            (Solution { status, values, objective }, stats)
+        }
+        None => {
+            let status = if fully_explored {
+                SolveStatus::Infeasible
+            } else {
+                SolveStatus::LimitReached
+            };
+            (Solution { status, values: vec![0.0; n], objective: 0.0 }, stats)
+        }
+    }
+}
+
+/// Solves a MILP with the given configuration.
+pub fn solve(model: &Model, config: &MilpConfig) -> Solution {
+    solve_with_stats(model, config).0
+}
+
+/// Solves a MILP with default configuration.
+pub fn solve_default(model: &Model) -> Solution {
+    solve(model, &MilpConfig::default())
+}
+
+fn evaluate_objective(model: &Model, values: &[f64]) -> f64 {
+    model.objective().evaluate(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Model, Sense};
+
+    fn term(v: VarId, c: f64) -> LinExpr {
+        LinExpr::term(v, c)
+    }
+
+    #[test]
+    fn knapsack_is_solved_to_optimality() {
+        // Items (value, weight): (10,5) (7,4) (4,3) (3,2); capacity 9.
+        // Optimum: items 0 and 1 -> value 17, weight 9.
+        let values = [10.0, 7.0, 4.0, 3.0];
+        let weights = [5.0, 4.0, 3.0, 2.0];
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..4).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for i in 0..4 {
+            cap.add_term(vars[i], weights[i]);
+            obj.add_term(vars[i], values[i]);
+        }
+        m.add_le("capacity", cap, 9.0);
+        m.maximize(obj);
+
+        let sol = solve_default(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 17.0).abs() < 1e-6);
+        assert!(sol.is_set(vars[0]));
+        assert!(sol.is_set(vars[1]));
+        assert!(!sol.is_set(vars[2]));
+        assert!(!sol.is_set(vars[3]));
+        assert!(m.violations(&sol.values, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 3, binary -> LP gives 1.5 but MILP 1.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_le("c", term(x, 2.0) + term(y, 2.0), 3.0);
+        m.maximize(term(x, 1.0) + term(y, 1.0));
+        let sol = solve_default(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn general_integer_variables() {
+        // max 3x + 4y s.t. x + 2y <= 7, 3x + y <= 9, x,y integer >= 0.
+        // Optimum: x=2, y=2 (obj 14) or better? x=2,y=2: c1=6<=7, c2=8<=9 obj=14.
+        // x=1,y=3: c1=7, c2=6, obj=15. x=0,y=3: obj 12. x=1,y=3 is feasible -> 15.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 100.0);
+        let y = m.add_integer("y", 0.0, 100.0);
+        m.add_le("c1", term(x, 1.0) + term(y, 2.0), 7.0);
+        m.add_le("c2", term(x, 3.0) + term(y, 1.0), 9.0);
+        m.maximize(term(x, 3.0) + term(y, 4.0));
+        let sol = solve_default(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 15.0).abs() < 1e-6);
+        assert_eq!(sol.int_value(x), 1);
+        assert_eq!(sol.int_value(y), 3);
+    }
+
+    #[test]
+    fn infeasible_milp_detected() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_ge("impossible", term(x, 1.0), 2.0);
+        m.maximize(term(x, 1.0));
+        let sol = solve_default(&m);
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_milp_detected() {
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, f64::INFINITY);
+        m.maximize(term(x, 1.0));
+        let sol = solve_default(&m);
+        assert_eq!(sol.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn minimisation_milp() {
+        // min 5x + 4y s.t. x + y >= 3, x integer, y integer.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_ge("cover", term(x, 1.0) + term(y, 1.0), 3.0);
+        m.minimize(term(x, 5.0) + term(y, 4.0));
+        let sol = solve_default(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 12.0).abs() < 1e-6);
+        assert_eq!(sol.int_value(y), 3);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // max 2x + 3c s.t. x + c <= 4.5, c <= 2.2, x binary*3 slots.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 3.0);
+        let c = m.add_continuous("c", 0.0, 2.2);
+        m.add_le("cap", term(x, 1.0) + term(c, 1.0), 4.5);
+        m.maximize(term(x, 2.0) + term(c, 3.0));
+        let sol = solve_default(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        // c at its bound 2.2, x at floor(4.5-2.2)=2 -> obj = 4 + 6.6 = 10.6
+        assert!((sol.objective - 10.6).abs() < 1e-6);
+        assert_eq!(sol.int_value(x), 2);
+        assert!((sol.value(c) - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constrained_assignment() {
+        // Pick exactly one of three options, maximise utility.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(
+            "one",
+            term(a, 1.0) + term(b, 1.0) + term(c, 1.0),
+            Sense::Eq,
+            1.0,
+        );
+        m.maximize(term(a, 1.0) + term(b, 5.0) + term(c, 3.0));
+        let sol = solve_default(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(sol.is_set(b));
+        assert!(!sol.is_set(a));
+        assert!(!sol.is_set(c));
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_or_limit() {
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..12).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for (i, &v) in vars.iter().enumerate() {
+            cap.add_term(v, 1.0 + (i % 3) as f64);
+            obj.add_term(v, 1.0 + (i % 5) as f64 * 0.37);
+        }
+        m.add_le("cap", cap, 7.0);
+        m.maximize(obj);
+        let cfg = MilpConfig::default().with_max_nodes(2);
+        let (sol, stats) = solve_with_stats(&m, &cfg);
+        assert!(stats.nodes <= 2);
+        assert!(matches!(sol.status, SolveStatus::Feasible | SolveStatus::LimitReached));
+        // With enough nodes the same model solves to optimality.
+        let full = solve_default(&m);
+        assert_eq!(full.status, SolveStatus::Optimal);
+        assert!(m.violations(&full.values, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn incumbent_hint_prunes_without_losing_optimum() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_le("c", term(x, 1.0) + term(y, 1.0), 1.0);
+        m.maximize(term(x, 2.0) + term(y, 3.0));
+        // Hint below the optimum: search still proves optimality of 3.
+        let cfg = MilpConfig::default().with_incumbent_hint(1.0);
+        let sol = solve(&m, &cfg);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_equal_to_optimum_still_finds_it() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_le("cap", term(x, 1.0), 1.0);
+        m.maximize(term(x, 1.0));
+        let cfg = MilpConfig::default().with_incumbent_hint(1.0);
+        let sol = solve(&m, &cfg);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+        assert!(sol.is_set(x));
+    }
+}

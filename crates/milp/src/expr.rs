@@ -1,0 +1,246 @@
+//! Linear expressions over model variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Identifier of a variable within a [`Model`](crate::model::Model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ c_i · x_i + constant`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// Coefficients keyed by variable (zero coefficients are pruned).
+    terms: BTreeMap<VarId, f64>,
+    /// Constant offset.
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// The expression `coeff · var`.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        let mut e = LinExpr::zero();
+        e.add_term(var, coeff);
+        e
+    }
+
+    /// Adds `coeff · var` to the expression.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        let entry = self.terms.entry(var).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() < 1e-12 {
+            self.terms.remove(&var);
+        }
+        self
+    }
+
+    /// Adds a constant to the expression.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The constant offset.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    pub fn coefficient(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs (non-zero only).
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression for a full assignment of variable values
+    /// (indexed by `VarId::index`).
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values.get(v.index()).copied().unwrap_or(0.0))
+                .sum::<f64>()
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scaled(&self, scalar: f64) -> LinExpr {
+        let mut out = LinExpr::constant(self.constant * scalar);
+        for (v, c) in self.terms() {
+            out.add_term(v, c * scalar);
+        }
+        out
+    }
+
+    /// Adds another expression in place.
+    pub fn add_expr(&mut self, other: &LinExpr) -> &mut Self {
+        self.constant += other.constant;
+        for (v, c) in other.terms() {
+            self.add_term(v, c);
+        }
+        self
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.add_expr(&rhs);
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self.add_expr(&rhs.scaled(-1.0));
+        self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scaled(-1.0)
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        self.scaled(rhs)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.terms() {
+            if first {
+                write!(f, "{c}·{v}")?;
+                first = false;
+            } else if c < 0.0 {
+                write!(f, " - {}·{v}", -c)?;
+            } else {
+                write!(f, " + {c}·{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0.0 {
+            if self.constant < 0.0 {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_and_coefficients() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let mut e = LinExpr::zero();
+        e.add_term(x, 2.0).add_term(y, -1.0).add_constant(3.0);
+        assert_eq!(e.coefficient(x), 2.0);
+        assert_eq!(e.coefficient(y), -1.0);
+        assert_eq!(e.coefficient(VarId(9)), 0.0);
+        assert_eq!(e.constant_part(), 3.0);
+        assert_eq!(e.num_terms(), 2);
+        assert!(!e.is_constant());
+    }
+
+    #[test]
+    fn zero_coefficients_are_pruned() {
+        let x = VarId(0);
+        let mut e = LinExpr::term(x, 2.0);
+        e.add_term(x, -2.0);
+        assert_eq!(e.num_terms(), 0);
+        assert!(e.is_constant());
+    }
+
+    #[test]
+    fn evaluation() {
+        let e = LinExpr::term(VarId(0), 2.0) + LinExpr::term(VarId(2), 0.5) + LinExpr::constant(1.0);
+        let vals = [3.0, 100.0, 4.0];
+        assert_eq!(e.evaluate(&vals), 2.0 * 3.0 + 0.5 * 4.0 + 1.0);
+        // Missing values are treated as zero.
+        assert_eq!(LinExpr::term(VarId(7), 5.0).evaluate(&vals), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let x = LinExpr::term(VarId(0), 1.0);
+        let y = LinExpr::term(VarId(1), 1.0);
+        let e = (x.clone() + y.clone()) * 2.0 - x.clone();
+        assert_eq!(e.coefficient(VarId(0)), 1.0);
+        assert_eq!(e.coefficient(VarId(1)), 2.0);
+        let n = -x;
+        assert_eq!(n.coefficient(VarId(0)), -1.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinExpr::term(VarId(0), 1.0) - LinExpr::term(VarId(1), 2.0) + LinExpr::constant(-3.0);
+        let s = e.to_string();
+        assert!(s.contains("x0"));
+        assert!(s.contains("x1"));
+        assert!(s.contains('-'));
+        assert_eq!(LinExpr::constant(5.0).to_string(), "5");
+    }
+}

@@ -1,0 +1,50 @@
+//! # explain3d-milp
+//!
+//! Mixed-integer linear programming substrate for the Explain3D reproduction
+//! (VLDB 2019). The paper's Stage 2 encodes the optimal-explanation problem
+//! as a MILP and hands it to IBM CPLEX; this crate is the CPLEX substitute:
+//!
+//! * [`expr`] — linear expressions over variables;
+//! * [`model`] — variables (continuous / integer / binary), linear
+//!   constraints, objective, and solution types;
+//! * [`simplex`] — a dense two-phase primal simplex for LP relaxations;
+//! * [`branch_bound`] — best-effort depth-first branch-and-bound with
+//!   most-fractional branching, bound pruning, node/time limits, and
+//!   optional warm-start hints.
+//!
+//! The encodings produced by Explain3D (especially after the
+//! smart-partitioning optimiser splits the problem) are small enough that an
+//! exact textbook solver returns the same optimum as a commercial solver;
+//! only absolute runtimes differ.
+//!
+//! ```
+//! use explain3d_milp::prelude::*;
+//!
+//! let mut m = Model::new();
+//! let x = m.add_binary("x");
+//! let y = m.add_binary("y");
+//! m.add_le("capacity", LinExpr::term(x, 2.0) + LinExpr::term(y, 2.0), 3.0);
+//! m.maximize(LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0));
+//! let sol = solve_default(&m);
+//! assert_eq!(sol.status, SolveStatus::Optimal);
+//! assert_eq!(sol.objective.round() as i64, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod expr;
+pub mod model;
+pub mod simplex;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::branch_bound::{solve, solve_default, solve_with_stats, MilpConfig, SolveStats};
+    pub use crate::expr::{LinExpr, VarId};
+    pub use crate::model::{
+        Constraint, Direction, Model, Sense, Solution, SolveStatus, VarKind, Variable,
+    };
+    pub use crate::simplex::{solve_lp, LpResult, LpStatus};
+}
+
+pub use prelude::*;

@@ -1,0 +1,29 @@
+//! # explain3d-partition
+//!
+//! Graph-partitioning substrate for the Explain3D reproduction (VLDB 2019).
+//! The paper's smart-partitioning optimiser (Section 4) splits the bipartite
+//! mapping graph `G = (T1, T2, M_tuple)` into bounded-size sub-problems by
+//! (1) re-weighting edges so high-probability matches are expensive to cut,
+//! (2) pre-merging tuples connected by high-probability matches
+//! (Algorithm 2), (3) running a standard graph partitioner on the coarse
+//! graph, and (4) projecting the assignment back (Algorithm 3).
+//!
+//! The paper uses METIS/hMETIS as the off-the-shelf partitioner; this crate
+//! ships its own size-bounded partitioner in the same multilevel spirit
+//! (greedy graph growing plus FM boundary refinement).
+
+#![warn(missing_docs)]
+
+pub mod dsu;
+pub mod graph;
+pub mod partitioner;
+pub mod prepartition;
+pub mod smart;
+pub mod weights;
+
+pub use dsu::DisjointSet;
+pub use graph::{Component, GraphEdge, MappingGraph, Node, Partition};
+pub use partitioner::{partition_weighted, PartitionerConfig, WeightedPartition};
+pub use prepartition::{pre_partition, CoarseGraph};
+pub use smart::{smart_partition, SmartPartitionConfig};
+pub use weights::WeightScheme;

@@ -1,0 +1,309 @@
+//! A size-bounded graph partitioner in the multilevel style of METIS:
+//! greedy graph growing for the initial assignment followed by
+//! Fiduccia–Mattheyses-style boundary refinement, both respecting a maximum
+//! part size (the paper's balancing constraint `|T1,i| + |T2,j| ≤ L_max`).
+//!
+//! The partitioner operates on a generic weighted graph (node weights +
+//! weighted undirected edges); the smart-partitioning driver feeds it the
+//! coarse graph produced by [`pre_partition`](crate::prepartition::pre_partition),
+//! which plays the role of the coarsening phase of a multilevel scheme.
+
+/// Configuration of the partitioner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionerConfig {
+    /// Target number of parts `k` (more parts may be opened if the size
+    /// bound makes `k` infeasible).
+    pub k: usize,
+    /// Maximum total node weight per part (`L_max`).
+    pub max_part_weight: usize,
+    /// Number of refinement sweeps.
+    pub refinement_passes: usize,
+}
+
+impl PartitionerConfig {
+    /// Creates a configuration with the given `k` and `L_max` and two
+    /// refinement passes.
+    pub fn new(k: usize, max_part_weight: usize) -> Self {
+        PartitionerConfig { k: k.max(1), max_part_weight: max_part_weight.max(1), refinement_passes: 2 }
+    }
+}
+
+/// Result of partitioning a weighted graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPartition {
+    /// Part index per node.
+    pub assignment: Vec<usize>,
+    /// Number of parts actually used.
+    pub num_parts: usize,
+    /// Total weight of cut edges.
+    pub edge_cut: f64,
+}
+
+/// Partitions a weighted graph.
+///
+/// * `node_weights[i]` is the weight of node `i` (e.g. how many original
+///   tuples a coarse node represents);
+/// * `edges` are undirected `(a, b, weight)` triples;
+/// * the result respects `config.max_part_weight` except for single nodes
+///   that are heavier than the bound, which get a part of their own.
+pub fn partition_weighted(
+    node_weights: &[usize],
+    edges: &[(usize, usize, f64)],
+    config: &PartitionerConfig,
+) -> WeightedPartition {
+    let n = node_weights.len();
+    if n == 0 {
+        return WeightedPartition { assignment: vec![], num_parts: 0, edge_cut: 0.0 };
+    }
+    let total_weight: usize = node_weights.iter().sum();
+    if total_weight <= config.max_part_weight || config.k <= 1 {
+        return WeightedPartition { assignment: vec![0; n], num_parts: 1, edge_cut: 0.0 };
+    }
+
+    // Adjacency list.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for &(a, b, w) in edges {
+        if a == b || a >= n || b >= n {
+            continue;
+        }
+        adj[a].push((b, w));
+        adj[b].push((a, w));
+    }
+
+    // ---- Greedy graph growing ----
+    // Visit nodes in order of decreasing weight (heavy clusters first), grow
+    // a part by repeatedly absorbing the unassigned neighbour with the
+    // strongest connection to the part until the size bound is reached.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| node_weights[b].cmp(&node_weights[a]).then(a.cmp(&b)));
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut part_weights: Vec<usize> = Vec::new();
+
+    for &seed in &order {
+        if assignment[seed] != usize::MAX {
+            continue;
+        }
+        // Open a new part for this seed.
+        let part = part_weights.len();
+        part_weights.push(0);
+        // Connection strength of each unassigned node to the growing part.
+        let mut gain: Vec<f64> = vec![0.0; n];
+        let mut frontier: Vec<usize> = vec![seed];
+        gain[seed] = f64::INFINITY;
+
+        while let Some(next) = pick_best(&frontier, &gain) {
+            frontier.retain(|&x| x != next);
+            if assignment[next] != usize::MAX {
+                continue;
+            }
+            let w = node_weights[next];
+            let fits = part_weights[part] + w <= config.max_part_weight
+                || part_weights[part] == 0; // oversized singletons get their own part
+            if !fits {
+                continue;
+            }
+            assignment[next] = part;
+            part_weights[part] += w;
+            if part_weights[part] >= config.max_part_weight {
+                break;
+            }
+            for &(nbr, ew) in &adj[next] {
+                if assignment[nbr] == usize::MAX {
+                    gain[nbr] += ew;
+                    if !frontier.contains(&nbr) {
+                        frontier.push(nbr);
+                    }
+                }
+            }
+        }
+    }
+    let mut num_parts = part_weights.len();
+
+    // ---- FM-style boundary refinement ----
+    for _ in 0..config.refinement_passes {
+        let mut moved_any = false;
+        for node in 0..n {
+            let current = assignment[node];
+            // Connection weight from `node` to each part.
+            let mut conn: Vec<f64> = vec![0.0; num_parts];
+            for &(nbr, w) in &adj[node] {
+                conn[assignment[nbr]] += w;
+            }
+            let mut best_part = current;
+            let mut best_gain = 0.0f64;
+            for p in 0..num_parts {
+                if p == current {
+                    continue;
+                }
+                if part_weights[p] + node_weights[node] > config.max_part_weight {
+                    continue;
+                }
+                let gain = conn[p] - conn[current];
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_part = p;
+                }
+            }
+            if best_part != current {
+                part_weights[current] -= node_weights[node];
+                part_weights[best_part] += node_weights[node];
+                assignment[node] = best_part;
+                moved_any = true;
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+
+    // Compact part ids (refinement can empty a part).
+    let mut remap = vec![usize::MAX; num_parts];
+    let mut next = 0usize;
+    for a in assignment.iter_mut() {
+        if remap[*a] == usize::MAX {
+            remap[*a] = next;
+            next += 1;
+        }
+        *a = remap[*a];
+    }
+    num_parts = next;
+
+    let edge_cut = edges
+        .iter()
+        .filter(|&&(a, b, _)| a < n && b < n && assignment[a] != assignment[b])
+        .map(|&(_, _, w)| w)
+        .sum();
+
+    WeightedPartition { assignment, num_parts, edge_cut }
+}
+
+/// Picks the frontier node with the highest gain (ties by lowest index).
+fn pick_best(frontier: &[usize], gain: &[f64]) -> Option<usize> {
+    frontier
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            gain[a]
+                .partial_cmp(&gain[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_graph_fits_in_one_part() {
+        let weights = vec![1, 1, 1];
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0)];
+        let p = partition_weighted(&weights, &edges, &PartitionerConfig::new(4, 10));
+        assert_eq!(p.num_parts, 1);
+        assert_eq!(p.edge_cut, 0.0);
+    }
+
+    #[test]
+    fn two_cliques_split_along_the_weak_bridge() {
+        // Two triangles of heavy edges joined by one light edge.
+        let weights = vec![1; 6];
+        let edges = vec![
+            (0, 1, 5.0),
+            (1, 2, 5.0),
+            (0, 2, 5.0),
+            (3, 4, 5.0),
+            (4, 5, 5.0),
+            (3, 5, 5.0),
+            (2, 3, 0.1), // bridge
+        ];
+        let p = partition_weighted(&weights, &edges, &PartitionerConfig::new(2, 3));
+        assert!(p.num_parts >= 2);
+        // The bridge should be the only cut edge.
+        assert!((p.edge_cut - 0.1).abs() < 1e-9, "edge cut was {}", p.edge_cut);
+        // All triangle members stay together.
+        assert_eq!(p.assignment[0], p.assignment[1]);
+        assert_eq!(p.assignment[1], p.assignment[2]);
+        assert_eq!(p.assignment[3], p.assignment[4]);
+        assert_eq!(p.assignment[4], p.assignment[5]);
+        assert_ne!(p.assignment[0], p.assignment[3]);
+    }
+
+    #[test]
+    fn size_bound_is_respected() {
+        let weights = vec![1; 10];
+        let edges: Vec<(usize, usize, f64)> =
+            (0..9).map(|i| (i, i + 1, 1.0)).collect();
+        let cfg = PartitionerConfig::new(4, 3);
+        let p = partition_weighted(&weights, &edges, &cfg);
+        let mut sizes = vec![0usize; p.num_parts];
+        for (i, &a) in p.assignment.iter().enumerate() {
+            sizes[a] += weights[i];
+        }
+        assert!(sizes.iter().all(|&s| s <= 3), "part sizes {sizes:?}");
+        assert!(p.num_parts >= 4);
+    }
+
+    #[test]
+    fn oversized_single_node_gets_its_own_part() {
+        let weights = vec![10, 1, 1];
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0)];
+        let cfg = PartitionerConfig::new(2, 4);
+        let p = partition_weighted(&weights, &edges, &cfg);
+        // Node 0 exceeds the bound on its own; it must be alone in its part.
+        let part0 = p.assignment[0];
+        assert!(p
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 0)
+            .all(|(_, &a)| a != part0));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let p = partition_weighted(&[], &[], &PartitionerConfig::new(3, 5));
+        assert_eq!(p.num_parts, 0);
+        assert!(p.assignment.is_empty());
+
+        let p = partition_weighted(&[2], &[], &PartitionerConfig::new(3, 5));
+        assert_eq!(p.num_parts, 1);
+        assert_eq!(p.assignment, vec![0]);
+    }
+
+    #[test]
+    fn disconnected_nodes_are_all_assigned() {
+        let weights = vec![1; 7];
+        let edges = vec![(0, 1, 1.0)];
+        let cfg = PartitionerConfig::new(3, 3);
+        let p = partition_weighted(&weights, &edges, &cfg);
+        assert_eq!(p.assignment.len(), 7);
+        let mut sizes = vec![0usize; p.num_parts];
+        for &a in &p.assignment {
+            sizes[a] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s <= 3));
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn refinement_reduces_cut_on_a_chain() {
+        // A chain with strongly-coupled pairs; a good partition cuts only
+        // weak links.
+        let weights = vec![1; 8];
+        let mut edges = Vec::new();
+        for i in (0..8).step_by(2) {
+            edges.push((i, i + 1, 10.0));
+        }
+        for i in (1..7).step_by(2) {
+            edges.push((i, i + 1, 0.5));
+        }
+        let cfg = PartitionerConfig::new(4, 2);
+        let p = partition_weighted(&weights, &edges, &cfg);
+        // Strong pairs must never be separated.
+        for i in (0..8).step_by(2) {
+            assert_eq!(p.assignment[i], p.assignment[i + 1], "pair {i} split");
+        }
+        assert!(p.edge_cut <= 1.5 + 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Pre-partitioning (Algorithm 2): merge tuples connected by
+//! high-probability matches into coarse clusters before graph partitioning.
+//!
+//! This acts as an extra coarsening level on top of the multilevel
+//! partitioner: high-probability matches should never be cut, so their
+//! endpoints are contracted into a single coarse node. Remaining edges are
+//! re-weighted with the [`WeightScheme`] and accumulated between clusters.
+
+use crate::dsu::DisjointSet;
+use crate::graph::MappingGraph;
+use crate::weights::WeightScheme;
+use std::collections::HashMap;
+
+/// The coarse graph produced by pre-partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseGraph {
+    /// For each coarse node, the global node ids of the original graph that
+    /// were merged into it (sorted, deterministic).
+    pub clusters: Vec<Vec<usize>>,
+    /// Maps each original global node id to its coarse node index.
+    pub cluster_of: Vec<usize>,
+    /// Coarse edges `(cluster a, cluster b, accumulated weight)` with `a < b`.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl CoarseGraph {
+    /// Number of coarse nodes.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when there are no coarse nodes.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Node weights: number of original tuples merged into each coarse node.
+    pub fn node_weights(&self) -> Vec<usize> {
+        self.clusters.iter().map(Vec::len).collect()
+    }
+}
+
+/// Runs Algorithm 2: merges nodes connected by matches with probability at
+/// least `scheme.theta_high`, then accumulates re-weighted edge weights
+/// between the resulting clusters.
+pub fn pre_partition(graph: &MappingGraph, scheme: &WeightScheme) -> CoarseGraph {
+    let n = graph.node_count();
+    let mut dsu = DisjointSet::new(n);
+
+    // Lines 2-7: traverse tuples and merge along high-probability matches.
+    // (Union-find over the high-probability subgraph is equivalent to the
+    // DFS-based merge in the pseudocode and is order-independent.)
+    for e in graph.edges() {
+        if scheme.is_high(e.weight) {
+            dsu.union(graph.left_id(e.left), graph.right_id(e.right));
+        }
+    }
+
+    let clusters = dsu.groups();
+    let mut cluster_of = vec![usize::MAX; n];
+    for (c, members) in clusters.iter().enumerate() {
+        for &id in members {
+            cluster_of[id] = c;
+        }
+    }
+
+    // Lines 8-10: accumulate re-weighted edge weights between clusters.
+    let mut weight_map: HashMap<(usize, usize), f64> = HashMap::new();
+    for e in graph.edges() {
+        let ca = cluster_of[graph.left_id(e.left)];
+        let cb = cluster_of[graph.right_id(e.right)];
+        if ca == cb {
+            continue; // already merged; nothing to cut
+        }
+        let key = (ca.min(cb), ca.max(cb));
+        *weight_map.entry(key).or_insert(0.0) += scheme.weight(e.weight);
+    }
+    let mut edges: Vec<(usize, usize, f64)> =
+        weight_map.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+    CoarseGraph { clusters, cluster_of, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> MappingGraph {
+        // Left: 0,1,2  Right: 0,1,2
+        // High-prob: (0,0,0.95), (1,0,0.92)  -> cluster {L0, L1, R0}
+        // Mid-prob:  (1,1,0.5), (2,1,0.6)
+        // Low-prob:  (2,2,0.05)
+        let mut g = MappingGraph::new(3, 3);
+        g.add_edge(0, 0, 0.95);
+        g.add_edge(1, 0, 0.92);
+        g.add_edge(1, 1, 0.5);
+        g.add_edge(2, 1, 0.6);
+        g.add_edge(2, 2, 0.05);
+        g
+    }
+
+    #[test]
+    fn high_probability_edges_are_contracted() {
+        let g = graph();
+        let coarse = pre_partition(&g, &WeightScheme::default());
+        // Clusters: {L0, L1, R0}, {L2}, {R1}, {R2}
+        assert_eq!(coarse.len(), 4);
+        assert!(!coarse.is_empty());
+        let weights = coarse.node_weights();
+        assert_eq!(weights.iter().sum::<usize>(), g.node_count());
+        assert!(weights.contains(&3));
+        // L0 and R0 are in the same cluster.
+        assert_eq!(coarse.cluster_of[g.left_id(0)], coarse.cluster_of[g.right_id(0)]);
+        assert_eq!(coarse.cluster_of[g.left_id(0)], coarse.cluster_of[g.left_id(1)]);
+        assert_ne!(coarse.cluster_of[g.left_id(2)], coarse.cluster_of[g.right_id(2)]);
+    }
+
+    #[test]
+    fn remaining_edges_are_reweighted_and_accumulated() {
+        let g = graph();
+        let scheme = WeightScheme::default();
+        let coarse = pre_partition(&g, &scheme);
+        // Edge (1,1,0.5) now connects the big cluster with R1's cluster at weight 0.5.
+        // Edge (2,1,0.6) connects L2's cluster with R1's cluster at weight 0.6.
+        // Edge (2,2,0.05) connects L2's cluster with R2's at weight 0.05/100.
+        assert_eq!(coarse.edges.len(), 3);
+        let total: f64 = coarse.edges.iter().map(|(_, _, w)| w).sum();
+        assert!((total - (0.5 + 0.6 + 0.0005)).abs() < 1e-9);
+        // No self-loop edges.
+        assert!(coarse.edges.iter().all(|(a, b, _)| a != b));
+    }
+
+    #[test]
+    fn parallel_edges_between_clusters_accumulate() {
+        let mut g = MappingGraph::new(2, 2);
+        g.add_edge(0, 0, 0.95); // merge L0,R0
+        g.add_edge(1, 1, 0.95); // merge L1,R1
+        g.add_edge(0, 1, 0.3); // cross edges between the two clusters
+        g.add_edge(1, 0, 0.4);
+        let coarse = pre_partition(&g, &WeightScheme::default());
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse.edges.len(), 1);
+        assert!((coarse.edges[0].2 - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_without_high_probability_edges_stays_fine_grained() {
+        let mut g = MappingGraph::new(2, 2);
+        g.add_edge(0, 0, 0.5);
+        g.add_edge(1, 1, 0.5);
+        let coarse = pre_partition(&g, &WeightScheme::default());
+        assert_eq!(coarse.len(), 4);
+        assert_eq!(coarse.edges.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = MappingGraph::new(0, 0);
+        let coarse = pre_partition(&g, &WeightScheme::default());
+        assert!(coarse.is_empty());
+        assert!(coarse.edges.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Smart partitioning (Algorithm 3): pre-partition, partition the coarse
+//! graph, then project the assignment back onto the original tuples.
+
+use crate::graph::{MappingGraph, Partition};
+use crate::partitioner::{partition_weighted, PartitionerConfig};
+use crate::prepartition::pre_partition;
+use crate::weights::WeightScheme;
+
+/// Configuration of the smart-partitioning optimiser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmartPartitionConfig {
+    /// Edge re-weighting scheme (`θ_l`, `θ_h`, `R`).
+    pub scheme: WeightScheme,
+    /// Target batch size: the number of partitions is
+    /// `k = ⌈(|T1| + |T2|) / batch_size⌉` and `L_max = batch_size`,
+    /// matching the paper's synthetic-data experiments.
+    pub batch_size: usize,
+    /// Number of FM refinement passes in the partitioner.
+    pub refinement_passes: usize,
+}
+
+impl SmartPartitionConfig {
+    /// Creates a configuration with the paper's default weight scheme.
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        SmartPartitionConfig {
+            scheme: WeightScheme::default(),
+            batch_size: batch_size.max(1),
+            refinement_passes: 2,
+        }
+    }
+
+    /// The number of partitions for a graph with `node_count` tuples.
+    pub fn num_partitions(&self, node_count: usize) -> usize {
+        node_count.div_ceil(self.batch_size).max(1)
+    }
+}
+
+impl Default for SmartPartitionConfig {
+    fn default() -> Self {
+        SmartPartitionConfig::with_batch_size(1000)
+    }
+}
+
+/// Runs Algorithm 3 on the mapping graph, returning a node partition.
+pub fn smart_partition(graph: &MappingGraph, config: &SmartPartitionConfig) -> Partition {
+    let n = graph.node_count();
+    if n == 0 {
+        return Partition::new(vec![], 1);
+    }
+    if n <= config.batch_size {
+        return Partition::single(n);
+    }
+
+    // Line 1: pre-partition (Algorithm 2) to obtain the coarse graph.
+    let coarse = pre_partition(graph, &config.scheme);
+
+    // Line 2: partition the coarse graph with a standard partitioner.
+    let k = config.num_partitions(n);
+    let mut part_cfg = PartitionerConfig::new(k, config.batch_size);
+    part_cfg.refinement_passes = config.refinement_passes;
+    let weighted = partition_weighted(&coarse.node_weights(), &coarse.edges, &part_cfg);
+
+    // Lines 3-6: project cluster assignments back onto the original tuples.
+    let mut assignment = vec![0usize; n];
+    for (node_id, &cluster) in coarse.cluster_of.iter().enumerate() {
+        assignment[node_id] = weighted.assignment[cluster];
+    }
+    Partition::new(assignment, weighted.num_parts.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A graph of `pairs` (left, right) couples joined by 0.95-probability
+    /// matches, with consecutive couples linked by weak 0.2 matches.
+    fn chained_pairs(pairs: usize) -> MappingGraph {
+        let mut g = MappingGraph::new(pairs, pairs);
+        for i in 0..pairs {
+            g.add_edge(i, i, 0.95);
+            if i + 1 < pairs {
+                g.add_edge(i, i + 1, 0.2);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn small_graphs_stay_whole() {
+        let g = chained_pairs(5);
+        let cfg = SmartPartitionConfig::with_batch_size(100);
+        let p = smart_partition(&g, &cfg);
+        assert_eq!(p.num_parts(), 1);
+        assert_eq!(g.edge_cut(&p), 0.0);
+    }
+
+    #[test]
+    fn high_probability_matches_are_never_cut() {
+        let g = chained_pairs(50);
+        let cfg = SmartPartitionConfig::with_batch_size(10);
+        let p = smart_partition(&g, &cfg);
+        assert!(p.num_parts() > 1);
+        for e in g.edges() {
+            if e.weight >= 0.9 {
+                assert_eq!(
+                    p.part_of(g.left_id(e.left)),
+                    p.part_of(g.right_id(e.right)),
+                    "high-probability match ({}, {}) was cut",
+                    e.left,
+                    e.right
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_sizes_respect_the_batch_bound() {
+        let g = chained_pairs(60);
+        let cfg = SmartPartitionConfig::with_batch_size(16);
+        let p = smart_partition(&g, &cfg);
+        assert!(p.max_part_size() <= 16, "max part size {}", p.max_part_size());
+        // Every node is assigned.
+        assert_eq!(p.assignment().len(), g.node_count());
+    }
+
+    #[test]
+    fn number_of_partitions_tracks_batch_size() {
+        let cfg = SmartPartitionConfig::with_batch_size(1000);
+        assert_eq!(cfg.num_partitions(100), 1);
+        assert_eq!(cfg.num_partitions(1000), 1);
+        assert_eq!(cfg.num_partitions(1001), 2);
+        assert_eq!(cfg.num_partitions(10_000), 10);
+        let small = SmartPartitionConfig::with_batch_size(100);
+        assert_eq!(small.num_partitions(10_000), 100);
+    }
+
+    #[test]
+    fn cut_prefers_weak_edges() {
+        let g = chained_pairs(40);
+        let cfg = SmartPartitionConfig::with_batch_size(20);
+        let p = smart_partition(&g, &cfg);
+        // The cut should consist only of the weak 0.2 chain links, so it is
+        // bounded by 0.2 times the number of parts.
+        let cut = g.edge_cut(&p);
+        assert!(cut <= 0.2 * p.num_parts() as f64 + 1e-9, "cut {cut}");
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = MappingGraph::new(0, 0);
+        let p = smart_partition(&g, &SmartPartitionConfig::default());
+        assert_eq!(p.assignment().len(), 0);
+    }
+
+    #[test]
+    fn default_config_uses_paper_batch_size() {
+        let cfg = SmartPartitionConfig::default();
+        assert_eq!(cfg.batch_size, 1000);
+        assert_eq!(cfg.scheme, WeightScheme::default());
+    }
+}

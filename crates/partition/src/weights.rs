@@ -1,0 +1,111 @@
+//! Edge re-weighting for the graph-partitioning objective (Section 4).
+//!
+//! Cutting a high-probability tuple match hurts the Explain3D objective far
+//! more than cutting several low-probability matches, so the paper rescales
+//! edge weights before partitioning: probabilities at or above `θ_h` are
+//! multiplied by a reward factor `R`, probabilities at or below `θ_l` are
+//! divided by `R`, and everything in between keeps its probability as weight.
+
+/// Parameters of the re-weighting scheme. The paper uses
+/// `θ_l = 0.1`, `θ_h = 0.9`, `R = 100`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightScheme {
+    /// Low-probability threshold `θ_l`.
+    pub theta_low: f64,
+    /// High-probability threshold `θ_h`.
+    pub theta_high: f64,
+    /// Reward / penalty factor `R > 1`.
+    pub reward: f64,
+}
+
+impl Default for WeightScheme {
+    fn default() -> Self {
+        WeightScheme { theta_low: 0.1, theta_high: 0.9, reward: 100.0 }
+    }
+}
+
+impl WeightScheme {
+    /// Creates a scheme, validating `0 ≤ θ_l < θ_h ≤ 1` and `R > 1`.
+    pub fn new(theta_low: f64, theta_high: f64, reward: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&theta_low) && theta_low < theta_high && theta_high <= 1.0,
+            "thresholds must satisfy 0 <= θ_l < θ_h <= 1"
+        );
+        assert!(reward > 1.0, "reward factor R must be greater than 1");
+        WeightScheme { theta_low, theta_high, reward }
+    }
+
+    /// The edge weight assigned to a tuple match with probability `p`.
+    pub fn weight(&self, p: f64) -> f64 {
+        if p >= self.theta_high {
+            p * self.reward
+        } else if p <= self.theta_low {
+            p / self.reward
+        } else {
+            p
+        }
+    }
+
+    /// True when a match probability counts as "high" (candidates for the
+    /// pre-partitioning merge of Algorithm 2).
+    pub fn is_high(&self, p: f64) -> bool {
+        p >= self.theta_high
+    }
+
+    /// True when a match probability counts as "low".
+    pub fn is_low(&self, p: f64) -> bool {
+        p <= self.theta_low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let w = WeightScheme::default();
+        assert_eq!(w.theta_low, 0.1);
+        assert_eq!(w.theta_high, 0.9);
+        assert_eq!(w.reward, 100.0);
+    }
+
+    #[test]
+    fn weights_reward_high_and_penalise_low() {
+        let w = WeightScheme::default();
+        assert_eq!(w.weight(0.95), 95.0);
+        assert_eq!(w.weight(0.9), 90.0);
+        assert_eq!(w.weight(0.5), 0.5);
+        assert!((w.weight(0.05) - 0.0005).abs() < 1e-12);
+        assert!((w.weight(0.1) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let w = WeightScheme::default();
+        assert!(w.is_high(0.9));
+        assert!(!w.is_high(0.89));
+        assert!(w.is_low(0.1));
+        assert!(!w.is_low(0.11));
+    }
+
+    #[test]
+    fn high_probability_edges_dominate_many_low_ones() {
+        // The rationale of the scheme: one 0.9 edge must outweigh several
+        // 0.6 edges so the partitioner prefers cutting the latter.
+        let w = WeightScheme::default();
+        assert!(w.weight(0.9) > 10.0 * w.weight(0.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn invalid_thresholds_rejected() {
+        WeightScheme::new(0.9, 0.1, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reward")]
+    fn invalid_reward_rejected() {
+        WeightScheme::new(0.1, 0.9, 1.0);
+    }
+}

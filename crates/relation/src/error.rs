@@ -1,0 +1,114 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Errors produced by schema resolution, query construction, and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn {
+        /// The name that failed to resolve.
+        name: String,
+        /// The columns that were available.
+        available: Vec<String>,
+    },
+    /// A column reference matched more than one column.
+    AmbiguousColumn {
+        /// The ambiguous name.
+        name: String,
+    },
+    /// A referenced relation does not exist in the database.
+    UnknownRelation {
+        /// The missing relation name.
+        name: String,
+    },
+    /// A row's arity does not match its schema.
+    ArityMismatch {
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// Relations combined by UNION have incompatible schemas.
+    UnionMismatch {
+        /// Left schema rendered as text.
+        left: String,
+        /// Right schema rendered as text.
+        right: String,
+    },
+    /// An aggregate was applied to a non-numeric or empty input where it is
+    /// not defined.
+    InvalidAggregate {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A scalar sub-query returned something other than a single value.
+    ScalarSubqueryCardinality {
+        /// Number of rows returned.
+        rows: usize,
+    },
+    /// Generic query-construction or execution error.
+    Invalid {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl RelationError {
+    /// Convenience constructor for [`RelationError::Invalid`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        RelationError::Invalid { message: message.into() }
+    }
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownColumn { name, available } => {
+                write!(f, "unknown column `{name}` (available: {})", available.join(", "))
+            }
+            RelationError::AmbiguousColumn { name } => {
+                write!(f, "ambiguous column reference `{name}`")
+            }
+            RelationError::UnknownRelation { name } => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity mismatch: expected {expected} values, got {actual}")
+            }
+            RelationError::UnionMismatch { left, right } => {
+                write!(f, "union of incompatible schemas: {left} vs {right}")
+            }
+            RelationError::InvalidAggregate { message } => {
+                write!(f, "invalid aggregate: {message}")
+            }
+            RelationError::ScalarSubqueryCardinality { rows } => {
+                write!(f, "scalar sub-query returned {rows} rows (expected exactly 1)")
+            }
+            RelationError::Invalid { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationError::UnknownColumn {
+            name: "x".into(),
+            available: vec!["a".into(), "b".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("x") && s.contains("a, b"));
+
+        let e = RelationError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("expected 3"));
+
+        let e = RelationError::invalid("boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+}

@@ -1,0 +1,547 @@
+//! Query execution: evaluates a [`Query`] against a [`Database`] and derives
+//! both the result and the provenance relation of Definition 2.3.
+
+use crate::error::RelationError;
+use crate::provenance::ProvenanceRelation;
+use crate::query::{Aggregate, Projection, Query, QueryExpr};
+use crate::relation::{Database, Relation};
+use crate::row::Row;
+use crate::schema::{Column, Schema};
+use crate::value::{GroupKey, Value, ValueType};
+use std::collections::{HashMap, HashSet};
+
+/// The output of executing one query: its result and its provenance relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// The query result (a single-row relation for aggregate queries).
+    pub result: Relation,
+    /// The provenance relation `P` of Definition 2.3.
+    pub provenance: ProvenanceRelation,
+}
+
+impl QueryOutput {
+    /// The scalar result of an aggregate query.
+    pub fn scalar(&self) -> Result<Value, RelationError> {
+        self.result.scalar()
+    }
+}
+
+/// Executes queries against a database.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Executor;
+
+impl Executor {
+    /// Creates an executor.
+    pub fn new() -> Self {
+        Executor
+    }
+
+    /// Executes `query` against `db`, producing the result and provenance.
+    pub fn execute(&self, db: &Database, query: &Query) -> Result<QueryOutput, RelationError> {
+        // Evaluate the source expression X.
+        let source = self.eval_expr(db, &query.source)?;
+
+        // Apply the final selection σ_C.
+        let filtered: Vec<Row> = match &query.filter {
+            Some(pred) => {
+                let mut rows = Vec::new();
+                for row in source.rows() {
+                    if pred.eval_predicate(source.schema(), row)? {
+                        rows.push(row.clone());
+                    }
+                }
+                rows
+            }
+            None => source.rows().to_vec(),
+        };
+
+        // Build the provenance relation with per-tuple impacts.
+        let mut provenance = ProvenanceRelation::new(
+            query.name.clone(),
+            source.schema().clone(),
+            query.aggregate(),
+        );
+        for row in &filtered {
+            let impact = match &query.projection {
+                Projection::Columns(_) => 1.0,
+                Projection::Aggregate { func: Aggregate::Count, .. } => 1.0,
+                Projection::Aggregate { func: _, column } => {
+                    let col = column.as_deref().ok_or_else(|| RelationError::InvalidAggregate {
+                        message: "non-COUNT aggregate requires a column".to_string(),
+                    })?;
+                    let idx = source.schema().index_of(col)?;
+                    row.get(idx).and_then(Value::as_f64).unwrap_or(0.0)
+                }
+            };
+            provenance.push(row.clone(), impact);
+        }
+
+        // Compute the result π_o.
+        let result = match &query.projection {
+            Projection::Columns(cols) => {
+                let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                let idx: Vec<usize> = names
+                    .iter()
+                    .map(|n| source.schema().index_of(n))
+                    .collect::<Result<_, _>>()?;
+                let schema = source.schema().project(&names)?;
+                let mut rel = Relation::new(query.name.clone(), schema);
+                for row in &filtered {
+                    rel.insert(row.project(&idx))?;
+                }
+                if query.distinct {
+                    rel.distinct().renamed(query.name.clone())
+                } else {
+                    rel
+                }
+            }
+            Projection::Aggregate { func, column } => {
+                let value = self.eval_aggregate(source.schema(), &filtered, *func, column.as_deref())?;
+                let out_name = format!("{func}({})", column.as_deref().unwrap_or("*"));
+                let ty = match value.value_type() {
+                    ValueType::Unknown => ValueType::Float,
+                    t => t,
+                };
+                let schema = Schema::new(vec![Column::new(out_name, ty)]);
+                Relation::with_rows(query.name.clone(), schema, vec![Row::new(vec![value])])?
+            }
+        };
+
+        Ok(QueryOutput { result, provenance })
+    }
+
+    /// Evaluates a source expression to a materialised relation.
+    fn eval_expr(&self, db: &Database, expr: &QueryExpr) -> Result<Relation, RelationError> {
+        match expr {
+            QueryExpr::Scan { relation } => Ok(db.get(relation)?.qualified()),
+            QueryExpr::Filter { input, predicate } => {
+                let rel = self.eval_expr(db, input)?;
+                let mut out = Relation::new(rel.name().to_string(), rel.schema().clone());
+                for row in rel.rows() {
+                    if predicate.eval_predicate(rel.schema(), row)? {
+                        out.insert(row.clone())?;
+                    }
+                }
+                Ok(out)
+            }
+            QueryExpr::Join { left, right, on } => {
+                let l = self.eval_expr(db, left)?;
+                let r = self.eval_expr(db, right)?;
+                self.hash_join(&l, &r, on)
+            }
+            QueryExpr::Union { left, right } => {
+                let l = self.eval_expr(db, left)?;
+                let r = self.eval_expr(db, right)?;
+                if !l.schema().union_compatible(r.schema()) {
+                    return Err(RelationError::UnionMismatch {
+                        left: l.schema().to_string(),
+                        right: r.schema().to_string(),
+                    });
+                }
+                let mut out = Relation::new(l.name().to_string(), l.schema().clone());
+                for row in l.rows().iter().chain(r.rows().iter()) {
+                    out.insert(row.clone())?;
+                }
+                Ok(out)
+            }
+            QueryExpr::Project { input, columns } => {
+                let rel = self.eval_expr(db, input)?;
+                let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+                rel.project(&names)
+            }
+            QueryExpr::SemiJoin { input, sub, on, anti } => {
+                let outer = self.eval_expr(db, input)?;
+                let inner = self.eval_expr(db, sub)?;
+                let inner_idx = inner.schema().index_of(&on.1)?;
+                let probe: HashSet<GroupKey> = inner
+                    .rows()
+                    .iter()
+                    .filter(|r| !r[inner_idx].is_null())
+                    .map(|r| r[inner_idx].group_key())
+                    .collect();
+                let outer_idx = outer.schema().index_of(&on.0)?;
+                let mut out = Relation::new(outer.name().to_string(), outer.schema().clone());
+                for row in outer.rows() {
+                    let v = &row[outer_idx];
+                    if v.is_null() {
+                        continue;
+                    }
+                    let found = probe.contains(&v.group_key());
+                    if found != *anti {
+                        out.insert(row.clone())?;
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Hash equi-join on the first column pair, verifying remaining pairs.
+    fn hash_join(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        on: &[(String, String)],
+    ) -> Result<Relation, RelationError> {
+        if on.is_empty() {
+            return Err(RelationError::invalid("equi-join requires at least one column pair"));
+        }
+        let schema = left.schema().concat(right.schema());
+        let mut out = Relation::new(format!("{}_{}", left.name(), right.name()), schema);
+
+        let l0 = left.schema().index_of(&on[0].0)?;
+        let r0 = right.schema().index_of(&on[0].1)?;
+        let rest: Vec<(usize, usize)> = on[1..]
+            .iter()
+            .map(|(lc, rc)| Ok((left.schema().index_of(lc)?, right.schema().index_of(rc)?)))
+            .collect::<Result<_, RelationError>>()?;
+
+        // Build side: right relation keyed by the first join column.
+        let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+        for (i, row) in right.rows().iter().enumerate() {
+            if row[r0].is_null() {
+                continue;
+            }
+            table.entry(row[r0].group_key()).or_default().push(i);
+        }
+
+        for lrow in left.rows() {
+            if lrow[l0].is_null() {
+                continue;
+            }
+            if let Some(candidates) = table.get(&lrow[l0].group_key()) {
+                for &ri in candidates {
+                    let rrow = &right.rows()[ri];
+                    let all_match = rest.iter().all(|&(li, rj)| {
+                        lrow[li].sql_eq(&rrow[rj]).unwrap_or(false)
+                    });
+                    if all_match {
+                        out.insert(lrow.concat(rrow))?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates an aggregate over the filtered rows.
+    fn eval_aggregate(
+        &self,
+        schema: &Schema,
+        rows: &[Row],
+        func: Aggregate,
+        column: Option<&str>,
+    ) -> Result<Value, RelationError> {
+        let idx = match column {
+            Some(c) => Some(schema.index_of(c)?),
+            None => None,
+        };
+        match func {
+            Aggregate::Count => {
+                let n = match idx {
+                    None => rows.len(),
+                    Some(i) => rows.iter().filter(|r| !r[i].is_null()).count(),
+                };
+                Ok(Value::Int(n as i64))
+            }
+            Aggregate::Sum | Aggregate::Avg => {
+                let i = idx.ok_or_else(|| RelationError::InvalidAggregate {
+                    message: format!("{func} requires a column"),
+                })?;
+                let vals: Vec<f64> = rows.iter().filter_map(|r| r[i].as_f64()).collect();
+                if vals.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let sum: f64 = vals.iter().sum();
+                if func == Aggregate::Avg {
+                    Ok(Value::Float(sum / vals.len() as f64))
+                } else if sum.fract() == 0.0 {
+                    Ok(Value::Int(sum as i64))
+                } else {
+                    Ok(Value::Float(sum))
+                }
+            }
+            Aggregate::Max | Aggregate::Min => {
+                let i = idx.ok_or_else(|| RelationError::InvalidAggregate {
+                    message: format!("{func} requires a column"),
+                })?;
+                let mut best: Option<Value> = None;
+                for r in rows {
+                    let v = &r[i];
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v.clone(),
+                        Some(b) => {
+                            let keep_new = match v.sql_cmp(&b) {
+                                Some(ord) => {
+                                    if func == Aggregate::Max {
+                                        ord.is_gt()
+                                    } else {
+                                        ord.is_lt()
+                                    }
+                                }
+                                None => false,
+                            };
+                            if keep_new {
+                                v.clone()
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                Ok(best.unwrap_or(Value::Null))
+            }
+        }
+    }
+}
+
+/// Convenience function: execute a query against a database.
+pub fn execute(db: &Database, query: &Query) -> Result<QueryOutput, RelationError> {
+    Executor::new().execute(db, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::row;
+
+    /// Builds the D1/D3 datasets of Figure 1 in the paper.
+    fn figure1_db() -> Database {
+        let mut db = Database::new();
+
+        let d1 = Relation::with_rows(
+            "D1",
+            Schema::from_pairs(&[("program", ValueType::Str), ("degree", ValueType::Str)]),
+            vec![
+                row!["Accounting", "B.S."],
+                row!["CS", "B.A."],
+                row!["CS", "B.S."],
+                row!["ECE", "B.S."],
+                row!["EE", "B.S."],
+                row!["Management", "B.A."],
+                row!["Design", "B.A."],
+            ],
+        )
+        .unwrap();
+
+        let d2 = Relation::with_rows(
+            "D2",
+            Schema::from_pairs(&[("univ", ValueType::Str), ("major", ValueType::Str)]),
+            vec![
+                row!["A", "Accounting"],
+                row!["A", "CSE"],
+                row!["A", "ECE"],
+                row!["A", "EE"],
+                row!["A", "Management"],
+                row!["A", "Design"],
+                row!["B", "Art"],
+            ],
+        )
+        .unwrap();
+
+        let d3 = Relation::with_rows(
+            "D3",
+            Schema::from_pairs(&[("college", ValueType::Str), ("num_bach", ValueType::Int)]),
+            vec![
+                row!["Business", 2],
+                row!["Engineering", 2],
+                row!["Computer Science", 1],
+            ],
+        )
+        .unwrap();
+
+        db.add(d1).add(d2).add(d3);
+        db
+    }
+
+    #[test]
+    fn figure1_query_results_match_paper() {
+        let db = figure1_db();
+        let exec = Executor::new();
+
+        let q1 = Query::scan("D1").named("Q1").count("program");
+        let q2 = Query::scan("D2")
+            .named("Q2")
+            .filter(Expr::col("univ").eq(Expr::lit("A")))
+            .count("major");
+        let q3 = Query::scan("D3").named("Q3").sum("num_bach");
+
+        assert_eq!(exec.execute(&db, &q1).unwrap().scalar().unwrap(), Value::Int(7));
+        assert_eq!(exec.execute(&db, &q2).unwrap().scalar().unwrap(), Value::Int(6));
+        assert_eq!(exec.execute(&db, &q3).unwrap().scalar().unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn provenance_impacts_follow_definition_2_3() {
+        let db = figure1_db();
+        let exec = Executor::new();
+
+        // COUNT query: every provenance tuple has impact 1.
+        let q1 = Query::scan("D1").named("Q1").count("program");
+        let p1 = exec.execute(&db, &q1).unwrap().provenance;
+        assert_eq!(p1.len(), 7);
+        assert!(p1.tuples.iter().all(|t| t.impact == 1.0));
+        assert_eq!(p1.total_impact(), 7.0);
+
+        // SUM query: impact equals the summed attribute.
+        let q3 = Query::scan("D3").named("Q3").sum("num_bach");
+        let p3 = exec.execute(&db, &q3).unwrap().provenance;
+        assert_eq!(p3.len(), 3);
+        assert_eq!(p3.total_impact(), 5.0);
+        let impacts: Vec<f64> = p3.tuples.iter().map(|t| t.impact).collect();
+        assert_eq!(impacts, vec![2.0, 2.0, 1.0]);
+
+        // Selection limits provenance to satisfying tuples only.
+        let q2 = Query::scan("D2")
+            .named("Q2")
+            .filter(Expr::col("univ").eq(Expr::lit("A")))
+            .count("major");
+        let p2 = exec.execute(&db, &q2).unwrap().provenance;
+        assert_eq!(p2.len(), 6);
+        assert_eq!(p2.aggregate, Some(Aggregate::Count));
+    }
+
+    #[test]
+    fn join_query_with_filter() {
+        let mut db = Database::new();
+        let school = Relation::with_rows(
+            "School",
+            Schema::from_pairs(&[("ID", ValueType::Int), ("Univ_name", ValueType::Str)]),
+            vec![row![1, "UMass-Amherst"], row![2, "OSU"]],
+        )
+        .unwrap();
+        let stats = Relation::with_rows(
+            "Stats",
+            Schema::from_pairs(&[
+                ("ID", ValueType::Int),
+                ("Program", ValueType::Str),
+                ("bach_degr", ValueType::Int),
+            ]),
+            vec![
+                row![1, "CS", 1],
+                row![1, "Math", 2],
+                row![2, "Physics", 3],
+            ],
+        )
+        .unwrap();
+        db.add(school).add(stats);
+
+        let q = Query::scan("School")
+            .named("Q2")
+            .join("Stats", "School.ID", "Stats.ID")
+            .filter(Expr::col("Univ_name").eq(Expr::lit("UMass-Amherst")))
+            .sum("bach_degr");
+        let out = execute(&db, &q).unwrap();
+        assert_eq!(out.scalar().unwrap(), Value::Int(3));
+        assert_eq!(out.provenance.len(), 2);
+        // Joined schema keeps both sides' columns.
+        assert!(out.provenance.schema.contains("School.Univ_name"));
+        assert!(out.provenance.schema.contains("Stats.Program"));
+    }
+
+    #[test]
+    fn non_aggregate_distinct_projection() {
+        let db = figure1_db();
+        let q = Query::scan("D1").distinct().select(["program"]);
+        let out = execute(&db, &q).unwrap();
+        assert_eq!(out.result.len(), 6); // CS deduplicated
+        assert_eq!(out.provenance.len(), 7); // provenance keeps all source rows
+        assert!(out.provenance.tuples.iter().all(|t| t.impact == 1.0));
+
+        let q_dup = Query::scan("D1").select(["program"]);
+        assert_eq!(execute(&db, &q_dup).unwrap().result.len(), 7);
+    }
+
+    #[test]
+    fn avg_max_min_aggregates() {
+        let db = figure1_db();
+        let avg = Query::scan("D3").avg("num_bach");
+        let max = Query::scan("D3").max("num_bach");
+        let min = Query::scan("D3").min("num_bach");
+        let out = execute(&db, &avg).unwrap();
+        assert_eq!(out.scalar().unwrap(), Value::Float(5.0 / 3.0));
+        assert_eq!(execute(&db, &max).unwrap().scalar().unwrap(), Value::Int(2));
+        assert_eq!(execute(&db, &min).unwrap().scalar().unwrap(), Value::Int(1));
+        // AVG provenance impact is the attribute value.
+        assert_eq!(out.provenance.tuples[0].impact, 2.0);
+    }
+
+    #[test]
+    fn empty_input_aggregates() {
+        let db = figure1_db();
+        let none = Expr::col("program").eq(Expr::lit("Nonexistent"));
+        let count = Query::scan("D1").filter(none.clone()).count("program");
+        let sum = Query::scan("D1").filter(none.clone()).sum("program");
+        let max = Query::scan("D1").filter(none).max("program");
+        assert_eq!(execute(&db, &count).unwrap().scalar().unwrap(), Value::Int(0));
+        assert!(execute(&db, &sum).unwrap().scalar().unwrap().is_null());
+        assert!(execute(&db, &max).unwrap().scalar().unwrap().is_null());
+    }
+
+    #[test]
+    fn union_and_projection_sources() {
+        let db = figure1_db();
+        let source = QueryExpr::scan("D1")
+            .project(["program"])
+            .union(QueryExpr::scan("D2").filter(Expr::col("univ").eq(Expr::lit("A"))).project(["major"]));
+        let q = Query::over(source).named("U").count_star();
+        let out = execute(&db, &q).unwrap();
+        assert_eq!(out.scalar().unwrap(), Value::Int(13));
+
+        // Union of incompatible schemas fails.
+        let bad = QueryExpr::scan("D1").union(QueryExpr::scan("D3"));
+        assert!(execute(&db, &Query::over(bad).count_star()).is_err());
+    }
+
+    #[test]
+    fn semi_and_anti_join_subqueries() {
+        let db = figure1_db();
+        // Programs in D1 that also appear as majors of university A in D2.
+        let sub = QueryExpr::scan("D2").filter(Expr::col("univ").eq(Expr::lit("A")));
+        let q_in = Query::over(QueryExpr::scan("D1").semi_join(sub.clone(), "program", "major"))
+            .count("program");
+        // CS/CSE differ lexically, so only 5 of 7 D1 rows match (Accounting, ECE, EE, Management, Design).
+        assert_eq!(execute(&db, &q_in).unwrap().scalar().unwrap(), Value::Int(5));
+
+        let q_not_in = Query::over(QueryExpr::scan("D1").anti_join(sub, "program", "major"))
+            .count("program");
+        assert_eq!(execute(&db, &q_not_in).unwrap().scalar().unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn execution_errors_are_reported() {
+        let db = figure1_db();
+        let q = Query::scan("Missing").count_star();
+        assert!(matches!(
+            execute(&db, &q),
+            Err(RelationError::UnknownRelation { .. })
+        ));
+        let q = Query::scan("D1").count("nonexistent_column");
+        assert!(execute(&db, &q).is_err());
+        let q = Query::scan("D1").sum("program");
+        // Summing a string column yields zero impacts but still runs; the
+        // result is NULL because no value coerces to a number.
+        let out = execute(&db, &q).unwrap();
+        assert!(out.scalar().unwrap().is_null());
+    }
+
+    #[test]
+    fn count_star_counts_rows_with_nulls() {
+        let mut db = Database::new();
+        let rel = Relation::with_rows(
+            "T",
+            Schema::from_pairs(&[("a", ValueType::Str)]),
+            vec![row!["x"], Row::new(vec![Value::Null]), row!["y"]],
+        )
+        .unwrap();
+        db.add(rel);
+        let star = Query::scan("T").count_star();
+        let col = Query::scan("T").count("a");
+        assert_eq!(execute(&db, &star).unwrap().scalar().unwrap(), Value::Int(3));
+        assert_eq!(execute(&db, &col).unwrap().scalar().unwrap(), Value::Int(2));
+    }
+}

@@ -1,0 +1,515 @@
+//! Scalar expressions used in selection predicates (`σ_C`).
+//!
+//! The paper allows any operators in the selection condition `C` except
+//! user-defined functions. This module supports column references, literals,
+//! comparison, boolean logic, arithmetic, NULL tests, LIKE-style substring
+//! matching, and (NOT) IN over either a literal set or an uncorrelated
+//! sub-query (materialised by the executor into a literal set before
+//! evaluation).
+
+use crate::error::RelationError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition (string concatenation for strings).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (NULL on division by zero).
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression evaluated against a single row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by (possibly qualified) name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// Binary comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Binary arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical AND (three-valued).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (three-valued).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT (three-valued).
+    Not(Box<Expr>),
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+    /// SQL LIKE with `%` wildcards (prefix/suffix/substring patterns).
+    Like {
+        /// The expression whose string value is matched.
+        expr: Box<Expr>,
+        /// Pattern with optional leading/trailing `%`.
+        pattern: String,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)` over a materialised set of values.
+    InSet {
+        /// The probed expression.
+        expr: Box<Expr>,
+        /// The literal set.
+        set: Vec<Value>,
+        /// True for NOT IN.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal helper.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp { op: CmpOp::Eq, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp { op: CmpOp::Ne, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp { op: CmpOp::Lt, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp { op: CmpOp::Le, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp { op: CmpOp::Gt, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp { op: CmpOp::Ge, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// `self LIKE pattern`.
+    pub fn like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like { expr: Box::new(self), pattern: pattern.into() }
+    }
+
+    /// `self IN (values...)`.
+    pub fn in_set<I, V>(self, values: I) -> Expr
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Expr::InSet {
+            expr: Box::new(self),
+            set: values.into_iter().map(Into::into).collect(),
+            negated: false,
+        }
+    }
+
+    /// `self NOT IN (values...)`.
+    pub fn not_in_set<I, V>(self, values: I) -> Expr
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Expr::InSet {
+            expr: Box::new(self),
+            set: values.into_iter().map(Into::into).collect(),
+            negated: true,
+        }
+    }
+
+    /// Evaluates the expression against a row, returning a value.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> Result<Value, RelationError> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema.index_of(name)?;
+                Ok(row.get(idx).cloned().unwrap_or(Value::Null))
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Cmp { op, left, right } => {
+                let l = left.eval(schema, row)?;
+                let r = right.eval(schema, row)?;
+                Ok(eval_cmp(*op, &l, &r))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = left.eval(schema, row)?;
+                let r = right.eval(schema, row)?;
+                Ok(match op {
+                    ArithOp::Add => l.add(&r),
+                    ArithOp::Sub => l.sub(&r),
+                    ArithOp::Mul => l.mul(&r),
+                    ArithOp::Div => l.div(&r),
+                })
+            }
+            Expr::And(a, b) => {
+                let l = a.eval(schema, row)?;
+                let r = b.eval(schema, row)?;
+                Ok(three_valued_and(&l, &r))
+            }
+            Expr::Or(a, b) => {
+                let l = a.eval(schema, row)?;
+                let r = b.eval(schema, row)?;
+                Ok(three_valued_or(&l, &r))
+            }
+            Expr::Not(e) => {
+                let v = e.eval(schema, row)?;
+                Ok(match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                })
+            }
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
+            Expr::Like { expr, pattern } => {
+                let v = expr.eval(schema, row)?;
+                Ok(match v {
+                    Value::Null => Value::Null,
+                    other => Value::Bool(like_match(&other.to_string(), pattern)),
+                })
+            }
+            Expr::InSet { expr, set, negated } => {
+                let v = expr.eval(schema, row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let found = set.iter().any(|s| s.loose_eq(&v));
+                Ok(Value::Bool(found != *negated))
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate: NULL and false both reject.
+    pub fn eval_predicate(&self, schema: &Schema, row: &Row) -> Result<bool, RelationError> {
+        Ok(self.eval(schema, row)?.as_bool().unwrap_or(false))
+    }
+
+    /// Collects the column names referenced by the expression.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.collect_columns(out),
+            Expr::Like { expr, .. } => expr.collect_columns(out),
+            Expr::InSet { expr, .. } => expr.collect_columns(out),
+        }
+    }
+}
+
+fn eval_cmp(op: CmpOp, l: &Value, r: &Value) -> Value {
+    match op {
+        CmpOp::Eq => match l.sql_eq(r) {
+            Some(b) => Value::Bool(b),
+            None => Value::Null,
+        },
+        CmpOp::Ne => match l.sql_eq(r) {
+            Some(b) => Value::Bool(!b),
+            None => Value::Null,
+        },
+        _ => match l.sql_cmp(r) {
+            Some(ord) => Value::Bool(match op {
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+                CmpOp::Eq | CmpOp::Ne => unreachable!(),
+            }),
+            None => Value::Null,
+        },
+    }
+}
+
+fn three_valued_and(l: &Value, r: &Value) -> Value {
+    match (l.as_bool(), r.as_bool()) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+fn three_valued_or(l: &Value, r: &Value) -> Value {
+    match (l.as_bool(), r.as_bool()) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+/// SQL LIKE with `%` wildcards only (no `_`), case-insensitive.
+fn like_match(text: &str, pattern: &str) -> bool {
+    let text = text.to_ascii_lowercase();
+    let pattern = pattern.to_ascii_lowercase();
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return text == pattern;
+    }
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !text.starts_with(part) {
+                return false;
+            }
+            pos = part.len();
+        } else if i == parts.len() - 1 {
+            return text[pos..].ends_with(part);
+        } else {
+            match text[pos..].find(part) {
+                Some(p) => pos += p + part.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Cmp { op, left, right } => write!(f, "{left} {op} {right}"),
+            Expr::Arith { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::IsNull(e) => write!(f, "{e} IS NULL"),
+            Expr::Like { expr, pattern } => write!(f, "{expr} LIKE '{pattern}'"),
+            Expr::InSet { expr, set, negated } => {
+                let kw = if *negated { "NOT IN" } else { "IN" };
+                write!(f, "{expr} {kw} ({} values)", set.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::ValueType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("univ", ValueType::Str),
+            ("major", ValueType::Str),
+            ("year", ValueType::Int),
+            ("gross", ValueType::Float),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let s = schema();
+        let r = row!["A", "CS", 1999, 10.5];
+        assert_eq!(Expr::col("major").eval(&s, &r).unwrap(), Value::str("CS"));
+        assert_eq!(Expr::lit(3).eval(&s, &r).unwrap(), Value::Int(3));
+        assert!(Expr::col("missing").eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let s = schema();
+        let r = row!["A", "CS", 1999, 10.5];
+        let p = Expr::col("univ").eq(Expr::lit("A")).and(Expr::col("year").ge(Expr::lit(1990)));
+        assert!(p.eval_predicate(&s, &r).unwrap());
+        let p2 = Expr::col("univ").eq(Expr::lit("B")).or(Expr::col("year").lt(Expr::lit(1990)));
+        assert!(!p2.eval_predicate(&s, &r).unwrap());
+        let p3 = Expr::col("gross").gt(Expr::lit(10)).not();
+        assert!(!p3.eval_predicate(&s, &r).unwrap());
+        assert!(Expr::col("year").ne(Expr::lit(2000)).eval_predicate(&s, &r).unwrap());
+        assert!(Expr::col("year").le(Expr::lit(1999)).eval_predicate(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn null_semantics_in_predicates() {
+        let s = schema();
+        let r = Row::new(vec![Value::Null, Value::str("CS"), Value::Int(1999), Value::Null]);
+        // NULL = 'A' is unknown -> predicate rejects.
+        assert!(!Expr::col("univ").eq(Expr::lit("A")).eval_predicate(&s, &r).unwrap());
+        // NOT (NULL = 'A') is still unknown -> rejects.
+        assert!(!Expr::col("univ").eq(Expr::lit("A")).not().eval_predicate(&s, &r).unwrap());
+        // IS NULL works.
+        assert!(Expr::col("univ").is_null().eval_predicate(&s, &r).unwrap());
+        // unknown AND false = false; unknown OR true = true.
+        let unknown = Expr::col("univ").eq(Expr::lit("A"));
+        assert!(!unknown.clone().and(Expr::lit(false)).eval_predicate(&s, &r).unwrap());
+        assert!(unknown.or(Expr::lit(true)).eval_predicate(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_in_predicates() {
+        let s = schema();
+        let r = row!["A", "CS", 1999, 10.5];
+        let e = Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(Expr::col("year")),
+            right: Box::new(Expr::lit(1)),
+        };
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Int(2000));
+        let e = Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Expr::col("gross")),
+            right: Box::new(Expr::lit(0)),
+        };
+        assert!(e.eval(&s, &r).unwrap().is_null());
+    }
+
+    #[test]
+    fn like_matching() {
+        let s = schema();
+        let r = row!["A", "Computer Science", 1999, 1.0];
+        assert!(Expr::col("major").like("%science").eval_predicate(&s, &r).unwrap());
+        assert!(Expr::col("major").like("computer%").eval_predicate(&s, &r).unwrap());
+        assert!(Expr::col("major").like("%puter%").eval_predicate(&s, &r).unwrap());
+        assert!(!Expr::col("major").like("%biology%").eval_predicate(&s, &r).unwrap());
+        assert!(Expr::col("major").like("computer science").eval_predicate(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn in_set_and_not_in_set() {
+        let s = schema();
+        let r = row!["A", "CS", 1999, 1.0];
+        assert!(Expr::col("major").in_set(["CS", "EE"]).eval_predicate(&s, &r).unwrap());
+        assert!(!Expr::col("major").not_in_set(["CS", "EE"]).eval_predicate(&s, &r).unwrap());
+        assert!(Expr::col("major").not_in_set(["Art"]).eval_predicate(&s, &r).unwrap());
+        // NULL probe -> unknown -> rejected in both polarities.
+        let rn = Row::new(vec![Value::str("A"), Value::Null, Value::Int(1), Value::Null]);
+        assert!(!Expr::col("major").in_set(["CS"]).eval_predicate(&s, &rn).unwrap());
+        assert!(!Expr::col("major").not_in_set(["CS"]).eval_predicate(&s, &rn).unwrap());
+    }
+
+    #[test]
+    fn referenced_columns_are_collected_once() {
+        let e = Expr::col("a")
+            .eq(Expr::lit(1))
+            .and(Expr::col("b").gt(Expr::col("a")))
+            .or(Expr::col("c").is_null());
+        let cols = e.referenced_columns();
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn display_renders_sql_like_text() {
+        let e = Expr::col("univ").eq(Expr::lit("A")).and(Expr::col("year").ge(Expr::lit(1990)));
+        let s = e.to_string();
+        assert!(s.contains("univ = 'A'"));
+        assert!(s.contains("AND"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # explain3d-relation
+//!
+//! A small, self-contained in-memory relational engine used as the data
+//! substrate of the Explain3D reproduction (VLDB 2019).
+//!
+//! It provides:
+//!
+//! * typed [`value::Value`]s, [`schema::Schema`]s, [`row::Row`]s and
+//!   [`relation::Relation`]s grouped into a [`relation::Database`] catalog;
+//! * a query AST ([`query::Query`], [`query::QueryExpr`]) covering the
+//!   paper's query class `Q = π_o σ_C(X)` with joins, unions, sub-queries
+//!   and the five SQL aggregates;
+//! * an [`exec::Executor`] that evaluates queries and derives the
+//!   **provenance relation** of Definition 2.3
+//!   ([`provenance::ProvenanceRelation`]), which is the input to the
+//!   Explain3D explanation pipeline.
+//!
+//! ```
+//! use explain3d_relation::prelude::*;
+//!
+//! let mut db = Database::new();
+//! let mut majors = Relation::new(
+//!     "Major",
+//!     Schema::from_pairs(&[("major", ValueType::Str), ("degree", ValueType::Str)]),
+//! );
+//! majors.insert_values(["CS", "B.S."]).unwrap();
+//! majors.insert_values(["CS", "B.A."]).unwrap();
+//! db.add(majors);
+//!
+//! let q = Query::scan("Major").named("Q1").count("major");
+//! let out = execute(&db, &q).unwrap();
+//! assert_eq!(out.scalar().unwrap(), Value::Int(2));
+//! assert_eq!(out.provenance.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod provenance;
+pub mod query;
+pub mod relation;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::error::RelationError;
+    pub use crate::exec::{execute, Executor, QueryOutput};
+    pub use crate::expr::{ArithOp, CmpOp, Expr};
+    pub use crate::provenance::{ProvTuple, ProvenanceRelation};
+    pub use crate::query::{Aggregate, Projection, Query, QueryBuilder, QueryExpr};
+    pub use crate::relation::{Database, Relation};
+    pub use crate::row::Row;
+    pub use crate::schema::{Column, Schema};
+    pub use crate::value::{Value, ValueType};
+}
+
+pub use prelude::*;

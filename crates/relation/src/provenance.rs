@@ -1,0 +1,154 @@
+//! Provenance relations (Definition 2.3 of the paper).
+//!
+//! For a query `Q = π_o σ_C(X)`, the provenance relation `P(A1, ..., Ak, I)`
+//! contains one tuple per row of `σ_C(X)` together with its *impact* `I`:
+//! the row's statistical contribution to the query result (1 for
+//! non-aggregate and COUNT queries, the aggregated attribute value for
+//! SUM/AVG/MAX/MIN queries).
+
+use crate::query::Aggregate;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A provenance tuple: a source row plus its impact on the query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvTuple {
+    /// Identifier of the tuple within its provenance relation (stable index).
+    pub tid: usize,
+    /// The source row (schema = the provenance relation's schema minus `I`).
+    pub row: Row,
+    /// The tuple's impact on the query result.
+    pub impact: f64,
+}
+
+impl ProvTuple {
+    /// The value of the named attribute, resolved against `schema`.
+    pub fn attr(&self, schema: &Schema, name: &str) -> Option<Value> {
+        schema.index_of(name).ok().and_then(|i| self.row.get(i).cloned())
+    }
+}
+
+/// The provenance relation `P` of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRelation {
+    /// The name of the query this provenance belongs to.
+    pub query_name: String,
+    /// Schema of the source rows (the impact column `I` is stored separately).
+    pub schema: Schema,
+    /// The provenance tuples.
+    pub tuples: Vec<ProvTuple>,
+    /// The aggregate used by the query, if any. Needed by canonicalisation,
+    /// which must not merge tuples for AVG/MAX/MIN queries.
+    pub aggregate: Option<Aggregate>,
+}
+
+impl ProvenanceRelation {
+    /// Creates an empty provenance relation.
+    pub fn new(query_name: impl Into<String>, schema: Schema, aggregate: Option<Aggregate>) -> Self {
+        ProvenanceRelation {
+            query_name: query_name.into(),
+            schema,
+            tuples: Vec::new(),
+            aggregate,
+        }
+    }
+
+    /// Number of provenance tuples (the paper's `|P|`).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the provenance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a row with the given impact, assigning the next tuple id.
+    pub fn push(&mut self, row: Row, impact: f64) -> usize {
+        let tid = self.tuples.len();
+        self.tuples.push(ProvTuple { tid, row, impact });
+        tid
+    }
+
+    /// Total impact across all tuples.
+    pub fn total_impact(&self) -> f64 {
+        self.tuples.iter().map(|t| t.impact).sum()
+    }
+
+    /// The tuple with the given id.
+    pub fn tuple(&self, tid: usize) -> Option<&ProvTuple> {
+        self.tuples.get(tid)
+    }
+
+    /// Values of the named attribute across all tuples, in tuple order.
+    pub fn attr_values(&self, name: &str) -> Vec<Value> {
+        match self.schema.index_of(name) {
+            Ok(idx) => self
+                .tuples
+                .iter()
+                .map(|t| t.row.get(idx).cloned().unwrap_or(Value::Null))
+                .collect(),
+            Err(_) => vec![Value::Null; self.tuples.len()],
+        }
+    }
+}
+
+impl fmt::Display for ProvenanceRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "P[{}] {} + I", self.query_name, self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  #{} {} I={}", t.tid, t.row, t.impact)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::ValueType;
+
+    fn prov() -> ProvenanceRelation {
+        let schema = Schema::from_pairs(&[
+            ("college", ValueType::Str),
+            ("num_bach", ValueType::Int),
+        ]);
+        let mut p = ProvenanceRelation::new("Q3", schema, Some(Aggregate::Sum));
+        p.push(row!["Business", 2], 2.0);
+        p.push(row!["Engineering", 2], 2.0);
+        p.push(row!["Computer Science", 1], 1.0);
+        p
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let p = prov();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.tuples[0].tid, 0);
+        assert_eq!(p.tuples[2].tid, 2);
+        assert_eq!(p.tuple(1).unwrap().row, row!["Engineering", 2]);
+        assert!(p.tuple(9).is_none());
+    }
+
+    #[test]
+    fn total_impact_matches_sum_query_semantics() {
+        let p = prov();
+        assert_eq!(p.total_impact(), 5.0);
+    }
+
+    #[test]
+    fn attribute_access() {
+        let p = prov();
+        let t = &p.tuples[2];
+        assert_eq!(t.attr(&p.schema, "college"), Some(Value::str("Computer Science")));
+        assert_eq!(t.attr(&p.schema, "missing"), None);
+        let vals = p.attr_values("num_bach");
+        assert_eq!(vals, vec![Value::Int(2), Value::Int(2), Value::Int(1)]);
+        let missing = p.attr_values("nope");
+        assert!(missing.iter().all(Value::is_null));
+    }
+}

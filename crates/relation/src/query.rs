@@ -1,0 +1,495 @@
+//! Query AST for the paper's query class `Q = π_o σ_C(X)`.
+//!
+//! `X` may be a base relation or an arbitrary composition of filters,
+//! equi-joins, unions, semi/anti-joins (IN / NOT IN sub-queries) and nested
+//! queries; `C` is any scalar predicate without UDFs; `o` is either a list of
+//! attributes or one of the five SQL aggregates (COUNT, SUM, AVG, MAX, MIN).
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// The five supported SQL aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// COUNT(column) or COUNT(*) when no column is given.
+    Count,
+    /// SUM(column).
+    Sum,
+    /// AVG(column).
+    Avg,
+    /// MAX(column).
+    Max,
+    /// MIN(column).
+    Min,
+}
+
+impl Aggregate {
+    /// True for aggregates whose canonicalisation requires a strict
+    /// one-to-one mapping (AVG, MAX, MIN) per Definition 3.1 of the paper.
+    pub fn requires_one_to_one(&self) -> bool {
+        matches!(self, Aggregate::Avg | Aggregate::Max | Aggregate::Min)
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Aggregate::Count => "COUNT",
+            Aggregate::Sum => "SUM",
+            Aggregate::Avg => "AVG",
+            Aggregate::Max => "MAX",
+            Aggregate::Min => "MIN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The projection `π_o` of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// Project a set of attributes.
+    Columns(Vec<String>),
+    /// Apply an aggregate function over an attribute (`None` = COUNT(*)).
+    Aggregate {
+        /// The aggregate function.
+        func: Aggregate,
+        /// The aggregated attribute; `None` is only meaningful for COUNT.
+        column: Option<String>,
+    },
+}
+
+impl Projection {
+    /// The aggregate function, if the projection is an aggregate.
+    pub fn aggregate(&self) -> Option<Aggregate> {
+        match self {
+            Projection::Aggregate { func, .. } => Some(*func),
+            Projection::Columns(_) => None,
+        }
+    }
+}
+
+/// The relational-algebra expression `X` that feeds the final `σ_C` / `π_o`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// Scan a base relation by name. Column names are qualified with the
+    /// relation name so joins over same-named attributes stay unambiguous.
+    Scan {
+        /// Base relation name.
+        relation: String,
+    },
+    /// Filter the input by a predicate.
+    Filter {
+        /// Input expression.
+        input: Box<QueryExpr>,
+        /// Selection predicate.
+        predicate: Expr,
+    },
+    /// Equi-join of two inputs on pairs of columns.
+    Join {
+        /// Left input.
+        left: Box<QueryExpr>,
+        /// Right input.
+        right: Box<QueryExpr>,
+        /// Pairs of (left column, right column) that must be equal.
+        on: Vec<(String, String)>,
+    },
+    /// Bag union of two union-compatible inputs.
+    Union {
+        /// Left input.
+        left: Box<QueryExpr>,
+        /// Right input.
+        right: Box<QueryExpr>,
+    },
+    /// Intermediate projection (no aggregation, keeps duplicates).
+    Project {
+        /// Input expression.
+        input: Box<QueryExpr>,
+        /// Columns to keep, in order.
+        columns: Vec<String>,
+    },
+    /// Semi-join (`IN` sub-query) or anti-join (`NOT IN` sub-query): keeps
+    /// input rows whose `on.0` value does (not) appear in the sub-query's
+    /// `on.1` column.
+    SemiJoin {
+        /// Outer input.
+        input: Box<QueryExpr>,
+        /// Uncorrelated sub-query.
+        sub: Box<QueryExpr>,
+        /// (outer column, sub-query column) pair.
+        on: (String, String),
+        /// True for NOT IN (anti-join).
+        anti: bool,
+    },
+}
+
+impl QueryExpr {
+    /// Scans a base relation.
+    pub fn scan(relation: impl Into<String>) -> QueryExpr {
+        QueryExpr::Scan { relation: relation.into() }
+    }
+
+    /// Adds a filter on top of this expression.
+    pub fn filter(self, predicate: Expr) -> QueryExpr {
+        QueryExpr::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Equi-joins this expression with another on one column pair.
+    pub fn join_on(
+        self,
+        right: QueryExpr,
+        left_col: impl Into<String>,
+        right_col: impl Into<String>,
+    ) -> QueryExpr {
+        QueryExpr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: vec![(left_col.into(), right_col.into())],
+        }
+    }
+
+    /// Equi-joins on several column pairs.
+    pub fn join_on_all(self, right: QueryExpr, on: Vec<(String, String)>) -> QueryExpr {
+        QueryExpr::Join { left: Box::new(self), right: Box::new(right), on }
+    }
+
+    /// Unions this expression with another.
+    pub fn union(self, right: QueryExpr) -> QueryExpr {
+        QueryExpr::Union { left: Box::new(self), right: Box::new(right) }
+    }
+
+    /// Projects the expression onto the given columns.
+    pub fn project<I, S>(self, columns: I) -> QueryExpr
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        QueryExpr::Project {
+            input: Box::new(self),
+            columns: columns.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Keeps rows whose `col` value appears in `sub`'s `sub_col` column.
+    pub fn semi_join(
+        self,
+        sub: QueryExpr,
+        col: impl Into<String>,
+        sub_col: impl Into<String>,
+    ) -> QueryExpr {
+        QueryExpr::SemiJoin {
+            input: Box::new(self),
+            sub: Box::new(sub),
+            on: (col.into(), sub_col.into()),
+            anti: false,
+        }
+    }
+
+    /// Keeps rows whose `col` value does NOT appear in `sub`'s `sub_col`.
+    pub fn anti_join(
+        self,
+        sub: QueryExpr,
+        col: impl Into<String>,
+        sub_col: impl Into<String>,
+    ) -> QueryExpr {
+        QueryExpr::SemiJoin {
+            input: Box::new(self),
+            sub: Box::new(sub),
+            on: (col.into(), sub_col.into()),
+            anti: true,
+        }
+    }
+
+    /// Names of all base relations scanned by the expression.
+    pub fn scanned_relations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_scans(&mut out);
+        out
+    }
+
+    fn collect_scans(&self, out: &mut Vec<String>) {
+        match self {
+            QueryExpr::Scan { relation } => {
+                if !out.contains(relation) {
+                    out.push(relation.clone());
+                }
+            }
+            QueryExpr::Filter { input, .. } | QueryExpr::Project { input, .. } => {
+                input.collect_scans(out)
+            }
+            QueryExpr::Join { left, right, .. } | QueryExpr::Union { left, right } => {
+                left.collect_scans(out);
+                right.collect_scans(out);
+            }
+            QueryExpr::SemiJoin { input, sub, .. } => {
+                input.collect_scans(out);
+                sub.collect_scans(out);
+            }
+        }
+    }
+}
+
+/// A complete query `π_o σ_C(X)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Optional human-readable name (used in reports and provenance).
+    pub name: String,
+    /// The source expression `X`.
+    pub source: QueryExpr,
+    /// The final selection predicate `C` (in addition to any filters inside `X`).
+    pub filter: Option<Expr>,
+    /// The projection `o`.
+    pub projection: Projection,
+    /// Whether a column projection should deduplicate its output
+    /// (`SELECT DISTINCT`). Ignored for aggregate projections.
+    pub distinct: bool,
+}
+
+impl Query {
+    /// Starts building a query over a scanned base relation.
+    pub fn scan(relation: impl Into<String>) -> QueryBuilder {
+        QueryBuilder::new(QueryExpr::scan(relation))
+    }
+
+    /// Starts building a query over an arbitrary source expression.
+    pub fn over(source: QueryExpr) -> QueryBuilder {
+        QueryBuilder::new(source)
+    }
+
+    /// The aggregate used by this query, if any.
+    pub fn aggregate(&self) -> Option<Aggregate> {
+        self.projection.aggregate()
+    }
+
+    /// True when the query is an aggregate query.
+    pub fn is_aggregate(&self) -> bool {
+        self.aggregate().is_some()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.projection {
+            Projection::Columns(cols) => {
+                write!(
+                    f,
+                    "SELECT {}{}",
+                    if self.distinct { "DISTINCT " } else { "" },
+                    cols.join(", ")
+                )?;
+            }
+            Projection::Aggregate { func, column } => {
+                write!(f, "SELECT {func}({})", column.as_deref().unwrap_or("*"))?;
+            }
+        }
+        let rels = self.source.scanned_relations();
+        write!(f, " FROM {}", rels.join(", "))?;
+        if let Some(p) = &self.filter {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Query`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    name: String,
+    source: QueryExpr,
+    filter: Option<Expr>,
+    distinct: bool,
+}
+
+impl QueryBuilder {
+    fn new(source: QueryExpr) -> Self {
+        QueryBuilder { name: "Q".to_string(), source, filter: None, distinct: false }
+    }
+
+    /// Names the query (used in provenance and reports).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds (ANDs) a final selection predicate.
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.filter = Some(match self.filter {
+            Some(existing) => existing.and(predicate),
+            None => predicate,
+        });
+        self
+    }
+
+    /// Equi-joins the current source with a scan of `relation`.
+    pub fn join(
+        mut self,
+        relation: impl Into<String>,
+        left_col: impl Into<String>,
+        right_col: impl Into<String>,
+    ) -> Self {
+        self.source = self.source.join_on(QueryExpr::scan(relation), left_col, right_col);
+        self
+    }
+
+    /// Replaces the source with a semi-join against a sub-query.
+    pub fn where_in(
+        mut self,
+        col: impl Into<String>,
+        sub: QueryExpr,
+        sub_col: impl Into<String>,
+    ) -> Self {
+        self.source = self.source.semi_join(sub, col, sub_col);
+        self
+    }
+
+    /// Replaces the source with an anti-join against a sub-query.
+    pub fn where_not_in(
+        mut self,
+        col: impl Into<String>,
+        sub: QueryExpr,
+        sub_col: impl Into<String>,
+    ) -> Self {
+        self.source = self.source.anti_join(sub, col, sub_col);
+        self
+    }
+
+    /// Finishes with `SELECT [DISTINCT] col1, col2, ...`.
+    pub fn select<I, S>(self, columns: I) -> Query
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Query {
+            name: self.name,
+            source: self.source,
+            filter: self.filter,
+            projection: Projection::Columns(columns.into_iter().map(Into::into).collect()),
+            distinct: self.distinct,
+        }
+    }
+
+    /// Marks the projection as DISTINCT.
+    pub fn distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+
+    /// Finishes with `SELECT COUNT(column)`.
+    pub fn count(self, column: impl Into<String>) -> Query {
+        self.aggregate(Aggregate::Count, Some(column.into()))
+    }
+
+    /// Finishes with `SELECT COUNT(*)`.
+    pub fn count_star(self) -> Query {
+        self.aggregate(Aggregate::Count, None)
+    }
+
+    /// Finishes with `SELECT SUM(column)`.
+    pub fn sum(self, column: impl Into<String>) -> Query {
+        self.aggregate(Aggregate::Sum, Some(column.into()))
+    }
+
+    /// Finishes with `SELECT AVG(column)`.
+    pub fn avg(self, column: impl Into<String>) -> Query {
+        self.aggregate(Aggregate::Avg, Some(column.into()))
+    }
+
+    /// Finishes with `SELECT MAX(column)`.
+    pub fn max(self, column: impl Into<String>) -> Query {
+        self.aggregate(Aggregate::Max, Some(column.into()))
+    }
+
+    /// Finishes with `SELECT MIN(column)`.
+    pub fn min(self, column: impl Into<String>) -> Query {
+        self.aggregate(Aggregate::Min, Some(column.into()))
+    }
+
+    fn aggregate(self, func: Aggregate, column: Option<String>) -> Query {
+        Query {
+            name: self.name,
+            source: self.source,
+            filter: self.filter,
+            projection: Projection::Aggregate { func, column },
+            distinct: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn builder_produces_expected_shapes() {
+        let q = Query::scan("Major").named("Q1").count("Major");
+        assert_eq!(q.name, "Q1");
+        assert_eq!(q.aggregate(), Some(Aggregate::Count));
+        assert!(q.is_aggregate());
+        assert_eq!(q.source.scanned_relations(), vec!["Major".to_string()]);
+
+        let q2 = Query::scan("School")
+            .named("Q2")
+            .join("Stats", "School.ID", "Stats.ID")
+            .filter(Expr::col("Univ_name").eq(Expr::lit("UMass-Amherst")))
+            .sum("bach_degr");
+        assert_eq!(q2.aggregate(), Some(Aggregate::Sum));
+        assert_eq!(
+            q2.source.scanned_relations(),
+            vec!["School".to_string(), "Stats".to_string()]
+        );
+        assert!(q2.filter.is_some());
+    }
+
+    #[test]
+    fn non_aggregate_select() {
+        let q = Query::scan("Movie")
+            .filter(Expr::col("release_year").eq(Expr::lit(1999)))
+            .select(["title"]);
+        assert!(!q.is_aggregate());
+        assert_eq!(q.projection, Projection::Columns(vec!["title".to_string()]));
+    }
+
+    #[test]
+    fn filters_compose_with_and() {
+        let q = Query::scan("Movie")
+            .filter(Expr::col("a").eq(Expr::lit(1)))
+            .filter(Expr::col("b").eq(Expr::lit(2)))
+            .count_star();
+        let f = q.filter.unwrap();
+        assert!(matches!(f, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn anti_join_collects_sub_scans() {
+        let sub = QueryExpr::scan("MoviePerson").join_on(
+            QueryExpr::scan("Movie"),
+            "MoviePerson.m_id",
+            "Movie.m_id",
+        );
+        let q = Query::scan("Person").where_not_in("p_id", sub, "MoviePerson.p_id").select(["name"]);
+        let rels = q.source.scanned_relations();
+        assert!(rels.contains(&"Person".to_string()));
+        assert!(rels.contains(&"MoviePerson".to_string()));
+        assert!(rels.contains(&"Movie".to_string()));
+    }
+
+    #[test]
+    fn one_to_one_aggregates_flagged() {
+        assert!(Aggregate::Avg.requires_one_to_one());
+        assert!(Aggregate::Max.requires_one_to_one());
+        assert!(Aggregate::Min.requires_one_to_one());
+        assert!(!Aggregate::Sum.requires_one_to_one());
+        assert!(!Aggregate::Count.requires_one_to_one());
+    }
+
+    #[test]
+    fn display_renders_sql() {
+        let q = Query::scan("Major").named("Q1").count("Major");
+        let s = q.to_string();
+        assert!(s.contains("SELECT COUNT(Major)"));
+        assert!(s.contains("FROM Major"));
+
+        let q2 = Query::scan("Movie").distinct().select(["title"]);
+        assert!(q2.to_string().contains("DISTINCT"));
+    }
+}

@@ -1,0 +1,311 @@
+//! In-memory relations (tables) and the database catalog that holds them.
+
+use crate::error::RelationError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named, in-memory relation: a schema plus a bag of rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Relation { name: name.into(), schema, rows: Vec::new() }
+    }
+
+    /// Creates a relation and bulk-loads rows, validating arity.
+    pub fn with_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> Result<Self, RelationError> {
+        let mut rel = Relation::new(name, schema);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the relation (returns self for chaining).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row at position `idx`.
+    pub fn row(&self, idx: usize) -> Option<&Row> {
+        self.rows.get(idx)
+    }
+
+    /// Inserts a row, validating its arity against the schema.
+    pub fn insert(&mut self, row: Row) -> Result<(), RelationError> {
+        if row.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: row.arity(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Inserts a row built from convertible values.
+    pub fn insert_values<I, V>(&mut self, values: I) -> Result<(), RelationError>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.insert(Row::from_iter(values))
+    }
+
+    /// Removes rows matching a predicate; returns how many were removed.
+    pub fn retain<F: FnMut(&Row) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| keep(r));
+        before - self.rows.len()
+    }
+
+    /// Returns a copy of this relation with all column names qualified by the
+    /// relation name (e.g. `title` becomes `movie.title`).
+    pub fn qualified(&self) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.qualified(&self.name),
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// Projects onto the named columns, preserving row order and duplicates.
+    pub fn project(&self, names: &[&str]) -> Result<Relation, RelationError> {
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<_, _>>()?;
+        let schema = self.schema.project(names)?;
+        let rows = self.rows.iter().map(|r| r.project(&idx)).collect();
+        Ok(Relation { name: self.name.clone(), schema, rows })
+    }
+
+    /// Returns a copy with duplicate rows removed (first occurrence kept).
+    pub fn distinct(&self) -> Relation {
+        let mut seen: Vec<Row> = Vec::new();
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            if !seen.iter().any(|s| s == r) {
+                seen.push(r.clone());
+                rows.push(r.clone());
+            }
+        }
+        Relation { name: self.name.clone(), schema: self.schema.clone(), rows }
+    }
+
+    /// Returns a copy with rows sorted by the deterministic total order.
+    pub fn sorted(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| a.total_cmp(b));
+        Relation { name: self.name.clone(), schema: self.schema.clone(), rows }
+    }
+
+    /// Extracts the single value of a 1×1 relation (e.g. an aggregate result).
+    pub fn scalar(&self) -> Result<Value, RelationError> {
+        if self.rows.len() != 1 || self.schema.arity() != 1 {
+            return Err(RelationError::ScalarSubqueryCardinality { rows: self.rows.len() });
+        }
+        Ok(self.rows[0][0].clone())
+    }
+
+    /// Values of the named column, in row order.
+    pub fn column_values(&self, name: &str) -> Result<Vec<Value>, RelationError> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {}", self.name, self.schema)?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A catalog of named relations (one "dataset" in the paper's terminology).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds (or replaces) a relation, keyed by its lower-cased name.
+    pub fn add(&mut self, relation: Relation) -> &mut Self {
+        self.relations.insert(relation.name().to_ascii_lowercase(), relation);
+        self
+    }
+
+    /// Looks up a relation by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Result<&Relation, RelationError> {
+        self.relations
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelationError::UnknownRelation { name: name.to_string() })
+    }
+
+    /// Mutable lookup by name (case-insensitive).
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation, RelationError> {
+        self.relations
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelationError::UnknownRelation { name: name.to_string() })
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.values().map(|r| r.name()).collect()
+    }
+
+    /// Number of relations in the catalog.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::ValueType;
+
+    fn majors() -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("major", ValueType::Str),
+            ("degree", ValueType::Str),
+        ]);
+        Relation::with_rows(
+            "Major",
+            schema,
+            vec![
+                row!["CS", "B.S."],
+                row!["CS", "B.A."],
+                row!["ECE", "B.S."],
+                row!["CS", "B.S."],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut rel = majors();
+        assert_eq!(rel.len(), 4);
+        let err = rel.insert(row!["only-one"]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { expected: 2, actual: 1 }));
+        rel.insert_values(["EE", "B.S."]).unwrap();
+        assert_eq!(rel.len(), 5);
+    }
+
+    #[test]
+    fn project_and_distinct() {
+        let rel = majors();
+        let p = rel.project(&["major"]).unwrap();
+        assert_eq!(p.schema().arity(), 1);
+        assert_eq!(p.len(), 4);
+        let d = p.distinct();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn qualified_schema_access() {
+        let rel = majors().qualified();
+        assert!(rel.schema().contains("Major.major"));
+        assert!(rel.schema().contains("degree"));
+    }
+
+    #[test]
+    fn retain_removes_rows() {
+        let mut rel = majors();
+        let removed = rel.retain(|r| r[0] != Value::str("CS"));
+        assert_eq!(removed, 3);
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let schema = Schema::from_pairs(&[("count", ValueType::Int)]);
+        let rel = Relation::with_rows("r", schema, vec![row![7]]).unwrap();
+        assert_eq!(rel.scalar().unwrap(), Value::Int(7));
+        assert!(majors().scalar().is_err());
+    }
+
+    #[test]
+    fn column_values_and_sorted() {
+        let rel = majors();
+        let vals = rel.column_values("major").unwrap();
+        assert_eq!(vals.len(), 4);
+        let sorted = rel.sorted();
+        assert_eq!(sorted.rows()[0][0], Value::str("CS"));
+        assert_eq!(sorted.rows()[3][0], Value::str("ECE"));
+        assert!(rel.column_values("nope").is_err());
+    }
+
+    #[test]
+    fn database_catalog_roundtrip() {
+        let mut db = Database::new();
+        db.add(majors());
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+        assert_eq!(db.total_rows(), 4);
+        assert!(db.get("major").is_ok());
+        assert!(db.get("MAJOR").is_ok());
+        assert!(db.get("missing").is_err());
+        db.get_mut("major").unwrap().insert(row!["EE", "B.S."]).unwrap();
+        assert_eq!(db.total_rows(), 5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Rows: ordered sequences of values conforming to a [`Schema`](crate::schema::Schema).
+
+use crate::value::{GroupKey, Value};
+use std::fmt;
+use std::ops::Index;
+
+/// A single row (tuple) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Creates a row from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Builds a row from anything convertible into values.
+    pub fn from_iter<I, V>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Row { values: iter.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of values in the row.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the row has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the value at position `idx`, if present.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenates two rows (used by joins).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        Row { values }
+    }
+
+    /// Projects the row onto the given column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Row {
+        Row {
+            values: indexes
+                .iter()
+                .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+                .collect(),
+        }
+    }
+
+    /// Grouping key over the given column indexes (numeric-coercing).
+    pub fn group_key(&self, indexes: &[usize]) -> Vec<GroupKey> {
+        indexes
+            .iter()
+            .map(|&i| self.values.get(i).map(Value::group_key).unwrap_or(GroupKey::Null))
+            .collect()
+    }
+
+    /// Deterministic ordering across rows (column-wise total order).
+    pub fn total_cmp(&self, other: &Row) -> std::cmp::Ordering {
+        for (a, b) in self.values.iter().zip(other.values.iter()) {
+            let ord = a.total_cmp(b);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.values.len().cmp(&other.values.len())
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro for building a [`Row`] from heterogeneous literals.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::row::Row::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let r = row!["CS", 2, 1.5, true];
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r[0], Value::str("CS"));
+        assert_eq!(r.get(1), Some(&Value::Int(2)));
+        assert_eq!(r.get(9), None);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = row![1, "x"];
+        let b = row![2.5];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Float(2.5), Value::Int(1)]);
+        // Out-of-range projection yields NULL rather than panicking.
+        let q = c.project(&[7]);
+        assert!(q[0].is_null());
+    }
+
+    #[test]
+    fn group_keys_coerce_numerics() {
+        let a = row![2, "x"];
+        let b = row![2.0, "x"];
+        assert_eq!(a.group_key(&[0, 1]), b.group_key(&[0, 1]));
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut rows = vec![row![2, "b"], row![1, "z"], row![1, "a"]];
+        rows.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(rows[0], row![1, "a"]);
+        assert_eq!(rows[1], row![1, "z"]);
+        assert_eq!(rows[2], row![2, "b"]);
+    }
+}

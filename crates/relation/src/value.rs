@@ -1,0 +1,392 @@
+//! Typed cell values for the in-memory relational engine.
+//!
+//! The engine is deliberately small: it supports the value types that appear
+//! in the paper's workloads (academic catalogs, IMDb views, synthetic
+//! `Table(id, match_attr, val)` data) — 64-bit integers, 64-bit floats,
+//! strings, booleans, and SQL-style NULL.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Column whose type is unknown (all-NULL or not yet inferred).
+    Unknown,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "INT",
+            ValueType::Float => "FLOAT",
+            ValueType::Str => "TEXT",
+            ValueType::Bool => "BOOL",
+            ValueType::Unknown => "UNKNOWN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the type of this value, or [`ValueType::Unknown`] for NULL.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Null => ValueType::Unknown,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+        }
+    }
+
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Interprets the value as a float where possible (Int, Float, Bool).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an integer where it is exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string slice (only for `Str`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a boolean. Numbers are truthy when non-zero.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            Value::Float(f) => Some(*f != 0.0),
+            _ => None,
+        }
+    }
+
+    /// SQL-style three-valued equality: NULL compares as `None`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.loose_eq(other))
+    }
+
+    /// Equality that coerces numeric types (`Int(2) == Float(2.0)`), treating
+    /// NULLs as equal to each other. Used for grouping and gold-standard
+    /// comparison rather than SQL predicate evaluation.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+
+    /// SQL-style comparison with numeric coercion. NULLs return `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Total ordering used for deterministic sorting of heterogeneous rows:
+    /// NULL < Bool < numeric < Str, with numeric coercion inside the numeric
+    /// class.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        let (ca, cb) = (class(self), class(other));
+        if ca != cb {
+            return ca.cmp(&cb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => {
+                let x = a.as_f64().unwrap_or(f64::NAN);
+                let y = b.as_f64().unwrap_or(f64::NAN);
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// Key usable for hashing/grouping: canonicalises Int/Float to a shared
+    /// representation and Strings by content.
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(i) => GroupKey::Num((*i as f64).to_bits()),
+            Value::Float(f) => GroupKey::Num(f.to_bits()),
+            Value::Str(s) => GroupKey::Str(s.clone()),
+        }
+    }
+
+    /// Numeric addition with NULL propagation; strings concatenate.
+    pub fn add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Str(a), Value::Str(b)) => Value::Str(format!("{a}{b}")),
+            (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x + y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Numeric subtraction with NULL propagation.
+    pub fn sub(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a - b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x - y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Numeric multiplication with NULL propagation.
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a * b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x * y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Numeric division; division by zero or non-numeric yields NULL.
+    pub fn div(&self, other: &Value) -> Value {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(_), Some(y)) if y == 0.0 => Value::Null,
+            (Some(x), Some(y)) => Value::Float(x / y),
+            _ => Value::Null,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.loose_eq(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Hashable canonical key for grouping values (numeric types unified).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupKey {
+    /// NULL group.
+    Null,
+    /// Boolean group.
+    Bool(bool),
+    /// Numeric group keyed by the f64 bit pattern of the coerced value.
+    Num(u64),
+    /// String group.
+    Str(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+        assert_eq!(Value::from("abc"), Value::str("abc"));
+    }
+
+    #[test]
+    fn null_three_valued_logic() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn loose_eq_treats_nulls_equal() {
+        assert!(Value::Null.loose_eq(&Value::Null));
+        assert!(!Value::Null.loose_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(3).add(&Value::Int(4)), Value::Int(7));
+        assert_eq!(Value::Int(3).add(&Value::Float(0.5)), Value::Float(3.5));
+        assert_eq!(Value::Int(3).add(&Value::Null), Value::Null);
+        assert_eq!(Value::str("a").add(&Value::str("b")), Value::str("ab"));
+        assert_eq!(Value::Int(10).div(&Value::Int(0)), Value::Null);
+        assert_eq!(Value::Int(10).div(&Value::Int(4)), Value::Float(2.5));
+        assert_eq!(Value::Int(7).sub(&Value::Int(3)), Value::Int(4));
+        assert_eq!(Value::Int(7).mul(&Value::Int(3)), Value::Int(21));
+    }
+
+    #[test]
+    fn total_cmp_orders_classes() {
+        let mut vals = vec![
+            Value::str("z"),
+            Value::Int(5),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(1.5));
+        assert_eq!(vals[3], Value::Int(5));
+        assert_eq!(vals[4], Value::str("z"));
+    }
+
+    #[test]
+    fn group_key_unifies_int_and_float() {
+        assert_eq!(Value::Int(3).group_key(), Value::Float(3.0).group_key());
+        assert_ne!(Value::Int(3).group_key(), Value::Float(3.1).group_key());
+        assert_ne!(Value::str("3").group_key(), Value::Int(3).group_key());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(Value::Float(2.0).as_i64(), Some(2));
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Int(0).as_bool(), Some(false));
+        assert_eq!(Value::Null.as_bool(), None);
+    }
+
+    #[test]
+    fn display_round_trip_is_stable() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("hello").to_string(), "hello");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn value_type_reporting() {
+        assert_eq!(Value::Int(1).value_type(), ValueType::Int);
+        assert_eq!(Value::Null.value_type(), ValueType::Unknown);
+        assert_eq!(Value::str("a").value_type(), ValueType::Str);
+        assert_eq!(ValueType::Str.to_string(), "TEXT");
+    }
+}

@@ -1,0 +1,407 @@
+//! Greedy pattern-tableau mining over "target" tuples.
+
+use explain3d_relation::prelude::{Row, Schema, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A conjunctive pattern: `attr1 = v1 AND attr2 = v2 AND ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// `(attribute name, value)` conditions, all of which must hold.
+    pub conditions: Vec<(String, Value)>,
+    /// Number of target tuples covered by the pattern.
+    pub target_coverage: usize,
+    /// Number of non-target tuples covered by the pattern (false positives).
+    pub other_coverage: usize,
+}
+
+impl Pattern {
+    /// Precision of the pattern: covered targets over all covered tuples.
+    pub fn precision(&self) -> f64 {
+        let total = self.target_coverage + self.other_coverage;
+        if total == 0 {
+            0.0
+        } else {
+            self.target_coverage as f64 / total as f64
+        }
+    }
+
+    /// True when the pattern covers the row (all conditions hold).
+    pub fn covers(&self, schema: &Schema, row: &Row) -> bool {
+        self.conditions.iter().all(|(attr, value)| {
+            schema
+                .index_of(attr)
+                .ok()
+                .and_then(|i| row.get(i))
+                .map(|v| v.loose_eq(value))
+                .unwrap_or(false)
+        })
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let conds: Vec<String> = self
+            .conditions
+            .iter()
+            .map(|(a, v)| format!("{a} = \"{v}\""))
+            .collect();
+        write!(
+            f,
+            "{} (covers {} targets, {} others)",
+            conds.join(" AND "),
+            self.target_coverage,
+            self.other_coverage
+        )
+    }
+}
+
+/// Configuration of the summariser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummarizerConfig {
+    /// Maximum number of conjuncts per pattern (1 or 2 are typical).
+    pub max_conditions: usize,
+    /// Minimum precision a pattern must reach to be selected.
+    pub min_precision: f64,
+    /// Minimum number of targets a pattern must cover to be selected.
+    pub min_coverage: usize,
+    /// Maximum number of patterns in the summary (0 = unlimited).
+    pub max_patterns: usize,
+}
+
+impl Default for SummarizerConfig {
+    fn default() -> Self {
+        SummarizerConfig { max_conditions: 2, min_precision: 0.6, min_coverage: 2, max_patterns: 0 }
+    }
+}
+
+/// The result of summarisation: selected patterns plus the targets that no
+/// acceptable pattern covered (reported individually, as the paper notes that
+/// detailed Stage-2 explanations remain available).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// The selected patterns, in selection order (highest coverage first).
+    pub patterns: Vec<Pattern>,
+    /// Indexes (into the target list) of targets not covered by any pattern.
+    pub uncovered_targets: Vec<usize>,
+    /// Total number of target tuples.
+    pub num_targets: usize,
+}
+
+impl Summary {
+    /// The size of the summary `|E_S|`: patterns plus individually-reported
+    /// leftover targets.
+    pub fn size(&self) -> usize {
+        self.patterns.len() + self.uncovered_targets.len()
+    }
+
+    /// Fraction of targets covered by at least one selected pattern.
+    pub fn coverage(&self) -> f64 {
+        if self.num_targets == 0 {
+            return 1.0;
+        }
+        (self.num_targets - self.uncovered_targets.len()) as f64 / self.num_targets as f64
+    }
+
+    /// Renders the summary as human-readable text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Summary: {} pattern(s) covering {:.0}% of {} explanation tuple(s)\n",
+            self.patterns.len(),
+            self.coverage() * 100.0,
+            self.num_targets
+        ));
+        for p in &self.patterns {
+            out.push_str(&format!("  - {p}\n"));
+        }
+        if !self.uncovered_targets.is_empty() {
+            out.push_str(&format!(
+                "  ({} explanation tuple(s) reported individually)\n",
+                self.uncovered_targets.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Summarises the target tuples against a background population.
+///
+/// * `schema` — schema shared by targets and background rows;
+/// * `targets` — the rows touched by explanations;
+/// * `background` — all other rows of the same relation (used to measure a
+///   pattern's false-positive coverage).
+pub fn summarize(
+    schema: &Schema,
+    targets: &[Row],
+    background: &[Row],
+    config: &SummarizerConfig,
+) -> Summary {
+    let mut summary = Summary { num_targets: targets.len(), ..Default::default() };
+    if targets.is_empty() {
+        return summary;
+    }
+
+    // Enumerate candidate patterns: single conditions and (optionally) pairs,
+    // built from values that actually appear in target tuples.
+    let candidates = candidate_patterns(schema, targets, background, config);
+
+    // Greedy weighted set cover over the targets.
+    let mut covered = vec![false; targets.len()];
+    let mut selected: Vec<Pattern> = Vec::new();
+    loop {
+        if config.max_patterns > 0 && selected.len() >= config.max_patterns {
+            break;
+        }
+        let mut best: Option<(usize, usize)> = None; // (candidate idx, new coverage)
+        for (ci, cand) in candidates.iter().enumerate() {
+            if cand.precision() < config.min_precision || cand.target_coverage < config.min_coverage
+            {
+                continue;
+            }
+            let new_cover = targets
+                .iter()
+                .enumerate()
+                .filter(|(ti, row)| !covered[*ti] && cand.covers(schema, row))
+                .count();
+            if new_cover == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bi, bc)) => {
+                    new_cover > bc
+                        || (new_cover == bc
+                            && cand.precision() > candidates[bi].precision() + 1e-12)
+                }
+            };
+            if better {
+                best = Some((ci, new_cover));
+            }
+        }
+        let Some((ci, new_cover)) = best else { break };
+        if new_cover < config.min_coverage && !selected.is_empty() {
+            break;
+        }
+        let chosen = candidates[ci].clone();
+        for (ti, row) in targets.iter().enumerate() {
+            if chosen.covers(schema, row) {
+                covered[ti] = true;
+            }
+        }
+        selected.push(chosen);
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+
+    summary.uncovered_targets = covered
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| !c)
+        .map(|(i, _)| i)
+        .collect();
+    summary.patterns = selected;
+    summary
+}
+
+/// Builds candidate patterns (width 1 and optionally 2) with their coverage
+/// statistics.
+fn candidate_patterns(
+    schema: &Schema,
+    targets: &[Row],
+    background: &[Row],
+    config: &SummarizerConfig,
+) -> Vec<Pattern> {
+    // Count value frequencies per attribute over the targets.
+    let mut single: BTreeMap<(usize, String), (Value, usize)> = BTreeMap::new();
+    for row in targets {
+        for (ci, value) in row.values().iter().enumerate() {
+            if value.is_null() {
+                continue;
+            }
+            let key = (ci, value.to_string().to_ascii_lowercase());
+            single
+                .entry(key)
+                .and_modify(|(_, n)| *n += 1)
+                .or_insert((value.clone(), 1));
+        }
+    }
+
+    let mut patterns: Vec<Pattern> = Vec::new();
+    let count_other = |p: &Pattern| background.iter().filter(|r| p.covers(schema, r)).count();
+
+    let mut singles: Vec<Pattern> = Vec::new();
+    for ((ci, _), (value, target_cov)) in &single {
+        let Some(column) = schema.column(*ci) else { continue };
+        let mut p = Pattern {
+            conditions: vec![(column.name.clone(), value.clone())],
+            target_coverage: *target_cov,
+            other_coverage: 0,
+        };
+        p.other_coverage = count_other(&p);
+        singles.push(p);
+    }
+    // Highest coverage first so pair generation combines promising singles.
+    singles.sort_by(|a, b| b.target_coverage.cmp(&a.target_coverage));
+
+    if config.max_conditions >= 2 {
+        let top: Vec<&Pattern> = singles.iter().take(12).collect();
+        for (i, a) in top.iter().enumerate() {
+            for b in top.iter().skip(i + 1) {
+                if a.conditions[0].0 == b.conditions[0].0 {
+                    continue; // same attribute twice is unsatisfiable
+                }
+                let mut p = Pattern {
+                    conditions: vec![a.conditions[0].clone(), b.conditions[0].clone()],
+                    target_coverage: 0,
+                    other_coverage: 0,
+                };
+                p.target_coverage = targets.iter().filter(|r| p.covers(schema, r)).count();
+                if p.target_coverage == 0 {
+                    continue;
+                }
+                p.other_coverage = count_other(&p);
+                patterns.push(p);
+            }
+        }
+    }
+    patterns.extend(singles);
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_relation::prelude::ValueType;
+    use explain3d_relation::row;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("major", ValueType::Str), ("degree", ValueType::Str)])
+    }
+
+    #[test]
+    fn finds_the_common_degree_pattern() {
+        // The paper's running summary: a large portion of mismatches are
+        // majors with Degree = "Associate degree".
+        let targets = vec![
+            row!["Turfgrass Management", "Associate degree"],
+            row!["Equine Management", "Associate degree"],
+            row!["Culinary Arts", "Associate degree"],
+            row!["Dance", "B.A."],
+        ];
+        let background = vec![
+            row!["Computer Science", "B.S."],
+            row!["Biology", "B.S."],
+            row!["History", "B.A."],
+        ];
+        let summary = summarize(&schema(), &targets, &background, &SummarizerConfig::default());
+        assert!(!summary.patterns.is_empty());
+        let first = &summary.patterns[0];
+        assert_eq!(first.conditions.len(), 1);
+        assert_eq!(first.conditions[0].0, "degree");
+        assert_eq!(first.conditions[0].1, Value::str("Associate degree"));
+        assert_eq!(first.target_coverage, 3);
+        assert_eq!(first.other_coverage, 0);
+        assert_eq!(first.precision(), 1.0);
+        // The leftover B.A. target is reported individually.
+        assert_eq!(summary.uncovered_targets.len(), 1);
+        assert_eq!(summary.size(), 2);
+        assert!(summary.coverage() > 0.7);
+        assert!(summary.render().contains("Associate degree"));
+    }
+
+    #[test]
+    fn summary_is_smaller_than_the_explanation_list() {
+        // 20 targets sharing one value should compress to a single pattern.
+        let mut targets = Vec::new();
+        for i in 0..20 {
+            targets.push(row![format!("major {i}"), "Associate degree"]);
+        }
+        let background: Vec<Row> = (0..50).map(|i| row![format!("other {i}"), "B.S."]).collect();
+        let summary = summarize(&schema(), &targets, &background, &SummarizerConfig::default());
+        assert_eq!(summary.patterns.len(), 1);
+        assert!(summary.size() < targets.len());
+        assert_eq!(summary.coverage(), 1.0);
+    }
+
+    #[test]
+    fn low_precision_patterns_are_rejected() {
+        // "B.S." appears in targets but overwhelmingly in the background, so
+        // it should not be used as a pattern.
+        let targets = vec![row!["A", "B.S."], row!["B", "B.S."]];
+        let background: Vec<Row> = (0..40).map(|i| row![format!("bg {i}"), "B.S."]).collect();
+        let cfg = SummarizerConfig { min_precision: 0.5, ..Default::default() };
+        let summary = summarize(&schema(), &targets, &background, &cfg);
+        assert!(
+            summary.patterns.iter().all(|p| p.precision() >= 0.5),
+            "selected low-precision patterns: {:?}",
+            summary.patterns
+        );
+        // The targets end up reported individually instead.
+        assert_eq!(summary.uncovered_targets.len() + summary
+            .patterns
+            .iter()
+            .map(|p| p.target_coverage)
+            .sum::<usize>()
+            .min(2), 2);
+    }
+
+    #[test]
+    fn two_condition_patterns_when_needed() {
+        // Targets are exactly the Associate-degree Management majors; either
+        // condition alone is imprecise, the conjunction is exact.
+        let schema = Schema::from_pairs(&[("dept", ValueType::Str), ("degree", ValueType::Str)]);
+        let targets = vec![
+            row!["Management", "Associate"],
+            row!["Management", "Associate"],
+            row!["Management", "Associate"],
+        ];
+        let background = vec![
+            row!["Management", "B.S."],
+            row!["Management", "B.S."],
+            row!["Biology", "Associate"],
+            row!["Biology", "Associate"],
+        ];
+        let cfg = SummarizerConfig { min_precision: 0.9, ..Default::default() };
+        let summary = summarize(&schema, &targets, &background, &cfg);
+        assert_eq!(summary.patterns.len(), 1);
+        assert_eq!(summary.patterns[0].conditions.len(), 2);
+        assert_eq!(summary.patterns[0].precision(), 1.0);
+    }
+
+    #[test]
+    fn empty_targets_give_empty_summary() {
+        let summary = summarize(&schema(), &[], &[], &SummarizerConfig::default());
+        assert!(summary.patterns.is_empty());
+        assert_eq!(summary.size(), 0);
+        assert_eq!(summary.coverage(), 1.0);
+    }
+
+    #[test]
+    fn max_patterns_limit_is_respected() {
+        let targets = vec![
+            row!["A", "x"],
+            row!["A", "x"],
+            row!["B", "y"],
+            row!["B", "y"],
+            row!["C", "z"],
+            row!["C", "z"],
+        ];
+        let cfg = SummarizerConfig { max_patterns: 1, min_coverage: 1, ..Default::default() };
+        let summary = summarize(&schema(), &targets, &[], &cfg);
+        assert_eq!(summary.patterns.len(), 1);
+        assert!(!summary.uncovered_targets.is_empty());
+    }
+
+    #[test]
+    fn null_values_do_not_form_patterns() {
+        let targets = vec![
+            Row::new(vec![Value::Null, Value::Null]),
+            Row::new(vec![Value::Null, Value::Null]),
+        ];
+        let summary = summarize(&schema(), &targets, &[], &SummarizerConfig::default());
+        assert!(summary.patterns.is_empty());
+        assert_eq!(summary.uncovered_targets.len(), 2);
+    }
+}

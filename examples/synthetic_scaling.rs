@@ -1,0 +1,52 @@
+//! Synthetic scaling scenario (Section 5.3): generate `Table(id, match_attr,
+//! val)` pairs with a controlled difference ratio and compare the basic
+//! algorithm (NOOPT) against the smart-partitioning optimiser (BATCH-k) on
+//! both solve time and accuracy.
+//!
+//! Run with: `cargo run --release --example synthetic_scaling`
+
+use explain3d::datagen::{generate_synthetic, SyntheticConfig};
+use explain3d::eval::ResultTable;
+use explain3d::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut table = ResultTable::new(
+        "Synthetic data: NoOpt vs smart partitioning",
+        &["n", "method", "sub-problems", "solve time (s)", "expl F1", "evid F1"],
+    );
+
+    for &n in &[100usize, 300, 600] {
+        let case = generate_synthetic(&SyntheticConfig::new(n, 0.2, 1000));
+        let gold = GoldStandard::new(case.gold.clone());
+
+        for (label, config) in [
+            ("NoOpt", Explain3DConfig::no_opt()),
+            ("Batch-100", Explain3DConfig::batched(100)),
+        ] {
+            let solver = Explain3D::new(config);
+            let start = Instant::now();
+            let report = solver.explain(
+                &case.prepared.left_canonical,
+                &case.prepared.right_canonical,
+                &case.attribute_matches,
+                &case.initial_mapping,
+            );
+            let elapsed = start.elapsed();
+            let expl = explanation_accuracy(&report.explanations, &gold);
+            let evid = evidence_accuracy(&report.explanations.evidence, &gold);
+            table.add_row(vec![
+                n.to_string(),
+                label.to_string(),
+                report.stats.num_subproblems.to_string(),
+                format!("{:.3}", elapsed.as_secs_f64()),
+                format!("{:.3}", expl.f_measure),
+                format!("{:.3}", evid.f_measure),
+            ]);
+        }
+    }
+
+    println!("{table}");
+    println!("Partitioning bounds each MILP's size, so solve time grows roughly");
+    println!("linearly with n while accuracy is essentially unchanged.");
+}

@@ -1,0 +1,209 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use explain3d::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a canonical relation from `(key, impact)` pairs.
+fn canon(name: &str, entries: &[(String, f64)]) -> CanonicalRelation {
+    CanonicalRelation {
+        query_name: name.to_string(),
+        schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+        key_attrs: vec!["k".to_string()],
+        tuples: entries
+            .iter()
+            .enumerate()
+            .map(|(i, (k, imp))| CanonicalTuple {
+                id: i,
+                key: vec![Value::str(k.clone())],
+                impact: *imp,
+                members: vec![i],
+                representative: Row::new(vec![Value::str(k.clone())]),
+            })
+            .collect(),
+        aggregate: None,
+    }
+}
+
+/// Strategy: a small instance with up to 6 entities per side, random impacts,
+/// random drops, and a noisy initial mapping.
+fn small_instance() -> impl Strategy<Value = (Vec<(String, f64)>, Vec<(String, f64)>, Vec<(usize, usize, f64)>)>
+{
+    (2usize..6).prop_flat_map(|n| {
+        let left = proptest::collection::vec(1.0..4.0f64, n).prop_map(move |imps| {
+            imps.iter()
+                .enumerate()
+                .map(|(i, &imp)| (format!("entity {i}"), imp.round()))
+                .collect::<Vec<_>>()
+        });
+        let right = proptest::collection::vec((proptest::bool::ANY, 1.0..4.0f64), n).prop_map(
+            move |flags| {
+                flags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (keep, _))| *keep)
+                    .map(|(i, (_, imp))| (format!("entity {i}"), imp.round()))
+                    .collect::<Vec<_>>()
+            },
+        );
+        (left, right).prop_map(move |(l, r)| {
+            // Initial mapping: correct pairs with high probability plus a few
+            // noise pairs with low probability.
+            let mut matches = Vec::new();
+            for (i, (lk, _)) in l.iter().enumerate() {
+                for (j, (rk, _)) in r.iter().enumerate() {
+                    if lk == rk {
+                        matches.push((i, j, 0.9));
+                    } else if (i + j) % 3 == 0 {
+                        matches.push((i, j, 0.2));
+                    }
+                }
+            }
+            (l, r, matches)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Explain3D's result is always *complete*: applying the explanations
+    /// reconciles the two canonical relations (Definition 3.4).
+    #[test]
+    fn explain3d_results_are_always_complete((left, right, matches) in small_instance()) {
+        let t1 = canon("Q1", &left);
+        let t2 = canon("Q2", &right);
+        let mapping: TupleMapping = matches
+            .iter()
+            .map(|&(l, r, p)| TupleMatch::new(l, r, p))
+            .collect();
+        let attr = AttributeMatches::single_equivalent("k", "k");
+        let report = Explain3D::with_defaults().explain(&t1, &t2, &attr, &mapping);
+        prop_assert!(report.complete, "incomplete explanations: {:?}", report.explanations);
+        // The score of the returned explanations never exceeds zero and is finite.
+        prop_assert!(report.log_probability.is_finite());
+        prop_assert!(report.log_probability <= 0.0);
+    }
+
+    /// The optimal explanations never score worse than the trivial complete
+    /// solution that removes every tuple and drops every match.
+    #[test]
+    fn explain3d_not_worse_than_trivial_solution((left, right, matches) in small_instance()) {
+        let t1 = canon("Q1", &left);
+        let t2 = canon("Q2", &right);
+        let mapping: TupleMapping = matches
+            .iter()
+            .map(|&(l, r, p)| TupleMatch::new(l, r, p))
+            .collect();
+        let attr = AttributeMatches::single_equivalent("k", "k");
+        let params = ProbabilityParams::default();
+        let report = Explain3D::with_defaults().explain(&t1, &t2, &attr, &mapping);
+
+        let mut trivial = ExplanationSet::new();
+        for i in 0..t1.len() {
+            trivial.add_provenance(Side::Left, i);
+        }
+        for j in 0..t2.len() {
+            trivial.add_provenance(Side::Right, j);
+        }
+        let trivial_score = log_probability(&trivial, &t1, &t2, &mapping, &params);
+        prop_assert!(
+            report.log_probability >= trivial_score - 1e-6,
+            "optimal {} worse than trivial {}",
+            report.log_probability,
+            trivial_score
+        );
+    }
+
+    /// Partitioned and un-partitioned runs agree on completeness and produce
+    /// valid evidence mappings (degree constraints).
+    #[test]
+    fn evidence_respects_cardinality((left, right, matches) in small_instance()) {
+        let t1 = canon("Q1", &left);
+        let t2 = canon("Q2", &right);
+        let mapping: TupleMapping = matches
+            .iter()
+            .map(|&(l, r, p)| TupleMatch::new(l, r, p))
+            .collect();
+        let attr = AttributeMatches::single_equivalent("k", "k");
+        for config in [Explain3DConfig::no_opt(), Explain3DConfig::batched(4)] {
+            let report = Explain3D::new(config).explain(&t1, &t2, &attr, &mapping);
+            for (l, ms) in report.explanations.evidence.by_left() {
+                prop_assert!(ms.len() <= 1, "left tuple {l} matched {} times", ms.len());
+            }
+            for (r, ms) in report.explanations.evidence.by_right() {
+                prop_assert!(ms.len() <= 1, "right tuple {r} matched {} times", ms.len());
+            }
+            prop_assert!(report.complete);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Token-wise Jaccard similarity is symmetric, bounded, and reflexive.
+    #[test]
+    fn jaccard_similarity_properties(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        let ab = explain3d::linkage::jaccard(&a, &b);
+        let ba = explain3d::linkage::jaccard(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((explain3d::linkage::jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    /// The MILP solver respects its own model: solutions satisfy every
+    /// constraint and integrality requirement of random small knapsacks.
+    #[test]
+    fn milp_solutions_are_feasible(
+        values in proptest::collection::vec(1.0..10.0f64, 2..6),
+        weights in proptest::collection::vec(1.0..5.0f64, 2..6),
+        capacity in 3.0..12.0f64,
+    ) {
+        let n = values.len().min(weights.len());
+        let mut model = explain3d::milp::Model::new();
+        let vars: Vec<_> = (0..n).map(|i| model.add_binary(format!("x{i}"))).collect();
+        let mut cap = explain3d::milp::LinExpr::zero();
+        let mut obj = explain3d::milp::LinExpr::zero();
+        for i in 0..n {
+            cap.add_term(vars[i], weights[i]);
+            obj.add_term(vars[i], values[i]);
+        }
+        model.add_le("capacity", cap, capacity);
+        model.maximize(obj);
+        let sol = explain3d::milp::solve_default(&model);
+        prop_assert!(sol.status.has_solution());
+        prop_assert!(model.violations(&sol.values, 1e-6).is_empty());
+        // Exhaustive check: no feasible subset beats the reported optimum.
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let w: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+            if w <= capacity + 1e-9 {
+                let v: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| values[i]).sum();
+                best = best.max(v);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-6, "solver {} vs brute force {}", sol.objective, best);
+    }
+
+    /// Graph partitioning covers every node exactly once and respects the
+    /// size bound.
+    #[test]
+    fn partitioning_is_a_proper_cover(
+        pairs in 2usize..30,
+        batch in 4usize..16,
+    ) {
+        use explain3d::partition::{smart_partition, MappingGraph, SmartPartitionConfig};
+        let mut g = MappingGraph::new(pairs, pairs);
+        for i in 0..pairs {
+            g.add_edge(i, i, 0.95);
+            if i + 1 < pairs {
+                g.add_edge(i, i + 1, 0.3);
+            }
+        }
+        let p = smart_partition(&g, &SmartPartitionConfig::with_batch_size(batch));
+        prop_assert_eq!(p.assignment().len(), g.node_count());
+        prop_assert!(p.max_part_size() <= batch.max(2));
+        let covered: usize = p.part_sizes().iter().sum();
+        prop_assert_eq!(covered, g.node_count());
+    }
+}
