@@ -16,16 +16,10 @@ use explain3d_linkage::{TupleMapping, TupleMatch};
 use explain3d_milp::prelude::*;
 
 /// The EXACTCOVER baseline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ExactCoverBaseline {
     /// MILP solver configuration.
     pub milp: MilpConfig,
-}
-
-impl Default for ExactCoverBaseline {
-    fn default() -> Self {
-        ExactCoverBaseline { milp: MilpConfig::default() }
-    }
 }
 
 impl ExactCoverBaseline {
@@ -68,11 +62,7 @@ impl ExactCoverBaseline {
                 sum.add_term(set_vars[j], 1.0);
             }
             model.add_le(format!("at_most_once_{i}"), sum.clone(), 1.0);
-            model.add_le(
-                format!("covered_{i}"),
-                LinExpr::term(elem_vars[i], 1.0) - sum,
-                0.0,
-            );
+            model.add_le(format!("covered_{i}"), LinExpr::term(elem_vars[i], 1.0) - sum, 0.0);
         }
         model.maximize(objective);
 

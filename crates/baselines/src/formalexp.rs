@@ -92,11 +92,7 @@ impl FormalExpBaseline {
     /// Runs the baseline on both relations, producing provenance-based
     /// explanations for the tuples covered by the top-k predicates on each
     /// side (only predicates with positive intervention scores are used).
-    pub fn explain(
-        &self,
-        left: &CanonicalRelation,
-        right: &CanonicalRelation,
-    ) -> ExplanationSet {
+    pub fn explain(&self, left: &CanonicalRelation, right: &CanonicalRelation) -> ExplanationSet {
         let left_total = left.total_impact();
         let right_total = right.total_impact();
         let mut out = ExplanationSet::new();
@@ -176,12 +172,7 @@ mod tests {
 
     #[test]
     fn top_k_limits_reported_tuples() {
-        let left = canon(&[
-            ("A", "d1", 1.0),
-            ("B", "d2", 1.0),
-            ("C", "d3", 1.0),
-            ("D", "d4", 1.0),
-        ]);
+        let left = canon(&[("A", "d1", 1.0), ("B", "d2", 1.0), ("C", "d3", 1.0), ("D", "d4", 1.0)]);
         let right = canon(&[("A", "d1", 1.0)]);
         let all = FormalExpBaseline::new(50).explain(&left, &right);
         let one = FormalExpBaseline::new(1).explain(&left, &right);

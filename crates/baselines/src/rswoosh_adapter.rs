@@ -4,7 +4,7 @@
 
 use crate::common::explanations_from_evidence;
 use explain3d_core::prelude::{CanonicalRelation, ExplanationSet};
-use explain3d_linkage::{RSwoosh, StringMetric, RSwooshConfig, TupleMapping};
+use explain3d_linkage::{RSwoosh, RSwooshConfig, StringMetric, TupleMapping};
 
 /// The RSWOOSH baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +35,8 @@ impl RSwooshBaseline {
         left: &CanonicalRelation,
         right: &CanonicalRelation,
     ) -> (ExplanationSet, TupleMapping) {
-        let rswoosh = RSwoosh::new(RSwooshConfig { threshold: self.threshold, metric: self.metric });
+        let rswoosh =
+            RSwoosh::new(RSwooshConfig { threshold: self.threshold, metric: self.metric });
         let left_values: Vec<_> = left.tuples.iter().map(|t| t.key.clone()).collect();
         let right_values: Vec<_> = right.tuples.iter().map(|t| t.key.clone()).collect();
         let (_clusters, evidence) = rswoosh.cross_mapping(&left_values, &right_values);

@@ -1,52 +1,51 @@
-//! Criterion benches for the academic pair (Figure 6c/6f): execution time of
+//! Benches for the academic pair (Figure 6c/6f): execution time of
 //! Explain3D and the baseline methods on a UMass-sized catalog comparison.
+//!
+//! Criterion is unavailable in this build environment, so this is a
+//! `harness = false` binary over the std timing helpers in
+//! [`explain3d_bench::timing`]. Run with `cargo bench -p explain3d-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use explain3d::datagen::{generate_academic, AcademicConfig};
 use explain3d::prelude::*;
+use explain3d_bench::timing::{report, sample};
 
-fn bench_methods(c: &mut Criterion) {
+fn main() {
     let case = generate_academic(&AcademicConfig { num_programs: 60, ..AcademicConfig::umass() });
     let left = case.prepared.left_canonical.clone();
     let right = case.prepared.right_canonical.clone();
+    const GROUP: &str = "fig6_academic_methods";
 
-    let mut group = c.benchmark_group("fig6_academic_methods");
-    group.sample_size(10);
+    let (stats, _) = sample(3, || {
+        Explain3D::new(Explain3DConfig::batched(100)).explain(
+            &left,
+            &right,
+            &case.attribute_matches,
+            &case.initial_mapping,
+        )
+    });
+    report(GROUP, "explain3d_batch100", &stats);
 
-    group.bench_function("explain3d_batch100", |b| {
-        b.iter(|| {
-            Explain3D::new(Explain3DConfig::batched(100)).explain(
-                &left,
-                &right,
-                &case.attribute_matches,
-                &case.initial_mapping,
-            )
-        })
+    let (stats, _) = sample(3, || {
+        GreedyBaseline::default().explain(
+            &left,
+            &right,
+            &case.attribute_matches,
+            &case.initial_mapping,
+        )
     });
-    group.bench_function("greedy", |b| {
-        b.iter(|| {
-            GreedyBaseline::default().explain(
-                &left,
-                &right,
-                &case.attribute_matches,
-                &case.initial_mapping,
-            )
-        })
-    });
-    group.bench_function("threshold_0_9", |b| {
-        b.iter(|| ThresholdBaseline::default().explain(&left, &right, &case.initial_mapping))
-    });
-    group.bench_function("rswoosh", |b| {
-        b.iter(|| RSwooshBaseline::default().explain(&left, &right))
-    });
-    group.bench_function("exactcover", |b| {
-        b.iter(|| ExactCoverBaseline::default().explain(&left, &right, &case.initial_mapping))
-    });
-    group.bench_function("formalexp_top15", |b| {
-        b.iter(|| FormalExpBaseline::default().explain(&left, &right))
-    });
-    group.finish();
+    report(GROUP, "greedy", &stats);
+
+    let (stats, _) =
+        sample(3, || ThresholdBaseline::default().explain(&left, &right, &case.initial_mapping));
+    report(GROUP, "threshold_0_9", &stats);
+
+    let (stats, _) = sample(3, || RSwooshBaseline::default().explain(&left, &right));
+    report(GROUP, "rswoosh", &stats);
+
+    let (stats, _) =
+        sample(3, || ExactCoverBaseline::default().explain(&left, &right, &case.initial_mapping));
+    report(GROUP, "exactcover", &stats);
+
+    let (stats, _) = sample(3, || FormalExpBaseline::default().explain(&left, &right));
+    report(GROUP, "formalexp_top15", &stats);
 }
-
-criterion_group!(benches, bench_methods);
-criterion_main!(benches);

@@ -1,42 +1,40 @@
-//! Criterion benches for the synthetic workload (Figure 8): Stage-2 solve
-//! time of the un-partitioned algorithm vs. the smart-partitioning optimiser
-//! on small instances, and the cost of the partitioning step itself.
+//! Benches for the synthetic workload (Figure 8): Stage-2 solve time of the
+//! un-partitioned algorithm vs. the smart-partitioning optimiser on small
+//! instances, the cost of the partitioning step itself, and initial-mapping
+//! generation.
+//!
+//! Criterion is unavailable in this build environment, so these are
+//! `harness = false` binaries over the std timing helpers in
+//! [`explain3d_bench::timing`]. Run with `cargo bench -p explain3d-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use explain3d::datagen::{generate_synthetic, SyntheticConfig};
 use explain3d::partition::{smart_partition, MappingGraph, SmartPartitionConfig};
 use explain3d::prelude::*;
+use explain3d_bench::timing::{report, sample};
 
-fn bench_stage2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_stage2_solve");
-    group.sample_size(10);
+fn bench_stage2() {
     for &n in &[50usize, 150, 300] {
         let case = generate_synthetic(&SyntheticConfig::new(n, 0.2, 1000));
-        for (label, config) in [
-            ("noopt", Explain3DConfig::no_opt()),
-            ("batch100", Explain3DConfig::batched(100)),
-        ] {
+        for (label, config) in
+            [("noopt", Explain3DConfig::no_opt()), ("batch100", Explain3DConfig::batched(100))]
+        {
             if label == "noopt" && n > 150 {
                 continue; // the single-MILP variant is benchmarked only at small n
             }
-            group.bench_with_input(BenchmarkId::new(label, n), &case, |b, case| {
-                b.iter(|| {
-                    Explain3D::new(config.clone()).explain(
-                        &case.prepared.left_canonical,
-                        &case.prepared.right_canonical,
-                        &case.attribute_matches,
-                        &case.initial_mapping,
-                    )
-                })
+            let (stats, _) = sample(3, || {
+                Explain3D::new(config.clone()).explain(
+                    &case.prepared.left_canonical,
+                    &case.prepared.right_canonical,
+                    &case.attribute_matches,
+                    &case.initial_mapping,
+                )
             });
+            report("fig8_stage2_solve", &format!("{label}/{n}"), &stats);
         }
     }
-    group.finish();
 }
 
-fn bench_partitioning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_smart_partitioning");
-    group.sample_size(20);
+fn bench_partitioning() {
     for &pairs in &[1000usize, 5000] {
         let mut graph = MappingGraph::new(pairs, pairs);
         for i in 0..pairs {
@@ -45,30 +43,28 @@ fn bench_partitioning(c: &mut Criterion) {
                 graph.add_edge(i, i + 1, 0.2);
             }
         }
-        group.bench_with_input(BenchmarkId::new("batch100", pairs), &graph, |b, g| {
-            b.iter(|| smart_partition(g, &SmartPartitionConfig::with_batch_size(100)))
-        });
+        let (stats, _) =
+            sample(5, || smart_partition(&graph, &SmartPartitionConfig::with_batch_size(100)));
+        report("fig8_smart_partitioning", &format!("batch100/{pairs}"), &stats);
     }
-    group.finish();
 }
 
-fn bench_initial_mapping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("initial_mapping_generation");
-    group.sample_size(10);
+fn bench_initial_mapping() {
     let case = generate_synthetic(&SyntheticConfig::new(300, 0.2, 1000));
-    group.bench_function("synthetic_n300", |b| {
-        b.iter(|| {
-            build_initial_mapping(
-                &case.prepared.left_canonical,
-                &case.prepared.right_canonical,
-                &case.attribute_matches,
-                &MappingOptions::default(),
-                None,
-            )
-        })
+    let (stats, _) = sample(3, || {
+        build_initial_mapping(
+            &case.prepared.left_canonical,
+            &case.prepared.right_canonical,
+            &case.attribute_matches,
+            &MappingOptions::default(),
+            None,
+        )
     });
-    group.finish();
+    report("initial_mapping_generation", "synthetic_n300", &stats);
 }
 
-criterion_group!(benches, bench_stage2, bench_partitioning, bench_initial_mapping);
-criterion_main!(benches);
+fn main() {
+    bench_stage2();
+    bench_partitioning();
+    bench_initial_mapping();
+}

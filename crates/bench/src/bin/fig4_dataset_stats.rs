@@ -34,8 +34,7 @@ fn main() {
         "Figure 4: dataset statistics",
         &["case", "N (rows)", "|P1|/|P2|", "|T1|/|T2|", "|M_tuple|", "|M*|", "|E| -> |E_S|"],
     );
-    let mut matches_table =
-        ResultTable::new("Figure 5: attribute matches", &["case", "M_attr"]);
+    let mut matches_table = ResultTable::new("Figure 5: attribute matches", &["case", "M_attr"]);
 
     for config in [AcademicConfig::umass(), AcademicConfig::osu()] {
         let case = generate_academic(&config);

@@ -33,16 +33,7 @@ fn main() {
         let outcomes = run_all_methods(&case, 50);
         let mut table = ResultTable::new(
             format!("{label}: accuracy and execution time"),
-            &[
-                "method",
-                "expl P",
-                "expl R",
-                "expl F1",
-                "evid P",
-                "evid R",
-                "evid F1",
-                "time (s)",
-            ],
+            &["method", "expl P", "expl R", "expl F1", "evid P", "evid R", "evid F1", "time (s)"],
         );
         for o in &outcomes {
             table.add_row(vec![

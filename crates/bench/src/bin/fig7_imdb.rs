@@ -12,7 +12,8 @@ use std::collections::BTreeMap;
 
 fn main() {
     // --- Figure 7a/7b: average accuracy over template instantiations. ---
-    let views = generate_views(&ImdbConfig { num_movies: 300, num_persons: 360, ..Default::default() });
+    let views =
+        generate_views(&ImdbConfig { num_movies: 300, num_persons: 360, ..Default::default() });
     let mut expl: BTreeMap<String, Vec<Accuracy>> = BTreeMap::new();
     let mut evid: BTreeMap<String, Vec<Accuracy>> = BTreeMap::new();
     let mut times: BTreeMap<String, f64> = BTreeMap::new();
@@ -70,7 +71,8 @@ fn main() {
     );
     for &movies in &[150usize, 300, 600, 1200] {
         let scaled = generate_views(&ImdbConfig::default().with_movies(movies));
-        let case = scaled.case(ImdbTemplate::TotalGross, &scaled.default_param(ImdbTemplate::TotalGross, 9));
+        let case = scaled
+            .case(ImdbTemplate::TotalGross, &scaled.default_param(ImdbTemplate::TotalGross, 9));
         let size = case.prepared.left_canonical.len() + case.prepared.right_canonical.len();
         let (t100, _) = time_explain3d(&case, Explain3DConfig::batched(100));
         let (t1000, _) = time_explain3d(&case, Explain3DConfig::batched(1000));

@@ -26,7 +26,14 @@ fn methods() -> Vec<(&'static str, Explain3DConfig)> {
 fn run_sweep(title: &str, configs: Vec<(String, SyntheticConfig)>, noopt_cap: usize) {
     let mut table = ResultTable::new(
         title,
-        &["setting", "|T1|+|T2|", "NoOpt (s)", "Batch-100 (s)", "Batch-1000 (s)", "expl F1 (Batch-100)"],
+        &[
+            "setting",
+            "|T1|+|T2|",
+            "NoOpt (s)",
+            "Batch-100 (s)",
+            "Batch-1000 (s)",
+            "expl F1 (Batch-100)",
+        ],
     );
     for (label, cfg) in configs {
         let case = generate_synthetic(&cfg);

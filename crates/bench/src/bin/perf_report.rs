@@ -1,0 +1,220 @@
+//! Performance-trajectory report: times the two optimised hot paths —
+//! candidate generation and Stage-2 solving — against their baselines and
+//! writes the results to `BENCH_pipeline.json` so future PRs can track the
+//! trend.
+//!
+//! Sections:
+//!
+//! * **candidate_generation** — interned-token, parallel
+//!   [`candidate_pairs`] vs the per-pair-tokenisation baseline
+//!   [`candidate_pairs_naive`] on two synthetic `rows × rows` relations
+//!   (default 5000×5000), with a byte-identical output check;
+//! * **blocking** — token blocking vs the exhaustive pair scan on a smaller
+//!   instance, with a same-candidate-set check above the similarity floor;
+//! * **stage2_pipeline** — parallel vs sequential sub-problem solving on a
+//!   synthetic workload partitioned into at least `--partitions` (default 8)
+//!   parts, with an identical-report check.
+//!
+//! Usage: `cargo run --release -p explain3d-bench --bin perf_report --
+//! [--rows N] [--partitions K] [--runs R] [--out PATH]`
+
+use explain3d::datagen::rng::{Rng, SeedableRng, StdRng};
+use explain3d::datagen::{generate_synthetic, vocab, SyntheticConfig};
+use explain3d::linkage::{candidate_pairs, candidate_pairs_naive, Candidate, MappingConfig};
+use explain3d::prelude::*;
+use explain3d_bench::json::Json;
+use explain3d_bench::timing::{report, sample};
+
+struct Args {
+    rows: usize,
+    partitions: usize,
+    runs: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { rows: 5000, partitions: 8, runs: 3, out: "BENCH_pipeline.json".to_string() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        match flag.as_str() {
+            "--rows" => args.rows = value("--rows").parse().expect("--rows takes a number"),
+            "--partitions" => {
+                args.partitions =
+                    value("--partitions").parse().expect("--partitions takes a number")
+            }
+            "--runs" => args.runs = value("--runs").parse().expect("--runs takes a number"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other} (expected --rows/--partitions/--runs/--out)"),
+        }
+    }
+    args
+}
+
+/// Two synthetic relations of `rows` tuples with overlapping token
+/// vocabulary: a phrase attribute plus a year attribute, the shape the
+/// linkage layer sees after canonicalisation.
+fn candidate_workload(rows: usize) -> (Schema, Vec<Row>, Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[("name", ValueType::Str), ("year", ValueType::Int)]);
+    let make_rows = |seed: u64| -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows)
+            .map(|_| {
+                let words = rng.gen_range(2..=4usize);
+                let phrase = vocab::synthetic_phrase(&mut rng, 1500, words);
+                let year = rng.gen_range(1950..2030i64);
+                Row::new(vec![Value::str(phrase), Value::Int(year)])
+            })
+            .collect()
+    };
+    (schema.clone(), make_rows(1), schema, make_rows(2))
+}
+
+fn candidate_config() -> MappingConfig {
+    MappingConfig::new(vec![
+        ("name".to_string(), "name".to_string()),
+        ("year".to_string(), "year".to_string()),
+    ])
+}
+
+fn candidates_identical(a: &[Candidate], b: &[Candidate]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| {
+            x.left == y.left
+                && x.right == y.right
+                && x.similarity.to_bits() == y.similarity.to_bits()
+        })
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = explain3d::parallel::max_threads();
+    println!(
+        "perf_report: rows={} partitions>={} runs={} threads={}",
+        args.rows, args.partitions, args.runs, threads
+    );
+
+    // --- Candidate generation: interned kernel vs per-pair tokenisation. ---
+    let (ls, lr, rs, rr) = candidate_workload(args.rows);
+    let cfg = candidate_config();
+    let (naive_stats, naive_out) =
+        sample(args.runs, || candidate_pairs_naive(&ls, &lr, &rs, &rr, &cfg));
+    report("candidate_generation", "naive_per_pair", &naive_stats);
+    let (fast_stats, fast_out) = sample(args.runs, || candidate_pairs(&ls, &lr, &rs, &rr, &cfg));
+    report("candidate_generation", "interned_parallel", &fast_stats);
+    let cand_identical = candidates_identical(&naive_out, &fast_out);
+    let cand_speedup = naive_stats.median_secs() / fast_stats.median_secs().max(1e-12);
+    println!(
+        "candidate_generation: {} candidates, outputs identical: {cand_identical}, speedup {cand_speedup:.2}x",
+        fast_out.len()
+    );
+
+    // --- Blocking vs exhaustive scan (smaller instance: the exhaustive scan
+    // is quadratic in rows). ---
+    let blocked_rows = args.rows.min(1200);
+    let (bls, blr, brs, brr) = candidate_workload(blocked_rows);
+    let (blocked_stats, blocked_out) =
+        sample(args.runs, || candidate_pairs(&bls, &blr, &brs, &brr, &cfg));
+    report("blocking", "blocked", &blocked_stats);
+    let unblocked_cfg = cfg.clone().without_blocking();
+    let (unblocked_stats, unblocked_out) =
+        sample(args.runs, || candidate_pairs(&bls, &blr, &brs, &brr, &unblocked_cfg));
+    report("blocking", "unblocked", &unblocked_stats);
+    // Every blocked candidate must appear in the exhaustive scan with the
+    // same similarity (blocking only prunes, never invents or rescores).
+    let mut unblocked_sorted: Vec<Candidate> = unblocked_out.clone();
+    unblocked_sorted.sort();
+    let blocking_sound =
+        blocked_out.iter().all(|c| unblocked_sorted.binary_search_by(|p| p.cmp(c)).is_ok());
+    println!(
+        "blocking: {} blocked vs {} unblocked candidates, blocked ⊆ unblocked: {blocking_sound}",
+        blocked_out.len(),
+        unblocked_out.len()
+    );
+
+    // --- Stage 2: parallel vs sequential sub-problem solving. ---
+    // A small vocabulary makes the mapping graph dense enough that each
+    // partition carries a non-trivial MILP; `batch_size = nodes/partitions`
+    // yields at least `partitions` parts.
+    let tuples = (args.partitions * 30).max(120);
+    let case = generate_synthetic(&SyntheticConfig::new(tuples, 0.3, 400));
+    let batch = (2 * tuples).div_ceil(args.partitions);
+    // Bound the branch-and-bound by *nodes*, not wall-clock time: node
+    // limits are deterministic, so the parallel and sequential runs explore
+    // identical search trees even under thread contention.
+    let milp = MilpConfig { time_limit: None, max_nodes: 2_000, ..Default::default() };
+    let base = Explain3DConfig::batched(batch).with_milp(milp);
+    let explain = |config: Explain3DConfig| {
+        Explain3D::new(config).explain(
+            &case.prepared.left_canonical,
+            &case.prepared.right_canonical,
+            &case.attribute_matches,
+            &case.initial_mapping,
+        )
+    };
+    let (seq_stats, seq_report) = sample(args.runs, || explain(base.clone().with_parallel(false)));
+    report("stage2_pipeline", "sequential", &seq_stats);
+    let (par_stats, par_report) = sample(args.runs, || explain(base.clone().with_parallel(true)));
+    report("stage2_pipeline", "parallel", &par_stats);
+    let pipeline_identical = seq_report.explanations == par_report.explanations
+        && seq_report.log_probability.to_bits() == par_report.log_probability.to_bits()
+        && seq_report.complete == par_report.complete;
+    let pipeline_speedup = seq_stats.median_secs() / par_stats.median_secs().max(1e-12);
+    println!(
+        "stage2_pipeline: {} partitions, outputs identical: {pipeline_identical}, speedup {pipeline_speedup:.2}x",
+        par_report.stats.num_subproblems
+    );
+
+    // --- Emit the JSON trajectory point. ---
+    let json = Json::obj()
+        .set("schema_version", 1usize)
+        .set("machine", Json::obj().set("threads", threads))
+        .set(
+            "workload",
+            Json::obj()
+                .set("rows", args.rows)
+                .set("runs", args.runs)
+                .set("stage2_tuples_per_side", tuples)
+                .set("stage2_batch_size", batch),
+        )
+        .set(
+            "candidate_generation",
+            Json::obj()
+                .set("candidates", fast_out.len())
+                .set("naive_median_secs", naive_stats.median_secs())
+                .set("interned_median_secs", fast_stats.median_secs())
+                .set("speedup", cand_speedup)
+                .set("outputs_identical", cand_identical),
+        )
+        .set(
+            "blocking",
+            Json::obj()
+                .set("rows", blocked_rows)
+                .set("blocked_candidates", blocked_out.len())
+                .set("unblocked_candidates", unblocked_out.len())
+                .set("blocked_median_secs", blocked_stats.median_secs())
+                .set("unblocked_median_secs", unblocked_stats.median_secs())
+                .set("blocked_subset_of_unblocked", blocking_sound),
+        )
+        .set(
+            "stage2_pipeline",
+            Json::obj()
+                .set("partitions", par_report.stats.num_subproblems)
+                .set("threads", par_report.stats.threads)
+                .set("sequential_median_secs", seq_stats.median_secs())
+                .set("parallel_median_secs", par_stats.median_secs())
+                .set("speedup", pipeline_speedup)
+                .set("solve_cpu_secs", par_report.stats.solve_cpu_time.as_secs_f64())
+                .set("max_subproblem_secs", par_report.stats.max_subproblem_time.as_secs_f64())
+                .set("outputs_identical", pipeline_identical),
+        );
+    std::fs::write(&args.out, json.to_pretty_string())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    assert!(cand_identical, "interned candidate generation diverged from the baseline");
+    assert!(pipeline_identical, "parallel pipeline diverged from the sequential run");
+    assert!(blocking_sound, "blocking produced a candidate the exhaustive scan lacks");
+}

@@ -17,8 +17,11 @@
 
 #![warn(missing_docs)]
 
-use explain3d::prelude::*;
+pub mod json;
+pub mod timing;
+
 use explain3d::datagen::GeneratedCase;
+use explain3d::prelude::*;
 use std::time::{Duration, Instant};
 
 /// The accuracy and runtime of one method on one case.
@@ -99,7 +102,10 @@ pub fn run_all_methods(case: &GeneratedCase, batch_size: usize) -> Vec<MethodOut
 
 /// Times one Explain3D configuration on a case (used by the Figure 7c / 8
 /// runtime sweeps), returning the Stage-2 wall-clock time and the report.
-pub fn time_explain3d(case: &GeneratedCase, config: Explain3DConfig) -> (Duration, ExplanationReport) {
+pub fn time_explain3d(
+    case: &GeneratedCase,
+    config: Explain3DConfig,
+) -> (Duration, ExplanationReport) {
     let start = Instant::now();
     let report = Explain3D::new(config).explain(
         &case.prepared.left_canonical,

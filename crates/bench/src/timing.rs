@@ -1,0 +1,80 @@
+//! Tiny std-only timing harness.
+//!
+//! The build environment has no crates.io access, so Criterion is not
+//! available; these helpers provide the small slice the benches need —
+//! warmup, repeated sampling, and median/min statistics over wall-clock
+//! durations.
+
+use std::time::{Duration, Instant};
+
+/// Timing statistics over repeated runs of a closure.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Fastest observed run.
+    pub min: Duration,
+    /// Median observed run.
+    pub median: Duration,
+    /// Slowest observed run.
+    pub max: Duration,
+    /// Number of timed runs.
+    pub runs: usize,
+}
+
+impl Sample {
+    /// Median time in (fractional) seconds.
+    pub fn median_secs(&self) -> f64 {
+        self.median.as_secs_f64()
+    }
+
+    /// Minimum time in (fractional) seconds.
+    pub fn min_secs(&self) -> f64 {
+        self.min.as_secs_f64()
+    }
+}
+
+/// Runs `f` once untimed (warmup), then `runs` timed iterations, and returns
+/// the duration statistics. The closure's result is returned from the *last*
+/// timed run so callers can validate outputs without re-computing.
+pub fn sample<R>(runs: usize, mut f: impl FnMut() -> R) -> (Sample, R) {
+    assert!(runs > 0, "sample requires at least one run");
+    let _warmup = f();
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = f();
+        times.push(start.elapsed());
+        last = Some(out);
+    }
+    times.sort_unstable();
+    let stats =
+        Sample { min: times[0], median: times[times.len() / 2], max: times[times.len() - 1], runs };
+    (stats, last.expect("runs > 0"))
+}
+
+/// Prints one bench line in a stable, grep-friendly format.
+pub fn report(group: &str, name: &str, stats: &Sample) {
+    println!(
+        "{group}/{name}: median {:?}  min {:?}  max {:?}  ({} runs)",
+        stats.median, stats.min, stats.max, stats.runs
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_orders_statistics_and_returns_output() {
+        let mut n = 0u64;
+        let (stats, out) = sample(5, || {
+            n += 1;
+            n
+        });
+        assert_eq!(stats.runs, 5);
+        assert!(stats.min <= stats.median && stats.median <= stats.max);
+        // Warmup + 5 timed runs; the returned value is from the last run.
+        assert_eq!(out, 6);
+        assert!(stats.median_secs() >= 0.0);
+    }
+}

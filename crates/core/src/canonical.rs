@@ -28,11 +28,7 @@ pub struct CanonicalTuple {
 impl CanonicalTuple {
     /// Renders the key values as a single display string.
     pub fn key_text(&self) -> String {
-        self.key
-            .iter()
-            .map(|v| v.to_string())
-            .collect::<Vec<_>>()
-            .join(" | ")
+        self.key.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" | ")
     }
 }
 
@@ -87,9 +83,9 @@ impl CanonicalRelation {
 
     /// Looks up a canonical tuple by its key values (loose value equality).
     pub fn find_by_key(&self, key: &[Value]) -> Option<usize> {
-        self.tuples
-            .iter()
-            .position(|t| t.key.len() == key.len() && t.key.iter().zip(key).all(|(a, b)| a.loose_eq(b)))
+        self.tuples.iter().position(|t| {
+            t.key.len() == key.len() && t.key.iter().zip(key).all(|(a, b)| a.loose_eq(b))
+        })
     }
 }
 
@@ -99,19 +95,11 @@ impl CanonicalRelation {
 /// Attributes that do not resolve in the provenance schema contribute NULL
 /// key values (this keeps the pipeline robust to partially-specified
 /// matches). Grouping is skipped for AVG/MAX/MIN queries per the paper.
-pub fn canonicalize(
-    provenance: &ProvenanceRelation,
-    key_attrs: &[String],
-) -> CanonicalRelation {
-    let indices: Vec<Option<usize>> = key_attrs
-        .iter()
-        .map(|a| provenance.schema.index_of(a).ok())
-        .collect();
+pub fn canonicalize(provenance: &ProvenanceRelation, key_attrs: &[String]) -> CanonicalRelation {
+    let indices: Vec<Option<usize>> =
+        key_attrs.iter().map(|a| provenance.schema.index_of(a).ok()).collect();
 
-    let group = !provenance
-        .aggregate
-        .map(|a| a.requires_one_to_one())
-        .unwrap_or(false);
+    let group = !provenance.aggregate.map(|a| a.requires_one_to_one()).unwrap_or(false);
 
     let mut tuples: Vec<CanonicalTuple> = Vec::new();
     if group {
@@ -123,7 +111,11 @@ pub fn canonicalize(
                 .iter()
                 .map(|idx| idx.and_then(|i| t.row.get(i).cloned()).unwrap_or(Value::Null))
                 .collect();
-            let text = key.iter().map(|v| v.to_string().to_ascii_lowercase()).collect::<Vec<_>>().join("\u{1}");
+            let text = key
+                .iter()
+                .map(|v| v.to_string().to_ascii_lowercase())
+                .collect::<Vec<_>>()
+                .join("\u{1}");
             match by_text.get(&text) {
                 Some(&pos) => {
                     tuples[pos].impact += t.impact;
@@ -177,10 +169,7 @@ pub fn canonicalize_pair(
     right: &ProvenanceRelation,
     matches: &AttributeMatches,
 ) -> (CanonicalRelation, CanonicalRelation) {
-    (
-        canonicalize(left, &matches.left_attrs()),
-        canonicalize(right, &matches.right_attrs()),
-    )
+    (canonicalize(left, &matches.left_attrs()), canonicalize(right, &matches.right_attrs()))
 }
 
 #[cfg(test)]
@@ -192,10 +181,7 @@ mod tests {
     /// Provenance of Q1 from Figure 1: 7 programs, impact 1 each, with CS
     /// listed twice (B.S. and B.A.).
     fn q1_provenance() -> ProvenanceRelation {
-        let schema = Schema::from_pairs(&[
-            ("program", ValueType::Str),
-            ("degree", ValueType::Str),
-        ]);
+        let schema = Schema::from_pairs(&[("program", ValueType::Str), ("degree", ValueType::Str)]);
         let mut p = ProvenanceRelation::new("Q1", schema, Some(Aggregate::Count));
         for (prog, deg) in [
             ("Accounting", "B.S."),
@@ -284,7 +270,7 @@ mod tests {
         let rows = t.key_rows();
         assert_eq!(rows.len(), t.len());
         assert_eq!(rows[0].arity(), 1);
-        assert_eq!(t.find_by_key(&[Value::str("Design")]).is_some(), true);
+        assert!(t.find_by_key(&[Value::str("Design")]).is_some());
         assert!(t.find_by_key(&[Value::str("Biology")]).is_none());
         assert!(t.tuple(0).is_some());
         assert!(t.tuple(99).is_none());
@@ -295,7 +281,8 @@ mod tests {
     #[test]
     fn canonicalize_pair_uses_both_sides_of_mattr() {
         let p1 = q1_provenance();
-        let schema2 = Schema::from_pairs(&[("college", ValueType::Str), ("num_bach", ValueType::Int)]);
+        let schema2 =
+            Schema::from_pairs(&[("college", ValueType::Str), ("num_bach", ValueType::Int)]);
         let mut p2 = ProvenanceRelation::new("Q3", schema2, Some(Aggregate::Sum));
         p2.push(row!["Business", 2], 2.0);
         p2.push(row!["Engineering", 2], 2.0);

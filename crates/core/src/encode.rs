@@ -15,7 +15,7 @@ use crate::attr_match::SemanticRelation;
 use crate::canonical::CanonicalRelation;
 use crate::explanation::{ExplanationSet, Side};
 use crate::probability::ProbabilityParams;
-use explain3d_linkage::{TupleMatch, TupleMapping};
+use explain3d_linkage::{TupleMapping, TupleMatch};
 use explain3d_milp::prelude::*;
 use std::collections::HashMap;
 
@@ -33,7 +33,11 @@ pub struct SubProblem {
 
 impl SubProblem {
     /// A sub-problem covering both relations entirely.
-    pub fn full(left: &CanonicalRelation, right: &CanonicalRelation, mapping: &TupleMapping) -> Self {
+    pub fn full(
+        left: &CanonicalRelation,
+        right: &CanonicalRelation,
+        mapping: &TupleMapping,
+    ) -> Self {
         SubProblem {
             left_tuples: (0..left.len()).collect(),
             right_tuples: (0..right.len()).collect(),
@@ -128,10 +132,10 @@ pub fn encode(
 
     // --- Per-tuple variables, constraints and objective terms (Eq. 7-8). ---
     let encode_tuple = |model: &mut Model,
-                            objective: &mut LinExpr,
-                            side: Side,
-                            idx: usize,
-                            impact: f64|
+                        objective: &mut LinExpr,
+                        side: Side,
+                        idx: usize,
+                        impact: f64|
      -> TupleVars {
         let tag = match side {
             Side::Left => format!("l{idx}"),
@@ -171,11 +175,7 @@ pub fn encode(
             p_lower,
         );
         // P >= value(y) - U x  (U = 0)
-        model.add_ge(
-            format!("p_lo_{tag}"),
-            LinExpr::term(p, 1.0) - LinExpr::term(y, b - c),
-            c,
-        );
+        model.add_ge(format!("p_lo_{tag}"), LinExpr::term(p, 1.0) - LinExpr::term(y, b - c), c);
         // P <= value(y) - L x
         model.add_le(
             format!("p_hi_{tag}"),
@@ -222,8 +222,16 @@ pub fn encode(
         let z = model.add_binary(format!("z_{tag}"));
 
         // z ≤ 1 - x_i and z ≤ 1 - x_j.
-        model.add_le(format!("z_left_{tag}"), LinExpr::term(z, 1.0) + LinExpr::term(lv.x, 1.0), 1.0);
-        model.add_le(format!("z_right_{tag}"), LinExpr::term(z, 1.0) + LinExpr::term(rv.x, 1.0), 1.0);
+        model.add_le(
+            format!("z_left_{tag}"),
+            LinExpr::term(z, 1.0) + LinExpr::term(lv.x, 1.0),
+            1.0,
+        );
+        model.add_le(
+            format!("z_right_{tag}"),
+            LinExpr::term(z, 1.0) + LinExpr::term(rv.x, 1.0),
+            1.0,
+        );
 
         // Objective: z·log p + (1 - z)·log(1 - p).
         let lp = params.log_match_kept(m.prob);
@@ -242,7 +250,11 @@ pub fn encode(
         };
         let w = model.add_continuous(format!("w_{tag}"), 0.0, impact_bound);
         // w ≤ U z ; w ≤ I* ; w ≥ I* − U(1 − z) ; w ≥ 0.
-        model.add_le(format!("w_cap_{tag}"), LinExpr::term(w, 1.0) - LinExpr::term(z, impact_bound), 0.0);
+        model.add_le(
+            format!("w_cap_{tag}"),
+            LinExpr::term(w, 1.0) - LinExpr::term(z, impact_bound),
+            0.0,
+        );
         model.add_le(
             format!("w_le_istar_{tag}"),
             LinExpr::term(w, 1.0) - LinExpr::term(source_vars.istar, 1.0),
@@ -250,7 +262,8 @@ pub fn encode(
         );
         model.add_ge(
             format!("w_ge_istar_{tag}"),
-            LinExpr::term(w, 1.0) - LinExpr::term(source_vars.istar, 1.0)
+            LinExpr::term(w, 1.0)
+                - LinExpr::term(source_vars.istar, 1.0)
                 - LinExpr::term(z, impact_bound),
             -impact_bound,
         );
@@ -278,16 +291,10 @@ pub fn encode(
     match anchor_side {
         Side::Right => {
             for &j in &sub.right_tuples {
-                let sum = anchored_sums
-                    .get(&(Side::Right, j))
-                    .cloned()
-                    .unwrap_or_else(LinExpr::zero);
+                let sum =
+                    anchored_sums.get(&(Side::Right, j)).cloned().unwrap_or_else(LinExpr::zero);
                 let rv = &right_vars[&j];
-                model.add_eq(
-                    format!("impact_eq_r{j}"),
-                    sum - LinExpr::term(rv.istar, 1.0),
-                    0.0,
-                );
+                model.add_eq(format!("impact_eq_r{j}"), sum - LinExpr::term(rv.istar, 1.0), 0.0);
             }
             // Completeness closure: a kept-but-unmatched left tuple must have
             // zero refined impact (it forms a singleton component).
@@ -305,16 +312,10 @@ pub fn encode(
         }
         Side::Left => {
             for &i in &sub.left_tuples {
-                let sum = anchored_sums
-                    .get(&(Side::Left, i))
-                    .cloned()
-                    .unwrap_or_else(LinExpr::zero);
+                let sum =
+                    anchored_sums.get(&(Side::Left, i)).cloned().unwrap_or_else(LinExpr::zero);
                 let lv = &left_vars[&i];
-                model.add_eq(
-                    format!("impact_eq_l{i}"),
-                    sum - LinExpr::term(lv.istar, 1.0),
-                    0.0,
-                );
+                model.add_eq(format!("impact_eq_l{i}"), sum - LinExpr::term(lv.istar, 1.0), 0.0);
             }
             for &j in &sub.right_tuples {
                 let rv = &right_vars[&j];
@@ -332,14 +333,7 @@ pub fn encode(
 
     model.maximize(objective);
 
-    EncodedProblem {
-        model,
-        left_vars,
-        right_vars,
-        match_vars,
-        left_impacts,
-        right_impacts,
-    }
+    EncodedProblem { model, left_vars, right_vars, match_vars, left_impacts, right_impacts }
 }
 
 /// Decodes a MILP solution back into explanations (Algorithm 1, line 12).
@@ -350,22 +344,23 @@ pub fn decode(encoded: &EncodedProblem, solution: &Solution) -> ExplanationSet {
     }
     let tol = 1e-4;
 
-    let mut decode_side = |side: Side, vars: &HashMap<usize, TupleVars>, impacts: &HashMap<usize, f64>| {
-        let mut indexes: Vec<&usize> = vars.keys().collect();
-        indexes.sort();
-        for &idx in indexes {
-            let v = &vars[&idx];
-            let original = impacts[&idx];
-            if solution.is_set(v.x) {
-                out.add_provenance(side, idx);
-                continue;
+    let mut decode_side =
+        |side: Side, vars: &HashMap<usize, TupleVars>, impacts: &HashMap<usize, f64>| {
+            let mut indexes: Vec<&usize> = vars.keys().collect();
+            indexes.sort();
+            for &idx in indexes {
+                let v = &vars[&idx];
+                let original = impacts[&idx];
+                if solution.is_set(v.x) {
+                    out.add_provenance(side, idx);
+                    continue;
+                }
+                let refined = solution.value(v.istar);
+                if (refined - original).abs() > tol {
+                    out.add_value(side, idx, original, refined);
+                }
             }
-            let refined = solution.value(v.istar);
-            if (refined - original).abs() > tol {
-                out.add_value(side, idx, original, refined);
-            }
-        }
-    };
+        };
     decode_side(Side::Left, &encoded.left_vars, &encoded.left_impacts);
     decode_side(Side::Right, &encoded.right_vars, &encoded.right_impacts);
 
@@ -401,7 +396,7 @@ pub fn heuristic_solution(
 
     // Greedy valid evidence by descending probability.
     let mut sorted = sub.matches.clone();
-    sorted.sort_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(TupleMatch::cmp_by_prob_desc);
     let mut left_deg: HashMap<usize, usize> = HashMap::new();
     let mut right_deg: HashMap<usize, usize> = HashMap::new();
     let mut kept: Vec<TupleMatch> = Vec::new();

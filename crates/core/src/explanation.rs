@@ -95,20 +95,12 @@ impl ExplanationSet {
 
     /// The provenance-explanation tuples of one side, as a set.
     pub fn provenance_tuples(&self, side: Side) -> BTreeSet<usize> {
-        self.provenance
-            .iter()
-            .filter(|e| e.side == side)
-            .map(|e| e.tuple)
-            .collect()
+        self.provenance.iter().filter(|e| e.side == side).map(|e| e.tuple).collect()
     }
 
     /// The value-explanation tuples of one side, keyed by tuple index.
     pub fn value_changes(&self, side: Side) -> BTreeMap<usize, f64> {
-        self.value
-            .iter()
-            .filter(|e| e.side == side)
-            .map(|e| (e.tuple, e.new_impact))
-            .collect()
+        self.value.iter().filter(|e| e.side == side).map(|e| (e.tuple, e.new_impact)).collect()
     }
 
     /// Merges another explanation set (used when sub-problems are solved
@@ -124,7 +116,7 @@ impl ExplanationSet {
     /// Sorts the explanations deterministically (for stable reports/tests).
     pub fn normalise(&mut self) {
         self.provenance.sort();
-        self.value.sort_by(|a, b| (a.side, a.tuple).cmp(&(b.side, b.tuple)));
+        self.value.sort_by_key(|e| (e.side, e.tuple));
     }
 
     /// Checks the *completeness* of the explanations (Definition 3.4): after
@@ -146,16 +138,10 @@ impl ExplanationSet {
         let changed_right = self.value_changes(Side::Right);
 
         let impact_left = |i: usize| -> f64 {
-            changed_left
-                .get(&i)
-                .copied()
-                .unwrap_or_else(|| left.tuples[i].impact)
+            changed_left.get(&i).copied().unwrap_or_else(|| left.tuples[i].impact)
         };
         let impact_right = |j: usize| -> f64 {
-            changed_right
-                .get(&j)
-                .copied()
-                .unwrap_or_else(|| right.tuples[j].impact)
+            changed_right.get(&j).copied().unwrap_or_else(|| right.tuples[j].impact)
         };
 
         // Evidence must not touch removed tuples.
@@ -353,8 +339,7 @@ mod tests {
         e.evidence.push(TupleMatch::new(1, 1, 0.9));
         e.add_provenance(Side::Left, 2);
         // Missing the value explanation for CSE: CS has impact 2 vs CSE 1.
-        let violations =
-            e.completeness_violations(&t1, &t2, SemanticRelation::Equivalent, 1e-6);
+        let violations = e.completeness_violations(&t1, &t2, SemanticRelation::Equivalent, 1e-6);
         assert!(violations.iter().any(|v| v.contains("imbalance")));
         assert!(!e.is_complete(&t1, &t2, SemanticRelation::Equivalent));
     }
@@ -367,8 +352,7 @@ mod tests {
         e.evidence.push(TupleMatch::new(1, 1, 0.9));
         e.add_value(Side::Right, 1, 1.0, 2.0);
         // Design (left tuple 2) is neither removed nor matched.
-        let violations =
-            e.completeness_violations(&t1, &t2, SemanticRelation::Equivalent, 1e-6);
+        let violations = e.completeness_violations(&t1, &t2, SemanticRelation::Equivalent, 1e-6);
         assert!(violations.iter().any(|v| v.contains("unmatched")));
     }
 
@@ -381,8 +365,7 @@ mod tests {
         e.evidence.push(TupleMatch::new(1, 1, 0.9));
         e.add_provenance(Side::Left, 0);
         e.add_provenance(Side::Left, 2);
-        let violations =
-            e.completeness_violations(&t1, &t2, SemanticRelation::Equivalent, 1e-6);
+        let violations = e.completeness_violations(&t1, &t2, SemanticRelation::Equivalent, 1e-6);
         assert!(violations.iter().any(|v| v.contains("matched 2 times")));
         // Under ⊒ (only right side limited) the same evidence passes the
         // degree check (though impacts may still be off).
@@ -396,8 +379,7 @@ mod tests {
         let mut e = ExplanationSet::new();
         e.evidence.push(TupleMatch::new(2, 1, 0.5));
         e.add_provenance(Side::Left, 2);
-        let violations =
-            e.completeness_violations(&t1, &t2, SemanticRelation::Equivalent, 1e-6);
+        let violations = e.completeness_violations(&t1, &t2, SemanticRelation::Equivalent, 1e-6);
         assert!(violations.iter().any(|v| v.contains("removed left tuple 2")));
     }
 

@@ -60,11 +60,11 @@ pub mod probability;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::attr_match::{AttributeMatch, AttributeMatches, SemanticRelation};
-    pub use crate::canonical::{canonicalize, canonicalize_pair, CanonicalRelation, CanonicalTuple};
-    pub use crate::encode::{decode, encode, solve_subproblem, EncodedProblem, SubProblem};
-    pub use crate::explanation::{
-        ExplanationSet, ProvenanceExplanation, Side, ValueExplanation,
+    pub use crate::canonical::{
+        canonicalize, canonicalize_pair, CanonicalRelation, CanonicalTuple,
     };
+    pub use crate::encode::{decode, encode, solve_subproblem, EncodedProblem, SubProblem};
+    pub use crate::explanation::{ExplanationSet, ProvenanceExplanation, Side, ValueExplanation};
     pub use crate::pipeline::{
         Explain3D, Explain3DConfig, ExplanationReport, PartitioningStrategy, PipelineStats,
     };

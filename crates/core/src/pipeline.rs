@@ -45,6 +45,17 @@ pub struct Explain3DConfig {
     pub strategy: PartitioningStrategy,
     /// MILP solver configuration (per sub-problem).
     pub milp: MilpConfig,
+    /// Solve sub-problem MILPs concurrently across CPU cores. Partitioning
+    /// produces independent sub-problems by construction and results are
+    /// merged in partition order, so parallel and sequential runs return
+    /// identical reports **as long as the MILP search itself is
+    /// deterministic** — i.e. bounded by [`MilpConfig::max_nodes`] or
+    /// unbounded. With a wall-clock [`MilpConfig::time_limit`], a
+    /// sub-problem that hits the limit may explore fewer nodes under
+    /// thread contention and return a different (still feasible)
+    /// solution; prefer node limits when byte-identical output matters
+    /// (see `perf_report` and `tests/perf_equivalence.rs`).
+    pub parallel: bool,
 }
 
 impl Default for Explain3DConfig {
@@ -53,6 +64,7 @@ impl Default for Explain3DConfig {
             params: ProbabilityParams::default(),
             strategy: PartitioningStrategy::Smart { batch_size: 1000 },
             milp: MilpConfig::default(),
+            parallel: true,
         }
     }
 }
@@ -90,6 +102,12 @@ impl Explain3DConfig {
         self.milp = milp;
         self
     }
+
+    /// Enables or disables concurrent sub-problem solving.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
 }
 
 /// Timing and size statistics for a pipeline run.
@@ -97,10 +115,22 @@ impl Explain3DConfig {
 pub struct PipelineStats {
     /// Time spent partitioning the mapping graph.
     pub partition_time: Duration,
-    /// Time spent encoding and solving MILPs.
+    /// Wall-clock time of the encode-and-solve phase. With `parallel`
+    /// enabled this is the span of the whole concurrent phase, which on a
+    /// multi-core machine is smaller than
+    /// [`solve_cpu_time`](PipelineStats::solve_cpu_time).
     pub solve_time: Duration,
     /// Total wall-clock time of the pipeline.
     pub total_time: Duration,
+    /// Per-sub-problem encode+solve time summed across all sub-problems
+    /// (i.e. the work a sequential run would serialise). The ratio
+    /// `solve_cpu_time / solve_time` approximates the parallel speedup.
+    pub solve_cpu_time: Duration,
+    /// Encode+solve time of the slowest single sub-problem — the lower
+    /// bound on `solve_time` no amount of parallelism can beat.
+    pub max_subproblem_time: Duration,
+    /// Worker threads used for the solve phase (1 when sequential).
+    pub threads: usize,
     /// Number of sub-problems (MILPs) solved.
     pub num_subproblems: usize,
     /// Size (tuples) of the largest sub-problem.
@@ -168,7 +198,8 @@ impl Explain3D {
             }
         }
 
-        // Split into sub-problems according to the strategy.
+        // Split into sub-problems according to the strategy. Empty parts are
+        // dropped here so both code paths below see the same work list.
         let partition_start = Instant::now();
         let subproblems: Vec<SubProblem> = match self.config.strategy {
             PartitioningStrategy::None => {
@@ -189,43 +220,37 @@ impl Explain3D {
                     .collect()
             }
         };
+        let subproblems: Vec<SubProblem> =
+            subproblems.into_iter().filter(|s| !s.is_empty()).collect();
         let partition_time = partition_start.elapsed();
 
-        // Solve each sub-problem and merge.
+        // Solve the sub-problems. Partitioning makes them independent by
+        // construction, so they are fanned out across worker threads;
+        // `par_map_with` returns outcomes indexed by partition id (input
+        // order), so the merge below is identical to a sequential run.
         let solve_start = Instant::now();
+        let requested = if self.config.parallel { explain3d_parallel::max_threads() } else { 1 };
+        // `par_map_with` never uses more workers than items (and runs inline
+        // below two), so record the worker count actually used.
+        let threads = requested.min(subproblems.len()).max(1);
+        let config = &self.config;
+        let outcomes: Vec<SubOutcome> =
+            explain3d_parallel::par_map_with(subproblems, requested, |sub| {
+                solve_one(left, right, relation, config, &sub)
+            });
+
+        // Deterministic merge in partition order, folding per-sub-problem
+        // timings into the run statistics.
         let mut merged = ExplanationSet::new();
-        let mut stats = PipelineStats {
-            partition_time,
-            num_subproblems: 0,
-            ..Default::default()
-        };
-        for sub in &subproblems {
-            if sub.is_empty() {
-                continue;
-            }
+        let mut stats = PipelineStats { partition_time, threads, ..Default::default() };
+        for outcome in outcomes {
             stats.num_subproblems += 1;
-            stats.max_subproblem_size = stats.max_subproblem_size.max(sub.size());
-            let encoded = crate::encode::encode(left, right, relation, &self.config.params, sub);
-            // Warm-start the branch-and-bound with a greedily-constructed
-            // complete solution so obviously-worse branches are pruned early;
-            // the same solution serves as a fallback when the exact search
-            // hits a node or time limit without an incumbent.
-            let (fallback, hint) =
-                crate::encode::heuristic_solution(left, right, relation, &self.config.params, sub);
-            let milp_config = self.config.milp.clone().with_incumbent_hint(hint);
-            let (solution, solve_stats) =
-                explain3d_milp::branch_bound::solve_with_stats(&encoded.model, &milp_config);
-            stats.milp_nodes += solve_stats.nodes;
-            if solution.status != explain3d_milp::prelude::SolveStatus::Optimal {
-                stats.suboptimal_subproblems += 1;
-            }
-            if solution.status.has_solution() {
-                merged.merge(crate::encode::decode(&encoded, &solution));
-            } else {
-                // Limit reached (or everything pruned by the warm-start
-                // bound): the greedy complete solution is still valid output.
-                merged.merge(fallback);
-            }
+            stats.max_subproblem_size = stats.max_subproblem_size.max(outcome.size);
+            stats.milp_nodes += outcome.nodes;
+            stats.suboptimal_subproblems += usize::from(outcome.suboptimal);
+            stats.solve_cpu_time += outcome.solve_time;
+            stats.max_subproblem_time = stats.max_subproblem_time.max(outcome.solve_time);
+            merged.merge(outcome.explanations);
         }
         merged.normalise();
         stats.solve_time = solve_start.elapsed();
@@ -234,12 +259,7 @@ impl Explain3D {
         let log_prob = log_probability(&merged, left, right, mapping, &self.config.params);
         let complete = merged.is_complete(left, right, relation);
 
-        ExplanationReport {
-            explanations: merged,
-            log_probability: log_prob,
-            complete,
-            stats,
-        }
+        ExplanationReport { explanations: merged, log_probability: log_prob, complete, stats }
     }
 
     /// Convenience wrapper that solves a single prepared sub-problem
@@ -255,6 +275,51 @@ impl Explain3D {
         let (explanations, _) =
             solve_subproblem(left, right, relation, &self.config.params, sub, &self.config.milp);
         explanations
+    }
+}
+
+/// The result of encoding and solving one sub-problem.
+struct SubOutcome {
+    explanations: ExplanationSet,
+    nodes: usize,
+    suboptimal: bool,
+    solve_time: Duration,
+    size: usize,
+}
+
+/// Encodes and solves one sub-problem: the loop body shared by the parallel
+/// and sequential solve paths.
+fn solve_one(
+    left: &CanonicalRelation,
+    right: &CanonicalRelation,
+    relation: crate::attr_match::SemanticRelation,
+    config: &Explain3DConfig,
+    sub: &SubProblem,
+) -> SubOutcome {
+    let sub_start = Instant::now();
+    let encoded = crate::encode::encode(left, right, relation, &config.params, sub);
+    // Warm-start the branch-and-bound with a greedily-constructed complete
+    // solution so obviously-worse branches are pruned early; the same
+    // solution serves as a fallback when the exact search hits a node or
+    // time limit without an incumbent.
+    let (fallback, hint) =
+        crate::encode::heuristic_solution(left, right, relation, &config.params, sub);
+    let milp_config = config.milp.clone().with_incumbent_hint(hint);
+    let (solution, solve_stats) =
+        explain3d_milp::branch_bound::solve_with_stats(&encoded.model, &milp_config);
+    let explanations = if solution.status.has_solution() {
+        crate::encode::decode(&encoded, &solution)
+    } else {
+        // Limit reached (or everything pruned by the warm-start bound): the
+        // greedy complete solution is still valid output.
+        fallback
+    };
+    SubOutcome {
+        explanations,
+        nodes: solve_stats.nodes,
+        suboptimal: solution.status != explain3d_milp::prelude::SolveStatus::Optimal,
+        solve_time: sub_start.elapsed(),
+        size: sub.size(),
     }
 }
 
@@ -305,9 +370,8 @@ mod tests {
     /// A pair of relations with `n` matching entities, where entity 0 has an
     /// impact mismatch and the last left entity is missing on the right.
     fn scenario(n: usize) -> (CanonicalRelation, CanonicalRelation, TupleMapping) {
-        let left_entries: Vec<(String, f64)> = (0..n)
-            .map(|i| (format!("entity {i}"), if i == 0 { 2.0 } else { 1.0 }))
-            .collect();
+        let left_entries: Vec<(String, f64)> =
+            (0..n).map(|i| (format!("entity {i}"), if i == 0 { 2.0 } else { 1.0 })).collect();
         let right_entries: Vec<(String, f64)> =
             (0..n - 1).map(|i| (format!("entity {i}"), 1.0)).collect();
         let left_refs: Vec<(&str, f64)> =
@@ -370,10 +434,43 @@ mod tests {
         assert!(batched.stats.num_subproblems > 1);
         assert!(batched.stats.max_subproblem_size <= 6);
 
-        let cc = Explain3D::new(Explain3DConfig::connected_components())
-            .explain(&t1, &t2, &attr(), &mapping);
+        let cc = Explain3D::new(Explain3DConfig::connected_components()).explain(
+            &t1,
+            &t2,
+            &attr(),
+            &mapping,
+        );
         assert!(cc.stats.num_subproblems >= 1);
         assert!(cc.stats.total_time >= cc.stats.solve_time);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_are_identical() {
+        let (t1, t2, mapping) = scenario(16);
+        for cfg in [
+            Explain3DConfig::batched(4),
+            Explain3DConfig::connected_components(),
+            Explain3DConfig::no_opt(),
+        ] {
+            let par = Explain3D::new(cfg.clone().with_parallel(true)).explain(
+                &t1,
+                &t2,
+                &attr(),
+                &mapping,
+            );
+            let seq = Explain3D::new(cfg.with_parallel(false)).explain(&t1, &t2, &attr(), &mapping);
+            assert_eq!(par.explanations, seq.explanations);
+            assert_eq!(par.log_probability.to_bits(), seq.log_probability.to_bits());
+            assert_eq!(par.complete, seq.complete);
+            assert_eq!(par.stats.num_subproblems, seq.stats.num_subproblems);
+            assert_eq!(par.stats.milp_nodes, seq.stats.milp_nodes);
+            assert_eq!(seq.stats.threads, 1);
+            // Per-sub-problem timings fold into the aggregate stats.
+            assert!(par.stats.solve_cpu_time >= par.stats.max_subproblem_time);
+            if par.stats.num_subproblems > 0 {
+                assert!(par.stats.max_subproblem_time > Duration::ZERO);
+            }
+        }
     }
 
     #[test]
@@ -406,8 +503,7 @@ mod tests {
     fn empty_relations_produce_empty_report() {
         let t1 = canon("Q1", &[]);
         let t2 = canon("Q2", &[]);
-        let report =
-            Explain3D::with_defaults().explain(&t1, &t2, &attr(), &TupleMapping::new());
+        let report = Explain3D::with_defaults().explain(&t1, &t2, &attr(), &TupleMapping::new());
         assert!(report.explanations.is_empty());
         assert!(report.complete);
         assert_eq!(report.stats.num_subproblems, 0);

@@ -267,14 +267,8 @@ mod tests {
         );
         assert!(!mapping.is_empty());
         // Accounting ↔ Accounting must be a candidate with high probability.
-        let acct_l = prepared
-            .left_canonical
-            .find_by_key(&[Value::str("Accounting")])
-            .unwrap();
-        let acct_r = prepared
-            .right_canonical
-            .find_by_key(&[Value::str("Accounting")])
-            .unwrap();
+        let acct_l = prepared.left_canonical.find_by_key(&[Value::str("Accounting")]).unwrap();
+        let acct_r = prepared.right_canonical.find_by_key(&[Value::str("Accounting")]).unwrap();
         assert!(mapping.prob(acct_l, acct_r).unwrap() > 0.8);
     }
 

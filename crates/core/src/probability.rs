@@ -113,11 +113,8 @@ pub fn log_probability(
     // Per-match factor (Equations 4-5).
     for m in initial_mapping.matches() {
         let kept = explanations.evidence.contains_pair(m.left, m.right);
-        total += if kept {
-            params.log_match_kept(m.prob)
-        } else {
-            params.log_match_dropped(m.prob)
-        };
+        total +=
+            if kept { params.log_match_kept(m.prob) } else { params.log_match_dropped(m.prob) };
     }
     total
 }

@@ -15,12 +15,12 @@
 //! * a fraction of program names differ between the sources (renames), which
 //!   stresses the initial tuple mapping exactly as the paper observed.
 
+use crate::rng::rngs::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use crate::scenario::{assemble_case, GeneratedCase};
 use crate::vocab::{pick, program_name, SUBJECT_WORDS};
 use explain3d_core::prelude::{AttributeMatches, MappingOptions, QueryCase};
 use explain3d_relation::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the academic simulator.
 #[derive(Debug, Clone, PartialEq)]

@@ -17,12 +17,12 @@
 //!   both views;
 //! * the ten query templates Q1–Q10 of Section 5.1.1.
 
+use crate::rng::rngs::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use crate::scenario::{assemble_case, GeneratedCase};
 use crate::vocab::{movie_title, person_name, pick, COUNTRIES, GENRES};
 use explain3d_core::prelude::{AttributeMatch, AttributeMatches, MappingOptions, QueryCase};
 use explain3d_relation::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the IMDb-style generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -302,18 +302,14 @@ pub fn generate_views(config: &ImdbConfig) -> ImdbViews {
         if rng.gen_bool(config.error_rate) {
             continue; // dropped link
         }
-        movie_actor1
-            .insert(Row::new(vec![Value::Int(m), Value::Int(a)]))
-            .expect("arity");
+        movie_actor1.insert(Row::new(vec![Value::Int(m), Value::Int(a)])).expect("arity");
     }
     let mut movie_director1 = Relation::new(
         "MovieDirector",
         Schema::from_pairs(&[("movie_id", ValueType::Int), ("director_id", ValueType::Int)]),
     );
     for &(m, d) in &movie_directors {
-        movie_director1
-            .insert(Row::new(vec![Value::Int(m), Value::Int(d)]))
-            .expect("arity");
+        movie_director1.insert(Row::new(vec![Value::Int(m), Value::Int(d)])).expect("arity");
     }
     let mut view1 = Database::new();
     view1.add(movie1).add(actor1).add(director1).add(movie_actor1).add(movie_director1);
@@ -345,7 +341,11 @@ pub fn generate_views(config: &ImdbConfig) -> ImdbViews {
             .expect("arity");
         for g in &m.genres {
             info2
-                .insert(Row::new(vec![Value::Int(m.id), Value::str("genre"), Value::str(g.clone())]))
+                .insert(Row::new(vec![
+                    Value::Int(m.id),
+                    Value::str("genre"),
+                    Value::str(g.clone()),
+                ]))
                 .expect("arity");
         }
         for c in &m.countries {
@@ -357,11 +357,7 @@ pub fn generate_views(config: &ImdbConfig) -> ImdbViews {
                 ]))
                 .expect("arity");
         }
-        for (ty, v) in [
-            ("runtimes", m.runtime),
-            ("gross", m.gross),
-            ("budget", m.budget),
-        ] {
+        for (ty, v) in [("runtimes", m.runtime), ("gross", m.gross), ("budget", m.budget)] {
             info2
                 .insert(Row::new(vec![
                     Value::Int(m.id),
@@ -395,14 +391,10 @@ pub fn generate_views(config: &ImdbConfig) -> ImdbViews {
         Schema::from_pairs(&[("m_id", ValueType::Int), ("p_id", ValueType::Int)]),
     );
     for &(m, a) in &movie_actors {
-        movie_person2
-            .insert(Row::new(vec![Value::Int(m), Value::Int(a)]))
-            .expect("arity");
+        movie_person2.insert(Row::new(vec![Value::Int(m), Value::Int(a)])).expect("arity");
     }
     for &(m, d) in &movie_directors {
-        movie_person2
-            .insert(Row::new(vec![Value::Int(m), Value::Int(d)]))
-            .expect("arity");
+        movie_person2.insert(Row::new(vec![Value::Int(m), Value::Int(d)])).expect("arity");
     }
     let mut view2 = Database::new();
     view2.add(movie2).add(info2).add(person2).add(movie_person2);
@@ -413,7 +405,11 @@ pub fn generate_views(config: &ImdbConfig) -> ImdbViews {
 impl ImdbViews {
     /// Instantiates a template on both views, returning the two queries and
     /// the attribute matches appropriate for the template's provenance.
-    pub fn instantiate(&self, template: ImdbTemplate, param: &TemplateParam) -> (Query, Query, AttributeMatches) {
+    pub fn instantiate(
+        &self,
+        template: ImdbTemplate,
+        param: &TemplateParam,
+    ) -> (Query, Query, AttributeMatches) {
         let year = match param {
             TemplateParam::Year(y) => *y,
             TemplateParam::Genre(_) => 0,
@@ -429,14 +425,13 @@ impl ImdbViews {
         )]);
 
         // Movie-level source expressions with the year filter.
-        let movie1_year = QueryExpr::scan("Movie")
-            .filter(Expr::col("release_year").eq(Expr::lit(year)));
-        let movie2_year = QueryExpr::scan("Movie")
-            .filter(Expr::col("release_year").eq(Expr::lit(year)));
+        let movie1_year =
+            QueryExpr::scan("Movie").filter(Expr::col("release_year").eq(Expr::lit(year)));
+        let movie2_year =
+            QueryExpr::scan("Movie").filter(Expr::col("release_year").eq(Expr::lit(year)));
         // View-2 MovieInfo restricted to one info type.
         let info = |ty: &str| {
-            QueryExpr::scan("MovieInfo")
-                .filter(Expr::col("info_type").eq(Expr::lit(ty)))
+            QueryExpr::scan("MovieInfo").filter(Expr::col("info_type").eq(Expr::lit(ty)))
         };
 
         match template {
@@ -445,7 +440,11 @@ impl ImdbViews {
                     movie1_year
                         .clone()
                         .filter(Expr::col("runtimes").lt(Expr::lit(80)))
-                        .join_on(QueryExpr::scan("MovieActor"), "Movie.movie_id", "MovieActor.movie_id")
+                        .join_on(
+                            QueryExpr::scan("MovieActor"),
+                            "Movie.movie_id",
+                            "MovieActor.movie_id",
+                        )
                         .join_on(QueryExpr::scan("Actor"), "MovieActor.actor_id", "Actor.actor_id"),
                 )
                 .named("Q1-v1")
@@ -466,8 +465,16 @@ impl ImdbViews {
                 let q1 = Query::over(
                     QueryExpr::scan("Director")
                         .filter(Expr::col("dob").eq(Expr::lit(year)))
-                        .join_on(QueryExpr::scan("MovieDirector"), "Director.director_id", "MovieDirector.director_id")
-                        .join_on(QueryExpr::scan("Movie"), "MovieDirector.movie_id", "Movie.movie_id"),
+                        .join_on(
+                            QueryExpr::scan("MovieDirector"),
+                            "Director.director_id",
+                            "MovieDirector.director_id",
+                        )
+                        .join_on(
+                            QueryExpr::scan("Movie"),
+                            "MovieDirector.movie_id",
+                            "Movie.movie_id",
+                        ),
                 )
                 .named("Q2-v1")
                 .select(["title"]);
@@ -487,18 +494,15 @@ impl ImdbViews {
                 } else {
                     ("country", "us")
                 };
-                let q1 = Query::over(movie1_year.clone().filter(Expr::col(ty).eq(Expr::lit(value))))
-                    .named("Q3-v1")
-                    .count("title");
-                let q2 = Query::over(
-                    movie2_year
-                        .clone()
-                        .join_on(
-                            info(ty).filter(Expr::col("info").eq(Expr::lit(value))),
-                            "Movie.m_id",
-                            "MovieInfo.m_id",
-                        ),
-                )
+                let q1 =
+                    Query::over(movie1_year.clone().filter(Expr::col(ty).eq(Expr::lit(value))))
+                        .named("Q3-v1")
+                        .count("title");
+                let q2 = Query::over(movie2_year.clone().join_on(
+                    info(ty).filter(Expr::col("info").eq(Expr::lit(value))),
+                    "Movie.m_id",
+                    "MovieInfo.m_id",
+                ))
                 .named("Q3-v2")
                 .count("title");
                 (q1, q2, title_match)
@@ -509,15 +513,17 @@ impl ImdbViews {
             | ImdbTemplate::LongestMovie
             | ImdbTemplate::AvgRuntime => {
                 let (attr, ty) = match template {
-                    ImdbTemplate::LongestMovie | ImdbTemplate::AvgRuntime => ("runtimes", "runtimes"),
+                    ImdbTemplate::LongestMovie | ImdbTemplate::AvgRuntime => {
+                        ("runtimes", "runtimes")
+                    }
                     _ => ("gross", "gross"),
                 };
                 let b1 = Query::over(movie1_year.clone()).named("Qn-v1");
-                let b2 = Query::over(
-                    movie2_year
-                        .clone()
-                        .join_on(info(ty), "Movie.m_id", "MovieInfo.m_id"),
-                )
+                let b2 = Query::over(movie2_year.clone().join_on(
+                    info(ty),
+                    "Movie.m_id",
+                    "MovieInfo.m_id",
+                ))
                 .named("Qn-v2");
                 let (q1, q2) = match template {
                     ImdbTemplate::TotalGross => (b1.sum(attr), b2.sum("info")),
@@ -531,7 +537,11 @@ impl ImdbViews {
             ImdbTemplate::ActressesNotInGenre => {
                 let genre_movies_1 = QueryExpr::scan("Movie")
                     .filter(Expr::col("genre").eq(Expr::lit(genre.clone())))
-                    .join_on(QueryExpr::scan("MovieActor"), "Movie.movie_id", "MovieActor.movie_id");
+                    .join_on(
+                        QueryExpr::scan("MovieActor"),
+                        "Movie.movie_id",
+                        "MovieActor.movie_id",
+                    );
                 let q1 = Query::over(
                     QueryExpr::scan("Actor")
                         .filter(Expr::col("gender").eq(Expr::lit("f")))
@@ -563,11 +573,7 @@ impl ImdbViews {
         // so "james | smith 3" (firstname, lastname) equals "james smith 3"
         // (name) and titles compare directly.
         let entity_key = |t: &explain3d_core::prelude::CanonicalTuple| -> String {
-            t.key_text()
-                .to_ascii_lowercase()
-                .chars()
-                .filter(|c| c.is_alphanumeric())
-                .collect()
+            t.key_text().to_ascii_lowercase().chars().filter(|c| c.is_alphanumeric()).collect()
         };
         assemble_case(
             format!("imdb {} {:?}", template.label(), param),
@@ -645,14 +651,8 @@ mod tests {
         ] {
             let case = views.case(template, &TemplateParam::Year(1985));
             let (r1, r2) = case.prepared.results();
-            assert!(
-                r1.as_f64().is_some() || r1.is_null(),
-                "{template:?} view1 result {r1:?}"
-            );
-            assert!(
-                r2.as_f64().is_some() || r2.is_null(),
-                "{template:?} view2 result {r2:?}"
-            );
+            assert!(r1.as_f64().is_some() || r1.is_null(), "{template:?} view1 result {r1:?}");
+            assert!(r2.as_f64().is_some() || r2.is_null(), "{template:?} view2 result {r2:?}");
         }
     }
 
@@ -697,13 +697,7 @@ mod tests {
         let case =
             views.case(ImdbTemplate::ActressesNotInGenre, &TemplateParam::Genre("comedy".into()));
         // Non-aggregate query: provenance impacts are all 1.
-        assert!(case
-            .prepared
-            .left_output
-            .provenance
-            .tuples
-            .iter()
-            .all(|t| t.impact == 1.0));
+        assert!(case.prepared.left_output.provenance.tuples.iter().all(|t| t.impact == 1.0));
         assert!(!case.prepared.right_canonical.is_empty());
     }
 

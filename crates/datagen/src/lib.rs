@@ -22,12 +22,15 @@
 pub mod academic;
 pub mod gold;
 pub mod imdb;
+pub mod rng;
 pub mod scenario;
 pub mod synthetic;
 pub mod vocab;
 
-pub use academic::{AcademicConfig, generate as generate_academic};
+pub use academic::{generate as generate_academic, AcademicConfig};
 pub use gold::{gold_from_truth, pairs_from_entity_keys};
 pub use imdb::{generate_views, ImdbConfig, ImdbTemplate, ImdbViews, TemplateParam};
 pub use scenario::{assemble_case, CaseStatistics, GeneratedCase};
-pub use synthetic::{generate as generate_synthetic, generate_raw as generate_synthetic_raw, SyntheticConfig};
+pub use synthetic::{
+    generate as generate_synthetic, generate_raw as generate_synthetic_raw, SyntheticConfig,
+};

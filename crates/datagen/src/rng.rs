@@ -1,0 +1,190 @@
+//! Minimal deterministic PRNG with a `rand`-compatible surface.
+//!
+//! The build environment has no access to crates.io, so the `rand` crate is
+//! stubbed with this module: a [`StdRng`] driven by SplitMix64 seeding into
+//! xoshiro256++, exposing exactly the API the generators use
+//! (`seed_from_u64`, `gen_range`, `gen_bool`). Sequences are deterministic
+//! per seed and stable across platforms, which is all the workload
+//! generators require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic pseudo-random generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Seeding constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`) via Lemire-style rejection.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from the inclusive interval `[lo, hi]`.
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+    /// The predecessor of a value (for converting exclusive upper bounds).
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range called with an empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as Self;
+                }
+                (lo as i128 + rng.bounded(span + 1) as i128) as Self
+            }
+            fn prev(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i32, i64, u32, u64, usize);
+
+/// Ranges `gen_range` accepts, mirroring `rand`'s argument shapes.
+pub trait SampleRange<T> {
+    /// The inclusive `[lo, hi]` bounds of the range.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        // Mirror `rand`: an empty range is a caller bug, not wrap-around.
+        assert!(self.start < self.end, "cannot sample empty range");
+        (self.start, self.end.prev())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+/// Random-value methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Uniform sample from `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Bernoulli trial with success probability `p ∈ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        // 53 random bits → uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Drop-in stand-in for the `rand::rngs` module path.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+            assert_eq!(a.gen_bool(0.3), b.gen_bool(0.3));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let differs = (0..100).any(|_| a.gen_range(0..1000usize) != c.gen_range(0..1000usize));
+        assert!(differs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(1..=10i64);
+            assert!((1..=10).contains(&v));
+            let w = rng.gen_range(3..12usize);
+            assert!((3..12).contains(&w));
+            let single = rng.gen_range(5..6i32);
+            assert_eq!(single, 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics_like_rand() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(0..0usize);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        // p = 0.5 should produce both outcomes over a long run.
+        let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..=700).contains(&heads));
+    }
+}

@@ -10,12 +10,12 @@
 //! 3. randomly corrupt the `val` attribute of a fraction `d` of the tuples
 //!    (in the second dataset).
 
+use crate::rng::rngs::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use crate::scenario::{assemble_case, GeneratedCase};
 use crate::vocab::synthetic_phrase;
 use explain3d_core::prelude::{AttributeMatches, MappingOptions, QueryCase};
 use explain3d_relation::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the synthetic generator (the paper's `n`, `d`, `v`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,12 +47,7 @@ impl Default for SyntheticConfig {
 impl SyntheticConfig {
     /// Creates a configuration with the paper's main knobs.
     pub fn new(num_tuples: usize, difference_ratio: f64, vocabulary_size: usize) -> Self {
-        SyntheticConfig {
-            num_tuples,
-            difference_ratio,
-            vocabulary_size,
-            ..Default::default()
-        }
+        SyntheticConfig { num_tuples, difference_ratio, vocabulary_size, ..Default::default() }
     }
 
     /// Sets the RNG seed.

@@ -1,20 +1,75 @@
 //! Word lists and deterministic pseudo-random text helpers used by the
 //! generators.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::rngs::StdRng;
+use crate::rng::Rng;
 
 /// Subject words used to build academic program names.
 pub const SUBJECT_WORDS: &[&str] = &[
-    "accounting", "anthropology", "architecture", "astronomy", "biochemistry", "biology",
-    "business", "chemistry", "communication", "computer", "dance", "design", "economics",
-    "education", "electrical", "engineering", "english", "environmental", "equine", "finance",
-    "food", "french", "geography", "geology", "german", "history", "horticulture", "informatics",
-    "italian", "japanese", "journalism", "kinesiology", "linguistics", "management", "marketing",
-    "mathematics", "mechanical", "microbiology", "music", "neuroscience", "nursing", "nutrition",
-    "philosophy", "physics", "politics", "psychology", "science", "sociology", "spanish",
-    "statistics", "studies", "systems", "theatre", "turfgrass", "administration", "animal",
-    "resource", "public", "health", "policy", "civil", "industrial", "materials", "aerospace",
+    "accounting",
+    "anthropology",
+    "architecture",
+    "astronomy",
+    "biochemistry",
+    "biology",
+    "business",
+    "chemistry",
+    "communication",
+    "computer",
+    "dance",
+    "design",
+    "economics",
+    "education",
+    "electrical",
+    "engineering",
+    "english",
+    "environmental",
+    "equine",
+    "finance",
+    "food",
+    "french",
+    "geography",
+    "geology",
+    "german",
+    "history",
+    "horticulture",
+    "informatics",
+    "italian",
+    "japanese",
+    "journalism",
+    "kinesiology",
+    "linguistics",
+    "management",
+    "marketing",
+    "mathematics",
+    "mechanical",
+    "microbiology",
+    "music",
+    "neuroscience",
+    "nursing",
+    "nutrition",
+    "philosophy",
+    "physics",
+    "politics",
+    "psychology",
+    "science",
+    "sociology",
+    "spanish",
+    "statistics",
+    "studies",
+    "systems",
+    "theatre",
+    "turfgrass",
+    "administration",
+    "animal",
+    "resource",
+    "public",
+    "health",
+    "policy",
+    "civil",
+    "industrial",
+    "materials",
+    "aerospace",
 ];
 
 /// College names used for the containment (⊑) attribute match.
@@ -33,39 +88,158 @@ pub const COLLEGE_NAMES: &[&str] = &[
 
 /// Words used to build movie titles.
 pub const TITLE_WORDS: &[&str] = &[
-    "midnight", "shadow", "river", "garden", "empire", "silent", "crimson", "winter", "summer",
-    "broken", "golden", "hidden", "last", "first", "lost", "city", "ocean", "mountain", "dream",
-    "storm", "paper", "glass", "iron", "velvet", "electric", "distant", "burning", "frozen",
-    "endless", "secret", "stolen", "forgotten", "wild", "quiet", "savage", "tender", "holy",
-    "northern", "southern", "eastern", "western", "ancient", "modern", "final", "return",
+    "midnight",
+    "shadow",
+    "river",
+    "garden",
+    "empire",
+    "silent",
+    "crimson",
+    "winter",
+    "summer",
+    "broken",
+    "golden",
+    "hidden",
+    "last",
+    "first",
+    "lost",
+    "city",
+    "ocean",
+    "mountain",
+    "dream",
+    "storm",
+    "paper",
+    "glass",
+    "iron",
+    "velvet",
+    "electric",
+    "distant",
+    "burning",
+    "frozen",
+    "endless",
+    "secret",
+    "stolen",
+    "forgotten",
+    "wild",
+    "quiet",
+    "savage",
+    "tender",
+    "holy",
+    "northern",
+    "southern",
+    "eastern",
+    "western",
+    "ancient",
+    "modern",
+    "final",
+    "return",
 ];
 
 /// First names for generated persons.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
-    "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "betty", "anthony",
-    "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul", "emily",
-    "andrew", "donna", "joshua", "michelle",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "christopher",
+    "nancy",
+    "daniel",
+    "lisa",
+    "matthew",
+    "betty",
+    "anthony",
+    "margaret",
+    "mark",
+    "sandra",
+    "donald",
+    "ashley",
+    "steven",
+    "kimberly",
+    "paul",
+    "emily",
+    "andrew",
+    "donna",
+    "joshua",
+    "michelle",
 ];
 
 /// Last names for generated persons.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
 ];
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "comedy", "drama", "action", "thriller", "romance", "horror", "documentary", "animation",
-    "crime", "adventure",
+    "comedy",
+    "drama",
+    "action",
+    "thriller",
+    "romance",
+    "horror",
+    "documentary",
+    "animation",
+    "crime",
+    "adventure",
 ];
 
 /// Countries.
-pub const COUNTRIES: &[&str] = &["us", "uk", "france", "germany", "japan", "canada", "italy", "india"];
+pub const COUNTRIES: &[&str] =
+    &["us", "uk", "france", "germany", "japan", "canada", "italy", "india"];
 
 /// Picks one element of a slice uniformly at random.
 pub fn pick<'a, T: ?Sized>(rng: &mut StdRng, items: &'a [&'a T]) -> &'a T {
@@ -84,9 +258,7 @@ pub fn synthetic_phrase(rng: &mut StdRng, vocab_size: usize, words: usize) -> St
 /// Builds a program name of 1–3 subject words.
 pub fn program_name(rng: &mut StdRng, index: usize) -> String {
     let words = 1 + rng.gen_range(0..3usize.min(SUBJECT_WORDS.len()));
-    let mut parts: Vec<String> = (0..words)
-        .map(|_| pick(rng, SUBJECT_WORDS).to_string())
-        .collect();
+    let mut parts: Vec<String> = (0..words).map(|_| pick(rng, SUBJECT_WORDS).to_string()).collect();
     parts.dedup();
     // Suffix a stable index so program names are unique entities.
     format!("{} {}", parts.join(" "), index)
@@ -101,16 +273,13 @@ pub fn movie_title(rng: &mut StdRng, index: usize) -> String {
 
 /// Builds a person name `(first, last)` with a unique index in the last name.
 pub fn person_name(rng: &mut StdRng, index: usize) -> (String, String) {
-    (
-        pick(rng, FIRST_NAMES).to_string(),
-        format!("{} {}", pick(rng, LAST_NAMES), index),
-    )
+    (pick(rng, FIRST_NAMES).to_string(), format!("{} {}", pick(rng, LAST_NAMES), index))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn generators_are_deterministic_per_seed() {

@@ -34,11 +34,7 @@ impl Accuracy {
         } else {
             correct as f64 / derived as f64
         };
-        let recall = if gold == 0 {
-            1.0
-        } else {
-            correct as f64 / gold as f64
-        };
+        let recall = if gold == 0 { 1.0 } else { correct as f64 / gold as f64 };
         let f_measure = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {
@@ -84,12 +80,7 @@ impl GoldStandard {
 
     /// The gold evidence pairs.
     pub fn evidence_pairs(&self) -> BTreeSet<(usize, usize)> {
-        self.explanations
-            .evidence
-            .matches()
-            .iter()
-            .map(|m| (m.left, m.right))
-            .collect()
+        self.explanations.evidence.matches().iter().map(|m| (m.left, m.right)).collect()
     }
 }
 
@@ -210,7 +201,7 @@ mod tests {
         let mut derived = ExplanationSet::new();
         derived.add_provenance(Side::Left, 2); // correct
         derived.add_provenance(Side::Right, 0); // spurious
-        // missing the value explanation entirely
+                                                // The value explanation is missing entirely.
         let acc = explanation_accuracy(&derived, &g);
         assert!((acc.precision - 0.5).abs() < 1e-12);
         assert!((acc.recall - 0.5).abs() < 1e-12);

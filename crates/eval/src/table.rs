@@ -44,10 +44,7 @@ impl ResultTable {
 
     /// Renders the table as aligned plain text.
     pub fn render(&self) -> String {
-        let cols = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -63,9 +60,9 @@ impl ResultTable {
         }
         let render_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate().take(cols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+                line.push_str(&format!("{cell:width$}  "));
             }
             line.trim_end().to_string()
         };

@@ -6,13 +6,23 @@
 //! pairwise similarity computation (with optional token blocking to avoid a
 //! quadratic blow-up on large inputs), followed by similarity-to-probability
 //! calibration.
+//!
+//! ## Candidate scoring is zero-copy and parallel
+//!
+//! [`candidate_pairs`] tokenises every row **once** into interned `u32`
+//! token ids ([`TokenInterner`]), scores pairs as a linear merge over sorted
+//! id slices ([`jaccard_ids`]), and fans the scoring loop out across CPU
+//! cores. It produces exactly the candidates — same pairs, same order, same
+//! floating-point similarities — as the straightforward per-pair
+//! implementation, which is kept as [`candidate_pairs_naive`] for tests and
+//! the performance-trajectory benchmark.
 
 use crate::calibrate::BucketCalibrator;
-use crate::matches::{TupleMatch, TupleMapping};
-use crate::similarity::{tuple_similarity, StringMetric};
-use crate::tokenize::token_set;
+use crate::matches::{TupleMapping, TupleMatch};
+use crate::similarity::{jaccard_ids, jaro, jaro_winkler, tuple_similarity, StringMetric};
+use crate::tokenize::TokenInterner;
 use explain3d_relation::prelude::{Row, Schema, Value};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Configuration for initial-mapping generation.
 #[derive(Debug, Clone)]
@@ -25,8 +35,8 @@ pub struct MappingConfig {
     /// Candidate pairs with similarity strictly below this value are dropped
     /// from the initial mapping (the paper keeps only plausible candidates).
     pub min_similarity: f64,
-    /// Use token blocking on the first matching attribute: only pairs that
-    /// share at least one token (or the exact numeric value) are compared.
+    /// Use token blocking on the matching attributes: only pairs that share
+    /// at least one token (or the exact numeric value) are compared.
     pub use_blocking: bool,
 }
 
@@ -67,7 +77,7 @@ impl MappingConfig {
 }
 
 /// A candidate pair with its raw similarity (before calibration).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct Candidate {
     /// Left tuple index.
     pub left: usize,
@@ -77,8 +87,203 @@ pub struct Candidate {
     pub similarity: f64,
 }
 
+// Candidates are totally ordered by `(left, right, similarity)` with
+// `f64::total_cmp` on the similarity, so sorting and deduplication are
+// deterministic for every input (NaNs included). Equality is defined from
+// the same ordering so all four comparison traits agree and `Eq` is sound.
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.left
+            .cmp(&other.left)
+            .then(self.right.cmp(&other.right))
+            .then(self.similarity.total_cmp(&other.similarity))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A row value prepared for repeated comparison: its dispatch class plus
+/// whatever pre-computation that class needs (cached float, interned token
+/// ids of the textual form, raw string reference).
+#[derive(Debug, Clone)]
+enum Prepared<'a> {
+    /// SQL NULL (also used for out-of-schema columns, like the original
+    /// per-pair path).
+    Null,
+    /// A string: raw slice (for Jaro metrics) plus sorted token ids.
+    Str { raw: &'a str, tokens: Vec<u32> },
+    /// A boolean: the value, its numeric form, and textual-form token ids.
+    Bool { value: bool, num: f64, tokens: Vec<u32> },
+    /// An Int/Float: the numeric form and textual-form token ids.
+    Num { num: f64, tokens: Vec<u32> },
+}
+
+impl Prepared<'_> {
+    /// The cached `Value::as_f64` result of the original value.
+    fn num(&self) -> Option<f64> {
+        match self {
+            Prepared::Null | Prepared::Str { .. } => None,
+            Prepared::Bool { num, .. } | Prepared::Num { num, .. } => Some(*num),
+        }
+    }
+
+    /// Token ids of the value's textual form (Display), used for
+    /// mixed-type comparisons.
+    fn tokens(&self) -> &[u32] {
+        match self {
+            Prepared::Null => &[],
+            Prepared::Str { tokens, .. }
+            | Prepared::Bool { tokens, .. }
+            | Prepared::Num { tokens, .. } => tokens,
+        }
+    }
+}
+
+/// Prepares one column of rows: resolves the column index once and
+/// tokenises/caches every value. An unresolvable column yields all-NULL
+/// prepared values, mirroring the per-pair path's `unwrap_or(Value::Null)`.
+fn prepare_column<'a>(
+    schema: &Schema,
+    rows: &'a [Row],
+    column: &str,
+    interner: &mut TokenInterner,
+) -> Vec<Prepared<'a>> {
+    let Ok(idx) = schema.index_of(column) else {
+        return vec![Prepared::Null; rows.len()];
+    };
+    rows.iter()
+        .map(|row| match row.get(idx) {
+            None | Some(Value::Null) => Prepared::Null,
+            Some(Value::Str(s)) => Prepared::Str { raw: s.as_str(), tokens: interner.token_ids(s) },
+            Some(Value::Bool(b)) => Prepared::Bool {
+                value: *b,
+                num: if *b { 1.0 } else { 0.0 },
+                tokens: interner.token_ids(&Value::Bool(*b).to_string()),
+            },
+            Some(v) => Prepared::Num {
+                num: v.as_f64().expect("Int/Float always has a numeric form"),
+                tokens: interner.token_ids(&v.to_string()),
+            },
+        })
+        .collect()
+}
+
+/// Similarity of two prepared values — the zero-copy twin of
+/// [`crate::similarity::value_similarity`] (same dispatch, same results).
+fn prepared_similarity(a: &Prepared<'_>, b: &Prepared<'_>, metric: StringMetric) -> f64 {
+    match (a, b) {
+        (Prepared::Null, Prepared::Null) => 1.0,
+        (Prepared::Null, _) | (_, Prepared::Null) => 0.0,
+        (Prepared::Str { raw: ra, tokens: ta }, Prepared::Str { raw: rb, tokens: tb }) => {
+            match metric {
+                StringMetric::Jaccard => jaccard_ids(ta, tb),
+                StringMetric::Jaro => jaro(ra, rb),
+                StringMetric::JaroWinkler => jaro_winkler(ra, rb),
+            }
+        }
+        (Prepared::Bool { value: x, .. }, Prepared::Bool { value: y, .. }) => {
+            if x == y {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        (x, y) => match (x.num(), y.num()) {
+            (Some(fx), Some(fy)) => crate::similarity::numeric_similarity(fx, fy),
+            // Mixed string/number: compare textual forms.
+            _ => jaccard_ids(x.tokens(), y.tokens()),
+        },
+    }
+}
+
+/// Mean prepared-value similarity across the attribute pairs, accumulated in
+/// the same order (and therefore with the same floating-point result) as
+/// [`tuple_similarity`].
+fn prepared_tuple_similarity(
+    left_cols: &[Vec<Prepared<'_>>],
+    right_cols: &[Vec<Prepared<'_>>],
+    i: usize,
+    j: usize,
+    metric: StringMetric,
+) -> f64 {
+    let mut total = 0.0;
+    for (lcol, rcol) in left_cols.iter().zip(right_cols.iter()) {
+        total += prepared_similarity(&lcol[i], &rcol[j], metric);
+    }
+    total / left_cols.len() as f64
+}
+
 /// Computes candidate pairs and their raw similarities.
+///
+/// Rows are tokenised once up front; the pair-scoring loop is parallelised
+/// across CPU cores in index-ordered chunks, so the output is byte-identical
+/// to a sequential scan (and to [`candidate_pairs_naive`]).
 pub fn candidate_pairs(
+    left_schema: &Schema,
+    left_rows: &[Row],
+    right_schema: &Schema,
+    right_rows: &[Row],
+    config: &MappingConfig,
+) -> Vec<Candidate> {
+    if config.attr_pairs.is_empty() {
+        return Vec::new();
+    }
+
+    let mut interner = TokenInterner::new();
+    let left_cols: Vec<Vec<Prepared<'_>>> = config
+        .attr_pairs
+        .iter()
+        .map(|(lcol, _)| prepare_column(left_schema, left_rows, lcol, &mut interner))
+        .collect();
+    let right_cols: Vec<Vec<Prepared<'_>>> = config
+        .attr_pairs
+        .iter()
+        .map(|(_, rcol)| prepare_column(right_schema, right_rows, rcol, &mut interner))
+        .collect();
+
+    let pairs_to_check =
+        enumerate_pairs(left_schema, left_rows, right_schema, right_rows, config, &mut interner);
+
+    // Score in parallel over contiguous chunks; concatenating the per-chunk
+    // outputs in chunk order reproduces the sequential candidate order.
+    let threads = explain3d_parallel::max_threads();
+    let ranges = explain3d_parallel::split_ranges(pairs_to_check.len(), threads * 4);
+    let left_cols = &left_cols;
+    let right_cols = &right_cols;
+    let pairs = &pairs_to_check;
+    let chunked: Vec<Vec<Candidate>> = explain3d_parallel::par_map_with(ranges, threads, |range| {
+        let mut out = Vec::new();
+        for &(i, j) in &pairs[range] {
+            let sim = prepared_tuple_similarity(left_cols, right_cols, i, j, config.metric);
+            if sim >= config.min_similarity {
+                out.push(Candidate { left: i, right: j, similarity: sim });
+            }
+        }
+        out
+    });
+    chunked.into_iter().flatten().collect()
+}
+
+/// The straightforward candidate generator: every pair is scored with
+/// [`tuple_similarity`], re-tokenising both rows per comparison.
+///
+/// This is the reference implementation [`candidate_pairs`] is tested
+/// against, and the baseline the `perf_report` benchmark measures the
+/// interned kernel's speedup over. Prefer [`candidate_pairs`] everywhere
+/// else.
+pub fn candidate_pairs_naive(
     left_schema: &Schema,
     left_rows: &[Row],
     right_schema: &Schema,
@@ -90,17 +295,9 @@ pub fn candidate_pairs(
         return out;
     }
 
-    let pairs_to_check: Vec<(usize, usize)> = if config.use_blocking {
-        blocked_pairs(left_schema, left_rows, right_schema, right_rows, &config.attr_pairs)
-    } else {
-        let mut all = Vec::with_capacity(left_rows.len() * right_rows.len());
-        for i in 0..left_rows.len() {
-            for j in 0..right_rows.len() {
-                all.push((i, j));
-            }
-        }
-        all
-    };
+    let mut interner = TokenInterner::new();
+    let pairs_to_check =
+        enumerate_pairs(left_schema, left_rows, right_schema, right_rows, config, &mut interner);
 
     for (i, j) in pairs_to_check {
         let sim = tuple_similarity(
@@ -118,51 +315,89 @@ pub fn candidate_pairs(
     out
 }
 
+/// The pairs a candidate generator must score: the blocked pair list when
+/// blocking is enabled, the full row-major cross product otherwise. Shared
+/// by [`candidate_pairs`] and [`candidate_pairs_naive`] so the two can never
+/// diverge on enumeration order — the bit-identical-output contract the
+/// equivalence tests pin.
+fn enumerate_pairs(
+    left_schema: &Schema,
+    left_rows: &[Row],
+    right_schema: &Schema,
+    right_rows: &[Row],
+    config: &MappingConfig,
+    interner: &mut TokenInterner,
+) -> Vec<(usize, usize)> {
+    if config.use_blocking {
+        blocked_pairs(
+            left_schema,
+            left_rows,
+            right_schema,
+            right_rows,
+            &config.attr_pairs,
+            interner,
+        )
+    } else {
+        let mut all = Vec::with_capacity(left_rows.len() * right_rows.len());
+        for i in 0..left_rows.len() {
+            for j in 0..right_rows.len() {
+                all.push((i, j));
+            }
+        }
+        all
+    }
+}
+
 /// Token blocking: candidate pairs share at least one token (strings) or the
 /// exact value (numbers/booleans) on at least one matching attribute.
+/// Keys are interned ids, so the inverted index is `u32 → rows` rather than
+/// `String → rows`. The result is sorted by `(left, right)`.
 fn blocked_pairs(
     left_schema: &Schema,
     left_rows: &[Row],
     right_schema: &Schema,
     right_rows: &[Row],
     attr_pairs: &[(String, String)],
+    interner: &mut TokenInterner,
 ) -> Vec<(usize, usize)> {
-    let mut pair_set: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
 
     for (lcol, rcol) in attr_pairs {
         let (Ok(li), Ok(ri)) = (left_schema.index_of(lcol), right_schema.index_of(rcol)) else {
             continue;
         };
         // Inverted index over the right side's blocking keys.
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
         for (j, row) in right_rows.iter().enumerate() {
-            for key in blocking_keys(row.get(ri).unwrap_or(&Value::Null)) {
+            for key in blocking_key_ids(row.get(ri).unwrap_or(&Value::Null), interner) {
                 index.entry(key).or_default().push(j);
             }
         }
         for (i, row) in left_rows.iter().enumerate() {
             let mut seen: HashSet<usize> = HashSet::new();
-            for key in blocking_keys(row.get(li).unwrap_or(&Value::Null)) {
+            for key in blocking_key_ids(row.get(li).unwrap_or(&Value::Null), interner) {
                 if let Some(js) = index.get(&key) {
                     for &j in js {
                         if seen.insert(j) {
-                            pair_set.insert((i, j));
+                            pairs.push((i, j));
                         }
                     }
                 }
             }
         }
     }
-    pair_set.into_iter().collect()
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
-/// Blocking keys of a value: word tokens for strings, canonical text for
-/// numbers and booleans, nothing for NULL.
-fn blocking_keys(value: &Value) -> Vec<String> {
+/// Blocking keys of a value as interned ids: word tokens for strings, the
+/// canonical text (one key) for numbers and booleans, nothing for NULL.
+fn blocking_key_ids(value: &Value, interner: &mut TokenInterner) -> Vec<u32> {
     match value {
         Value::Null => Vec::new(),
-        Value::Str(s) => token_set(s).into_iter().collect(),
-        other => vec![other.to_string()],
+        Value::Str(s) => interner.token_ids(s),
+        other => vec![interner.intern(&other.to_string())],
     }
 }
 
@@ -216,8 +451,7 @@ pub fn generate_calibrated_mapping(
     // Use the paper's 50 buckets when there are enough labelled candidates to
     // estimate each bucket; otherwise coarsen so per-bucket ratios are not
     // dominated by sampling noise.
-    let buckets = (candidates.len() / 10)
-        .clamp(5, BucketCalibrator::DEFAULT_BUCKETS);
+    let buckets = (candidates.len() / 10).clamp(5, BucketCalibrator::DEFAULT_BUCKETS);
     let mut calibrator = BucketCalibrator::new(buckets);
     let labelled = label_candidates(&candidates, gold_pairs, sample_every);
     calibrator.fit(&labelled);
@@ -297,6 +531,61 @@ mod tests {
     }
 
     #[test]
+    fn interned_kernel_matches_naive_per_pair_scoring() {
+        let ls = Schema::from_pairs(&[
+            ("name", ValueType::Str),
+            ("year", ValueType::Int),
+            ("score", ValueType::Float),
+        ]);
+        let rs = Schema::from_pairs(&[
+            ("title", ValueType::Str),
+            ("published", ValueType::Int),
+            ("rating", ValueType::Float),
+        ]);
+        let lr = vec![
+            row!["Computer Science", 1999, 3.5],
+            row!["electrical engineering dept", 2001, 4.0],
+            row![Value::Null, 1999, 2.25],
+            row!["design", Value::Null, Value::Null],
+        ];
+        let rr = vec![
+            row!["computer science and engineering", 1999, 3.5],
+            row!["Design School", 2001, 1.0],
+            row![Value::Null, Value::Null, 4.0],
+        ];
+        let attr_pairs = vec![
+            ("name".to_string(), "title".to_string()),
+            ("year".to_string(), "published".to_string()),
+            ("score".to_string(), "rating".to_string()),
+            // Unknown columns contribute NULL-vs-value comparisons.
+            ("missing".to_string(), "title".to_string()),
+        ];
+        for metric in [StringMetric::Jaccard, StringMetric::Jaro, StringMetric::JaroWinkler] {
+            for blocking in [true, false] {
+                let mut cfg = MappingConfig::new(attr_pairs.clone())
+                    .with_metric(metric)
+                    .with_min_similarity(0.0);
+                cfg.use_blocking = blocking;
+                let fast = candidate_pairs(&ls, &lr, &rs, &rr, &cfg);
+                let naive = candidate_pairs_naive(&ls, &lr, &rs, &rr, &cfg);
+                assert_eq!(fast.len(), naive.len(), "metric {metric:?} blocking {blocking}");
+                for (f, n) in fast.iter().zip(naive.iter()) {
+                    assert_eq!((f.left, f.right), (n.left, n.right));
+                    assert_eq!(
+                        f.similarity.to_bits(),
+                        n.similarity.to_bits(),
+                        "similarity differs for ({}, {}): {} vs {}",
+                        f.left,
+                        f.right,
+                        f.similarity,
+                        n.similarity
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn numeric_blocking_uses_exact_values() {
         let ls = Schema::from_pairs(&[("year", ValueType::Int)]);
         let rs = Schema::from_pairs(&[("year", ValueType::Int)]);
@@ -314,6 +603,22 @@ mod tests {
         let (rs, rr) = right();
         let cfg = MappingConfig::new(vec![]);
         assert!(candidate_pairs(&ls, &lr, &rs, &rr, &cfg).is_empty());
+    }
+
+    #[test]
+    fn candidate_ordering_is_total_and_deterministic() {
+        let mut cands = vec![
+            Candidate { left: 1, right: 0, similarity: 0.5 },
+            Candidate { left: 0, right: 1, similarity: 0.9 },
+            Candidate { left: 0, right: 1, similarity: 0.9 },
+            Candidate { left: 0, right: 0, similarity: f64::NAN },
+        ];
+        cands.sort();
+        cands.dedup();
+        assert_eq!(cands.len(), 3);
+        assert_eq!((cands[0].left, cands[0].right), (0, 0));
+        assert_eq!((cands[1].left, cands[1].right), (0, 1));
+        assert_eq!((cands[2].left, cands[2].right), (1, 0));
     }
 
     #[test]
@@ -343,9 +648,8 @@ mod tests {
 
     #[test]
     fn label_candidates_samples_deterministically() {
-        let cands: Vec<Candidate> = (0..10)
-            .map(|i| Candidate { left: i, right: i, similarity: 0.5 })
-            .collect();
+        let cands: Vec<Candidate> =
+            (0..10).map(|i| Candidate { left: i, right: i, similarity: 0.5 }).collect();
         let gold: HashSet<(usize, usize)> = HashSet::from([(0, 0), (2, 2)]);
         let all = label_candidates(&cands, &gold, 1);
         assert_eq!(all.len(), 10);

@@ -30,13 +30,13 @@ pub mod tokenize;
 
 pub use calibrate::BucketCalibrator;
 pub use generator::{
-    candidate_pairs, generate_calibrated_mapping, generate_mapping, label_candidates, Candidate,
-    MappingConfig,
+    candidate_pairs, candidate_pairs_naive, generate_calibrated_mapping, generate_mapping,
+    label_candidates, Candidate, MappingConfig,
 };
-pub use matches::{TupleMatch, TupleMapping};
+pub use matches::{TupleMapping, TupleMatch};
 pub use rswoosh::{Cluster, RSwoosh, RSwooshConfig, Side, SwooshRecord};
 pub use similarity::{
-    jaccard, jaro, jaro_winkler, numeric_similarity, tuple_similarity, value_similarity,
-    StringMetric,
+    jaccard, jaccard_ids, jaro, jaro_winkler, numeric_similarity, tuple_similarity,
+    value_similarity, StringMetric,
 };
-pub use tokenize::{ngrams, token_set, tokens};
+pub use tokenize::{ngrams, token_set, tokens, TokenInterner};

@@ -1,6 +1,13 @@
 //! Tuple matches and tuple mappings (Definition 2.4 of the paper).
+//!
+//! [`TupleMapping`] keeps its matches in insertion order *and* maintains a
+//! hash index over `(left, right)` pairs plus per-side adjacency lists, so
+//! the lookups the MILP encoder and the scoring loop hammer
+//! ([`TupleMapping::prob`], [`TupleMapping::contains_pair`],
+//! [`TupleMapping::matches_of_left`], [`TupleMapping::matches_of_right`])
+//! run in O(1)/O(degree) instead of scanning the whole mapping.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// A single probabilistic tuple match `(t_i, t_j, p)`.
@@ -28,6 +35,14 @@ impl TupleMatch {
     pub fn pair(&self) -> (usize, usize) {
         (self.left, self.right)
     }
+
+    /// Deterministic "most probable first" ordering: descending probability
+    /// via [`f64::total_cmp`], ties broken by `(left, right)`. Shared by
+    /// [`TupleMapping::sorted_by_prob_desc`] and the greedy warm-start in
+    /// the MILP encoder so the two can never diverge.
+    pub fn cmp_by_prob_desc(a: &TupleMatch, b: &TupleMatch) -> std::cmp::Ordering {
+        b.prob.total_cmp(&a.prob).then(a.left.cmp(&b.left)).then(a.right.cmp(&b.right))
+    }
 }
 
 impl fmt::Display for TupleMatch {
@@ -37,9 +52,33 @@ impl fmt::Display for TupleMatch {
 }
 
 /// A tuple mapping `M_tuple`: a set of probabilistic tuple matches.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// # Duplicate pairs
+///
+/// The mapping does not forbid pushing the same `(left, right)` pair twice.
+/// When duplicates exist, [`prob`](TupleMapping::prob) and
+/// [`contains_pair`](TupleMapping::contains_pair) report the **first**
+/// inserted match for the pair — exactly the semantics of the original
+/// linear scan (`iter().find(..)`) — while iteration,
+/// [`matches`](TupleMapping::matches), and the adjacency accessors still
+/// expose every duplicate in insertion order.
+#[derive(Debug, Clone, Default)]
 pub struct TupleMapping {
     matches: Vec<TupleMatch>,
+    /// `(left, right) → index of the first match with that pair`.
+    pair_index: HashMap<(usize, usize), usize>,
+    /// `left → match indexes touching it`, in insertion order.
+    left_adj: HashMap<usize, Vec<usize>>,
+    /// `right → match indexes touching it`, in insertion order.
+    right_adj: HashMap<usize, Vec<usize>>,
+}
+
+/// Equality is defined by the match sequence alone; the indexes are derived
+/// state.
+impl PartialEq for TupleMapping {
+    fn eq(&self, other: &Self) -> bool {
+        self.matches == other.matches
+    }
 }
 
 impl TupleMapping {
@@ -50,7 +89,32 @@ impl TupleMapping {
 
     /// Creates a mapping from a vector of matches.
     pub fn from_matches(matches: Vec<TupleMatch>) -> Self {
-        TupleMapping { matches }
+        let mut out = TupleMapping {
+            matches,
+            pair_index: HashMap::new(),
+            left_adj: HashMap::new(),
+            right_adj: HashMap::new(),
+        };
+        out.reindex();
+        out
+    }
+
+    /// Rebuilds the derived indexes from the match sequence.
+    fn reindex(&mut self) {
+        self.pair_index.clear();
+        self.left_adj.clear();
+        self.right_adj.clear();
+        for idx in 0..self.matches.len() {
+            self.index_one(idx);
+        }
+    }
+
+    /// Indexes the match at `idx` (which must be the next unindexed one).
+    fn index_one(&mut self, idx: usize) {
+        let m = self.matches[idx];
+        self.pair_index.entry((m.left, m.right)).or_insert(idx);
+        self.left_adj.entry(m.left).or_default().push(idx);
+        self.right_adj.entry(m.right).or_default().push(idx);
     }
 
     /// Number of matches (the paper's `|M_tuple|`).
@@ -66,6 +130,7 @@ impl TupleMapping {
     /// Adds a match.
     pub fn push(&mut self, m: TupleMatch) {
         self.matches.push(m);
+        self.index_one(self.matches.len() - 1);
     }
 
     /// The matches, in insertion order.
@@ -79,63 +144,68 @@ impl TupleMapping {
     }
 
     /// The probability of the match between `left` and `right`, if present.
+    /// O(1); duplicates resolve to the first inserted match.
     pub fn prob(&self, left: usize, right: usize) -> Option<f64> {
-        self.matches
-            .iter()
-            .find(|m| m.left == left && m.right == right)
-            .map(|m| m.prob)
+        self.pair_index.get(&(left, right)).map(|&idx| self.matches[idx].prob)
     }
 
-    /// True when the mapping contains the pair `(left, right)`.
+    /// True when the mapping contains the pair `(left, right)`. O(1).
     pub fn contains_pair(&self, left: usize, right: usize) -> bool {
-        self.prob(left, right).is_some()
+        self.pair_index.contains_key(&(left, right))
     }
 
-    /// All matches touching the given left tuple.
+    /// All matches touching the given left tuple, in insertion order.
+    /// O(degree).
     pub fn matches_of_left(&self, left: usize) -> Vec<&TupleMatch> {
-        self.matches.iter().filter(|m| m.left == left).collect()
+        self.left_adj
+            .get(&left)
+            .map(|idxs| idxs.iter().map(|&i| &self.matches[i]).collect())
+            .unwrap_or_default()
     }
 
-    /// All matches touching the given right tuple.
+    /// All matches touching the given right tuple, in insertion order.
+    /// O(degree).
     pub fn matches_of_right(&self, right: usize) -> Vec<&TupleMatch> {
-        self.matches.iter().filter(|m| m.right == right).collect()
+        self.right_adj
+            .get(&right)
+            .map(|idxs| idxs.iter().map(|&i| &self.matches[i]).collect())
+            .unwrap_or_default()
     }
 
     /// Left tuple indexes that appear in at least one match.
     pub fn covered_left(&self) -> BTreeSet<usize> {
-        self.matches.iter().map(|m| m.left).collect()
+        self.left_adj.keys().copied().collect()
     }
 
     /// Right tuple indexes that appear in at least one match.
     pub fn covered_right(&self) -> BTreeSet<usize> {
-        self.matches.iter().map(|m| m.right).collect()
+        self.right_adj.keys().copied().collect()
     }
 
     /// Keeps only matches satisfying `keep`; returns how many were dropped.
     pub fn retain<F: FnMut(&TupleMatch) -> bool>(&mut self, mut keep: F) -> usize {
         let before = self.matches.len();
         self.matches.retain(|m| keep(m));
-        before - self.matches.len()
+        let dropped = before - self.matches.len();
+        if dropped > 0 {
+            self.reindex();
+        }
+        dropped
     }
 
     /// Returns a new mapping containing only matches with `prob >= threshold`.
     pub fn filter_by_threshold(&self, threshold: f64) -> TupleMapping {
-        TupleMapping {
-            matches: self.matches.iter().copied().filter(|m| m.prob >= threshold).collect(),
-        }
+        TupleMapping::from_matches(
+            self.matches.iter().copied().filter(|m| m.prob >= threshold).collect(),
+        )
     }
 
     /// Sorts matches by descending probability (ties broken by indexes for
-    /// determinism).
+    /// determinism; probabilities are ordered with [`f64::total_cmp`], so
+    /// the result is deterministic for every input, NaNs included).
     pub fn sorted_by_prob_desc(&self) -> Vec<TupleMatch> {
         let mut ms = self.matches.clone();
-        ms.sort_by(|a, b| {
-            b.prob
-                .partial_cmp(&a.prob)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.left.cmp(&b.left))
-                .then(a.right.cmp(&b.right))
-        });
+        ms.sort_by(TupleMatch::cmp_by_prob_desc);
         ms
     }
 
@@ -160,7 +230,7 @@ impl TupleMapping {
 
 impl FromIterator<TupleMatch> for TupleMapping {
     fn from_iter<T: IntoIterator<Item = TupleMatch>>(iter: T) -> Self {
-        TupleMapping { matches: iter.into_iter().collect() }
+        TupleMapping::from_matches(iter.into_iter().collect())
     }
 }
 
@@ -183,6 +253,24 @@ mod tests {
             TupleMatch::new(1, 2, 0.4),
             TupleMatch::new(2, 2, 0.7),
         ])
+    }
+
+    /// Reference implementations with the original linear-scan semantics,
+    /// used to pin the behaviour of the indexed representation.
+    mod reference {
+        use super::*;
+
+        pub fn prob(ms: &[TupleMatch], left: usize, right: usize) -> Option<f64> {
+            ms.iter().find(|m| m.left == left && m.right == right).map(|m| m.prob)
+        }
+
+        pub fn matches_of_left(ms: &[TupleMatch], left: usize) -> Vec<&TupleMatch> {
+            ms.iter().filter(|m| m.left == left).collect()
+        }
+
+        pub fn matches_of_right(ms: &[TupleMatch], right: usize) -> Vec<&TupleMatch> {
+            ms.iter().filter(|m| m.right == right).collect()
+        }
     }
 
     #[test]
@@ -208,6 +296,43 @@ mod tests {
     }
 
     #[test]
+    fn indexed_lookups_agree_with_linear_scan() {
+        let m = mapping();
+        for left in 0..4 {
+            for right in 0..4 {
+                assert_eq!(
+                    m.prob(left, right),
+                    reference::prob(m.matches(), left, right),
+                    "prob({left}, {right})"
+                );
+                assert_eq!(
+                    m.contains_pair(left, right),
+                    reference::prob(m.matches(), left, right).is_some()
+                );
+            }
+            assert_eq!(m.matches_of_left(left), reference::matches_of_left(m.matches(), left));
+            assert_eq!(m.matches_of_right(left), reference::matches_of_right(m.matches(), left));
+        }
+    }
+
+    #[test]
+    fn duplicate_pairs_resolve_to_first_insertion() {
+        let mut m = TupleMapping::new();
+        m.push(TupleMatch::new(3, 4, 0.8));
+        m.push(TupleMatch::new(3, 4, 0.2)); // duplicate pair, lower prob
+        assert_eq!(m.len(), 2);
+        // The indexed lookup pins the original `.find` semantics: first wins.
+        assert_eq!(m.prob(3, 4), Some(0.8));
+        assert_eq!(m.prob(3, 4), reference::prob(m.matches(), 3, 4));
+        // Adjacency still exposes both duplicates in insertion order.
+        let of_left: Vec<f64> = m.matches_of_left(3).iter().map(|x| x.prob).collect();
+        assert_eq!(of_left, vec![0.8, 0.2]);
+        // Dropping the first duplicate re-resolves to the survivor.
+        m.retain(|x| x.prob < 0.5);
+        assert_eq!(m.prob(3, 4), Some(0.2));
+    }
+
+    #[test]
     fn threshold_filtering() {
         let m = mapping();
         let hi = m.filter_by_threshold(0.9);
@@ -222,14 +347,28 @@ mod tests {
         let sorted = m.sorted_by_prob_desc();
         let probs: Vec<f64> = sorted.iter().map(|x| x.prob).collect();
         assert_eq!(probs, vec![1.0, 0.9, 0.7, 0.4]);
+        // Ties are broken by (left, right) regardless of insertion order.
+        let tied = TupleMapping::from_matches(vec![
+            TupleMatch::new(5, 1, 0.5),
+            TupleMatch::new(2, 9, 0.5),
+            TupleMatch::new(2, 3, 0.5),
+        ]);
+        let order: Vec<(usize, usize)> =
+            tied.sorted_by_prob_desc().iter().map(|x| x.pair()).collect();
+        assert_eq!(order, vec![(2, 3), (2, 9), (5, 1)]);
     }
 
     #[test]
-    fn retain_drops_matches() {
+    fn retain_drops_matches_and_reindexes() {
         let mut m = mapping();
         let dropped = m.retain(|x| x.prob >= 0.5);
         assert_eq!(dropped, 1);
         assert_eq!(m.len(), 3);
+        // The index reflects the removal.
+        assert!(!m.contains_pair(1, 2));
+        assert_eq!(m.prob(1, 2), None);
+        assert_eq!(m.matches_of_left(1).len(), 1);
+        assert_eq!(m.matches_of_right(2).len(), 1);
     }
 
     #[test]
@@ -237,6 +376,7 @@ mod tests {
         let m = mapping();
         let collected: TupleMapping = m.iter().copied().collect();
         assert_eq!(collected.len(), 4);
+        assert_eq!(collected, m);
         let pairs: Vec<(usize, usize)> = m.into_iter().map(|x| x.pair()).collect();
         assert_eq!(pairs[0], (0, 0));
     }

@@ -12,8 +12,8 @@
 //! pairwise similarity threshold over those values, and merge keeps the union
 //! of source ids and values (a standard "union" merge domination model).
 
-use crate::matches::{TupleMatch, TupleMapping};
-use crate::similarity::{value_similarity, StringMetric, jaro, jaro_winkler};
+use crate::matches::{TupleMapping, TupleMatch};
+use crate::similarity::{jaro, jaro_winkler, value_similarity, StringMetric};
 use explain3d_relation::prelude::Value;
 use std::collections::BTreeSet;
 
@@ -55,10 +55,7 @@ pub struct Cluster {
 
 impl Cluster {
     fn from_record(r: &SwooshRecord) -> Self {
-        Cluster {
-            members: BTreeSet::from([(r.side, r.index)]),
-            values: r.values.clone(),
-        }
+        Cluster { members: BTreeSet::from([(r.side, r.index)]), values: r.values.clone() }
     }
 
     fn merge(&self, other: &Cluster) -> Cluster {
@@ -75,20 +72,12 @@ impl Cluster {
 
     /// Left-relation tuple indexes in this cluster.
     pub fn left_members(&self) -> Vec<usize> {
-        self.members
-            .iter()
-            .filter(|(s, _)| *s == Side::Left)
-            .map(|(_, i)| *i)
-            .collect()
+        self.members.iter().filter(|(s, _)| *s == Side::Left).map(|(_, i)| *i).collect()
     }
 
     /// Right-relation tuple indexes in this cluster.
     pub fn right_members(&self) -> Vec<usize> {
-        self.members
-            .iter()
-            .filter(|(s, _)| *s == Side::Right)
-            .map(|(_, i)| *i)
-            .collect()
+        self.members.iter().filter(|(s, _)| *s == Side::Right).map(|(_, i)| *i).collect()
     }
 }
 

@@ -24,66 +24,169 @@ pub fn jaccard(a: &str, b: &str) -> f64 {
     inter / union
 }
 
-/// Normalised Euclidean similarity between two numbers:
-/// `1 / (1 + |a - b|^2)`, as used in the paper.
-pub fn numeric_similarity(a: f64, b: f64) -> f64 {
-    1.0 / (1.0 + (a - b).powi(2))
-}
-
-/// Jaro similarity between two strings, in `[0, 1]`.
-pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.to_ascii_lowercase().chars().collect();
-    let b: Vec<char> = b.to_ascii_lowercase().chars().collect();
+/// Jaccard similarity over two **sorted, deduplicated** token-id slices (as
+/// produced by [`crate::tokenize::TokenInterner::token_ids`]), in `[0, 1]`.
+///
+/// This is the zero-copy twin of [`jaccard`]: intersection and union are
+/// counted by a single linear merge, with no allocation and no string
+/// comparisons. For ids produced by one interner it returns bit-identical
+/// results to [`jaccard`] on the original strings (the intersection and
+/// union cardinalities — and therefore the final division — are the same).
+pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "left ids not sorted/deduped");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "right ids not sorted/deduped");
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Normalised Euclidean similarity between two numbers:
+/// `1 / (1 + |a - b|^2)`, as used in the paper.
+pub fn numeric_similarity(a: f64, b: f64) -> f64 {
+    1.0 / (1.0 + (a - b).powi(2))
+}
+
+/// Upper length bound (in characters) for the stack-only Jaro fast path:
+/// match flags for both sides fit into `u128` bitmasks.
+const JARO_STACK_LEN: usize = 128;
+
+/// Jaro similarity between two strings, in `[0, 1]`.
+///
+/// ASCII inputs up to 128 characters — the overwhelmingly common case for
+/// attribute values — are scored **allocation-free**: comparisons run
+/// directly over the byte slices (case-folded on the fly) and the match
+/// flags of both sides live in `u128` bitmasks on the stack. Longer or
+/// non-ASCII inputs fall back to the equivalent buffered implementation.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a.is_ascii() && b.is_ascii() && a.len() <= JARO_STACK_LEN && b.len() <= JARO_STACK_LEN {
+        jaro_ascii(a.as_bytes(), b.as_bytes())
+    } else {
+        jaro_buffered(a, b)
+    }
+}
+
+/// Allocation-free Jaro over ASCII byte slices (`len <= 128` each).
+fn jaro_ascii(a: &[u8], b: &[u8]) -> f64 {
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut a_matched: u128 = 0;
+    let mut b_matched: u128 = 0;
+    let mut m = 0usize;
+
+    for (i, &ca) in a.iter().enumerate() {
+        let ca = ca.to_ascii_lowercase();
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
+            if b_matched & (1 << j) == 0 && cb.to_ascii_lowercase() == ca {
+                a_matched |= 1 << i;
+                b_matched |= 1 << j;
+                m += 1;
+                break;
+            }
+        }
+    }
+    if m == 0 {
+        return 0.0;
+    }
+
+    // Walk the matched characters of both sides in order; every position
+    // where they disagree is half a transposition.
+    let mut half_transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        if a_matched & (1 << i) == 0 {
+            continue;
+        }
+        while b_matched & (1 << j) == 0 {
+            j += 1;
+        }
+        if !ca.eq_ignore_ascii_case(&b[j]) {
+            half_transpositions += 1;
+        }
+        j += 1;
+    }
+
+    let m = m as f64;
+    let transpositions = half_transpositions as f64 / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// Buffered Jaro fallback for long or non-ASCII inputs.
+fn jaro_buffered(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().map(|c| c.to_ascii_lowercase()).collect();
+    let b: Vec<char> = b.chars().map(|c| c.to_ascii_lowercase()).collect();
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut a_matched = vec![false; a.len()];
     let mut b_matched = vec![false; b.len()];
-    let mut a_matches: Vec<char> = Vec::new();
-    let mut b_matches: Vec<char> = Vec::new();
+    let mut m = 0usize;
 
     for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
         for j in lo..hi {
             if !b_matched[j] && b[j] == ca {
+                a_matched[i] = true;
                 b_matched[j] = true;
-                a_matches.push(ca);
+                m += 1;
                 break;
             }
         }
     }
-    for (j, &cb) in b.iter().enumerate() {
-        if b_matched[j] {
-            b_matches.push(cb);
-        }
-    }
-    let m = a_matches.len() as f64;
-    if m == 0.0 {
+    if m == 0 {
         return 0.0;
     }
-    let transpositions = a_matches
-        .iter()
-        .zip(b_matches.iter())
-        .filter(|(x, y)| x != y)
-        .count() as f64
-        / 2.0;
+
+    let mut half_transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        if !a_matched[i] {
+            continue;
+        }
+        while !b_matched[j] {
+            j += 1;
+        }
+        if ca != b[j] {
+            half_transpositions += 1;
+        }
+        j += 1;
+    }
+
+    let m = m as f64;
+    let transpositions = half_transpositions as f64 / 2.0;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
 }
 
 /// Jaro-Winkler similarity (Jaro boosted by shared prefix up to 4 chars).
+/// The prefix scan compares characters case-insensitively in place, without
+/// building lower-cased copies.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .to_ascii_lowercase()
-        .chars()
-        .zip(b.to_ascii_lowercase().chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix =
+        a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x.eq_ignore_ascii_case(y)).count()
+            as f64;
     j + prefix * 0.1 * (1.0 - j)
 }
 
@@ -161,8 +264,8 @@ pub fn tuple_similarity(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use explain3d_relation::row;
     use explain3d_relation::prelude::ValueType;
+    use explain3d_relation::row;
 
     #[test]
     fn jaccard_basic_properties() {
@@ -197,6 +300,61 @@ mod tests {
     }
 
     #[test]
+    fn jaccard_ids_matches_string_jaccard() {
+        use crate::tokenize::TokenInterner;
+        let mut interner = TokenInterner::new();
+        let texts = [
+            "computer science",
+            "science computer",
+            "computer engineering",
+            "food business management",
+            "foodservice systems administration",
+            "",
+            "equine management",
+        ];
+        let ids: Vec<Vec<u32>> = texts.iter().map(|t| interner.token_ids(t)).collect();
+        for (i, a) in texts.iter().enumerate() {
+            for (j, b) in texts.iter().enumerate() {
+                let expected = jaccard(a, b);
+                let got = jaccard_ids(&ids[i], &ids[j]);
+                assert_eq!(
+                    got.to_bits(),
+                    expected.to_bits(),
+                    "jaccard_ids({a:?}, {b:?}) = {got} != {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jaro_fast_path_matches_buffered_fallback() {
+        let pairs = [
+            ("martha", "marhta"),
+            ("dixon", "dicksonx"),
+            ("computer", "computation"),
+            ("", "abc"),
+            ("xyz", "abc"),
+            ("The Quick Brown Fox", "the quick brown fox"),
+            ("a", "a"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                jaro(a, b).to_bits(),
+                jaro_buffered(a, b).to_bits(),
+                "jaro({a:?}, {b:?}) fast path diverges from fallback"
+            );
+        }
+        // Long inputs exercise the buffered fallback through the public API.
+        let long_a = "lorem ipsum dolor sit amet ".repeat(8);
+        let long_b = "lorem ipsum dolor sit amet consectetur ".repeat(6);
+        let j = jaro(&long_a, &long_b);
+        assert!((0.0..=1.0).contains(&j));
+        // Non-ASCII inputs also take the fallback and stay in bounds.
+        let j = jaro("café münchen", "cafe munchen");
+        assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
     fn jaro_and_jaro_winkler() {
         assert_eq!(jaro("martha", "martha"), 1.0);
         assert!(jaro("martha", "marhta") > 0.9);
@@ -227,23 +385,15 @@ mod tests {
         let rs = Schema::from_pairs(&[("major", ValueType::Str), ("m", ValueType::Int)]);
         let lrow = row!["computer science", 2];
         let rrow = row!["computer science", 1];
-        let pairs = vec![
-            ("program".to_string(), "major".to_string()),
-            ("n".to_string(), "m".to_string()),
-        ];
+        let pairs =
+            vec![("program".to_string(), "major".to_string()), ("n".to_string(), "m".to_string())];
         let s = tuple_similarity(&ls, &lrow, &rs, &rrow, &pairs, StringMetric::Jaccard);
         assert!((s - (1.0 + 0.5) / 2.0).abs() < 1e-12);
 
         // Empty attribute pair list means no basis for similarity.
-        assert_eq!(
-            tuple_similarity(&ls, &lrow, &rs, &rrow, &[], StringMetric::Jaccard),
-            0.0
-        );
+        assert_eq!(tuple_similarity(&ls, &lrow, &rs, &rrow, &[], StringMetric::Jaccard), 0.0);
         // Unknown columns contribute zero rather than erroring.
         let bad = vec![("nope".to_string(), "major".to_string())];
-        assert_eq!(
-            tuple_similarity(&ls, &lrow, &rs, &rrow, &bad, StringMetric::Jaccard),
-            0.0
-        );
+        assert_eq!(tuple_similarity(&ls, &lrow, &rs, &rrow, &bad, StringMetric::Jaccard), 0.0);
     }
 }

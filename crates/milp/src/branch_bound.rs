@@ -80,7 +80,8 @@ pub fn solve_with_stats(model: &Model, config: &MilpConfig) -> (Solution, SolveS
         model.variables().iter().map(|v| (v.lower, v.upper)).collect();
 
     let mut stats = SolveStats::default();
-    let mut best: Option<(f64, Vec<f64>)> = None; // (objective in max-sense, values)
+    // `best` holds (objective in max-sense, values).
+    let mut best: Option<(f64, Vec<f64>)> = None;
     // The warm-start hint is relaxed by a small epsilon so a solution equal
     // to the hint is still discovered (and reported) by the search.
     let mut incumbent_bound = config.incumbent_hint.map(|o| o * sign - 1e-6);
@@ -193,11 +194,8 @@ pub fn solve_with_stats(model: &Model, config: &MilpConfig) -> (Solution, SolveS
             (Solution { status, values, objective }, stats)
         }
         None => {
-            let status = if fully_explored {
-                SolveStatus::Infeasible
-            } else {
-                SolveStatus::LimitReached
-            };
+            let status =
+                if fully_explored { SolveStatus::Infeasible } else { SolveStatus::LimitReached };
             (Solution { status, values: vec![0.0; n], objective: 0.0 }, stats)
         }
     }
@@ -341,12 +339,7 @@ mod tests {
         let a = m.add_binary("a");
         let b = m.add_binary("b");
         let c = m.add_binary("c");
-        m.add_constraint(
-            "one",
-            term(a, 1.0) + term(b, 1.0) + term(c, 1.0),
-            Sense::Eq,
-            1.0,
-        );
+        m.add_constraint("one", term(a, 1.0) + term(b, 1.0) + term(c, 1.0), Sense::Eq, 1.0);
         m.maximize(term(a, 1.0) + term(b, 5.0) + term(c, 3.0));
         let sol = solve_default(&m);
         assert_eq!(sol.status, SolveStatus::Optimal);

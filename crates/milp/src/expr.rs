@@ -216,7 +216,8 @@ mod tests {
 
     #[test]
     fn evaluation() {
-        let e = LinExpr::term(VarId(0), 2.0) + LinExpr::term(VarId(2), 0.5) + LinExpr::constant(1.0);
+        let e =
+            LinExpr::term(VarId(0), 2.0) + LinExpr::term(VarId(2), 0.5) + LinExpr::constant(1.0);
         let vals = [3.0, 100.0, 4.0];
         assert_eq!(e.evaluate(&vals), 2.0 * 3.0 + 0.5 * 4.0 + 1.0);
         // Missing values are treated as zero.
@@ -236,7 +237,8 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = LinExpr::term(VarId(0), 1.0) - LinExpr::term(VarId(1), 2.0) + LinExpr::constant(-3.0);
+        let e =
+            LinExpr::term(VarId(0), 1.0) - LinExpr::term(VarId(1), 2.0) + LinExpr::constant(-3.0);
         let s = e.to_string();
         assert!(s.contains("x0"));
         assert!(s.contains("x1"));

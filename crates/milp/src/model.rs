@@ -319,11 +319,7 @@ impl fmt::Display for Model {
         }
         writeln!(f, "variables")?;
         for (i, v) in self.variables.iter().enumerate() {
-            writeln!(
-                f,
-                "  x{i} = {} ({:?}) in [{}, {}]",
-                v.name, v.kind, v.lower, v.upper
-            )?;
+            writeln!(f, "  x{i} = {} ({:?}) in [{}, {}]", v.name, v.kind, v.lower, v.upper)?;
         }
         Ok(())
     }

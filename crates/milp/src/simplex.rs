@@ -7,6 +7,10 @@
 //! optimises the user objective. Pivoting uses Dantzig's rule with a Bland's
 //! rule fallback to guarantee termination on degenerate problems.
 
+// Dense-tableau kernel: index arithmetic over a flat row-major buffer is the
+// clearest way to express simplex pivots, so the indexing-style lint is
+// opted out for this module.
+#![allow(clippy::needless_range_loop)]
 use crate::model::{Direction, Model, Sense};
 
 /// Status of an LP solve.
@@ -43,11 +47,8 @@ pub fn solve_lp(model: &Model, bound_overrides: &[(f64, f64)]) -> LpResult {
     let mut lower = Vec::with_capacity(n);
     let mut upper = Vec::with_capacity(n);
     for (i, v) in model.variables().iter().enumerate() {
-        let (lb, ub) = if bound_overrides.is_empty() {
-            (v.lower, v.upper)
-        } else {
-            bound_overrides[i]
-        };
+        let (lb, ub) =
+            if bound_overrides.is_empty() { (v.lower, v.upper) } else { bound_overrides[i] };
         if lb > ub + EPS {
             return LpResult { status: LpStatus::Infeasible, values: vec![], objective: 0.0 };
         }
@@ -69,7 +70,7 @@ pub fn solve_lp(model: &Model, bound_overrides: &[(f64, f64)]) -> LpResult {
 
     // Assemble rows: model constraints plus upper-bound rows.
     // Each row: (coeffs over structural vars, sense, rhs) in shifted space.
-    let mut rows: Vec<(Vec<(usize, f64)>, Sense, f64)> = Vec::new();
+    let mut rows: Vec<SparseRow> = Vec::new();
     for c in model.constraints() {
         let mut coeffs = Vec::with_capacity(c.expr.num_terms());
         let mut shift = 0.0;
@@ -96,7 +97,11 @@ pub fn solve_lp(model: &Model, bound_overrides: &[(f64, f64)]) -> LpResult {
             let c = obj_coeffs[i];
             values[i] = if c > EPS {
                 if upper[i].is_infinite() {
-                    return LpResult { status: LpStatus::Unbounded, values: vec![], objective: 0.0 };
+                    return LpResult {
+                        status: LpStatus::Unbounded,
+                        values: vec![],
+                        objective: 0.0,
+                    };
                 }
                 upper[i]
             } else {
@@ -266,12 +271,15 @@ fn price_out(obj_row: &mut [f64], tab: &[f64], basis: &[usize], stride: usize, m
     }
 }
 
+/// A constraint row in sparse form: `(coefficients, sense, rhs)`.
+type SparseRow = (Vec<(usize, f64)>, Sense, f64);
+
 /// Runs primal simplex iterations until optimality or unboundedness.
 /// `allow` filters which columns may enter the basis.
 fn run_simplex(
-    tab: &mut Vec<f64>,
-    basis: &mut Vec<usize>,
-    obj_row: &mut Vec<f64>,
+    tab: &mut [f64],
+    basis: &mut [usize],
+    obj_row: &mut [f64],
     m: usize,
     ncols: usize,
     stride: usize,

@@ -1,0 +1,156 @@
+//! # explain3d-parallel
+//!
+//! Minimal, dependency-free data parallelism for the Explain3D workspace.
+//!
+//! The container this reproduction builds in has no access to crates.io, so
+//! `rayon` is not available; this crate provides the small slice of it the
+//! hot paths need — a deterministic parallel map over owned work items —
+//! implemented with [`std::thread::scope`] and an atomic work queue.
+//!
+//! Determinism contract: [`par_map`] returns results **in input order**
+//! regardless of how the items were scheduled across worker threads, so
+//! callers that merge results sequentially observe exactly the ordering of
+//! the sequential code path.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism (1 when it cannot be determined).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` using up to [`max_threads`] workers, returning the
+/// results in input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_with(items, max_threads(), f)
+}
+
+/// Maps `f` over `items` using up to `threads` workers, returning the
+/// results in input order. `threads <= 1` (or fewer than two items) runs
+/// inline on the calling thread with no spawning overhead.
+pub fn par_map_with<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Each slot is taken exactly once (guarded by the atomic cursor), so the
+    // per-slot mutexes are uncontended; they exist only to move the owned
+    // item out of shared state without `unsafe`.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let cursor = &cursor;
+
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = slots[idx]
+                        .lock()
+                        .expect("parallel work slot poisoned")
+                        .take()
+                        .expect("parallel work slot taken twice");
+                    local.push((idx, f(item)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            indexed.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+
+    indexed.sort_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(indexed.len(), n);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `0..len` into at most `pieces` contiguous, near-equal ranges
+/// (none empty). Useful for chunking index spaces before [`par_map`].
+pub fn split_ranges(len: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, len);
+    let base = len / pieces;
+    let extra = len % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(par_map_with(items.clone(), 4, |x| x * 2), expected);
+        assert_eq!(par_map_with(items.clone(), 1, |x| x * 2), expected);
+        assert_eq!(par_map(items, |x| x * 2), expected);
+    }
+
+    #[test]
+    fn par_map_handles_edge_cases() {
+        assert_eq!(par_map_with(Vec::<usize>::new(), 4, |x| x), Vec::<usize>::new());
+        assert_eq!(par_map_with(vec![7], 4, |x| x + 1), vec![8]);
+        // More threads than items.
+        assert_eq!(par_map_with(vec![1, 2], 16, |x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn par_map_moves_owned_items() {
+        let items = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        assert_eq!(par_map_with(items, 2, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for (len, pieces) in [(10, 3), (3, 10), (1, 1), (100, 7)] {
+            let ranges = split_ranges(len, pieces);
+            assert!(ranges.len() <= pieces && !ranges.iter().any(|r| r.is_empty()));
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+        assert!(split_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -24,7 +24,11 @@ impl PartitionerConfig {
     /// Creates a configuration with the given `k` and `L_max` and two
     /// refinement passes.
     pub fn new(k: usize, max_part_weight: usize) -> Self {
-        PartitionerConfig { k: k.max(1), max_part_weight: max_part_weight.max(1), refinement_passes: 2 }
+        PartitionerConfig {
+            k: k.max(1),
+            max_part_weight: max_part_weight.max(1),
+            refinement_passes: 2,
+        }
     }
 }
 
@@ -98,8 +102,7 @@ pub fn partition_weighted(
                 continue;
             }
             let w = node_weights[next];
-            let fits = part_weights[part] + w <= config.max_part_weight
-                || part_weights[part] == 0; // oversized singletons get their own part
+            let fits = part_weights[part] + w <= config.max_part_weight || part_weights[part] == 0; // oversized singletons get their own part
             if !fits {
                 continue;
             }
@@ -180,15 +183,9 @@ pub fn partition_weighted(
 
 /// Picks the frontier node with the highest gain (ties by lowest index).
 fn pick_best(frontier: &[usize], gain: &[f64]) -> Option<usize> {
-    frontier
-        .iter()
-        .copied()
-        .max_by(|&a, &b| {
-            gain[a]
-                .partial_cmp(&gain[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.cmp(&a))
-        })
+    frontier.iter().copied().max_by(|&a, &b| {
+        gain[a].partial_cmp(&gain[b]).unwrap_or(std::cmp::Ordering::Equal).then(b.cmp(&a))
+    })
 }
 
 #[cfg(test)]
@@ -232,8 +229,7 @@ mod tests {
     #[test]
     fn size_bound_is_respected() {
         let weights = vec![1; 10];
-        let edges: Vec<(usize, usize, f64)> =
-            (0..9).map(|i| (i, i + 1, 1.0)).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..9).map(|i| (i, i + 1, 1.0)).collect();
         let cfg = PartitionerConfig::new(4, 3);
         let p = partition_weighted(&weights, &edges, &cfg);
         let mut sizes = vec![0usize; p.num_parts];
@@ -252,12 +248,7 @@ mod tests {
         let p = partition_weighted(&weights, &edges, &cfg);
         // Node 0 exceeds the bound on its own; it must be alone in its part.
         let part0 = p.assignment[0];
-        assert!(p
-            .assignment
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != 0)
-            .all(|(_, &a)| a != part0));
+        assert!(p.assignment.iter().enumerate().filter(|&(i, _)| i != 0).all(|(_, &a)| a != part0));
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub fn pre_partition(graph: &MappingGraph, scheme: &WeightScheme) -> CoarseGraph
     }
     let mut edges: Vec<(usize, usize, f64)> =
         weight_map.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|e| (e.0, e.1));
 
     CoarseGraph { clusters, cluster_of, edges }
 }

@@ -56,11 +56,8 @@ impl Executor {
         };
 
         // Build the provenance relation with per-tuple impacts.
-        let mut provenance = ProvenanceRelation::new(
-            query.name.clone(),
-            source.schema().clone(),
-            query.aggregate(),
-        );
+        let mut provenance =
+            ProvenanceRelation::new(query.name.clone(), source.schema().clone(), query.aggregate());
         for row in &filtered {
             let impact = match &query.projection {
                 Projection::Columns(_) => 1.0,
@@ -80,10 +77,8 @@ impl Executor {
         let result = match &query.projection {
             Projection::Columns(cols) => {
                 let names: Vec<&str> = cols.iter().map(String::as_str).collect();
-                let idx: Vec<usize> = names
-                    .iter()
-                    .map(|n| source.schema().index_of(n))
-                    .collect::<Result<_, _>>()?;
+                let idx: Vec<usize> =
+                    names.iter().map(|n| source.schema().index_of(n)).collect::<Result<_, _>>()?;
                 let schema = source.schema().project(&names)?;
                 let mut rel = Relation::new(query.name.clone(), schema);
                 for row in &filtered {
@@ -96,7 +91,8 @@ impl Executor {
                 }
             }
             Projection::Aggregate { func, column } => {
-                let value = self.eval_aggregate(source.schema(), &filtered, *func, column.as_deref())?;
+                let value =
+                    self.eval_aggregate(source.schema(), &filtered, *func, column.as_deref())?;
                 let out_name = format!("{func}({})", column.as_deref().unwrap_or("*"));
                 let ty = match value.value_type() {
                     ValueType::Unknown => ValueType::Float,
@@ -212,9 +208,8 @@ impl Executor {
             if let Some(candidates) = table.get(&lrow[l0].group_key()) {
                 for &ri in candidates {
                     let rrow = &right.rows()[ri];
-                    let all_match = rest.iter().all(|&(li, rj)| {
-                        lrow[li].sql_eq(&rrow[rj]).unwrap_or(false)
-                    });
+                    let all_match =
+                        rest.iter().all(|&(li, rj)| lrow[li].sql_eq(&rrow[rj]).unwrap_or(false));
                     if all_match {
                         out.insert(lrow.concat(rrow))?;
                     }
@@ -346,11 +341,7 @@ mod tests {
         let d3 = Relation::with_rows(
             "D3",
             Schema::from_pairs(&[("college", ValueType::Str), ("num_bach", ValueType::Int)]),
-            vec![
-                row!["Business", 2],
-                row!["Engineering", 2],
-                row!["Computer Science", 1],
-            ],
+            vec![row!["Business", 2], row!["Engineering", 2], row!["Computer Science", 1]],
         )
         .unwrap();
 
@@ -421,11 +412,7 @@ mod tests {
                 ("Program", ValueType::Str),
                 ("bach_degr", ValueType::Int),
             ]),
-            vec![
-                row![1, "CS", 1],
-                row![1, "Math", 2],
-                row![2, "Physics", 3],
-            ],
+            vec![row![1, "CS", 1], row![1, "Math", 2], row![2, "Physics", 3]],
         )
         .unwrap();
         db.add(school).add(stats);
@@ -485,9 +472,9 @@ mod tests {
     #[test]
     fn union_and_projection_sources() {
         let db = figure1_db();
-        let source = QueryExpr::scan("D1")
-            .project(["program"])
-            .union(QueryExpr::scan("D2").filter(Expr::col("univ").eq(Expr::lit("A"))).project(["major"]));
+        let source = QueryExpr::scan("D1").project(["program"]).union(
+            QueryExpr::scan("D2").filter(Expr::col("univ").eq(Expr::lit("A"))).project(["major"]),
+        );
         let q = Query::over(source).named("U").count_star();
         let out = execute(&db, &q).unwrap();
         assert_eq!(out.scalar().unwrap(), Value::Int(13));
@@ -507,8 +494,8 @@ mod tests {
         // CS/CSE differ lexically, so only 5 of 7 D1 rows match (Accounting, ECE, EE, Management, Design).
         assert_eq!(execute(&db, &q_in).unwrap().scalar().unwrap(), Value::Int(5));
 
-        let q_not_in = Query::over(QueryExpr::scan("D1").anti_join(sub, "program", "major"))
-            .count("program");
+        let q_not_in =
+            Query::over(QueryExpr::scan("D1").anti_join(sub, "program", "major")).count("program");
         assert_eq!(execute(&db, &q_not_in).unwrap().scalar().unwrap(), Value::Int(2));
     }
 
@@ -516,10 +503,7 @@ mod tests {
     fn execution_errors_are_reported() {
         let db = figure1_db();
         let q = Query::scan("Missing").count_star();
-        assert!(matches!(
-            execute(&db, &q),
-            Err(RelationError::UnknownRelation { .. })
-        ));
+        assert!(matches!(execute(&db, &q), Err(RelationError::UnknownRelation { .. })));
         let q = Query::scan("D1").count("nonexistent_column");
         assert!(execute(&db, &q).is_err());
         let q = Query::scan("D1").sum("program");

@@ -46,13 +46,12 @@ pub struct ProvenanceRelation {
 
 impl ProvenanceRelation {
     /// Creates an empty provenance relation.
-    pub fn new(query_name: impl Into<String>, schema: Schema, aggregate: Option<Aggregate>) -> Self {
-        ProvenanceRelation {
-            query_name: query_name.into(),
-            schema,
-            tuples: Vec::new(),
-            aggregate,
-        }
+    pub fn new(
+        query_name: impl Into<String>,
+        schema: Schema,
+        aggregate: Option<Aggregate>,
+    ) -> Self {
+        ProvenanceRelation { query_name: query_name.into(), schema, tuples: Vec::new(), aggregate }
     }
 
     /// Number of provenance tuples (the paper's `|P|`).
@@ -85,11 +84,9 @@ impl ProvenanceRelation {
     /// Values of the named attribute across all tuples, in tuple order.
     pub fn attr_values(&self, name: &str) -> Vec<Value> {
         match self.schema.index_of(name) {
-            Ok(idx) => self
-                .tuples
-                .iter()
-                .map(|t| t.row.get(idx).cloned().unwrap_or(Value::Null))
-                .collect(),
+            Ok(idx) => {
+                self.tuples.iter().map(|t| t.row.get(idx).cloned().unwrap_or(Value::Null)).collect()
+            }
             Err(_) => vec![Value::Null; self.tuples.len()],
         }
     }
@@ -112,10 +109,8 @@ mod tests {
     use crate::value::ValueType;
 
     fn prov() -> ProvenanceRelation {
-        let schema = Schema::from_pairs(&[
-            ("college", ValueType::Str),
-            ("num_bach", ValueType::Int),
-        ]);
+        let schema =
+            Schema::from_pairs(&[("college", ValueType::Str), ("num_bach", ValueType::Int)]);
         let mut p = ProvenanceRelation::new("Q3", schema, Some(Aggregate::Sum));
         p.push(row!["Business", 2], 2.0);
         p.push(row!["Engineering", 2], 2.0);

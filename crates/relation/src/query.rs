@@ -433,10 +433,7 @@ mod tests {
             .filter(Expr::col("Univ_name").eq(Expr::lit("UMass-Amherst")))
             .sum("bach_degr");
         assert_eq!(q2.aggregate(), Some(Aggregate::Sum));
-        assert_eq!(
-            q2.source.scanned_relations(),
-            vec!["School".to_string(), "Stats".to_string()]
-        );
+        assert_eq!(q2.source.scanned_relations(), vec!["School".to_string(), "Stats".to_string()]);
         assert!(q2.filter.is_some());
     }
 
@@ -466,7 +463,8 @@ mod tests {
             "MoviePerson.m_id",
             "Movie.m_id",
         );
-        let q = Query::scan("Person").where_not_in("p_id", sub, "MoviePerson.p_id").select(["name"]);
+        let q =
+            Query::scan("Person").where_not_in("p_id", sub, "MoviePerson.p_id").select(["name"]);
         let rels = q.source.scanned_relations();
         assert!(rels.contains(&"Person".to_string()));
         assert!(rels.contains(&"MoviePerson".to_string()));

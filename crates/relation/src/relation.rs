@@ -110,10 +110,8 @@ impl Relation {
 
     /// Projects onto the named columns, preserving row order and duplicates.
     pub fn project(&self, names: &[&str]) -> Result<Relation, RelationError> {
-        let idx: Vec<usize> = names
-            .iter()
-            .map(|n| self.schema.index_of(n))
-            .collect::<Result<_, _>>()?;
+        let idx: Vec<usize> =
+            names.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
         let schema = self.schema.project(names)?;
         let rows = self.rows.iter().map(|r| r.project(&idx)).collect();
         Ok(Relation { name: self.name.clone(), schema, rows })
@@ -224,19 +222,11 @@ mod tests {
     use crate::value::ValueType;
 
     fn majors() -> Relation {
-        let schema = Schema::from_pairs(&[
-            ("major", ValueType::Str),
-            ("degree", ValueType::Str),
-        ]);
+        let schema = Schema::from_pairs(&[("major", ValueType::Str), ("degree", ValueType::Str)]);
         Relation::with_rows(
             "Major",
             schema,
-            vec![
-                row!["CS", "B.S."],
-                row!["CS", "B.A."],
-                row!["ECE", "B.S."],
-                row!["CS", "B.S."],
-            ],
+            vec![row!["CS", "B.S."], row!["CS", "B.A."], row!["ECE", "B.S."], row!["CS", "B.S."]],
         )
         .unwrap()
     }

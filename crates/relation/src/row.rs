@@ -17,6 +17,7 @@ impl Row {
     }
 
     /// Builds a row from anything convertible into values.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, V>(iter: I) -> Self
     where
         I: IntoIterator<Item = V>,
@@ -157,7 +158,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_deterministic() {
-        let mut rows = vec![row![2, "b"], row![1, "z"], row![1, "a"]];
+        let mut rows = [row![2, "b"], row![1, "z"], row![1, "a"]];
         rows.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(rows[0], row![1, "a"]);
         assert_eq!(rows[1], row![1, "z"]);

@@ -40,9 +40,7 @@ impl Schema {
 
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, ValueType)]) -> Self {
-        Schema {
-            columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
-        }
+        Schema { columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect() }
     }
 
     /// Number of columns.
@@ -87,11 +85,7 @@ impl Schema {
             .collect();
         match exact.len() {
             1 => return Ok(exact[0]),
-            n if n > 1 => {
-                return Err(RelationError::AmbiguousColumn {
-                    name: name.to_string(),
-                })
-            }
+            n if n > 1 => return Err(RelationError::AmbiguousColumn { name: name.to_string() }),
             _ => {}
         }
         // Fall back to matching the unqualified suffix.
@@ -108,9 +102,7 @@ impl Schema {
                 name: name.to_string(),
                 available: self.columns.iter().map(|c| c.name.clone()).collect(),
             }),
-            _ => Err(RelationError::AmbiguousColumn {
-                name: name.to_string(),
-            }),
+            _ => Err(RelationError::AmbiguousColumn { name: name.to_string() }),
         }
     }
 
@@ -151,13 +143,9 @@ impl Schema {
     /// Checks union compatibility (same arity and compatible column types).
     pub fn union_compatible(&self, other: &Schema) -> bool {
         self.arity() == other.arity()
-            && self
-                .columns
-                .iter()
-                .zip(other.columns.iter())
-                .all(|(a, b)| {
-                    a.ty == b.ty || a.ty == ValueType::Unknown || b.ty == ValueType::Unknown
-                })
+            && self.columns.iter().zip(other.columns.iter()).all(|(a, b)| {
+                a.ty == b.ty || a.ty == ValueType::Unknown || b.ty == ValueType::Unknown
+            })
     }
 }
 
@@ -210,10 +198,7 @@ mod tests {
     #[test]
     fn ambiguous_suffix_is_an_error() {
         let s = Schema::from_pairs(&[("a.id", ValueType::Int), ("b.id", ValueType::Int)]);
-        assert!(matches!(
-            s.index_of("id"),
-            Err(RelationError::AmbiguousColumn { .. })
-        ));
+        assert!(matches!(s.index_of("id"), Err(RelationError::AmbiguousColumn { .. })));
         assert_eq!(s.index_of("a.id").unwrap(), 0);
     }
 

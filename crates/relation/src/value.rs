@@ -227,8 +227,7 @@ impl Value {
     /// Numeric division; division by zero or non-numeric yields NULL.
     pub fn div(&self, other: &Value) -> Value {
         match (self.as_f64(), other.as_f64()) {
-            (Some(_), Some(y)) if y == 0.0 => Value::Null,
-            (Some(x), Some(y)) => Value::Float(x / y),
+            (Some(x), Some(y)) if y != 0.0 => Value::Float(x / y),
             _ => Value::Null,
         }
     }
@@ -342,13 +341,8 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_classes() {
-        let mut vals = vec![
-            Value::str("z"),
-            Value::Int(5),
-            Value::Null,
-            Value::Bool(true),
-            Value::Float(1.5),
-        ];
+        let mut vals =
+            [Value::str("z"), Value::Int(5), Value::Null, Value::Bool(true), Value::Float(1.5)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Bool(true));

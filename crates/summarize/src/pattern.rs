@@ -41,11 +41,8 @@ impl Pattern {
 
 impl fmt::Display for Pattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let conds: Vec<String> = self
-            .conditions
-            .iter()
-            .map(|(a, v)| format!("{a} = \"{v}\""))
-            .collect();
+        let conds: Vec<String> =
+            self.conditions.iter().map(|(a, v)| format!("{a} = \"{v}\"")).collect();
         write!(
             f,
             "{} (covers {} targets, {} others)",
@@ -195,12 +192,8 @@ pub fn summarize(
         }
     }
 
-    summary.uncovered_targets = covered
-        .iter()
-        .enumerate()
-        .filter(|(_, &c)| !c)
-        .map(|(i, _)| i)
-        .collect();
+    summary.uncovered_targets =
+        covered.iter().enumerate().filter(|(_, &c)| !c).map(|(i, _)| i).collect();
     summary.patterns = selected;
     summary
 }
@@ -221,10 +214,7 @@ fn candidate_patterns(
                 continue;
             }
             let key = (ci, value.to_string().to_ascii_lowercase());
-            single
-                .entry(key)
-                .and_modify(|(_, n)| *n += 1)
-                .or_insert((value.clone(), 1));
+            single.entry(key).and_modify(|(_, n)| *n += 1).or_insert((value.clone(), 1));
         }
     }
 
@@ -243,7 +233,7 @@ fn candidate_patterns(
         singles.push(p);
     }
     // Highest coverage first so pair generation combines promising singles.
-    singles.sort_by(|a, b| b.target_coverage.cmp(&a.target_coverage));
+    singles.sort_by_key(|p| std::cmp::Reverse(p.target_coverage));
 
     if config.max_conditions >= 2 {
         let top: Vec<&Pattern> = singles.iter().take(12).collect();
@@ -339,12 +329,11 @@ mod tests {
             summary.patterns
         );
         // The targets end up reported individually instead.
-        assert_eq!(summary.uncovered_targets.len() + summary
-            .patterns
-            .iter()
-            .map(|p| p.target_coverage)
-            .sum::<usize>()
-            .min(2), 2);
+        assert_eq!(
+            summary.uncovered_targets.len()
+                + summary.patterns.iter().map(|p| p.target_coverage).sum::<usize>().min(2),
+            2
+        );
     }
 
     #[test]

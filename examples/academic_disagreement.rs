@@ -68,12 +68,8 @@ fn main() {
     println!("{table}");
 
     // Stage 3: summarise Explain3D's explanations on the campus side.
-    let summary = summarize_side(
-        &report.explanations,
-        Side::Left,
-        left,
-        &SummarizerConfig::default(),
-    );
+    let summary =
+        summarize_side(&report.explanations, Side::Left, left, &SummarizerConfig::default());
     println!("Campus-side summary of the discrepancies:");
     println!("{}", summary.render());
 }

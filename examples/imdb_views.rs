@@ -11,7 +11,8 @@ use explain3d::eval::ResultTable;
 use explain3d::prelude::*;
 
 fn main() {
-    let views = generate_views(&ImdbConfig { num_movies: 250, num_persons: 300, ..Default::default() });
+    let views =
+        generate_views(&ImdbConfig { num_movies: 250, num_persons: 300, ..Default::default() });
 
     let mut table = ResultTable::new(
         "IMDb views: Explain3D per query template",

@@ -50,10 +50,8 @@ fn main() {
 
     // The two semantically similar queries.
     let q1 = Query::scan("D1").named("Q1").count("program");
-    let q2 = Query::scan("D2")
-        .named("Q2")
-        .filter(Expr::col("univ").eq(Expr::lit("A")))
-        .count("major");
+    let q2 =
+        Query::scan("D2").named("Q2").filter(Expr::col("univ").eq(Expr::lit("A"))).count("major");
 
     // Attribute match: (program) ≡ (major).
     let matches = AttributeMatches::single_equivalent("program", "major");
@@ -63,13 +61,9 @@ fn main() {
     options.mapping.metric = StringMetric::JaroWinkler;
     options.mapping.use_blocking = false;
 
-    let outcome = explain_disagreement(
-        &QueryCase::new(d1, q1),
-        &QueryCase::new(d2, q2),
-        &matches,
-        &options,
-    )
-    .expect("queries are comparable");
+    let outcome =
+        explain_disagreement(&QueryCase::new(d1, q1), &QueryCase::new(d2, q2), &matches, &options)
+            .expect("queries are comparable");
 
     println!("{}", outcome.render());
     println!("evidence mapping:");

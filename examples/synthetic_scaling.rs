@@ -20,10 +20,9 @@ fn main() {
         let case = generate_synthetic(&SyntheticConfig::new(n, 0.2, 1000));
         let gold = GoldStandard::new(case.gold.clone());
 
-        for (label, config) in [
-            ("NoOpt", Explain3DConfig::no_opt()),
-            ("Batch-100", Explain3DConfig::batched(100)),
-        ] {
+        for (label, config) in
+            [("NoOpt", Explain3DConfig::no_opt()), ("Batch-100", Explain3DConfig::batched(100))]
+        {
             let solver = Explain3D::new(config);
             let start = Instant::now();
             let report = solver.explain(

@@ -84,6 +84,7 @@ pub use explain3d_datagen as datagen;
 pub use explain3d_eval as eval;
 pub use explain3d_linkage as linkage;
 pub use explain3d_milp as milp;
+pub use explain3d_parallel as parallel;
 pub use explain3d_partition as partition;
 pub use explain3d_relation as relation;
 pub use explain3d_summarize as summarize;
@@ -94,7 +95,7 @@ use explain3d_core::prelude::{
     QueryCase, Side,
 };
 use explain3d_relation::prelude::{RelationError, Row, Value};
-use explain3d_summarize::{summarize as summarize_targets, Summary, SummarizerConfig};
+use explain3d_summarize::{summarize as summarize_targets, SummarizerConfig, Summary};
 
 /// Options for the end-to-end [`explain_disagreement`] helper.
 #[derive(Debug, Clone, Default)]
@@ -134,10 +135,12 @@ impl ExplainOutcome {
             self.prepared.right_canonical.query_name,
             self.results.1
         ));
-        out.push_str(&self
-            .report
-            .explanations
-            .render(&self.prepared.left_canonical, &self.prepared.right_canonical));
+        out.push_str(
+            &self
+                .report
+                .explanations
+                .render(&self.prepared.left_canonical, &self.prepared.right_canonical),
+        );
         out.push_str(&format!("log Pr(E) = {:.3}\n", self.report.log_probability));
         if !self.left_summary.patterns.is_empty() || self.left_summary.num_targets > 0 {
             out.push_str("Left-side summary:\n");
@@ -170,12 +173,8 @@ pub fn explain_disagreement(
 
     // Stage 2: optimal explanations via the MILP pipeline.
     let solver = Explain3D::new(options.pipeline.clone());
-    let report = solver.explain(
-        &prepared.left_canonical,
-        &prepared.right_canonical,
-        matches,
-        &mapping,
-    );
+    let report =
+        solver.explain(&prepared.left_canonical, &prepared.right_canonical, matches, &mapping);
 
     // Stage 3: summarise each side's explanation tuples.
     let left_summary = summarize_side(
@@ -230,7 +229,7 @@ pub mod prelude {
     pub use explain3d_linkage::{BucketCalibrator, StringMetric, TupleMapping, TupleMatch};
     pub use explain3d_milp::prelude::{MilpConfig, SolveStatus};
     pub use explain3d_relation::prelude::*;
-    pub use explain3d_summarize::{Summary, SummarizerConfig};
+    pub use explain3d_summarize::{SummarizerConfig, Summary};
 }
 
 #[cfg(test)]

@@ -66,10 +66,7 @@ fn running_example_q1_vs_q3_containment() {
 
 #[test]
 fn explain3d_beats_the_baselines_on_the_academic_pair() {
-    let case = generate_academic(&AcademicConfig {
-        num_programs: 50,
-        ..AcademicConfig::umass()
-    });
+    let case = generate_academic(&AcademicConfig { num_programs: 50, ..AcademicConfig::umass() });
     let gold = GoldStandard::new(case.gold.clone());
     let left = &case.prepared.left_canonical;
     let right = &case.prepared.right_canonical;
@@ -160,8 +157,10 @@ fn smart_partitioning_bounds_subproblem_sizes_without_losing_accuracy() {
 
 #[test]
 fn imdb_template_pipeline_produces_complete_explanations() {
-    let views = generate_views(&ImdbConfig { num_movies: 150, num_persons: 180, ..Default::default() });
-    let case = views.case(ImdbTemplate::TotalGross, &views.default_param(ImdbTemplate::TotalGross, 12));
+    let views =
+        generate_views(&ImdbConfig { num_movies: 150, num_persons: 180, ..Default::default() });
+    let case =
+        views.case(ImdbTemplate::TotalGross, &views.default_param(ImdbTemplate::TotalGross, 12));
     let report = Explain3D::new(Explain3DConfig::batched(80)).explain(
         &case.prepared.left_canonical,
         &case.prepared.right_canonical,
@@ -193,10 +192,7 @@ fn stage_three_summary_compresses_academic_explanations() {
         &case.prepared.left_canonical,
         &SummarizerConfig::default(),
     );
-    let num_left_explanations = report
-        .explanations
-        .provenance_tuples(Side::Left)
-        .len()
+    let num_left_explanations = report.explanations.provenance_tuples(Side::Left).len()
         + report.explanations.value_changes(Side::Left).len();
     assert!(num_left_explanations > 5, "expected a sizeable explanation set");
     assert!(

@@ -1,0 +1,218 @@
+//! Equivalence tests for the performance-optimised hot paths.
+//!
+//! The PR that introduced the interned similarity kernel, the indexed
+//! [`TupleMapping`], and parallel Stage-2 solving guarantees that none of
+//! them changes observable behaviour. These tests pin that contract:
+//!
+//! 1. blocked and unblocked candidate generation agree above
+//!    `min_similarity` (for pairs blocking can see at all);
+//! 2. parallel and sequential pipeline runs produce identical
+//!    `ExplanationSet`s and scores;
+//! 3. the indexed `TupleMapping` lookups agree with the original
+//!    linear-scan semantics, duplicate pairs included.
+
+use explain3d::datagen::rng::{Rng, SeedableRng, StdRng};
+use explain3d::datagen::{generate_synthetic, vocab, SyntheticConfig};
+use explain3d::linkage::{
+    candidate_pairs, candidate_pairs_naive, token_set, Candidate, MappingConfig,
+};
+use explain3d::prelude::*;
+
+/// A pair of relations with phrase + year attributes and overlapping
+/// vocabulary, the shape the linkage layer sees after canonicalisation.
+fn workload(rows: usize, vocab_size: usize) -> (Schema, Vec<Row>, Schema, Vec<Row>) {
+    let schema = Schema::from_pairs(&[("name", ValueType::Str), ("year", ValueType::Int)]);
+    let make_rows = |seed: u64| -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows)
+            .map(|_| {
+                let words = rng.gen_range(1..=4usize);
+                let phrase = vocab::synthetic_phrase(&mut rng, vocab_size, words);
+                let year = rng.gen_range(1999..2005i64);
+                Row::new(vec![Value::str(phrase), Value::Int(year)])
+            })
+            .collect()
+    };
+    (schema.clone(), make_rows(11), schema, make_rows(12))
+}
+
+fn mapping_config() -> MappingConfig {
+    MappingConfig::new(vec![
+        ("name".to_string(), "name".to_string()),
+        ("year".to_string(), "year".to_string()),
+    ])
+}
+
+/// True when blocking has any way to discover the pair: a shared name token
+/// or an equal year.
+fn blockable(lrow: &Row, rrow: &Row) -> bool {
+    let shared_token = match (lrow.get(0), rrow.get(0)) {
+        (Some(Value::Str(a)), Some(Value::Str(b))) => !token_set(a).is_disjoint(&token_set(b)),
+        _ => false,
+    };
+    let same_year = match (lrow.get(1), rrow.get(1)) {
+        (Some(Value::Int(a)), Some(Value::Int(b))) => a == b,
+        _ => false,
+    };
+    shared_token || same_year
+}
+
+#[test]
+fn blocked_and_unblocked_candidates_agree_above_min_similarity() {
+    let (ls, lr, rs, rr) = workload(120, 60);
+    let cfg = mapping_config().with_min_similarity(0.1);
+    let blocked = candidate_pairs(&ls, &lr, &rs, &rr, &cfg);
+    let unblocked = candidate_pairs(&ls, &lr, &rs, &rr, &cfg.clone().without_blocking());
+    assert!(!blocked.is_empty() && !unblocked.is_empty());
+
+    let mut unblocked_sorted: Vec<Candidate> = unblocked.clone();
+    unblocked_sorted.sort();
+    // Blocking only prunes: every blocked candidate appears in the
+    // exhaustive scan with a bit-identical similarity.
+    for c in &blocked {
+        assert!(
+            unblocked_sorted.binary_search_by(|p| p.cmp(c)).is_ok(),
+            "blocked candidate ({}, {}) missing from the exhaustive scan",
+            c.left,
+            c.right
+        );
+    }
+    // ... and blocking loses nothing it can see: every exhaustive candidate
+    // above the floor whose rows share a blocking key is also found.
+    let mut blocked_sorted: Vec<Candidate> = blocked.clone();
+    blocked_sorted.sort();
+    for c in &unblocked {
+        if blockable(&lr[c.left], &rr[c.right]) {
+            assert!(
+                blocked_sorted.binary_search_by(|p| p.cmp(c)).is_ok(),
+                "blocking missed discoverable candidate ({}, {})",
+                c.left,
+                c.right
+            );
+        }
+    }
+}
+
+#[test]
+fn interned_candidates_match_naive_scoring_end_to_end() {
+    let (ls, lr, rs, rr) = workload(150, 80);
+    for blocking in [true, false] {
+        let mut cfg = mapping_config();
+        cfg.use_blocking = blocking;
+        let fast = candidate_pairs(&ls, &lr, &rs, &rr, &cfg);
+        let naive = candidate_pairs_naive(&ls, &lr, &rs, &rr, &cfg);
+        assert_eq!(fast.len(), naive.len(), "blocking={blocking}");
+        for (f, n) in fast.iter().zip(naive.iter()) {
+            assert_eq!((f.left, f.right), (n.left, n.right), "blocking={blocking}");
+            assert_eq!(
+                f.similarity.to_bits(),
+                n.similarity.to_bits(),
+                "similarity differs for ({}, {})",
+                f.left,
+                f.right
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_pipelines_are_byte_identical() {
+    let case = generate_synthetic(&SyntheticConfig::new(120, 0.3, 400));
+    // Deterministic MILP bound (nodes, not wall-clock) so both runs explore
+    // identical search trees regardless of scheduling.
+    let milp = MilpConfig { time_limit: None, max_nodes: 2_000, ..Default::default() };
+    for config in [
+        Explain3DConfig::batched(30).with_milp(milp.clone()),
+        Explain3DConfig::connected_components().with_milp(milp.clone()),
+    ] {
+        let run = |parallel: bool| {
+            Explain3D::new(config.clone().with_parallel(parallel)).explain(
+                &case.prepared.left_canonical,
+                &case.prepared.right_canonical,
+                &case.attribute_matches,
+                &case.initial_mapping,
+            )
+        };
+        let par = run(true);
+        let seq = run(false);
+        assert_eq!(par.explanations, seq.explanations, "strategy {:?}", config.strategy);
+        assert_eq!(par.log_probability.to_bits(), seq.log_probability.to_bits());
+        assert_eq!(par.complete, seq.complete);
+        assert_eq!(par.stats.num_subproblems, seq.stats.num_subproblems);
+        assert_eq!(par.stats.milp_nodes, seq.stats.milp_nodes);
+        assert_eq!(par.stats.suboptimal_subproblems, seq.stats.suboptimal_subproblems);
+        assert!(par.stats.num_subproblems >= 2, "workload should actually partition");
+    }
+}
+
+/// Linear-scan reference semantics for `TupleMapping` lookups, as
+/// implemented before the hash index.
+mod reference {
+    use explain3d::prelude::TupleMatch;
+
+    pub fn prob(ms: &[TupleMatch], left: usize, right: usize) -> Option<f64> {
+        ms.iter().find(|m| m.left == left && m.right == right).map(|m| m.prob)
+    }
+
+    pub fn matches_of_left(ms: &[TupleMatch], left: usize) -> Vec<TupleMatch> {
+        ms.iter().filter(|m| m.left == left).copied().collect()
+    }
+
+    pub fn matches_of_right(ms: &[TupleMatch], right: usize) -> Vec<TupleMatch> {
+        ms.iter().filter(|m| m.right == right).copied().collect()
+    }
+}
+
+#[test]
+fn indexed_tuple_mapping_agrees_with_linear_scan_reference() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let n = rng.gen_range(5..25usize);
+        let mut ms: Vec<TupleMatch> = Vec::new();
+        for _ in 0..rng.gen_range(0..60usize) {
+            ms.push(TupleMatch::new(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(1..100u32) as f64 / 100.0,
+            ));
+        }
+        // Force duplicate pairs with different probabilities: the pinned
+        // behaviour is that lookups resolve to the FIRST inserted match.
+        if let Some(&m) = ms.first() {
+            ms.push(TupleMatch::new(m.left, m.right, (m.prob / 2.0).max(0.01)));
+        }
+
+        let mapping = TupleMapping::from_matches(ms.clone());
+        assert_eq!(mapping.matches(), &ms[..], "insertion order preserved");
+        for left in 0..n {
+            for right in 0..n {
+                assert_eq!(
+                    mapping.prob(left, right),
+                    reference::prob(&ms, left, right),
+                    "seed {seed}: prob({left}, {right})"
+                );
+                assert_eq!(
+                    mapping.contains_pair(left, right),
+                    reference::prob(&ms, left, right).is_some()
+                );
+            }
+            let of_left: Vec<TupleMatch> =
+                mapping.matches_of_left(left).into_iter().copied().collect();
+            assert_eq!(of_left, reference::matches_of_left(&ms, left));
+            let of_right: Vec<TupleMatch> =
+                mapping.matches_of_right(left).into_iter().copied().collect();
+            assert_eq!(of_right, reference::matches_of_right(&ms, left));
+        }
+
+        // Mutation keeps the index in sync with the reference.
+        let mut mapping = mapping;
+        let mut ms_ref = ms.clone();
+        mapping.retain(|m| m.prob >= 0.4);
+        ms_ref.retain(|m| m.prob >= 0.4);
+        for left in 0..n {
+            for right in 0..n {
+                assert_eq!(mapping.prob(left, right), reference::prob(&ms_ref, left, right));
+            }
+        }
+    }
+}
