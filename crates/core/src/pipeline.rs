@@ -16,7 +16,7 @@ use crate::explanation::ExplanationSet;
 use crate::probability::{log_probability, ProbabilityParams};
 use explain3d_linkage::TupleMapping;
 use explain3d_milp::prelude::MilpConfig;
-use explain3d_partition::{smart_partition, MappingGraph, SmartPartitionConfig};
+use explain3d_partition::{smart_partition_packed, MappingGraph, SmartPartitionConfig};
 use std::time::{Duration, Instant};
 
 /// How Stage 2 splits the problem before encoding MILPs.
@@ -133,12 +133,30 @@ pub struct PipelineStats {
     pub threads: usize,
     /// Number of sub-problems (MILPs) solved.
     pub num_subproblems: usize,
+    /// Target part count of the smart partitioner,
+    /// `k = ⌈(|T1| + |T2|) / batch⌉` (0 for the other strategies). The
+    /// packed partitioner lands `num_subproblems` at
+    /// `target_parts + split_components` or below on pack-friendly
+    /// workloads, instead of one part per connected component.
+    pub target_parts: usize,
+    /// Connected components the smart partitioner had to split across parts
+    /// because they exceeded the batch bound (0 for other strategies).
+    pub split_components: usize,
+    /// Smart-partition parts exceeding the batch bound because a single
+    /// high-probability cluster is larger than the batch itself (0 for
+    /// other strategies).
+    pub oversized_parts: usize,
     /// Size (tuples) of the largest sub-problem.
     pub max_subproblem_size: usize,
     /// Total branch-and-bound nodes across all MILPs.
     pub milp_nodes: usize,
-    /// Number of sub-problems whose MILP hit a limit before proving
-    /// optimality (their solutions are feasible but possibly sub-optimal).
+    /// Total MILPs solved. With smart partitioning this is the number of
+    /// connected components (each packed part is solved component-wise, so
+    /// `milp_count >= num_subproblems`); otherwise it equals
+    /// [`num_subproblems`](PipelineStats::num_subproblems).
+    pub milp_count: usize,
+    /// Number of MILPs that hit a limit before proving optimality (their
+    /// solutions are feasible but possibly sub-optimal).
     pub suboptimal_subproblems: usize,
 }
 
@@ -201,6 +219,7 @@ impl Explain3D {
         // Split into sub-problems according to the strategy. Empty parts are
         // dropped here so both code paths below see the same work list.
         let partition_start = Instant::now();
+        let mut packing_stats = (0usize, 0usize, 0usize); // (target, splits, oversized)
         let subproblems: Vec<SubProblem> = match self.config.strategy {
             PartitioningStrategy::None => {
                 vec![SubProblem::full(left, right, mapping)]
@@ -212,8 +231,11 @@ impl Explain3D {
                 .collect(),
             PartitioningStrategy::Smart { batch_size } => {
                 let cfg = SmartPartitionConfig::with_batch_size(batch_size);
-                let partition = smart_partition(&graph, &cfg);
-                partition
+                let packed = smart_partition_packed(&graph, &cfg);
+                packing_stats =
+                    (packed.target_parts, packed.split_components, packed.oversized_parts.len());
+                packed
+                    .partition
                     .parts(&graph)
                     .into_iter()
                     .map(|c| component_to_subproblem(&c, mapping))
@@ -228,6 +250,13 @@ impl Explain3D {
         // construction, so they are fanned out across worker threads;
         // `par_map_with` returns outcomes indexed by partition id (input
         // order), so the merge below is identical to a sequential run.
+        //
+        // A batch-packed part may contain several *independent* connected
+        // components (packing merges small components to hit the target
+        // part count); the MILP objective decomposes over components, so
+        // each part is solved component-wise — identical models to a
+        // component-per-part run, batched into `k` work items.
+        let decompose = matches!(self.config.strategy, PartitioningStrategy::Smart { .. });
         let solve_start = Instant::now();
         let requested = if self.config.parallel { explain3d_parallel::max_threads() } else { 1 };
         // `par_map_with` never uses more workers than items (and runs inline
@@ -236,18 +265,27 @@ impl Explain3D {
         let config = &self.config;
         let outcomes: Vec<SubOutcome> =
             explain3d_parallel::par_map_with(subproblems, requested, |sub| {
-                solve_one(left, right, relation, config, &sub)
+                solve_one(left, right, relation, config, &sub, decompose)
             });
 
         // Deterministic merge in partition order, folding per-sub-problem
         // timings into the run statistics.
         let mut merged = ExplanationSet::new();
-        let mut stats = PipelineStats { partition_time, threads, ..Default::default() };
+        let (target_parts, split_components, oversized_parts) = packing_stats;
+        let mut stats = PipelineStats {
+            partition_time,
+            threads,
+            target_parts,
+            split_components,
+            oversized_parts,
+            ..Default::default()
+        };
         for outcome in outcomes {
             stats.num_subproblems += 1;
             stats.max_subproblem_size = stats.max_subproblem_size.max(outcome.size);
             stats.milp_nodes += outcome.nodes;
-            stats.suboptimal_subproblems += usize::from(outcome.suboptimal);
+            stats.milp_count += outcome.milps;
+            stats.suboptimal_subproblems += outcome.suboptimal;
             stats.solve_cpu_time += outcome.solve_time;
             stats.max_subproblem_time = stats.max_subproblem_time.max(outcome.solve_time);
             merged.merge(outcome.explanations);
@@ -278,46 +316,68 @@ impl Explain3D {
     }
 }
 
-/// The result of encoding and solving one sub-problem.
+/// The result of encoding and solving one sub-problem (one partition; with
+/// decomposition enabled, one or more MILPs).
 struct SubOutcome {
     explanations: ExplanationSet,
     nodes: usize,
-    suboptimal: bool,
+    suboptimal: usize,
+    milps: usize,
     solve_time: Duration,
     size: usize,
 }
 
 /// Encodes and solves one sub-problem: the loop body shared by the parallel
-/// and sequential solve paths.
+/// and sequential solve paths. With `decompose` the sub-problem is split
+/// into its connected components and one MILP is solved per component —
+/// exact (the objective decomposes over components) and exponentially
+/// cheaper than one MILP over a packed part of independent components.
 fn solve_one(
     left: &CanonicalRelation,
     right: &CanonicalRelation,
     relation: crate::attr_match::SemanticRelation,
     config: &Explain3DConfig,
     sub: &SubProblem,
+    decompose: bool,
 ) -> SubOutcome {
     let sub_start = Instant::now();
-    let encoded = crate::encode::encode(left, right, relation, &config.params, sub);
-    // Warm-start the branch-and-bound with a greedily-constructed complete
-    // solution so obviously-worse branches are pruned early; the same
-    // solution serves as a fallback when the exact search hits a node or
-    // time limit without an incumbent.
-    let (fallback, hint) =
-        crate::encode::heuristic_solution(left, right, relation, &config.params, sub);
-    let milp_config = config.milp.clone().with_incumbent_hint(hint);
-    let (solution, solve_stats) =
-        explain3d_milp::branch_bound::solve_with_stats(&encoded.model, &milp_config);
-    let explanations = if solution.status.has_solution() {
-        crate::encode::decode(&encoded, &solution)
+    let decomposed: Vec<SubProblem>;
+    let components: &[SubProblem] = if decompose {
+        decomposed = sub.connected_components();
+        &decomposed
     } else {
-        // Limit reached (or everything pruned by the warm-start bound): the
-        // greedy complete solution is still valid output.
-        fallback
+        std::slice::from_ref(sub)
     };
+    let mut explanations = ExplanationSet::new();
+    let mut nodes = 0usize;
+    let mut suboptimal = 0usize;
+    for comp in components {
+        let encoded = crate::encode::encode(left, right, relation, &config.params, comp);
+        // Warm-start the branch-and-bound with a greedily-constructed
+        // complete solution so obviously-worse branches are pruned early;
+        // the same solution serves as a fallback when the exact search hits
+        // a node or time limit without an incumbent.
+        let (fallback, hint) =
+            crate::encode::heuristic_solution(left, right, relation, &config.params, comp);
+        let milp_config = config.milp.clone().with_incumbent_hint(hint);
+        let (solution, solve_stats) =
+            explain3d_milp::branch_bound::solve_with_stats(&encoded.model, &milp_config);
+        let comp_explanations = if solution.status.has_solution() {
+            crate::encode::decode(&encoded, &solution)
+        } else {
+            // Limit reached (or everything pruned by the warm-start bound):
+            // the greedy complete solution is still valid output.
+            fallback
+        };
+        explanations.merge(comp_explanations);
+        nodes += solve_stats.nodes;
+        suboptimal += usize::from(solution.status != explain3d_milp::prelude::SolveStatus::Optimal);
+    }
     SubOutcome {
         explanations,
-        nodes: solve_stats.nodes,
-        suboptimal: solution.status != explain3d_milp::prelude::SolveStatus::Optimal,
+        nodes,
+        suboptimal,
+        milps: components.len(),
         solve_time: sub_start.elapsed(),
         size: sub.size(),
     }
@@ -433,6 +493,19 @@ mod tests {
             Explain3D::new(Explain3DConfig::batched(6)).explain(&t1, &t2, &attr(), &mapping);
         assert!(batched.stats.num_subproblems > 1);
         assert!(batched.stats.max_subproblem_size <= 6);
+        // Packing diagnostics: 23 tuples / batch 6 → k = 4, and the packed
+        // part count stays within target + splits (no oversized clusters).
+        assert_eq!(batched.stats.target_parts, 4);
+        assert_eq!(batched.stats.oversized_parts, 0);
+        assert!(
+            batched.stats.num_subproblems
+                <= batched.stats.target_parts + batched.stats.split_components,
+            "{} sub-problems for target {} + {} splits",
+            batched.stats.num_subproblems,
+            batched.stats.target_parts,
+            batched.stats.split_components
+        );
+        assert_eq!(no_opt.stats.target_parts, 0);
 
         let cc = Explain3D::new(Explain3DConfig::connected_components()).explain(
             &t1,

@@ -7,7 +7,7 @@
 //! quadratic blow-up on large inputs), followed by similarity-to-probability
 //! calibration.
 //!
-//! ## Candidate scoring is zero-copy and parallel
+//! ## Candidate scoring is zero-copy, parallel, and streaming
 //!
 //! [`candidate_pairs`] tokenises every row **once** into interned `u32`
 //! token ids ([`TokenInterner`]), scores pairs as a linear merge over sorted
@@ -16,6 +16,14 @@
 //! floating-point similarities — as the straightforward per-pair
 //! implementation, which is kept as [`candidate_pairs_naive`] for tests and
 //! the performance-trajectory benchmark.
+//!
+//! Pair enumeration is **streaming**: [`PairChunkStream`] yields blocked (or
+//! exhaustive) pairs in bounded chunks that feed the parallel scorer
+//! directly, so the full pair list — ~460k pairs on a 5000×5000 comparison,
+//! quadratic without blocking — is never materialised. Peak resident pairs
+//! are bounded by `worker threads × chunk size`
+//! ([`MappingConfig::chunk_pairs`]); [`candidate_pairs_streaming`] reports
+//! the observed numbers as [`CandidateGenStats`].
 
 use crate::calibrate::BucketCalibrator;
 use crate::matches::{TupleMapping, TupleMatch};
@@ -38,7 +46,16 @@ pub struct MappingConfig {
     /// Use token blocking on the matching attributes: only pairs that share
     /// at least one token (or the exact numeric value) are compared.
     pub use_blocking: bool,
+    /// Number of pairs per streamed chunk fed to the parallel scorer. Peak
+    /// pair residency is bounded by `worker threads × chunk_pairs`; the
+    /// retained candidates are byte-identical for every chunk size.
+    pub chunk_pairs: usize,
 }
+
+/// Default [`MappingConfig::chunk_pairs`]: large enough to amortise the
+/// per-chunk dispatch, small enough that even one chunk per core stays far
+/// below the materialised-pair-list footprint it replaces.
+pub const DEFAULT_CHUNK_PAIRS: usize = 8192;
 
 impl Default for MappingConfig {
     fn default() -> Self {
@@ -47,6 +64,7 @@ impl Default for MappingConfig {
             metric: StringMetric::Jaccard,
             min_similarity: 0.05,
             use_blocking: true,
+            chunk_pairs: DEFAULT_CHUNK_PAIRS,
         }
     }
 }
@@ -72,6 +90,12 @@ impl MappingConfig {
     /// Sets the string metric.
     pub fn with_metric(mut self, metric: StringMetric) -> Self {
         self.metric = metric;
+        self
+    }
+
+    /// Sets the streaming chunk size (pairs per chunk; clamped to ≥ 1).
+    pub fn with_chunk_pairs(mut self, chunk_pairs: usize) -> Self {
+        self.chunk_pairs = chunk_pairs.max(1);
         self
     }
 }
@@ -225,11 +249,156 @@ fn prepared_tuple_similarity(
     total / left_cols.len() as f64
 }
 
+/// Statistics of one streaming candidate-generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateGenStats {
+    /// Total pairs enumerated and scored.
+    pub pairs_scored: usize,
+    /// Number of chunks streamed to the scorer.
+    pub chunks: usize,
+    /// Configured chunk size (pairs per chunk).
+    pub chunk_pairs: usize,
+    /// Largest number of pairs resident at once: the biggest single wave of
+    /// chunks handed to the parallel scorer (≤ worker threads × chunk size).
+    /// This is the streaming design's peak allocation, replacing the full
+    /// pair-list materialisation of the pre-streaming implementation.
+    pub peak_resident_pairs: usize,
+}
+
+/// A streaming source of candidate pairs, yielded as bounded chunks.
+///
+/// Enumerates exactly the pairs [`enumerate_pairs`] would produce — blocked
+/// pairs in sorted `(left, right)` order with duplicates removed, or the
+/// row-major cross product when blocking is off — but one left row at a
+/// time, so the full pair list is never resident. Blocking state (the
+/// inverted indexes over the right rows and the left rows' key ids) is
+/// built up front; its size is linear in the input rows, not in the pair
+/// count.
+pub struct PairChunkStream {
+    source: PairSource,
+    buffer: Vec<(usize, usize)>,
+    chunk_pairs: usize,
+}
+
+enum PairSource {
+    /// Row-major cross product (blocking disabled).
+    Exhaustive { left_len: usize, right_len: usize, next_row: usize },
+    /// Token blocking: per attribute pair, an inverted index over the right
+    /// rows plus each left row's blocking-key ids.
+    Blocked {
+        /// One inverted index (`key id → right rows`) per resolvable
+        /// attribute pair.
+        indexes: Vec<HashMap<u32, Vec<usize>>>,
+        /// `left_keys[attr][row]`: blocking-key ids of the left row.
+        left_keys: Vec<Vec<Vec<u32>>>,
+        left_len: usize,
+        next_row: usize,
+    },
+}
+
+impl PairChunkStream {
+    /// Builds a stream over the pairs the given configuration selects.
+    /// `interner` is only used during construction (key interning).
+    pub fn new(
+        left_schema: &Schema,
+        left_rows: &[Row],
+        right_schema: &Schema,
+        right_rows: &[Row],
+        config: &MappingConfig,
+        interner: &mut TokenInterner,
+    ) -> Self {
+        let source = if config.use_blocking {
+            let mut indexes = Vec::new();
+            let mut left_keys = Vec::new();
+            for (lcol, rcol) in &config.attr_pairs {
+                let (Ok(li), Ok(ri)) = (left_schema.index_of(lcol), right_schema.index_of(rcol))
+                else {
+                    continue;
+                };
+                let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
+                for (j, row) in right_rows.iter().enumerate() {
+                    for key in blocking_key_ids(row.get(ri).unwrap_or(&Value::Null), interner) {
+                        index.entry(key).or_default().push(j);
+                    }
+                }
+                let keys: Vec<Vec<u32>> = left_rows
+                    .iter()
+                    .map(|row| blocking_key_ids(row.get(li).unwrap_or(&Value::Null), interner))
+                    .collect();
+                indexes.push(index);
+                left_keys.push(keys);
+            }
+            PairSource::Blocked { indexes, left_keys, left_len: left_rows.len(), next_row: 0 }
+        } else {
+            PairSource::Exhaustive {
+                left_len: left_rows.len(),
+                right_len: right_rows.len(),
+                next_row: 0,
+            }
+        };
+        PairChunkStream { source, buffer: Vec::new(), chunk_pairs: config.chunk_pairs.max(1) }
+    }
+
+    /// Appends the next left row's pairs to the buffer. Returns false when
+    /// the source is exhausted.
+    fn refill(&mut self) -> bool {
+        match &mut self.source {
+            PairSource::Exhaustive { left_len, right_len, next_row } => {
+                if *next_row >= *left_len || *right_len == 0 {
+                    return false;
+                }
+                let i = *next_row;
+                self.buffer.extend((0..*right_len).map(|j| (i, j)));
+                *next_row += 1;
+                *next_row < *left_len
+            }
+            PairSource::Blocked { indexes, left_keys, left_len, next_row } => {
+                if *next_row >= *left_len {
+                    return false;
+                }
+                let i = *next_row;
+                // Union of this row's matches across all attribute pairs,
+                // sorted and deduplicated — per-row this reproduces exactly
+                // the globally sorted, deduplicated pair list of
+                // `enumerate_pairs` restricted to row `i`.
+                let mut js: Vec<usize> = Vec::new();
+                for (index, keys) in indexes.iter().zip(left_keys.iter()) {
+                    for key in &keys[i] {
+                        if let Some(matched) = index.get(key) {
+                            js.extend_from_slice(matched);
+                        }
+                    }
+                }
+                js.sort_unstable();
+                js.dedup();
+                self.buffer.extend(js.into_iter().map(|j| (i, j)));
+                *next_row += 1;
+                *next_row < *left_len
+            }
+        }
+    }
+}
+
+impl Iterator for PairChunkStream {
+    type Item = Vec<(usize, usize)>;
+
+    fn next(&mut self) -> Option<Vec<(usize, usize)>> {
+        while self.buffer.len() < self.chunk_pairs && self.refill() {}
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let take = self.chunk_pairs.min(self.buffer.len());
+        let rest = self.buffer.split_off(take);
+        Some(std::mem::replace(&mut self.buffer, rest))
+    }
+}
+
 /// Computes candidate pairs and their raw similarities.
 ///
-/// Rows are tokenised once up front; the pair-scoring loop is parallelised
-/// across CPU cores in index-ordered chunks, so the output is byte-identical
-/// to a sequential scan (and to [`candidate_pairs_naive`]).
+/// Rows are tokenised once up front; pairs are enumerated as a stream of
+/// bounded chunks ([`PairChunkStream`]) scored in parallel across CPU
+/// cores, so the output is byte-identical to a sequential scan (and to
+/// [`candidate_pairs_naive`]) while the full pair list is never resident.
 pub fn candidate_pairs(
     left_schema: &Schema,
     left_rows: &[Row],
@@ -237,8 +406,21 @@ pub fn candidate_pairs(
     right_rows: &[Row],
     config: &MappingConfig,
 ) -> Vec<Candidate> {
+    candidate_pairs_streaming(left_schema, left_rows, right_schema, right_rows, config).0
+}
+
+/// [`candidate_pairs`] plus the streaming statistics of the run (total
+/// pairs scored, chunk count, peak resident pairs).
+pub fn candidate_pairs_streaming(
+    left_schema: &Schema,
+    left_rows: &[Row],
+    right_schema: &Schema,
+    right_rows: &[Row],
+    config: &MappingConfig,
+) -> (Vec<Candidate>, CandidateGenStats) {
+    let chunk_pairs = config.chunk_pairs.max(1);
     if config.attr_pairs.is_empty() {
-        return Vec::new();
+        return (Vec::new(), CandidateGenStats { chunk_pairs, ..Default::default() });
     }
 
     let mut interner = TokenInterner::new();
@@ -253,27 +435,53 @@ pub fn candidate_pairs(
         .map(|(_, rcol)| prepare_column(right_schema, right_rows, rcol, &mut interner))
         .collect();
 
-    let pairs_to_check =
-        enumerate_pairs(left_schema, left_rows, right_schema, right_rows, config, &mut interner);
+    let stream = PairChunkStream::new(
+        left_schema,
+        left_rows,
+        right_schema,
+        right_rows,
+        config,
+        &mut interner,
+    );
 
-    // Score in parallel over contiguous chunks; concatenating the per-chunk
-    // outputs in chunk order reproduces the sequential candidate order.
-    let threads = explain3d_parallel::max_threads();
-    let ranges = explain3d_parallel::split_ranges(pairs_to_check.len(), threads * 4);
+    let threads = explain3d_parallel::max_threads().max(1);
     let left_cols = &left_cols;
     let right_cols = &right_cols;
-    let pairs = &pairs_to_check;
-    let chunked: Vec<Vec<Candidate>> = explain3d_parallel::par_map_with(ranges, threads, |range| {
-        let mut out = Vec::new();
-        for &(i, j) in &pairs[range] {
-            let sim = prepared_tuple_similarity(left_cols, right_cols, i, j, config.metric);
-            if sim >= config.min_similarity {
-                out.push(Candidate { left: i, right: j, similarity: sim });
-            }
+    let metric = config.metric;
+    let min_similarity = config.min_similarity;
+
+    // Instrument the pull side: `par_map_iter_bounded` drains the stream in
+    // waves of `threads` chunks, so residency per wave is the sum of the
+    // wave's chunk sizes — the peak is the streaming design's peak pair
+    // allocation.
+    let mut chunks = 0usize;
+    let mut pairs_scored = 0usize;
+    let mut wave_resident = 0usize;
+    let mut peak_resident_pairs = 0usize;
+    let counted = stream.inspect(|chunk| {
+        if chunks.is_multiple_of(threads) {
+            wave_resident = 0;
         }
-        out
+        chunks += 1;
+        pairs_scored += chunk.len();
+        wave_resident += chunk.len();
+        peak_resident_pairs = peak_resident_pairs.max(wave_resident);
     });
-    chunked.into_iter().flatten().collect()
+
+    let scored: Vec<Vec<Candidate>> =
+        explain3d_parallel::par_map_iter_bounded(counted, threads, |chunk: Vec<(usize, usize)>| {
+            let mut out = Vec::new();
+            for (i, j) in chunk {
+                let sim = prepared_tuple_similarity(left_cols, right_cols, i, j, metric);
+                if sim >= min_similarity {
+                    out.push(Candidate { left: i, right: j, similarity: sim });
+                }
+            }
+            out
+        });
+
+    let out: Vec<Candidate> = scored.into_iter().flatten().collect();
+    (out, CandidateGenStats { pairs_scored, chunks, chunk_pairs, peak_resident_pairs })
 }
 
 /// The straightforward candidate generator: every pair is scored with
@@ -316,10 +524,13 @@ pub fn candidate_pairs_naive(
 }
 
 /// The pairs a candidate generator must score: the blocked pair list when
-/// blocking is enabled, the full row-major cross product otherwise. Shared
-/// by [`candidate_pairs`] and [`candidate_pairs_naive`] so the two can never
-/// diverge on enumeration order — the bit-identical-output contract the
-/// equivalence tests pin.
+/// blocking is enabled, the full row-major cross product otherwise. This is
+/// the *reference* enumeration used by [`candidate_pairs_naive`];
+/// [`PairChunkStream`] re-implements the same enumeration as a stream and
+/// MUST stay in lock-step with it — any change to blocking semantics has to
+/// land in both places (the contract is pinned by
+/// `pair_chunk_stream_matches_enumerate_pairs` and the seeded equivalence
+/// suites in `tests/perf_equivalence.rs`).
 fn enumerate_pairs(
     left_schema: &Schema,
     left_rows: &[Row],
@@ -603,6 +814,72 @@ mod tests {
         let (rs, rr) = right();
         let cfg = MappingConfig::new(vec![]);
         assert!(candidate_pairs(&ls, &lr, &rs, &rr, &cfg).is_empty());
+        let (out, stats) = candidate_pairs_streaming(&ls, &lr, &rs, &rr, &cfg);
+        assert!(out.is_empty());
+        assert_eq!(stats.pairs_scored, 0);
+        assert_eq!(stats.chunks, 0);
+    }
+
+    #[test]
+    fn pair_chunk_stream_matches_enumerate_pairs() {
+        let (ls, lr) = left();
+        let (rs, rr) = right();
+        for blocking in [true, false] {
+            for chunk_pairs in [1usize, 2, 3, 7, 1024] {
+                let mut cfg = config().with_chunk_pairs(chunk_pairs);
+                cfg.use_blocking = blocking;
+                let mut interner = TokenInterner::new();
+                let expected = enumerate_pairs(&ls, &lr, &rs, &rr, &cfg, &mut interner);
+                let mut interner = TokenInterner::new();
+                let stream = PairChunkStream::new(&ls, &lr, &rs, &rr, &cfg, &mut interner);
+                let mut streamed = Vec::new();
+                for chunk in stream {
+                    assert!(chunk.len() <= chunk_pairs, "chunk exceeded its bound");
+                    streamed.extend(chunk);
+                }
+                assert_eq!(streamed, expected, "blocking={blocking} chunk={chunk_pairs}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_stats_bound_peak_residency() {
+        let (ls, lr) = left();
+        let (rs, rr) = right();
+        let cfg = config().without_blocking().with_chunk_pairs(2).with_min_similarity(0.0);
+        let (out, stats) = candidate_pairs_streaming(&ls, &lr, &rs, &rr, &cfg);
+        assert_eq!(stats.pairs_scored, lr.len() * rr.len());
+        assert_eq!(stats.chunk_pairs, 2);
+        assert_eq!(stats.chunks, stats.pairs_scored.div_ceil(2));
+        let threads = explain3d_parallel::max_threads().max(1);
+        assert!(stats.peak_resident_pairs <= threads * stats.chunk_pairs);
+        assert!(stats.peak_resident_pairs >= 1);
+        // The retained output is unaffected by the chunk size.
+        assert_eq!(
+            out,
+            candidate_pairs(
+                &ls,
+                &lr,
+                &rs,
+                &rr,
+                &config().without_blocking().with_min_similarity(0.0)
+            )
+        );
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_output() {
+        let (ls, lr) = left();
+        let (rs, rr) = right();
+        let reference = candidate_pairs_naive(&ls, &lr, &rs, &rr, &config());
+        for chunk_pairs in [1usize, 3, 5, 4096] {
+            let fast = candidate_pairs(&ls, &lr, &rs, &rr, &config().with_chunk_pairs(chunk_pairs));
+            assert_eq!(fast.len(), reference.len(), "chunk={chunk_pairs}");
+            for (f, n) in fast.iter().zip(reference.iter()) {
+                assert_eq!((f.left, f.right), (n.left, n.right));
+                assert_eq!(f.similarity.to_bits(), n.similarity.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -333,6 +333,78 @@ mod tests {
     }
 
     #[test]
+    fn empty_mapping_behaves_consistently() {
+        let mut m = TupleMapping::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.prob(0, 0), None);
+        assert!(!m.contains_pair(0, 0));
+        assert!(m.matches_of_left(0).is_empty());
+        assert!(m.matches_of_right(0).is_empty());
+        assert!(m.covered_left().is_empty());
+        assert!(m.covered_right().is_empty());
+        assert!(m.by_left().is_empty());
+        assert!(m.sorted_by_prob_desc().is_empty());
+        // Mutating an empty mapping is a no-op, not a panic.
+        assert_eq!(m.retain(|_| false), 0);
+        assert!(m.filter_by_threshold(0.5).is_empty());
+        assert_eq!(m.iter().count(), 0);
+        // An empty mapping equals any other empty mapping.
+        assert_eq!(m, TupleMapping::from_matches(vec![]));
+    }
+
+    #[test]
+    fn self_pairs_index_both_sides() {
+        // A match whose left and right indexes coincide must appear in both
+        // adjacency views without double-counting.
+        let m = TupleMapping::from_matches(vec![
+            TupleMatch::new(2, 2, 0.6),
+            TupleMatch::new(2, 5, 0.3),
+            TupleMatch::new(5, 2, 0.4),
+        ]);
+        assert_eq!(m.prob(2, 2), Some(0.6));
+        assert!(m.contains_pair(2, 2));
+        // left adjacency of 2: (2,2) and (2,5); right adjacency of 2:
+        // (2,2) and (5,2).
+        let of_left: Vec<(usize, usize)> = m.matches_of_left(2).iter().map(|x| x.pair()).collect();
+        assert_eq!(of_left, vec![(2, 2), (2, 5)]);
+        let of_right: Vec<(usize, usize)> =
+            m.matches_of_right(2).iter().map(|x| x.pair()).collect();
+        assert_eq!(of_right, vec![(2, 2), (5, 2)]);
+        assert!(m.covered_left().contains(&2) && m.covered_right().contains(&2));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn triplicate_pairs_keep_first_insertion_through_mutation() {
+        // Beyond the pinned two-duplicate case: three matches on the same
+        // pair. Lookups must walk the first-insertion chain as duplicates
+        // are removed one by one.
+        let mut m = TupleMapping::from_matches(vec![
+            TupleMatch::new(1, 1, 0.9),
+            TupleMatch::new(1, 1, 0.5),
+            TupleMatch::new(1, 1, 0.2),
+            TupleMatch::new(0, 1, 0.7),
+        ]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.prob(1, 1), Some(0.9));
+        assert_eq!(m.matches_of_left(1).len(), 3);
+        assert_eq!(m.matches_of_right(1).len(), 4);
+        // Drop the first duplicate: the second (0.5) becomes canonical.
+        m.retain(|x| x.prob != 0.9);
+        assert_eq!(m.prob(1, 1), Some(0.5));
+        // Drop the middle one: the last (0.2) survives.
+        m.retain(|x| x.prob != 0.5);
+        assert_eq!(m.prob(1, 1), Some(0.2));
+        m.retain(|x| x.prob != 0.2);
+        assert_eq!(m.prob(1, 1), None);
+        assert!(m.contains_pair(0, 1));
+        // Re-inserting after removal re-establishes the pair index.
+        m.push(TupleMatch::new(1, 1, 0.8));
+        assert_eq!(m.prob(1, 1), Some(0.8));
+    }
+
+    #[test]
     fn threshold_filtering() {
         let m = mapping();
         let hi = m.filter_by_threshold(0.9);

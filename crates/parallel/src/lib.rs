@@ -89,6 +89,42 @@ where
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Maps `f` over the items of a (possibly unbounded) iterator using up to
+/// `threads` workers while holding at most `threads` *items* in memory at a
+/// time, returning results in input order.
+///
+/// This is the streaming twin of [`par_map_with`]: instead of collecting
+/// the whole work list up front, items are pulled from `source` in waves of
+/// `threads`, each wave is mapped in parallel, and the outputs are appended
+/// in input order. Callers that feed it *chunks* of work (e.g. slices of
+/// candidate pairs) get bounded peak memory — `threads × chunk size` items
+/// resident — with the exact output a fully materialised run would produce.
+pub fn par_map_iter_bounded<T, R, F>(
+    source: impl Iterator<Item = T>,
+    threads: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let wave_size = threads.max(1);
+    let mut source = source;
+    let mut out: Vec<R> = Vec::new();
+    loop {
+        let wave: Vec<T> = source.by_ref().take(wave_size).collect();
+        if wave.is_empty() {
+            return out;
+        }
+        let done = wave.len() < wave_size;
+        out.extend(par_map_with(wave, threads, &f));
+        if done {
+            return out;
+        }
+    }
+}
+
 /// Splits `0..len` into at most `pieces` contiguous, near-equal ranges
 /// (none empty). Useful for chunking index spaces before [`par_map`].
 pub fn split_ranges(len: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
@@ -133,6 +169,43 @@ mod tests {
     fn par_map_moves_owned_items() {
         let items = vec![String::from("a"), String::from("bb"), String::from("ccc")];
         assert_eq!(par_map_with(items, 2, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_map_iter_bounded_preserves_order() {
+        let expected: Vec<usize> = (0..997).map(|x| x * 3).collect();
+        assert_eq!(par_map_iter_bounded(0..997usize, 4, |x| x * 3), expected);
+        assert_eq!(par_map_iter_bounded(0..997usize, 1, |x| x * 3), expected);
+        assert_eq!(
+            par_map_iter_bounded(std::iter::empty::<usize>(), 4, |x| x),
+            Vec::<usize>::new()
+        );
+        // A single item, fewer items than the wave, and an exact multiple.
+        assert_eq!(par_map_iter_bounded(std::iter::once(7usize), 8, |x| x + 1), vec![8]);
+        assert_eq!(par_map_iter_bounded(0..8usize, 4, |x| x), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_iter_bounded_interleaves_pulls_and_waves() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Items are pulled on the calling thread in waves of `threads`, so
+        // when the mapper runs, the source can be at most one wave ahead of
+        // the item being processed.
+        let pulled = AtomicUsize::new(0);
+        let source = (0..100usize).inspect(|_| {
+            pulled.fetch_add(1, Ordering::Relaxed);
+        });
+        let max_lead = AtomicUsize::new(0);
+        let out = par_map_iter_bounded(source, 4, |x| {
+            let lead = pulled.load(Ordering::Relaxed).saturating_sub(x);
+            max_lead.fetch_max(lead, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(pulled.load(Ordering::Relaxed), 100);
+        // Wave scheduling: the source never runs more than one full wave
+        // (plus the in-flight item) ahead of the oldest unprocessed item.
+        assert!(max_lead.load(Ordering::Relaxed) <= 2 * 4, "source ran ahead of the waves");
     }
 
     #[test]

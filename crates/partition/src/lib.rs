@@ -16,6 +16,7 @@
 
 pub mod dsu;
 pub mod graph;
+pub mod packing;
 pub mod partitioner;
 pub mod prepartition;
 pub mod smart;
@@ -23,7 +24,8 @@ pub mod weights;
 
 pub use dsu::DisjointSet;
 pub use graph::{Component, GraphEdge, MappingGraph, Node, Partition};
+pub use packing::{pack_first_fit_decreasing, Packing};
 pub use partitioner::{partition_weighted, PartitionerConfig, WeightedPartition};
 pub use prepartition::{pre_partition, CoarseGraph};
-pub use smart::{smart_partition, SmartPartitionConfig};
+pub use smart::{smart_partition, smart_partition_packed, PackedPartition, SmartPartitionConfig};
 pub use weights::WeightScheme;

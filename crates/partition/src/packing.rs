@@ -1,0 +1,177 @@
+//! Batch packing: first-fit-decreasing bin packing of weighted items.
+//!
+//! The greedy graph grower of [`crate::partitioner`] produces one part per
+//! seed, so a graph with many small connected components yields many small
+//! parts — far more than the `k = ⌈n / L_max⌉` sub-problems the paper's
+//! batching model calls for. This module packs those parts into bins of
+//! capacity `L_max`, merging small parts while never exceeding the bound.
+//!
+//! First-fit-decreasing is deterministic (items are processed by descending
+//! weight, ties broken by ascending index; bins are probed in creation
+//! order) and carries a useful structural guarantee: **no two bins can be
+//! merged without exceeding the capacity**. When a bin's first item was
+//! placed, it did not fit in any earlier bin, and bins only gain weight
+//! afterwards — so for any two bins the combined weight exceeds the
+//! capacity. This is the invariant the partition property suite pins (it
+//! bounds the bin count by `2·⌈total/capacity⌉ + 1` and in practice lands
+//! on `⌈total/capacity⌉` for the workloads the pipeline sees).
+
+/// The result of packing weighted items into capacity-bounded bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packing {
+    /// Bin index per item.
+    pub bin_of: Vec<usize>,
+    /// Number of bins opened.
+    pub num_bins: usize,
+    /// Total weight per bin.
+    pub bin_weights: Vec<usize>,
+    /// Bins whose single item is heavier than the capacity. Such items can
+    /// not be packed within the bound; they get a bin of their own and are
+    /// flagged so callers can surface the violation instead of hiding it.
+    pub oversized_bins: Vec<usize>,
+}
+
+impl Packing {
+    /// True when every non-flagged bin respects `capacity`.
+    pub fn respects_capacity(&self, capacity: usize) -> bool {
+        self.bin_weights
+            .iter()
+            .enumerate()
+            .all(|(b, &w)| w <= capacity || self.oversized_bins.contains(&b))
+    }
+}
+
+/// Packs `weights` into bins of at most `capacity` using first-fit
+/// decreasing. Items heavier than `capacity` are placed alone in their own
+/// bin and reported in [`Packing::oversized_bins`]. Zero-weight items pack
+/// into the first bin that exists (or a fresh one when none does).
+pub fn pack_first_fit_decreasing(weights: &[usize], capacity: usize) -> Packing {
+    let capacity = capacity.max(1);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+
+    let mut bin_of = vec![usize::MAX; weights.len()];
+    let mut bin_weights: Vec<usize> = Vec::new();
+    let mut oversized_bins: Vec<usize> = Vec::new();
+
+    for &item in &order {
+        let w = weights[item];
+        if w > capacity {
+            // Oversized: always alone, always flagged. Because items are
+            // processed in decreasing order these bins are opened first and
+            // are never offered to later (smaller) items.
+            let bin = bin_weights.len();
+            bin_weights.push(w);
+            oversized_bins.push(bin);
+            bin_of[item] = bin;
+            continue;
+        }
+        // Oversized bins occupy a contiguous prefix (descending order opens
+        // them all before any packable item arrives), so skipping the
+        // prefix suffices — no membership test per probe.
+        let target = bin_weights
+            .iter()
+            .enumerate()
+            .skip(oversized_bins.len())
+            .find(|&(_, &bw)| bw + w <= capacity)
+            .map(|(b, _)| b);
+        match target {
+            Some(bin) => {
+                bin_weights[bin] += w;
+                bin_of[item] = bin;
+            }
+            None => {
+                let bin = bin_weights.len();
+                bin_weights.push(w);
+                bin_of[item] = bin;
+            }
+        }
+    }
+
+    Packing { num_bins: bin_weights.len(), bin_of, bin_weights, oversized_bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_of(p: &Packing, weights: &[usize]) -> Vec<usize> {
+        let mut out = vec![0usize; p.num_bins];
+        for (i, &b) in p.bin_of.iter().enumerate() {
+            out[b] += weights[i];
+        }
+        out
+    }
+
+    #[test]
+    fn packs_small_items_tightly() {
+        let weights = vec![1; 12];
+        let p = pack_first_fit_decreasing(&weights, 4);
+        assert_eq!(p.num_bins, 3);
+        assert!(p.oversized_bins.is_empty());
+        assert!(p.respects_capacity(4));
+        assert_eq!(weights_of(&p, &weights), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn mixed_sizes_pack_first_fit_decreasing() {
+        // Sorted desc: 5, 3, 3, 2, 2, 1 with capacity 6:
+        // [5, 1], [3, 3], [2, 2] — the classic FFD layout.
+        let weights = vec![2, 3, 5, 1, 3, 2];
+        let p = pack_first_fit_decreasing(&weights, 6);
+        assert_eq!(p.num_bins, 3);
+        assert_eq!(weights_of(&p, &weights), vec![6, 6, 4]);
+        assert!(p.respects_capacity(6));
+    }
+
+    #[test]
+    fn oversized_items_are_isolated_and_flagged() {
+        let weights = vec![9, 2, 2];
+        let p = pack_first_fit_decreasing(&weights, 4);
+        assert_eq!(p.oversized_bins, vec![0]);
+        assert_eq!(p.bin_of[0], 0);
+        // The small items must not share the oversized bin.
+        assert_ne!(p.bin_of[1], 0);
+        assert_eq!(p.bin_of[1], p.bin_of[2]);
+        assert!(p.respects_capacity(4));
+        assert!(!p.respects_capacity(3));
+    }
+
+    #[test]
+    fn no_two_bins_are_mergeable() {
+        let weights = vec![7, 4, 4, 3, 3, 3, 2, 2, 1, 1];
+        let cap = 10;
+        let p = pack_first_fit_decreasing(&weights, cap);
+        let bw = weights_of(&p, &weights);
+        for a in 0..p.num_bins {
+            for b in a + 1..p.num_bins {
+                assert!(bw[a] + bw[b] > cap, "bins {a} and {b} could merge: {bw:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_tie_breaks() {
+        let weights = vec![2, 2, 2, 2, 3, 3];
+        let a = pack_first_fit_decreasing(&weights, 5);
+        let b = pack_first_fit_decreasing(&weights, 5);
+        assert_eq!(a, b);
+        // Equal-weight items are placed in index order.
+        assert_eq!(a.bin_of[4].min(a.bin_of[5]), a.bin_of[4]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let p = pack_first_fit_decreasing(&[], 4);
+        assert_eq!(p.num_bins, 0);
+        assert!(p.bin_of.is_empty());
+
+        // Zero capacity is clamped to 1.
+        let p = pack_first_fit_decreasing(&[1, 1], 0);
+        assert_eq!(p.num_bins, 2);
+
+        // Zero-weight items join the first open bin.
+        let p = pack_first_fit_decreasing(&[0, 0, 2], 2);
+        assert_eq!(p.num_bins, 1);
+    }
+}

@@ -1,12 +1,23 @@
 //! A size-bounded graph partitioner in the multilevel style of METIS:
-//! greedy graph growing for the initial assignment followed by
-//! Fiduccia–Mattheyses-style boundary refinement, both respecting a maximum
+//! greedy graph growing for the initial assignment, a first-fit-decreasing
+//! batch-packing pass that merges under-full parts, then
+//! Fiduccia–Mattheyses-style boundary refinement — all respecting a maximum
 //! part size (the paper's balancing constraint `|T1,i| + |T2,j| ≤ L_max`).
+//!
+//! Graph growing alone opens one part per seed, so a graph with many small
+//! connected components produces many small parts (one per component: the
+//! grower's frontier never crosses components, and FM refinement only moves
+//! nodes with positive gain, which disconnected nodes never have). The
+//! packing pass ([`crate::packing`]) closes that gap: grown parts are bins
+//! packed to `L_max`, so the part count lands near `⌈total / L_max⌉`
+//! instead of near the component count.
 //!
 //! The partitioner operates on a generic weighted graph (node weights +
 //! weighted undirected edges); the smart-partitioning driver feeds it the
 //! coarse graph produced by [`pre_partition`](crate::prepartition::pre_partition),
 //! which plays the role of the coarsening phase of a multilevel scheme.
+
+use crate::packing::pack_first_fit_decreasing;
 
 /// Configuration of the partitioner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +52,10 @@ pub struct WeightedPartition {
     pub num_parts: usize,
     /// Total weight of cut edges.
     pub edge_cut: f64,
+    /// Parts whose weight exceeds `max_part_weight` because they hold a
+    /// single node heavier than the bound. No packing or refinement can fix
+    /// those within the constraint, so they are flagged instead of hidden.
+    pub oversized_parts: Vec<usize>,
 }
 
 /// Partitions a weighted graph.
@@ -57,11 +72,24 @@ pub fn partition_weighted(
 ) -> WeightedPartition {
     let n = node_weights.len();
     if n == 0 {
-        return WeightedPartition { assignment: vec![], num_parts: 0, edge_cut: 0.0 };
+        return WeightedPartition {
+            assignment: vec![],
+            num_parts: 0,
+            edge_cut: 0.0,
+            oversized_parts: vec![],
+        };
     }
     let total_weight: usize = node_weights.iter().sum();
     if total_weight <= config.max_part_weight || config.k <= 1 {
-        return WeightedPartition { assignment: vec![0; n], num_parts: 1, edge_cut: 0.0 };
+        // A single part: only over the bound when the caller forced k = 1 on
+        // an overweight graph, in which case the violation is flagged.
+        let oversized = if total_weight > config.max_part_weight { vec![0] } else { vec![] };
+        return WeightedPartition {
+            assignment: vec![0; n],
+            num_parts: 1,
+            edge_cut: 0.0,
+            oversized_parts: oversized,
+        };
     }
 
     // Adjacency list.
@@ -121,6 +149,18 @@ pub fn partition_weighted(
             }
         }
     }
+    // ---- Batch packing ----
+    // Growing opens one part per seed, so disconnected graphs come out of
+    // the loop above with one (possibly tiny) part per component. Pack the
+    // grown parts into bins of capacity `L_max` with first-fit decreasing;
+    // a grown part can only exceed the bound when it is a single oversized
+    // node, which the packer isolates and flags.
+    let packing = pack_first_fit_decreasing(&part_weights, config.max_part_weight);
+    for a in assignment.iter_mut() {
+        *a = packing.bin_of[*a];
+    }
+    let mut part_weights = packing.bin_weights;
+    let mut oversized_parts = packing.oversized_bins;
     let mut num_parts = part_weights.len();
 
     // ---- FM-style boundary refinement ----
@@ -160,7 +200,9 @@ pub fn partition_weighted(
         }
     }
 
-    // Compact part ids (refinement can empty a part).
+    // Compact part ids (refinement can empty a part). Oversized parts are
+    // never emptied — their single node cannot move within the bound — so
+    // their remapped ids are always defined.
     let mut remap = vec![usize::MAX; num_parts];
     let mut next = 0usize;
     for a in assignment.iter_mut() {
@@ -171,6 +213,8 @@ pub fn partition_weighted(
         *a = remap[*a];
     }
     num_parts = next;
+    let mut oversized_parts: Vec<usize> = oversized_parts.drain(..).map(|p| remap[p]).collect();
+    oversized_parts.sort_unstable();
 
     let edge_cut = edges
         .iter()
@@ -178,7 +222,7 @@ pub fn partition_weighted(
         .map(|&(_, _, w)| w)
         .sum();
 
-    WeightedPartition { assignment, num_parts, edge_cut }
+    WeightedPartition { assignment, num_parts, edge_cut, oversized_parts }
 }
 
 /// Picks the frontier node with the highest gain (ties by lowest index).
@@ -275,6 +319,71 @@ mod tests {
         }
         assert!(sizes.iter().all(|&s| s <= 3));
         assert_eq!(sizes.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn many_small_components_pack_to_the_target_part_count() {
+        // 40 isolated 2-node components (a pathological pre-packing case:
+        // the grower alone would emit 40 parts). With L_max = 10 the packer
+        // must land on k = ⌈80/10⌉ = 8 full parts.
+        let weights = vec![1; 80];
+        let edges: Vec<(usize, usize, f64)> = (0..40).map(|c| (2 * c, 2 * c + 1, 5.0)).collect();
+        let cfg = PartitionerConfig::new(8, 10);
+        let p = partition_weighted(&weights, &edges, &cfg);
+        assert_eq!(p.num_parts, 8, "packing should hit k exactly");
+        assert!(p.oversized_parts.is_empty());
+        let mut sizes = vec![0usize; p.num_parts];
+        for &a in &p.assignment {
+            sizes[a] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s <= 10));
+        // Components are never split by packing: both halves stay together.
+        for c in 0..40 {
+            assert_eq!(p.assignment[2 * c], p.assignment[2 * c + 1], "component {c} split");
+        }
+        // Zero edges are cut: packing merges whole parts.
+        assert_eq!(p.edge_cut, 0.0);
+    }
+
+    #[test]
+    fn packed_parts_are_pairwise_unmergeable() {
+        // Mixed component sizes; after packing, no two non-oversized parts
+        // may fit in one bin together (the FFD structural guarantee).
+        let weights = vec![1; 23];
+        let mut edges = Vec::new();
+        let mut next = 0usize;
+        for size in [5usize, 4, 4, 3, 3, 2, 1, 1] {
+            for i in 1..size {
+                edges.push((next + i - 1, next + i, 2.0));
+            }
+            next += size;
+        }
+        let cap = 7;
+        let p = partition_weighted(&weights, &edges, &PartitionerConfig::new(4, cap));
+        let mut sizes = vec![0usize; p.num_parts];
+        for &a in &p.assignment {
+            sizes[a] += 1;
+        }
+        for a in 0..p.num_parts {
+            for b in a + 1..p.num_parts {
+                assert!(sizes[a] + sizes[b] > cap, "parts {a} and {b} could merge: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_parts_are_reported() {
+        let weights = vec![10, 1, 1, 1];
+        let edges = vec![(1, 2, 1.0)];
+        let p = partition_weighted(&weights, &edges, &PartitionerConfig::new(2, 4));
+        assert_eq!(p.oversized_parts.len(), 1);
+        let oversized = p.oversized_parts[0];
+        assert_eq!(p.assignment[0], oversized);
+        assert!((1..4).all(|i| p.assignment[i] != oversized));
+        // Forcing k = 1 on an overweight graph flags the single part too.
+        let p = partition_weighted(&weights, &edges, &PartitionerConfig::new(1, 4));
+        assert_eq!(p.num_parts, 1);
+        assert_eq!(p.oversized_parts, vec![0]);
     }
 
     #[test]

@@ -1,6 +1,16 @@
 //! Smart partitioning (Algorithm 3): pre-partition, partition the coarse
-//! graph, then project the assignment back onto the original tuples.
+//! graph with batch packing, then project the assignment back onto the
+//! original tuples.
+//!
+//! The partitioner packs connected components into
+//! `k = ⌈(|T1| + |T2|) / batch⌉` parts (merging small components with
+//! first-fit-decreasing bin packing, splitting oversized ones along
+//! low-weight edges); [`smart_partition_packed`] additionally reports how
+//! the packing went — the target part count, how many components had to be
+//! split, and which parts exceed the batch bound because a single
+//! high-probability cluster is larger than the batch itself.
 
+use crate::dsu::DisjointSet;
 use crate::graph::{MappingGraph, Partition};
 use crate::partitioner::{partition_weighted, PartitionerConfig};
 use crate::prepartition::pre_partition;
@@ -41,20 +51,68 @@ impl Default for SmartPartitionConfig {
     }
 }
 
+/// A node partition plus the packing diagnostics of the run that built it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedPartition {
+    /// The node partition.
+    pub partition: Partition,
+    /// The target part count `k = ⌈nodes / batch⌉` of the run.
+    pub target_parts: usize,
+    /// Number of connected components of the (coarse) mapping graph that
+    /// were split across parts because they exceeded the batch bound. Every
+    /// split cuts only re-weighted (low-weight) edges; high-probability
+    /// clusters are contracted before partitioning and never split.
+    pub split_components: usize,
+    /// Parts whose size exceeds the batch bound. This happens only when a
+    /// single contracted high-probability cluster is itself larger than the
+    /// batch — such a cluster must not be cut, so it gets a flagged part of
+    /// its own instead of a silent constraint violation.
+    pub oversized_parts: Vec<usize>,
+}
+
+impl PackedPartition {
+    /// Packs an `n`-node graph into one unflagged part (small-graph case).
+    fn single(n: usize) -> Self {
+        PackedPartition {
+            partition: Partition::single(n),
+            target_parts: 1,
+            split_components: 0,
+            oversized_parts: vec![],
+        }
+    }
+}
+
 /// Runs Algorithm 3 on the mapping graph, returning a node partition.
+///
+/// Equivalent to [`smart_partition_packed`] with the diagnostics dropped.
 pub fn smart_partition(graph: &MappingGraph, config: &SmartPartitionConfig) -> Partition {
+    smart_partition_packed(graph, config).partition
+}
+
+/// Runs Algorithm 3 on the mapping graph, returning the partition together
+/// with its packing diagnostics (target part count, component splits,
+/// oversized parts).
+pub fn smart_partition_packed(
+    graph: &MappingGraph,
+    config: &SmartPartitionConfig,
+) -> PackedPartition {
     let n = graph.node_count();
     if n == 0 {
-        return Partition::new(vec![], 1);
+        return PackedPartition {
+            partition: Partition::new(vec![], 1),
+            target_parts: 1,
+            split_components: 0,
+            oversized_parts: vec![],
+        };
     }
     if n <= config.batch_size {
-        return Partition::single(n);
+        return PackedPartition::single(n);
     }
 
     // Line 1: pre-partition (Algorithm 2) to obtain the coarse graph.
     let coarse = pre_partition(graph, &config.scheme);
 
-    // Line 2: partition the coarse graph with a standard partitioner.
+    // Line 2: partition the coarse graph with the packing partitioner.
     let k = config.num_partitions(n);
     let mut part_cfg = PartitionerConfig::new(k, config.batch_size);
     part_cfg.refinement_passes = config.refinement_passes;
@@ -65,7 +123,28 @@ pub fn smart_partition(graph: &MappingGraph, config: &SmartPartitionConfig) -> P
     for (node_id, &cluster) in coarse.cluster_of.iter().enumerate() {
         assignment[node_id] = weighted.assignment[cluster];
     }
-    Partition::new(assignment, weighted.num_parts.max(1))
+
+    // Diagnostics: a coarse component is "split" when its clusters span
+    // more than one part (that happens exactly when the component exceeded
+    // the batch bound and was divided along its low-weight edges).
+    let mut dsu = DisjointSet::new(coarse.len());
+    for &(a, b, _) in &coarse.edges {
+        dsu.union(a, b);
+    }
+    let mut split_components = 0usize;
+    for component in dsu.groups() {
+        let first = weighted.assignment[component[0]];
+        if component.iter().any(|&c| weighted.assignment[c] != first) {
+            split_components += 1;
+        }
+    }
+
+    PackedPartition {
+        partition: Partition::new(assignment, weighted.num_parts.max(1)),
+        target_parts: k,
+        split_components,
+        oversized_parts: weighted.oversized_parts,
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +229,84 @@ mod tests {
         let g = MappingGraph::new(0, 0);
         let p = smart_partition(&g, &SmartPartitionConfig::default());
         assert_eq!(p.assignment().len(), 0);
+    }
+
+    /// `pairs` disconnected high-probability couples: the pre-packing
+    /// partitioner emitted one part per couple; packing must hit `k`.
+    fn isolated_pairs(pairs: usize) -> MappingGraph {
+        let mut g = MappingGraph::new(pairs, pairs);
+        for i in 0..pairs {
+            g.add_edge(i, i, 0.95);
+        }
+        g
+    }
+
+    #[test]
+    fn disconnected_components_pack_to_the_target_part_count() {
+        let g = isolated_pairs(120); // 240 nodes in 120 two-node components
+        let cfg = SmartPartitionConfig::with_batch_size(60);
+        let packed = smart_partition_packed(&g, &cfg);
+        assert_eq!(packed.target_parts, 4);
+        assert_eq!(packed.partition.num_parts(), 4, "240 nodes / batch 60 must pack to 4 parts");
+        assert_eq!(packed.split_components, 0);
+        assert!(packed.oversized_parts.is_empty());
+        assert_eq!(packed.partition.max_part_size(), 60);
+        // No couple is separated by packing.
+        for i in 0..120 {
+            assert_eq!(
+                packed.partition.part_of(g.left_id(i)),
+                packed.partition.part_of(g.right_id(i))
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_clusters_are_flagged_not_split() {
+        // One chain of 6 high-probability matches contracts into a single
+        // 12-node cluster that cannot fit a batch of 8.
+        let mut g = MappingGraph::new(8, 8);
+        for i in 0..6 {
+            g.add_edge(i, i, 0.95);
+            g.add_edge(i + 1, i, 0.95); // chains the couples together
+        }
+        g.add_edge(7, 7, 0.95); // a separate small couple
+        let cfg = SmartPartitionConfig::with_batch_size(8);
+        let packed = smart_partition_packed(&g, &cfg);
+        assert_eq!(packed.oversized_parts.len(), 1, "the 13-node cluster must be flagged");
+        let oversized = packed.oversized_parts[0];
+        // The oversized part contains the whole cluster (never cut) ...
+        for i in 0..7 {
+            assert_eq!(packed.partition.part_of(g.left_id(i)), oversized);
+        }
+        // ... and nothing else.
+        assert_ne!(packed.partition.part_of(g.left_id(7)), oversized);
+        assert_eq!(packed.split_components, 0);
+    }
+
+    #[test]
+    fn oversized_components_split_along_weak_edges_and_are_counted() {
+        // One 60-node component chained by weak links: must split into
+        // parts of at most 16, counted as a single split component.
+        let g = chained_pairs(30);
+        let cfg = SmartPartitionConfig::with_batch_size(16);
+        let packed = smart_partition_packed(&g, &cfg);
+        assert_eq!(packed.split_components, 1);
+        assert!(packed.oversized_parts.is_empty());
+        assert!(packed.partition.max_part_size() <= 16);
+        assert!(
+            packed.partition.num_parts() <= packed.target_parts + packed.split_components,
+            "{} parts for target {} + {} splits",
+            packed.partition.num_parts(),
+            packed.target_parts,
+            packed.split_components
+        );
+    }
+
+    #[test]
+    fn packed_and_plain_smart_partition_agree() {
+        let g = chained_pairs(40);
+        let cfg = SmartPartitionConfig::with_batch_size(20);
+        assert_eq!(smart_partition(&g, &cfg), smart_partition_packed(&g, &cfg).partition);
     }
 
     #[test]
