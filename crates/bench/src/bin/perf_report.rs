@@ -13,7 +13,13 @@
 //!   instance, with a same-candidate-set check above the similarity floor;
 //! * **stage2_pipeline** — parallel vs sequential sub-problem solving on a
 //!   synthetic workload partitioned into at least `--partitions` (default 8)
-//!   parts, with an identical-report check.
+//!   parts, with an identical-report check;
+//! * **stage2_threads** — the same workload swept across worker-thread
+//!   counts (1/2/4) on the work-stealing component scheduler, with steal
+//!   counts and byte-identity against the sequential run;
+//! * **milp_kernel** — the same Stage-2 workload solved with the sparse
+//!   revised simplex vs the dense tableau baseline, with solve-CPU times
+//!   and an identical-explanations check.
 //!
 //! Usage: `cargo run --release -p explain3d-bench --bin perf_report --
 //! [--rows N] [--partitions K] [--runs R] [--out PATH]`
@@ -185,6 +191,98 @@ fn main() {
         par_report.stats.oversized_parts
     );
 
+    // --- Stage 2 thread sweep: the work-stealing component scheduler at
+    // 1/2/4 workers, each byte-identical to the sequential run. ---
+    let mut threads_lane: Vec<Json> = Vec::new();
+    let mut threads_identical = true;
+    for t in [1usize, 2, 4] {
+        let (t_stats, t_report) = sample(args.runs, || explain(base.clone().with_threads(t)));
+        report("stage2_threads", &format!("threads_{t}"), &t_stats);
+        let identical = seq_report.explanations == t_report.explanations
+            && seq_report.log_probability.to_bits() == t_report.log_probability.to_bits();
+        threads_identical &= identical;
+        println!(
+            "stage2_threads: threads={t} median {:.4}s, {} components, {} steals, identical: {identical}",
+            t_stats.median_secs(),
+            t_report.stats.milp_count,
+            t_report.stats.steals,
+        );
+        threads_lane.push(
+            Json::obj()
+                .set("threads", t)
+                .set("median_secs", t_stats.median_secs())
+                .set("solve_cpu_secs", t_report.stats.solve_cpu_time.as_secs_f64())
+                .set("steals", t_report.stats.steals)
+                .set("components", t_report.stats.milp_count)
+                .set("outputs_identical", identical),
+        );
+    }
+
+    // --- MILP kernel: sparse revised simplex vs the dense tableau baseline
+    // on the same sequential Stage-2 workload. ---
+    let dense_base = base
+        .clone()
+        .with_milp(base.milp.clone().with_lp_kernel(LpKernel::Dense))
+        .with_parallel(false);
+    let (dense_stats, dense_report) = sample(args.runs, || explain(dense_base.clone()));
+    report("milp_kernel", "dense", &dense_stats);
+    let (sparse_stats, sparse_report) =
+        sample(args.runs, || explain(base.clone().with_parallel(false)));
+    report("milp_kernel", "sparse", &sparse_stats);
+    // Equal-probability alternative optima are legitimate (the MILPs are
+    // solved to proven optimality by both kernels, and ties are broken by
+    // the search path), so the kernels are compared up to ties: identical
+    // provenance, identical evidence set, and the same optimal score.
+    let mut dense_ev: Vec<(usize, usize)> =
+        dense_report.explanations.evidence.iter().map(|m| m.pair()).collect();
+    let mut sparse_ev: Vec<(usize, usize)> =
+        sparse_report.explanations.evidence.iter().map(|m| m.pair()).collect();
+    dense_ev.sort_unstable();
+    sparse_ev.sort_unstable();
+    let kernel_identical = dense_report.explanations.provenance
+        == sparse_report.explanations.provenance
+        && dense_ev == sparse_ev
+        && (dense_report.log_probability - sparse_report.log_probability).abs()
+            <= 1e-6 * (1.0 + dense_report.log_probability.abs())
+        && dense_report.complete == sparse_report.complete;
+    let kernel_speedup = dense_report.stats.solve_cpu_time.as_secs_f64()
+        / sparse_report.stats.solve_cpu_time.as_secs_f64().max(1e-12);
+    println!(
+        "milp_kernel: dense solve_cpu {:.4}s vs sparse {:.4}s ({kernel_speedup:.2}x), \
+         {} warm LP re-solves, outputs identical: {kernel_identical}",
+        dense_report.stats.solve_cpu_time.as_secs_f64(),
+        sparse_report.stats.solve_cpu_time.as_secs_f64(),
+        sparse_report.stats.warm_lp_solves,
+    );
+
+    // --- MILP kernel at scale: one un-partitioned MILP over the whole
+    // workload (the NOOPT configuration), where the dense tableau's
+    // per-pivot cost bites. A tight explicit node cap keeps the dense lane
+    // affordable; the comparison is solve CPU for the same node budget.
+    // Budget-limited searches may return different (equally feasible)
+    // explanations, so no identity check here — completeness still must
+    // hold for both.
+    let large_milp =
+        MilpConfig { time_limit: None, max_nodes: 10, deadline: None, ..Default::default() };
+    let large_base = Explain3DConfig::no_opt().with_milp(large_milp).with_parallel(false);
+    let (_, large_dense) = sample(1, || {
+        explain(
+            large_base.clone().with_milp(large_base.milp.clone().with_lp_kernel(LpKernel::Dense)),
+        )
+    });
+    let (_, large_sparse) = sample(1, || explain(large_base.clone()));
+    let large_speedup = large_dense.stats.solve_cpu_time.as_secs_f64()
+        / large_sparse.stats.solve_cpu_time.as_secs_f64().max(1e-12);
+    println!(
+        "milp_kernel_large: single {}-tuple MILP, dense solve_cpu {:.4}s vs sparse {:.4}s \
+         ({large_speedup:.2}x), complete: {}/{}",
+        large_sparse.stats.max_subproblem_size,
+        large_dense.stats.solve_cpu_time.as_secs_f64(),
+        large_sparse.stats.solve_cpu_time.as_secs_f64(),
+        large_dense.complete,
+        large_sparse.complete,
+    );
+
     // --- Emit the JSON trajectory point. ---
     let json = Json::obj()
         .set("schema_version", 1usize)
@@ -233,7 +331,29 @@ fn main() {
                 .set("speedup", pipeline_speedup)
                 .set("solve_cpu_secs", par_report.stats.solve_cpu_time.as_secs_f64())
                 .set("max_subproblem_secs", par_report.stats.max_subproblem_time.as_secs_f64())
+                .set("steals", par_report.stats.steals)
                 .set("outputs_identical", pipeline_identical),
+        )
+        .set("stage2_threads", threads_lane)
+        .set(
+            "milp_kernel",
+            Json::obj()
+                .set("dense_solve_cpu_secs", dense_report.stats.solve_cpu_time.as_secs_f64())
+                .set("sparse_solve_cpu_secs", sparse_report.stats.solve_cpu_time.as_secs_f64())
+                .set("speedup", kernel_speedup)
+                .set("warm_lp_solves", sparse_report.stats.warm_lp_solves)
+                .set("milp_count", sparse_report.stats.milp_count)
+                .set("outputs_identical", kernel_identical),
+        )
+        .set(
+            "milp_kernel_large",
+            Json::obj()
+                .set("tuples", large_sparse.stats.max_subproblem_size)
+                .set("dense_solve_cpu_secs", large_dense.stats.solve_cpu_time.as_secs_f64())
+                .set("sparse_solve_cpu_secs", large_sparse.stats.solve_cpu_time.as_secs_f64())
+                .set("speedup", large_speedup)
+                .set("warm_lp_solves", large_sparse.stats.warm_lp_solves)
+                .set("both_complete", large_dense.complete && large_sparse.complete),
         );
     std::fs::write(&args.out, json.to_pretty_string())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -241,6 +361,11 @@ fn main() {
 
     assert!(cand_identical, "interned candidate generation diverged from the baseline");
     assert!(pipeline_identical, "parallel pipeline diverged from the sequential run");
+    assert!(threads_identical, "a work-stealing thread count diverged from the sequential run");
+    assert!(
+        kernel_identical,
+        "sparse kernel explanations diverged from the dense baseline beyond tie-breaking"
+    );
     assert!(blocking_sound, "blocking produced a candidate the exhaustive scan lacks");
     assert!(
         gen_stats.peak_resident_pairs <= threads.max(1) * gen_stats.chunk_pairs,

@@ -49,13 +49,17 @@ pub struct Explain3DConfig {
     /// produces independent sub-problems by construction and results are
     /// merged in partition order, so parallel and sequential runs return
     /// identical reports **as long as the MILP search itself is
-    /// deterministic** — i.e. bounded by [`MilpConfig::max_nodes`] or
-    /// unbounded. With a wall-clock [`MilpConfig::time_limit`], a
-    /// sub-problem that hits the limit may explore fewer nodes under
-    /// thread contention and return a different (still feasible)
-    /// solution; prefer node limits when byte-identical output matters
+    /// deterministic** — which it is by default: [`MilpConfig`] bounds the
+    /// search with a deterministic per-model *node budget* derived from
+    /// [`MilpConfig::deadline`] instead of a wall-clock limit, so
+    /// `Explain3DConfig::default()` is byte-reproducible even under thread
+    /// contention. Setting a wall-clock [`MilpConfig::time_limit`]
+    /// re-introduces scheduling-dependent results for solves that hit it
     /// (see `perf_report` and `tests/perf_equivalence.rs`).
     pub parallel: bool,
+    /// Worker threads for the solve phase: `None` uses all available cores
+    /// (ignored when [`parallel`](Explain3DConfig::parallel) is off).
+    pub threads: Option<usize>,
 }
 
 impl Default for Explain3DConfig {
@@ -65,6 +69,7 @@ impl Default for Explain3DConfig {
             strategy: PartitioningStrategy::Smart { batch_size: 1000 },
             milp: MilpConfig::default(),
             parallel: true,
+            threads: None,
         }
     }
 }
@@ -107,6 +112,23 @@ impl Explain3DConfig {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Uses exactly `threads` worker threads for the solve phase
+    /// (`threads <= 1` disables concurrency).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallel = threads > 1;
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The worker-thread count this configuration requests.
+    pub fn requested_threads(&self) -> usize {
+        if !self.parallel {
+            1
+        } else {
+            self.threads.unwrap_or_else(explain3d_parallel::max_threads).max(1)
+        }
     }
 }
 
@@ -158,6 +180,11 @@ pub struct PipelineStats {
     /// Number of MILPs that hit a limit before proving optimality (their
     /// solutions are feasible but possibly sub-optimal).
     pub suboptimal_subproblems: usize,
+    /// Components executed by a worker other than the one they were dealt
+    /// to by the work-stealing Stage-2 scheduler (0 for sequential runs).
+    pub steals: usize,
+    /// LP relaxations re-solved warm from a parent basis across all MILPs.
+    pub warm_lp_solves: usize,
 }
 
 /// The result of an Explain3D run.
@@ -216,60 +243,80 @@ impl Explain3D {
             }
         }
 
-        // Split into sub-problems according to the strategy. Empty parts are
-        // dropped here so both code paths below see the same work list.
+        // Split into per-part *component* jobs according to the strategy.
+        // A batch-packed part holds several independent connected
+        // components (packing merges small components to hit the target
+        // part count); the MILP objective decomposes over components, so
+        // the solve phase schedules one MILP per component. The partitioner
+        // already knows the component structure (`component_parts`), so no
+        // per-part union-find re-derivation is needed. Empty parts are
+        // dropped here so all code paths see the same work list.
         let partition_start = Instant::now();
         let mut packing_stats = (0usize, 0usize, 0usize); // (target, splits, oversized)
-        let subproblems: Vec<SubProblem> = match self.config.strategy {
-            PartitioningStrategy::None => {
-                vec![SubProblem::full(left, right, mapping)]
+                                                          // `jobs`: (part index, component sub-problem), part-major in
+                                                          // partition order — exactly the order a sequential nested loop
+                                                          // would solve and merge them in.
+        let mut jobs: Vec<(usize, SubProblem)> = Vec::new();
+        let mut part_sizes: Vec<usize> = Vec::new();
+        let push_part = |comps: Vec<SubProblem>,
+                         jobs: &mut Vec<(usize, SubProblem)>,
+                         part_sizes: &mut Vec<usize>| {
+            let size: usize = comps.iter().map(SubProblem::size).sum();
+            if size == 0 {
+                return;
             }
-            PartitioningStrategy::ConnectedComponents => graph
-                .connected_components()
-                .into_iter()
-                .map(|c| component_to_subproblem(&c, mapping))
-                .collect(),
+            let part = part_sizes.len();
+            part_sizes.push(size);
+            jobs.extend(comps.into_iter().filter(|c| !c.is_empty()).map(|c| (part, c)));
+        };
+        match self.config.strategy {
+            PartitioningStrategy::None => {
+                push_part(vec![SubProblem::full(left, right, mapping)], &mut jobs, &mut part_sizes);
+            }
+            PartitioningStrategy::ConnectedComponents => {
+                for c in graph.connected_components() {
+                    push_part(
+                        vec![component_to_subproblem(&c, mapping)],
+                        &mut jobs,
+                        &mut part_sizes,
+                    );
+                }
+            }
             PartitioningStrategy::Smart { batch_size } => {
                 let cfg = SmartPartitionConfig::with_batch_size(batch_size);
                 let packed = smart_partition_packed(&graph, &cfg);
                 packing_stats =
                     (packed.target_parts, packed.split_components, packed.oversized_parts.len());
-                packed
-                    .partition
-                    .parts(&graph)
-                    .into_iter()
-                    .map(|c| component_to_subproblem(&c, mapping))
-                    .collect()
+                for comps in packed.component_parts(&graph) {
+                    push_part(
+                        comps.iter().map(|c| component_to_subproblem(c, mapping)).collect(),
+                        &mut jobs,
+                        &mut part_sizes,
+                    );
+                }
             }
-        };
-        let subproblems: Vec<SubProblem> =
-            subproblems.into_iter().filter(|s| !s.is_empty()).collect();
+        }
         let partition_time = partition_start.elapsed();
 
-        // Solve the sub-problems. Partitioning makes them independent by
-        // construction, so they are fanned out across worker threads;
-        // `par_map_with` returns outcomes indexed by partition id (input
-        // order), so the merge below is identical to a sequential run.
-        //
-        // A batch-packed part may contain several *independent* connected
-        // components (packing merges small components to hit the target
-        // part count); the MILP objective decomposes over components, so
-        // each part is solved component-wise — identical models to a
-        // component-per-part run, batched into `k` work items.
-        let decompose = matches!(self.config.strategy, PartitioningStrategy::Smart { .. });
+        // Solve the components on the work-stealing pool. They are
+        // independent by construction and results come back in input order,
+        // so the merge below is identical to a sequential nested loop over
+        // parts and their components — one huge component keeps only one
+        // worker busy while the rest of the pool drains the other parts.
         let solve_start = Instant::now();
-        let requested = if self.config.parallel { explain3d_parallel::max_threads() } else { 1 };
-        // `par_map_with` never uses more workers than items (and runs inline
-        // below two), so record the worker count actually used.
-        let threads = requested.min(subproblems.len()).max(1);
+        let requested = self.config.requested_threads();
+        let threads = requested.min(jobs.len()).max(1);
         let config = &self.config;
-        let outcomes: Vec<SubOutcome> =
-            explain3d_parallel::par_map_with(subproblems, requested, |sub| {
-                solve_one(left, right, relation, config, &sub, decompose)
-            });
+        let (outcomes, sched): (Vec<(usize, CompOutcome)>, _) =
+            explain3d_parallel::par_map_stealing_weighted(
+                jobs,
+                requested,
+                |(_, sub)| sub.size().max(1),
+                |(part, sub)| (part, solve_component(left, right, relation, config, &sub)),
+            );
 
-        // Deterministic merge in partition order, folding per-sub-problem
-        // timings into the run statistics.
+        // Deterministic merge in (part, component) order, folding
+        // per-component timings into per-part and run statistics.
         let mut merged = ExplanationSet::new();
         let (target_parts, split_components, oversized_parts) = packing_stats;
         let mut stats = PipelineStats {
@@ -278,18 +325,22 @@ impl Explain3D {
             target_parts,
             split_components,
             oversized_parts,
+            steals: sched.steals,
+            num_subproblems: part_sizes.len(),
+            max_subproblem_size: part_sizes.iter().copied().max().unwrap_or(0),
             ..Default::default()
         };
-        for outcome in outcomes {
-            stats.num_subproblems += 1;
-            stats.max_subproblem_size = stats.max_subproblem_size.max(outcome.size);
+        let mut part_times = vec![Duration::ZERO; part_sizes.len()];
+        for (part, outcome) in outcomes {
             stats.milp_nodes += outcome.nodes;
-            stats.milp_count += outcome.milps;
+            stats.milp_count += 1;
             stats.suboptimal_subproblems += outcome.suboptimal;
+            stats.warm_lp_solves += outcome.warm_lp_solves;
             stats.solve_cpu_time += outcome.solve_time;
-            stats.max_subproblem_time = stats.max_subproblem_time.max(outcome.solve_time);
+            part_times[part] += outcome.solve_time;
             merged.merge(outcome.explanations);
         }
+        stats.max_subproblem_time = part_times.into_iter().max().unwrap_or(Duration::ZERO);
         merged.normalise();
         stats.solve_time = solve_start.elapsed();
         stats.total_time = start.elapsed();
@@ -316,70 +367,48 @@ impl Explain3D {
     }
 }
 
-/// The result of encoding and solving one sub-problem (one partition; with
-/// decomposition enabled, one or more MILPs).
-struct SubOutcome {
+/// The result of encoding and solving one sub-problem component (one MILP).
+struct CompOutcome {
     explanations: ExplanationSet,
     nodes: usize,
     suboptimal: usize,
-    milps: usize,
+    warm_lp_solves: usize,
     solve_time: Duration,
-    size: usize,
 }
 
-/// Encodes and solves one sub-problem: the loop body shared by the parallel
-/// and sequential solve paths. With `decompose` the sub-problem is split
-/// into its connected components and one MILP is solved per component —
-/// exact (the objective decomposes over components) and exponentially
-/// cheaper than one MILP over a packed part of independent components.
-fn solve_one(
+/// Encodes and solves one component: the work-stealing scheduler's work
+/// item, shared by the parallel and sequential solve paths.
+fn solve_component(
     left: &CanonicalRelation,
     right: &CanonicalRelation,
     relation: crate::attr_match::SemanticRelation,
     config: &Explain3DConfig,
-    sub: &SubProblem,
-    decompose: bool,
-) -> SubOutcome {
-    let sub_start = Instant::now();
-    let decomposed: Vec<SubProblem>;
-    let components: &[SubProblem] = if decompose {
-        decomposed = sub.connected_components();
-        &decomposed
+    comp: &SubProblem,
+) -> CompOutcome {
+    let comp_start = Instant::now();
+    let encoded = crate::encode::encode(left, right, relation, &config.params, comp);
+    // Warm-start the branch-and-bound with a greedily-constructed
+    // complete solution so obviously-worse branches are pruned early;
+    // the same solution serves as a fallback when the exact search hits
+    // a node or time limit without an incumbent.
+    let (fallback, hint) =
+        crate::encode::heuristic_solution(left, right, relation, &config.params, comp);
+    let milp_config = config.milp.clone().with_incumbent_hint(hint);
+    let (solution, solve_stats) =
+        explain3d_milp::branch_bound::solve_with_stats(&encoded.model, &milp_config);
+    let explanations = if solution.status.has_solution() {
+        crate::encode::decode(&encoded, &solution)
     } else {
-        std::slice::from_ref(sub)
+        // Limit reached (or everything pruned by the warm-start bound):
+        // the greedy complete solution is still valid output.
+        fallback
     };
-    let mut explanations = ExplanationSet::new();
-    let mut nodes = 0usize;
-    let mut suboptimal = 0usize;
-    for comp in components {
-        let encoded = crate::encode::encode(left, right, relation, &config.params, comp);
-        // Warm-start the branch-and-bound with a greedily-constructed
-        // complete solution so obviously-worse branches are pruned early;
-        // the same solution serves as a fallback when the exact search hits
-        // a node or time limit without an incumbent.
-        let (fallback, hint) =
-            crate::encode::heuristic_solution(left, right, relation, &config.params, comp);
-        let milp_config = config.milp.clone().with_incumbent_hint(hint);
-        let (solution, solve_stats) =
-            explain3d_milp::branch_bound::solve_with_stats(&encoded.model, &milp_config);
-        let comp_explanations = if solution.status.has_solution() {
-            crate::encode::decode(&encoded, &solution)
-        } else {
-            // Limit reached (or everything pruned by the warm-start bound):
-            // the greedy complete solution is still valid output.
-            fallback
-        };
-        explanations.merge(comp_explanations);
-        nodes += solve_stats.nodes;
-        suboptimal += usize::from(solution.status != explain3d_milp::prelude::SolveStatus::Optimal);
-    }
-    SubOutcome {
+    CompOutcome {
         explanations,
-        nodes,
-        suboptimal,
-        milps: components.len(),
-        solve_time: sub_start.elapsed(),
-        size: sub.size(),
+        nodes: solve_stats.nodes,
+        suboptimal: usize::from(solution.status != explain3d_milp::prelude::SolveStatus::Optimal),
+        warm_lp_solves: solve_stats.warm_lp_solves,
+        solve_time: comp_start.elapsed(),
     }
 }
 

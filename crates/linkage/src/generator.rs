@@ -258,10 +258,12 @@ pub struct CandidateGenStats {
     pub chunks: usize,
     /// Configured chunk size (pairs per chunk).
     pub chunk_pairs: usize,
-    /// Largest number of pairs resident at once: the biggest single wave of
-    /// chunks handed to the parallel scorer (≤ worker threads × chunk size).
-    /// This is the streaming design's peak allocation, replacing the full
-    /// pair-list materialisation of the pre-streaming implementation.
+    /// Largest number of pairs resident at once, as observed by the
+    /// scheduler: the peak summed size of the chunks held by the worker
+    /// pool at one instant (each worker holds at most one chunk, so
+    /// ≤ worker threads × chunk size). This is the streaming design's peak
+    /// allocation, replacing the full pair-list materialisation of the
+    /// pre-streaming implementation.
     pub peak_resident_pairs: usize,
 }
 
@@ -450,26 +452,16 @@ pub fn candidate_pairs_streaming(
     let metric = config.metric;
     let min_similarity = config.min_similarity;
 
-    // Instrument the pull side: `par_map_iter_bounded` drains the stream in
-    // waves of `threads` chunks, so residency per wave is the sum of the
-    // wave's chunk sizes — the peak is the streaming design's peak pair
-    // allocation.
-    let mut chunks = 0usize;
-    let mut pairs_scored = 0usize;
-    let mut wave_resident = 0usize;
-    let mut peak_resident_pairs = 0usize;
-    let counted = stream.inspect(|chunk| {
-        if chunks.is_multiple_of(threads) {
-            wave_resident = 0;
-        }
-        chunks += 1;
-        pairs_scored += chunk.len();
-        wave_resident += chunk.len();
-        peak_resident_pairs = peak_resident_pairs.max(wave_resident);
-    });
-
-    let scored: Vec<Vec<Candidate>> =
-        explain3d_parallel::par_map_iter_bounded(counted, threads, |chunk: Vec<(usize, usize)>| {
+    // The persistent worker pool tracks the in-flight set itself, so the
+    // residency metric comes straight from the scheduler (each worker holds
+    // at most one chunk, so the peak is bounded by `threads × chunk size`)
+    // instead of being reconstructed caller-side from assumed wave
+    // boundaries.
+    let (scored, sched) = explain3d_parallel::par_map_iter_stealing(
+        stream,
+        threads,
+        Vec::len,
+        |chunk: Vec<(usize, usize)>| {
             let mut out = Vec::new();
             for (i, j) in chunk {
                 let sim = prepared_tuple_similarity(left_cols, right_cols, i, j, metric);
@@ -478,10 +470,19 @@ pub fn candidate_pairs_streaming(
                 }
             }
             out
-        });
+        },
+    );
 
     let out: Vec<Candidate> = scored.into_iter().flatten().collect();
-    (out, CandidateGenStats { pairs_scored, chunks, chunk_pairs, peak_resident_pairs })
+    (
+        out,
+        CandidateGenStats {
+            pairs_scored: sched.total_weight,
+            chunks: sched.executed,
+            chunk_pairs,
+            peak_resident_pairs: sched.peak_resident_weight,
+        },
+    )
 }
 
 /// The straightforward candidate generator: every pair is scored with

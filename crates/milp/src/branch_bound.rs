@@ -1,16 +1,76 @@
 //! Branch-and-bound MILP solver on top of the simplex LP relaxation.
+//!
+//! Each node's LP relaxation is solved with the sparse revised simplex by
+//! default ([`LpKernel::Sparse`]), and child nodes are **warm-started**: a
+//! child re-solves from its parent's optimal basis with a short dual-simplex
+//! run instead of running phase 1 from scratch (only the branched variable's
+//! bound — i.e. the right-hand side — changed, so the parent basis is still
+//! dual feasible). [`LpKernel::Dense`] selects the dense reference kernel
+//! for baselining.
 
 use crate::expr::VarId;
 use crate::model::{Direction, Model, Solution, SolveStatus};
-use crate::simplex::{solve_lp, LpStatus};
+use crate::revised::{SparseBasis, SparseLp};
+use crate::simplex::{solve_lp_dense, LpResult, LpStatus};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
+
+/// Which LP kernel the branch-and-bound search uses for node relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpKernel {
+    /// The sparse revised simplex with warm-started re-solves (production).
+    #[default]
+    Sparse,
+    /// The dense two-phase tableau (reference baseline; every node is
+    /// solved cold).
+    Dense,
+}
+
+/// Calibrated per-node cost model of the sparse warm-started search on the
+/// reference single-core container: a branch-and-bound node on a model with
+/// `s = num_vars + num_constraints` costs roughly
+/// `NODE_COST_BASE_SECS + NODE_COST_SCALE_SECS · s^1.5` seconds. Fitted on
+/// the `perf_report` Stage-2 components (small `s`) and the large academic
+/// component (`s ≈ 2600`, ≈ 0.7 ms/node warm). Used to convert a wall-clock
+/// target into a *deterministic* per-model node budget — see
+/// [`MilpConfig::node_budget_for`].
+pub const NODE_COST_BASE_SECS: f64 = 2e-6;
+/// See [`NODE_COST_BASE_SECS`].
+pub const NODE_COST_SCALE_SECS: f64 = 5.2e-9;
+
+/// The wall-clock target the default deterministic deadline approximates.
+/// The sparse warm-started kernel explores roughly 40× more nodes per
+/// second than the dense baseline did, so two seconds of budget buy more
+/// search than the old ten-second wall-clock default — deterministically.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(2);
+
+/// The smallest node budget a deadline resolves to (tiny models always get
+/// a meaningful search).
+pub const MIN_NODE_BUDGET: usize = 1_000;
+
+/// Models smaller than this (`num_vars + num_constraints`) skip the root
+/// diving heuristic: a tiny search proves optimality in a handful of nodes
+/// anyway, and the dive's extra LP solves would dominate the solve time.
+pub const DIVE_MIN_SIZE: usize = 256;
 
 /// Configuration of the branch-and-bound search.
 #[derive(Debug, Clone)]
 pub struct MilpConfig {
-    /// Maximum number of branch-and-bound nodes to explore.
+    /// Hard cap on the number of branch-and-bound nodes to explore
+    /// (combined with [`deadline`](MilpConfig::deadline) via
+    /// [`MilpConfig::node_budget_for`]).
     pub max_nodes: usize,
-    /// Optional wall-clock time limit.
+    /// Deterministic deadline: converted per model into a node budget via
+    /// the calibrated cost model ([`MilpConfig::node_budget_for`]), so a
+    /// "deadline-hit" search stops at exactly the same node on every run —
+    /// default-configured solves are byte-reproducible even under thread
+    /// contention, unlike wall-clock limited ones. `Some(DEFAULT_DEADLINE)`
+    /// by default.
+    pub deadline: Option<Duration>,
+    /// Optional wall-clock time limit. `None` by default: the calibrated
+    /// node budget plays the deadline role deterministically. Setting a
+    /// time limit re-introduces scheduling-dependent results for searches
+    /// that hit it.
     pub time_limit: Option<Duration>,
     /// Integrality tolerance: a value within this distance of an integer is
     /// considered integral.
@@ -21,16 +81,25 @@ pub struct MilpConfig {
     /// Optional warm-start objective value of a known feasible solution
     /// (in the model's direction); used only for pruning.
     pub incumbent_hint: Option<f64>,
+    /// LP kernel for node relaxations.
+    pub lp_kernel: LpKernel,
+    /// Reuse the parent node's optimal basis when solving children (sparse
+    /// kernel only). Disable to force every node to solve cold, e.g. to
+    /// check warm/cold equivalence.
+    pub warm_start: bool,
 }
 
 impl Default for MilpConfig {
     fn default() -> Self {
         MilpConfig {
             max_nodes: 200_000,
-            time_limit: Some(Duration::from_secs(10)),
+            deadline: Some(DEFAULT_DEADLINE),
+            time_limit: None,
             int_tolerance: 1e-6,
             gap_tolerance: 1e-7,
             incumbent_hint: None,
+            lp_kernel: LpKernel::default(),
+            warm_start: true,
         }
     }
 }
@@ -53,6 +122,44 @@ impl MilpConfig {
         self.incumbent_hint = Some(objective);
         self
     }
+
+    /// A configuration using the given LP kernel.
+    pub fn with_lp_kernel(mut self, kernel: LpKernel) -> Self {
+        self.lp_kernel = kernel;
+        self
+    }
+
+    /// Enables or disables warm-started LP re-solves.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// A configuration with a specific deterministic deadline (`None`
+    /// disables it, leaving only [`max_nodes`](MilpConfig::max_nodes)).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The effective node budget for `model`: [`max_nodes`] capped by the
+    /// [`deadline`] converted through the calibrated per-node cost model
+    /// ([`NODE_COST_BASE_SECS`], [`NODE_COST_SCALE_SECS`]). Deterministic
+    /// given the model, so — unlike a wall-clock limit — a budget-hit
+    /// search stops at exactly the same point of the tree on every run.
+    ///
+    /// [`max_nodes`]: MilpConfig::max_nodes
+    /// [`deadline`]: MilpConfig::deadline
+    pub fn node_budget_for(&self, model: &Model) -> usize {
+        let Some(target) = self.deadline else {
+            return self.max_nodes;
+        };
+        let size = (model.num_vars() + model.num_constraints()) as f64;
+        let per_node = NODE_COST_BASE_SECS + NODE_COST_SCALE_SECS * size.powf(1.5);
+        let nodes = (target.as_secs_f64() / per_node) as usize;
+        // An explicit `max_nodes` below MIN_NODE_BUDGET always wins.
+        nodes.max(MIN_NODE_BUDGET).min(self.max_nodes.max(1))
+    }
 }
 
 /// Statistics about a branch-and-bound run.
@@ -62,6 +169,11 @@ pub struct SolveStats {
     pub nodes: usize,
     /// Number of LP relaxations solved.
     pub lp_solves: usize,
+    /// LP relaxations solved warm (from the parent node's basis).
+    pub warm_lp_solves: usize,
+    /// LP solves where the sparse kernel gave up and the dense reference
+    /// kernel answered (numerical fallback).
+    pub dense_fallbacks: usize,
     /// Whether a limit (node or time) interrupted the search.
     pub limit_hit: bool,
 }
@@ -86,12 +198,39 @@ pub fn solve_with_stats(model: &Model, config: &MilpConfig) -> (Solution, SolveS
     // to the hint is still discovered (and reported) by the search.
     let mut incumbent_bound = config.incumbent_hint.map(|o| o * sign - 1e-6);
 
-    // Depth-first stack of nodes, each carrying its own bound vector.
-    let mut stack: Vec<Vec<(f64, f64)>> = vec![root_bounds];
-    let mut fully_explored = true;
+    // Root diving heuristic (sparse kernel): greedily round the relaxation
+    // to a feasible integral solution through warm-started re-solves. The
+    // resulting incumbent both unlocks bound pruning from the first node
+    // and guarantees a usable solution when the node budget is hit. The
+    // dive's root solve doubles as the root node's warm state, so the main
+    // loop does not re-solve the same LP cold.
+    let mut root_warm: Option<NodeLp> = None;
+    if config.lp_kernel == LpKernel::Sparse
+        && config.warm_start
+        && !int_vars.is_empty()
+        && model.num_vars() + model.num_constraints() >= DIVE_MIN_SIZE
+    {
+        let (warm, incumbent) = dive_heuristic(model, &int_vars, &root_bounds, config, &mut stats);
+        root_warm = warm;
+        if let Some(values) = incumbent {
+            let obj_max = evaluate_objective(model, &values) * sign;
+            if incumbent_bound.map(|b| obj_max > b).unwrap_or(true) {
+                incumbent_bound = Some(obj_max);
+                best = Some((obj_max, values));
+            }
+        }
+    }
 
-    while let Some(bounds) = stack.pop() {
-        if stats.nodes >= config.max_nodes {
+    // Depth-first stack of nodes, each carrying its own bound vector plus
+    // (sparse kernel) the LP context and optimal basis of its parent, from
+    // which the node's relaxation is warm-started.
+    type Node = (Vec<(f64, f64)>, Option<NodeLp>);
+    let mut stack: Vec<Node> = vec![(root_bounds, root_warm)];
+    let mut fully_explored = true;
+    let node_budget = config.node_budget_for(model);
+
+    while let Some((bounds, warm)) = stack.pop() {
+        if stats.nodes >= node_budget {
             fully_explored = false;
             stats.limit_hit = true;
             break;
@@ -106,7 +245,7 @@ pub fn solve_with_stats(model: &Model, config: &MilpConfig) -> (Solution, SolveS
         stats.nodes += 1;
         stats.lp_solves += 1;
 
-        let lp = solve_lp(model, &bounds);
+        let (lp, node_lp) = solve_node(model, config, &bounds, warm.as_ref(), &mut stats);
         match lp.status {
             LpStatus::Infeasible => continue,
             LpStatus::Unbounded => {
@@ -167,20 +306,21 @@ pub fn solve_with_stats(model: &Model, config: &MilpConfig) -> (Solution, SolveS
                 let mut down = bounds.clone();
                 down[idx].1 = down[idx].1.min(floor);
                 // Explore the side closer to the fractional value first
-                // (pushed last so it is popped first).
+                // (pushed last so it is popped first). Both children
+                // warm-start from this node's optimal basis.
                 if x - floor > 0.5 {
                     if down[idx].0 <= down[idx].1 {
-                        stack.push(down);
+                        stack.push((down, node_lp.clone()));
                     }
                     if up[idx].0 <= up[idx].1 {
-                        stack.push(up);
+                        stack.push((up, node_lp));
                     }
                 } else {
                     if up[idx].0 <= up[idx].1 {
-                        stack.push(up);
+                        stack.push((up, node_lp.clone()));
                     }
                     if down[idx].0 <= down[idx].1 {
-                        stack.push(down);
+                        stack.push((down, node_lp));
                     }
                 }
             }
@@ -199,6 +339,138 @@ pub fn solve_with_stats(model: &Model, config: &MilpConfig) -> (Solution, SolveS
             (Solution { status, values: vec![0.0; n], objective: 0.0 }, stats)
         }
     }
+}
+
+/// The reusable LP state a node hands to its children: the sparse LP
+/// context (shared across the whole subtree with an unchanged constraint
+/// structure) and the node's optimal basis.
+#[derive(Clone)]
+struct NodeLp {
+    ctx: Rc<SparseLp>,
+    basis: Rc<SparseBasis>,
+}
+
+/// LP-guided diving heuristic: starting from the root relaxation, round the
+/// most fractional integral variable to its nearest integer, fix it, and
+/// warm-start the re-solve from the previous basis; repeat until the
+/// solution is integral or a fix is infeasible (the opposite rounding is
+/// tried once before giving up). Deterministic, and bounded by
+/// `2 · |int_vars|` warm LP solves.
+///
+/// Returns the root node's warm state (context + optimal basis of the root
+/// relaxation, so the main search does not re-solve the root cold) plus a
+/// feasible integral assignment when the dive reached one.
+fn dive_heuristic(
+    model: &Model,
+    int_vars: &[VarId],
+    root_bounds: &[(f64, f64)],
+    config: &MilpConfig,
+    stats: &mut SolveStats,
+) -> (Option<NodeLp>, Option<Vec<f64>>) {
+    let ctx = Rc::new(SparseLp::new(model, root_bounds));
+    stats.lp_solves += 1;
+    let (mut lp, mut basis) = ctx.solve_cold(model);
+    let root_warm = basis.clone().map(|b| NodeLp { ctx: ctx.clone(), basis: Rc::new(b) });
+    let mut bounds = root_bounds.to_vec();
+    // Each iteration fixes exactly one (new) fractional variable, so after
+    // at most `int_vars.len()` fixes the solution is integral — the extra
+    // iteration runs the integrality check after the final fix.
+    for _ in 0..=int_vars.len() {
+        if lp.status != LpStatus::Optimal {
+            return (root_warm, None);
+        }
+        // Most fractional integral variable.
+        let mut pick: Option<(usize, f64)> = None;
+        let mut best_frac = config.int_tolerance;
+        for &v in int_vars {
+            let x = lp.values[v.index()];
+            let frac = (x - x.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                pick = Some((v.index(), x));
+            }
+        }
+        let Some((idx, x)) = pick else {
+            // Integral: round and double-check feasibility.
+            let mut values = lp.values.clone();
+            for &v in int_vars {
+                values[v.index()] = values[v.index()].round();
+            }
+            if model.violations(&values, 1e-6).is_empty() {
+                return (root_warm, Some(values));
+            }
+            return (root_warm, None);
+        };
+        let (lb, ub) = bounds[idx];
+        let mut fixed = x.round().clamp(lb, ub);
+        let mut next = solve_fixed(&ctx, model, &mut bounds, idx, fixed, basis.as_ref(), stats);
+        if next.as_ref().map(|(lp, _)| lp.status != LpStatus::Optimal).unwrap_or(true) {
+            // The nearest rounding closed the problem: try the other side.
+            fixed = if fixed > x { x.floor().clamp(lb, ub) } else { x.ceil().clamp(lb, ub) };
+            next = solve_fixed(&ctx, model, &mut bounds, idx, fixed, basis.as_ref(), stats);
+        }
+        let Some((next_lp, next_basis)) = next else {
+            return (root_warm, None);
+        };
+        lp = next_lp;
+        basis = next_basis;
+    }
+    (root_warm, None)
+}
+
+/// One diving step: fixes variable `idx` to `value` in `bounds` and
+/// re-solves, warm when a basis is available.
+fn solve_fixed(
+    ctx: &SparseLp,
+    model: &Model,
+    bounds: &mut [(f64, f64)],
+    idx: usize,
+    value: f64,
+    basis: Option<&SparseBasis>,
+    stats: &mut SolveStats,
+) -> Option<(LpResult, Option<SparseBasis>)> {
+    bounds[idx] = (value, value);
+    stats.lp_solves += 1;
+    if let Some(b) = basis {
+        if let Some(out) = ctx.solve_warm(model, bounds, b) {
+            stats.warm_lp_solves += 1;
+            return Some(out);
+        }
+    }
+    let fresh = SparseLp::new(model, bounds);
+    Some(fresh.solve_cold(model))
+}
+
+/// Solves one node's LP relaxation, warm-starting from the parent basis
+/// when available (sparse kernel) and falling back to a cold solve on a
+/// fresh context otherwise. Returns the LP result plus the state the
+/// node's children warm-start from.
+fn solve_node(
+    model: &Model,
+    config: &MilpConfig,
+    bounds: &[(f64, f64)],
+    warm: Option<&NodeLp>,
+    stats: &mut SolveStats,
+) -> (LpResult, Option<NodeLp>) {
+    if config.lp_kernel == LpKernel::Dense {
+        return (solve_lp_dense(model, bounds), None);
+    }
+    if config.warm_start {
+        if let Some(w) = warm {
+            if let Some((lp, basis)) = w.ctx.solve_warm(model, bounds, &w.basis) {
+                stats.warm_lp_solves += 1;
+                let next = basis.map(|b| NodeLp { ctx: w.ctx.clone(), basis: Rc::new(b) });
+                return (lp, next);
+            }
+        }
+    }
+    let ctx = Rc::new(SparseLp::new(model, bounds));
+    let (lp, basis) = ctx.solve_cold(model);
+    if basis.is_none() && lp.status == LpStatus::Optimal {
+        stats.dense_fallbacks += 1;
+    }
+    let next = basis.map(|b| NodeLp { ctx, basis: Rc::new(b) });
+    (lp, next)
 }
 
 /// Solves a MILP with the given configuration.

@@ -7,10 +7,16 @@
 //! * [`expr`] — linear expressions over variables;
 //! * [`model`] — variables (continuous / integer / binary), linear
 //!   constraints, objective, and solution types;
-//! * [`simplex`] — a dense two-phase primal simplex for LP relaxations;
+//! * [`revised`] — the production LP kernel: a sparse revised simplex with
+//!   an LU-factorised basis, eta-file (product-form) updates with periodic
+//!   refactorisation, Dantzig + partial pricing, and dual-simplex warm
+//!   starts across bound changes;
+//! * [`simplex`] — the dense two-phase tableau kernel, kept as the
+//!   equivalence baseline and numerical fallback;
 //! * [`branch_bound`] — best-effort depth-first branch-and-bound with
-//!   most-fractional branching, bound pruning, node/time limits, and
-//!   optional warm-start hints.
+//!   most-fractional branching, bound pruning, node/time limits, optional
+//!   warm-start hints, and warm-started LP re-solves (each child node
+//!   starts from its parent's optimal basis instead of phase 1).
 //!
 //! The encodings produced by Explain3D (especially after the
 //! smart-partitioning optimiser splits the problem) are small enough that an
@@ -35,16 +41,20 @@
 pub mod branch_bound;
 pub mod expr;
 pub mod model;
+pub mod revised;
 pub mod simplex;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::branch_bound::{solve, solve_default, solve_with_stats, MilpConfig, SolveStats};
+    pub use crate::branch_bound::{
+        solve, solve_default, solve_with_stats, LpKernel, MilpConfig, SolveStats,
+    };
     pub use crate::expr::{LinExpr, VarId};
     pub use crate::model::{
         Constraint, Direction, Model, Sense, Solution, SolveStatus, VarKind, Variable,
     };
-    pub use crate::simplex::{solve_lp, LpResult, LpStatus};
+    pub use crate::revised::{solve_lp_sparse, SparseBasis, SparseLp};
+    pub use crate::simplex::{solve_lp, solve_lp_dense, LpResult, LpStatus};
 }
 
 pub use prelude::*;

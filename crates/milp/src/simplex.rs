@@ -1,4 +1,5 @@
-//! Dense two-phase primal simplex for LP relaxations.
+//! Dense two-phase primal simplex for LP relaxations — the reference
+//! baseline kernel.
 //!
 //! The solver works on a bounded-variable LP derived from a
 //! [`Model`](crate::model::Model): every variable has a finite lower bound
@@ -6,6 +7,12 @@
 //! a row). Phase 1 drives artificial variables out of the basis; phase 2
 //! optimises the user objective. Pivoting uses Dantzig's rule with a Bland's
 //! rule fallback to guarantee termination on degenerate problems.
+//!
+//! Production solves go through [`solve_lp`], which dispatches to the
+//! sparse revised simplex of [`revised`](crate::revised); the dense kernel
+//! ([`solve_lp_dense`]) is kept as the equivalence baseline, the numerical
+//! fallback, and the `LpKernel::Dense` configuration of the
+//! branch-and-bound solver.
 
 // Dense-tableau kernel: index arithmetic over a flat row-major buffer is the
 // clearest way to express simplex pivots, so the indexing-style lint is
@@ -38,11 +45,21 @@ pub struct LpResult {
 const EPS: f64 = 1e-9;
 const FEAS_EPS: f64 = 1e-7;
 
-/// Solves the LP relaxation of `model`.
+/// Solves the LP relaxation of `model` with the production kernel (the
+/// sparse revised simplex, falling back to the dense kernel on numerical
+/// trouble).
 ///
 /// `bound_overrides`, when non-empty, supplies per-variable `(lower, upper)`
 /// bounds replacing the model's (used by branch-and-bound).
 pub fn solve_lp(model: &Model, bound_overrides: &[(f64, f64)]) -> LpResult {
+    crate::revised::solve_lp_sparse(model, bound_overrides)
+}
+
+/// Solves the LP relaxation of `model` with the dense reference kernel.
+///
+/// `bound_overrides`, when non-empty, supplies per-variable `(lower, upper)`
+/// bounds replacing the model's (used by branch-and-bound).
+pub fn solve_lp_dense(model: &Model, bound_overrides: &[(f64, f64)]) -> LpResult {
     let n = model.num_vars();
     let mut lower = Vec::with_capacity(n);
     let mut upper = Vec::with_capacity(n);
@@ -404,7 +421,7 @@ mod tests {
         m.add_le("c1", term(x, 1.0) + term(y, 1.0), 4.0);
         m.add_le("c2", term(x, 1.0) + term(y, 3.0), 6.0);
         m.maximize(term(x, 3.0) + term(y, 2.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.objective - 12.0).abs() < 1e-6);
         assert!((r.values[0] - 4.0).abs() < 1e-6);
@@ -421,7 +438,7 @@ mod tests {
         m.add_ge("xmin", term(x, 1.0), 3.0);
         m.add_ge("ymin", term(y, 1.0), 2.0);
         m.maximize(term(x, 1.0) + term(y, 1.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.objective - 10.0).abs() < 1e-6);
         assert!(r.values[0] >= 3.0 - 1e-6);
@@ -434,7 +451,7 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 5.0);
         m.add_ge("hi", term(x, 1.0), 10.0);
         m.maximize(term(x, 1.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Infeasible);
     }
 
@@ -445,7 +462,7 @@ mod tests {
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
         m.add_ge("c", term(x, 1.0) - term(y, 1.0), 1.0);
         m.maximize(term(x, 1.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Unbounded);
     }
 
@@ -457,7 +474,7 @@ mod tests {
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
         m.add_ge("c", term(x, 1.0) + term(y, 1.0), 4.0);
         m.minimize(term(x, 2.0) + term(y, 3.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.objective - 8.0).abs() < 1e-6);
     }
@@ -469,7 +486,7 @@ mod tests {
         let x = m.add_continuous("x", -5.0, 0.0);
         m.add_le("cap", term(x, 1.0), -1.0);
         m.maximize(term(x, 1.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.values[0] + 1.0).abs() < 1e-6);
         assert!((r.objective + 1.0).abs() < 1e-6);
@@ -480,11 +497,11 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, 10.0);
         m.maximize(term(x, 1.0));
-        let r = solve_lp(&m, &[(0.0, 3.0)]);
+        let r = solve_lp_dense(&m, &[(0.0, 3.0)]);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.values[0] - 3.0).abs() < 1e-6);
         // Inconsistent override -> infeasible.
-        let r = solve_lp(&m, &[(5.0, 3.0)]);
+        let r = solve_lp_dense(&m, &[(5.0, 3.0)]);
         assert_eq!(r.status, LpStatus::Infeasible);
     }
 
@@ -494,7 +511,7 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 7.0);
         let y = m.add_continuous("y", -2.0, 3.0);
         m.maximize(term(x, 2.0) - term(y, 1.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.values[0] - 7.0).abs() < 1e-9);
         assert!((r.values[1] + 2.0).abs() < 1e-9);
@@ -503,7 +520,7 @@ mod tests {
         let mut unb = Model::new();
         let z = unb.add_continuous("z", 0.0, f64::INFINITY);
         unb.maximize(term(z, 1.0));
-        assert_eq!(solve_lp(&unb, &[]).status, LpStatus::Unbounded);
+        assert_eq!(solve_lp_dense(&unb, &[]).status, LpStatus::Unbounded);
     }
 
     #[test]
@@ -513,7 +530,7 @@ mod tests {
         let y = m.add_var("y", VarKind::Binary, 0.0, 1.0);
         m.add_le("c", term(x, 2.0) + term(y, 2.0), 3.0);
         m.maximize(term(x, 1.0) + term(y, 1.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Optimal);
         // LP relaxation achieves 1.5 (e.g. x=1, y=0.5).
         assert!((r.objective - 1.5).abs() < 1e-6);
@@ -529,7 +546,7 @@ mod tests {
             m.add_le(format!("c{i}"), term(x, 1.0) + term(y, 1.0 + i as f64 * 1e-9), 1.0);
         }
         m.maximize(term(x, 1.0) + term(y, 1.0));
-        let r = solve_lp(&m, &[]);
+        let r = solve_lp_dense(&m, &[]);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.objective - 1.0).abs() < 1e-6);
     }

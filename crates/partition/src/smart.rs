@@ -11,7 +11,7 @@
 //! high-probability cluster is larger than the batch itself.
 
 use crate::dsu::DisjointSet;
-use crate::graph::{MappingGraph, Partition};
+use crate::graph::{Component, MappingGraph, Partition};
 use crate::partitioner::{partition_weighted, PartitionerConfig};
 use crate::prepartition::pre_partition;
 use crate::weights::WeightScheme;
@@ -79,6 +79,15 @@ impl PackedPartition {
             split_components: 0,
             oversized_parts: vec![],
         }
+    }
+
+    /// The packed parts, each split into its connected components (see
+    /// [`Partition::component_parts`]). This is the shape the Stage-2
+    /// work-stealing scheduler consumes: a packed part holds several
+    /// independent components by construction, and scheduling them
+    /// individually keeps one huge component from serialising the phase.
+    pub fn component_parts(&self, graph: &MappingGraph) -> Vec<Vec<Component>> {
+        self.partition.component_parts(graph)
     }
 }
 
@@ -300,6 +309,44 @@ mod tests {
             packed.target_parts,
             packed.split_components
         );
+    }
+
+    #[test]
+    fn component_parts_refine_parts_exactly() {
+        let g = chained_pairs(40);
+        let cfg = SmartPartitionConfig::with_batch_size(20);
+        let packed = smart_partition_packed(&g, &cfg);
+        let parts = packed.partition.parts(&g);
+        let comp_parts = packed.component_parts(&g);
+        assert_eq!(parts.len(), comp_parts.len());
+        for (part, comps) in parts.iter().zip(comp_parts.iter()) {
+            // The components of a part tile it exactly: same tuples, same
+            // intra-part edges, nothing shared.
+            let mut left: Vec<usize> = comps.iter().flat_map(|c| c.left.clone()).collect();
+            let mut right: Vec<usize> = comps.iter().flat_map(|c| c.right.clone()).collect();
+            let mut edges: Vec<usize> = comps.iter().flat_map(|c| c.edges.clone()).collect();
+            left.sort_unstable();
+            right.sort_unstable();
+            edges.sort_unstable();
+            let mut pl = part.left.clone();
+            let mut pr = part.right.clone();
+            let mut pe = part.edges.clone();
+            pl.sort_unstable();
+            pr.sort_unstable();
+            pe.sort_unstable();
+            assert_eq!(left, pl);
+            assert_eq!(right, pr);
+            assert_eq!(edges, pe);
+            // Every component is internally connected to itself only:
+            // its edges reference its own tuples.
+            for c in comps {
+                for &e in &c.edges {
+                    let edge = &g.edges()[e];
+                    assert!(c.left.contains(&edge.left));
+                    assert!(c.right.contains(&edge.right));
+                }
+            }
+        }
     }
 
     #[test]

@@ -227,7 +227,7 @@ pub mod prelude {
     pub use explain3d_core::prelude::*;
     pub use explain3d_eval::{evidence_accuracy, explanation_accuracy, Accuracy, GoldStandard};
     pub use explain3d_linkage::{BucketCalibrator, StringMetric, TupleMapping, TupleMatch};
-    pub use explain3d_milp::prelude::{MilpConfig, SolveStatus};
+    pub use explain3d_milp::prelude::{LpKernel, MilpConfig, SolveStatus};
     pub use explain3d_relation::prelude::*;
     pub use explain3d_summarize::{SummarizerConfig, Summary};
 }

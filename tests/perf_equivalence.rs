@@ -354,3 +354,128 @@ fn indexed_tuple_mapping_agrees_with_linear_scan_reference() {
         }
     }
 }
+
+/// A synthetic workload with one huge high-probability cluster (an
+/// oversized component the partitioner flags and never cuts) surrounded by
+/// many small couples. Before component-granularity scheduling, the part
+/// holding the big component serialised the whole phase on one thread.
+mod huge_component {
+    use explain3d::core::prelude::{CanonicalRelation, CanonicalTuple};
+    use explain3d::prelude::*;
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn canon(name: &str, n: usize, impact: impl Fn(usize) -> f64) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: name.to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: (0..n)
+                .map(|i| CanonicalTuple {
+                    id: i,
+                    key: vec![Value::str(format!("e{i}"))],
+                    impact: impact(i),
+                    members: vec![i],
+                    representative: Row::new(vec![Value::str(format!("e{i}"))]),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    /// `chain` tuples per side welded into ONE component by 0.95 matches,
+    /// plus `couples` independent 2-tuple components.
+    pub fn workload(
+        chain: usize,
+        couples: usize,
+    ) -> (CanonicalRelation, CanonicalRelation, TupleMapping) {
+        let n = chain + couples;
+        let left = canon("Q1", n, |i| if i == 0 { 2.0 } else { 1.0 });
+        let right = canon("Q2", n, |_| 1.0);
+        let mut mapping = TupleMapping::new();
+        for i in 0..chain {
+            mapping.push(TupleMatch::new(i, i, 0.95));
+            if i + 1 < chain {
+                // Welds consecutive couples into one huge cluster.
+                mapping.push(TupleMatch::new(i + 1, i, 0.95));
+            }
+        }
+        for i in chain..n {
+            mapping.push(TupleMatch::new(i, i, 0.92));
+        }
+        (left, right, mapping)
+    }
+}
+
+/// The work-stealing Stage-2 scheduler must return byte-identical reports
+/// for every thread count — including the layout where one part holds a
+/// single huge component (flagged oversized) that previously serialised the
+/// phase under one-thread-per-part scheduling.
+#[test]
+fn work_stealing_is_byte_identical_across_thread_counts() {
+    let (left, right, mapping) = huge_component::workload(22, 24);
+    let attr = explain3d::core::prelude::AttributeMatches::single_equivalent("k", "k");
+    let milp = MilpConfig { time_limit: None, max_nodes: 300, ..Default::default() };
+    // Batch 16 < the 44-tuple welded cluster: the cluster becomes a flagged
+    // oversized part of its own; the couples pack into the other parts.
+    let config = Explain3DConfig::batched(16).with_milp(milp);
+    let run = |threads: usize| {
+        Explain3D::new(config.clone().with_threads(threads)).explain(&left, &right, &attr, &mapping)
+    };
+    let base = run(1);
+    assert!(base.stats.oversized_parts >= 1, "the huge cluster must be flagged oversized");
+    assert!(
+        base.stats.milp_count > base.stats.num_subproblems,
+        "parts must decompose into more components than parts"
+    );
+    for threads in [2, 4, 8] {
+        let par = run(threads);
+        assert_eq!(base.explanations, par.explanations, "threads={threads}");
+        assert_eq!(
+            base.log_probability.to_bits(),
+            par.log_probability.to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(base.complete, par.complete);
+        assert_eq!(base.stats.num_subproblems, par.stats.num_subproblems);
+        assert_eq!(base.stats.milp_count, par.stats.milp_count);
+        assert_eq!(base.stats.milp_nodes, par.stats.milp_nodes);
+        assert_eq!(base.stats.suboptimal_subproblems, par.stats.suboptimal_subproblems);
+        // Sequential runs never steal; parallel runs may.
+        assert_eq!(base.stats.steals, 0);
+    }
+}
+
+/// The sparse kernel (production default) and the retained dense baseline
+/// must explain the pipeline workload identically up to equal-probability
+/// ties: same provenance, same evidence set, same score.
+#[test]
+fn sparse_and_dense_kernels_explain_identically() {
+    let case = generate_synthetic(&SyntheticConfig::new(100, 0.3, 350));
+    let milp = MilpConfig { time_limit: None, max_nodes: 2_000, ..Default::default() };
+    let run = |milp: MilpConfig| {
+        Explain3D::new(Explain3DConfig::batched(25).with_milp(milp).with_parallel(false)).explain(
+            &case.prepared.left_canonical,
+            &case.prepared.right_canonical,
+            &case.attribute_matches,
+            &case.initial_mapping,
+        )
+    };
+    let sparse = run(milp.clone());
+    let dense = run(milp.with_lp_kernel(explain3d::milp::branch_bound::LpKernel::Dense));
+    assert_eq!(sparse.explanations.provenance, dense.explanations.provenance);
+    let mut sparse_ev: Vec<(usize, usize)> =
+        sparse.explanations.evidence.iter().map(|m| m.pair()).collect();
+    let mut dense_ev: Vec<(usize, usize)> =
+        dense.explanations.evidence.iter().map(|m| m.pair()).collect();
+    sparse_ev.sort_unstable();
+    dense_ev.sort_unstable();
+    assert_eq!(sparse_ev, dense_ev);
+    assert!(
+        (sparse.log_probability - dense.log_probability).abs()
+            <= 1e-6 * (1.0 + dense.log_probability.abs()),
+        "scores diverged: sparse {} dense {}",
+        sparse.log_probability,
+        dense.log_probability
+    );
+    assert_eq!(sparse.complete, dense.complete);
+}
