@@ -70,7 +70,7 @@ impl FormalExpBaseline {
             }
         }
         let target_gap = own_total - other_total;
-        let mut predicates: Vec<Predicate> = by_pred
+        let mut predicates: Vec<(usize, Predicate)> = by_pred
             .into_iter()
             .map(|((attribute, _), (value, covered, removed_impact))| {
                 // Removing the covered tuples changes the result by
@@ -79,14 +79,17 @@ impl FormalExpBaseline {
                 let score = target_gap.abs() - new_gap.abs();
                 Predicate { attribute, value, score, covered }
             })
+            .enumerate()
             .collect();
-        predicates.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.covered.len().cmp(&b.covered.len()))
+        // Descending score under `f64::total_cmp`, which stays a total order
+        // when impacts produce NaN scores (a positive NaN ranks first but is
+        // never *selected* — selection requires `score > 0.0`). Ties break
+        // by fewest covered tuples, then by the BTreeMap enumeration index
+        // (attribute, value) so equal-scoring predicates rank reproducibly.
+        predicates.sort_by(|(ia, a), (ib, b)| {
+            b.score.total_cmp(&a.score).then(a.covered.len().cmp(&b.covered.len())).then(ia.cmp(ib))
         });
-        predicates
+        predicates.into_iter().map(|(_, p)| p).collect()
     }
 
     /// Runs the baseline on both relations, producing provenance-based
@@ -189,6 +192,56 @@ mod tests {
         let right = canon(&[("A", "d", 2.0)]);
         let e = FormalExpBaseline::default().explain(&left, &right);
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn nan_impacts_rank_deterministically_and_are_never_selected() {
+        // A NaN impact poisons every score it touches. The ranking must
+        // stay a total order (no comparator panic, same permutation every
+        // time) and NaN-scored predicates must never be *selected*, since
+        // selection requires `score > 0.0`.
+        let left = canon(&[
+            ("Poisoned", "Associate", f64::NAN),
+            ("Turf", "Associate", 1.0),
+            ("CS", "B.S.", 2.0),
+        ]);
+        let fx = FormalExpBaseline::default();
+        // NaN != NaN under PartialEq, so compare score *bit patterns*.
+        let fingerprint = |preds: &[Predicate]| -> Vec<(String, String, u64, Vec<usize>)> {
+            preds
+                .iter()
+                .map(|p| {
+                    (p.attribute.clone(), p.value.to_string(), p.score.to_bits(), p.covered.clone())
+                })
+                .collect()
+        };
+        let first = fingerprint(&fx.rank_predicates(&left, 6.0, 4.0));
+        for _ in 0..5 {
+            assert_eq!(first, fingerprint(&fx.rank_predicates(&left, 6.0, 4.0)));
+        }
+        // The "Associate" predicate covers the NaN tuple, so its score is
+        // NaN; it must not contribute provenance explanations.
+        let right = canon(&[("CS", "B.S.", 2.0)]);
+        let e = fx.explain(&left, &right);
+        assert!(e.provenance.iter().all(|p| p.tuple != 0), "NaN-scored predicate selected: {e:?}");
+    }
+
+    #[test]
+    fn tied_scores_break_by_coverage_then_enumeration_order() {
+        // Both single-tuple predicates close the 1.0 gap equally; the
+        // (attribute, value) enumeration order must decide reproducibly.
+        let left = canon(&[("Alpha", "d1", 1.0), ("Beta", "d2", 1.0)]);
+        let preds = FormalExpBaseline::default().rank_predicates(&left, 2.0, 1.0);
+        let tied: Vec<&Predicate> =
+            preds.iter().filter(|p| (p.score - 1.0).abs() < 1e-9 && p.covered.len() == 1).collect();
+        assert!(tied.len() >= 2);
+        // program=Alpha sorts before program=Beta in BTreeMap order; degree
+        // predicates (attribute "degree") come before "program" ones.
+        let names: Vec<String> =
+            tied.iter().map(|p| format!("{}={}", p.attribute, p.value)).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "tie-break does not follow enumeration order");
     }
 
     #[test]

@@ -19,19 +19,26 @@
 //!   counts and byte-identity against the sequential run;
 //! * **milp_kernel** — the same Stage-2 workload solved with the sparse
 //!   revised simplex vs the dense tableau baseline, with solve-CPU times
-//!   and an identical-explanations check.
+//!   and an identical-explanations check;
+//! * **incremental** — an `ExplainSession` over the `rows × rows` workload:
+//!   cold `explain` vs `re_explain` on a ~1% delta, with cache hit/miss
+//!   counters and a byte-identity check against a from-scratch session on
+//!   the post-delta relations.
 //!
 //! Usage: `cargo run --release -p explain3d-bench --bin perf_report --
 //! [--rows N] [--partitions K] [--runs R] [--out PATH]`
+//! (a bad flag prints the usage line to stderr and exits with status 2)
 
 use explain3d::datagen::rng::{Rng, SeedableRng, StdRng};
 use explain3d::datagen::{generate_synthetic, vocab, SyntheticConfig};
+use explain3d::incremental::{report_fingerprint, ExplainSession, RelationDelta, SessionConfig};
 use explain3d::linkage::{
     candidate_pairs, candidate_pairs_naive, candidate_pairs_streaming, Candidate, MappingConfig,
 };
 use explain3d::prelude::*;
 use explain3d_bench::json::Json;
 use explain3d_bench::timing::{report, sample};
+use std::time::{Duration, Instant};
 
 struct Args {
     rows: usize,
@@ -40,22 +47,38 @@ struct Args {
     out: String,
 }
 
+const USAGE: &str = "usage: perf_report [--rows N] [--partitions K] [--runs R] [--out PATH]";
+
+/// Reports a CLI mistake on stderr (with the usage line) and exits with
+/// status 2, the conventional usage-error code — instead of panicking with a
+/// backtrace on a typo.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("perf_report: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_count(raw: &str, name: &str) -> usize {
+    match raw.parse() {
+        Ok(n) if n > 0 => n,
+        _ => usage_error(&format!("{name} takes a positive number, got {raw:?}")),
+    }
+}
+
 fn parse_args() -> Args {
     let mut args =
         Args { rows: 5000, partitions: 8, runs: 3, out: "BENCH_pipeline.json".to_string() };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value =
-            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| usage_error(&format!("missing value for {name}")))
+        };
         match flag.as_str() {
-            "--rows" => args.rows = value("--rows").parse().expect("--rows takes a number"),
-            "--partitions" => {
-                args.partitions =
-                    value("--partitions").parse().expect("--partitions takes a number")
-            }
-            "--runs" => args.runs = value("--runs").parse().expect("--runs takes a number"),
+            "--rows" => args.rows = parse_count(&value("--rows"), "--rows"),
+            "--partitions" => args.partitions = parse_count(&value("--partitions"), "--partitions"),
+            "--runs" => args.runs = parse_count(&value("--runs"), "--runs"),
             "--out" => args.out = value("--out"),
-            other => panic!("unknown flag {other} (expected --rows/--partitions/--runs/--out)"),
+            other => usage_error(&format!("unknown flag {other}")),
         }
     }
     args
@@ -283,6 +306,118 @@ fn main() {
         large_sparse.complete,
     );
 
+    // --- Incremental re-explanation: a session over the same `rows × rows`
+    // workload as the candidate-generation lane (canonicalised with unit
+    // impacts, name-keyed), measuring a cold `explain` against `re_explain`
+    // on a ~1% delta — with a byte-identity check against a from-scratch
+    // session on the post-delta relations. A similarity floor of 0.4 keeps
+    // the mapping realistically sparse (near-duplicate phrases only), the
+    // regime the session's component-level solution cache targets.
+    let make_relation = |name: &str, schema: &Schema, rows: &[Row]| -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: name.to_string(),
+            schema: schema.clone(),
+            key_attrs: vec!["name".to_string()],
+            tuples: rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| CanonicalTuple {
+                    id: i,
+                    key: vec![r.get(0).cloned().unwrap_or(Value::Null)],
+                    impact: 1.0,
+                    members: vec![i],
+                    representative: r.clone(),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    };
+    let inc_left = make_relation("Q1", &ls, &lr);
+    let inc_right = make_relation("Q2", &rs, &rr);
+    let inc_matches = AttributeMatches::single_equivalent("name", "name");
+    let session_cfg = SessionConfig {
+        explain: Explain3DConfig::default(),
+        mapping: MappingOptions { min_similarity: 0.4, ..Default::default() },
+        warm_start_dirty: false,
+    };
+    let fresh_session = |left: &CanonicalRelation, right: &CanonicalRelation| {
+        ExplainSession::new(left.clone(), right.clone(), inc_matches.clone(), session_cfg.clone())
+    };
+    // ~1% of the left tuples: mostly updates (index-stable), plus one
+    // insert and one trailing delete to exercise index remapping.
+    let mut delta_rng = StdRng::seed_from_u64(7);
+    let ops = (inc_left.len() / 100).max(3);
+    let mut delta = RelationDelta::new();
+    let fresh_tuple = |rng: &mut StdRng| {
+        let phrase = vocab::synthetic_phrase(rng, 1500, 3);
+        CanonicalTuple {
+            id: 0,
+            key: vec![Value::str(phrase.clone())],
+            impact: 1.0,
+            members: vec![],
+            representative: Row::new(vec![Value::str(phrase), Value::Int(2031)]),
+        }
+    };
+    let stride = (inc_left.len() / ops).max(1);
+    for k in 0..ops - 2 {
+        delta =
+            delta.update(Side::Left, (k * stride) % inc_left.len(), fresh_tuple(&mut delta_rng));
+    }
+    delta = delta.insert(Side::Left, fresh_tuple(&mut delta_rng));
+    delta = delta.delete(Side::Left, inc_left.len() - 1);
+
+    let (cold_stats, _) = sample(args.runs, || fresh_session(&inc_left, &inc_right).explain());
+    report("incremental", "cold_explain", &cold_stats);
+    // Each timed re_explain starts from its own warmed session, so the
+    // measurement is exactly "one delta on a hot session".
+    let mut re_times: Vec<Duration> = Vec::new();
+    let mut last_session: Option<ExplainSession> = None;
+    let mut last_fingerprint: Vec<u8> = Vec::new();
+    let mut re_partition = Duration::ZERO;
+    let mut re_solve = Duration::ZERO;
+    for _ in 0..args.runs {
+        let mut s = fresh_session(&inc_left, &inc_right);
+        s.explain();
+        let t0 = Instant::now();
+        let re_report = s.re_explain(&delta).expect("bench delta is in range");
+        re_times.push(t0.elapsed());
+        re_partition = re_report.stats.partition_time;
+        re_solve = re_report.stats.solve_time;
+        last_fingerprint = report_fingerprint(&re_report);
+        last_session = Some(s);
+    }
+    re_times.sort_unstable();
+    let re_median = re_times[re_times.len() / 2].as_secs_f64();
+    println!(
+        "incremental/re_explain: median {:?}  (partition {re_partition:?}, solve+assemble \
+         {re_solve:?}, {} runs)",
+        re_times[re_times.len() / 2],
+        args.runs
+    );
+    let warmed = last_session.expect("at least one run");
+    let mut post_delta_cold = fresh_session(warmed.left(), warmed.right());
+    let incremental_identical = last_fingerprint == report_fingerprint(&post_delta_cold.explain());
+    let inc_speedup = cold_stats.median_secs() / re_median.max(1e-12);
+    let inc_stats = warmed.delta_stats();
+    println!(
+        "incremental: cold {:.4}s vs re_explain {:.4}s ({inc_speedup:.1}x) on a {}-op delta, \
+         byte-identical: {incremental_identical}",
+        cold_stats.median_secs(),
+        re_median,
+        ops,
+    );
+    println!(
+        "incremental: {} component hits / {} misses, {} pair hits / {} misses, \
+         {} candidates reused, {} parts reused / {} dirty",
+        inc_stats.component_cache_hits,
+        inc_stats.component_cache_misses,
+        inc_stats.pair_cache_hits,
+        inc_stats.pair_cache_misses,
+        inc_stats.candidates_reused,
+        inc_stats.parts_reused,
+        inc_stats.parts_dirty,
+    );
+
     // --- Emit the JSON trajectory point. ---
     let json = Json::obj()
         .set("schema_version", 1usize)
@@ -354,6 +489,23 @@ fn main() {
                 .set("speedup", large_speedup)
                 .set("warm_lp_solves", large_sparse.stats.warm_lp_solves)
                 .set("both_complete", large_dense.complete && large_sparse.complete),
+        )
+        .set(
+            "incremental",
+            Json::obj()
+                .set("rows", args.rows)
+                .set("delta_ops", ops)
+                .set("cold_explain_median_secs", cold_stats.median_secs())
+                .set("re_explain_median_secs", re_median)
+                .set("speedup", inc_speedup)
+                .set("byte_identical", incremental_identical)
+                .set("component_cache_hits", inc_stats.component_cache_hits)
+                .set("component_cache_misses", inc_stats.component_cache_misses)
+                .set("pair_cache_hits", inc_stats.pair_cache_hits)
+                .set("pair_cache_misses", inc_stats.pair_cache_misses)
+                .set("candidates_reused", inc_stats.candidates_reused)
+                .set("parts_reused", inc_stats.parts_reused)
+                .set("parts_dirty", inc_stats.parts_dirty),
         );
     std::fs::write(&args.out, json.to_pretty_string())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -367,6 +519,10 @@ fn main() {
         "sparse kernel explanations diverged from the dense baseline beyond tie-breaking"
     );
     assert!(blocking_sound, "blocking produced a candidate the exhaustive scan lacks");
+    assert!(
+        incremental_identical,
+        "incremental re_explain diverged from a from-scratch run on the post-delta data"
+    );
     assert!(
         gen_stats.peak_resident_pairs <= threads.max(1) * gen_stats.chunk_pairs,
         "streaming residency {} exceeded threads × chunk bound",

@@ -66,7 +66,8 @@ pub mod prelude {
     pub use crate::encode::{decode, encode, solve_subproblem, EncodedProblem, SubProblem};
     pub use crate::explanation::{ExplanationSet, ProvenanceExplanation, Side, ValueExplanation};
     pub use crate::pipeline::{
-        Explain3D, Explain3DConfig, ExplanationReport, PartitioningStrategy, PipelineStats,
+        assemble_report, component_jobs, solve_component, ComponentOutcome, DeltaStats, Explain3D,
+        Explain3DConfig, ExplanationReport, PartitionMeta, PartitioningStrategy, PipelineStats,
     };
     pub use crate::prepare::{
         build_initial_mapping, prepare, MappingOptions, PreparedComparison, QueryCase,

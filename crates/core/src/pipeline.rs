@@ -132,6 +132,35 @@ impl Explain3DConfig {
     }
 }
 
+/// Cache and delta statistics of an *incremental* re-explanation
+/// ([`crate::pipeline::PipelineStats::delta`]). All counters are
+/// **cumulative over the owning session's lifetime**, so across successive
+/// `re_explain` calls every field is monotone non-decreasing — the
+/// invariant `tests/incremental_equivalence.rs` pins. A cold (from-scratch)
+/// pipeline run reports all-zero `DeltaStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Tuple pairs whose similarity was actually recomputed (score-cache
+    /// misses during candidate generation).
+    pub pair_cache_misses: usize,
+    /// Tuple pairs answered from the hash-keyed similarity score cache.
+    pub pair_cache_hits: usize,
+    /// Candidates carried over from the previous run without touching the
+    /// scorer at all (both endpoints untouched by any delta).
+    pub candidates_reused: usize,
+    /// Sub-problem components answered verbatim from the solution cache.
+    pub component_cache_hits: usize,
+    /// Sub-problem components that had to be (re-)solved.
+    pub component_cache_misses: usize,
+    /// Packed parts whose every component hit the solution cache.
+    pub parts_reused: usize,
+    /// Packed parts containing at least one re-solved component.
+    pub parts_dirty: usize,
+    /// Dirty-component solves that successfully imported a persisted basis
+    /// ([`explain3d_milp::prelude::SolveStats::final_basis`]).
+    pub warm_basis_imports: usize,
+}
+
 /// Timing and size statistics for a pipeline run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PipelineStats {
@@ -185,6 +214,9 @@ pub struct PipelineStats {
     pub steals: usize,
     /// LP relaxations re-solved warm from a parent basis across all MILPs.
     pub warm_lp_solves: usize,
+    /// Incremental-re-explanation cache statistics (all zero for a cold,
+    /// from-scratch run).
+    pub delta: DeltaStats,
 }
 
 /// The result of an Explain3D run.
@@ -235,67 +267,8 @@ impl Explain3D {
         let start = Instant::now();
         let relation = matches.mapping_relation();
 
-        // Build the bipartite mapping graph.
-        let mut graph = MappingGraph::new(left.len(), right.len());
-        for m in mapping.matches() {
-            if m.left < left.len() && m.right < right.len() {
-                graph.add_edge(m.left, m.right, m.prob);
-            }
-        }
-
-        // Split into per-part *component* jobs according to the strategy.
-        // A batch-packed part holds several independent connected
-        // components (packing merges small components to hit the target
-        // part count); the MILP objective decomposes over components, so
-        // the solve phase schedules one MILP per component. The partitioner
-        // already knows the component structure (`component_parts`), so no
-        // per-part union-find re-derivation is needed. Empty parts are
-        // dropped here so all code paths see the same work list.
         let partition_start = Instant::now();
-        let mut packing_stats = (0usize, 0usize, 0usize); // (target, splits, oversized)
-                                                          // `jobs`: (part index, component sub-problem), part-major in
-                                                          // partition order — exactly the order a sequential nested loop
-                                                          // would solve and merge them in.
-        let mut jobs: Vec<(usize, SubProblem)> = Vec::new();
-        let mut part_sizes: Vec<usize> = Vec::new();
-        let push_part = |comps: Vec<SubProblem>,
-                         jobs: &mut Vec<(usize, SubProblem)>,
-                         part_sizes: &mut Vec<usize>| {
-            let size: usize = comps.iter().map(SubProblem::size).sum();
-            if size == 0 {
-                return;
-            }
-            let part = part_sizes.len();
-            part_sizes.push(size);
-            jobs.extend(comps.into_iter().filter(|c| !c.is_empty()).map(|c| (part, c)));
-        };
-        match self.config.strategy {
-            PartitioningStrategy::None => {
-                push_part(vec![SubProblem::full(left, right, mapping)], &mut jobs, &mut part_sizes);
-            }
-            PartitioningStrategy::ConnectedComponents => {
-                for c in graph.connected_components() {
-                    push_part(
-                        vec![component_to_subproblem(&c, mapping)],
-                        &mut jobs,
-                        &mut part_sizes,
-                    );
-                }
-            }
-            PartitioningStrategy::Smart { batch_size } => {
-                let cfg = SmartPartitionConfig::with_batch_size(batch_size);
-                let packed = smart_partition_packed(&graph, &cfg);
-                packing_stats =
-                    (packed.target_parts, packed.split_components, packed.oversized_parts.len());
-                for comps in packed.component_parts(&graph) {
-                    push_part(
-                        comps.iter().map(|c| component_to_subproblem(c, mapping)).collect(),
-                        &mut jobs,
-                        &mut part_sizes,
-                    );
-                }
-            }
-        }
+        let (jobs, meta) = component_jobs(self.config.strategy, left, right, mapping);
         let partition_time = partition_start.elapsed();
 
         // Solve the components on the work-stealing pool. They are
@@ -307,48 +280,22 @@ impl Explain3D {
         let requested = self.config.requested_threads();
         let threads = requested.min(jobs.len()).max(1);
         let config = &self.config;
-        let (outcomes, sched): (Vec<(usize, CompOutcome)>, _) =
+        let (outcomes, sched): (Vec<(usize, ComponentOutcome)>, _) =
             explain3d_parallel::par_map_stealing_weighted(
                 jobs,
                 requested,
                 |(_, sub)| sub.size().max(1),
-                |(part, sub)| (part, solve_component(left, right, relation, config, &sub)),
+                |(part, sub)| (part, solve_component(left, right, relation, config, &sub, None)),
             );
 
-        // Deterministic merge in (part, component) order, folding
-        // per-component timings into per-part and run statistics.
-        let mut merged = ExplanationSet::new();
-        let (target_parts, split_components, oversized_parts) = packing_stats;
-        let mut stats = PipelineStats {
-            partition_time,
-            threads,
-            target_parts,
-            split_components,
-            oversized_parts,
-            steals: sched.steals,
-            num_subproblems: part_sizes.len(),
-            max_subproblem_size: part_sizes.iter().copied().max().unwrap_or(0),
-            ..Default::default()
-        };
-        let mut part_times = vec![Duration::ZERO; part_sizes.len()];
-        for (part, outcome) in outcomes {
-            stats.milp_nodes += outcome.nodes;
-            stats.milp_count += 1;
-            stats.suboptimal_subproblems += outcome.suboptimal;
-            stats.warm_lp_solves += outcome.warm_lp_solves;
-            stats.solve_cpu_time += outcome.solve_time;
-            part_times[part] += outcome.solve_time;
-            merged.merge(outcome.explanations);
-        }
-        stats.max_subproblem_time = part_times.into_iter().max().unwrap_or(Duration::ZERO);
-        merged.normalise();
-        stats.solve_time = solve_start.elapsed();
-        stats.total_time = start.elapsed();
-
-        let log_prob = log_probability(&merged, left, right, mapping, &self.config.params);
-        let complete = merged.is_complete(left, right, relation);
-
-        ExplanationReport { explanations: merged, log_probability: log_prob, complete, stats }
+        let mut report =
+            assemble_report(left, right, matches, mapping, &self.config, &meta, outcomes);
+        report.stats.threads = threads;
+        report.stats.steals = sched.steals;
+        report.stats.partition_time = partition_time;
+        report.stats.solve_time = solve_start.elapsed();
+        report.stats.total_time = start.elapsed();
+        report
     }
 
     /// Convenience wrapper that solves a single prepared sub-problem
@@ -367,24 +314,181 @@ impl Explain3D {
     }
 }
 
+/// Partition-phase metadata: per-part sizes plus the packing diagnostics.
+/// Produced by [`component_jobs`] alongside the job list; consumed by
+/// [`assemble_report`] so the cold pipeline and the incremental
+/// re-explanation path fold statistics identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionMeta {
+    /// Size (tuples) of each non-empty part, in partition order.
+    pub part_sizes: Vec<usize>,
+    /// Target part count `k` of the smart partitioner (0 otherwise).
+    pub target_parts: usize,
+    /// Components split across parts by the smart partitioner.
+    pub split_components: usize,
+    /// Parts exceeding the batch bound (unsplittable clusters).
+    pub oversized_parts: usize,
+}
+
+/// Splits the problem into per-part *component* jobs according to the
+/// strategy — the partition phase of [`Explain3D::explain`], exposed so the
+/// incremental re-explanation subsystem derives **exactly** the job list a
+/// cold run would solve (the byte-identity invariant hinges on it).
+///
+/// A batch-packed part holds several independent connected components
+/// (packing merges small components to hit the target part count); the MILP
+/// objective decomposes over components, so the solve phase schedules one
+/// MILP per component. The partitioner already knows the component
+/// structure (`component_parts`), so no per-part union-find re-derivation
+/// is needed. Empty parts are dropped here so all code paths see the same
+/// work list. Jobs are `(part index, component)` pairs, part-major in
+/// partition order — exactly the order a sequential nested loop would solve
+/// and merge them in.
+pub fn component_jobs(
+    strategy: PartitioningStrategy,
+    left: &CanonicalRelation,
+    right: &CanonicalRelation,
+    mapping: &TupleMapping,
+) -> (Vec<(usize, SubProblem)>, PartitionMeta) {
+    // Build the bipartite mapping graph.
+    let mut graph = MappingGraph::new(left.len(), right.len());
+    for m in mapping.matches() {
+        if m.left < left.len() && m.right < right.len() {
+            graph.add_edge(m.left, m.right, m.prob);
+        }
+    }
+
+    let mut meta = PartitionMeta::default();
+    let mut jobs: Vec<(usize, SubProblem)> = Vec::new();
+    let push_part = |comps: Vec<SubProblem>,
+                     jobs: &mut Vec<(usize, SubProblem)>,
+                     part_sizes: &mut Vec<usize>| {
+        let size: usize = comps.iter().map(SubProblem::size).sum();
+        if size == 0 {
+            return;
+        }
+        let part = part_sizes.len();
+        part_sizes.push(size);
+        jobs.extend(comps.into_iter().filter(|c| !c.is_empty()).map(|c| (part, c)));
+    };
+    match strategy {
+        PartitioningStrategy::None => {
+            push_part(
+                vec![SubProblem::full(left, right, mapping)],
+                &mut jobs,
+                &mut meta.part_sizes,
+            );
+        }
+        PartitioningStrategy::ConnectedComponents => {
+            for c in graph.connected_components() {
+                push_part(
+                    vec![component_to_subproblem(&c, mapping)],
+                    &mut jobs,
+                    &mut meta.part_sizes,
+                );
+            }
+        }
+        PartitioningStrategy::Smart { batch_size } => {
+            let cfg = SmartPartitionConfig::with_batch_size(batch_size);
+            let packed = smart_partition_packed(&graph, &cfg);
+            meta.target_parts = packed.target_parts;
+            meta.split_components = packed.split_components;
+            meta.oversized_parts = packed.oversized_parts.len();
+            for comps in packed.component_parts(&graph) {
+                push_part(
+                    comps.iter().map(|c| component_to_subproblem(c, mapping)).collect(),
+                    &mut jobs,
+                    &mut meta.part_sizes,
+                );
+            }
+        }
+    }
+    (jobs, meta)
+}
+
+/// Merges per-component outcomes into the final report — the deterministic
+/// tail of [`Explain3D::explain`], shared with the incremental path so a
+/// re-explanation that substitutes cached outcomes for solves assembles a
+/// byte-identical report. Outcomes must arrive in job order (the
+/// work-stealing scheduler preserves input order). Timing fields
+/// (`partition_time`, `solve_time`, `total_time`) and scheduler fields
+/// (`threads`, `steals`) are left at their defaults for the caller to fill.
+pub fn assemble_report(
+    left: &CanonicalRelation,
+    right: &CanonicalRelation,
+    matches: &AttributeMatches,
+    mapping: &TupleMapping,
+    config: &Explain3DConfig,
+    meta: &PartitionMeta,
+    outcomes: Vec<(usize, ComponentOutcome)>,
+) -> ExplanationReport {
+    let relation = matches.mapping_relation();
+    let mut merged = ExplanationSet::new();
+    let mut stats = PipelineStats {
+        target_parts: meta.target_parts,
+        split_components: meta.split_components,
+        oversized_parts: meta.oversized_parts,
+        num_subproblems: meta.part_sizes.len(),
+        max_subproblem_size: meta.part_sizes.iter().copied().max().unwrap_or(0),
+        threads: 1,
+        ..Default::default()
+    };
+    let mut part_times = vec![Duration::ZERO; meta.part_sizes.len()];
+    for (part, outcome) in outcomes {
+        stats.milp_nodes += outcome.nodes;
+        stats.milp_count += 1;
+        stats.suboptimal_subproblems += outcome.suboptimal;
+        stats.warm_lp_solves += outcome.warm_lp_solves;
+        stats.solve_cpu_time += outcome.solve_time;
+        part_times[part] += outcome.solve_time;
+        merged.merge(outcome.explanations);
+    }
+    stats.max_subproblem_time = part_times.into_iter().max().unwrap_or(Duration::ZERO);
+    merged.normalise();
+
+    let log_prob = log_probability(&merged, left, right, mapping, &config.params);
+    let complete = merged.is_complete(left, right, relation);
+    ExplanationReport { explanations: merged, log_probability: log_prob, complete, stats }
+}
+
 /// The result of encoding and solving one sub-problem component (one MILP).
-struct CompOutcome {
-    explanations: ExplanationSet,
-    nodes: usize,
-    suboptimal: usize,
-    warm_lp_solves: usize,
-    solve_time: Duration,
+#[derive(Debug, Clone)]
+pub struct ComponentOutcome {
+    /// Decoded explanations of the component (or the heuristic fallback).
+    pub explanations: ExplanationSet,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// 1 when the solve stopped before proving optimality, else 0.
+    pub suboptimal: usize,
+    /// Warm LP re-solves inside the search.
+    pub warm_lp_solves: usize,
+    /// Encode + solve wall-clock time.
+    pub solve_time: Duration,
+    /// The root relaxation's exported basis, for persisting across
+    /// incremental re-explanations (`None` for empty models or dense-kernel
+    /// solves).
+    pub final_basis: Option<explain3d_milp::prelude::SparseBasis>,
+    /// Whether a caller-supplied `warm_basis` was accepted.
+    pub basis_imported: bool,
 }
 
 /// Encodes and solves one component: the work-stealing scheduler's work
-/// item, shared by the parallel and sequential solve paths.
-fn solve_component(
+/// item, shared by the parallel and sequential solve paths — and by the
+/// incremental re-explanation subsystem, which calls it for dirty
+/// components only. `warm_basis` optionally imports a persisted root basis
+/// from a previous solve of a similar component
+/// ([`explain3d_milp::prelude::MilpConfig::initial_basis`]); pass `None`
+/// for the exact cold path (a successful import can legitimately pick a
+/// different equally-optimal solution, so byte-identical re-explanations
+/// must not import).
+pub fn solve_component(
     left: &CanonicalRelation,
     right: &CanonicalRelation,
     relation: crate::attr_match::SemanticRelation,
     config: &Explain3DConfig,
     comp: &SubProblem,
-) -> CompOutcome {
+    warm_basis: Option<explain3d_milp::prelude::SparseBasis>,
+) -> ComponentOutcome {
     let comp_start = Instant::now();
     let encoded = crate::encode::encode(left, right, relation, &config.params, comp);
     // Warm-start the branch-and-bound with a greedily-constructed
@@ -393,7 +497,7 @@ fn solve_component(
     // a node or time limit without an incumbent.
     let (fallback, hint) =
         crate::encode::heuristic_solution(left, right, relation, &config.params, comp);
-    let milp_config = config.milp.clone().with_incumbent_hint(hint);
+    let milp_config = config.milp.clone().with_incumbent_hint(hint).with_initial_basis(warm_basis);
     let (solution, solve_stats) =
         explain3d_milp::branch_bound::solve_with_stats(&encoded.model, &milp_config);
     let explanations = if solution.status.has_solution() {
@@ -403,12 +507,14 @@ fn solve_component(
         // the greedy complete solution is still valid output.
         fallback
     };
-    CompOutcome {
+    ComponentOutcome {
         explanations,
         nodes: solve_stats.nodes,
         suboptimal: usize::from(solution.status != explain3d_milp::prelude::SolveStatus::Optimal),
         warm_lp_solves: solve_stats.warm_lp_solves,
         solve_time: comp_start.elapsed(),
+        final_basis: solve_stats.final_basis,
+        basis_imported: solve_stats.basis_imported,
     }
 }
 

@@ -108,7 +108,11 @@ impl Default for MappingOptions {
 }
 
 impl MappingOptions {
-    fn to_config(&self, matches: &AttributeMatches) -> MappingConfig {
+    /// The [`MappingConfig`] these options resolve to for the given
+    /// attribute matches — public so the incremental session builds the
+    /// *same* configuration [`build_initial_mapping`] would, which the
+    /// byte-identity invariant of `re_explain` depends on.
+    pub fn mapping_config(&self, matches: &AttributeMatches) -> MappingConfig {
         // Canonical-relation keys are projected to the key attributes, so the
         // similarity is computed pairwise over the key columns in order.
         let left_attrs = matches.left_attrs();
@@ -144,7 +148,7 @@ pub fn build_initial_mapping(
     options: &MappingOptions,
     gold_evidence: Option<&HashSet<(usize, usize)>>,
 ) -> TupleMapping {
-    let config = options.to_config(matches);
+    let config = options.mapping_config(matches);
     let left_schema = left.schema.clone();
     let right_schema = right.schema.clone();
     // Key rows follow the key-attribute order, matching the schema of the

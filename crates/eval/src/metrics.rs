@@ -22,8 +22,20 @@ pub struct Accuracy {
 }
 
 impl Accuracy {
-    /// Computes accuracy from counts. Empty derived and gold sets count as
-    /// perfect agreement (precision = recall = 1).
+    /// Computes accuracy from counts.
+    ///
+    /// **Empty-denominator convention** (standard IR practice — never NaN):
+    ///
+    /// * `derived == 0 && gold == 0` → precision = recall = f-measure = 1
+    ///   (nothing to find, nothing reported: perfect agreement);
+    /// * `derived == 0, gold > 0` → precision = 0 (by convention; 0/0 would
+    ///   otherwise poison means), recall = 0;
+    /// * `gold == 0, derived > 0` → recall = 1 (all zero gold items were
+    ///   found), precision = `correct / derived` = 0;
+    /// * the f-measure of two zero rates is 0, not NaN.
+    ///
+    /// Pinned by `empty_sets_are_handled` and
+    /// `empty_denominators_never_produce_nan` below.
     pub fn from_counts(correct: usize, derived: usize, gold: usize) -> Self {
         let precision = if derived == 0 {
             if gold == 0 {
@@ -246,6 +258,32 @@ mod tests {
         let acc = explanation_accuracy(&derived, &empty_gold);
         assert_eq!(acc.precision, 0.0);
         assert_eq!(acc.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_denominators_never_produce_nan() {
+        // The 0/0 corners of precision/recall/f-measure follow the documented
+        // convention instead of going NaN.
+        let both_empty = Accuracy::from_counts(0, 0, 0);
+        assert_eq!(both_empty.precision, 1.0);
+        assert_eq!(both_empty.recall, 1.0);
+        assert_eq!(both_empty.f_measure, 1.0);
+
+        let nothing_derived = Accuracy::from_counts(0, 0, 3);
+        assert_eq!(nothing_derived.precision, 0.0);
+        assert_eq!(nothing_derived.recall, 0.0);
+        assert_eq!(nothing_derived.f_measure, 0.0);
+
+        let nothing_gold = Accuracy::from_counts(0, 3, 0);
+        assert_eq!(nothing_gold.precision, 0.0);
+        assert_eq!(nothing_gold.recall, 1.0);
+
+        for acc in [both_empty, nothing_derived, nothing_gold] {
+            assert!(!acc.precision.is_nan() && !acc.recall.is_nan() && !acc.f_measure.is_nan());
+        }
+        // Means over such corners stay finite too.
+        let m = Accuracy::mean(&[both_empty, nothing_derived, nothing_gold]);
+        assert!(!m.precision.is_nan() && !m.recall.is_nan() && !m.f_measure.is_nan());
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Relation deltas: the edit language of [`crate::ExplainSession::re_explain`].
+//!
+//! A [`RelationDelta`] is an ordered list of tuple operations against the
+//! two canonical relations of a session. Operations are applied
+//! sequentially, each interpreted against the relation state *at the time
+//! it is applied* (so a `Delete { index: 3 }` followed by another
+//! `Delete { index: 3 }` removes two adjacent tuples). Application tracks,
+//! per side,
+//!
+//! * the **index map** from pre-delta tuple indices to post-delta indices
+//!   (`None` for deleted or replaced tuples), and
+//! * per post-delta tuple, a **dirty flag** — `true` for inserted or
+//!   updated tuples, whose pairs must be re-scored.
+//!
+//! Surviving untouched tuples keep their relative order (inserts append,
+//! deletes shift), so the index maps are monotone — the property that lets
+//! the session carry sorted candidate lists across a delta without
+//! re-sorting.
+
+use explain3d_core::prelude::{CanonicalRelation, CanonicalTuple, Side};
+use std::fmt;
+
+/// One tuple edit against a canonical relation.
+#[derive(Debug, Clone)]
+pub enum TupleOp {
+    /// Appends a tuple to the given side.
+    Insert {
+        /// Which relation the tuple joins.
+        side: Side,
+        /// The new canonical tuple (its `id` is reassigned on application).
+        tuple: CanonicalTuple,
+    },
+    /// Replaces the tuple at `index` (current state) on the given side.
+    Update {
+        /// Which relation is edited.
+        side: Side,
+        /// Index of the tuple to replace, in the relation state reached by
+        /// the preceding operations.
+        index: usize,
+        /// The replacement tuple.
+        tuple: CanonicalTuple,
+    },
+    /// Removes the tuple at `index` (current state) on the given side.
+    Delete {
+        /// Which relation is edited.
+        side: Side,
+        /// Index of the tuple to remove, in the relation state reached by
+        /// the preceding operations.
+        index: usize,
+    },
+}
+
+/// An ordered batch of tuple edits.
+#[derive(Debug, Clone, Default)]
+pub struct RelationDelta {
+    /// The operations, applied in order.
+    pub ops: Vec<TupleOp>,
+}
+
+impl RelationDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        RelationDelta::default()
+    }
+
+    /// True when the delta contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends an insert.
+    pub fn insert(mut self, side: Side, tuple: CanonicalTuple) -> Self {
+        self.ops.push(TupleOp::Insert { side, tuple });
+        self
+    }
+
+    /// Appends an update.
+    pub fn update(mut self, side: Side, index: usize, tuple: CanonicalTuple) -> Self {
+        self.ops.push(TupleOp::Update { side, index, tuple });
+        self
+    }
+
+    /// Appends a delete.
+    pub fn delete(mut self, side: Side, index: usize) -> Self {
+        self.ops.push(TupleOp::Delete { side, index });
+        self
+    }
+}
+
+/// A delta operation referenced a tuple index that does not exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaError {
+    /// Which side the bad operation addressed.
+    pub side: Side,
+    /// The out-of-range index.
+    pub index: usize,
+    /// The relation length at the time the operation was applied.
+    pub len: usize,
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delta references tuple {} of the {:?} relation, which has {} tuples at that point",
+            self.index, self.side, self.len
+        )
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Per-side application result: the index map and the dirty flags.
+#[derive(Debug, Clone, Default)]
+pub struct SideTrace {
+    /// `old index → new index` for surviving untouched tuples; `None` for
+    /// deleted or replaced ones. Monotone over the `Some` entries.
+    pub index_map: Vec<Option<usize>>,
+    /// Per post-delta tuple: `true` when inserted or updated by the delta.
+    pub dirty: Vec<bool>,
+}
+
+impl SideTrace {
+    /// Number of dirty (inserted/updated) post-delta tuples.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+}
+
+/// Applies a delta to the pair of canonical relations in place, returning
+/// the per-side traces. On error the relations are left **unmodified**.
+pub fn apply_delta(
+    left: &mut CanonicalRelation,
+    right: &mut CanonicalRelation,
+    delta: &RelationDelta,
+) -> Result<(SideTrace, SideTrace), DeltaError> {
+    // Work on tracked copies so a failing op cannot half-apply.
+    struct Tracked {
+        tuple: CanonicalTuple,
+        origin: Option<usize>,
+        dirty: bool,
+    }
+    let mut sides: [Vec<Tracked>; 2] = [
+        left.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Tracked { tuple: t.clone(), origin: Some(i), dirty: false })
+            .collect(),
+        right
+            .tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Tracked { tuple: t.clone(), origin: Some(i), dirty: false })
+            .collect(),
+    ];
+    let slot = |side: Side| match side {
+        Side::Left => 0usize,
+        Side::Right => 1usize,
+    };
+    for op in &delta.ops {
+        match op {
+            TupleOp::Insert { side, tuple } => {
+                sides[slot(*side)].push(Tracked {
+                    tuple: tuple.clone(),
+                    origin: None,
+                    dirty: true,
+                });
+            }
+            TupleOp::Update { side, index, tuple } => {
+                let entries = &mut sides[slot(*side)];
+                if *index >= entries.len() {
+                    return Err(DeltaError { side: *side, index: *index, len: entries.len() });
+                }
+                entries[*index] = Tracked { tuple: tuple.clone(), origin: None, dirty: true };
+            }
+            TupleOp::Delete { side, index } => {
+                let entries = &mut sides[slot(*side)];
+                if *index >= entries.len() {
+                    return Err(DeltaError { side: *side, index: *index, len: entries.len() });
+                }
+                entries.remove(*index);
+            }
+        }
+    }
+
+    let [tracked_left, tracked_right] = sides;
+    let commit = |relation: &mut CanonicalRelation, tracked: Vec<Tracked>| -> SideTrace {
+        let mut trace = SideTrace {
+            index_map: vec![None; relation.tuples.len()],
+            dirty: Vec::with_capacity(tracked.len()),
+        };
+        relation.tuples.clear();
+        for (new_idx, entry) in tracked.into_iter().enumerate() {
+            if let Some(old) = entry.origin {
+                trace.index_map[old] = Some(new_idx);
+            }
+            trace.dirty.push(entry.dirty);
+            let mut tuple = entry.tuple;
+            tuple.id = new_idx;
+            relation.tuples.push(tuple);
+        }
+        trace
+    };
+    let lt = commit(left, tracked_left);
+    let rt = commit(right, tracked_right);
+    Ok((lt, rt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn tuple(key: &str, impact: f64) -> CanonicalTuple {
+        CanonicalTuple {
+            id: 0,
+            key: vec![Value::str(key)],
+            impact,
+            members: vec![],
+            representative: Row::new(vec![Value::str(key)]),
+        }
+    }
+
+    fn relation(keys: &[&str]) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: "Q".to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| {
+                    let mut t = tuple(k, 1.0);
+                    t.id = i;
+                    t
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    #[test]
+    fn inserts_append_and_are_dirty() {
+        let mut l = relation(&["a", "b"]);
+        let mut r = relation(&["x"]);
+        let delta = RelationDelta::new().insert(Side::Left, tuple("c", 2.0));
+        let (lt, rt) = apply_delta(&mut l, &mut r, &delta).unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.tuples[2].key, vec![Value::str("c")]);
+        assert_eq!(l.tuples[2].id, 2);
+        assert_eq!(lt.index_map, vec![Some(0), Some(1)]);
+        assert_eq!(lt.dirty, vec![false, false, true]);
+        assert_eq!(rt.index_map, vec![Some(0)]);
+        assert_eq!(rt.dirty_count(), 0);
+    }
+
+    #[test]
+    fn deletes_shift_monotonically() {
+        let mut l = relation(&["a", "b", "c", "d"]);
+        let mut r = relation(&[]);
+        let delta = RelationDelta::new().delete(Side::Left, 1).delete(Side::Left, 1);
+        // Removes "b" then (shifted) "c".
+        let (lt, _) = apply_delta(&mut l, &mut r, &delta).unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.tuples[1].key, vec![Value::str("d")]);
+        assert_eq!(lt.index_map, vec![Some(0), None, None, Some(1)]);
+        assert_eq!(lt.dirty, vec![false, false]);
+        // Ids are re-densified.
+        assert_eq!(l.tuples[1].id, 1);
+    }
+
+    #[test]
+    fn updates_replace_in_place() {
+        let mut l = relation(&["a", "b"]);
+        let mut r = relation(&["x"]);
+        let delta = RelationDelta::new().update(Side::Right, 0, tuple("y", 3.0));
+        let (lt, rt) = apply_delta(&mut l, &mut r, &delta).unwrap();
+        assert_eq!(r.tuples[0].key, vec![Value::str("y")]);
+        assert_eq!(r.tuples[0].impact, 3.0);
+        // The replaced slot maps to None: the old tuple's cached pair
+        // scores must not be carried over.
+        assert_eq!(rt.index_map, vec![None]);
+        assert_eq!(rt.dirty, vec![true]);
+        assert_eq!(lt.dirty_count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_ops_leave_relations_untouched() {
+        let mut l = relation(&["a"]);
+        let mut r = relation(&["x"]);
+        let delta = RelationDelta::new().insert(Side::Left, tuple("b", 1.0)).delete(Side::Right, 5);
+        let err = apply_delta(&mut l, &mut r, &delta).unwrap_err();
+        assert_eq!(err.index, 5);
+        assert_eq!(err.len, 1);
+        assert!(err.to_string().contains("tuple 5"));
+        // The earlier insert of the same failing delta was rolled back too.
+        assert_eq!(l.len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn mixed_sequence_keeps_traces_consistent() {
+        let mut l = relation(&["a", "b", "c"]);
+        let mut r = relation(&["x", "y"]);
+        let delta = RelationDelta::new()
+            .delete(Side::Left, 0)
+            .insert(Side::Left, tuple("d", 1.0))
+            .update(Side::Left, 0, tuple("B", 2.0))
+            .insert(Side::Right, tuple("z", 1.0));
+        let (lt, rt) = apply_delta(&mut l, &mut r, &delta).unwrap();
+        // Left: delete a → [b, c]; insert d → [b, c, d]; update 0 → [B, c, d].
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.tuples[0].key, vec![Value::str("B")]);
+        assert_eq!(lt.index_map, vec![None, None, Some(1)]);
+        assert_eq!(lt.dirty, vec![true, false, true]);
+        // Survivor order is monotone.
+        let survivors: Vec<usize> = lt.index_map.iter().flatten().copied().collect();
+        let mut sorted = survivors.clone();
+        sorted.sort_unstable();
+        assert_eq!(survivors, sorted);
+        assert_eq!(rt.index_map, vec![Some(0), Some(1)]);
+        assert_eq!(rt.dirty, vec![false, false, true]);
+    }
+}

@@ -1,0 +1,465 @@
+//! Hash-keyed similarity score cache for incremental re-explanation.
+//!
+//! Pairwise similarity ([`crate::generator::candidate_pairs`]) is a pure
+//! function of the *contents* of the two compared rows (restricted to the
+//! matching attribute columns) plus the fixed [`MappingConfig`]. The cache
+//! exploits that: each row is reduced to a 64-bit content hash over exactly
+//! the compared columns, and scored pairs are memoised under the
+//! `(left hash, right hash)` key. Re-scoring a relation after a small delta
+//! then only pays for pairs whose *content* was never seen — pairs between
+//! untouched tuples (or tuples whose edit was reverted) are answered from
+//! the cache with the bit-identical similarity a fresh computation would
+//! produce.
+//!
+//! [`candidate_pairs_cached`] is the drop-in cached twin of
+//! [`crate::generator::candidate_pairs_streaming`]: same enumeration
+//! (streaming through [`crate::generator::PairChunkStream`]), same chunked
+//! parallel scoring, byte-identical output for every cache state — the
+//! cache can only change *where* a similarity comes from, never its value.
+//! Workers read a frozen snapshot of the map; freshly computed scores are
+//! folded back in after the parallel phase, so the result is independent of
+//! scheduling.
+//!
+//! Keys are 64-bit FNV-1a content hashes; two *different* contents
+//! colliding on both the left and the right hash of the same pair would
+//! return a stale score. With the ~10⁴-row relations this system targets,
+//! that probability is ≈ 2⁻⁴⁴ per re-explanation — and the equivalence
+//! property suite would surface it as a byte-identity failure.
+
+use crate::generator::{Candidate, CandidateGenStats, MappingConfig, PairChunkStream};
+use crate::tokenize::TokenInterner;
+use explain3d_relation::prelude::{Row, Schema, Value};
+use std::collections::HashMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher over a canonical byte encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentHasher(u64);
+
+impl ContentHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        ContentHasher(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a [`Value`] into the hash with a type-discriminated encoding:
+    /// values of different variants never share an encoding, and `Int` is
+    /// hashed by its exact `i64` (not its possibly-lossy `f64` image), so
+    /// contents that could behave differently anywhere in the scoring
+    /// pipeline always hash differently.
+    pub fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.write(&[0]),
+            Value::Bool(b) => self.write(&[1, u8::from(*b)]),
+            Value::Int(i) => {
+                self.write(&[2]);
+                self.write(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                self.write(&[3]);
+                self.write(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                self.write(&[4]);
+                self.write_u64(s.len() as u64);
+                self.write(s.as_bytes());
+            }
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+/// Content hash of one row restricted to the given columns (in order).
+/// Unresolvable columns hash as NULL, mirroring the scorer's
+/// `unwrap_or(Value::Null)` dispatch.
+pub fn row_content_hash(schema: &Schema, row: &Row, columns: &[&str]) -> u64 {
+    let mut h = ContentHasher::new();
+    for col in columns {
+        match schema.index_of(col) {
+            Ok(idx) => h.write_value(row.get(idx).unwrap_or(&Value::Null)),
+            Err(_) => h.write_value(&Value::Null),
+        }
+    }
+    h.finish()
+}
+
+/// Content hashes of every row over the given columns.
+pub fn row_content_hashes(schema: &Schema, rows: &[Row], columns: &[&str]) -> Vec<u64> {
+    rows.iter().map(|r| row_content_hash(schema, r, columns)).collect()
+}
+
+/// The columns of one side of [`MappingConfig::attr_pairs`] (`left = true`
+/// selects the left column of each pair) — the columns a row's content hash
+/// must cover.
+pub fn compared_columns(config: &MappingConfig, left: bool) -> Vec<&str> {
+    config.attr_pairs.iter().map(|(l, r)| if left { l.as_str() } else { r.as_str() }).collect()
+}
+
+/// Hit/miss counters of one cached scoring run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreCacheStats {
+    /// Pairs answered from the cache.
+    pub hits: usize,
+    /// Pairs that had to be scored (and were then inserted).
+    pub misses: usize,
+}
+
+/// Default [`ScoreCache`] segment capacity (entries). Two segments may be
+/// resident, so peak memoisation is about twice this.
+pub const DEFAULT_SCORE_CACHE_CAP: usize = 1 << 20;
+
+/// A memo of pair similarities keyed by `(left content hash, right content
+/// hash)`, with values stored as exact `f64` bit patterns.
+///
+/// Memory is **bounded** by segment rotation: inserts land in a `fresh`
+/// segment; when it reaches the soft cap, it becomes the `stale` segment
+/// (dropping the previous stale one) and a new fresh segment starts.
+/// Lookups consult both, so recently-used scores survive one rotation; an
+/// evicted score is simply recomputed on its next miss — eviction can cost
+/// time, never correctness. A long-lived session over churning relations
+/// therefore holds at most ~2 × cap entries instead of every pair content
+/// it ever scored.
+#[derive(Debug, Clone)]
+pub struct ScoreCache {
+    fresh: HashMap<(u64, u64), u64>,
+    stale: HashMap<(u64, u64), u64>,
+    soft_cap: usize,
+    hits: usize,
+    misses: usize,
+}
+
+impl Default for ScoreCache {
+    fn default() -> Self {
+        ScoreCache::with_soft_cap(DEFAULT_SCORE_CACHE_CAP)
+    }
+}
+
+impl ScoreCache {
+    /// An empty cache with the default segment capacity.
+    pub fn new() -> Self {
+        ScoreCache::default()
+    }
+
+    /// An empty cache whose segments rotate at `soft_cap` entries.
+    pub fn with_soft_cap(soft_cap: usize) -> Self {
+        ScoreCache {
+            fresh: HashMap::new(),
+            stale: HashMap::new(),
+            soft_cap: soft_cap.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of memoised pair scores (counting a score present in both
+    /// segments once per segment).
+    pub fn len(&self) -> usize {
+        self.fresh.len() + self.stale.len()
+    }
+
+    /// True when nothing is memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.fresh.is_empty() && self.stale.is_empty()
+    }
+
+    /// Cumulative hits over the cache's lifetime.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cumulative misses over the cache's lifetime.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Looks up a memoised similarity (no counter updates).
+    pub fn peek(&self, left_hash: u64, right_hash: u64) -> Option<f64> {
+        self.peek_bits((left_hash, right_hash)).map(f64::from_bits)
+    }
+
+    /// Raw bit-pattern lookup across both segments.
+    fn peek_bits(&self, key: (u64, u64)) -> Option<u64> {
+        self.fresh.get(&key).or_else(|| self.stale.get(&key)).copied()
+    }
+
+    /// Memoises a similarity (rotating the segments at the soft cap).
+    pub fn insert(&mut self, left_hash: u64, right_hash: u64, similarity: f64) {
+        self.fresh.insert((left_hash, right_hash), similarity.to_bits());
+        self.maybe_rotate();
+    }
+
+    /// Rotates fresh → stale once the fresh segment reaches the soft cap.
+    fn maybe_rotate(&mut self) {
+        if self.fresh.len() >= self.soft_cap {
+            self.stale = std::mem::take(&mut self.fresh);
+        }
+    }
+}
+
+/// [`crate::generator::candidate_pairs_streaming`] with score memoisation:
+/// enumerates the same pairs through the same [`PairChunkStream`], but each
+/// pair first consults `cache` under its content-hash key and only scores on
+/// a miss (fresh scores are folded back into the cache). The retained
+/// candidates are **byte-identical** to the uncached path for every cache
+/// state — pinned by `cached_candidates_match_uncached` and the incremental
+/// equivalence suite.
+pub fn candidate_pairs_cached(
+    left_schema: &Schema,
+    left_rows: &[Row],
+    right_schema: &Schema,
+    right_rows: &[Row],
+    config: &MappingConfig,
+    cache: &mut ScoreCache,
+) -> (Vec<Candidate>, CandidateGenStats, ScoreCacheStats) {
+    let chunk_pairs = config.chunk_pairs.max(1);
+    if config.attr_pairs.is_empty() {
+        return (
+            Vec::new(),
+            CandidateGenStats { chunk_pairs, ..Default::default() },
+            ScoreCacheStats::default(),
+        );
+    }
+
+    let left_hashes = row_content_hashes(left_schema, left_rows, &compared_columns(config, true));
+    let right_hashes =
+        row_content_hashes(right_schema, right_rows, &compared_columns(config, false));
+
+    let mut interner = TokenInterner::new();
+    let scorer = crate::generator::PreparedScorer::new(
+        left_schema,
+        left_rows,
+        right_schema,
+        right_rows,
+        config,
+        &mut interner,
+    );
+    let stream = PairChunkStream::new(
+        left_schema,
+        left_rows,
+        right_schema,
+        right_rows,
+        config,
+        &mut interner,
+    );
+
+    let threads = explain3d_parallel::max_threads().max(1);
+    let scorer = &scorer;
+    let min_similarity = config.min_similarity;
+    let snapshot: &ScoreCache = cache;
+    let left_hashes = &left_hashes;
+    let right_hashes = &right_hashes;
+
+    // Workers read the frozen cache snapshot and report fresh scores back;
+    // the scored values are independent of the cache state, so the output
+    // is byte-identical to the uncached path regardless of scheduling.
+    type ChunkOut = (Vec<Candidate>, Vec<((u64, u64), u64)>, usize);
+    let (scored, sched) = explain3d_parallel::par_map_iter_stealing(
+        stream,
+        threads,
+        Vec::len,
+        move |chunk: Vec<(usize, usize)>| -> ChunkOut {
+            let mut out = Vec::new();
+            let mut fresh: Vec<((u64, u64), u64)> = Vec::new();
+            let mut hits = 0usize;
+            for (i, j) in chunk {
+                let key = (left_hashes[i], right_hashes[j]);
+                let sim = match snapshot.peek_bits(key) {
+                    Some(bits) => {
+                        hits += 1;
+                        f64::from_bits(bits)
+                    }
+                    None => {
+                        let sim = scorer.score(i, j);
+                        fresh.push((key, sim.to_bits()));
+                        sim
+                    }
+                };
+                if sim >= min_similarity {
+                    out.push(Candidate { left: i, right: j, similarity: sim });
+                }
+            }
+            (out, fresh, hits)
+        },
+    );
+
+    let mut out: Vec<Candidate> = Vec::new();
+    let mut stats = ScoreCacheStats::default();
+    let mut fresh_total: Vec<((u64, u64), u64)> = Vec::new();
+    for (candidates, fresh, hits) in scored {
+        out.extend(candidates);
+        stats.hits += hits;
+        stats.misses += fresh.len();
+        fresh_total.extend(fresh);
+    }
+    for (key, bits) in fresh_total {
+        cache.fresh.insert(key, bits);
+    }
+    cache.maybe_rotate();
+    cache.hits += stats.hits;
+    cache.misses += stats.misses;
+
+    (
+        out,
+        CandidateGenStats {
+            pairs_scored: sched.total_weight,
+            chunks: sched.executed,
+            chunk_pairs,
+            peak_resident_pairs: sched.peak_resident_weight,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::candidate_pairs;
+    use explain3d_relation::prelude::ValueType;
+    use explain3d_relation::row;
+
+    fn workload() -> (Schema, Vec<Row>, Schema, Vec<Row>) {
+        let ls = Schema::from_pairs(&[("name", ValueType::Str), ("year", ValueType::Int)]);
+        let rs = Schema::from_pairs(&[("title", ValueType::Str), ("published", ValueType::Int)]);
+        let lr = vec![
+            row!["computer science", 1999],
+            row!["electrical engineering", 2001],
+            row!["computer science", 1999], // duplicate content of row 0
+            row![Value::Null, 1999],
+        ];
+        let rr = vec![
+            row!["computer science and engineering", 1999],
+            row!["electrical engineering", 2001],
+            row!["design", Value::Null],
+        ];
+        (ls, lr, rs, rr)
+    }
+
+    fn config() -> MappingConfig {
+        MappingConfig::new(vec![
+            ("name".to_string(), "title".to_string()),
+            ("year".to_string(), "published".to_string()),
+        ])
+        .with_min_similarity(0.0)
+    }
+
+    fn assert_identical(a: &[Candidate], b: &[Candidate]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!((x.left, x.right), (y.left, y.right));
+            assert_eq!(x.similarity.to_bits(), y.similarity.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_candidates_match_uncached() {
+        let (ls, lr, rs, rr) = workload();
+        let reference = candidate_pairs(&ls, &lr, &rs, &rr, &config());
+        let mut cache = ScoreCache::new();
+        // Cold cache: everything misses, output identical.
+        let (first, _, s1) = candidate_pairs_cached(&ls, &lr, &rs, &rr, &config(), &mut cache);
+        assert_identical(&first, &reference);
+        assert!(s1.misses > 0);
+        // Warm cache: everything hits, output still identical.
+        let (second, _, s2) = candidate_pairs_cached(&ls, &lr, &rs, &rr, &config(), &mut cache);
+        assert_identical(&second, &reference);
+        assert_eq!(s2.misses, 0, "warm re-run must be all hits");
+        assert_eq!(s2.hits, s1.hits + s1.misses);
+        // Lifetime counters are cumulative (monotone).
+        assert_eq!(cache.hits(), s1.hits + s2.hits);
+        assert_eq!(cache.misses(), s1.misses);
+    }
+
+    #[test]
+    fn duplicate_content_shares_cache_entries() {
+        let (ls, lr, rs, rr) = workload();
+        let cfg = config();
+        let cols = compared_columns(&cfg, true);
+        let hashes = row_content_hashes(&ls, &lr, &cols);
+        assert_eq!(hashes[0], hashes[2], "identical contents must hash identically");
+        assert_ne!(hashes[0], hashes[1]);
+        let mut cache = ScoreCache::new();
+        let (_, gen_stats, s) = candidate_pairs_cached(&ls, &lr, &rs, &rr, &config(), &mut cache);
+        // Rows 0 and 2 are content-identical, so their pair scores share
+        // cache keys: strictly fewer distinct entries than scored pairs.
+        assert!(cache.len() < gen_stats.pairs_scored);
+        assert_eq!(s.hits + s.misses, gen_stats.pairs_scored);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_types_and_nulls() {
+        let mut a = ContentHasher::new();
+        a.write_value(&Value::Int(2));
+        let mut b = ContentHasher::new();
+        b.write_value(&Value::Float(2.0));
+        assert_ne!(a.finish(), b.finish(), "Int and Float must not collide structurally");
+        let mut c = ContentHasher::new();
+        c.write_value(&Value::Null);
+        let mut d = ContentHasher::new();
+        d.write_value(&Value::str(""));
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn segment_rotation_bounds_memory_without_breaking_correctness() {
+        let (ls, lr, rs, rr) = workload();
+        let reference = candidate_pairs(&ls, &lr, &rs, &rr, &config());
+        // A cap far below the pair count forces rotations mid-run.
+        let mut cache = ScoreCache::with_soft_cap(3);
+        for _ in 0..3 {
+            let (out, gen_stats, _) =
+                candidate_pairs_cached(&ls, &lr, &rs, &rr, &config(), &mut cache);
+            assert_identical(&out, &reference);
+            // A bulk run inserts at most its distinct pair contents before
+            // the rotation check, so the cache never holds more than two
+            // run-sized segments.
+            assert!(
+                cache.len() <= 2 * gen_stats.pairs_scored,
+                "cache grew past its segments: {}",
+                cache.len()
+            );
+        }
+        // Evicted entries recompute (misses after the first run are
+        // allowed), but hits still accumulate for surviving entries.
+        assert!(cache.hits() + cache.misses() >= reference.len());
+    }
+
+    #[test]
+    fn stale_entries_for_changed_content_are_not_consulted() {
+        let (ls, mut lr, rs, rr) = workload();
+        let mut cache = ScoreCache::new();
+        let _ = candidate_pairs_cached(&ls, &lr, &rs, &rr, &config(), &mut cache);
+        // Change one row's content: its pairs must miss (new hash), and the
+        // output must equal a fresh uncached run on the new data.
+        lr[1] = row!["design", 2001];
+        let (cached, _, stats) = candidate_pairs_cached(&ls, &lr, &rs, &rr, &config(), &mut cache);
+        let reference = candidate_pairs(&ls, &lr, &rs, &rr, &config());
+        assert_identical(&cached, &reference);
+        assert!(stats.misses > 0, "changed content must be re-scored");
+        assert!(stats.hits > 0, "unchanged content must hit");
+    }
+}

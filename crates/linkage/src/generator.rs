@@ -249,6 +249,48 @@ fn prepared_tuple_similarity(
     total / left_cols.len() as f64
 }
 
+/// The zero-copy scoring kernel bundled for reuse: the prepared (tokenised,
+/// interned, numeric-cached) columns of both sides plus the metric.
+/// [`PreparedScorer::score`] reproduces **exactly** — same dispatch, same
+/// accumulation order, same floating-point result — the similarity the
+/// per-pair reference path computes, so every caller (streaming, cached,
+/// delta re-scoring) scores through one kernel.
+pub struct PreparedScorer<'a> {
+    left_cols: Vec<Vec<Prepared<'a>>>,
+    right_cols: Vec<Vec<Prepared<'a>>>,
+    metric: StringMetric,
+}
+
+impl<'a> PreparedScorer<'a> {
+    /// Prepares both sides' compared columns once (tokenising through
+    /// `interner`).
+    pub fn new(
+        left_schema: &Schema,
+        left_rows: &'a [Row],
+        right_schema: &Schema,
+        right_rows: &'a [Row],
+        config: &MappingConfig,
+        interner: &mut TokenInterner,
+    ) -> Self {
+        let left_cols = config
+            .attr_pairs
+            .iter()
+            .map(|(lcol, _)| prepare_column(left_schema, left_rows, lcol, interner))
+            .collect();
+        let right_cols = config
+            .attr_pairs
+            .iter()
+            .map(|(_, rcol)| prepare_column(right_schema, right_rows, rcol, interner))
+            .collect();
+        PreparedScorer { left_cols, right_cols, metric: config.metric }
+    }
+
+    /// Similarity of left row `i` vs right row `j`.
+    pub fn score(&self, i: usize, j: usize) -> f64 {
+        prepared_tuple_similarity(&self.left_cols, &self.right_cols, i, j, self.metric)
+    }
+}
+
 /// Statistics of one streaming candidate-generation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CandidateGenStats {
@@ -426,16 +468,14 @@ pub fn candidate_pairs_streaming(
     }
 
     let mut interner = TokenInterner::new();
-    let left_cols: Vec<Vec<Prepared<'_>>> = config
-        .attr_pairs
-        .iter()
-        .map(|(lcol, _)| prepare_column(left_schema, left_rows, lcol, &mut interner))
-        .collect();
-    let right_cols: Vec<Vec<Prepared<'_>>> = config
-        .attr_pairs
-        .iter()
-        .map(|(_, rcol)| prepare_column(right_schema, right_rows, rcol, &mut interner))
-        .collect();
+    let scorer = PreparedScorer::new(
+        left_schema,
+        left_rows,
+        right_schema,
+        right_rows,
+        config,
+        &mut interner,
+    );
 
     let stream = PairChunkStream::new(
         left_schema,
@@ -447,9 +487,7 @@ pub fn candidate_pairs_streaming(
     );
 
     let threads = explain3d_parallel::max_threads().max(1);
-    let left_cols = &left_cols;
-    let right_cols = &right_cols;
-    let metric = config.metric;
+    let scorer = &scorer;
     let min_similarity = config.min_similarity;
 
     // The persistent worker pool tracks the in-flight set itself, so the
@@ -464,7 +502,7 @@ pub fn candidate_pairs_streaming(
         |chunk: Vec<(usize, usize)>| {
             let mut out = Vec::new();
             for (i, j) in chunk {
-                let sim = prepared_tuple_similarity(left_cols, right_cols, i, j, metric);
+                let sim = scorer.score(i, j);
                 if sim >= min_similarity {
                     out.push(Candidate { left: i, right: j, similarity: sim });
                 }

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod generator;
 pub mod matches;
@@ -28,11 +29,15 @@ pub mod rswoosh;
 pub mod similarity;
 pub mod tokenize;
 
+pub use cache::{
+    candidate_pairs_cached, compared_columns, row_content_hash, row_content_hashes, ContentHasher,
+    ScoreCache, ScoreCacheStats,
+};
 pub use calibrate::BucketCalibrator;
 pub use generator::{
     candidate_pairs, candidate_pairs_naive, candidate_pairs_streaming, generate_calibrated_mapping,
     generate_mapping, label_candidates, Candidate, CandidateGenStats, MappingConfig,
-    PairChunkStream,
+    PairChunkStream, PreparedScorer,
 };
 pub use matches::{TupleMapping, TupleMatch};
 pub use rswoosh::{Cluster, RSwoosh, RSwooshConfig, Side, SwooshRecord};

@@ -51,6 +51,19 @@ pub struct SparseBasis {
     basis: Vec<usize>,
 }
 
+impl SparseBasis {
+    /// Number of basic columns (equals the row count of the LP the basis
+    /// was extracted from).
+    pub fn len(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// True when the basis is empty (a zero-row LP).
+    pub fn is_empty(&self) -> bool {
+        self.basis.is_empty()
+    }
+}
+
 /// A sparse LP context: the constraint matrix of a [`Model`] in equality
 /// standard form (shifted variables, upper bounds as rows, slack and
 /// artificial columns), reusable across solves that only change variable
@@ -321,6 +334,49 @@ impl SparseLp {
             // without a cold re-solve.
             DualOutcome::Infeasible => return Some((infeasible(), None)),
             DualOutcome::Numerical => return None,
+        }
+        self.finish(model, bounds, sim)
+    }
+
+    /// Re-solves the LP starting from an **imported** basis — one exported
+    /// by a previous solve of a *different* (but structurally compatible)
+    /// model, e.g. the persisted final basis the incremental re-explanation
+    /// subsystem hands back for a dirty component. Unlike
+    /// [`solve_warm`](SparseLp::solve_warm), the basis cannot be assumed
+    /// dual feasible here (objective and constraint coefficients may have
+    /// changed, not just bounds), so the import is accepted only when the
+    /// factorised basis is *primal* feasible for the new problem; phase 2
+    /// then runs ordinary primal iterations from it, skipping phase 1.
+    /// Returns `None` whenever the basis cannot be trusted (dimension
+    /// mismatch, singular factorisation, primal infeasibility, non-zero
+    /// basic artificial) — the caller falls back to a cold solve, so a
+    /// stale import can cost time but never correctness.
+    pub fn solve_from_basis(
+        &self,
+        model: &Model,
+        bounds: &[(f64, f64)],
+        start: &SparseBasis,
+    ) -> Option<(LpResult, Option<SparseBasis>)> {
+        if !self.compatible(bounds)
+            || start.basis.len() != self.m
+            || start.basis.iter().any(|&j| j >= self.ncols)
+        {
+            return None;
+        }
+        for &(lb, ub) in bounds {
+            if lb > ub + EPS {
+                return Some((infeasible(), None));
+            }
+        }
+        let sim = Sim::new(self, bounds, start.basis.clone())?;
+        // Phase-2 primal iterations assume a feasible starting basis; an
+        // imported basis that is not primal feasible here is rejected
+        // rather than repaired (the cold path's phase 1 does that better).
+        if sim.x.iter().any(|&x| x < -FEAS_EPS) {
+            return None;
+        }
+        if (0..self.m).any(|i| sim.basis[i] >= self.art_start && sim.x[i].abs() > FEAS_EPS) {
+            return None;
         }
         self.finish(model, bounds, sim)
     }

@@ -308,6 +308,29 @@ impl Partition {
         parts.retain(|p| !p.is_empty());
         parts
     }
+
+    /// Dirty-part tracking for incremental re-partitioning: given per-node
+    /// dirty flags (global node ids, `true` for nodes whose tuple was
+    /// inserted, updated, or sits adjacent to a deletion), returns one flag
+    /// per **non-empty** part — aligned with the part order of
+    /// [`parts`](Partition::parts) / [`component_parts`](Partition::component_parts)
+    /// — saying whether the part contains any dirty node. Clean parts are
+    /// the ones whose cached sub-problem solutions an incremental
+    /// re-explanation can expect to reuse verbatim (the solution cache
+    /// itself re-verifies via content hashing, so this flag is a tracking /
+    /// diagnostic signal, not a correctness gate). Nodes beyond
+    /// `dirty_nodes.len()` count as clean.
+    pub fn dirty_parts(&self, dirty_nodes: &[bool]) -> Vec<bool> {
+        let mut dirty = vec![false; self.k];
+        let mut occupied = vec![false; self.k];
+        for (node, &p) in self.assignment.iter().enumerate() {
+            occupied[p] = true;
+            if dirty_nodes.get(node).copied().unwrap_or(false) {
+                dirty[p] = true;
+            }
+        }
+        dirty.into_iter().zip(occupied).filter_map(|(d, occ)| occ.then_some(d)).collect()
+    }
 }
 
 #[cfg(test)]

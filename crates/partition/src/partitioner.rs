@@ -112,6 +112,16 @@ pub fn partition_weighted(
     let mut assignment = vec![usize::MAX; n];
     let mut part_weights: Vec<usize> = Vec::new();
 
+    // Connection strength of each unassigned node to the growing part.
+    // One buffer for all parts: a graph with many small components opens
+    // one part per component, and a fresh `vec![0.0; n]` per part would
+    // make growing quadratic in the component count (tens of ms on a
+    // 10k-singleton mapping graph — the regime incremental re-explanation
+    // re-partitions in). Entries touched while growing a part are recorded
+    // and reset before the next seed, which is behaviourally identical.
+    let mut gain: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<usize> = Vec::new();
+
     for &seed in &order {
         if assignment[seed] != usize::MAX {
             continue;
@@ -119,10 +129,9 @@ pub fn partition_weighted(
         // Open a new part for this seed.
         let part = part_weights.len();
         part_weights.push(0);
-        // Connection strength of each unassigned node to the growing part.
-        let mut gain: Vec<f64> = vec![0.0; n];
         let mut frontier: Vec<usize> = vec![seed];
         gain[seed] = f64::INFINITY;
+        touched.push(seed);
 
         while let Some(next) = pick_best(&frontier, &gain) {
             frontier.retain(|&x| x != next);
@@ -142,12 +151,17 @@ pub fn partition_weighted(
             for &(nbr, ew) in &adj[next] {
                 if assignment[nbr] == usize::MAX {
                     gain[nbr] += ew;
+                    touched.push(nbr);
                     if !frontier.contains(&nbr) {
                         frontier.push(nbr);
                     }
                 }
             }
         }
+        for &t in &touched {
+            gain[t] = 0.0;
+        }
+        touched.clear();
     }
     // ---- Batch packing ----
     // Growing opens one part per seed, so disconnected graphs come out of
@@ -164,12 +178,14 @@ pub fn partition_weighted(
     let mut num_parts = part_weights.len();
 
     // ---- FM-style boundary refinement ----
+    // Like the growing phase, the per-part connection buffer is allocated
+    // once and reset via the node's own adjacency after each use.
+    let mut conn: Vec<f64> = vec![0.0; num_parts];
     for _ in 0..config.refinement_passes {
         let mut moved_any = false;
         for node in 0..n {
             let current = assignment[node];
             // Connection weight from `node` to each part.
-            let mut conn: Vec<f64> = vec![0.0; num_parts];
             for &(nbr, w) in &adj[node] {
                 conn[assignment[nbr]] += w;
             }
@@ -193,6 +209,11 @@ pub fn partition_weighted(
                 part_weights[best_part] += node_weights[node];
                 assignment[node] = best_part;
                 moved_any = true;
+            }
+            // Reset only the entries this node touched (neighbour
+            // assignments are unchanged within the node's processing).
+            for &(nbr, _) in &adj[node] {
+                conn[assignment[nbr]] = 0.0;
             }
         }
         if !moved_any {
@@ -226,10 +247,12 @@ pub fn partition_weighted(
 }
 
 /// Picks the frontier node with the highest gain (ties by lowest index).
+/// Gains are compared with `f64::total_cmp` so the selection stays a total
+/// order — and therefore deterministic — even when NaN/±∞ gains leak in
+/// through pathological edge weights (a positive NaN gain ranks highest,
+/// but whichever node wins, it wins reproducibly).
 fn pick_best(frontier: &[usize], gain: &[f64]) -> Option<usize> {
-    frontier.iter().copied().max_by(|&a, &b| {
-        gain[a].partial_cmp(&gain[b]).unwrap_or(std::cmp::Ordering::Equal).then(b.cmp(&a))
-    })
+    frontier.iter().copied().max_by(|&a, &b| gain[a].total_cmp(&gain[b]).then(b.cmp(&a)))
 }
 
 #[cfg(test)]
@@ -268,6 +291,24 @@ mod tests {
         assert_eq!(p.assignment[3], p.assignment[4]);
         assert_eq!(p.assignment[4], p.assignment[5]);
         assert_ne!(p.assignment[0], p.assignment[3]);
+    }
+
+    #[test]
+    fn nan_edge_weights_keep_growing_deterministic() {
+        // Regression: `pick_best` compared gains with
+        // `partial_cmp(..).unwrap_or(Equal)`, so a NaN gain (from a NaN edge
+        // weight) collapsed the frontier ordering into a non-total relation
+        // and the grown parts could differ between runs. `total_cmp` gives
+        // NaN a fixed rank, so the assignment is reproducible.
+        let weights = vec![1; 6];
+        let edges = vec![(0, 1, f64::NAN), (1, 2, 1.0), (3, 4, 1.0), (4, 5, f64::NAN)];
+        let cfg = PartitionerConfig::new(3, 2);
+        let first = partition_weighted(&weights, &edges, &cfg);
+        assert_eq!(first.assignment.len(), 6);
+        for _ in 0..5 {
+            // Compare assignments only: the edge cut itself is NaN-poisoned.
+            assert_eq!(partition_weighted(&weights, &edges, &cfg).assignment, first.assignment);
+        }
     }
 
     #[test]

@@ -89,6 +89,12 @@ impl PackedPartition {
     pub fn component_parts(&self, graph: &MappingGraph) -> Vec<Vec<Component>> {
         self.partition.component_parts(graph)
     }
+
+    /// Dirty-part tracking (see [`Partition::dirty_parts`]): flags, per
+    /// non-empty part, whether the part contains any delta-touched node.
+    pub fn dirty_parts(&self, dirty_nodes: &[bool]) -> Vec<bool> {
+        self.partition.dirty_parts(dirty_nodes)
+    }
 }
 
 /// Runs Algorithm 3 on the mapping graph, returning a node partition.
@@ -347,6 +353,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dirty_parts_flag_exactly_the_touched_parts() {
+        let g = isolated_pairs(120); // 240 nodes packed into 4 parts of 60
+        let cfg = SmartPartitionConfig::with_batch_size(60);
+        let packed = smart_partition_packed(&g, &cfg);
+        assert_eq!(packed.partition.num_parts(), 4);
+
+        // No dirty nodes → every part is clean.
+        let clean = packed.dirty_parts(&vec![false; g.node_count()]);
+        assert_eq!(clean.len(), 4);
+        assert!(clean.iter().all(|&d| !d));
+
+        // Touch one couple: exactly its part goes dirty.
+        let mut dirty_nodes = vec![false; g.node_count()];
+        dirty_nodes[g.left_id(17)] = true;
+        let dirty = packed.dirty_parts(&dirty_nodes);
+        let expected = packed.partition.part_of(g.left_id(17));
+        for (p, &d) in dirty.iter().enumerate() {
+            assert_eq!(d, p == expected, "part {p}");
+        }
+
+        // A short flag vector treats the untracked tail as clean.
+        let short = packed.dirty_parts(&[true]);
+        assert_eq!(short.iter().filter(|&&d| d).count(), 1);
+
+        // Every part dirty when every node is.
+        let all = packed.dirty_parts(&vec![true; g.node_count()]);
+        assert!(all.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn dirty_parts_align_with_nonempty_part_order() {
+        // Build a partition with an empty middle part: flags must align
+        // with the compacted order `parts()`/`component_parts()` emit.
+        let mut g = MappingGraph::new(2, 2);
+        g.add_edge(0, 0, 0.9);
+        g.add_edge(1, 1, 0.9);
+        let assignment = vec![0, 2, 0, 2]; // part 1 is empty
+        let p = Partition::new(assignment, 3);
+        let mut dirty_nodes = vec![false; 4];
+        dirty_nodes[1] = true; // left tuple 1 → part 2
+        let flags = p.dirty_parts(&dirty_nodes);
+        assert_eq!(flags.len(), p.parts(&g).len());
+        assert_eq!(flags, vec![false, true]);
     }
 
     #[test]

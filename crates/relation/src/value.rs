@@ -151,7 +151,10 @@ impl Value {
 
     /// Total ordering used for deterministic sorting of heterogeneous rows:
     /// NULL < Bool < numeric < Str, with numeric coercion inside the numeric
-    /// class.
+    /// class. Within the numeric class the ordering is [`f64::total_cmp`],
+    /// so every NaN has a definite position (negative NaN below -∞, positive
+    /// NaN above +∞) instead of comparing Equal to everything — sorting is
+    /// total and deterministic for any input, non-finite floats included.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         fn class(v: &Value) -> u8 {
             match v {
@@ -172,7 +175,7 @@ impl Value {
             (a, b) => {
                 let x = a.as_f64().unwrap_or(f64::NAN);
                 let y = b.as_f64().unwrap_or(f64::NAN);
-                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+                x.total_cmp(&y)
             }
         }
     }
@@ -349,6 +352,35 @@ mod tests {
         assert_eq!(vals[2], Value::Float(1.5));
         assert_eq!(vals[3], Value::Int(5));
         assert_eq!(vals[4], Value::str("z"));
+    }
+
+    #[test]
+    fn total_cmp_places_nan_deterministically() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` made NaN compare
+        // Equal to every number, so sorts containing NaN were not total and
+        // could produce different permutations per run. `f64::total_cmp`
+        // pins positive NaN above +∞ (and negative NaN below -∞).
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&Value::Float(f64::INFINITY)), Ordering::Greater);
+        assert_eq!(Value::Float(1.0).total_cmp(&nan), Ordering::Less);
+        assert_eq!(Value::Float(f64::NEG_INFINITY).total_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.total_cmp(&Value::Float(f64::NAN)), Ordering::Equal);
+        assert_eq!(
+            Value::Float(-f64::NAN).total_cmp(&Value::Float(f64::NEG_INFINITY)),
+            Ordering::Less
+        );
+        // Sorting a mixed vector with NaN is stable and deterministic.
+        let mut vals = [
+            Value::Float(f64::NAN),
+            Value::Float(2.0),
+            Value::Int(1),
+            Value::Float(f64::NEG_INFINITY),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Float(f64::NEG_INFINITY));
+        assert_eq!(vals[1], Value::Int(1));
+        assert_eq!(vals[2], Value::Float(2.0));
+        assert!(vals[3].as_f64().unwrap().is_nan());
     }
 
     #[test]

@@ -17,10 +17,16 @@ pub struct Pattern {
 
 impl Pattern {
     /// Precision of the pattern: covered targets over all covered tuples.
+    ///
+    /// A pattern covering nothing at all (0/0) has precision 1.0 by the
+    /// repository-wide empty-denominator convention (see
+    /// `eval::metrics::Accuracy::from_counts`) — never NaN. Such a pattern
+    /// is still never *selected*: selection requires
+    /// `target_coverage >= min_coverage` and a positive newly-covered count.
     pub fn precision(&self) -> f64 {
         let total = self.target_coverage + self.other_coverage;
         if total == 0 {
-            0.0
+            1.0
         } else {
             self.target_coverage as f64 / total as f64
         }
@@ -92,7 +98,9 @@ impl Summary {
         self.patterns.len() + self.uncovered_targets.len()
     }
 
-    /// Fraction of targets covered by at least one selected pattern.
+    /// Fraction of targets covered by at least one selected pattern. An
+    /// empty target list counts as fully covered (0/0 → 1.0, per the
+    /// repository-wide empty-denominator convention) — never NaN.
     pub fn coverage(&self) -> f64 {
         if self.num_targets == 0 {
             return 1.0;
@@ -381,6 +389,24 @@ mod tests {
         let summary = summarize(&schema(), &targets, &[], &cfg);
         assert_eq!(summary.patterns.len(), 1);
         assert!(!summary.uncovered_targets.is_empty());
+    }
+
+    #[test]
+    fn zero_coverage_corners_never_produce_nan() {
+        // 0/0 precision follows the 1.0 convention and never goes NaN …
+        let empty_pattern = Pattern { conditions: vec![], target_coverage: 0, other_coverage: 0 };
+        assert_eq!(empty_pattern.precision(), 1.0);
+        assert!(!empty_pattern.precision().is_nan());
+        // … and an empty summary reports full coverage, not NaN.
+        let summary = summarize(&schema(), &[], &[], &SummarizerConfig::default());
+        assert_eq!(summary.coverage(), 1.0);
+        assert!(!summary.coverage().is_nan());
+        // A zero-coverage pattern must never be selected even though its
+        // precision now passes any threshold.
+        let targets = vec![row!["A", "x"], row!["B", "y"]];
+        let cfg = SummarizerConfig { min_coverage: 0, min_precision: 0.0, ..Default::default() };
+        let s = summarize(&schema(), &targets, &[], &cfg);
+        assert!(s.patterns.iter().all(|p| p.target_coverage > 0));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`milp`] | simplex + branch-and-bound (CPLEX substitute) |
 //! | [`partition`] | mapping graph, smart partitioning (Alg. 2–3) |
 //! | [`core`] | canonicalisation, MILP encoding, pipeline (Stages 1–2) |
+//! | [`incremental`] | session API + delta-driven re-explanation caches |
 //! | [`summarize`] | pattern-based summarisation (Stage 3) |
 //! | [`baselines`] | GREEDY / THRESHOLD / RSWOOSH / EXACTCOVER / FORMALEXP |
 //! | [`datagen`] | synthetic, academic, and IMDb-view workloads + gold |
@@ -82,6 +83,7 @@ pub use explain3d_baselines as baselines;
 pub use explain3d_core as core;
 pub use explain3d_datagen as datagen;
 pub use explain3d_eval as eval;
+pub use explain3d_incremental as incremental;
 pub use explain3d_linkage as linkage;
 pub use explain3d_milp as milp;
 pub use explain3d_parallel as parallel;
@@ -226,6 +228,9 @@ pub mod prelude {
     };
     pub use explain3d_core::prelude::*;
     pub use explain3d_eval::{evidence_accuracy, explanation_accuracy, Accuracy, GoldStandard};
+    pub use explain3d_incremental::{
+        report_fingerprint, ExplainSession, RelationDelta, SessionConfig,
+    };
     pub use explain3d_linkage::{BucketCalibrator, StringMetric, TupleMapping, TupleMatch};
     pub use explain3d_milp::prelude::{LpKernel, MilpConfig, SolveStatus};
     pub use explain3d_relation::prelude::*;

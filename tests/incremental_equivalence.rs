@@ -1,0 +1,338 @@
+//! Property suite for the incremental re-explanation subsystem: for random
+//! base relations and random delta sequences (inserts / updates / deletes,
+//! including deltas that split or merge connected components),
+//! `ExplainSession::re_explain` must be **byte-identical** — under
+//! `report_fingerprint`, which covers explanations, value changes, the
+//! evidence mapping, log-probability bits, and completeness — to a cold
+//! pipeline run on the post-delta relations; and the cache-hit/miss
+//! counters surfaced through `DeltaStats` must be monotone non-decreasing
+//! over the session's lifetime.
+
+use explain3d::datagen::rng::{Rng, SeedableRng, StdRng};
+use explain3d::incremental::{ExplainSession, RelationDelta, SessionConfig};
+use explain3d::prelude::*;
+
+const VOCAB: [&str; 10] =
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "omega", "sigma", "kappa", "lambda"];
+
+fn phrase(rng: &mut StdRng) -> String {
+    let words = rng.gen_range(1..=2usize);
+    (0..words).map(|_| VOCAB[rng.gen_range(0..VOCAB.len())]).collect::<Vec<_>>().join(" ")
+}
+
+fn tuple(rng: &mut StdRng) -> CanonicalTuple {
+    let key = phrase(rng);
+    CanonicalTuple {
+        id: 0,
+        key: vec![Value::str(key.clone())],
+        impact: rng.gen_range(1..=4i64) as f64,
+        members: vec![],
+        representative: Row::new(vec![Value::str(key)]),
+    }
+}
+
+fn relation(rng: &mut StdRng, name: &str, n: usize) -> CanonicalRelation {
+    let mut tuples: Vec<CanonicalTuple> = (0..n).map(|_| tuple(rng)).collect();
+    for (i, t) in tuples.iter_mut().enumerate() {
+        t.id = i;
+        t.members = vec![i];
+    }
+    CanonicalRelation {
+        query_name: name.to_string(),
+        schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+        key_attrs: vec!["k".to_string()],
+        tuples,
+        aggregate: None,
+    }
+}
+
+fn random_delta(rng: &mut StdRng, left_len: usize, right_len: usize) -> RelationDelta {
+    let mut delta = RelationDelta::new();
+    let (mut ll, mut rl) = (left_len, right_len);
+    for _ in 0..rng.gen_range(1..=4usize) {
+        let side = if rng.gen_range(0..2u32) == 0 { Side::Left } else { Side::Right };
+        let len = if side == Side::Left { &mut ll } else { &mut rl };
+        match rng.gen_range(0..3u32) {
+            0 => {
+                delta = delta.insert(side, tuple(rng));
+                *len += 1;
+            }
+            1 if *len > 0 => {
+                let idx = rng.gen_range(0..*len);
+                delta = delta.update(side, idx, tuple(rng));
+            }
+            _ if *len > 1 => {
+                let idx = rng.gen_range(0..*len);
+                delta = delta.delete(side, idx);
+                *len -= 1;
+            }
+            _ => {
+                delta = delta.insert(side, tuple(rng));
+                *len += 1;
+            }
+        }
+    }
+    delta
+}
+
+fn config(batch: usize) -> SessionConfig {
+    // A tight deterministic node budget keeps debug-mode MILP searches
+    // cheap. Budget-hit solves are still byte-reproducible (the budget is
+    // a node count, not wall-clock), so the equivalence property is
+    // unaffected — it just also covers the limit-hit/fallback paths.
+    let milp = MilpConfig { max_nodes: 400, deadline: None, ..Default::default() };
+    SessionConfig { explain: Explain3DConfig::batched(batch).with_milp(milp), ..Default::default() }
+}
+
+fn matches() -> AttributeMatches {
+    AttributeMatches::single_equivalent("k", "k")
+}
+
+/// The cold reference: a fresh session over the given relations (its first
+/// `explain` has nothing memoised, so it is exactly the from-scratch
+/// pipeline).
+fn cold_fingerprint(
+    left: &CanonicalRelation,
+    right: &CanonicalRelation,
+    cfg: &SessionConfig,
+) -> Vec<u8> {
+    let mut fresh = ExplainSession::new(left.clone(), right.clone(), matches(), cfg.clone());
+    report_fingerprint(&fresh.explain())
+}
+
+/// All monotone counters of a `DeltaStats`, in a fixed order.
+fn counters(s: &explain3d::core::pipeline::DeltaStats) -> [usize; 8] {
+    [
+        s.pair_cache_misses,
+        s.pair_cache_hits,
+        s.candidates_reused,
+        s.component_cache_hits,
+        s.component_cache_misses,
+        s.parts_reused,
+        s.parts_dirty,
+        s.warm_basis_imports,
+    ]
+}
+
+/// One randomized seed: a session, a few random deltas, each checked
+/// byte-identical against a cold run, with monotone `DeltaStats`.
+fn check_random_sequence(seed: u64, max_tuples: usize, steps: usize) {
+    {
+        let mut rng = StdRng::seed_from_u64(0xD3A1 + seed);
+        let n_left = rng.gen_range(max_tuples / 2..=max_tuples);
+        let n_right = rng.gen_range(max_tuples / 2..=max_tuples);
+        let cfg = config(6);
+        let mut session = ExplainSession::new(
+            relation(&mut rng, "Q1", n_left),
+            relation(&mut rng, "Q2", n_right),
+            matches(),
+            cfg.clone(),
+        );
+        let first = session.explain();
+        assert!(first.complete, "seed {seed}: cold explain incomplete");
+        let mut previous = counters(&session.delta_stats());
+
+        for step in 0..steps {
+            let delta = random_delta(&mut rng, session.left().len(), session.right().len());
+            let report = session
+                .re_explain(&delta)
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: bad delta: {e}"));
+            let incremental = report_fingerprint(&report);
+            let cold = cold_fingerprint(session.left(), session.right(), &cfg);
+            assert_eq!(
+                incremental, cold,
+                "seed {seed} step {step}: re_explain diverged from the cold pipeline"
+            );
+            // DeltaStats counters are cumulative and monotone.
+            let now = counters(&session.delta_stats());
+            for (k, (a, b)) in previous.iter().zip(now.iter()).enumerate() {
+                assert!(b >= a, "seed {seed} step {step}: counter {k} decreased: {a} -> {b}");
+            }
+            previous = now;
+        }
+    }
+}
+
+#[test]
+fn random_delta_sequences_are_byte_identical_to_cold_runs() {
+    // Small instances so the debug-mode tier-1 run stays fast; the
+    // `#[ignore]`d stress variant below covers the larger sweep in the CI
+    // `--include-ignored` release lane.
+    for seed in 0..3u64 {
+        check_random_sequence(seed, 10, 3);
+    }
+}
+
+#[test]
+#[ignore = "large randomized sweep: run via the CI stress lane (--include-ignored, release)"]
+fn random_delta_sequences_large_sweep() {
+    for seed in 0..6u64 {
+        check_random_sequence(100 + seed, 16, 4);
+    }
+}
+
+#[test]
+fn re_explain_matches_the_stateless_pipeline_too() {
+    // Cross-check against the original stateless entry points, not just a
+    // fresh session: build_initial_mapping + Explain3D::explain.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let cfg = config(5);
+    let mut session = ExplainSession::new(
+        relation(&mut rng, "Q1", 8),
+        relation(&mut rng, "Q2", 9),
+        matches(),
+        cfg.clone(),
+    );
+    session.explain();
+    for _ in 0..2 {
+        let delta = random_delta(&mut rng, session.left().len(), session.right().len());
+        let report = session.re_explain(&delta).unwrap();
+        let mapping =
+            build_initial_mapping(session.left(), session.right(), &matches(), &cfg.mapping, None);
+        let stateless = Explain3D::new(cfg.explain.clone()).explain(
+            session.left(),
+            session.right(),
+            &matches(),
+            &mapping,
+        );
+        assert_eq!(report.explanations, stateless.explanations);
+        assert_eq!(report.log_probability.to_bits(), stateless.log_probability.to_bits());
+        assert_eq!(report.complete, stateless.complete);
+        assert_eq!(report.stats.milp_nodes, stateless.stats.milp_nodes);
+    }
+}
+
+#[test]
+fn component_splits_and_merges_stay_identical() {
+    // A chain of tuples connected through shared tokens: updating the
+    // middle link splits the connected component; re-inserting a bridging
+    // key merges components back. Both directions must stay byte-identical
+    // and actually exercise the solution cache.
+    fn keyed(key: &str, impact: f64) -> CanonicalTuple {
+        CanonicalTuple {
+            id: 0,
+            key: vec![Value::str(key)],
+            impact,
+            members: vec![],
+            representative: Row::new(vec![Value::str(key)]),
+        }
+    }
+    let left = ["alpha one", "alpha two", "beta two", "beta three", "omega nine"];
+    let right = ["alpha one", "alpha beta", "beta three", "sigma four"];
+    let mk = |keys: &[&str], name: &str| CanonicalRelation {
+        query_name: name.to_string(),
+        schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+        key_attrs: vec!["k".to_string()],
+        tuples: keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let mut t = keyed(k, 1.0 + (i % 2) as f64);
+                t.id = i;
+                t
+            })
+            .collect(),
+        aggregate: None,
+    };
+    let cfg = config(4);
+    let mut session =
+        ExplainSession::new(mk(&left, "Q1"), mk(&right, "Q2"), matches(), cfg.clone());
+    session.explain();
+    let before = session.delta_stats();
+
+    // Split: the bridging "alpha beta" on the right becomes an unrelated
+    // key, disconnecting the alpha-cluster from the beta-cluster.
+    let split = RelationDelta::new().update(Side::Right, 1, keyed("kappa seven", 1.0));
+    let report = session.re_explain(&split).unwrap();
+    assert_eq!(
+        report_fingerprint(&report),
+        cold_fingerprint(session.left(), session.right(), &cfg),
+        "component split diverged"
+    );
+    let mid = session.delta_stats();
+    assert!(
+        mid.component_cache_hits > before.component_cache_hits,
+        "untouched components must survive a split: {mid:?}"
+    );
+
+    // Merge: a new left tuple bridges the omega singleton and sigma.
+    let merge = RelationDelta::new().insert(Side::Left, keyed("omega sigma four", 2.0));
+    let report = session.re_explain(&merge).unwrap();
+    assert_eq!(
+        report_fingerprint(&report),
+        cold_fingerprint(session.left(), session.right(), &cfg),
+        "component merge diverged"
+    );
+
+    // Revert the split: the original right tuple returns; the score cache
+    // should answer its pairs without recomputation.
+    let misses_before_revert = session.delta_stats().pair_cache_misses;
+    let revert = RelationDelta::new().update(Side::Right, 1, keyed("alpha beta", 1.0));
+    let report = session.re_explain(&revert).unwrap();
+    assert_eq!(
+        report_fingerprint(&report),
+        cold_fingerprint(session.left(), session.right(), &cfg),
+        "revert diverged"
+    );
+    let after = session.delta_stats();
+    assert!(
+        after.pair_cache_hits > mid.pair_cache_hits,
+        "reverted content must hit the score cache: {after:?}"
+    );
+    // The reverted tuple's pairs were all seen before, so the revert adds
+    // no *new* pair scores beyond what the bridge insert's tuple may need.
+    assert!(after.pair_cache_misses >= misses_before_revert);
+}
+
+#[test]
+fn strategies_other_than_smart_also_stay_identical() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for strategy in [PartitioningStrategy::ConnectedComponents, PartitioningStrategy::None] {
+        let milp = MilpConfig { max_nodes: 400, deadline: None, ..Default::default() };
+        let cfg = SessionConfig {
+            explain: Explain3DConfig { strategy, milp, ..Default::default() },
+            ..Default::default()
+        };
+        let mut session = ExplainSession::new(
+            relation(&mut rng, "Q1", 8),
+            relation(&mut rng, "Q2", 9),
+            matches(),
+            cfg.clone(),
+        );
+        session.explain();
+        for _ in 0..2 {
+            let delta = random_delta(&mut rng, session.left().len(), session.right().len());
+            let report = session.re_explain(&delta).unwrap();
+            assert_eq!(
+                report_fingerprint(&report),
+                cold_fingerprint(session.left(), session.right(), &cfg),
+                "strategy {strategy:?} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn small_deltas_on_larger_relations_mostly_hit_the_caches() {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let cfg = config(8);
+    let mut session = ExplainSession::new(
+        relation(&mut rng, "Q1", 24),
+        relation(&mut rng, "Q2", 24),
+        matches(),
+        cfg,
+    );
+    session.explain();
+    let cold = session.delta_stats();
+    // One single-tuple update.
+    let delta = random_delta(&mut rng, 1, 0); // left side, at most small ops
+    let _ = session.re_explain(&delta).unwrap();
+    let warm = session.delta_stats();
+    let new_hits = warm.component_cache_hits - cold.component_cache_hits;
+    let new_misses = warm.component_cache_misses - cold.component_cache_misses;
+    assert!(
+        new_hits > new_misses,
+        "a small delta must reuse most components: {new_hits} hits vs {new_misses} misses"
+    );
+    assert!(warm.candidates_reused > 0);
+}
