@@ -23,7 +23,13 @@
 //! * **incremental** — an `ExplainSession` over the `rows × rows` workload:
 //!   cold `explain` vs `re_explain` on a ~1% delta, with cache hit/miss
 //!   counters and a byte-identity check against a from-scratch session on
-//!   the post-delta relations.
+//!   the post-delta relations;
+//! * **service** — N closed-loop clients driving a mixed
+//!   explain/delta/report workload through the in-process
+//!   `explain3d-serve` HTTP server over real sockets: sustained
+//!   throughput, p50/p95/p99 latency, coalesced-delta count, and a
+//!   byte-identity check of every session's final report against a serial
+//!   in-process replay of its applied-delta log.
 //!
 //! Usage: `cargo run --release -p explain3d-bench --bin perf_report --
 //! [--rows N] [--partitions K] [--runs R] [--out PATH]`
@@ -36,6 +42,8 @@ use explain3d::linkage::{
     candidate_pairs, candidate_pairs_naive, candidate_pairs_streaming, Candidate, MappingConfig,
 };
 use explain3d::prelude::*;
+use explain3d::service::client::Client;
+use explain3d::service::wire;
 use explain3d_bench::json::Json;
 use explain3d_bench::timing::{report, sample};
 use std::time::{Duration, Instant};
@@ -338,7 +346,7 @@ fn main() {
     let session_cfg = SessionConfig {
         explain: Explain3DConfig::default(),
         mapping: MappingOptions { min_similarity: 0.4, ..Default::default() },
-        warm_start_dirty: false,
+        ..Default::default()
     };
     let fresh_session = |left: &CanonicalRelation, right: &CanonicalRelation| {
         ExplainSession::new(left.clone(), right.clone(), inc_matches.clone(), session_cfg.clone())
@@ -416,6 +424,182 @@ fn main() {
         inc_stats.candidates_reused,
         inc_stats.parts_reused,
         inc_stats.parts_dirty,
+    );
+
+    // --- Service: N closed-loop clients through the in-process HTTP
+    // server (real sockets, keep-alive connections). Single-token keys
+    // keep the mapping sparse, so the measured cost is the serving path —
+    // registry locking, coalescing, wire encode/decode — plus a realistic
+    // small re_explain per delta. Worker threads exceed the core count on
+    // purpose: several deltas against one session can then be in flight
+    // together, which is what exercises coalescing.
+    const SERVICE_SESSIONS: usize = 4;
+    const SERVICE_CLIENTS: usize = 8;
+    const SERVICE_REQS: usize = 30;
+    const SERVICE_ROWS: usize = 100;
+    let session_body = |s: usize| -> String {
+        let tuples = |n: usize| -> String {
+            (0..n).map(|i| format!("{{\"values\": [\"e{s}x{i}\"]}}")).collect::<Vec<_>>().join(",")
+        };
+        format!(
+            "{{\"left\": {{\"name\": \"Q1\", \"columns\": [[\"k\", \"str\"]], \"key\": [\"k\"], \
+             \"tuples\": [{}]}}, \
+             \"right\": {{\"name\": \"Q2\", \"columns\": [[\"k\", \"str\"]], \"key\": [\"k\"], \
+             \"tuples\": [{}]}}, \
+             \"match\": {{\"left\": \"k\", \"right\": \"k\"}}}}",
+            tuples(SERVICE_ROWS),
+            tuples(SERVICE_ROWS - 5),
+        )
+    };
+    let server = explain3d::service::Server::bind(explain3d::service::ServerConfig {
+        threads: 4,
+        queue_capacity: 128,
+        service: explain3d::service::ServiceConfig { memory_budget: None, record_deltas: true },
+        ..Default::default()
+    })
+    .expect("bind ephemeral service port");
+    let service_addr = server.local_addr();
+    let service_registry = server.registry();
+    let service_handle = server.spawn();
+
+    {
+        let mut setup = Client::connect(service_addr).expect("service setup connect");
+        for s in 0..SERVICE_SESSIONS {
+            let (status, body) = setup
+                .request("POST", &format!("/sessions/bench{s}"), &session_body(s))
+                .expect("create request");
+            assert_eq!(status, 200, "service create failed: {body}");
+            let (status, body) = setup
+                .request("POST", &format!("/sessions/bench{s}/explain"), "")
+                .expect("explain request");
+            assert_eq!(status, 200, "service explain failed: {body}");
+        }
+    }
+
+    let service_start = Instant::now();
+    let mut service_latencies: Vec<Duration> = Vec::new();
+    let mut service_errors = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..SERVICE_CLIENTS {
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(4242 + c as u64);
+                let mut client = Client::connect(service_addr).expect("client connect");
+                let mut latencies = Vec::with_capacity(SERVICE_REQS);
+                let mut errors = 0usize;
+                for step in 0..SERVICE_REQS {
+                    let s = rng.gen_range(0..SERVICE_SESSIONS);
+                    let (method, path, body): (&str, String, String) = match rng.gen_range(0..10u32)
+                    {
+                        // Mixed workload: deltas dominate (they are the
+                        // serving product), reports and cold explains
+                        // ride along.
+                        0..=5 => {
+                            let op = match rng.gen_range(0..3u32) {
+                                0 => format!(
+                                    "{{\"op\": \"insert\", \"side\": \"left\", \
+                                         \"tuple\": {{\"values\": [\"n{c}x{step}\"]}}}}"
+                                ),
+                                1 => format!(
+                                    "{{\"op\": \"update\", \"side\": \"right\", \
+                                         \"index\": {}, \
+                                         \"tuple\": {{\"values\": [\"u{c}x{step}\"]}}}}",
+                                    rng.gen_range(0..SERVICE_ROWS - 8)
+                                ),
+                                _ => format!(
+                                    "{{\"op\": \"delete\", \"side\": \"left\", \
+                                         \"index\": {}}}",
+                                    rng.gen_range(0..SERVICE_ROWS - 8)
+                                ),
+                            };
+                            (
+                                "POST",
+                                format!("/sessions/bench{s}/delta"),
+                                format!("{{\"ops\": [{op}]}}"),
+                            )
+                        }
+                        6..=8 => ("GET", format!("/sessions/bench{s}/report"), String::new()),
+                        _ => ("POST", format!("/sessions/bench{s}/explain"), String::new()),
+                    };
+                    let t0 = Instant::now();
+                    let (status, _) =
+                        client.request(method, &path, &body).expect("service request");
+                    latencies.push(t0.elapsed());
+                    // Out-of-range deletes against a shrunk relation are
+                    // legitimate client errors; anything else is not.
+                    if status != 200 {
+                        assert_eq!(status, 400, "unexpected service status {status}");
+                        errors += 1;
+                    }
+                }
+                (latencies, errors)
+            }));
+        }
+        for h in handles {
+            let (lat, errs) = h.join().expect("service client panicked");
+            service_latencies.extend(lat);
+            service_errors += errs;
+        }
+    });
+    let service_wall = service_start.elapsed();
+    service_latencies.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        let idx = ((service_latencies.len() - 1) as f64 * q).round() as usize;
+        service_latencies[idx].as_secs_f64() * 1e3
+    };
+    let service_total = service_latencies.len();
+    let service_rps = service_total as f64 / service_wall.as_secs_f64().max(1e-12);
+    let service_stats = service_registry.stats();
+
+    // Byte-identity: every session's final wire report must equal a serial
+    // in-process replay of its applied-delta log.
+    let mut service_identical = true;
+    {
+        let mut check = Client::connect(service_addr).expect("service check connect");
+        for s in 0..SERVICE_SESSIONS {
+            let name = format!("bench{s}");
+            let log = service_registry.delta_log(&name).expect("session resident");
+            let base = wire::parse_create(&session_body(s)).expect("base body parses");
+            let mut replay = ExplainSession::new(base.left, base.right, base.matches, base.config);
+            let mut replay_report = replay.explain();
+            for delta in &log {
+                replay_report = replay.re_explain(delta).expect("logged deltas replay");
+            }
+            let (status, wire_report) = check
+                .request("GET", &format!("/sessions/{name}/report"), "")
+                .expect("final report");
+            assert_eq!(status, 200);
+            let wire_fp = wire_report
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .expect("report carries a fingerprint")
+                .to_string();
+            let replay_fp = wire::fingerprint_hex(&replay_report);
+            if wire_fp != replay_fp {
+                eprintln!(
+                    "service: session {name} diverged from serial replay of {} deltas",
+                    log.len()
+                );
+                service_identical = false;
+            }
+        }
+    }
+    service_handle.shutdown();
+    println!(
+        "service: {} requests over {} sessions in {:.3}s — {:.0} req/s, \
+         p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms",
+        service_total,
+        SERVICE_SESSIONS,
+        service_wall.as_secs_f64(),
+        service_rps,
+        quantile(0.50),
+        quantile(0.95),
+        quantile(0.99),
+    );
+    println!(
+        "service: {} deltas applied ({} coalesced), {} out-of-range rejections, \
+         serial-replay identical: {service_identical}",
+        service_stats.deltas_applied, service_stats.coalesced_deltas, service_errors,
     );
 
     // --- Emit the JSON trajectory point. ---
@@ -506,6 +690,23 @@ fn main() {
                 .set("candidates_reused", inc_stats.candidates_reused)
                 .set("parts_reused", inc_stats.parts_reused)
                 .set("parts_dirty", inc_stats.parts_dirty),
+        )
+        .set(
+            "service",
+            Json::obj()
+                .set("sessions", SERVICE_SESSIONS)
+                .set("clients", SERVICE_CLIENTS)
+                .set("rows_per_side", SERVICE_ROWS)
+                .set("requests", service_total)
+                .set("wall_secs", service_wall.as_secs_f64())
+                .set("throughput_rps", service_rps)
+                .set("p50_ms", quantile(0.50))
+                .set("p95_ms", quantile(0.95))
+                .set("p99_ms", quantile(0.99))
+                .set("deltas_applied", service_stats.deltas_applied)
+                .set("coalesced_deltas", service_stats.coalesced_deltas)
+                .set("out_of_range_rejections", service_errors)
+                .set("serial_replay_identical", service_identical),
         );
     std::fs::write(&args.out, json.to_pretty_string())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -522,6 +723,10 @@ fn main() {
     assert!(
         incremental_identical,
         "incremental re_explain diverged from a from-scratch run on the post-delta data"
+    );
+    assert!(
+        service_identical,
+        "a concurrently served session diverged from the serial replay of its delta log"
     );
     assert!(
         gen_stats.peak_resident_pairs <= threads.max(1) * gen_stats.chunk_pairs,

@@ -1,236 +1,24 @@
-//! Hand-rolled JSON emission (no serde in this build environment).
-//!
-//! Only what `perf_report` needs: objects, arrays, strings, bools, integers
-//! and finite floats, serialised compactly with correct string escaping.
-//! Object keys keep insertion order so the emitted reports diff cleanly
-//! across runs.
+//! JSON emission for the bench reports — re-exported from the service
+//! crate's in-tree [`explain3d::service::json`] module, which owns the
+//! single JSON value type of the workspace (emitter *and* parser; this
+//! crate only emits). Kept as a module so the bench bins' imports read
+//! naturally.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (non-finite values serialise as `null`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An empty object.
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Adds (or replaces) a key in an object, builder-style.
-    /// Panics when `self` is not an object.
-    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
-        let Json::Obj(entries) = &mut self else {
-            panic!("Json::set on a non-object");
-        };
-        let value = value.into();
-        if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
-            slot.1 = value;
-        } else {
-            entries.push((key.to_string(), value));
-        }
-        self
-    }
-
-    /// Serialises with two-space indentation (for human-readable reports).
-    pub fn to_pretty_string(&self) -> String {
-        let mut out = String::new();
-        self.write_pretty(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => write_num(out, *n),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(entries) => {
-                out.push('{');
-                for (i, (k, v)) in entries.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(out, k);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    fn write_pretty(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Arr(items) if !items.is_empty() => {
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push_str(",\n");
-                    }
-                    indent(out, depth + 1);
-                    item.write_pretty(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(entries) if !entries.is_empty() => {
-                out.push_str("{\n");
-                for (i, (k, v)) in entries.iter().enumerate() {
-                    if i > 0 {
-                        out.push_str(",\n");
-                    }
-                    indent(out, depth + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write_pretty(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push('}');
-            }
-            other => other.write(out),
-        }
-    }
-}
-
-/// Compact serialisation (`{"k":1}`); use
-/// [`to_pretty_string`](Json::to_pretty_string) for indented output.
-impl std::fmt::Display for Json {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut out = String::new();
-        self.write(&mut out);
-        f.write_str(&out)
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn write_num(out: &mut String, n: f64) {
-    if !n.is_finite() {
-        out.push_str("null");
-    } else if n == n.trunc() && n.abs() < 1e15 {
-        let _ = write!(out, "{}", n as i64);
-    } else {
-        let _ = write!(out, "{n}");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(n: f64) -> Json {
-        Json::Num(n)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(n: usize) -> Json {
-        Json::Num(n as f64)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-
-impl From<Vec<Json>> for Json {
-    fn from(items: Vec<Json>) -> Json {
-        Json::Arr(items)
-    }
-}
+pub use explain3d::service::json::{Json, JsonError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn objects_serialise_in_insertion_order() {
+    fn bench_reports_emit_through_the_shared_type() {
         let j = Json::obj()
-            .set("b", 2usize)
-            .set("a", "x\"y")
-            .set("nested", Json::obj().set("flag", true))
-            .set("arr", vec![Json::Num(1.5), Json::Null]);
-        assert_eq!(j.to_string(), r#"{"b":2,"a":"x\"y","nested":{"flag":true},"arr":[1.5,null]}"#);
-    }
-
-    #[test]
-    fn set_replaces_existing_keys() {
-        let j = Json::obj().set("k", 1usize).set("k", 2usize);
-        assert_eq!(j.to_string(), r#"{"k":2}"#);
-    }
-
-    #[test]
-    fn numbers_render_cleanly() {
-        assert_eq!(Json::Num(3.0).to_string(), "3");
-        assert_eq!(Json::Num(0.25).to_string(), "0.25");
-        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
-    }
-
-    #[test]
-    fn pretty_output_is_indented_and_parses_the_same_content() {
-        let j = Json::obj().set("a", 1usize).set("b", vec![Json::Bool(false)]);
+            .set("schema_version", 1usize)
+            .set("speedup", 7.1)
+            .set("outputs_identical", true);
+        assert_eq!(j.to_string(), r#"{"schema_version":1,"speedup":7.1,"outputs_identical":true}"#);
         let pretty = j.to_pretty_string();
-        assert!(pretty.contains("\n  \"a\": 1"));
-        assert!(pretty.ends_with("}\n"));
+        assert!(pretty.contains("\"speedup\": 7.1"));
+        assert_eq!(Json::parse(&pretty).unwrap(), j);
     }
 }

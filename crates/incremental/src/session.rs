@@ -86,6 +86,12 @@ pub struct SessionConfig {
     /// does. Turn it on for latency-critical sessions that only need
     /// objective-equivalent output.
     pub warm_start_dirty: bool,
+    /// Segment soft cap (entries) of the pair-similarity [`ScoreCache`];
+    /// `None` uses [`explain3d_linkage::cache::DEFAULT_SCORE_CACHE_CAP`].
+    /// Smaller caps bound [`ExplainSession::memory_footprint`] tighter at
+    /// the cost of re-scoring evicted pair contents — eviction can cost
+    /// time, never correctness.
+    pub score_cache_soft_cap: Option<usize>,
 }
 
 /// One memoised component solution, in local coordinates: positions into
@@ -135,6 +141,15 @@ impl CachedComponent {
             warm_lp_solves: outcome.warm_lp_solves,
             last_used: generation,
         }
+    }
+
+    /// Resident bytes of this cached solution (struct plus the three
+    /// local-coordinate vectors).
+    fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.provenance.capacity() * std::mem::size_of::<(Side, u32)>()
+            + self.value.capacity() * std::mem::size_of::<(Side, u32, f64, f64)>()
+            + self.evidence.capacity() * std::mem::size_of::<(u32, u32, f64)>()
     }
 
     /// Re-binds the memoised solution to a new component with identical
@@ -206,6 +221,10 @@ impl ExplainSession {
             config.explain.milp.export_basis = true;
         }
         let mapping_config = config.mapping.mapping_config(&matches);
+        let scores = match config.score_cache_soft_cap {
+            Some(cap) => ScoreCache::with_soft_cap(cap),
+            None => ScoreCache::new(),
+        };
         ExplainSession {
             config,
             matches,
@@ -213,7 +232,7 @@ impl ExplainSession {
             calibrator: BucketCalibrator::with_default_buckets(),
             left,
             right,
-            scores: ScoreCache::new(),
+            scores,
             candidates: Vec::new(),
             solutions: HashMap::new(),
             bases_by_shape: HashMap::new(),
@@ -246,6 +265,53 @@ impl ExplainSession {
     /// The current retained candidate list (sorted by `(left, right)`).
     pub fn candidates(&self) -> &[Candidate] {
         &self.candidates
+    }
+
+    /// True once [`explain`](ExplainSession::explain) has populated the
+    /// session's caches (so `re_explain` takes the incremental path).
+    pub fn has_explained(&self) -> bool {
+        self.explained
+    }
+
+    /// Estimated resident bytes of everything the session memoises: the
+    /// pair-similarity cache segments, the carried-over candidate list, the
+    /// per-component MILP solution cache, and the persisted warm-start
+    /// bases. This is the quantity a hosting registry's memory budget is
+    /// enforced against — it grows monotonically while caches fill and
+    /// drops when a score-cache segment rotation or solution-cache eviction
+    /// frees entries. The relations themselves are *not* counted: they are
+    /// the session's working data, not reclaimable cache.
+    pub fn memory_footprint(&self) -> usize {
+        let solutions: usize = self
+            .solutions
+            .values()
+            .map(|c| std::mem::size_of::<u64>() + c.memory_footprint())
+            .sum();
+        let bases: usize = self
+            .bases_by_shape
+            .values()
+            .map(|b| std::mem::size_of::<(usize, usize, usize)>() + b.memory_footprint())
+            .sum();
+        self.scores.memory_footprint()
+            + self.candidates.capacity() * std::mem::size_of::<Candidate>()
+            + solutions
+            + bases
+    }
+
+    /// Overrides the deterministic MILP deadline for subsequent solves,
+    /// returning the previous value so a caller can scope the override to
+    /// one request. The deadline is converted into a per-model **node
+    /// budget**, so two runs with the same deadline still produce
+    /// byte-identical reports; runs under *different* deadlines may
+    /// legitimately stop at different search trees — which is why the
+    /// solution cache keys include the budget (see `component_hash`): an
+    /// outcome solved under one deadline is never served to a run under
+    /// another.
+    pub fn set_milp_deadline(
+        &mut self,
+        deadline: Option<std::time::Duration>,
+    ) -> Option<std::time::Duration> {
+        std::mem::replace(&mut self.config.explain.milp.deadline, deadline)
     }
 
     /// Explains the current relations from their contents, populating every
@@ -499,13 +565,27 @@ impl ExplainSession {
     }
 
     /// Content hash of a component: everything its MILP solve depends on —
-    /// member impacts (in component order) and in-component matches as
-    /// (local left, local right, probability) triples. Tuple *identities*
-    /// are deliberately excluded: the encoding only uses them to name
-    /// variables, so content-equal components solve identically wherever
-    /// their tuples sit.
+    /// member impacts (in component order), in-component matches as
+    /// (local left, local right, probability) triples, and the **solve
+    /// budget** (deadline + node cap). Tuple *identities* are deliberately
+    /// excluded: the encoding only uses them to name variables, so
+    /// content-equal components solve identically wherever their tuples
+    /// sit. The budget is included because a budget-limited search can
+    /// stop at a different tree: a solution obtained under one per-request
+    /// deadline ([`ExplainSession::set_milp_deadline`]) must never answer
+    /// a run under another — each budget keys its own cache entries, so
+    /// byte-identity-to-cold holds *per budget*.
     fn component_hash(&self, sub: &SubProblem) -> u64 {
         let mut h = ContentHasher::new();
+        let milp = &self.config.explain.milp;
+        h.write_u64(milp.max_nodes as u64);
+        match milp.deadline {
+            Some(d) => {
+                h.write_u64(1);
+                h.write_u64(d.as_nanos() as u64);
+            }
+            None => h.write_u64(0),
+        }
         h.write_u64(sub.left_tuples.len() as u64);
         for &i in &sub.left_tuples {
             h.write_u64(self.left.tuples[i].impact.to_bits());
@@ -734,6 +814,116 @@ mod tests {
         assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 1), (2, 0), (3, 0)]);
         assert!(merge_candidates(vec![], vec![c(1, 1)]).len() == 1);
         assert!(merge_candidates(vec![c(1, 1)], vec![]).len() == 1);
+    }
+
+    #[test]
+    fn memory_footprint_is_monotone_under_inserts() {
+        let t1 = canon("Q1", &[("a", 1.0), ("b", 2.0), ("c", 1.0)]);
+        let t2 = canon("Q2", &[("a", 1.0), ("b", 1.0)]);
+        let mut s = session(t1, t2);
+        let empty = s.memory_footprint();
+        s.explain();
+        let mut prev = s.memory_footprint();
+        assert!(prev > empty, "explain must populate the caches");
+        // Pure inserts only add cache entries (no rotation at the default
+        // cap, no solution eviction while every old component still hits),
+        // so the footprint must never shrink.
+        for i in 0..4 {
+            let delta = RelationDelta::new().insert(Side::Right, tuple(&format!("new{i}"), 1.0));
+            s.re_explain(&delta).unwrap();
+            let now = s.memory_footprint();
+            assert!(now >= prev, "footprint shrank under insert {i}: {now} < {prev}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn memory_footprint_drops_after_segment_rotation() {
+        // 12×12 with blocking off: one explain scores 144 distinct pair
+        // contents, far past the soft cap, so the cache rotates and holds
+        // them in its stale segment. A 2-tuple update then scores 24 fresh
+        // pairs — past the cap again, so the rotation frees the 144-entry
+        // segment and the footprint must drop despite the new entries.
+        let keys: Vec<String> = (0..12).map(|i| format!("key{i}")).collect();
+        let entries: Vec<(&str, f64)> = keys.iter().map(|k| (k.as_str(), 1.0)).collect();
+        let config = SessionConfig {
+            mapping: explain3d_core::prelude::MappingOptions {
+                use_blocking: false,
+                ..Default::default()
+            },
+            score_cache_soft_cap: Some(16),
+            ..Default::default()
+        };
+        let mut s = ExplainSession::new(
+            canon("Q1", &entries),
+            canon("Q2", &entries),
+            AttributeMatches::single_equivalent("k", "k"),
+            config.clone(),
+        );
+        s.explain();
+        let before = s.memory_footprint();
+        let delta = RelationDelta::new().update(Side::Left, 0, tuple("fresh-a", 1.0)).update(
+            Side::Left,
+            1,
+            tuple("fresh-b", 1.0),
+        );
+        s.re_explain(&delta).unwrap();
+        let after = s.memory_footprint();
+        assert!(after < before, "rotation must free the old segment: {after} >= {before}");
+        // Correctness is untouched by the eviction: a fresh same-config
+        // session on the post-delta relations reproduces the fingerprint.
+        let mut fresh = ExplainSession::new(
+            s.left().clone(),
+            s.right().clone(),
+            AttributeMatches::single_equivalent("k", "k"),
+            config,
+        );
+        assert_eq!(
+            report_fingerprint(&s.re_explain(&RelationDelta::new()).unwrap()),
+            report_fingerprint(&fresh.explain())
+        );
+    }
+
+    #[test]
+    fn deadline_changes_invalidate_the_solution_cache() {
+        let t1 = canon("Q1", &[("a", 1.0), ("b", 2.0), ("c", 1.0)]);
+        let t2 = canon("Q2", &[("a", 1.0), ("b", 1.0)]);
+        let mut s = session(t1, t2);
+        s.explain();
+        let baseline = s.delta_stats();
+
+        // Same relations, different budget: the cached solutions were
+        // obtained under the default deadline and must NOT answer — every
+        // component re-solves (misses grow, no new hits).
+        let default_deadline = s.set_milp_deadline(Some(std::time::Duration::from_millis(321)));
+        let overridden = s.re_explain(&RelationDelta::new()).unwrap();
+        let after_override = s.delta_stats();
+        assert_eq!(after_override.component_cache_hits, baseline.component_cache_hits);
+        assert!(after_override.component_cache_misses > baseline.component_cache_misses);
+        // These tiny components solve to optimality under any budget, so
+        // the report itself still matches a default-config cold run.
+        assert_eq!(report_fingerprint(&overridden), cold_fingerprint(&s));
+
+        // Restoring the default deadline hits the original entries again.
+        s.set_milp_deadline(default_deadline);
+        let restored = s.re_explain(&RelationDelta::new()).unwrap();
+        let after_restore = s.delta_stats();
+        assert!(after_restore.component_cache_hits > after_override.component_cache_hits);
+        assert_eq!(after_restore.component_cache_misses, after_override.component_cache_misses);
+        assert_eq!(report_fingerprint(&restored), cold_fingerprint(&s));
+    }
+
+    #[test]
+    fn scoped_deadline_override_round_trips() {
+        let t1 = canon("Q1", &[("a", 1.0), ("b", 2.0)]);
+        let t2 = canon("Q2", &[("a", 1.0)]);
+        let mut s = session(t1, t2);
+        let default_deadline = s.set_milp_deadline(Some(std::time::Duration::from_millis(250)));
+        assert!(default_deadline.is_some(), "MilpConfig defaults to a deterministic deadline");
+        let report = s.explain();
+        assert!(report.complete);
+        let scoped = s.set_milp_deadline(default_deadline);
+        assert_eq!(scoped, Some(std::time::Duration::from_millis(250)));
     }
 
     #[test]

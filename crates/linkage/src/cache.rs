@@ -197,6 +197,17 @@ impl ScoreCache {
         self.misses
     }
 
+    /// Estimated resident bytes of the memoised scores: entries × the size
+    /// of one `((u64, u64), u64)` key/value record. An *estimate* — hash-map
+    /// bucket overhead is not charged — but one that moves with the actual
+    /// residency: it grows with every insert and drops when a rotation
+    /// frees the old stale segment, which is what a caller enforcing a
+    /// memory budget (the service registry's LRU eviction) needs.
+    pub fn memory_footprint(&self) -> usize {
+        const ENTRY_BYTES: usize = std::mem::size_of::<((u64, u64), u64)>();
+        self.len() * ENTRY_BYTES
+    }
+
     /// Looks up a memoised similarity (no counter updates).
     pub fn peek(&self, left_hash: u64, right_hash: u64) -> Option<f64> {
         self.peek_bits((left_hash, right_hash)).map(f64::from_bits)

@@ -62,6 +62,12 @@ impl SparseBasis {
     pub fn is_empty(&self) -> bool {
         self.basis.is_empty()
     }
+
+    /// Resident bytes of this basis (column indices plus the struct
+    /// itself) — consumed by session-level memory accounting.
+    pub fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + self.basis.capacity() * std::mem::size_of::<usize>()
+    }
 }
 
 /// A sparse LP context: the constraint matrix of a [`Model`] in equality

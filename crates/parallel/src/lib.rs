@@ -19,13 +19,22 @@
 //!   most `threads` items in flight, with no per-wave barrier or respawn.
 //!   Peak-residency accounting lives here in the scheduler, where the
 //!   in-flight set is actually known.
+//! * [`TaskPool`] ([`pool`]) — a fixed, long-lived worker pool over a
+//!   **bounded** job queue with non-blocking shed
+//!   ([`TaskPool::try_execute`]), the admission-control primitive of the
+//!   `explain3d-service` HTTP server.
 //!
-//! Determinism contract: every entry point returns results **in input
-//! order** regardless of how the items were scheduled across worker
+//! Determinism contract: every batch entry point returns results **in
+//! input order** regardless of how the items were scheduled across worker
 //! threads, so callers that merge results sequentially observe exactly the
-//! ordering of the sequential code path.
+//! ordering of the sequential code path. (The [`TaskPool`] serves
+//! independent jobs and makes no ordering promise.)
 
 #![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::{PoolSaturated, PoolStats, TaskPool};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,205 @@
+//! `explain3d-serve` — the Explain3D explanation service.
+//!
+//! Hosts many named [`ExplainSession`]s behind an HTTP/1.1 JSON API: create
+//! a session by uploading two canonical relations, explain it, stream
+//! deltas at it (concurrent deltas against one session coalesce into one
+//! incremental re-explanation), read reports, drop it. See the repo
+//! README's "Serving" section for curl-able examples.
+//!
+//! ```text
+//! usage: explain3d-serve [--addr HOST:PORT] [--threads N] [--queue N]
+//!                        [--memory-budget-mb N] [--smoke]
+//! ```
+//!
+//! `--smoke` runs the CI smoke lane instead of serving: bind an ephemeral
+//! port, drive a scripted create/explain/delta/report lifecycle over a real
+//! `TcpStream`, and verify the returned fingerprints are byte-identical to
+//! the same operations run in-process. Exits 0 on success.
+//!
+//! [`ExplainSession`]: explain3d_incremental::ExplainSession
+
+use explain3d_service::client::Client;
+use explain3d_service::json::Json;
+use explain3d_service::registry::{ServiceConfig, SessionRegistry};
+use explain3d_service::wire;
+use explain3d_service::{Server, ServerConfig};
+use std::sync::atomic::AtomicBool;
+
+const USAGE: &str = "usage: explain3d-serve [--addr HOST:PORT] [--threads N] [--queue N] \
+                     [--memory-budget-mb N] [--smoke]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("explain3d-serve: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_count(raw: &str, name: &str) -> usize {
+    match raw.parse() {
+        Ok(n) if n > 0 => n,
+        _ => usage_error(&format!("{name} takes a positive number, got {raw:?}")),
+    }
+}
+
+fn main() {
+    let mut config = ServerConfig { addr: "127.0.0.1:7433".to_string(), ..Default::default() };
+    let mut smoke = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| usage_error(&format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--threads" => config.threads = parse_count(&value("--threads"), "--threads"),
+            "--queue" => config.queue_capacity = parse_count(&value("--queue"), "--queue"),
+            "--memory-budget-mb" => {
+                config.service.memory_budget =
+                    Some(parse_count(&value("--memory-budget-mb"), "--memory-budget-mb") << 20);
+            }
+            "--smoke" => smoke = true,
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+
+    if smoke {
+        config.addr = "127.0.0.1:0".to_string();
+        std::process::exit(run_smoke(config));
+    }
+
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("explain3d-serve: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "explain3d-serve: listening on {} ({} workers, queue {})",
+        server.local_addr(),
+        config.threads,
+        config.queue_capacity
+    );
+    let stop = AtomicBool::new(false);
+    server.run(&stop);
+}
+
+/// The scripted session lifecycle of the CI smoke lane. Returns the
+/// process exit code.
+fn run_smoke(config: ServerConfig) -> i32 {
+    let create_body = r#"{
+      "left":  {"name": "Q1", "columns": [["name", "str"], ["year", "int"]],
+                "key": ["name"],
+                "tuples": [{"values": ["computer science", 1999], "impact": 2.0},
+                           {"values": ["electrical engineering", 2001]},
+                           {"values": ["design", 2003]}]},
+      "right": {"name": "Q2", "columns": [["title", "str"], ["published", "int"]],
+                "key": ["title"],
+                "tuples": [{"values": ["computer science", 1999]},
+                           {"values": ["electrical engineering", 2001]}]},
+      "match": {"left": "name", "right": "title"},
+      "options": {"min_similarity": 0.2}
+    }"#;
+    let delta_body = r#"{"ops": [
+        {"op": "insert", "side": "right", "tuple": {"values": ["design", 2003]}},
+        {"op": "update", "side": "left", "index": 0,
+         "tuple": {"values": ["computer science", 1999], "impact": 1.0}}
+    ]}"#;
+
+    // The in-process oracle: the same lifecycle against a bare registry.
+    let oracle = SessionRegistry::new(ServiceConfig::default());
+    let create = wire::parse_create(create_body).expect("smoke create body parses");
+    oracle.create("smoke", create).expect("oracle create");
+    let oracle_explain = oracle.explain("smoke", None).expect("oracle explain");
+    let (left, right) = oracle.shapes("smoke").expect("oracle shapes");
+    let parsed = wire::parse_delta(delta_body, &left, &right).expect("smoke delta parses");
+    let oracle_delta = oracle.delta("smoke", parsed.delta, parsed.deadline).expect("oracle delta");
+
+    // The wire side: a real server on an ephemeral port.
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke: cannot bind: {e}");
+            return 1;
+        }
+    };
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!("smoke: server on {addr}");
+
+    let result = (|| -> Result<(), String> {
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        let expect = |step: &str,
+                      got: Result<(u16, Json), explain3d_service::client::ClientError>,
+                      want_status: u16|
+         -> Result<Json, String> {
+            let (status, body) = got.map_err(|e| format!("{step}: {e}"))?;
+            if status != want_status {
+                return Err(format!("{step}: status {status}, wanted {want_status}: {body}"));
+            }
+            Ok(body)
+        };
+
+        let health = expect("healthz", client.request("GET", "/healthz", ""), 200)?;
+        if health.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("healthz body: {health}"));
+        }
+        expect("create", client.request("POST", "/sessions/smoke", create_body), 200)?;
+        let explain =
+            expect("explain", client.request("POST", "/sessions/smoke/explain", ""), 200)?;
+        let wire_explain_fp = explain
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("explain: no fingerprint")?
+            .to_string();
+        let oracle_explain_fp = wire::fingerprint_hex(&oracle_explain);
+        if wire_explain_fp != oracle_explain_fp {
+            return Err(format!(
+                "explain fingerprints diverge: wire {wire_explain_fp} vs in-process {oracle_explain_fp}"
+            ));
+        }
+        let delta =
+            expect("delta", client.request("POST", "/sessions/smoke/delta", delta_body), 200)?;
+        let wire_delta_fp = delta
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("delta: no fingerprint")?
+            .to_string();
+        let oracle_delta_fp = wire::fingerprint_hex(&oracle_delta.report);
+        if wire_delta_fp != oracle_delta_fp {
+            return Err(format!(
+                "delta fingerprints diverge: wire {wire_delta_fp} vs in-process {oracle_delta_fp}"
+            ));
+        }
+        let report = expect("report", client.request("GET", "/sessions/smoke/report", ""), 200)?;
+        if report.get("fingerprint").and_then(Json::as_str) != Some(&wire_delta_fp) {
+            return Err("stored report differs from the delta response".into());
+        }
+        // Errors come back typed, not as closed connections.
+        expect(
+            "bad delta",
+            client.request(
+                "POST",
+                "/sessions/smoke/delta",
+                r#"{"ops": [{"op": "delete", "side": "left", "index": 99}]}"#,
+            ),
+            400,
+        )?;
+        expect("missing session", client.request("POST", "/sessions/nope/explain", ""), 404)?;
+        expect("drop", client.request("DELETE", "/sessions/smoke", ""), 200)?;
+        expect("dropped report", client.request("GET", "/sessions/smoke/report", ""), 404)?;
+        Ok(())
+    })();
+
+    handle.shutdown();
+    match result {
+        Ok(()) => {
+            println!("smoke: PASS — wire fingerprints byte-identical to in-process run");
+            0
+        }
+        Err(e) => {
+            eprintln!("smoke: FAIL — {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! A minimal blocking HTTP/1.1 client over [`std::net::TcpStream`] — just
+//! enough to drive the server from the smoke tests, the CI lane, and the
+//! closed-loop bench clients. One request per call on a persistent
+//! keep-alive connection.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive connection to an `explain3d-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A client-side failure (connection, protocol, or JSON decode).
+#[derive(Debug)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+fn err(what: impl Into<String>) -> ClientError {
+    ClientError(what.into())
+}
+
+impl Client {
+    /// Connects with a 10-second I/O timeout.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| err(format!("connect: {e}")))?;
+        stream.set_read_timeout(Some(Duration::from_secs(10))).map_err(|e| err(e.to_string()))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10))).map_err(|e| err(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().map_err(|e| err(e.to_string()))?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Sends one request and reads the response, returning the status code
+    /// and parsed JSON body.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, Json), ClientError> {
+        let mut message = format!(
+            "{method} {path} HTTP/1.1\r\nHost: explain3d\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        message.push_str(body);
+        self.writer.write_all(message.as_bytes()).map_err(|e| err(format!("send: {e}")))?;
+        self.writer.flush().map_err(|e| err(format!("send: {e}")))?;
+
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).map_err(|e| err(format!("recv: {e}")))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(format!("bad status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            let n = self.reader.read_line(&mut header).map_err(|e| err(e.to_string()))?;
+            if n == 0 {
+                return Err(err("truncated response headers"));
+            }
+            let trimmed = header.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| err("bad Content-Length"))?;
+                }
+            }
+        }
+        let mut buf = vec![0u8; content_length];
+        self.reader.read_exact(&mut buf).map_err(|e| err(format!("recv body: {e}")))?;
+        let text = String::from_utf8(buf).map_err(|_| err("response body is not UTF-8"))?;
+        let json = Json::parse(&text).map_err(|e| err(format!("response JSON: {e}")))?;
+        Ok((status, json))
+    }
+}

@@ -1,0 +1,427 @@
+//! A std-only HTTP/1.1 JSON server over [`std::net::TcpListener`].
+//!
+//! The serving architecture mirrors the offline-workspace discipline of
+//! the rest of the repo: no async runtime, no hyper — a blocking accept
+//! loop that hands each connection to a fixed
+//! [`explain3d_parallel::TaskPool`]. Admission control is the pool's
+//! bounded queue: when it is full, the accept loop answers
+//! `429 Too Many Requests` *itself* (a constant-cost write) and closes, so
+//! overload sheds instead of queueing without bound.
+//!
+//! ## Routes
+//!
+//! | Method & path                  | Meaning                                |
+//! |--------------------------------|----------------------------------------|
+//! | `POST /sessions/{name}`        | create a session (relation upload)     |
+//! | `POST /sessions/{name}/explain`| cold explain                           |
+//! | `POST /sessions/{name}/delta`  | apply a delta (coalesced under load)   |
+//! | `GET /sessions/{name}/report`  | last stored report                     |
+//! | `DELETE /sessions/{name}`      | drop the session                       |
+//! | `GET /sessions`                | list sessions + footprints             |
+//! | `GET /healthz`                 | liveness probe                         |
+//!
+//! Connections are keep-alive (one worker drives one connection at a time);
+//! per-request MILP deadlines arrive as `deadline_ms` in the body and are
+//! scoped to that run. Every parse or protocol failure becomes a typed
+//! JSON error response — a malformed request can never panic a worker.
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::registry::{ServiceConfig, SessionRegistry};
+use crate::wire;
+use explain3d_parallel::TaskPool;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (each drives one connection at a time).
+    pub threads: usize,
+    /// Bounded admission queue: connections waiting for a worker beyond
+    /// this are shed with a 429.
+    pub queue_capacity: usize,
+    /// Hard cap on request body bytes.
+    pub max_body_bytes: usize,
+    /// Socket read/write timeout (also bounds how long an idle keep-alive
+    /// connection can hold a worker).
+    pub io_timeout: Duration,
+    /// Registry configuration (memory budget, delta recording).
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: explain3d_parallel::max_threads(),
+            queue_capacity: 64,
+            max_body_bytes: 64 << 20,
+            io_timeout: Duration::from_secs(10),
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// A bound (but not yet accepting) server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    registry: Arc<SessionRegistry>,
+    config: ServerConfig,
+}
+
+/// Handle to a server running on a background accept thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<SessionRegistry>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and builds the registry; call
+    /// [`run`](Server::run) or [`spawn`](Server::spawn) to start serving.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let registry = Arc::new(SessionRegistry::new(config.service.clone()));
+        Ok(Server { listener, local_addr, registry, config })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared session registry (usable in-process alongside the wire).
+    pub fn registry(&self) -> Arc<SessionRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Runs the accept loop on the calling thread until `stop` is set (a
+    /// no-op connection wakes the loop; [`ServerHandle::shutdown`] does
+    /// both).
+    pub fn run(self, stop: &AtomicBool) {
+        let pool = TaskPool::new(self.config.threads, self.config.queue_capacity);
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+            let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+            // Responses are written whole; Nagle only adds delayed-ACK
+            // stalls to the small keep-alive exchanges.
+            let _ = stream.set_nodelay(true);
+            let registry = Arc::clone(&self.registry);
+            let max_body = self.config.max_body_bytes;
+            // A second handle to the same socket, kept out of the job so
+            // the accept thread can still answer if the queue sheds it.
+            let shed_handle = stream.try_clone().ok();
+            if let Err(saturated) = pool.try_execute(move || {
+                serve_connection(stream, &registry, max_body);
+            }) {
+                // Queue full: 429 from the accept thread (constant cost —
+                // a short bounded write), then drop both handles.
+                if let Some(handle) = shed_handle {
+                    shed_connection(handle);
+                }
+                drop(saturated);
+            }
+        }
+        // Dropping the pool drains admitted connections before returning.
+    }
+
+    /// Spawns the accept loop on a background thread and returns a handle.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr;
+        let registry = Arc::clone(&self.registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("explain3d-accept".into())
+            .spawn(move || self.run(&stop2))
+            .expect("spawning the accept thread");
+        ServerHandle { addr, registry, stop, accept_thread: Some(accept_thread) }
+    }
+}
+
+impl ServerHandle {
+    /// The server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> Arc<SessionRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Stops the accept loop (in-flight requests finish first).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    keep_alive: bool,
+}
+
+/// Hard cap on one request or header line.
+const MAX_LINE_BYTES: u64 = 8192;
+
+/// Reads one `\n`-terminated line, never buffering more than
+/// [`MAX_LINE_BYTES`] + 1 bytes: a newline-free flood fills at most one
+/// bounded buffer (and then fails the caller's length check) instead of
+/// growing a `String` without limit.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<usize> {
+    reader.by_ref().take(MAX_LINE_BYTES + 1).read_line(line)
+}
+
+/// Reads one request off the connection. `Ok(None)` is a clean EOF (client
+/// closed between requests); errors are protocol violations the caller
+/// answers with a 400-class response where possible.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Option<Request>, ServiceError> {
+    let mut line = String::new();
+    match read_line_bounded(reader, &mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(_) => return Ok(None), // timeout or reset: drop the connection
+    }
+    if line.len() as u64 > MAX_LINE_BYTES {
+        return Err(ServiceError::TooLarge("request line".into()));
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(ServiceError::BadRequest("malformed request line".into()));
+    };
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = true;
+    for _ in 0..64 {
+        let mut header = String::new();
+        match read_line_bounded(reader, &mut header) {
+            Ok(0) => return Err(ServiceError::BadRequest("truncated headers".into())),
+            Ok(_) => {}
+            Err(_) => return Err(ServiceError::BadRequest("unreadable headers".into())),
+        }
+        if header.len() as u64 > MAX_LINE_BYTES {
+            return Err(ServiceError::TooLarge("header line".into()));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            let body = if content_length > 0 {
+                let mut buf = vec![0u8; content_length];
+                reader
+                    .read_exact(&mut buf)
+                    .map_err(|_| ServiceError::BadRequest("truncated body".into()))?;
+                String::from_utf8(buf)
+                    .map_err(|_| ServiceError::BadRequest("body is not UTF-8".into()))?
+            } else {
+                String::new()
+            };
+            return Ok(Some(Request { method, path, body, keep_alive }));
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ServiceError::BadRequest("malformed header".into()));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ServiceError::BadRequest("bad Content-Length".into()))?;
+                if content_length > max_body {
+                    return Err(ServiceError::TooLarge(format!(
+                        "body of {content_length} bytes (limit {max_body})"
+                    )));
+                }
+            }
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            "transfer-encoding" => {
+                return Err(ServiceError::BadRequest(
+                    "chunked transfer encoding is not supported; send Content-Length".into(),
+                ))
+            }
+            _ => {}
+        }
+    }
+    Err(ServiceError::TooLarge("more than 64 headers".into()))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: (u16, &str),
+    body: &Json,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = body.to_string();
+    // One write per response: head and body split across two segments
+    // interacts badly with Nagle + delayed ACKs on the client side.
+    let mut message = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status.0,
+        status.1,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    message.push_str(&body);
+    stream.write_all(message.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a bare 429 — used by the accept thread when the admission queue
+/// is full, before the connection ever reaches a worker.
+pub(crate) fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = write_response(
+        &mut stream,
+        ServiceError::Overloaded.http_status(),
+        &ServiceError::Overloaded.to_json(),
+        false,
+    );
+}
+
+/// Drives one connection: reads requests until the peer closes, answering
+/// each. Never panics on any input; protocol violations get a typed error
+/// response and close the connection.
+fn serve_connection(stream: TcpStream, registry: &SessionRegistry, max_body: usize) {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader, max_body) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive;
+                let (status, body) = match route(&req, registry) {
+                    Ok(json) => ((200, "OK"), json),
+                    Err(e) => (e.http_status(), e.to_json()),
+                };
+                if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = write_response(&mut writer, e.http_status(), &e.to_json(), false);
+                return;
+            }
+        }
+    }
+}
+
+/// Splits `/sessions/{name}[/verb]` into its parts.
+fn session_route(path: &str) -> Option<(&str, Option<&str>)> {
+    let rest = path.strip_prefix("/sessions/")?;
+    match rest.split_once('/') {
+        None => (!rest.is_empty()).then_some((rest, None)),
+        Some((name, verb)) => {
+            (!name.is_empty() && !verb.contains('/')).then_some((name, Some(verb)))
+        }
+    }
+}
+
+/// Dispatches one request against the registry.
+fn route(req: &Request, registry: &SessionRegistry) -> Result<Json, ServiceError> {
+    let method = req.method.as_str();
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match (method, path) {
+        ("GET", "/healthz") => return Ok(Json::obj().set("ok", true)),
+        ("GET", "/sessions") => {
+            let sessions: Vec<Json> = registry
+                .list()
+                .into_iter()
+                .map(|s| {
+                    Json::obj()
+                        .set("name", s.name)
+                        .set("footprint_bytes", s.footprint)
+                        .set("explained", s.explained)
+                })
+                .collect();
+            return Ok(Json::obj()
+                .set("sessions", sessions)
+                .set("total_footprint_bytes", registry.total_footprint()));
+        }
+        _ => {}
+    }
+    let Some((name, verb)) = session_route(path) else {
+        return Err(ServiceError::NotFound(format!("{method} {path}")));
+    };
+    match (method, verb) {
+        ("POST", None) => {
+            let create = wire::parse_create(&req.body)?;
+            registry.create(name, create)?;
+            Ok(Json::obj().set("created", name))
+        }
+        ("DELETE", None) => {
+            registry.drop_session(name)?;
+            Ok(Json::obj().set("dropped", name))
+        }
+        ("POST", Some("explain")) => {
+            let deadline = wire::parse_explain(&req.body)?;
+            let report = registry.explain(name, deadline)?;
+            Ok(wire::emit_report(name, &report, 0))
+        }
+        ("POST", Some("delta")) => {
+            let (left, right) = registry.shapes(name)?;
+            let parsed = wire::parse_delta(&req.body, &left, &right)?;
+            let outcome = registry.delta(name, parsed.delta, parsed.deadline)?;
+            Ok(wire::emit_report(name, &outcome.report, outcome.coalesced_with))
+        }
+        ("GET", Some("report")) => {
+            let report = registry.report(name)?;
+            Ok(wire::emit_report(name, &report, 0))
+        }
+        _ => Err(ServiceError::NotFound(format!("{method} {path}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_routes_parse() {
+        assert_eq!(session_route("/sessions/s1"), Some(("s1", None)));
+        assert_eq!(session_route("/sessions/s1/delta"), Some(("s1", Some("delta"))));
+        assert_eq!(session_route("/sessions/"), None);
+        assert_eq!(session_route("/sessions/a/b/c"), None);
+        assert_eq!(session_route("/health"), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! # explain3d-service
+//!
+//! The multi-session explanation **service** layer of the Explain3D
+//! reproduction: everything between the incremental [`ExplainSession`] and
+//! a TCP socket.
+//!
+//! After PR 4 the repo could re-explain one evolving dataset pair cheaply —
+//! but only as a library owned by one caller. This crate packages that
+//! capability the way ProvSQL/MADlib package their engines: a long-lived,
+//! concurrent, multi-tenant serving surface.
+//!
+//! * [`registry::SessionRegistry`] — a concurrent map of named sessions
+//!   with per-session locking, **delta coalescing** (queued deltas against
+//!   the same session merge into one `re_explain`), and LRU eviction under
+//!   a configurable [`ExplainSession::memory_footprint`] budget;
+//! * [`wire`] — the JSON wire protocol (relation uploads, delta ops,
+//!   report serialisation with the authoritative fingerprint), built on the
+//!   in-tree parser/emitter in [`json`] (no serde, depth-limited, panic-free
+//!   on arbitrary input);
+//! * [`http::Server`] — an HTTP/1.1 server over [`std::net::TcpListener`]
+//!   with a fixed [`explain3d_parallel::TaskPool`] worker pool, bounded
+//!   admission queue with 429 shed, keep-alive connections, and
+//!   per-request deterministic MILP deadlines;
+//! * [`client::Client`] — the minimal TcpStream client the smoke tests and
+//!   bench clients drive the wire with.
+//!
+//! ## The serving invariant
+//!
+//! Any interleaving of concurrent requests across sessions yields reports
+//! **byte-identical** (equal [`explain3d_incremental::report_fingerprint`])
+//! to the same operations applied serially per session — including under
+//! delta coalescing and after LRU eviction + re-create. Per-session locks
+//! serialise each session's runs; coalescing only concatenates ordered
+//! edit scripts, which `re_explain`'s byte-identity-to-cold invariant
+//! makes equivalent to running them one at a time. Pinned by
+//! `tests/service_concurrency.rs` and the CI smoke lane.
+//!
+//! ```
+//! use explain3d_service::registry::{ServiceConfig, SessionRegistry};
+//! use explain3d_service::wire::parse_create;
+//!
+//! let registry = SessionRegistry::new(ServiceConfig::default());
+//! let create = parse_create(r#"{
+//!   "left":  {"name": "Q1", "columns": [["k", "str"]], "key": ["k"],
+//!             "tuples": [{"values": ["CS"], "impact": 2.0},
+//!                        {"values": ["Design"]}]},
+//!   "right": {"name": "Q2", "columns": [["k", "str"]], "key": ["k"],
+//!             "tuples": [{"values": ["CS"]}]},
+//!   "match": {"left": "k", "right": "k"}
+//! }"#).unwrap();
+//! registry.create("demo", create).unwrap();
+//! let report = registry.explain("demo", None).unwrap();
+//! assert!(report.complete);
+//! ```
+//!
+//! [`ExplainSession`]: explain3d_incremental::ExplainSession
+//! [`ExplainSession::memory_footprint`]: explain3d_incremental::ExplainSession::memory_footprint
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod wire;
+
+pub use error::ServiceError;
+pub use http::{Server, ServerConfig, ServerHandle};
+pub use registry::{DeltaOutcome, RegistryStats, ServiceConfig, SessionRegistry};

@@ -1,0 +1,827 @@
+//! The session registry: many named [`ExplainSession`]s behind per-session
+//! locks, with delta coalescing and LRU eviction under a memory budget.
+//!
+//! ## Concurrency model
+//!
+//! The registry map is a `RwLock<HashMap<name, Arc<Slot>>>`; each slot owns
+//! its session behind a dedicated `Mutex`, so operations on *different*
+//! sessions never contend and operations on the *same* session serialise.
+//! That serialisation is the whole correctness story: every report a
+//! client sees is produced by the session's own single-threaded
+//! `explain`/`re_explain` path, so any interleaving of concurrent requests
+//! is byte-identical (fingerprint-equal) to the same operations applied
+//! serially per session in the order the registry admitted them —
+//! `tests/service_concurrency.rs` pins this over randomized interleavings.
+//!
+//! ## Delta coalescing
+//!
+//! A delta request enqueues a ticket on its session's pending queue, then
+//! competes for the session lock. Whoever wins drains the **whole** queue
+//! and serves it in admission order, concatenating each maximal run of
+//! consecutive **same-deadline** tickets into **one** `re_explain` —
+//! deltas are ordered edit scripts, so applying `A ++ B` is definitionally
+//! the same relation state as applying `A` then `B`, and `re_explain`'s
+//! byte-identity-to-cold invariant makes the final report identical to the
+//! serial pair of calls. (Tickets with different `deadline_ms` never
+//! share a run: serially each would solve under its own deterministic
+//! node budget.) Every coalesced waiter receives the post-run report. If
+//! a merged script fails (an op out of range), the registry falls back to
+//! replaying each ticket individually so each caller gets exactly the
+//! success or typed error a serial execution would have given it —
+//! coalescing is a pure fast path, never a semantic change.
+//!
+//! ## Eviction
+//!
+//! Each slot caches its session's [`ExplainSession::memory_footprint`]
+//! after every run. When the total exceeds
+//! [`ServiceConfig::memory_budget`], least-recently-used idle sessions are
+//! dropped (never the most recently touched one, never one that is busy or
+//! has queued work). An evicted session is simply gone — re-creating it
+//! and replaying its deltas reproduces the same fingerprints, which the
+//! torture test also pins.
+
+use crate::error::ServiceError;
+use crate::wire::{CreateRequest, RelationShape};
+use explain3d_core::pipeline::ExplanationReport;
+use explain3d_incremental::{ExplainSession, RelationDelta};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, TryLockError};
+use std::time::Duration;
+
+/// How long a coalescing waiter sleeps before re-checking its ticket and
+/// re-competing for the session lock. Purely a liveness bound — the
+/// common path is woken by `notify_all` well before it expires.
+const TICKET_POLL: Duration = Duration::from_millis(2);
+
+/// Registry-level configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Soft cap on the summed [`ExplainSession::memory_footprint`] across
+    /// all resident sessions; `None` disables eviction.
+    pub memory_budget: Option<usize>,
+    /// Record every successfully applied delta per session, retrievable
+    /// via [`SessionRegistry::delta_log`] — the serial-replay oracle used
+    /// by the equivalence tests. Off by default (it retains every delta).
+    pub record_deltas: bool,
+}
+
+/// Monotone lifetime counters of a registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Sessions created.
+    pub creates: usize,
+    /// Sessions dropped by request.
+    pub drops: usize,
+    /// Sessions evicted under the memory budget.
+    pub evictions: usize,
+    /// Cold `explain` runs served.
+    pub explains: usize,
+    /// Deltas applied (each ticket counts once, coalesced or not).
+    pub deltas_applied: usize,
+    /// Deltas that piggybacked on another ticket's `re_explain` instead of
+    /// paying for their own run.
+    pub coalesced_deltas: usize,
+    /// Report reads served.
+    pub reports: usize,
+}
+
+/// A summary row of [`SessionRegistry::list`].
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Session name.
+    pub name: String,
+    /// Cached memory footprint (bytes) after the session's last run.
+    pub footprint: usize,
+    /// Whether the session has produced a report yet.
+    pub explained: bool,
+}
+
+/// The result of one delta request.
+#[derive(Debug, Clone)]
+pub struct DeltaOutcome {
+    /// The report after this delta (and any deltas coalesced with it).
+    pub report: Arc<ExplanationReport>,
+    /// How many *other* tickets were folded into the run that produced
+    /// this report (0 when the delta ran alone).
+    pub coalesced_with: usize,
+}
+
+/// One queued delta and the cell its caller is waiting on.
+struct Ticket {
+    delta: RelationDelta,
+    deadline: Option<Duration>,
+    result: Arc<TicketCell>,
+}
+
+#[derive(Default)]
+struct TicketCell {
+    state: Mutex<Option<Result<DeltaOutcome, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl TicketCell {
+    fn take(&self) -> Result<Option<Result<DeltaOutcome, ServiceError>>, ServiceError> {
+        Ok(self
+            .state
+            .lock()
+            .map_err(|_| ServiceError::Internal("ticket cell poisoned".into()))?
+            .take())
+    }
+
+    fn fulfill(&self, outcome: Result<DeltaOutcome, ServiceError>) {
+        if let Ok(mut state) = self.state.lock() {
+            *state = Some(outcome);
+        }
+        self.ready.notify_all();
+    }
+
+    fn wait_brief(&self) {
+        if let Ok(state) = self.state.lock() {
+            if state.is_none() {
+                let _ = self.ready.wait_timeout(state, TICKET_POLL);
+            }
+        }
+    }
+}
+
+/// Session state guarded by the per-slot mutex.
+struct SessionState {
+    session: ExplainSession,
+    last_report: Option<Arc<ExplanationReport>>,
+    applied_log: Vec<RelationDelta>,
+}
+
+struct Slot {
+    name: String,
+    left_shape: RelationShape,
+    right_shape: RelationShape,
+    state: Mutex<SessionState>,
+    pending: Mutex<VecDeque<Ticket>>,
+    last_used: AtomicU64,
+    footprint: AtomicUsize,
+}
+
+impl Slot {
+    /// True when the slot can be evicted right now: nobody holds the
+    /// session lock and nothing is queued against it. A **poisoned** slot
+    /// (a panic escaped a run) counts as idle — it can only ever answer
+    /// 500s, so it is dead weight the budget should reclaim, not protect.
+    fn idle(&self) -> bool {
+        let no_pending = self.pending.lock().map(|q| q.is_empty()).unwrap_or(true);
+        no_pending
+            && match self.state.try_lock() {
+                Ok(_) | Err(TryLockError::Poisoned(_)) => true,
+                Err(TryLockError::WouldBlock) => false,
+            }
+    }
+}
+
+/// A concurrent registry of named explain sessions; see the module docs.
+pub struct SessionRegistry {
+    sessions: RwLock<HashMap<String, Arc<Slot>>>,
+    clock: AtomicU64,
+    config: ServiceConfig,
+    creates: AtomicUsize,
+    drops: AtomicUsize,
+    evictions: AtomicUsize,
+    explains: AtomicUsize,
+    deltas_applied: AtomicUsize,
+    coalesced_deltas: AtomicUsize,
+    reports: AtomicUsize,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new(config: ServiceConfig) -> Self {
+        SessionRegistry {
+            sessions: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            config,
+            creates: AtomicUsize::new(0),
+            drops: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            explains: AtomicUsize::new(0),
+            deltas_applied: AtomicUsize::new(0),
+            coalesced_deltas: AtomicUsize::new(0),
+            reports: AtomicUsize::new(0),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            creates: self.creates.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            explains: self.explains.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            coalesced_deltas: self.coalesced_deltas.load(Ordering::Relaxed),
+            reports: self.reports.load(Ordering::Relaxed),
+        }
+    }
+
+    fn sessions_read(
+        &self,
+    ) -> Result<std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Slot>>>, ServiceError> {
+        self.sessions.read().map_err(|_| ServiceError::Internal("session map poisoned".into()))
+    }
+
+    fn sessions_write(
+        &self,
+    ) -> Result<std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Slot>>>, ServiceError> {
+        self.sessions.write().map_err(|_| ServiceError::Internal("session map poisoned".into()))
+    }
+
+    fn slot(&self, name: &str) -> Result<Arc<Slot>, ServiceError> {
+        self.sessions_read()?
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::SessionNotFound(name.to_string()))
+    }
+
+    fn touch(&self, slot: &Slot) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Registers a new session. Fails with [`ServiceError::SessionExists`]
+    /// when the name is taken.
+    pub fn create(&self, name: &str, request: CreateRequest) -> Result<(), ServiceError> {
+        if name.is_empty() || name.len() > 128 {
+            return Err(ServiceError::BadRequest(
+                "session names must be 1..=128 characters".into(),
+            ));
+        }
+        let slot = Arc::new(Slot {
+            name: name.to_string(),
+            left_shape: RelationShape::of(&request.left),
+            right_shape: RelationShape::of(&request.right),
+            state: Mutex::new(SessionState {
+                session: ExplainSession::new(
+                    request.left,
+                    request.right,
+                    request.matches,
+                    request.config,
+                ),
+                last_report: None,
+                applied_log: Vec::new(),
+            }),
+            pending: Mutex::new(VecDeque::new()),
+            last_used: AtomicU64::new(0),
+            footprint: AtomicUsize::new(0),
+        });
+        self.touch(&slot);
+        {
+            let mut map = self.sessions_write()?;
+            if map.contains_key(name) {
+                return Err(ServiceError::SessionExists(name.to_string()));
+            }
+            map.insert(name.to_string(), slot);
+        }
+        self.creates.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget()?;
+        Ok(())
+    }
+
+    /// The wire shapes of a session's two relations (for parsing delta
+    /// tuples without locking the session).
+    pub fn shapes(&self, name: &str) -> Result<(RelationShape, RelationShape), ServiceError> {
+        let slot = self.slot(name)?;
+        Ok((slot.left_shape.clone(), slot.right_shape.clone()))
+    }
+
+    /// Runs a cold `explain` on the named session, returning (and storing)
+    /// the report. `deadline` scopes a MILP deadline override to this run.
+    pub fn explain(
+        &self,
+        name: &str,
+        deadline: Option<Duration>,
+    ) -> Result<Arc<ExplanationReport>, ServiceError> {
+        let slot = self.slot(name)?;
+        let report = {
+            let mut state = lock_state(&slot)?;
+            let report =
+                Arc::new(run_with_deadline(&mut state.session, deadline, ExplainSession::explain));
+            state.last_report = Some(Arc::clone(&report));
+            slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
+            report
+        };
+        self.touch(&slot);
+        self.explains.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget()?;
+        Ok(report)
+    }
+
+    /// Applies a delta (possibly coalesced with concurrently queued ones)
+    /// and returns the resulting report.
+    pub fn delta(
+        &self,
+        name: &str,
+        delta: RelationDelta,
+        deadline: Option<Duration>,
+    ) -> Result<DeltaOutcome, ServiceError> {
+        let slot = self.slot(name)?;
+        let cell = Arc::new(TicketCell::default());
+        {
+            let mut pending = slot
+                .pending
+                .lock()
+                .map_err(|_| ServiceError::Internal("pending queue poisoned".into()))?;
+            pending.push_back(Ticket { delta, deadline, result: Arc::clone(&cell) });
+        }
+        loop {
+            if let Some(outcome) = cell.take()? {
+                self.touch(&slot);
+                if outcome.is_ok() {
+                    self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                }
+                self.enforce_budget()?;
+                return outcome;
+            }
+            match slot.state.try_lock() {
+                Ok(mut state) => {
+                    let batch: Vec<Ticket> = {
+                        let mut pending = slot
+                            .pending
+                            .lock()
+                            .map_err(|_| ServiceError::Internal("pending queue poisoned".into()))?;
+                        pending.drain(..).collect()
+                    };
+                    if batch.is_empty() {
+                        // Another drain served our ticket between the queue
+                        // check and the lock; the next loop turn returns it.
+                        continue;
+                    }
+                    let coalesced = serve_batch(&mut state, batch, self.config.record_deltas);
+                    self.coalesced_deltas.fetch_add(coalesced, Ordering::Relaxed);
+                    slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
+                }
+                Err(TryLockError::WouldBlock) => cell.wait_brief(),
+                Err(TryLockError::Poisoned(_)) => {
+                    return Err(ServiceError::Internal(format!(
+                        "session {name:?} poisoned by an earlier panic"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The most recent report of a session.
+    pub fn report(&self, name: &str) -> Result<Arc<ExplanationReport>, ServiceError> {
+        let slot = self.slot(name)?;
+        let report = lock_state(&slot)?
+            .last_report
+            .clone()
+            .ok_or_else(|| ServiceError::NoReport(name.to_string()))?;
+        self.touch(&slot);
+        self.reports.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Drops a session.
+    pub fn drop_session(&self, name: &str) -> Result<(), ServiceError> {
+        let removed = self.sessions_write()?.remove(name);
+        match removed {
+            Some(_) => {
+                self.drops.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(ServiceError::SessionNotFound(name.to_string())),
+        }
+    }
+
+    /// All resident sessions, sorted by name.
+    pub fn list(&self) -> Vec<SessionInfo> {
+        let Ok(map) = self.sessions.read() else {
+            return Vec::new();
+        };
+        let mut out: Vec<SessionInfo> = map
+            .values()
+            .map(|slot| SessionInfo {
+                name: slot.name.clone(),
+                footprint: slot.footprint.load(Ordering::Relaxed),
+                explained: slot.state.try_lock().map(|s| s.session.has_explained()).unwrap_or(true),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Summed cached footprints of all resident sessions.
+    pub fn total_footprint(&self) -> usize {
+        self.sessions
+            .read()
+            .map(|map| map.values().map(|s| s.footprint.load(Ordering::Relaxed)).sum())
+            .unwrap_or(0)
+    }
+
+    /// The ordered log of successfully applied deltas of a session
+    /// (empty unless [`ServiceConfig::record_deltas`] is set) — the
+    /// serial-replay oracle of the equivalence tests.
+    pub fn delta_log(&self, name: &str) -> Result<Vec<RelationDelta>, ServiceError> {
+        let slot = self.slot(name)?;
+        let log = lock_state(&slot)?.applied_log.clone();
+        Ok(log)
+    }
+
+    /// Evicts least-recently-used idle sessions until the summed footprint
+    /// fits the budget. The most recently touched session is never
+    /// evicted, so the working session of a single-tenant deployment
+    /// survives any budget.
+    fn enforce_budget(&self) -> Result<(), ServiceError> {
+        let Some(budget) = self.config.memory_budget else {
+            return Ok(());
+        };
+        loop {
+            let (total, victim) = {
+                let map = self.sessions_read()?;
+                let total: usize = map.values().map(|s| s.footprint.load(Ordering::Relaxed)).sum();
+                if total <= budget || map.len() <= 1 {
+                    return Ok(());
+                }
+                let mru =
+                    map.values().map(|s| s.last_used.load(Ordering::Relaxed)).max().unwrap_or(0);
+                let victim = map
+                    .values()
+                    .filter(|s| s.last_used.load(Ordering::Relaxed) != mru && s.idle())
+                    .min_by_key(|s| s.last_used.load(Ordering::Relaxed))
+                    .map(|s| s.name.clone());
+                (total, victim)
+            };
+            let Some(name) = victim else {
+                // Everything is busy or MRU: the budget is soft, try again
+                // on the next operation.
+                return Ok(());
+            };
+            let mut map = self.sessions_write()?;
+            // Re-check idleness under the write lock so a request that
+            // arrived meanwhile keeps its session.
+            if let Some(slot) = map.get(&name) {
+                if slot.idle() {
+                    map.remove(&name);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            drop(map);
+            let _ = total;
+        }
+    }
+}
+
+fn lock_state(slot: &Slot) -> Result<std::sync::MutexGuard<'_, SessionState>, ServiceError> {
+    slot.state.lock().map_err(|_| {
+        ServiceError::Internal(format!("session {:?} poisoned by an earlier panic", slot.name))
+    })
+}
+
+/// Runs `f` with a scoped MILP-deadline override (restored afterwards).
+fn run_with_deadline<R>(
+    session: &mut ExplainSession,
+    deadline: Option<Duration>,
+    f: impl FnOnce(&mut ExplainSession) -> R,
+) -> R {
+    match deadline {
+        None => f(session),
+        Some(d) => {
+            let previous = session.set_milp_deadline(Some(d));
+            let result = f(session);
+            session.set_milp_deadline(previous);
+            result
+        }
+    }
+}
+
+/// Serves a drained batch of tickets, returning how many of them were
+/// coalesced into another ticket's run.
+///
+/// Tickets are grouped into maximal runs of **consecutive equal
+/// deadlines** (in admission order) and each run is served by
+/// [`serve_run`]. Coalescing across different deadlines would change
+/// semantics: serially, each delta runs under its own deadline-derived
+/// node budget, so only same-budget neighbours may share a `re_explain`.
+/// The common case — no per-request deadlines — still coalesces the whole
+/// batch.
+fn serve_batch(state: &mut SessionState, batch: Vec<Ticket>, record: bool) -> usize {
+    let mut runs: Vec<Vec<Ticket>> = Vec::new();
+    for ticket in batch {
+        match runs.last_mut() {
+            Some(run) if run[0].deadline == ticket.deadline => run.push(ticket),
+            _ => runs.push(vec![ticket]),
+        }
+    }
+    let mut coalesced = 0;
+    for run in runs {
+        coalesced += run.len() - 1;
+        serve_run(state, run, record);
+    }
+    coalesced
+}
+
+/// Serves one same-deadline run of tickets with one `re_explain` (fast
+/// path) or an individual replay (fallback when the merged script fails).
+/// See the module docs for why both paths are serially equivalent.
+fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, record: bool) {
+    let deadline = batch[0].deadline;
+    if batch.len() > 1 {
+        let merged =
+            RelationDelta { ops: batch.iter().flat_map(|t| t.delta.ops.iter().cloned()).collect() };
+        let merged_result =
+            run_with_deadline(&mut state.session, deadline, |s| s.re_explain(&merged));
+        match merged_result {
+            Ok(report) => {
+                let report = Arc::new(report);
+                state.last_report = Some(Arc::clone(&report));
+                if record {
+                    state.applied_log.extend(batch.iter().map(|t| t.delta.clone()));
+                }
+                let coalesced_with = batch.len() - 1;
+                for ticket in batch {
+                    ticket
+                        .result
+                        .fulfill(Ok(DeltaOutcome { report: Arc::clone(&report), coalesced_with }));
+                }
+                return;
+            }
+            Err(_) => {
+                // Some op in the merged script is out of range; the session
+                // is untouched (`apply_delta` rolls back). Replay each
+                // ticket on its own so every caller gets exactly the
+                // outcome serial execution would have produced.
+            }
+        }
+    }
+    for ticket in batch {
+        let outcome =
+            run_with_deadline(&mut state.session, ticket.deadline, |s| s.re_explain(&ticket.delta));
+        match outcome {
+            Ok(report) => {
+                let report = Arc::new(report);
+                state.last_report = Some(Arc::clone(&report));
+                if record {
+                    state.applied_log.push(ticket.delta.clone());
+                }
+                ticket.result.fulfill(Ok(DeltaOutcome { report, coalesced_with: 0 }));
+            }
+            Err(e) => ticket.result.fulfill(Err(e.into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explain3d_core::prelude::{AttributeMatches, CanonicalRelation, CanonicalTuple, Side};
+    use explain3d_incremental::{report_fingerprint, SessionConfig};
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn canon(name: &str, entries: &[(&str, f64)]) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: name.to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: entries
+                .iter()
+                .enumerate()
+                .map(|(i, (k, imp))| CanonicalTuple {
+                    id: i,
+                    key: vec![Value::str(*k)],
+                    impact: *imp,
+                    members: vec![i],
+                    representative: Row::new(vec![Value::str(*k)]),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    fn tuple(key: &str, impact: f64) -> CanonicalTuple {
+        CanonicalTuple {
+            id: 0,
+            key: vec![Value::str(key)],
+            impact,
+            members: vec![],
+            representative: Row::new(vec![Value::str(key)]),
+        }
+    }
+
+    fn request(left: &[(&str, f64)], right: &[(&str, f64)]) -> CreateRequest {
+        CreateRequest {
+            left: canon("Q1", left),
+            right: canon("Q2", right),
+            matches: AttributeMatches::single_equivalent("k", "k"),
+            config: SessionConfig::default(),
+        }
+    }
+
+    fn fingerprint(report: &ExplanationReport) -> Vec<u8> {
+        report_fingerprint(report)
+    }
+
+    #[test]
+    fn lifecycle_create_explain_delta_report_drop() {
+        let registry = SessionRegistry::new(ServiceConfig::default());
+        registry.create("s1", request(&[("a", 1.0), ("b", 2.0)], &[("a", 1.0)])).unwrap();
+        assert!(matches!(
+            registry.create("s1", request(&[], &[])),
+            Err(ServiceError::SessionExists(_))
+        ));
+        assert!(matches!(registry.report("s1"), Err(ServiceError::NoReport(_))));
+        let first = registry.explain("s1", None).unwrap();
+        assert!(first.complete);
+        let outcome = registry
+            .delta("s1", RelationDelta::new().insert(Side::Right, tuple("b", 2.0)), None)
+            .unwrap();
+        assert_eq!(outcome.coalesced_with, 0);
+        let stored = registry.report("s1").unwrap();
+        assert_eq!(fingerprint(&outcome.report), fingerprint(&stored));
+        registry.drop_session("s1").unwrap();
+        assert!(matches!(registry.report("s1"), Err(ServiceError::SessionNotFound(_))));
+        let stats = registry.stats();
+        assert_eq!(
+            (stats.creates, stats.explains, stats.deltas_applied, stats.drops),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn coalesced_batch_equals_serial_execution() {
+        // Serve a 3-ticket batch directly through `serve_batch` (the drain
+        // path), then replay the same deltas one at a time on a second
+        // registry; the final fingerprints must agree.
+        let registry = SessionRegistry::new(ServiceConfig::default());
+        registry
+            .create("s", request(&[("a", 1.0), ("b", 2.0), ("c", 1.0)], &[("a", 1.0)]))
+            .unwrap();
+        registry.explain("s", None).unwrap();
+        let deltas = [
+            RelationDelta::new().insert(Side::Right, tuple("b", 1.0)),
+            RelationDelta::new().update(Side::Right, 0, tuple("a", 2.0)),
+            RelationDelta::new().delete(Side::Left, 2),
+        ];
+        let slot = registry.slot("s").unwrap();
+        let cells: Vec<Arc<TicketCell>> = (0..3).map(|_| Arc::new(TicketCell::default())).collect();
+        {
+            let mut state = lock_state(&slot).unwrap();
+            let batch: Vec<Ticket> = deltas
+                .iter()
+                .zip(&cells)
+                .map(|(d, c)| Ticket { delta: d.clone(), deadline: None, result: Arc::clone(c) })
+                .collect();
+            serve_batch(&mut state, batch, false);
+        }
+        let outcomes: Vec<DeltaOutcome> =
+            cells.iter().map(|c| c.take().unwrap().unwrap().unwrap()).collect();
+        for o in &outcomes {
+            assert_eq!(o.coalesced_with, 2);
+            assert_eq!(fingerprint(&o.report), fingerprint(&outcomes[0].report));
+        }
+
+        let serial = SessionRegistry::new(ServiceConfig::default());
+        serial.create("s", request(&[("a", 1.0), ("b", 2.0), ("c", 1.0)], &[("a", 1.0)])).unwrap();
+        serial.explain("s", None).unwrap();
+        let mut last = None;
+        for d in &deltas {
+            last = Some(serial.delta("s", d.clone(), None).unwrap());
+        }
+        assert_eq!(
+            fingerprint(&outcomes[0].report),
+            fingerprint(&last.unwrap().report),
+            "coalesced batch diverged from serial replay"
+        );
+    }
+
+    #[test]
+    fn failed_merge_replays_individually() {
+        let registry = SessionRegistry::new(ServiceConfig::default());
+        registry.create("s", request(&[("a", 1.0), ("b", 1.0)], &[("a", 1.0)])).unwrap();
+        registry.explain("s", None).unwrap();
+        let good = RelationDelta::new().insert(Side::Right, tuple("b", 1.0));
+        let bad = RelationDelta::new().delete(Side::Left, 99);
+        let slot = registry.slot("s").unwrap();
+        let cells: Vec<Arc<TicketCell>> = (0..2).map(|_| Arc::new(TicketCell::default())).collect();
+        {
+            let mut state = lock_state(&slot).unwrap();
+            let batch = vec![
+                Ticket { delta: good.clone(), deadline: None, result: Arc::clone(&cells[0]) },
+                Ticket { delta: bad, deadline: None, result: Arc::clone(&cells[1]) },
+            ];
+            serve_batch(&mut state, batch, false);
+        }
+        let good_outcome = cells[0].take().unwrap().unwrap().unwrap();
+        assert_eq!(good_outcome.coalesced_with, 0, "fallback runs tickets alone");
+        let bad_outcome = cells[1].take().unwrap().unwrap();
+        assert!(matches!(bad_outcome, Err(ServiceError::Delta(_))));
+
+        // Final state equals serial: good applied, bad rejected.
+        let serial = SessionRegistry::new(ServiceConfig::default());
+        serial.create("s", request(&[("a", 1.0), ("b", 1.0)], &[("a", 1.0)])).unwrap();
+        serial.explain("s", None).unwrap();
+        let serial_outcome = serial.delta("s", good, None).unwrap();
+        assert_eq!(
+            fingerprint(&registry.report("s").unwrap()),
+            fingerprint(&serial_outcome.report)
+        );
+    }
+
+    #[test]
+    fn eviction_prefers_lru_and_spares_the_mru() {
+        // Measure one explained session's footprint, then budget for two
+        // and a half of them: the third explain must evict exactly the LRU.
+        let probe = SessionRegistry::new(ServiceConfig::default());
+        probe.create("p", request(&[("x", 1.0), ("y", 2.0)], &[("x", 1.0)])).unwrap();
+        probe.explain("p", None).unwrap();
+        let per_session = probe.total_footprint();
+        assert!(per_session > 0);
+
+        let registry = SessionRegistry::new(ServiceConfig {
+            memory_budget: Some(per_session * 5 / 2),
+            record_deltas: false,
+        });
+        for name in ["a", "b", "c"] {
+            registry.create(name, request(&[("x", 1.0), ("y", 2.0)], &[("x", 1.0)])).unwrap();
+            registry.explain(name, None).unwrap();
+        }
+        let names: Vec<String> = registry.list().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["b", "c"], "LRU \"a\" must be evicted");
+        assert_eq!(registry.stats().evictions, 1);
+        // The evicted session answers NotFound; re-creating round-trips to
+        // the same fingerprint as the survivor sessions' creation path.
+        assert!(matches!(registry.explain("a", None), Err(ServiceError::SessionNotFound(_))));
+        registry.create("a", request(&[("x", 1.0), ("y", 2.0)], &[("x", 1.0)])).unwrap();
+        let recreated = registry.explain("a", None).unwrap();
+        // That explain re-enforced the budget, evicting the next LRU ("b");
+        // "c" survives alongside the re-created "a" and their identical
+        // relations produce identical fingerprints.
+        let reference = registry.report("c").unwrap();
+        assert_eq!(fingerprint(&recreated), fingerprint(&reference));
+    }
+
+    #[test]
+    fn delta_log_records_applied_order() {
+        let registry =
+            SessionRegistry::new(ServiceConfig { memory_budget: None, record_deltas: true });
+        registry.create("s", request(&[("a", 1.0)], &[("a", 1.0)])).unwrap();
+        registry.explain("s", None).unwrap();
+        registry
+            .delta("s", RelationDelta::new().insert(Side::Left, tuple("b", 1.0)), None)
+            .unwrap();
+        let err =
+            registry.delta("s", RelationDelta::new().delete(Side::Left, 9), None).unwrap_err();
+        assert!(matches!(err, ServiceError::Delta(_)));
+        registry.delta("s", RelationDelta::new().delete(Side::Left, 1), None).unwrap();
+        let log = registry.delta_log("s").unwrap();
+        assert_eq!(log.len(), 2, "failed deltas are not logged");
+        assert_eq!(log[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn empty_relations_and_drain_to_empty_never_panic() {
+        // Wire-reachable degenerate inputs: sessions may legitimately be
+        // created empty, be drained to empty by deltas, and grow back.
+        // Every step must answer with a report or a typed error — never a
+        // worker panic.
+        let registry = SessionRegistry::new(ServiceConfig::default());
+        registry.create("e", request(&[], &[])).unwrap();
+        let report = registry.explain("e", None).unwrap();
+        assert!(report.complete);
+        assert!(report.explanations.is_empty());
+        // Grow from empty…
+        let grown = registry
+            .delta(
+                "e",
+                RelationDelta::new()
+                    .insert(Side::Left, tuple("a", 1.0))
+                    .insert(Side::Right, tuple("a", 1.0)),
+                None,
+            )
+            .unwrap();
+        assert!(grown.report.complete);
+        // …drain back to empty…
+        let drained = registry
+            .delta("e", RelationDelta::new().delete(Side::Left, 0).delete(Side::Right, 0), None)
+            .unwrap();
+        assert!(drained.report.complete);
+        assert!(drained.report.explanations.is_empty());
+        // …and deltas against the empty state still type their errors.
+        let err =
+            registry.delta("e", RelationDelta::new().delete(Side::Left, 0), None).unwrap_err();
+        assert!(matches!(err, ServiceError::Delta(_)));
+        // One-sided emptiness explains everything on the populated side.
+        registry.create("one", request(&[("a", 1.0), ("b", 1.0)], &[])).unwrap();
+        let one = registry.explain("one", None).unwrap();
+        assert!(one.complete);
+        assert_eq!(one.explanations.len(), 2);
+    }
+
+    #[test]
+    fn per_request_deadline_is_scoped() {
+        let registry = SessionRegistry::new(ServiceConfig::default());
+        registry.create("s", request(&[("a", 1.0), ("b", 2.0)], &[("a", 1.0)])).unwrap();
+        // Same deadline → same deterministic node budget → same report.
+        let with_deadline = registry.explain("s", Some(Duration::from_millis(500))).unwrap();
+        let default_again = registry.explain("s", None).unwrap();
+        assert!(with_deadline.complete && default_again.complete);
+        assert_eq!(fingerprint(&with_deadline), fingerprint(&default_again));
+    }
+}

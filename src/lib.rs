@@ -21,6 +21,7 @@
 //! | [`partition`] | mapping graph, smart partitioning (Alg. 2–3) |
 //! | [`core`] | canonicalisation, MILP encoding, pipeline (Stages 1–2) |
 //! | [`incremental`] | session API + delta-driven re-explanation caches |
+//! | [`service`] | multi-session registry + HTTP/1.1 serving surface |
 //! | [`summarize`] | pattern-based summarisation (Stage 3) |
 //! | [`baselines`] | GREEDY / THRESHOLD / RSWOOSH / EXACTCOVER / FORMALEXP |
 //! | [`datagen`] | synthetic, academic, and IMDb-view workloads + gold |
@@ -89,6 +90,7 @@ pub use explain3d_milp as milp;
 pub use explain3d_parallel as parallel;
 pub use explain3d_partition as partition;
 pub use explain3d_relation as relation;
+pub use explain3d_service as service;
 pub use explain3d_summarize as summarize;
 
 use explain3d_core::prelude::{
@@ -234,6 +236,9 @@ pub mod prelude {
     pub use explain3d_linkage::{BucketCalibrator, StringMetric, TupleMapping, TupleMatch};
     pub use explain3d_milp::prelude::{LpKernel, MilpConfig, SolveStatus};
     pub use explain3d_relation::prelude::*;
+    pub use explain3d_service::{
+        DeltaOutcome, Server, ServerConfig, ServiceConfig, ServiceError, SessionRegistry,
+    };
     pub use explain3d_summarize::{SummarizerConfig, Summary};
 }
 
