@@ -29,7 +29,12 @@
 //!   `explain3d-serve` HTTP server over real sockets: sustained
 //!   throughput, p50/p95/p99 latency, coalesced-delta count, and a
 //!   byte-identity check of every session's final report against a serial
-//!   in-process replay of its applied-delta log.
+//!   in-process replay of its applied-delta log;
+//! * **durability** — WAL append throughput under each fsync policy
+//!   (off / group-commit / every-record), and the cold-recovery latency
+//!   of the `rows × rows` incremental session (snapshot load + log-suffix
+//!   replay + one deadline-scoped explain), with a byte-identity check of
+//!   the recovered report against the pre-crash `re_explain` result.
 //!
 //! Usage: `cargo run --release -p explain3d-bench --bin perf_report --
 //! [--rows N] [--partitions K] [--runs R] [--out PATH]`
@@ -454,7 +459,11 @@ fn main() {
     let server = explain3d::service::Server::bind(explain3d::service::ServerConfig {
         threads: 4,
         queue_capacity: 128,
-        service: explain3d::service::ServiceConfig { memory_budget: None, record_deltas: true },
+        service: explain3d::service::ServiceConfig {
+            memory_budget: None,
+            record_deltas: true,
+            ..Default::default()
+        },
         ..Default::default()
     })
     .expect("bind ephemeral service port");
@@ -602,6 +611,95 @@ fn main() {
         service_stats.deltas_applied, service_stats.coalesced_deltas, service_errors,
     );
 
+    // --- Durability: the write-ahead-log cost of acknowledging a delta
+    // under each fsync policy (the snapshot content is irrelevant to
+    // append cost, so a small genesis keeps setup out of the numbers),
+    // and the cold-recovery latency of the `rows × rows` session above —
+    // snapshot load + WAL-suffix replay + one deadline-scoped explain,
+    // fingerprint-checked against the pre-crash `re_explain` report.
+    use explain3d::durability::{
+        DurabilityConfig, FsyncPolicy, SessionSnapshot, SessionStore, WalRecord,
+    };
+    const WAL_APPENDS: u64 = 256;
+    let dur_dir = std::env::temp_dir().join(format!("e3d-bench-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dur_dir);
+    let mut wal_rng = StdRng::seed_from_u64(99);
+    let wal_delta = RelationDelta::new().insert(Side::Left, fresh_tuple(&mut wal_rng));
+    let wal_genesis = SessionSnapshot {
+        seq: 0,
+        explained: true,
+        last_deadline: None,
+        config: session_cfg.clone(),
+        matches: inc_matches.clone(),
+        left: make_relation("Q1", &ls, &lr[..8]),
+        right: make_relation("Q2", &rs, &rr[..8]),
+    };
+    let wal_policies: [(&str, FsyncPolicy); 3] = [
+        ("off", FsyncPolicy::Never),
+        ("interval16", FsyncPolicy::EveryN(16)),
+        ("always", FsyncPolicy::Always),
+    ];
+    let mut wal_rates = Json::obj();
+    let mut wal_lines = Vec::new();
+    for (label, fsync) in wal_policies {
+        let store = SessionStore::open(DurabilityConfig {
+            dir: dur_dir.join(label),
+            fsync,
+            snapshot_every: u64::MAX,
+        });
+        let mut wal = store.create_session("w", &wal_genesis).expect("bench WAL create");
+        let t0 = Instant::now();
+        for seq in 1..=WAL_APPENDS {
+            wal.append(&WalRecord { seq, deadline: None, delta: wal_delta.clone() })
+                .expect("bench WAL append");
+        }
+        let rate = WAL_APPENDS as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+        wal_rates = wal_rates.set(&format!("append_rps_{label}"), rate);
+        wal_lines.push(format!("{label} {rate:.0}/s"));
+    }
+    println!("durability/wal_append: {} ({WAL_APPENDS} one-op records)", wal_lines.join(", "));
+
+    let recovery_dir = dur_dir.join("recovery");
+    let durable_service = || explain3d::service::ServiceConfig {
+        durability: Some(DurabilityConfig {
+            dir: recovery_dir.clone(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every: u64::MAX,
+        }),
+        ..Default::default()
+    };
+    {
+        // The doomed process: explain the big session, apply the bench
+        // delta (WAL-logged), then vanish without any flush.
+        let registry = explain3d::service::SessionRegistry::new(durable_service());
+        registry
+            .create(
+                "big",
+                wire::CreateRequest {
+                    left: inc_left.clone(),
+                    right: inc_right.clone(),
+                    matches: inc_matches.clone(),
+                    config: session_cfg.clone(),
+                },
+            )
+            .expect("bench durable create");
+        registry.explain("big", None).expect("bench durable explain");
+        registry.delta("big", delta.clone(), None).expect("bench durable delta");
+    }
+    let t0 = Instant::now();
+    let survivor = explain3d::service::SessionRegistry::new(durable_service());
+    let recovered_report = survivor.report("big").expect("recovery of the big session");
+    let recovery_secs = t0.elapsed().as_secs_f64();
+    let recovery_identical = report_fingerprint(&recovered_report) == last_fingerprint;
+    println!(
+        "durability: cold recovery of the {0}×{0} session in {recovery_secs:.4}s \
+         (snapshot load + 1-delta replay + scoped explain, cold explain alone {1:.4}s), \
+         byte-identical to the pre-crash report: {recovery_identical}",
+        args.rows,
+        cold_stats.median_secs(),
+    );
+    std::fs::remove_dir_all(&dur_dir).expect("bench durability tempdir cleanup");
+
     // --- Emit the JSON trajectory point. ---
     let json = Json::obj()
         .set("schema_version", 1usize)
@@ -707,6 +805,14 @@ fn main() {
                 .set("coalesced_deltas", service_stats.coalesced_deltas)
                 .set("out_of_range_rejections", service_errors)
                 .set("serial_replay_identical", service_identical),
+        )
+        .set(
+            "durability",
+            wal_rates
+                .set("wal_appends", WAL_APPENDS as usize)
+                .set("cold_recovery_secs", recovery_secs)
+                .set("cold_explain_median_secs", cold_stats.median_secs())
+                .set("recovered_identical", recovery_identical),
         );
     std::fs::write(&args.out, json.to_pretty_string())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -727,6 +833,10 @@ fn main() {
     assert!(
         service_identical,
         "a concurrently served session diverged from the serial replay of its delta log"
+    );
+    assert!(
+        recovery_identical,
+        "the recovered session's report diverged from the pre-crash re_explain result"
     );
     assert!(
         gen_stats.peak_resident_pairs <= threads.max(1) * gen_stats.chunk_pairs,

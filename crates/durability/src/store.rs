@@ -1,0 +1,398 @@
+//! The per-session on-disk store: directory layout, naming, and recovery.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <data dir>/
+//!   n-<name>/           one directory per session (see [`session_dirname`])
+//!     current.snap      latest atomic snapshot (written at create, every
+//!                       snapshot-interval deltas, on spill, and on drain)
+//!     wal.log           delta records with seq > snapshot.seq (plus,
+//!                       transiently, records the snapshot already covers —
+//!                       recovery skips them by sequence number)
+//! ```
+//!
+//! ## Recovery = snapshot + suffix replay
+//!
+//! [`SessionStore::recover`] loads the snapshot, applies every WAL record
+//! with `seq > snapshot.seq` to the snapshot relations via
+//! [`apply_delta`], and returns the rebuilt state plus a [`WalWriter`]
+//! positioned after the last valid record (a torn tail having been
+//! truncated away). The caller rebuilds the `ExplainSession` and — when
+//! the session had explained — runs one cold `explain` under the recorded
+//! `last_deadline`; byte-identity-to-cold makes that report equal the one
+//! the crashed process last served.
+//!
+//! The snapshot/WAL ordering is crash-safe in both directions: a snapshot
+//! at seq `S` renamed into place before the WAL is reset leaves records
+//! `≤ S` in the log, which replay skips by sequence number; a crash before
+//! the rename leaves the old snapshot plus a complete log, which replays
+//! in full.
+
+use crate::snapshot::{load_snapshot, write_snapshot, SessionSnapshot};
+use crate::wal::{read_wal, FsyncPolicy, WalWriter};
+use crate::DurabilityError;
+use explain3d_incremental::apply_delta;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// File name of the snapshot inside a session directory.
+pub const SNAPSHOT_FILE: &str = "current.snap";
+/// File name of the WAL inside a session directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Durability settings a registry is configured with.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root data directory (one subdirectory per session).
+    pub dir: PathBuf,
+    /// When appended WAL records reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Write a fresh snapshot (and reset the WAL) every N logged deltas.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Defaults: group-commit fsync every 16 records, snapshot every 64
+    /// deltas.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig { dir: dir.into(), fsync: FsyncPolicy::EveryN(16), snapshot_every: 64 }
+    }
+}
+
+/// The FNV-1a 64-bit hash (seedable for the two-hash directory fallback).
+fn fnv64(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Maps a session name to a filesystem-safe directory name. Names made of
+/// `[A-Za-z0-9._-]` (the overwhelmingly common case) map reversibly to
+/// `n-<name>`; anything else — or anything long enough to threaten the
+/// 255-byte `NAME_MAX` — maps to a fixed-width double-FNV digest under the
+/// `h-` prefix (not reversible, vanishingly unlikely to collide, and
+/// deterministic so lookups always find the same directory).
+pub fn session_dirname(name: &str) -> String {
+    let safe = !name.is_empty()
+        && name.len() <= 100
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+    if safe {
+        format!("n-{name}")
+    } else {
+        format!("h-{:016x}{:016x}", fnv64(name.as_bytes(), 0), fnv64(name.as_bytes(), !0))
+    }
+}
+
+/// A session rebuilt from disk, relations advanced past the WAL suffix.
+#[derive(Debug)]
+pub struct RecoveredSession {
+    /// The snapshot with `left`/`right` mutated to the post-replay state
+    /// and `seq`/`last_deadline`/`explained` advanced accordingly.
+    pub snapshot: SessionSnapshot,
+    /// How many WAL records were replayed on top of the snapshot.
+    pub replayed: u64,
+    /// True when a torn or corrupt WAL tail was discarded (and truncated).
+    pub tail_discarded: bool,
+}
+
+/// Handle to the root data directory. Cheap to clone; all state is paths.
+#[derive(Debug, Clone)]
+pub struct SessionStore {
+    config: DurabilityConfig,
+}
+
+impl SessionStore {
+    /// Opens (creating if needed) the root directory. Creation failures
+    /// are deferred to the first per-session operation so construction
+    /// stays infallible for registry embedding.
+    pub fn open(config: DurabilityConfig) -> SessionStore {
+        let _ = std::fs::create_dir_all(&config.dir);
+        SessionStore { config }
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.config
+    }
+
+    fn session_dir(&self, name: &str) -> PathBuf {
+        self.config.dir.join(session_dirname(name))
+    }
+
+    /// True when the session has durable state on disk.
+    pub fn contains(&self, name: &str) -> bool {
+        self.session_dir(name).join(SNAPSHOT_FILE).exists()
+    }
+
+    /// Session names recoverable from disk (reversibly-named directories
+    /// only; `h-` digest directories are found by lookup, not listing).
+    pub fn list_names(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.config.dir) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter_map(|d| d.strip_prefix("n-").map(str::to_string))
+            .filter(|n| self.contains(n))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Creates the session directory, writes the seq-0 snapshot, and opens
+    /// a fresh WAL. Fails if the session already has durable state.
+    pub fn create_session(
+        &self,
+        name: &str,
+        snapshot: &SessionSnapshot,
+    ) -> Result<WalWriter, DurabilityError> {
+        let dir = self.session_dir(name);
+        if dir.join(SNAPSHOT_FILE).exists() {
+            return Err(DurabilityError::Corrupt(format!(
+                "session {name:?} already has durable state"
+            )));
+        }
+        std::fs::create_dir_all(&dir)?;
+        write_snapshot(&dir.join(SNAPSHOT_FILE), snapshot)?;
+        Ok(WalWriter::create(&dir.join(WAL_FILE), self.config.fsync)?)
+    }
+
+    /// Atomically replaces the session's snapshot. The caller resets the
+    /// WAL afterwards (crash between the two is safe — replay skips
+    /// records the new snapshot already covers).
+    pub fn write_snapshot(
+        &self,
+        name: &str,
+        snapshot: &SessionSnapshot,
+    ) -> Result<(), DurabilityError> {
+        let dir = self.session_dir(name);
+        std::fs::create_dir_all(&dir)?;
+        write_snapshot(&dir.join(SNAPSHOT_FILE), snapshot)
+    }
+
+    /// Deletes the session's durable state (no-op when absent).
+    pub fn remove(&self, name: &str) -> Result<(), DurabilityError> {
+        match std::fs::remove_dir_all(self.session_dir(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Rebuilds a session's relation state from its snapshot plus the
+    /// valid WAL suffix, returning the state and a writer positioned for
+    /// further appends. `Ok(None)` when the session has no durable state.
+    pub fn recover(
+        &self,
+        name: &str,
+    ) -> Result<Option<(RecoveredSession, WalWriter)>, DurabilityError> {
+        let dir = self.session_dir(name);
+        let Some(mut snapshot) = load_snapshot(&dir.join(SNAPSHOT_FILE))? else {
+            return Ok(None);
+        };
+        let wal_path = dir.join(WAL_FILE);
+        let outcome = read_wal(&wal_path)?;
+        let mut seq = snapshot.seq;
+        let mut last_deadline: Option<Duration> = snapshot.last_deadline;
+        let mut explained = snapshot.explained;
+        let mut replayed = 0u64;
+        for record in &outcome.records {
+            if record.seq <= snapshot.seq {
+                continue; // covered by the snapshot (crash between rename and WAL reset)
+            }
+            if record.seq != seq + 1 {
+                return Err(DurabilityError::Corrupt(format!(
+                    "session {name:?}: WAL gap (have seq {seq}, next record is {})",
+                    record.seq
+                )));
+            }
+            apply_delta(&mut snapshot.left, &mut snapshot.right, &record.delta).map_err(|e| {
+                DurabilityError::Corrupt(format!(
+                    "session {name:?}: logged delta {} no longer applies: {e}",
+                    record.seq
+                ))
+            })?;
+            seq = record.seq;
+            last_deadline = record.deadline;
+            explained = true; // a logged delta implies a completed re_explain
+            replayed += 1;
+        }
+        snapshot.seq = seq;
+        snapshot.last_deadline = last_deadline;
+        snapshot.explained = explained;
+        let writer = WalWriter::open_end(&wal_path, self.config.fsync, outcome.valid_len)?;
+        Ok(Some((
+            RecoveredSession { snapshot, replayed, tail_discarded: outcome.tail_discarded },
+            writer,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::WalRecord;
+    use explain3d_core::prelude::{AttributeMatches, CanonicalRelation, CanonicalTuple, Side};
+    use explain3d_incremental::{RelationDelta, SessionConfig};
+    use explain3d_relation::prelude::{Row, Schema, Value, ValueType};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("e3d-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rel(name: &str, keys: &[&str]) -> CanonicalRelation {
+        CanonicalRelation {
+            query_name: name.to_string(),
+            schema: Schema::from_pairs(&[("k", ValueType::Str)]),
+            key_attrs: vec!["k".to_string()],
+            tuples: keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| CanonicalTuple {
+                    id: i,
+                    key: vec![Value::str(*k)],
+                    impact: 1.0,
+                    members: vec![i],
+                    representative: Row::new(vec![Value::str(*k)]),
+                })
+                .collect(),
+            aggregate: None,
+        }
+    }
+
+    fn tuple(key: &str, impact: f64) -> CanonicalTuple {
+        CanonicalTuple {
+            id: 0,
+            key: vec![Value::str(key)],
+            impact,
+            members: vec![],
+            representative: Row::new(vec![Value::str(key)]),
+        }
+    }
+
+    fn genesis(left: CanonicalRelation, right: CanonicalRelation) -> SessionSnapshot {
+        SessionSnapshot {
+            seq: 0,
+            explained: false,
+            last_deadline: None,
+            config: SessionConfig::default(),
+            matches: AttributeMatches::single_equivalent("k", "k"),
+            left,
+            right,
+        }
+    }
+
+    #[test]
+    fn dirnames_are_safe_and_deterministic() {
+        assert_eq!(session_dirname("demo-1.2_x"), "n-demo-1.2_x");
+        let weird = session_dirname("a/b c\u{1F600}");
+        assert!(weird.starts_with("h-") && weird.len() == 34);
+        assert_eq!(weird, session_dirname("a/b c\u{1F600}"), "lookups must be stable");
+        assert_ne!(session_dirname("x"), session_dirname("y"));
+        let long = "z".repeat(128);
+        assert!(session_dirname(&long).len() <= 255);
+        // A hash dirname can never shadow a reversible one.
+        assert!(!session_dirname(&long).starts_with("n-"));
+    }
+
+    #[test]
+    fn create_log_recover_replays_the_suffix() {
+        let dir = tempdir("recover");
+        let store = SessionStore::open(DurabilityConfig::new(&dir));
+        let mut wal =
+            store.create_session("s", &genesis(rel("Q1", &["a", "b"]), rel("Q2", &["a"]))).unwrap();
+        assert!(store.contains("s"));
+        // Log two applied deltas.
+        let d1 = RelationDelta::new().insert(Side::Right, tuple("b", 2.0));
+        let d2 = RelationDelta::new().delete(Side::Left, 0);
+        wal.append(&WalRecord { seq: 1, deadline: None, delta: d1.clone() }).unwrap();
+        wal.append(&WalRecord {
+            seq: 2,
+            deadline: Some(Duration::from_millis(100)),
+            delta: d2.clone(),
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (recovered, _writer) = store.recover("s").unwrap().expect("session on disk");
+        assert_eq!(recovered.replayed, 2);
+        assert!(!recovered.tail_discarded);
+        let snap = &recovered.snapshot;
+        assert_eq!(snap.seq, 2);
+        assert!(snap.explained);
+        assert_eq!(snap.last_deadline, Some(Duration::from_millis(100)));
+        // The replayed relations equal a direct application of the deltas.
+        let (mut left, mut right) = (rel("Q1", &["a", "b"]), rel("Q2", &["a"]));
+        apply_delta(&mut left, &mut right, &d1).unwrap();
+        apply_delta(&mut left, &mut right, &d2).unwrap();
+        assert_eq!(snap.left, left);
+        assert_eq!(snap.right, right);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_then_stale_wal_records_are_skipped() {
+        let dir = tempdir("skip");
+        let store = SessionStore::open(DurabilityConfig::new(&dir));
+        let mut wal =
+            store.create_session("s", &genesis(rel("Q1", &["a"]), rel("Q2", &[]))).unwrap();
+        let d1 = RelationDelta::new().insert(Side::Right, tuple("a", 1.0));
+        wal.append(&WalRecord { seq: 1, deadline: None, delta: d1.clone() }).unwrap();
+        wal.sync().unwrap();
+        // Snapshot at seq 1 *without* resetting the WAL — the crash window
+        // between snapshot rename and WAL reset.
+        let (mut left, mut right) = (rel("Q1", &["a"]), rel("Q2", &[]));
+        apply_delta(&mut left, &mut right, &d1).unwrap();
+        let snap = SessionSnapshot {
+            seq: 1,
+            explained: true,
+            last_deadline: None,
+            config: SessionConfig::default(),
+            matches: AttributeMatches::single_equivalent("k", "k"),
+            left: left.clone(),
+            right: right.clone(),
+        };
+        store.write_snapshot("s", &snap).unwrap();
+        drop(wal);
+        let (recovered, _w) = store.recover("s").unwrap().unwrap();
+        assert_eq!(recovered.replayed, 0, "record ≤ snapshot.seq must be skipped");
+        assert_eq!(recovered.snapshot.seq, 1);
+        assert_eq!(recovered.snapshot.left, left);
+        assert_eq!(recovered.snapshot.right, right);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_create_conflicts_and_remove_is_idempotent() {
+        let dir = tempdir("conflict");
+        let store = SessionStore::open(DurabilityConfig::new(&dir));
+        let g = genesis(rel("Q1", &["a"]), rel("Q2", &["a"]));
+        let _w = store.create_session("s", &g).unwrap();
+        assert!(store.create_session("s", &g).is_err());
+        store.remove("s").unwrap();
+        assert!(!store.contains("s"));
+        store.remove("s").unwrap(); // absent: still Ok
+        assert!(store.recover("s").unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn list_names_reports_reversible_sessions() {
+        let dir = tempdir("list");
+        let store = SessionStore::open(DurabilityConfig::new(&dir));
+        let g = genesis(rel("Q1", &["a"]), rel("Q2", &["a"]));
+        let _a = store.create_session("beta", &g).unwrap();
+        let _b = store.create_session("alpha", &g).unwrap();
+        assert_eq!(store.list_names(), vec!["alpha".to_string(), "beta".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -252,6 +252,16 @@ impl ExplainSession {
         &self.right
     }
 
+    /// The session's configuration (as normalised by [`ExplainSession::new`]).
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The attribute matches the session was created with.
+    pub fn matches(&self) -> &AttributeMatches {
+        &self.matches
+    }
+
     /// The session's cumulative cache statistics (monotone across calls).
     pub fn delta_stats(&self) -> DeltaStats {
         self.stats

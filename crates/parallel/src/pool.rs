@@ -16,13 +16,16 @@
 //!   already admitted to completion, and joins the threads — admitted work
 //!   is never silently discarded.
 //!
-//! Jobs must not panic: a panicking job poisons nothing (each job runs
-//! before any lock is re-taken) but kills its worker thread, permanently
-//! shrinking the pool. Servers should catch and convert failures *inside*
-//! the job; `explain3d-service` converts every wire-facing failure into a
-//! typed error response for exactly this reason.
+//! Jobs may panic: each job runs under `catch_unwind` (no pool lock is
+//! held across it, so nothing can be poisoned) and a panic costs only that
+//! job — the worker recovers in place and keeps serving, and
+//! [`PoolStats::respawns`] counts how often that happened. Servers should
+//! still catch and convert failures *inside* the job so callers get typed
+//! errors; `explain3d-service` does, and treats a nonzero `respawns` as a
+//! bug signal rather than a capacity loss.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -49,6 +52,9 @@ pub struct PoolStats {
     pub shed: usize,
     /// Jobs that finished executing.
     pub executed: usize,
+    /// Jobs that panicked; each cost one worker recovery (the worker is
+    /// reused in place), never pool capacity.
+    pub respawns: usize,
 }
 
 struct PoolState {
@@ -63,6 +69,7 @@ struct PoolShared {
     admitted: AtomicUsize,
     shed: AtomicUsize,
     executed: AtomicUsize,
+    respawns: AtomicUsize,
 }
 
 /// A fixed pool of worker threads over a bounded job queue; see the module
@@ -83,6 +90,7 @@ impl TaskPool {
             admitted: AtomicUsize::new(0),
             shed: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
+            respawns: AtomicUsize::new(0),
         });
         let workers = (0..threads.max(1))
             .map(|i| {
@@ -112,6 +120,7 @@ impl TaskPool {
             admitted: self.shared.admitted.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
             executed: self.shared.executed.load(Ordering::Relaxed),
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
         }
     }
 
@@ -140,8 +149,6 @@ impl Drop for TaskPool {
         self.shared.state.lock().expect("pool state poisoned").closed = true;
         self.shared.not_empty.notify_all();
         for h in self.workers.drain(..) {
-            // A worker that died to a panicking job already aborted its
-            // thread; propagating here would abort the whole teardown.
             let _ = h.join();
         }
     }
@@ -161,7 +168,12 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared.not_empty.wait(state).expect("pool state poisoned");
             }
         };
-        job();
+        // No pool lock is held here, so a panicking job can poison nothing;
+        // containing it keeps this worker alive (one bad request must never
+        // shrink the pool permanently).
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.respawns.fetch_add(1, Ordering::Relaxed);
+        }
         shared.executed.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -236,6 +248,31 @@ mod tests {
             // Dropping here must run all 100 admitted jobs before joining.
         }
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn a_panicking_job_never_shrinks_the_pool() {
+        // Single worker: if the panic killed it, the follow-up jobs would
+        // never run and the recv below would time out.
+        let pool = TaskPool::new(1, 16);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panics
+        for _ in 0..3 {
+            pool.try_execute(|| panic!("bad request")).unwrap();
+        }
+        let (tx, rx) = mpsc::channel::<u8>();
+        pool.try_execute(move || tx.send(9).unwrap()).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).expect("worker survived the panics"), 9);
+        std::panic::set_hook(prev);
+        // `executed` is bumped after the job body returns; give the worker
+        // a moment to get there.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.stats().executed < 4 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.respawns, 3);
+        assert_eq!(stats.executed, 4, "panicked jobs still count as executed");
     }
 
     #[test]

@@ -8,8 +8,19 @@
 //!
 //! ```text
 //! usage: explain3d-serve [--addr HOST:PORT] [--threads N] [--queue N]
-//!                        [--memory-budget-mb N] [--smoke]
+//!                        [--memory-budget-mb N] [--data-dir DIR]
+//!                        [--fsync off|interval[:N]|always]
+//!                        [--snapshot-every N] [--smoke]
 //! ```
+//!
+//! With `--data-dir` every session is durable: applied deltas are
+//! write-ahead-logged before they are acknowledged, snapshots replace the
+//! log every `--snapshot-every` deltas, evicted sessions spill to disk,
+//! and a restart on the same directory transparently recovers every
+//! session. `--fsync` trades write latency for power-loss protection
+//! (process crashes lose nothing under any policy). `SIGTERM`/`SIGINT`
+//! drain gracefully: stop accepting, finish queued requests, flush every
+//! session to a fresh snapshot, exit 0.
 //!
 //! `--smoke` runs the CI smoke lane instead of serving: bind an ephemeral
 //! port, drive a scripted create/explain/delta/report lifecycle over a real
@@ -18,15 +29,42 @@
 //!
 //! [`ExplainSession`]: explain3d_incremental::ExplainSession
 
+use explain3d_durability::{DurabilityConfig, FsyncPolicy};
 use explain3d_service::client::Client;
 use explain3d_service::json::Json;
 use explain3d_service::registry::{ServiceConfig, SessionRegistry};
 use explain3d_service::wire;
 use explain3d_service::{Server, ServerConfig};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 const USAGE: &str = "usage: explain3d-serve [--addr HOST:PORT] [--threads N] [--queue N] \
-                     [--memory-budget-mb N] [--smoke]";
+                     [--memory-budget-mb N] [--data-dir DIR] \
+                     [--fsync off|interval[:N]|always] [--snapshot-every N] [--smoke]";
+
+/// Set by the `SIGTERM`/`SIGINT` handler; the accept loop polls it.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Installs the graceful-drain signal handler (std-only: `signal(2)` via a
+/// raw C binding; the handler body is one atomic store, which is
+/// async-signal-safe).
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn request_stop(_signum: i32) {
+        STOP.store(true, Ordering::Relaxed);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, request_stop as *const () as usize);
+        signal(SIGINT, request_stop as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("explain3d-serve: {msg}");
@@ -44,6 +82,9 @@ fn parse_count(raw: &str, name: &str) -> usize {
 fn main() {
     let mut config = ServerConfig { addr: "127.0.0.1:7433".to_string(), ..Default::default() };
     let mut smoke = false;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::EveryN(16);
+    let mut snapshot_every: u64 = 64;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -57,9 +98,25 @@ fn main() {
                 config.service.memory_budget =
                     Some(parse_count(&value("--memory-budget-mb"), "--memory-budget-mb") << 20);
             }
+            "--data-dir" => data_dir = Some(value("--data-dir")),
+            "--fsync" => {
+                let raw = value("--fsync");
+                fsync = FsyncPolicy::parse(&raw).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "--fsync takes off, never, interval, interval:N, or always; got {raw:?}"
+                    ))
+                });
+            }
+            "--snapshot-every" => {
+                snapshot_every = parse_count(&value("--snapshot-every"), "--snapshot-every") as u64;
+            }
             "--smoke" => smoke = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
+    }
+    if let Some(dir) = data_dir {
+        config.service.durability =
+            Some(DurabilityConfig { dir: dir.into(), fsync, snapshot_every });
     }
 
     if smoke {
@@ -80,8 +137,19 @@ fn main() {
         config.threads,
         config.queue_capacity
     );
-    let stop = AtomicBool::new(false);
-    server.run(&stop);
+    if let Some(d) = &config.service.durability {
+        println!(
+            "explain3d-serve: durable sessions under {} (fsync {:?}, snapshot every {})",
+            d.dir.display(),
+            d.fsync,
+            d.snapshot_every
+        );
+    }
+    install_signal_handlers();
+    // `run` returns once STOP is set: it stops accepting, finishes every
+    // admitted request, and flushes all durable sessions to snapshots.
+    server.run(&STOP);
+    println!("explain3d-serve: drained, exiting");
 }
 
 /// The scripted session lifecycle of the CI smoke lane. Returns the

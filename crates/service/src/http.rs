@@ -104,16 +104,32 @@ impl Server {
         Arc::clone(&self.registry)
     }
 
-    /// Runs the accept loop on the calling thread until `stop` is set (a
-    /// no-op connection wakes the loop; [`ServerHandle::shutdown`] does
-    /// both).
+    /// How long the accept loop sleeps between polls when no connection is
+    /// waiting (the listener runs non-blocking so a signal-driven `stop`
+    /// is honoured promptly even if no connection ever arrives).
+    const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+    /// Runs the accept loop on the calling thread until `stop` is set,
+    /// then drains: admitted connections finish, and every durable session
+    /// is flushed to a fresh snapshot before this returns.
     pub fn run(self, stop: &AtomicBool) {
         let pool = TaskPool::new(self.config.threads, self.config.queue_capacity);
-        for conn in self.listener.incoming() {
-            if stop.load(Ordering::Relaxed) {
-                break;
+        let nonblocking = self.listener.set_nonblocking(true).is_ok();
+        while !stop.load(Ordering::Relaxed) {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Self::ACCEPT_POLL);
+                    continue;
+                }
+                Err(_) => continue,
+            };
+            // Whether an accepted socket inherits the listener's
+            // non-blocking mode is platform-specific; workers need it
+            // blocking either way.
+            if nonblocking && stream.set_nonblocking(false).is_err() {
+                continue;
             }
-            let Ok(stream) = conn else { continue };
             let _ = stream.set_read_timeout(Some(self.config.io_timeout));
             let _ = stream.set_write_timeout(Some(self.config.io_timeout));
             // Responses are written whole; Nagle only adds delayed-ACK
@@ -135,7 +151,11 @@ impl Server {
                 drop(saturated);
             }
         }
-        // Dropping the pool drains admitted connections before returning.
+        // Graceful drain: stop accepting (the loop exited), finish every
+        // admitted connection (pool drop joins the workers), then snapshot
+        // all durable sessions so recovery needs no WAL replay.
+        drop(pool);
+        self.registry.flush_all();
     }
 
     /// Spawns the accept loop on a background thread and returns a handle.
@@ -330,7 +350,15 @@ fn serve_connection(stream: TcpStream, registry: &SessionRegistry, max_body: usi
             Ok(None) => return,
             Ok(Some(req)) => {
                 let keep_alive = req.keep_alive;
-                let (status, body) = match route(&req, registry) {
+                // A panic in a handler answers 500 instead of unwinding
+                // into the pool: the worker (and its session slot, which
+                // the poisoned mutex marks) stays accounted for, and the
+                // connection keeps its protocol state.
+                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(&req, registry)
+                }))
+                .unwrap_or_else(|_| Err(ServiceError::Internal("request handler panicked".into())));
+                let (status, body) = match routed {
                     Ok(json) => ((200, "OK"), json),
                     Err(e) => (e.http_status(), e.to_json()),
                 };
@@ -372,11 +400,26 @@ fn route(req: &Request, registry: &SessionRegistry) -> Result<Json, ServiceError
                         .set("name", s.name)
                         .set("footprint_bytes", s.footprint)
                         .set("explained", s.explained)
+                        .set("deltas_logged", s.deltas_logged as usize)
                 })
                 .collect();
+            let stats = registry.stats();
             return Ok(Json::obj()
                 .set("sessions", sessions)
-                .set("total_footprint_bytes", registry.total_footprint()));
+                .set("total_footprint_bytes", registry.total_footprint())
+                .set(
+                    "stats",
+                    Json::obj()
+                        .set("creates", stats.creates)
+                        .set("drops", stats.drops)
+                        .set("evictions", stats.evictions)
+                        .set("spills", stats.spills)
+                        .set("recoveries", stats.recoveries)
+                        .set("explains", stats.explains)
+                        .set("deltas_applied", stats.deltas_applied)
+                        .set("coalesced_deltas", stats.coalesced_deltas)
+                        .set("reports", stats.reports),
+                ));
         }
         _ => {}
     }

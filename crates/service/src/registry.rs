@@ -36,13 +36,38 @@
 //! after every run. When the total exceeds
 //! [`ServiceConfig::memory_budget`], least-recently-used idle sessions are
 //! dropped (never the most recently touched one, never one that is busy or
-//! has queued work). An evicted session is simply gone — re-creating it
-//! and replaying its deltas reproduces the same fingerprints, which the
-//! torture test also pins.
+//! has queued work). Without durability an evicted session is simply
+//! gone — re-creating it and replaying its deltas reproduces the same
+//! fingerprints, which the torture test also pins.
+//!
+//! ## Durability
+//!
+//! With [`ServiceConfig::durability`] set, every session becomes durable:
+//! creation writes a seq-0 snapshot, every *successfully applied* delta is
+//! appended to the session's WAL (after `re_explain` succeeds, **before**
+//! the ticket is acknowledged — so the log is exactly the acknowledged
+//! prefix and a crash can never lose an acked delta to `kill -9`), and a
+//! fresh snapshot replaces the log every
+//! [`snapshot_every`](explain3d_durability::DurabilityConfig::snapshot_every)
+//! records. Eviction becomes **spill-to-disk** (a final snapshot, then the
+//! slot is dropped) and any request naming a non-resident session
+//! transparently recovers it: snapshot + WAL-suffix replay + one cold
+//! explain under the last recorded deadline, which the
+//! byte-identity-to-cold invariant makes fingerprint-equal to the report
+//! the session last served. A WAL or snapshot I/O failure never corrupts
+//! serving: durability for that session is abandoned (fail-open, with a
+//! stderr warning) and its on-disk state removed so a later recovery can
+//! never resurrect a stale image. Recovered sessions start with an empty
+//! [`SessionRegistry::delta_log`] (the in-memory test oracle), and
+//! deadline-scoped `explain` overrides are durable only via the snapshot's
+//! `last_deadline` — both are serving-equivalent, not byte-level, caveats.
 
 use crate::error::ServiceError;
 use crate::wire::{CreateRequest, RelationShape};
 use explain3d_core::pipeline::ExplanationReport;
+use explain3d_durability::{
+    DurabilityConfig, RecoveredSession, SessionSnapshot, SessionStore, WalRecord, WalWriter,
+};
 use explain3d_incremental::{ExplainSession, RelationDelta};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -64,6 +89,10 @@ pub struct ServiceConfig {
     /// via [`SessionRegistry::delta_log`] — the serial-replay oracle used
     /// by the equivalence tests. Off by default (it retains every delta).
     pub record_deltas: bool,
+    /// Durable sessions: WAL + snapshots under the configured directory,
+    /// spill-to-disk eviction, and transparent crash/evict recovery.
+    /// `None` (the default) keeps sessions purely in memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 /// Monotone lifetime counters of a registry.
@@ -75,6 +104,11 @@ pub struct RegistryStats {
     pub drops: usize,
     /// Sessions evicted under the memory budget.
     pub evictions: usize,
+    /// Evictions that wrote a final spill snapshot (always `<= evictions`;
+    /// equal when durability is on and every victim could be snapshotted).
+    pub spills: usize,
+    /// Sessions transparently rebuilt from disk (after a spill or a crash).
+    pub recoveries: usize,
     /// Cold `explain` runs served.
     pub explains: usize,
     /// Deltas applied (each ticket counts once, coalesced or not).
@@ -95,6 +129,8 @@ pub struct SessionInfo {
     pub footprint: usize,
     /// Whether the session has produced a report yet.
     pub explained: bool,
+    /// Deltas appended to the session's WAL (0 when durability is off).
+    pub deltas_logged: u64,
 }
 
 /// The result of one delta request.
@@ -145,11 +181,99 @@ impl TicketCell {
     }
 }
 
+/// The per-session durable attachment: the open WAL, the store handle
+/// used for snapshots, and the sequencing counters.
+struct DurableState {
+    store: SessionStore,
+    name: String,
+    wal: WalWriter,
+    /// Sequence number of the last logged delta (== deltas applied since
+    /// creation — the WAL logs exactly the applied order).
+    seq: u64,
+    /// Records appended since the last snapshot (snapshot cadence).
+    since_snapshot: u64,
+    /// The scoped deadline of the session's last run — recovery must
+    /// re-run the final explain under the same deterministic node budget.
+    last_deadline: Option<Duration>,
+}
+
 /// Session state guarded by the per-slot mutex.
 struct SessionState {
     session: ExplainSession,
     last_report: Option<Arc<ExplanationReport>>,
     applied_log: Vec<RelationDelta>,
+    durable: Option<DurableState>,
+}
+
+impl SessionState {
+    /// Appends one applied delta to the WAL (no-op when not durable).
+    /// Called after `re_explain` succeeded and before the ticket is
+    /// fulfilled. On I/O failure durability is abandoned fail-open: the
+    /// in-memory session keeps serving, and the on-disk state is removed
+    /// so a later recovery can never resurrect a stale prefix.
+    fn log_applied(&mut self, delta: &RelationDelta, deadline: Option<Duration>) {
+        let Some(d) = self.durable.as_mut() else { return };
+        d.seq += 1;
+        d.since_snapshot += 1;
+        d.last_deadline = deadline;
+        let record = WalRecord { seq: d.seq, deadline, delta: delta.clone() };
+        if let Err(e) = d.wal.append(&record) {
+            eprintln!(
+                "explain3d-service: WAL append failed for session {:?} ({e}); \
+                 abandoning durability for it",
+                d.name
+            );
+            self.abandon_durability();
+        }
+    }
+
+    /// Writes a fresh snapshot of the current session state and resets the
+    /// WAL. Returns true on success; on failure durability is abandoned
+    /// (see [`SessionState::log_applied`]) and false is returned.
+    fn snapshot_now(&mut self) -> bool {
+        let SessionState { session, durable, .. } = self;
+        let Some(d) = durable.as_mut() else { return false };
+        let snapshot = SessionSnapshot {
+            seq: d.seq,
+            explained: session.has_explained(),
+            last_deadline: d.last_deadline,
+            config: session.config().clone(),
+            matches: session.matches().clone(),
+            left: session.left().clone(),
+            right: session.right().clone(),
+        };
+        let result = d.store.write_snapshot(&d.name, &snapshot).and_then(|()| Ok(d.wal.reset()?));
+        match result {
+            Ok(()) => {
+                d.since_snapshot = 0;
+                true
+            }
+            Err(e) => {
+                eprintln!(
+                    "explain3d-service: snapshot failed for session {:?} ({e}); \
+                     abandoning durability for it",
+                    d.name
+                );
+                self.abandon_durability();
+                false
+            }
+        }
+    }
+
+    /// Snapshots if the cadence says so.
+    fn maybe_snapshot(&mut self) {
+        if let Some(d) = &self.durable {
+            if d.since_snapshot >= d.store.config().snapshot_every {
+                self.snapshot_now();
+            }
+        }
+    }
+
+    fn abandon_durability(&mut self) {
+        if let Some(d) = self.durable.take() {
+            let _ = d.store.remove(&d.name);
+        }
+    }
 }
 
 struct Slot {
@@ -160,6 +284,9 @@ struct Slot {
     pending: Mutex<VecDeque<Ticket>>,
     last_used: AtomicU64,
     footprint: AtomicUsize,
+    /// Mirror of the durable `seq` counter, readable without the state
+    /// lock (for [`SessionRegistry::list`]).
+    deltas_logged: AtomicU64,
 }
 
 impl Slot {
@@ -182,9 +309,12 @@ pub struct SessionRegistry {
     sessions: RwLock<HashMap<String, Arc<Slot>>>,
     clock: AtomicU64,
     config: ServiceConfig,
+    store: Option<SessionStore>,
     creates: AtomicUsize,
     drops: AtomicUsize,
     evictions: AtomicUsize,
+    spills: AtomicUsize,
+    recoveries: AtomicUsize,
     explains: AtomicUsize,
     deltas_applied: AtomicUsize,
     coalesced_deltas: AtomicUsize,
@@ -194,13 +324,17 @@ pub struct SessionRegistry {
 impl SessionRegistry {
     /// An empty registry.
     pub fn new(config: ServiceConfig) -> Self {
+        let store = config.durability.clone().map(SessionStore::open);
         SessionRegistry {
             sessions: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
             config,
+            store,
             creates: AtomicUsize::new(0),
             drops: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            spills: AtomicUsize::new(0),
+            recoveries: AtomicUsize::new(0),
             explains: AtomicUsize::new(0),
             deltas_applied: AtomicUsize::new(0),
             coalesced_deltas: AtomicUsize::new(0),
@@ -214,6 +348,8 @@ impl SessionRegistry {
             creates: self.creates.load(Ordering::Relaxed),
             drops: self.drops.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            spills: self.spills.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
             explains: self.explains.load(Ordering::Relaxed),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             coalesced_deltas: self.coalesced_deltas.load(Ordering::Relaxed),
@@ -234,10 +370,81 @@ impl SessionRegistry {
     }
 
     fn slot(&self, name: &str) -> Result<Arc<Slot>, ServiceError> {
-        self.sessions_read()?
-            .get(name)
-            .cloned()
-            .ok_or_else(|| ServiceError::SessionNotFound(name.to_string()))
+        if let Some(slot) = self.sessions_read()?.get(name).cloned() {
+            return Ok(slot);
+        }
+        self.recover_slot(name)
+    }
+
+    /// Transparently rebuilds a non-resident session from disk (the
+    /// spill-to-disk / crash-recovery path). [`ServiceError::SessionNotFound`]
+    /// when durability is off or the session has no durable state.
+    fn recover_slot(&self, name: &str) -> Result<Arc<Slot>, ServiceError> {
+        let Some(store) = &self.store else {
+            return Err(ServiceError::SessionNotFound(name.to_string()));
+        };
+        let recovered = store.recover(name).map_err(|e| {
+            ServiceError::Internal(format!("recovery of session {name:?} failed: {e}"))
+        })?;
+        let Some((RecoveredSession { snapshot, replayed, tail_discarded }, wal)) = recovered else {
+            return Err(ServiceError::SessionNotFound(name.to_string()));
+        };
+        if tail_discarded {
+            eprintln!(
+                "explain3d-service: session {name:?}: discarded a torn WAL tail \
+                 (recovered to the last acknowledged delta, seq {})",
+                snapshot.seq
+            );
+        }
+        let (seq, explained, last_deadline) =
+            (snapshot.seq, snapshot.explained, snapshot.last_deadline);
+        let mut session =
+            ExplainSession::new(snapshot.left, snapshot.right, snapshot.matches, snapshot.config);
+        let last_report = if explained {
+            // Re-derive the last served report: byte-identity-to-cold makes
+            // one cold explain under the recorded deadline fingerprint-equal
+            // to the report the session last acknowledged.
+            Some(Arc::new(run_with_deadline(&mut session, last_deadline, ExplainSession::explain)))
+        } else {
+            None
+        };
+        let footprint = session.memory_footprint();
+        let state = SessionState {
+            session,
+            last_report,
+            applied_log: Vec::new(),
+            durable: Some(DurableState {
+                store: store.clone(),
+                name: name.to_string(),
+                wal,
+                seq,
+                since_snapshot: replayed,
+                last_deadline,
+            }),
+        };
+        let slot = Arc::new(Slot {
+            name: name.to_string(),
+            left_shape: RelationShape::of(state.session.left()),
+            right_shape: RelationShape::of(state.session.right()),
+            state: Mutex::new(state),
+            pending: Mutex::new(VecDeque::new()),
+            last_used: AtomicU64::new(0),
+            footprint: AtomicUsize::new(footprint),
+            deltas_logged: AtomicU64::new(seq),
+        });
+        self.touch(&slot);
+        {
+            let mut map = self.sessions_write()?;
+            // A concurrent request may have recovered the session first —
+            // its slot wins and this rebuild is discarded.
+            if let Some(existing) = map.get(name) {
+                return Ok(Arc::clone(existing));
+            }
+            map.insert(name.to_string(), Arc::clone(&slot));
+        }
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget()?;
+        Ok(slot)
     }
 
     fn touch(&self, slot: &Slot) {
@@ -253,28 +460,70 @@ impl SessionRegistry {
                 "session names must be 1..=128 characters".into(),
             ));
         }
+        let mut state = SessionState {
+            session: ExplainSession::new(
+                request.left,
+                request.right,
+                request.matches,
+                request.config,
+            ),
+            last_report: None,
+            applied_log: Vec::new(),
+            durable: None,
+        };
+        if let Some(store) = &self.store {
+            // A spilled (non-resident) session still owns its name.
+            if store.contains(name) {
+                return Err(ServiceError::SessionExists(name.to_string()));
+            }
+            let genesis = SessionSnapshot {
+                seq: 0,
+                explained: false,
+                last_deadline: None,
+                config: state.session.config().clone(),
+                matches: state.session.matches().clone(),
+                left: state.session.left().clone(),
+                right: state.session.right().clone(),
+            };
+            match store.create_session(name, &genesis) {
+                Ok(wal) => {
+                    state.durable = Some(DurableState {
+                        store: store.clone(),
+                        name: name.to_string(),
+                        wal,
+                        seq: 0,
+                        since_snapshot: 0,
+                        last_deadline: None,
+                    });
+                }
+                Err(e) => eprintln!(
+                    "explain3d-service: could not create durable state for session \
+                     {name:?} ({e}); serving it in memory only"
+                ),
+            }
+        }
+        let created_durable = state.durable.is_some();
         let slot = Arc::new(Slot {
             name: name.to_string(),
-            left_shape: RelationShape::of(&request.left),
-            right_shape: RelationShape::of(&request.right),
-            state: Mutex::new(SessionState {
-                session: ExplainSession::new(
-                    request.left,
-                    request.right,
-                    request.matches,
-                    request.config,
-                ),
-                last_report: None,
-                applied_log: Vec::new(),
-            }),
+            left_shape: RelationShape::of(state.session.left()),
+            right_shape: RelationShape::of(state.session.right()),
+            state: Mutex::new(state),
             pending: Mutex::new(VecDeque::new()),
             last_used: AtomicU64::new(0),
             footprint: AtomicUsize::new(0),
+            deltas_logged: AtomicU64::new(0),
         });
         self.touch(&slot);
         {
             let mut map = self.sessions_write()?;
             if map.contains_key(name) {
+                // Undo the genesis image written above so the loser of this
+                // race can never be recovered over the resident session.
+                if created_durable {
+                    if let Some(store) = &self.store {
+                        let _ = store.remove(name);
+                    }
+                }
                 return Err(ServiceError::SessionExists(name.to_string()));
             }
             map.insert(name.to_string(), slot);
@@ -304,6 +553,13 @@ impl SessionRegistry {
             let report =
                 Arc::new(run_with_deadline(&mut state.session, deadline, ExplainSession::explain));
             state.last_report = Some(Arc::clone(&report));
+            // Persist the explained flag (and the deadline this run used) so
+            // recovery re-derives this report rather than an unexplained
+            // session.
+            if let Some(d) = state.durable.as_mut() {
+                d.last_deadline = deadline;
+                state.snapshot_now();
+            }
             slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
             report
         };
@@ -355,6 +611,10 @@ impl SessionRegistry {
                     }
                     let coalesced = serve_batch(&mut state, batch, self.config.record_deltas);
                     self.coalesced_deltas.fetch_add(coalesced, Ordering::Relaxed);
+                    state.maybe_snapshot();
+                    if let Some(d) = &state.durable {
+                        slot.deltas_logged.store(d.seq, Ordering::Relaxed);
+                    }
                     slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
                 }
                 Err(TryLockError::WouldBlock) => cell.wait_brief(),
@@ -379,15 +639,22 @@ impl SessionRegistry {
         Ok(report)
     }
 
-    /// Drops a session.
+    /// Drops a session — both its resident slot and any durable state, so
+    /// a spilled (non-resident) session can still be dropped by name.
     pub fn drop_session(&self, name: &str) -> Result<(), ServiceError> {
-        let removed = self.sessions_write()?.remove(name);
-        match removed {
-            Some(_) => {
-                self.drops.fetch_add(1, Ordering::Relaxed);
-                Ok(())
+        let resident = self.sessions_write()?.remove(name).is_some();
+        let durable = match &self.store {
+            Some(store) if store.contains(name) => {
+                let _ = store.remove(name);
+                true
             }
-            None => Err(ServiceError::SessionNotFound(name.to_string())),
+            _ => false,
+        };
+        if resident || durable {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            Err(ServiceError::SessionNotFound(name.to_string()))
         }
     }
 
@@ -402,6 +669,7 @@ impl SessionRegistry {
                 name: slot.name.clone(),
                 footprint: slot.footprint.load(Ordering::Relaxed),
                 explained: slot.state.try_lock().map(|s| s.session.has_explained()).unwrap_or(true),
+                deltas_logged: slot.deltas_logged.load(Ordering::Relaxed),
             })
             .collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -423,6 +691,26 @@ impl SessionRegistry {
         let slot = self.slot(name)?;
         let log = lock_state(&slot)?.applied_log.clone();
         Ok(log)
+    }
+
+    /// Snapshots every resident durable session (graceful-drain flush:
+    /// recovery then needs no WAL replay at all). Blocks on each session
+    /// lock — call only after request intake has stopped. Returns how many
+    /// sessions were flushed.
+    pub fn flush_all(&self) -> usize {
+        let slots: Vec<Arc<Slot>> = match self.sessions.read() {
+            Ok(map) => map.values().cloned().collect(),
+            Err(_) => return 0,
+        };
+        let mut flushed = 0;
+        for slot in slots {
+            if let Ok(mut state) = slot.state.lock() {
+                if state.durable.is_some() && state.snapshot_now() {
+                    flushed += 1;
+                }
+            }
+        }
+        flushed
     }
 
     /// Evicts least-recently-used idle sessions until the summed footprint
@@ -459,6 +747,16 @@ impl SessionRegistry {
             // arrived meanwhile keeps its session.
             if let Some(slot) = map.get(&name) {
                 if slot.idle() {
+                    // Spill: a final snapshot makes the victim transparently
+                    // recoverable. A poisoned slot skips the snapshot — its
+                    // WAL already holds every acknowledged delta, so
+                    // recovery still rebuilds the acked state (and heals the
+                    // poisoning, since the rebuilt slot has a fresh mutex).
+                    if let Ok(mut state) = slot.state.try_lock() {
+                        if state.durable.is_some() && state.snapshot_now() {
+                            self.spills.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     map.remove(&name);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
@@ -535,6 +833,12 @@ fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, record: bool) {
                 if record {
                     state.applied_log.extend(batch.iter().map(|t| t.delta.clone()));
                 }
+                // WAL before ack: log each ticket's delta (replay applies
+                // them in order, which is definitionally the merged script)
+                // so no acknowledged delta can be lost to a crash.
+                for ticket in &batch {
+                    state.log_applied(&ticket.delta, deadline);
+                }
                 let coalesced_with = batch.len() - 1;
                 for ticket in batch {
                     ticket
@@ -561,6 +865,7 @@ fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, record: bool) {
                 if record {
                     state.applied_log.push(ticket.delta.clone());
                 }
+                state.log_applied(&ticket.delta, ticket.deadline);
                 ticket.result.fulfill(Ok(DeltaOutcome { report, coalesced_with: 0 }));
             }
             Err(e) => ticket.result.fulfill(Err(e.into())),
@@ -736,7 +1041,7 @@ mod tests {
 
         let registry = SessionRegistry::new(ServiceConfig {
             memory_budget: Some(per_session * 5 / 2),
-            record_deltas: false,
+            ..ServiceConfig::default()
         });
         for name in ["a", "b", "c"] {
             registry.create(name, request(&[("x", 1.0), ("y", 2.0)], &[("x", 1.0)])).unwrap();
@@ -760,7 +1065,7 @@ mod tests {
     #[test]
     fn delta_log_records_applied_order() {
         let registry =
-            SessionRegistry::new(ServiceConfig { memory_budget: None, record_deltas: true });
+            SessionRegistry::new(ServiceConfig { record_deltas: true, ..ServiceConfig::default() });
         registry.create("s", request(&[("a", 1.0)], &[("a", 1.0)])).unwrap();
         registry.explain("s", None).unwrap();
         registry
@@ -812,6 +1117,115 @@ mod tests {
         let one = registry.explain("one", None).unwrap();
         assert!(one.complete);
         assert_eq!(one.explanations.len(), 2);
+    }
+
+    fn durable_config(tag: &str) -> (std::path::PathBuf, ServiceConfig) {
+        let dir = std::env::temp_dir().join(format!("e3d-reg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServiceConfig {
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..ServiceConfig::default()
+        };
+        (dir, config)
+    }
+
+    #[test]
+    fn spill_then_transparent_recovery_is_fingerprint_identical() {
+        // Budget for ~2.5 sessions, durability on: the eviction of "a" must
+        // spill it, and the next request naming "a" must recover it with
+        // the exact report it last served.
+        let probe = SessionRegistry::new(ServiceConfig::default());
+        probe.create("p", request(&[("x", 1.0), ("y", 2.0)], &[("x", 1.0)])).unwrap();
+        probe.explain("p", None).unwrap();
+        let per_session = probe.total_footprint();
+
+        let (dir, mut config) = durable_config("spill");
+        config.memory_budget = Some(per_session * 5 / 2);
+        let registry = SessionRegistry::new(config);
+        for name in ["a", "b", "c"] {
+            registry.create(name, request(&[("x", 1.0), ("y", 2.0)], &[("x", 1.0)])).unwrap();
+            registry.explain(name, None).unwrap();
+        }
+        let expected = fingerprint(&registry.report("c").unwrap());
+        let resident: Vec<String> = registry.list().into_iter().map(|s| s.name).collect();
+        assert_eq!(resident, vec!["b", "c"], "LRU \"a\" must be evicted");
+        assert_eq!(registry.stats().spills, 1);
+        // Transparent recovery: "a" answers again, with the same report
+        // the identical sessions "b"/"c" hold.
+        let recovered = registry.report("a").unwrap();
+        assert_eq!(fingerprint(&recovered), expected);
+        assert_eq!(registry.stats().recoveries, 1);
+        // Re-creating a spilled name conflicts rather than shadowing it.
+        let (_, config2) = {
+            let c = ServiceConfig {
+                durability: Some(DurabilityConfig::new(&dir)),
+                ..ServiceConfig::default()
+            };
+            (dir.clone(), c)
+        };
+        let fresh = SessionRegistry::new(config2);
+        assert!(matches!(
+            fresh.create("a", request(&[("x", 1.0)], &[])),
+            Err(ServiceError::SessionExists(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_after_deltas_replays_the_wal_suffix() {
+        let (dir, config) = durable_config("replay");
+        let deltas = [
+            RelationDelta::new().insert(Side::Right, tuple("b", 2.0)),
+            RelationDelta::new().update(Side::Right, 0, tuple("a", 2.0)),
+            RelationDelta::new().delete(Side::Left, 1),
+        ];
+        let expected = {
+            let registry = SessionRegistry::new(config.clone());
+            registry
+                .create("s", request(&[("a", 1.0), ("b", 2.0), ("c", 1.0)], &[("a", 1.0)]))
+                .unwrap();
+            registry.explain("s", None).unwrap();
+            let mut last = None;
+            for d in &deltas {
+                last = Some(registry.delta("s", d.clone(), None).unwrap().report);
+            }
+            assert_eq!(
+                registry.list().iter().find(|s| s.name == "s").unwrap().deltas_logged,
+                3,
+                "every applied delta must be logged"
+            );
+            fingerprint(&last.unwrap())
+            // Registry dropped without any flush — recovery must work off
+            // the genesis/explain snapshot plus the WAL alone.
+        };
+        let recovered = SessionRegistry::new(config);
+        assert_eq!(fingerprint(&recovered.report("s").unwrap()), expected);
+        assert_eq!(recovered.stats().recoveries, 1);
+        // The recovered session keeps serving (and logging) deltas.
+        recovered
+            .delta("s", RelationDelta::new().insert(Side::Left, tuple("d", 1.0)), None)
+            .unwrap();
+        assert_eq!(recovered.list().iter().find(|s| s.name == "s").unwrap().deltas_logged, 4);
+        // Dropping a durable session removes its disk state too.
+        recovered.drop_session("s").unwrap();
+        assert!(matches!(recovered.report("s"), Err(ServiceError::SessionNotFound(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_of_spilled_session_removes_disk_state() {
+        let (dir, config) = durable_config("dropspill");
+        {
+            let registry = SessionRegistry::new(config.clone());
+            registry.create("s", request(&[("a", 1.0)], &[("a", 1.0)])).unwrap();
+            registry.explain("s", None).unwrap();
+        }
+        // Non-resident ("spilled" across process lifetimes): drop by name.
+        let registry = SessionRegistry::new(config);
+        registry.drop_session("s").unwrap();
+        assert!(matches!(registry.report("s"), Err(ServiceError::SessionNotFound(_))));
+        assert!(matches!(registry.drop_session("s"), Err(ServiceError::SessionNotFound(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

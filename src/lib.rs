@@ -83,6 +83,7 @@
 pub use explain3d_baselines as baselines;
 pub use explain3d_core as core;
 pub use explain3d_datagen as datagen;
+pub use explain3d_durability as durability;
 pub use explain3d_eval as eval;
 pub use explain3d_incremental as incremental;
 pub use explain3d_linkage as linkage;

@@ -100,8 +100,11 @@ fn randomized_interleavings_match_serial_replay() {
     const SESSIONS: usize = 4;
     const OPS_PER_THREAD: usize = 24;
 
-    let registry =
-        Arc::new(SessionRegistry::new(ServiceConfig { memory_budget: None, record_deltas: true }));
+    let registry = Arc::new(SessionRegistry::new(ServiceConfig {
+        memory_budget: None,
+        record_deltas: true,
+        ..Default::default()
+    }));
     for s in 0..SESSIONS {
         registry.create(&format!("s{s}"), base_request(s)).unwrap();
         registry.explain(&format!("s{s}"), None).unwrap();
@@ -185,6 +188,7 @@ fn eviction_and_recreate_round_trip_under_contention() {
     let registry = Arc::new(SessionRegistry::new(ServiceConfig {
         memory_budget: Some(per_session * 3 / 2),
         record_deltas: true,
+        ..Default::default()
     }));
     for s in 0..SESSIONS {
         registry.create(&format!("s{s}"), base_request(s)).unwrap();
