@@ -122,7 +122,13 @@ impl Server {
                     std::thread::sleep(Self::ACCEPT_POLL);
                     continue;
                 }
-                Err(_) => continue,
+                Err(_) => {
+                    // A persistent accept failure (e.g. EMFILE when the
+                    // process is out of fds) must back off like WouldBlock
+                    // does, not spin the accept thread at 100%.
+                    std::thread::sleep(Self::ACCEPT_POLL);
+                    continue;
+                }
             };
             // Whether an accepted socket inherits the listener's
             // non-blocking mode is platform-specific; workers need it

@@ -70,7 +70,7 @@ use explain3d_durability::{
 };
 use explain3d_incremental::{ExplainSession, RelationDelta};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, TryLockError};
 use std::time::Duration;
 
@@ -287,13 +287,20 @@ struct Slot {
     /// Mirror of the durable `seq` counter, readable without the state
     /// lock (for [`SessionRegistry::list`]).
     deltas_logged: AtomicU64,
+    /// Mirror of `session.has_explained()`, readable without the state
+    /// lock (for [`SessionRegistry::list`]) — a busy session must not
+    /// misreport its explained status.
+    explained: AtomicBool,
 }
 
 impl Slot {
-    /// True when the slot can be evicted right now: nobody holds the
-    /// session lock and nothing is queued against it. A **poisoned** slot
-    /// (a panic escaped a run) counts as idle — it can only ever answer
-    /// 500s, so it is dead weight the budget should reclaim, not protect.
+    /// True when the slot looks evictable: nobody holds the session lock
+    /// and nothing is queued against it. A **poisoned** slot (a panic
+    /// escaped a run) counts as idle — it can only ever answer 500s, so it
+    /// is dead weight the budget should reclaim, not protect. This is the
+    /// victim *pre-screen*; the authoritative re-check happens in
+    /// [`SessionRegistry::enforce_budget`] with the pending and state
+    /// locks held across the removal.
     fn idle(&self) -> bool {
         let no_pending = self.pending.lock().map(|q| q.is_empty()).unwrap_or(true);
         no_pending
@@ -307,6 +314,13 @@ impl Slot {
 /// A concurrent registry of named explain sessions; see the module docs.
 pub struct SessionRegistry {
     sessions: RwLock<HashMap<String, Arc<Slot>>>,
+    /// Per-name recovery gates: [`SessionStore::recover`] truncates the
+    /// WAL to its valid length and opens a writer, so two concurrent
+    /// recoveries of the same name could each truncate records the other
+    /// already appended and acknowledged. Exactly one thread per name may
+    /// touch a session's disk state; entries are removed by their last
+    /// holder, so the table never outgrows the set of in-flight recoveries.
+    recovering: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     clock: AtomicU64,
     config: ServiceConfig,
     store: Option<SessionStore>,
@@ -327,6 +341,7 @@ impl SessionRegistry {
         let store = config.durability.clone().map(SessionStore::open);
         SessionRegistry {
             sessions: RwLock::new(HashMap::new()),
+            recovering: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(0),
             config,
             store,
@@ -376,6 +391,16 @@ impl SessionRegistry {
         self.recover_slot(name)
     }
 
+    /// True when `slot` is still the slot registered under `name`. A
+    /// caller that looked its slot up before an eviction spilled it must
+    /// re-route to recovery instead of operating on the removed "zombie"
+    /// slot — the zombie's stale WAL writer would race the recovered
+    /// slot's writer on the same file (duplicate seq numbers, interleaved
+    /// frames), and its snapshots would clobber the live state.
+    fn registered(&self, name: &str, slot: &Arc<Slot>) -> Result<bool, ServiceError> {
+        Ok(self.sessions_read()?.get(name).is_some_and(|s| Arc::ptr_eq(s, slot)))
+    }
+
     /// Transparently rebuilds a non-resident session from disk (the
     /// spill-to-disk / crash-recovery path). [`ServiceError::SessionNotFound`]
     /// when durability is off or the session has no durable state.
@@ -383,6 +408,45 @@ impl SessionRegistry {
         let Some(store) = &self.store else {
             return Err(ServiceError::SessionNotFound(name.to_string()));
         };
+        let gate = {
+            let mut recovering = self
+                .recovering
+                .lock()
+                .map_err(|_| ServiceError::Internal("recovery table poisoned".into()))?;
+            Arc::clone(recovering.entry(name.to_string()).or_default())
+        };
+        let result = {
+            let _guard = match gate.lock() {
+                Ok(guard) => guard,
+                // A previous recovery panicked mid-explain; the gate
+                // carries no data, so recovering again is safe.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            self.recover_slot_gated(name, store)
+        };
+        if let Ok(mut recovering) = self.recovering.lock() {
+            // Last holder out removes the entry (2 = the table's + ours);
+            // any waiter still blocked on the gate keeps the count higher
+            // and performs the removal itself when it finishes.
+            if Arc::strong_count(&gate) == 2 {
+                recovering.remove(name);
+            }
+        }
+        result
+    }
+
+    /// The body of [`SessionRegistry::recover_slot`], entered only by the
+    /// one thread holding the session's recovery gate.
+    fn recover_slot_gated(
+        &self,
+        name: &str,
+        store: &SessionStore,
+    ) -> Result<Arc<Slot>, ServiceError> {
+        // The winner of a concurrent recovery registered the slot while we
+        // waited on the gate — its WAL writer is authoritative.
+        if let Some(slot) = self.sessions_read()?.get(name).cloned() {
+            return Ok(slot);
+        }
         let recovered = store.recover(name).map_err(|e| {
             ServiceError::Internal(format!("recovery of session {name:?} failed: {e}"))
         })?;
@@ -431,12 +495,14 @@ impl SessionRegistry {
             last_used: AtomicU64::new(0),
             footprint: AtomicUsize::new(footprint),
             deltas_logged: AtomicU64::new(seq),
+            explained: AtomicBool::new(explained),
         });
         self.touch(&slot);
         {
             let mut map = self.sessions_write()?;
-            // A concurrent request may have recovered the session first —
-            // its slot wins and this rebuild is discarded.
+            // Defensive: the recovery gate means no other thread can have
+            // recovered this name, and `create` refuses names with durable
+            // state — but a racing insert must still win over this rebuild.
             if let Some(existing) = map.get(name) {
                 return Ok(Arc::clone(existing));
             }
@@ -512,6 +578,7 @@ impl SessionRegistry {
             last_used: AtomicU64::new(0),
             footprint: AtomicUsize::new(0),
             deltas_logged: AtomicU64::new(0),
+            explained: AtomicBool::new(false),
         });
         self.touch(&slot);
         {
@@ -547,9 +614,17 @@ impl SessionRegistry {
         name: &str,
         deadline: Option<Duration>,
     ) -> Result<Arc<ExplanationReport>, ServiceError> {
-        let slot = self.slot(name)?;
-        let report = {
+        loop {
+            let slot = self.slot(name)?;
             let mut state = lock_state(&slot)?;
+            // Eviction holds the state lock across the map removal, so
+            // holding it ourselves makes this check stable: if the slot
+            // was spilled between lookup and lock, re-route to recovery
+            // instead of snapshotting over the recovered slot's state.
+            if !self.registered(name, &slot)? {
+                drop(state);
+                continue;
+            }
             let report =
                 Arc::new(run_with_deadline(&mut state.session, deadline, ExplainSession::explain));
             state.last_report = Some(Arc::clone(&report));
@@ -561,12 +636,13 @@ impl SessionRegistry {
                 state.snapshot_now();
             }
             slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
-            report
-        };
-        self.touch(&slot);
-        self.explains.fetch_add(1, Ordering::Relaxed);
-        self.enforce_budget()?;
-        Ok(report)
+            slot.explained.store(state.session.has_explained(), Ordering::Relaxed);
+            drop(state);
+            self.touch(&slot);
+            self.explains.fetch_add(1, Ordering::Relaxed);
+            self.enforce_budget()?;
+            return Ok(report);
+        }
     }
 
     /// Applies a delta (possibly coalesced with concurrently queued ones)
@@ -577,15 +653,36 @@ impl SessionRegistry {
         delta: RelationDelta,
         deadline: Option<Duration>,
     ) -> Result<DeltaOutcome, ServiceError> {
-        let slot = self.slot(name)?;
         let cell = Arc::new(TicketCell::default());
-        {
+        let slot = loop {
+            let slot = self.slot(name)?;
+            {
+                let mut pending = slot
+                    .pending
+                    .lock()
+                    .map_err(|_| ServiceError::Internal("pending queue poisoned".into()))?;
+                pending.push_back(Ticket {
+                    delta: delta.clone(),
+                    deadline,
+                    result: Arc::clone(&cell),
+                });
+            }
+            // Eviction may have spilled the slot between lookup and push.
+            // It holds the pending lock across the removal, so the push
+            // either landed first (non-empty queue: the eviction aborts)
+            // or strictly after the removal — in which case nothing will
+            // ever drain this zombie queue: withdraw the ticket and retry
+            // against the recovered slot. Once this check passes, the
+            // pending ticket itself blocks any later eviction.
+            if self.registered(name, &slot)? {
+                break slot;
+            }
             let mut pending = slot
                 .pending
                 .lock()
                 .map_err(|_| ServiceError::Internal("pending queue poisoned".into()))?;
-            pending.push_back(Ticket { delta, deadline, result: Arc::clone(&cell) });
-        }
+            pending.retain(|t| !Arc::ptr_eq(&t.result, &cell));
+        };
         loop {
             if let Some(outcome) = cell.take()? {
                 self.touch(&slot);
@@ -616,6 +713,7 @@ impl SessionRegistry {
                         slot.deltas_logged.store(d.seq, Ordering::Relaxed);
                     }
                     slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
+                    slot.explained.store(state.session.has_explained(), Ordering::Relaxed);
                 }
                 Err(TryLockError::WouldBlock) => cell.wait_brief(),
                 Err(TryLockError::Poisoned(_)) => {
@@ -668,7 +766,9 @@ impl SessionRegistry {
             .map(|slot| SessionInfo {
                 name: slot.name.clone(),
                 footprint: slot.footprint.load(Ordering::Relaxed),
-                explained: slot.state.try_lock().map(|s| s.session.has_explained()).unwrap_or(true),
+                // Mirrored atomically on every run — a busy session's lock
+                // being held must not make the stat default to anything.
+                explained: slot.explained.load(Ordering::Relaxed),
                 deltas_logged: slot.deltas_logged.load(Ordering::Relaxed),
             })
             .collect();
@@ -744,21 +844,40 @@ impl SessionRegistry {
             };
             let mut map = self.sessions_write()?;
             // Re-check idleness under the write lock so a request that
-            // arrived meanwhile keeps its session.
-            if let Some(slot) = map.get(&name) {
-                if slot.idle() {
-                    // Spill: a final snapshot makes the victim transparently
-                    // recoverable. A poisoned slot skips the snapshot — its
-                    // WAL already holds every acknowledged delta, so
-                    // recovery still rebuilds the acked state (and heals the
-                    // poisoning, since the rebuilt slot has a fresh mutex).
-                    if let Ok(mut state) = slot.state.try_lock() {
-                        if state.durable.is_some() && state.snapshot_now() {
-                            self.spills.fetch_add(1, Ordering::Relaxed);
+            // arrived meanwhile keeps its session — and hold the victim's
+            // pending *and* state locks across the removal, so a racing
+            // `delta` push or `explain` lock lands strictly before this
+            // eviction (aborting it) or strictly after the removal (its
+            // registration re-check then re-routes to recovery); see
+            // [`SessionRegistry::registered`].
+            if let Some(slot) = map.get(&name).cloned() {
+                let pending = match slot.pending.lock() {
+                    Ok(queue) => queue,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                if pending.is_empty() {
+                    match slot.state.try_lock() {
+                        Ok(mut state) => {
+                            // Spill: a final snapshot makes the victim
+                            // transparently recoverable.
+                            if state.durable.is_some() && state.snapshot_now() {
+                                self.spills.fetch_add(1, Ordering::Relaxed);
+                            }
+                            map.remove(&name);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
                         }
+                        Err(TryLockError::Poisoned(_)) => {
+                            // A poisoned slot is evicted without a snapshot —
+                            // its WAL already holds every acknowledged delta,
+                            // so recovery still rebuilds the acked state (and
+                            // heals the poisoning: the rebuilt slot has a
+                            // fresh mutex).
+                            map.remove(&name);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Busy again: keep the session.
+                        Err(TryLockError::WouldBlock) => {}
                     }
-                    map.remove(&name);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
             drop(map);

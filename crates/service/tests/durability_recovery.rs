@@ -183,3 +183,109 @@ fn spilled_session_recovers_and_keeps_serving() {
     assert!(registry.stats().recoveries >= 1);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn concurrent_recovery_is_serialized_and_loses_no_acked_delta() {
+    // Many threads hit a non-resident (post-restart) session at once, each
+    // appending a delta the moment recovery completes. Before recovery was
+    // gated per name, every racer ran `SessionStore::recover` — whose
+    // WAL-open truncates the log to its valid length — so a late loser's
+    // truncation could erase records the winner had already appended and
+    // acknowledged. Exactly one recovery may run, and a further restart
+    // must replay every acknowledged delta.
+    const THREADS: usize = 8;
+    let dir = tempdir("concrecov");
+    {
+        let registry = SessionRegistry::new(durable(&dir, u64::MAX));
+        create(&registry, "s");
+        registry.explain("s", None).unwrap();
+        for body in DELTAS {
+            apply(&registry, "s", body);
+        }
+        // Dropped without a flush: the next request must recover.
+    }
+    let registry =
+        SessionRegistry::new(ServiceConfig { record_deltas: true, ..durable(&dir, u64::MAX) });
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let body = format!(
+                    r#"{{"ops": [{{"op": "insert", "side": "right",
+                         "tuple": {{"values": ["r{t}"]}}}}]}}"#
+                );
+                apply(registry, "s", &body);
+            });
+        }
+    });
+    assert_eq!(registry.stats().recoveries, 1, "recovery must run exactly once");
+    assert_eq!(registry.delta_log("s").unwrap().len(), THREADS);
+    let live = wire::fingerprint_hex(&registry.report("s").unwrap());
+    drop(registry);
+    // Restart: the WAL must hold DELTAS plus every concurrent insert in
+    // admitted order — a truncated acked record would diverge (or fail)
+    // this replay.
+    let recovered = SessionRegistry::new(durable(&dir, u64::MAX));
+    assert_eq!(wire::fingerprint_hex(&recovered.report("s").unwrap()), live);
+    let info = recovered.list().into_iter().find(|s| s.name == "s").unwrap();
+    assert_eq!(info.deltas_logged as usize, DELTAS.len() + THREADS);
+    assert!(info.explained);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn delta_storm_under_eviction_pressure_keeps_the_wal_consistent() {
+    // Tiny budget + concurrent deltas: eviction keeps spilling sessions
+    // while racing requests look them up. A request that loses the race
+    // must re-route to the recovered slot instead of appending through the
+    // removed slot's stale WAL writer — duplicate sequence numbers would
+    // make the next recovery fail with a WAL gap. Every delta must
+    // succeed, and a final restart must recover every session to exactly
+    // the report it last served.
+    const THREADS: usize = 4;
+    const OPS: usize = 12;
+    const NAMES: [&str; 3] = ["a", "b", "c"];
+    let probe = SessionRegistry::new(ServiceConfig::default());
+    create(&probe, "p");
+    probe.explain("p", None).unwrap();
+    let per_session = probe.total_footprint().max(1);
+
+    let dir = tempdir("evictrace");
+    let mut config = durable(&dir, 4);
+    config.memory_budget = Some(per_session * 3 / 2);
+    let registry = SessionRegistry::new(config);
+    for name in NAMES {
+        create(&registry, name);
+        registry.explain(name, None).unwrap();
+    }
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    let name = NAMES[(t + i) % NAMES.len()];
+                    let body = format!(
+                        r#"{{"ops": [{{"op": "insert", "side": "right",
+                             "tuple": {{"values": ["t{t}i{i}"]}}}}]}}"#
+                    );
+                    // `apply` unwraps: a WAL-gap Internal error (or a
+                    // zombie-slot NotFound) fails the test.
+                    apply(registry, name, &body);
+                }
+            });
+        }
+    });
+    let live: Vec<(&str, String)> =
+        NAMES.iter().map(|n| (*n, wire::fingerprint_hex(&registry.report(n).unwrap()))).collect();
+    assert!(registry.stats().spills >= 1, "the budget must have forced at least one spill");
+    drop(registry);
+    let recovered = SessionRegistry::new(durable(&dir, 4));
+    for (name, fp) in live {
+        assert_eq!(
+            wire::fingerprint_hex(&recovered.report(name).unwrap()),
+            fp,
+            "session {name} diverged after restart"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
