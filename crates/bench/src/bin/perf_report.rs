@@ -30,6 +30,12 @@
 //!   throughput, p50/p95/p99 latency, coalesced-delta count, and a
 //!   byte-identity check of every session's final report against a serial
 //!   in-process replay of its applied-delta log;
+//! * **service_scale** — the readiness event loop under mass concurrency:
+//!   thousands of simultaneously open keep-alive connections (target
+//!   10 000, `SERVICE_SCALE_CONNS` overrides; the lane raises
+//!   `RLIMIT_NOFILE` when it can and honestly records any clamp), every
+//!   connection served several report reads round-robin, with sustained
+//!   throughput and the registry's shard-contention counter;
 //! * **durability** — WAL append throughput under each fsync policy
 //!   (off / group-commit / every-record), and the cold-recovery latency
 //!   of the `rows × rows` incremental session (snapshot load + log-suffix
@@ -130,6 +136,93 @@ fn candidates_identical(a: &[Candidate], b: &[Candidate]) -> bool {
                 && x.right == y.right
                 && x.similarity.to_bits() == y.similarity.to_bits()
         })
+}
+
+/// Raises `RLIMIT_NOFILE` toward `desired` (both ends of every connection
+/// live in this process, so the scale lane needs ~2 fds per connection)
+/// and returns the limit actually in force afterwards. Non-root callers
+/// get at most the existing hard limit; failures leave the limit as-is.
+#[cfg(unix)]
+fn raise_fd_limit(desired: u64) -> u64 {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.cur >= desired {
+            return lim.cur;
+        }
+        // Root may raise the hard limit too; try the full ask first.
+        let want = RLimit { cur: desired, max: lim.max.max(desired) };
+        if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+            return desired;
+        }
+        let within_hard = RLimit { cur: lim.max, max: lim.max };
+        if lim.max > lim.cur && setrlimit(RLIMIT_NOFILE, &within_hard) == 0 {
+            return lim.max;
+        }
+        lim.cur
+    }
+}
+
+#[cfg(not(unix))]
+fn raise_fd_limit(_desired: u64) -> u64 {
+    1024
+}
+
+/// Writes `request` on the keep-alive `stream` and reads exactly one
+/// HTTP response (headers + `Content-Length` body), returning the status.
+fn scale_round_trip(stream: &mut std::net::TcpStream, request: &[u8]) -> std::io::Result<u16> {
+    use std::io::{Read, Write};
+    stream.write_all(request)?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 2048];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a full response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line")
+        })?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    let mut have = buf.len() - header_end;
+    while have < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        have += n;
+    }
+    Ok(status)
 }
 
 fn main() {
@@ -611,6 +704,248 @@ fn main() {
         service_stats.deltas_applied, service_stats.coalesced_deltas, service_errors,
     );
 
+    // --- Service at scale: the readiness event loop holding thousands of
+    // simultaneously open keep-alive connections while serving traffic.
+    // Every connection is opened before any request is measured (a barrier
+    // separates the phases), so the peak concurrent-open count *is* the
+    // connection count during the whole measured window. The workload is
+    // report reads across enough sessions to touch every registry shard,
+    // plus a trickle of deltas so the shard-contention counter measures a
+    // real read/write mix. The server is the real `explain3d-serve`
+    // binary in a child process when it is built (so each side of a
+    // connection spends its fd in its own process and the default 10k
+    // target fits under tight RLIMIT_NOFILE settings), falling back to an
+    // in-process server (2 fds per connection) otherwise; either way the
+    // lane raises RLIMIT_NOFILE when it can and records any clamp
+    // honestly instead of silently shrinking the claim.
+    const SCALE_SESSIONS: usize = 64;
+    const SCALE_CLIENTS: usize = 8;
+    const SCALE_ROUNDS: usize = 3;
+    const SCALE_ROWS: usize = 12;
+    let scale_requested: usize =
+        std::env::var("SERVICE_SCALE_CONNS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let serve_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("explain3d-serve")))
+        .filter(|p| p.is_file());
+    let scale_mode = if serve_bin.is_some() { "child-process" } else { "in-process" };
+    let fd_per_conn: u64 = if serve_bin.is_some() { 1 } else { 2 };
+    let fd_limit = raise_fd_limit(scale_requested as u64 * fd_per_conn + 1024);
+    let scale_conns =
+        scale_requested.min((fd_limit.saturating_sub(1024) / fd_per_conn) as usize).max(64);
+    if scale_conns < scale_requested {
+        println!(
+            "service_scale: RLIMIT_NOFILE {fd_limit} caps the {scale_mode} lane at {scale_conns} \
+             connections (requested {scale_requested}; set SERVICE_SCALE_CONNS or raise the limit)"
+        );
+    }
+    let mut scale_child: Option<std::process::Child> = None;
+    let mut scale_child_stdout: Option<std::io::BufReader<std::process::ChildStdout>> = None;
+    let mut scale_handle: Option<explain3d::service::ServerHandle> = None;
+    let scale_addr: std::net::SocketAddr = if let Some(bin) = &serve_bin {
+        use std::io::BufRead;
+        let mut child = std::process::Command::new(bin)
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "4",
+                "--queue",
+                "1024",
+                "--max-conns",
+                &(scale_conns + 64).to_string(),
+                "--io-timeout-ms",
+                "60000",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .expect("spawn explain3d-serve for the scale lane");
+        let mut reader = std::io::BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut banner = String::new();
+        reader.read_line(&mut banner).expect("serve banner");
+        let addr = banner
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable serve banner: {banner:?}"));
+        // Keep the pipe's read end open for the child's lifetime — the
+        // server prints on shutdown, and a closed pipe would turn that
+        // into an EPIPE panic.
+        scale_child_stdout = Some(reader);
+        scale_child = Some(child);
+        addr
+    } else {
+        let server = explain3d::service::Server::bind(explain3d::service::ServerConfig {
+            threads: 4,
+            queue_capacity: 1024,
+            io_timeout: Duration::from_secs(60),
+            max_connections: scale_conns + 64,
+            service: explain3d::service::ServiceConfig {
+                memory_budget: None,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .expect("bind ephemeral scale port");
+        let addr = server.local_addr();
+        scale_handle = Some(server.spawn());
+        addr
+    };
+    // Shard stats come over the wire (`GET /sessions`), which works
+    // identically against the child process and the in-process fallback.
+    let scale_stats_probe = |label: &str| -> (usize, usize) {
+        let mut probe = Client::connect(scale_addr).expect("scale stats connect");
+        let (status, body) = probe.request("GET", "/sessions", "").expect("scale stats request");
+        assert_eq!(status, 200, "scale stats ({label}): {body}");
+        let stats = body.get("stats").expect("stats object");
+        (
+            stats.get("shards").and_then(Json::as_i64).expect("shards") as usize,
+            stats.get("shard_contention").and_then(Json::as_i64).expect("shard_contention")
+                as usize,
+        )
+    };
+
+    let scale_body = |s: usize| -> String {
+        let tuples = |n: usize| -> String {
+            (0..n).map(|i| format!("{{\"values\": [\"s{s}x{i}\"]}}")).collect::<Vec<_>>().join(",")
+        };
+        format!(
+            "{{\"left\": {{\"name\": \"Q1\", \"columns\": [[\"k\", \"str\"]], \"key\": [\"k\"], \
+             \"tuples\": [{}]}}, \
+             \"right\": {{\"name\": \"Q2\", \"columns\": [[\"k\", \"str\"]], \"key\": [\"k\"], \
+             \"tuples\": [{}]}}, \
+             \"match\": {{\"left\": \"k\", \"right\": \"k\"}}}}",
+            tuples(SCALE_ROWS),
+            tuples(SCALE_ROWS - 2),
+        )
+    };
+    {
+        let mut setup = Client::connect(scale_addr).expect("scale setup connect");
+        for s in 0..SCALE_SESSIONS {
+            let (status, body) = setup
+                .request("POST", &format!("/sessions/scale{s}"), &scale_body(s))
+                .expect("scale create");
+            assert_eq!(status, 200, "scale create failed: {body}");
+            let (status, body) = setup
+                .request("POST", &format!("/sessions/scale{s}/explain"), "")
+                .expect("scale explain");
+            assert_eq!(status, 200, "scale explain failed: {body}");
+        }
+    }
+    let (_, scale_contention_base) = scale_stats_probe("baseline");
+
+    let scale_open_start = Instant::now();
+    let all_open = std::sync::Barrier::new(SCALE_CLIENTS + 1);
+    let mut scale_latencies: Vec<Duration> = Vec::new();
+    let mut scale_errors = 0usize;
+    let mut scale_opened = 0usize;
+    let scale_measured: Duration = std::thread::scope(|scope| {
+        let per_client = scale_conns / SCALE_CLIENTS;
+        let mut handles = Vec::new();
+        for c in 0..SCALE_CLIENTS {
+            let all_open = &all_open;
+            let count =
+                if c == SCALE_CLIENTS - 1 { scale_conns - per_client * c } else { per_client };
+            handles.push(scope.spawn(move || {
+                let mut sockets = Vec::with_capacity(count);
+                for k in 0..count {
+                    // Brief pacing keeps the connect storm inside the
+                    // listener backlog (SYN retransmits would stall 1s+).
+                    if k % 100 == 99 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    let mut tries = 0;
+                    let stream = loop {
+                        match std::net::TcpStream::connect(scale_addr) {
+                            Ok(s) => break s,
+                            Err(e) if tries < 50 => {
+                                tries += 1;
+                                std::thread::sleep(Duration::from_millis(20));
+                                let _ = e;
+                            }
+                            Err(e) => panic!("scale connect (after {tries} retries): {e}"),
+                        }
+                    };
+                    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+                    sockets.push(stream);
+                }
+                all_open.wait();
+                let mut latencies = Vec::with_capacity(count * SCALE_ROUNDS);
+                let mut errors = 0usize;
+                for round in 0..SCALE_ROUNDS {
+                    for (k, sock) in sockets.iter_mut().enumerate() {
+                        let session = (c * per_client + k) % SCALE_SESSIONS;
+                        // One delta per thread per round keeps a writer in
+                        // the read mix without dominating the wall clock.
+                        let request = if k == 0 {
+                            let body = format!(
+                                "{{\"ops\": [{{\"op\": \"insert\", \"side\": \"left\", \
+                                 \"tuple\": {{\"values\": [\"z{c}r{round}\"]}}}}]}}"
+                            );
+                            format!(
+                                "POST /sessions/scale{session}/delta HTTP/1.1\r\n\
+                                 Content-Length: {}\r\n\r\n{body}",
+                                body.len()
+                            )
+                        } else {
+                            format!("GET /sessions/scale{session}/report HTTP/1.1\r\n\r\n")
+                        };
+                        let t0 = Instant::now();
+                        let status =
+                            scale_round_trip(sock, request.as_bytes()).expect("scale request");
+                        latencies.push(t0.elapsed());
+                        if status != 200 {
+                            errors += 1;
+                        }
+                    }
+                }
+                (sockets.len(), latencies, errors)
+            }));
+        }
+        all_open.wait();
+        let measure_start = Instant::now();
+        for h in handles {
+            let (opened, lat, errs) = h.join().expect("scale client panicked");
+            scale_opened += opened;
+            scale_latencies.extend(lat);
+            scale_errors += errs;
+        }
+        measure_start.elapsed()
+    });
+    let scale_open_secs = scale_open_start.elapsed().as_secs_f64() - scale_measured.as_secs_f64();
+    scale_latencies.sort_unstable();
+    let scale_quantile = |q: f64| -> f64 {
+        let idx = ((scale_latencies.len() - 1) as f64 * q).round() as usize;
+        scale_latencies[idx].as_secs_f64() * 1e3
+    };
+    let scale_total = scale_latencies.len();
+    let scale_rps = scale_total as f64 / scale_measured.as_secs_f64().max(1e-12);
+    let (scale_shards, scale_contention_end) = scale_stats_probe("final");
+    let scale_contention = scale_contention_end - scale_contention_base;
+    if let Some(mut child) = scale_child.take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    drop(scale_child_stdout);
+    if let Some(handle) = scale_handle.take() {
+        handle.shutdown();
+    }
+    let scale_all_served = scale_opened == scale_conns && scale_errors == 0;
+    println!(
+        "service_scale: {scale_opened} concurrent keep-alive connections opened in \
+         {scale_open_secs:.2}s ({scale_mode}), {scale_total} requests in {:.3}s — \
+         {scale_rps:.0} req/s, p50 {:.2}ms p99 {:.2}ms",
+        scale_measured.as_secs_f64(),
+        scale_quantile(0.50),
+        scale_quantile(0.99),
+    );
+    println!(
+        "service_scale: {scale_shards} registry shards, {scale_contention} contended lock \
+         acquisitions, {scale_errors} errors"
+    );
+
     // --- Durability: the write-ahead-log cost of acknowledging a delta
     // under each fsync policy (the snapshot content is irrelevant to
     // append cost, so a small genesis keeps setup out of the numbers),
@@ -807,6 +1142,26 @@ fn main() {
                 .set("serial_replay_identical", service_identical),
         )
         .set(
+            "service_scale",
+            Json::obj()
+                .set("connections", scale_opened)
+                .set("requested_connections", scale_requested)
+                .set("mode", scale_mode)
+                .set("fd_limit", fd_limit as usize)
+                .set("sessions", SCALE_SESSIONS)
+                .set("client_threads", SCALE_CLIENTS)
+                .set("rounds", SCALE_ROUNDS)
+                .set("requests", scale_total)
+                .set("open_secs", scale_open_secs)
+                .set("measured_secs", scale_measured.as_secs_f64())
+                .set("throughput_rps", scale_rps)
+                .set("p50_ms", scale_quantile(0.50))
+                .set("p99_ms", scale_quantile(0.99))
+                .set("shards", scale_shards)
+                .set("shard_contention", scale_contention)
+                .set("errors", scale_errors),
+        )
+        .set(
             "durability",
             wal_rates
                 .set("wal_appends", WAL_APPENDS as usize)
@@ -837,6 +1192,11 @@ fn main() {
     assert!(
         recovery_identical,
         "the recovered session's report diverged from the pre-crash re_explain result"
+    );
+    assert!(
+        scale_all_served,
+        "the scale lane must open every connection and serve every request \
+         ({scale_opened}/{scale_conns} opened, {scale_errors} errors)"
     );
     assert!(
         gen_stats.peak_resident_pairs <= threads.max(1) * gen_stats.chunk_pairs,

@@ -23,6 +23,9 @@
 //!   **bounded** job queue with non-blocking shed
 //!   ([`TaskPool::try_execute`]), the admission-control primitive of the
 //!   `explain3d-service` HTTP server.
+//! * [`WakeSignal`] ([`wake`]) — a self-pipe readiness wakeup, so an event
+//!   loop parked in `epoll_wait`/`poll` learns that a pool worker finished
+//!   a job without polling a flag.
 //!
 //! Determinism contract: every batch entry point returns results **in
 //! input order** regardless of how the items were scheduled across worker
@@ -33,8 +36,10 @@
 #![warn(missing_docs)]
 
 pub mod pool;
+pub mod wake;
 
 pub use pool::{PoolSaturated, PoolStats, TaskPool};
+pub use wake::WakeSignal;
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,148 @@
+//! Readiness wakeups for event loops: a self-pipe a poller can watch.
+//!
+//! A readiness-based server parks in `epoll_wait`/`poll` and must be woken
+//! when work completes *off* the event thread — e.g. when a
+//! [`TaskPool`](crate::TaskPool) worker finishes a request and queues the
+//! response for writing. [`WakeSignal`] is the classic self-pipe: the
+//! producer side writes one byte per [`notify`](WakeSignal::notify), the
+//! event loop registers [`fd`](WakeSignal::fd) for readability and calls
+//! [`drain`](WakeSignal::drain) when it fires.
+//!
+//! ## Protocol
+//!
+//! The pipe is left in blocking mode on purpose — no `fcntl` binding
+//! needed — so the one rule is: **only call `drain` after the poller
+//! reported the fd readable** (then at least one byte is present and the
+//! bounded read cannot block). `drain` consumes at most one buffer's worth;
+//! leftover bytes keep the fd readable, so a level-triggered poller simply
+//! wakes again. Producers must enqueue their payload (under whatever lock
+//! guards it) *before* calling `notify`: the consumer drains the pipe first
+//! and the payload queue second, so every notified payload is observed by
+//! the wakeup it triggered or an earlier one.
+//!
+//! A pipe holds 64 KiB, so `notify` only blocks if ~65k notifications pile
+//! up undrained; the event loop drains on every wakeup, which makes that a
+//! transient stall of the producer, never a deadlock (the consumer never
+//! waits on producers).
+
+use std::io;
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        pub fn pipe(fds: *mut i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+/// A self-pipe wakeup: `notify` from any thread, poll + `drain` on the
+/// event thread. See the module docs for the ordering protocol.
+pub struct WakeSignal {
+    read_fd: i32,
+    write_fd: i32,
+}
+
+impl WakeSignal {
+    /// Opens the pipe pair.
+    #[cfg(unix)]
+    pub fn new() -> io::Result<WakeSignal> {
+        let mut fds = [-1i32; 2];
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeSignal { read_fd: fds[0], write_fd: fds[1] })
+    }
+
+    /// Unsupported off unix (no event-loop backend exists there either).
+    #[cfg(not(unix))]
+    pub fn new() -> io::Result<WakeSignal> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "WakeSignal requires a unix pipe"))
+    }
+
+    /// The fd the event loop registers for readability.
+    pub fn fd(&self) -> i32 {
+        self.read_fd
+    }
+
+    /// Wakes the event loop: writes one byte. Callable from any thread;
+    /// enqueue the payload this wakeup announces *before* calling this.
+    pub fn notify(&self) {
+        #[cfg(unix)]
+        {
+            let byte = [1u8];
+            let mut spins = 0;
+            // EINTR is the only retryable outcome; anything else (e.g. the
+            // read end closed during shutdown) just drops the wakeup.
+            while unsafe { sys::write(self.write_fd, byte.as_ptr(), 1) } < 0 {
+                if io::Error::last_os_error().kind() != io::ErrorKind::Interrupted || spins > 64 {
+                    break;
+                }
+                spins += 1;
+            }
+        }
+    }
+
+    /// Consumes pending wakeup bytes (up to one buffer's worth) and returns
+    /// how many were read. Call only after the poller reported
+    /// [`fd`](WakeSignal::fd) readable — the pipe is blocking.
+    pub fn drain(&self) -> usize {
+        #[cfg(unix)]
+        {
+            let mut buf = [0u8; 512];
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n > 0 {
+                return n as usize;
+            }
+        }
+        0
+    }
+}
+
+impl Drop for WakeSignal {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn notify_then_drain_round_trips() {
+        let wake = WakeSignal::new().unwrap();
+        assert!(wake.fd() >= 0);
+        wake.notify();
+        wake.notify();
+        // Two notifies → two bytes, both consumed by one bounded drain.
+        assert_eq!(wake.drain(), 2);
+    }
+
+    #[test]
+    fn notifies_cross_threads() {
+        let wake = Arc::new(WakeSignal::new().unwrap());
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let wake = Arc::clone(&wake);
+                std::thread::spawn(move || wake.notify())
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut seen = 0;
+        while seen < 4 {
+            let n = wake.drain();
+            assert!(n > 0, "a notified pipe must yield at least one byte");
+            seen += n;
+        }
+        assert_eq!(seen, 4);
+    }
+}

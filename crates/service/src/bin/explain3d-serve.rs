@@ -8,10 +8,22 @@
 //!
 //! ```text
 //! usage: explain3d-serve [--addr HOST:PORT] [--threads N] [--queue N]
+//!                        [--backend epoll|poll|auto] [--max-conns N]
+//!                        [--shards N] [--io-timeout-ms N]
+//!                        [--coalesce-window-ms N]
 //!                        [--memory-budget-mb N] [--data-dir DIR]
 //!                        [--fsync off|interval[:N]|always]
 //!                        [--snapshot-every N] [--smoke]
 //! ```
+//!
+//! One event-loop thread multiplexes every connection through the chosen
+//! readiness `--backend` (`auto` picks `epoll` on Linux, `poll`
+//! elsewhere) and dispatches complete requests onto `--threads` workers;
+//! `--max-conns` caps concurrently open sockets (beyond it accepts are
+//! answered 429). `--shards` stripes the session-index lock and
+//! `--coalesce-window-ms` makes delta requests wait that long for
+//! batch-mates before re-explaining — higher delta throughput under
+//! bursts, at bounded added latency.
 //!
 //! With `--data-dir` every session is durable: applied deltas are
 //! write-ahead-logged before they are acknowledged, snapshots replace the
@@ -34,12 +46,14 @@ use explain3d_service::client::Client;
 use explain3d_service::json::Json;
 use explain3d_service::registry::{ServiceConfig, SessionRegistry};
 use explain3d_service::wire;
-use explain3d_service::{Server, ServerConfig};
+use explain3d_service::{Backend, Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 const USAGE: &str = "usage: explain3d-serve [--addr HOST:PORT] [--threads N] [--queue N] \
-                     [--memory-budget-mb N] [--data-dir DIR] \
-                     [--fsync off|interval[:N]|always] [--snapshot-every N] [--smoke]";
+                     [--backend epoll|poll|auto] [--max-conns N] [--shards N] \
+                     [--io-timeout-ms N] [--coalesce-window-ms N] [--memory-budget-mb N] \
+                     [--data-dir DIR] [--fsync off|interval[:N]|always] [--snapshot-every N] \
+                     [--smoke]";
 
 /// Set by the `SIGTERM`/`SIGINT` handler; the accept loop polls it.
 static STOP: AtomicBool = AtomicBool::new(false);
@@ -94,6 +108,27 @@ fn main() {
             "--addr" => config.addr = value("--addr"),
             "--threads" => config.threads = parse_count(&value("--threads"), "--threads"),
             "--queue" => config.queue_capacity = parse_count(&value("--queue"), "--queue"),
+            "--backend" => {
+                let raw = value("--backend");
+                config.backend = Backend::parse(&raw).unwrap_or_else(|| {
+                    usage_error(&format!("--backend takes epoll, poll, or auto; got {raw:?}"))
+                });
+            }
+            "--max-conns" => {
+                config.max_connections = parse_count(&value("--max-conns"), "--max-conns");
+            }
+            "--shards" => config.service.shards = parse_count(&value("--shards"), "--shards"),
+            "--io-timeout-ms" => {
+                config.io_timeout = std::time::Duration::from_millis(parse_count(
+                    &value("--io-timeout-ms"),
+                    "--io-timeout-ms",
+                ) as u64);
+            }
+            "--coalesce-window-ms" => {
+                config.service.coalesce_window = Some(std::time::Duration::from_millis(
+                    parse_count(&value("--coalesce-window-ms"), "--coalesce-window-ms") as u64,
+                ));
+            }
             "--memory-budget-mb" => {
                 config.service.memory_budget =
                     Some(parse_count(&value("--memory-budget-mb"), "--memory-budget-mb") << 20);
@@ -136,6 +171,10 @@ fn main() {
         server.local_addr(),
         config.threads,
         config.queue_capacity
+    );
+    println!(
+        "explain3d-serve: {:?} readiness backend, max {} connections",
+        config.backend, config.max_connections
     );
     if let Some(d) = &config.service.durability {
         println!(

@@ -31,6 +31,13 @@ pub enum ServiceError {
     /// The request exceeded a hard protocol limit (body size, header
     /// count, …).
     TooLarge(String),
+    /// A delta was parsed against session shapes that no longer exist:
+    /// the session was dropped and re-created (with different relations)
+    /// between the shape read and the apply. Retry against the fresh
+    /// session.
+    ShapeConflict(String),
+    /// The peer went silent mid-request and the connection timed out.
+    Timeout(String),
     /// An internal invariant failed (e.g. a poisoned session lock after a
     /// worker panic). The worker survives and reports it instead of dying.
     Internal(String),
@@ -48,6 +55,8 @@ impl ServiceError {
             ServiceError::Overloaded => "overloaded",
             ServiceError::NotFound(_) => "not_found",
             ServiceError::TooLarge(_) => "too_large",
+            ServiceError::ShapeConflict(_) => "shape_conflict",
+            ServiceError::Timeout(_) => "timeout",
             ServiceError::Internal(_) => "internal",
         }
     }
@@ -60,6 +69,8 @@ impl ServiceError {
             ServiceError::SessionExists(_) => (409, "Conflict"),
             ServiceError::NoReport(_) => (409, "Conflict"),
             ServiceError::TooLarge(_) => (413, "Payload Too Large"),
+            ServiceError::ShapeConflict(_) => (409, "Conflict"),
+            ServiceError::Timeout(_) => (408, "Request Timeout"),
             ServiceError::Overloaded => (429, "Too Many Requests"),
             ServiceError::Internal(_) => (500, "Internal Server Error"),
         }
@@ -88,6 +99,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::NotFound(what) => write!(f, "no such route: {what}"),
             ServiceError::TooLarge(what) => write!(f, "request too large: {what}"),
+            ServiceError::ShapeConflict(name) => write!(
+                f,
+                "session {name:?} was re-created with different shapes while this \
+                 delta was in flight — retry against the current session"
+            ),
+            ServiceError::Timeout(what) => write!(f, "request timed out: {what}"),
             ServiceError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }

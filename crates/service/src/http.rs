@@ -1,12 +1,26 @@
-//! A std-only HTTP/1.1 JSON server over [`std::net::TcpListener`].
+//! A std-only, readiness-based HTTP/1.1 JSON server.
 //!
-//! The serving architecture mirrors the offline-workspace discipline of
-//! the rest of the repo: no async runtime, no hyper — a blocking accept
-//! loop that hands each connection to a fixed
-//! [`explain3d_parallel::TaskPool`]. Admission control is the pool's
-//! bounded queue: when it is full, the accept loop answers
-//! `429 Too Many Requests` *itself* (a constant-cost write) and closes, so
-//! overload sheds instead of queueing without bound.
+//! One **event loop** (the thread that calls [`Server::run`]) owns every
+//! socket: a [`Poller`] (raw `epoll`, or `poll(2)` as the portable
+//! fallback) watches the nonblocking listener plus every connection fd,
+//! and each connection walks a small state machine —
+//!
+//! ```text
+//!   reading (head + body, incremental byte-bounded parse)
+//!      └─ complete request ──▶ executing (on the TaskPool)
+//!                                  └─ response ready ──▶ writing
+//!                                                           └─ keep-alive ──▶ reading
+//! ```
+//!
+//! Ready **requests** — never whole connections — are dispatched onto the
+//! fixed [`explain3d_parallel::TaskPool`], so a slow MILP solve occupies
+//! one worker while the event loop keeps serving every other socket; a
+//! keep-alive connection costs a buffer, not a thread. Workers hand the
+//! encoded response back through a completion queue and wake the loop via
+//! a [`WakeSignal`] self-pipe. Admission control is unchanged in spirit:
+//! when the pool's bounded queue is full the event loop answers
+//! `429 Too Many Requests` itself (a constant-cost write) instead of
+//! queueing without bound.
 //!
 //! ## Routes
 //!
@@ -17,41 +31,55 @@
 //! | `POST /sessions/{name}/delta`  | apply a delta (coalesced under load)   |
 //! | `GET /sessions/{name}/report`  | last stored report                     |
 //! | `DELETE /sessions/{name}`      | drop the session                       |
-//! | `GET /sessions`                | list sessions + footprints             |
+//! | `GET /sessions`                | list sessions + registry stats         |
 //! | `GET /healthz`                 | liveness probe                         |
 //!
-//! Connections are keep-alive (one worker drives one connection at a time);
-//! per-request MILP deadlines arrive as `deadline_ms` in the body and are
-//! scoped to that run. Every parse or protocol failure becomes a typed
-//! JSON error response — a malformed request can never panic a worker.
+//! `{name}` is percent-decoded (`%2F` rejected), so the wire addresses
+//! exactly the session a library caller names. Idle connections are
+//! reaped after [`ServerConfig::io_timeout`]; a connection that went
+//! silent **mid-request** is answered `408 Request Timeout` first. A
+//! request executing on the pool is never timed out by the loop — MILP
+//! deadlines govern it. Every parse or protocol failure becomes a typed
+//! JSON error response — malformed input can never panic a worker.
+//!
+//! [`Poller`]: crate::poller::Poller
+//! [`WakeSignal`]: explain3d_parallel::WakeSignal
 
 use crate::error::ServiceError;
 use crate::json::Json;
+use crate::poller::{Backend, Event, Interest, Poller};
+use crate::proto::{self, Parse, ParsedRequest};
 use crate::registry::{ServiceConfig, SessionRegistry};
 use crate::wire;
-use explain3d_parallel::TaskPool;
-use std::io::{BufRead, BufReader, Read, Write};
+use explain3d_parallel::{TaskPool, WakeSignal};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads (each drives one connection at a time).
+    /// Worker threads executing requests (not connections).
     pub threads: usize,
-    /// Bounded admission queue: connections waiting for a worker beyond
-    /// this are shed with a 429.
+    /// Bounded admission queue: ready requests beyond this are shed with
+    /// a 429.
     pub queue_capacity: usize,
     /// Hard cap on request body bytes.
     pub max_body_bytes: usize,
-    /// Socket read/write timeout (also bounds how long an idle keep-alive
-    /// connection can hold a worker).
+    /// Idle timeout: how long a connection may sit in the reading or
+    /// writing state without progress before it is reaped (mid-request
+    /// silences answer 408 first). Executing requests are exempt.
     pub io_timeout: Duration,
-    /// Registry configuration (memory budget, delta recording).
+    /// Readiness backend (`epoll` on Linux, `poll` anywhere).
+    pub backend: Backend,
+    /// Hard cap on concurrently open connections; beyond it, accepts are
+    /// answered 429 and closed.
+    pub max_connections: usize,
+    /// Registry configuration (memory budget, shards, delta recording).
     pub service: ServiceConfig,
 }
 
@@ -63,6 +91,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_body_bytes: 64 << 20,
             io_timeout: Duration::from_secs(10),
+            backend: Backend::auto(),
+            max_connections: 16384,
             service: ServiceConfig::default(),
         }
     }
@@ -76,12 +106,12 @@ pub struct Server {
     config: ServerConfig,
 }
 
-/// Handle to a server running on a background accept thread.
+/// Handle to a server running on a background event-loop thread.
 pub struct ServerHandle {
     addr: SocketAddr,
     registry: Arc<SessionRegistry>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    event_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -104,77 +134,32 @@ impl Server {
         Arc::clone(&self.registry)
     }
 
-    /// How long the accept loop sleeps between polls when no connection is
-    /// waiting (the listener runs non-blocking so a signal-driven `stop`
-    /// is honoured promptly even if no connection ever arrives).
-    const ACCEPT_POLL: Duration = Duration::from_millis(5);
-
-    /// Runs the accept loop on the calling thread until `stop` is set,
-    /// then drains: admitted connections finish, and every durable session
-    /// is flushed to a fresh snapshot before this returns.
+    /// Runs the event loop on the calling thread until `stop` is set, then
+    /// drains: in-flight requests finish and their responses are written,
+    /// and every durable session is flushed to a fresh snapshot before
+    /// this returns.
     pub fn run(self, stop: &AtomicBool) {
-        let pool = TaskPool::new(self.config.threads, self.config.queue_capacity);
-        let nonblocking = self.listener.set_nonblocking(true).is_ok();
-        while !stop.load(Ordering::Relaxed) {
-            let stream = match self.listener.accept() {
-                Ok((stream, _)) => stream,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Self::ACCEPT_POLL);
-                    continue;
-                }
-                Err(_) => {
-                    // A persistent accept failure (e.g. EMFILE when the
-                    // process is out of fds) must back off like WouldBlock
-                    // does, not spin the accept thread at 100%.
-                    std::thread::sleep(Self::ACCEPT_POLL);
-                    continue;
-                }
-            };
-            // Whether an accepted socket inherits the listener's
-            // non-blocking mode is platform-specific; workers need it
-            // blocking either way.
-            if nonblocking && stream.set_nonblocking(false).is_err() {
-                continue;
-            }
-            let _ = stream.set_read_timeout(Some(self.config.io_timeout));
-            let _ = stream.set_write_timeout(Some(self.config.io_timeout));
-            // Responses are written whole; Nagle only adds delayed-ACK
-            // stalls to the small keep-alive exchanges.
-            let _ = stream.set_nodelay(true);
-            let registry = Arc::clone(&self.registry);
-            let max_body = self.config.max_body_bytes;
-            // A second handle to the same socket, kept out of the job so
-            // the accept thread can still answer if the queue sheds it.
-            let shed_handle = stream.try_clone().ok();
-            if let Err(saturated) = pool.try_execute(move || {
-                serve_connection(stream, &registry, max_body);
-            }) {
-                // Queue full: 429 from the accept thread (constant cost —
-                // a short bounded write), then drop both handles.
-                if let Some(handle) = shed_handle {
-                    shed_connection(handle);
-                }
-                drop(saturated);
-            }
+        match EventLoop::new(self.listener, Arc::clone(&self.registry), &self.config) {
+            Ok(mut event_loop) => event_loop.run(stop),
+            Err(e) => eprintln!("explain3d-service: cannot start the event loop: {e}"),
         }
-        // Graceful drain: stop accepting (the loop exited), finish every
-        // admitted connection (pool drop joins the workers), then snapshot
-        // all durable sessions so recovery needs no WAL replay.
-        drop(pool);
+        // The event loop (and its pool, which drains queued jobs on drop)
+        // is gone; snapshot all durable sessions so recovery needs no WAL
+        // replay.
         self.registry.flush_all();
     }
 
-    /// Spawns the accept loop on a background thread and returns a handle.
+    /// Spawns the event loop on a background thread and returns a handle.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr;
         let registry = Arc::clone(&self.registry);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name("explain3d-accept".into())
+        let event_thread = std::thread::Builder::new()
+            .name("explain3d-events".into())
             .spawn(move || self.run(&stop2))
-            .expect("spawning the accept thread");
-        ServerHandle { addr, registry, stop, accept_thread: Some(accept_thread) }
+            .expect("spawning the event-loop thread");
+        ServerHandle { addr, registry, stop, event_thread: Some(event_thread) }
     }
 }
 
@@ -189,12 +174,12 @@ impl ServerHandle {
         Arc::clone(&self.registry)
     }
 
-    /// Stops the accept loop (in-flight requests finish first).
+    /// Stops the event loop (in-flight requests finish first).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway connection.
+        // Wake the parked poller with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
+        if let Some(h) = self.event_thread.take() {
             let _ = h.join();
         }
     }
@@ -204,195 +189,545 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
+        if let Some(h) = self.event_thread.take() {
             let _ = h.join();
         }
     }
 }
 
-/// One parsed request.
-struct Request {
-    method: String,
-    path: String,
-    body: String,
+/// Poller token of the listener.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Poller token of the completion wake pipe.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+/// Upper bound on the poller wait, so the stop flag (set by a signal
+/// handler with nothing to connect) is honoured promptly.
+const WAIT_CAP: Duration = Duration::from_millis(50);
+/// How often the idle-timeout sweep walks the connection table.
+const SWEEP_EVERY: Duration = Duration::from_millis(100);
+/// Read chunk size per readiness event (level-triggered: leftover bytes
+/// re-arm the fd, so a bounded chunk never strands data).
+const READ_CHUNK: usize = 16 * 1024;
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    -1
+}
+
+/// Where a connection is in its request/response lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Accumulating head + body bytes of the next request.
+    Reading,
+    /// A request from this connection is executing on the pool; the fd is
+    /// parked (no interest) until the response comes back.
+    Executing,
+    /// Writing the response; the payload says what happens after.
+    Writing { keep_alive: bool },
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    written: usize,
+    phase: Phase,
+    last_activity: Instant,
+    interest: Interest,
+}
+
+/// A finished request: the worker pushes this and notifies the wake pipe.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    response: Vec<u8>,
     keep_alive: bool,
 }
 
-/// Hard cap on one request or header line.
-const MAX_LINE_BYTES: u64 = 8192;
-
-/// Reads one `\n`-terminated line, never buffering more than
-/// [`MAX_LINE_BYTES`] + 1 bytes: a newline-free flood fills at most one
-/// bounded buffer (and then fails the caller's length check) instead of
-/// growing a `String` without limit.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> std::io::Result<usize> {
-    reader.by_ref().take(MAX_LINE_BYTES + 1).read_line(line)
+/// State shared between the event loop and the pool workers.
+struct Shared {
+    completions: Mutex<Vec<Completion>>,
+    wake: WakeSignal,
 }
 
-/// Reads one request off the connection. `Ok(None)` is a clean EOF (client
-/// closed between requests); errors are protocol violations the caller
-/// answers with a 400-class response where possible.
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Option<Request>, ServiceError> {
-    let mut line = String::new();
-    match read_line_bounded(reader, &mut line) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(_) => return Ok(None), // timeout or reset: drop the connection
-    }
-    if line.len() as u64 > MAX_LINE_BYTES {
-        return Err(ServiceError::TooLarge("request line".into()));
-    }
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err(ServiceError::BadRequest("malformed request line".into()));
-    };
-    let method = method.to_ascii_uppercase();
-    let path = path.to_string();
+/// One connection slab slot. `gen` increments on every close, so a
+/// completion for a connection that died while its request executed can
+/// never be delivered to the slot's next tenant.
+struct SlabEntry {
+    gen: u64,
+    conn: Option<Conn>,
+}
 
-    let mut content_length: usize = 0;
-    let mut keep_alive = true;
-    for _ in 0..64 {
-        let mut header = String::new();
-        match read_line_bounded(reader, &mut header) {
-            Ok(0) => return Err(ServiceError::BadRequest("truncated headers".into())),
-            Ok(_) => {}
-            Err(_) => return Err(ServiceError::BadRequest("unreadable headers".into())),
-        }
-        if header.len() as u64 > MAX_LINE_BYTES {
-            return Err(ServiceError::TooLarge("header line".into()));
-        }
-        let trimmed = header.trim_end();
-        if trimmed.is_empty() {
-            let body = if content_length > 0 {
-                let mut buf = vec![0u8; content_length];
-                reader
-                    .read_exact(&mut buf)
-                    .map_err(|_| ServiceError::BadRequest("truncated body".into()))?;
-                String::from_utf8(buf)
-                    .map_err(|_| ServiceError::BadRequest("body is not UTF-8".into()))?
-            } else {
-                String::new()
-            };
-            return Ok(Some(Request { method, path, body, keep_alive }));
-        }
-        let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(ServiceError::BadRequest("malformed header".into()));
-        };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        match name.as_str() {
-            "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| ServiceError::BadRequest("bad Content-Length".into()))?;
-                if content_length > max_body {
-                    return Err(ServiceError::TooLarge(format!(
-                        "body of {content_length} bytes (limit {max_body})"
-                    )));
+struct EventLoop {
+    listener: TcpListener,
+    poller: Poller,
+    pool: TaskPool,
+    registry: Arc<SessionRegistry>,
+    shared: Arc<Shared>,
+    conns: Vec<SlabEntry>,
+    free: Vec<usize>,
+    active: usize,
+    /// Requests dispatched to the pool whose completions have not been
+    /// delivered yet (counts queued jobs too — every dispatched job pushes
+    /// exactly one completion).
+    inflight: usize,
+    max_body: usize,
+    io_timeout: Duration,
+    max_connections: usize,
+    accept_paused_until: Option<Instant>,
+    last_sweep: Instant,
+}
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        registry: Arc<SessionRegistry>,
+        config: &ServerConfig,
+    ) -> std::io::Result<EventLoop> {
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new(config.backend)?;
+        let wake = WakeSignal::new()?;
+        poller.register(raw_fd(&listener), LISTENER_TOKEN, Interest::READ)?;
+        poller.register(wake.fd(), WAKE_TOKEN, Interest::READ)?;
+        Ok(EventLoop {
+            listener,
+            poller,
+            pool: TaskPool::new(config.threads, config.queue_capacity),
+            registry,
+            shared: Arc::new(Shared { completions: Mutex::new(Vec::new()), wake }),
+            conns: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            inflight: 0,
+            max_body: config.max_body_bytes,
+            io_timeout: config.io_timeout,
+            max_connections: config.max_connections,
+            accept_paused_until: None,
+            last_sweep: Instant::now(),
+        })
+    }
+
+    fn run(&mut self, stop: &AtomicBool) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut batch: Vec<Event> = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            if !draining && stop.load(Ordering::Relaxed) {
+                // Graceful drain: stop accepting, finish every dispatched
+                // request and flush its response, then leave. The deadline
+                // bounds the drain against a stuck peer.
+                draining = true;
+                drain_deadline = Instant::now() + self.io_timeout;
+                self.poller.deregister(raw_fd(&self.listener));
+            }
+            if draining {
+                let flushing = self.conns.iter().any(|entry| {
+                    matches!(&entry.conn, Some(c) if matches!(c.phase, Phase::Writing { .. }))
+                });
+                if (self.inflight == 0 && !flushing) || Instant::now() >= drain_deadline {
+                    break;
                 }
             }
-            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
-            "transfer-encoding" => {
-                return Err(ServiceError::BadRequest(
-                    "chunked transfer encoding is not supported; send Content-Length".into(),
-                ))
+            if self.poller.wait(&mut events, WAIT_CAP).is_err() {
+                break;
             }
-            _ => {}
+            let now = Instant::now();
+            batch.clear();
+            batch.extend(events.iter().copied());
+            for ev in &batch {
+                match ev.token {
+                    LISTENER_TOKEN => {
+                        if !draining {
+                            self.accept_ready(now);
+                        }
+                    }
+                    WAKE_TOKEN => {
+                        self.shared.wake.drain();
+                    }
+                    token => self.conn_event(token as usize, *ev, now),
+                }
+            }
+            self.deliver_completions(now);
+            if now.duration_since(self.last_sweep) >= SWEEP_EVERY {
+                self.last_sweep = now;
+                self.sweep_timeouts(now);
+                if self.accept_paused_until.is_some_and(|until| now >= until) {
+                    self.accept_paused_until = None;
+                    let _ = self.poller.register(
+                        raw_fd(&self.listener),
+                        LISTENER_TOKEN,
+                        Interest::READ,
+                    );
+                }
+            }
         }
     }
-    Err(ServiceError::TooLarge("more than 64 headers".into()))
-}
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: (u16, &str),
-    body: &Json,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    let body = body.to_string();
-    // One write per response: head and body split across two segments
-    // interacts badly with Nagle + delayed ACKs on the client side.
-    let mut message = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        status.0,
-        status.1,
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    message.push_str(&body);
-    stream.write_all(message.as_bytes())?;
-    stream.flush()
-}
+    // ---- accept path ----------------------------------------------------
 
-/// Writes a bare 429 — used by the accept thread when the admission queue
-/// is full, before the connection ever reaches a worker.
-pub(crate) fn shed_connection(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let _ = write_response(
-        &mut stream,
-        ServiceError::Overloaded.http_status(),
-        &ServiceError::Overloaded.to_json(),
-        false,
-    );
-}
+    fn accept_ready(&mut self, now: Instant) {
+        if self.accept_paused_until.is_some() {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream, now),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // EMFILE and friends: pause accepting briefly instead
+                    // of spinning on a level-triggered ready listener.
+                    self.poller.deregister(raw_fd(&self.listener));
+                    self.accept_paused_until = Some(now + WAIT_CAP);
+                    break;
+                }
+            }
+        }
+    }
 
-/// Drives one connection: reads requests until the peer closes, answering
-/// each. Never panics on any input; protocol violations get a typed error
-/// response and close the connection.
-fn serve_connection(stream: TcpStream, registry: &SessionRegistry, max_body: usize) {
-    let Ok(reader_stream) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = stream;
-    loop {
-        match read_request(&mut reader, max_body) {
-            Ok(None) => return,
-            Ok(Some(req)) => {
-                let keep_alive = req.keep_alive;
-                // A panic in a handler answers 500 instead of unwinding
-                // into the pool: the worker (and its session slot, which
-                // the poisoned mutex marks) stays accounted for, and the
-                // connection keeps its protocol state.
-                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(&req, registry)
-                }))
-                .unwrap_or_else(|_| Err(ServiceError::Internal("request handler panicked".into())));
-                let (status, body) = match routed {
-                    Ok(json) => ((200, "OK"), json),
-                    Err(e) => (e.http_status(), e.to_json()),
-                };
-                if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+    fn admit(&mut self, stream: TcpStream, now: Instant) {
+        if self.active >= self.max_connections {
+            shed(stream);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Responses are written whole; Nagle only adds delayed-ACK stalls
+        // to the small keep-alive exchanges.
+        let _ = stream.set_nodelay(true);
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(SlabEntry { gen: 0, conn: None });
+                self.conns.len() - 1
+            }
+        };
+        if self.poller.register(raw_fd(&stream), slot as u64, Interest::READ).is_err() {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot].conn = Some(Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            written: 0,
+            phase: Phase::Reading,
+            last_activity: now,
+            interest: Interest::READ,
+        });
+        self.active += 1;
+    }
+
+    // ---- connection events ----------------------------------------------
+
+    fn conn_event(&mut self, slot: usize, ev: Event, now: Instant) {
+        let Some(phase) = self.conns.get(slot).and_then(|e| e.conn.as_ref()).map(|c| c.phase)
+        else {
+            return;
+        };
+        if ev.hangup {
+            self.close(slot);
+            return;
+        }
+        if ev.readable && phase == Phase::Reading {
+            self.handle_read(slot, now);
+        } else if ev.writable && matches!(phase, Phase::Writing { .. }) {
+            self.continue_write(slot, now);
+        }
+    }
+
+    fn handle_read(&mut self, slot: usize, now: Instant) {
+        let mut eof = false;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
+                return;
+            };
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&chunk[..n]);
+                        conn.last_activity = now;
+                        if n < chunk.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close(slot);
+                        return;
+                    }
+                }
+            }
+        }
+        self.advance_parse(slot, now, eof);
+    }
+
+    /// Parses whatever is buffered while the connection is in the reading
+    /// state. At most one request is dispatched — pipelined successors
+    /// stay buffered until the response is written.
+    fn advance_parse(&mut self, slot: usize, now: Instant, eof: bool) {
+        let parse = {
+            let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
+                return;
+            };
+            if conn.phase != Phase::Reading {
+                return;
+            }
+            proto::parse_request(&conn.inbuf, self.max_body)
+        };
+        match parse {
+            Parse::NeedMore => {
+                if eof {
+                    let empty = self
+                        .conns
+                        .get_mut(slot)
+                        .and_then(|e| e.conn.as_mut())
+                        .map(|c| c.inbuf.is_empty())
+                        .unwrap_or(true);
+                    if empty {
+                        // Clean EOF between requests.
+                        self.close(slot);
+                    } else {
+                        // The peer closed mid-request: tell it (best
+                        // effort — it may only have half-closed).
+                        let e = ServiceError::BadRequest("truncated request".into());
+                        self.respond_error(slot, e, now);
+                    }
+                }
+            }
+            Parse::Complete { request, consumed } => {
+                {
+                    let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
+                        return;
+                    };
+                    conn.inbuf.drain(..consumed);
+                    conn.phase = Phase::Executing;
+                }
+                self.set_interest(slot, Interest::NONE);
+                self.dispatch(slot, request, now);
+            }
+            Parse::Invalid(e) => self.respond_error(slot, e, now),
+        }
+    }
+
+    fn dispatch(&mut self, slot: usize, request: ParsedRequest, now: Instant) {
+        let Some(gen) = self.conns.get(slot).map(|e| e.gen) else {
+            return;
+        };
+        let registry = Arc::clone(&self.registry);
+        let shared = Arc::clone(&self.shared);
+        let keep_alive = request.keep_alive;
+        let job = move || {
+            // A panic in a handler answers 500 instead of unwinding into
+            // the pool: the worker (and its session slot, which the
+            // poisoned mutex marks) stays accounted for.
+            let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(&request, &registry)
+            }))
+            .unwrap_or_else(|_| Err(ServiceError::Internal("request handler panicked".into())));
+            let (status, body) = match routed {
+                Ok(json) => ((200, "OK"), json),
+                Err(e) => (e.http_status(), e.to_json()),
+            };
+            let response = proto::encode_response(status, &body, keep_alive);
+            if let Ok(mut queue) = shared.completions.lock() {
+                queue.push(Completion { slot, gen, response, keep_alive });
+            }
+            // Enqueue-then-notify: the loop drains the pipe before the
+            // queue, so this completion is seen by the wakeup it triggers.
+            shared.wake.notify();
+        };
+        match self.pool.try_execute(job) {
+            Ok(()) => self.inflight += 1,
+            Err(saturated) => {
+                // Queue full: shed this request with a constant-cost 429
+                // from the event loop; the connection closes after.
+                drop(saturated);
+                let e = ServiceError::Overloaded;
+                let response = proto::encode_response(e.http_status(), &e.to_json(), false);
+                self.start_write(slot, response, false, now);
+            }
+        }
+    }
+
+    fn deliver_completions(&mut self, now: Instant) {
+        let completed: Vec<Completion> = {
+            let mut queue = match self.shared.completions.lock() {
+                Ok(queue) => queue,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            queue.drain(..).collect()
+        };
+        for c in completed {
+            self.inflight = self.inflight.saturating_sub(1);
+            let stale = match self.conns.get(c.slot) {
+                Some(entry) => entry.gen != c.gen || entry.conn.is_none(),
+                None => true,
+            };
+            if stale {
+                continue; // the connection died while its request executed
+            }
+            self.start_write(c.slot, c.response, c.keep_alive, now);
+        }
+    }
+
+    // ---- response writing -----------------------------------------------
+
+    fn respond_error(&mut self, slot: usize, e: ServiceError, now: Instant) {
+        let response = proto::encode_response(e.http_status(), &e.to_json(), false);
+        self.start_write(slot, response, false, now);
+    }
+
+    fn start_write(&mut self, slot: usize, response: Vec<u8>, keep_alive: bool, now: Instant) {
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
+                return;
+            };
+            conn.outbuf = response;
+            conn.written = 0;
+            conn.phase = Phase::Writing { keep_alive };
+            conn.last_activity = now;
+        }
+        self.continue_write(slot, now);
+    }
+
+    fn continue_write(&mut self, slot: usize, now: Instant) {
+        let keep_alive = loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
+                return;
+            };
+            let Phase::Writing { keep_alive } = conn.phase else { return };
+            if conn.written >= conn.outbuf.len() {
+                break keep_alive;
+            }
+            match conn.stream.write(&conn.outbuf[conn.written..]) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => {
+                    conn.written += n;
+                    conn.last_activity = now;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.set_interest(slot, Interest::WRITE);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
                     return;
                 }
             }
-            Err(e) => {
-                let _ = write_response(&mut writer, e.http_status(), &e.to_json(), false);
+        };
+        if !keep_alive {
+            self.close(slot);
+            return;
+        }
+        let has_pipelined = {
+            let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
                 return;
+            };
+            conn.outbuf.clear();
+            conn.written = 0;
+            conn.phase = Phase::Reading;
+            !conn.inbuf.is_empty()
+        };
+        self.set_interest(slot, Interest::READ);
+        if has_pipelined {
+            // The next pipelined request is already buffered; don't wait
+            // for a readiness event that may never come.
+            self.advance_parse(slot, now, false);
+        }
+    }
+
+    // ---- housekeeping ---------------------------------------------------
+
+    fn sweep_timeouts(&mut self, now: Instant) {
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].conn.as_ref() else { continue };
+            if now.duration_since(conn.last_activity) < self.io_timeout {
+                continue;
+            }
+            match conn.phase {
+                // Executing requests answer on their own schedule (MILP
+                // deadlines bound them) — never reaped here.
+                Phase::Executing => {}
+                Phase::Reading if conn.inbuf.is_empty() => self.close(slot),
+                Phase::Reading => {
+                    // Bytes arrived, then silence: the peer deserves to
+                    // know before the close.
+                    let e = ServiceError::Timeout("mid-request silence".into());
+                    self.respond_error(slot, e, now);
+                }
+                Phase::Writing { .. } => self.close(slot),
             }
         }
     }
-}
 
-/// Splits `/sessions/{name}[/verb]` into its parts.
-fn session_route(path: &str) -> Option<(&str, Option<&str>)> {
-    let rest = path.strip_prefix("/sessions/")?;
-    match rest.split_once('/') {
-        None => (!rest.is_empty()).then_some((rest, None)),
-        Some((name, verb)) => {
-            (!name.is_empty() && !verb.contains('/')).then_some((name, Some(verb)))
+    fn set_interest(&mut self, slot: usize, want: Interest) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
+            return;
+        };
+        if conn.interest == want {
+            return;
         }
+        let fd = raw_fd(&conn.stream);
+        if self.poller.modify(fd, slot as u64, want).is_ok() {
+            conn.interest = want;
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        let Some(entry) = self.conns.get_mut(slot) else { return };
+        let Some(conn) = entry.conn.take() else { return };
+        entry.gen += 1;
+        self.poller.deregister(raw_fd(&conn.stream));
+        self.free.push(slot);
+        self.active -= 1;
     }
 }
 
+/// Best-effort 429 to a connection refused at the door (connection cap).
+/// The socket is fresh, so the single write fits its empty send buffer.
+fn shed(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(true);
+    let e = ServiceError::Overloaded;
+    let _ = stream.write_all(&proto::encode_response(e.http_status(), &e.to_json(), false));
+}
+
+/// Splits `/sessions/{name}[/verb]` into its parts, percent-decoding the
+/// name segment (`%2F` and malformed escapes are typed 400s).
+fn session_route(path: &str) -> Result<Option<(String, Option<&str>)>, ServiceError> {
+    let Some(rest) = path.strip_prefix("/sessions/") else {
+        return Ok(None);
+    };
+    let (raw_name, verb) = match rest.split_once('/') {
+        None => (rest, None),
+        Some((name, verb)) if !verb.contains('/') => (name, Some(verb)),
+        Some(_) => return Ok(None),
+    };
+    if raw_name.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some((proto::percent_decode(raw_name)?, verb)))
+}
+
 /// Dispatches one request against the registry.
-fn route(req: &Request, registry: &SessionRegistry) -> Result<Json, ServiceError> {
+fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, ServiceError> {
     let method = req.method.as_str();
     let path = req.path.split('?').next().unwrap_or(&req.path);
     match (method, path) {
@@ -424,14 +759,17 @@ fn route(req: &Request, registry: &SessionRegistry) -> Result<Json, ServiceError
                         .set("explains", stats.explains)
                         .set("deltas_applied", stats.deltas_applied)
                         .set("coalesced_deltas", stats.coalesced_deltas)
-                        .set("reports", stats.reports),
+                        .set("reports", stats.reports)
+                        .set("shards", stats.shards)
+                        .set("shard_contention", stats.shard_contention),
                 ));
         }
         _ => {}
     }
-    let Some((name, verb)) = session_route(path) else {
+    let Some((name, verb)) = session_route(path)? else {
         return Err(ServiceError::NotFound(format!("{method} {path}")));
     };
+    let name = name.as_str();
     match (method, verb) {
         ("POST", None) => {
             let create = wire::parse_create(&req.body)?;
@@ -448,9 +786,14 @@ fn route(req: &Request, registry: &SessionRegistry) -> Result<Json, ServiceError
             Ok(wire::emit_report(name, &report, 0))
         }
         ("POST", Some("delta")) => {
-            let (left, right) = registry.shapes(name)?;
+            // The shapes and the apply are two registry calls; the token
+            // pins them to the same underlying session incarnation, so a
+            // concurrent drop + re-create with different shapes becomes a
+            // typed 409 instead of a delta parsed against stale shapes.
+            let (left, right, token) = registry.shapes_tagged(name)?;
             let parsed = wire::parse_delta(&req.body, &left, &right)?;
-            let outcome = registry.delta(name, parsed.delta, parsed.deadline)?;
+            let outcome =
+                registry.delta_checked(name, parsed.delta, parsed.deadline, Some(token))?;
             Ok(wire::emit_report(name, &outcome.report, outcome.coalesced_with))
         }
         ("GET", Some("report")) => {
@@ -467,10 +810,14 @@ mod tests {
 
     #[test]
     fn session_routes_parse() {
-        assert_eq!(session_route("/sessions/s1"), Some(("s1", None)));
-        assert_eq!(session_route("/sessions/s1/delta"), Some(("s1", Some("delta"))));
-        assert_eq!(session_route("/sessions/"), None);
-        assert_eq!(session_route("/sessions/a/b/c"), None);
-        assert_eq!(session_route("/health"), None);
+        let route = |p: &str| session_route(p).unwrap().map(|(n, v)| (n, v.map(str::to_string)));
+        assert_eq!(route("/sessions/s1"), Some(("s1".into(), None)));
+        assert_eq!(route("/sessions/s1/delta"), Some(("s1".into(), Some("delta".into()))));
+        assert_eq!(route("/sessions/"), None);
+        assert_eq!(route("/sessions/a/b/c"), None);
+        assert_eq!(route("/health"), None);
+        // Percent-decoding addresses the decoded name; %2F is refused.
+        assert_eq!(route("/sessions/a%20b"), Some(("a b".into(), None)));
+        assert!(session_route("/sessions/a%2Fb").is_err());
     }
 }

@@ -104,9 +104,16 @@ impl Json {
 
     /// The value as an exact `i64` (floats only when integral and in range).
     pub fn as_i64(&self) -> Option<i64> {
+        // The exact representable window is `-(2^63) <= n < 2^63`: both
+        // bounds are exact `f64` values, `i64::MIN` itself is representable
+        // (and convertible), while `2^63` is the first integer that is not.
+        // An approximate guard like `n.abs() < 9.22e18` wrongly rejects the
+        // whole `[9.22e18, 2^63)` band — and `i64::MIN` with it.
+        const I64_LO: f64 = -9_223_372_036_854_775_808.0; // -(2^63), exact
+        const I64_HI: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact
         match self {
             Json::Int(i) => Some(*i),
-            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.22e18 => Some(*n as i64),
+            Json::Num(n) if n.fract() == 0.0 && *n >= I64_LO && *n < I64_HI => Some(*n as i64),
             _ => None,
         }
     }
@@ -561,6 +568,30 @@ mod tests {
         assert_eq!(Json::parse("9007199254740993").unwrap(), Json::Int(9007199254740993));
         assert_eq!(Json::parse("1.5").unwrap(), Json::Num(1.5));
         assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn as_i64_accepts_the_exact_i64_window() {
+        // Floats in [9.22e18, 2^63): representable, integral, in range —
+        // these were wrongly rejected by the old approximate guard.
+        assert_eq!(Json::Num(9.22e18).as_i64(), Some(9_220_000_000_000_000_000));
+        let near_max = 9_223_372_036_854_774_784.0_f64; // largest f64 < 2^63
+        assert_eq!(Json::Num(near_max).as_i64(), Some(9_223_372_036_854_774_784));
+        // i64::MIN is exactly representable and must round-trip.
+        assert_eq!(Json::Num(-9_223_372_036_854_775_808.0).as_i64(), Some(i64::MIN));
+        // 2^63 itself (and anything beyond either bound) is out of range.
+        assert_eq!(Json::Num(9_223_372_036_854_775_808.0).as_i64(), None);
+        assert_eq!(Json::Num(-9.3e18).as_i64(), None);
+        assert_eq!(Json::Num(f64::NAN).as_i64(), None);
+        assert_eq!(Json::Num(f64::INFINITY).as_i64(), None);
+        assert_eq!(Json::Num(1.5).as_i64(), None);
+        // Wire round-trip: scientific notation lands as Num and converts.
+        assert_eq!(Json::parse("9.22e18").unwrap().as_i64(), Some(9_220_000_000_000_000_000));
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap().as_i64(),
+            Some(i64::MIN),
+            "i64::MIN round-trips through the parser"
+        );
     }
 
     #[test]

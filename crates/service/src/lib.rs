@@ -17,10 +17,13 @@
 //!   report serialisation with the authoritative fingerprint), built on the
 //!   in-tree parser/emitter in [`json`] (no serde, depth-limited, panic-free
 //!   on arbitrary input);
-//! * [`http::Server`] — an HTTP/1.1 server over [`std::net::TcpListener`]
-//!   with a fixed [`explain3d_parallel::TaskPool`] worker pool, bounded
-//!   admission queue with 429 shed, keep-alive connections, and
-//!   per-request deterministic MILP deadlines;
+//! * [`http::Server`] — a readiness-based HTTP/1.1 server: one event loop
+//!   ([`poller`]: raw `epoll` with a `poll(2)` fallback) owns every
+//!   nonblocking socket and dispatches complete *requests* (never whole
+//!   connections) onto a fixed [`explain3d_parallel::TaskPool`], so a slow
+//!   MILP solve never blocks unrelated sockets; bounded admission queue
+//!   with 429 shed, keep-alive connections, and per-request deterministic
+//!   MILP deadlines;
 //! * [`client::Client`] — the minimal TcpStream client the smoke tests and
 //!   bench clients drive the wire with.
 //!
@@ -62,9 +65,12 @@ pub mod client;
 pub mod error;
 pub mod http;
 pub mod json;
+pub mod poller;
+pub mod proto;
 pub mod registry;
 pub mod wire;
 
 pub use error::ServiceError;
 pub use http::{Server, ServerConfig, ServerHandle};
+pub use poller::Backend;
 pub use registry::{DeltaOutcome, RegistryStats, ServiceConfig, SessionRegistry};

@@ -1,0 +1,336 @@
+//! Incremental, byte-bounded HTTP/1.x request parsing for the event loop.
+//!
+//! The readiness-based server accumulates whatever bytes a socket has into
+//! a per-connection buffer and asks [`parse_request`] after every read:
+//! the answer is *need more*, *a complete request* (plus how many bytes it
+//! consumed, so pipelined requests queue up naturally), or *a protocol
+//! error* to answer and close on. The parser never blocks and never buffers
+//! beyond its limits: a request line or header line is capped at
+//! [`MAX_LINE_BYTES`] bytes of **content** (the terminating `\r\n` is not
+//! counted against the cap — the blocking parser's off-by-one), at most
+//! [`MAX_HEADERS`] headers are read, and `Content-Length` is validated
+//! against the configured body cap before a single body byte is awaited.
+//!
+//! Version handling: `HTTP/1.1` defaults to keep-alive, `HTTP/1.0` (and a
+//! missing version token) defaults to **close** — an HTTP/1.0 client that
+//! never sends `Connection: keep-alive` must not hang until the idle
+//! timeout waiting for its close. A `Connection` header overrides either
+//! default in both directions.
+//!
+//! Session names in request paths are percent-decoded by
+//! [`percent_decode`]: `%20` and friends address the same session a
+//! library caller names with the decoded string. An encoded slash (`%2F`)
+//! is rejected — it would smuggle a path separator into a single segment —
+//! as are `%00` and malformed escapes.
+
+use crate::error::ServiceError;
+use crate::json::Json;
+
+/// Hard cap on the content of one request or header line, excluding the
+/// line terminator.
+pub const MAX_LINE_BYTES: usize = 8192;
+
+/// Hard cap on the number of request headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// One fully parsed request.
+#[derive(Debug, Clone)]
+pub struct ParsedRequest {
+    /// Uppercased request method.
+    pub method: String,
+    /// The raw request target (percent-decoding happens per segment at
+    /// routing time).
+    pub path: String,
+    /// The UTF-8 request body.
+    pub body: String,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// The outcome of one parse attempt over the bytes buffered so far.
+pub enum Parse {
+    /// The buffer does not hold a complete request yet (and is still
+    /// within every limit) — read more.
+    NeedMore,
+    /// A complete request; the first `consumed` buffer bytes belong to it.
+    Complete {
+        /// The parsed request.
+        request: ParsedRequest,
+        /// Bytes of the buffer this request consumed (head + body).
+        consumed: usize,
+    },
+    /// A protocol violation: answer it and close the connection.
+    Invalid(ServiceError),
+}
+
+/// Scans for the next line end. Returns `(content_end, next_start)` —
+/// content excludes the `\n` and an optional preceding `\r`.
+fn find_line(buf: &[u8], start: usize) -> Option<(usize, usize)> {
+    let nl = buf[start..].iter().position(|&b| b == b'\n')? + start;
+    let content_end = if nl > start && buf[nl - 1] == b'\r' { nl - 1 } else { nl };
+    Some((content_end, nl + 1))
+}
+
+/// Attempts to parse one request from `buf`; see the module docs.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
+    let mut cursor = 0usize;
+
+    // Request line.
+    let Some((line_end, after_line)) = find_line(buf, cursor) else {
+        // No terminator yet: the content so far is at least `len - 1`
+        // bytes (the last byte could still turn out to be a `\r`).
+        if buf.len() - cursor > MAX_LINE_BYTES + 1 {
+            return Parse::Invalid(ServiceError::TooLarge("request line".into()));
+        }
+        return Parse::NeedMore;
+    };
+    if line_end - cursor > MAX_LINE_BYTES {
+        return Parse::Invalid(ServiceError::TooLarge("request line".into()));
+    }
+    let Ok(request_line) = std::str::from_utf8(&buf[cursor..line_end]) else {
+        return Parse::Invalid(ServiceError::BadRequest("request line is not UTF-8".into()));
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Parse::Invalid(ServiceError::BadRequest("malformed request line".into()));
+    };
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+    // HTTP/1.1 persists by default; HTTP/1.0 — and anything that does not
+    // declare a version — must be treated as one-shot unless the client
+    // asks for keep-alive explicitly.
+    let mut keep_alive = matches!(parts.next(), Some(v) if v.eq_ignore_ascii_case("HTTP/1.1"));
+    cursor = after_line;
+
+    // Headers.
+    let mut content_length = 0usize;
+    let mut headers_seen = 0usize;
+    let body_start = loop {
+        let Some((line_end, after_line)) = find_line(buf, cursor) else {
+            if buf.len() - cursor > MAX_LINE_BYTES + 1 {
+                return Parse::Invalid(ServiceError::TooLarge("header line".into()));
+            }
+            return Parse::NeedMore;
+        };
+        if line_end - cursor > MAX_LINE_BYTES {
+            return Parse::Invalid(ServiceError::TooLarge("header line".into()));
+        }
+        if line_end == cursor {
+            break after_line; // blank line: end of head
+        }
+        headers_seen += 1;
+        if headers_seen > MAX_HEADERS {
+            return Parse::Invalid(ServiceError::TooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let Ok(header) = std::str::from_utf8(&buf[cursor..line_end]) else {
+            return Parse::Invalid(ServiceError::BadRequest("header is not UTF-8".into()));
+        };
+        let Some((name, value)) = header.split_once(':') else {
+            return Parse::Invalid(ServiceError::BadRequest("malformed header".into()));
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                let Ok(n) = value.parse::<usize>() else {
+                    return Parse::Invalid(ServiceError::BadRequest("bad Content-Length".into()));
+                };
+                if n > max_body {
+                    return Parse::Invalid(ServiceError::TooLarge(format!(
+                        "body of {n} bytes (limit {max_body})"
+                    )));
+                }
+                content_length = n;
+            }
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                return Parse::Invalid(ServiceError::BadRequest(
+                    "chunked transfer encoding is not supported; send Content-Length".into(),
+                ))
+            }
+            _ => {}
+        }
+        cursor = after_line;
+    };
+
+    // Body.
+    let body_end = body_start + content_length;
+    if buf.len() < body_end {
+        return Parse::NeedMore;
+    }
+    let Ok(body) = std::str::from_utf8(&buf[body_start..body_end]) else {
+        return Parse::Invalid(ServiceError::BadRequest("body is not UTF-8".into()));
+    };
+    Parse::Complete {
+        request: ParsedRequest { method, path, body: body.to_string(), keep_alive },
+        consumed: body_end,
+    }
+}
+
+/// Percent-decodes one path segment (a session name). Rejects `%2F` (an
+/// encoded path separator inside a single segment), `%00`, malformed
+/// escapes, and non-UTF-8 results — each as a typed 400.
+pub fn percent_decode(segment: &str) -> Result<String, ServiceError> {
+    if !segment.contains('%') {
+        return Ok(segment.to_string());
+    }
+    let bytes = segment.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'%' {
+            out.push(bytes[i]);
+            i += 1;
+            continue;
+        }
+        let hex = |b: u8| -> Option<u8> {
+            match b {
+                b'0'..=b'9' => Some(b - b'0'),
+                b'a'..=b'f' => Some(b - b'a' + 10),
+                b'A'..=b'F' => Some(b - b'A' + 10),
+                _ => None,
+            }
+        };
+        let (Some(&hi), Some(&lo)) = (bytes.get(i + 1), bytes.get(i + 2)) else {
+            return Err(ServiceError::BadRequest("truncated percent escape in name".into()));
+        };
+        let (Some(hi), Some(lo)) = (hex(hi), hex(lo)) else {
+            return Err(ServiceError::BadRequest("malformed percent escape in name".into()));
+        };
+        let byte = hi * 16 + lo;
+        match byte {
+            b'/' => {
+                return Err(ServiceError::BadRequest(
+                    "session names may not contain an encoded '/'".into(),
+                ))
+            }
+            0 => return Err(ServiceError::BadRequest("session names may not contain NUL".into())),
+            _ => out.push(byte),
+        }
+        i += 3;
+    }
+    String::from_utf8(out)
+        .map_err(|_| ServiceError::BadRequest("session name is not UTF-8 after decoding".into()))
+}
+
+/// Encodes one response (status line, JSON content headers, connection
+/// disposition, body) as a single write-ready byte buffer.
+pub fn encode_response(status: (u16, &str), body: &Json, keep_alive: bool) -> Vec<u8> {
+    let body = body.to_string();
+    let mut message = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status.0,
+        status.1,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    message.push_str(&body);
+    message.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(raw: &str) -> (ParsedRequest, usize) {
+        match parse_request(raw.as_bytes(), 64 << 20) {
+            Parse::Complete { request, consumed } => (request, consumed),
+            Parse::NeedMore => panic!("unexpected NeedMore for {raw:?}"),
+            Parse::Invalid(e) => panic!("unexpected error {e} for {raw:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_request_with_body_and_tracks_consumed() {
+        let raw = "POST /sessions/s HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /next";
+        let (req, consumed) = complete(raw);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions/s");
+        assert_eq!(req.body, "body");
+        assert!(req.keep_alive);
+        assert_eq!(&raw[consumed..], "GET /next", "pipelined tail must remain");
+    }
+
+    #[test]
+    fn incremental_prefixes_need_more() {
+        for cut in 1.."GET / HTTP/1.1\r\n\r\n".len() {
+            let prefix = &"GET / HTTP/1.1\r\n\r\n"[..cut];
+            assert!(
+                matches!(parse_request(prefix.as_bytes(), 1024), Parse::NeedMore),
+                "prefix {prefix:?} must ask for more"
+            );
+        }
+    }
+
+    #[test]
+    fn version_token_sets_the_keep_alive_default() {
+        assert!(complete("GET / HTTP/1.1\r\n\r\n").0.keep_alive);
+        assert!(!complete("GET / HTTP/1.0\r\n\r\n").0.keep_alive);
+        assert!(!complete("GET /\r\n\r\n").0.keep_alive, "versionless requests close");
+        // Connection overrides either default, in either direction.
+        assert!(complete("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").0.keep_alive);
+        assert!(!complete("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").0.keep_alive);
+    }
+
+    #[test]
+    fn line_limit_excludes_the_terminator() {
+        // Content of exactly MAX_LINE_BYTES parses; one more byte is 413.
+        let path_len = MAX_LINE_BYTES - "GET  HTTP/1.1".len();
+        let at_limit = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(path_len - 1));
+        let (req, _) = complete(&at_limit);
+        assert_eq!(req.path.len(), path_len);
+        let over = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(path_len));
+        assert!(matches!(
+            parse_request(over.as_bytes(), 1024),
+            Parse::Invalid(ServiceError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn newline_free_floods_are_bounded() {
+        let flood = vec![b'A'; MAX_LINE_BYTES + 2];
+        assert!(matches!(parse_request(&flood, 1024), Parse::Invalid(ServiceError::TooLarge(_))));
+        // One byte under the cutoff still waits (the next byte may be \n).
+        assert!(matches!(parse_request(&flood[..MAX_LINE_BYTES + 1], 1024), Parse::NeedMore));
+    }
+
+    #[test]
+    fn oversized_bodies_and_chunked_are_rejected_before_the_body_arrives() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        assert!(matches!(
+            parse_request(raw.as_bytes(), 1024),
+            Parse::Invalid(ServiceError::TooLarge(_))
+        ));
+        let raw = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            parse_request(raw.as_bytes(), 1024),
+            Parse::Invalid(ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let (req, _) = complete("GET /healthz HTTP/1.1\nHost: x\n\n");
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn percent_decoding_round_trips_and_rejects_separators() {
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert_eq!(percent_decode("a%20b").unwrap(), "a b");
+        assert_eq!(percent_decode("caf%C3%A9").unwrap(), "café");
+        assert!(percent_decode("a%2Fb").is_err());
+        assert!(percent_decode("a%2fb").is_err());
+        assert!(percent_decode("a%00b").is_err());
+        assert!(percent_decode("a%zzb").is_err());
+        assert!(percent_decode("trailing%2").is_err());
+        assert!(percent_decode("%C3%28").is_err(), "invalid UTF-8 after decoding");
+    }
+}

@@ -3,7 +3,12 @@
 //!
 //! ## Concurrency model
 //!
-//! The registry map is a `RwLock<HashMap<name, Arc<Slot>>>`; each slot owns
+//! The registry index is **sharded**: session names hash (FNV-1a) onto a
+//! fixed array of lock stripes ([`ServiceConfig::shards`]), each stripe a
+//! `RwLock<HashMap<name, Arc<Slot>>>`, so at high connection counts name
+//! lookups contend only within their stripe — contended acquisitions are
+//! counted per shard and surfaced as [`RegistryStats::shard_contention`].
+//! Each slot owns
 //! its session behind a dedicated `Mutex`, so operations on *different*
 //! sessions never contend and operations on the *same* session serialise.
 //! That serialisation is the whole correctness story: every report a
@@ -29,6 +34,14 @@
 //! replaying each ticket individually so each caller gets exactly the
 //! success or typed error a serial execution would have given it —
 //! coalescing is a pure fast path, never a semantic change.
+//!
+//! With [`ServiceConfig::coalesce_window`] set, a delta caller *waits*
+//! that long after enqueueing its ticket before competing for the session
+//! lock (returning early if another drain serves it meanwhile). The
+//! window deliberately widens batches under bursty load — more tickets
+//! per `re_explain` — at the cost of bounded added latency; it changes
+//! **when** runs happen, never their admission order or results, so the
+//! serial-equivalence invariant is untouched.
 //!
 //! ## Eviction
 //!
@@ -72,12 +85,15 @@ use explain3d_incremental::{ExplainSession, RelationDelta};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, TryLockError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a coalescing waiter sleeps before re-checking its ticket and
 /// re-competing for the session lock. Purely a liveness bound — the
 /// common path is woken by `notify_all` well before it expires.
 const TICKET_POLL: Duration = Duration::from_millis(2);
+
+/// Lock stripes in the session index when [`ServiceConfig::shards`] is 0.
+const DEFAULT_SHARDS: usize = 16;
 
 /// Registry-level configuration.
 #[derive(Debug, Clone, Default)]
@@ -93,6 +109,17 @@ pub struct ServiceConfig {
     /// spill-to-disk eviction, and transparent crash/evict recovery.
     /// `None` (the default) keeps sessions purely in memory.
     pub durability: Option<DurabilityConfig>,
+    /// Lock stripes the session index is split across (names hash onto
+    /// stripes, so lookups contend only within one). `0` — the default —
+    /// picks 16. The memory budget and LRU policy stay **global** across
+    /// stripes: sharding changes lookup contention, never which session
+    /// is evicted.
+    pub shards: usize,
+    /// Deliberate delta micro-batching: how long a delta caller waits
+    /// after enqueueing its ticket before competing for the session lock,
+    /// so concurrent deltas pile into one coalesced `re_explain`. `None`
+    /// (the default) competes immediately.
+    pub coalesce_window: Option<Duration>,
 }
 
 /// Monotone lifetime counters of a registry.
@@ -118,6 +145,12 @@ pub struct RegistryStats {
     pub coalesced_deltas: usize,
     /// Report reads served.
     pub reports: usize,
+    /// Lock stripes the session index is split across.
+    pub shards: usize,
+    /// Contended shard-lock acquisitions (a `try_lock` lost and the
+    /// caller had to block) — the sharding effectiveness gauge the bench
+    /// lane records.
+    pub shard_contention: usize,
 }
 
 /// A summary row of [`SessionRegistry::list`].
@@ -179,6 +212,47 @@ impl TicketCell {
             }
         }
     }
+
+    /// Parks until the ticket is fulfilled or `deadline` passes, without
+    /// consuming the outcome. This is the coalesce-window wait: the
+    /// caller stays out of the lock competition while other tickets pile
+    /// up, but returns immediately if another drain serves it first.
+    fn wait_until(&self, deadline: Instant) {
+        let Ok(mut state) = self.state.lock() else { return };
+        while state.is_none() {
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+                return;
+            };
+            match self.ready.wait_timeout(state, left) {
+                Ok((s, _)) => state = s,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// FNV-1a over `bytes` — the shard hash and the shape-token hash. Chosen
+/// for determinism across runs (unlike `RandomState`), which keeps shard
+/// assignment stable for the contention counters.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The token [`SessionRegistry::shapes_tagged`] hands out and
+/// [`SessionRegistry::delta_checked`] validates: a hash of both relation
+/// shapes. A session re-created with *different* shapes gets a different
+/// token, so a delta parsed against the old shapes is refused with a
+/// typed conflict instead of being applied to relations it was never
+/// parsed for. (Re-creation with *identical* shapes keeps the token —
+/// the parse is equally valid against the new incarnation.)
+fn shape_token(left: &RelationShape, right: &RelationShape) -> u64 {
+    fnv1a(format!("{left:?}|{right:?}").as_bytes())
 }
 
 /// The per-session durable attachment: the open WAL, the store handle
@@ -280,6 +354,8 @@ struct Slot {
     name: String,
     left_shape: RelationShape,
     right_shape: RelationShape,
+    /// Hash of both shapes; see [`shape_token`]. Immutable per slot.
+    shape_token: u64,
     state: Mutex<SessionState>,
     pending: Mutex<VecDeque<Ticket>>,
     last_used: AtomicU64,
@@ -311,9 +387,16 @@ impl Slot {
     }
 }
 
+/// One lock stripe of the session index.
+struct Shard {
+    slots: RwLock<HashMap<String, Arc<Slot>>>,
+    /// Contended acquisitions of this stripe's lock (try-lock lost).
+    contention: AtomicUsize,
+}
+
 /// A concurrent registry of named explain sessions; see the module docs.
 pub struct SessionRegistry {
-    sessions: RwLock<HashMap<String, Arc<Slot>>>,
+    shards: Box<[Shard]>,
     /// Per-name recovery gates: [`SessionStore::recover`] truncates the
     /// WAL to its valid length and opens a writer, so two concurrent
     /// recoveries of the same name could each truncate records the other
@@ -339,8 +422,12 @@ impl SessionRegistry {
     /// An empty registry.
     pub fn new(config: ServiceConfig) -> Self {
         let store = config.durability.clone().map(SessionStore::open);
+        let stripes = if config.shards == 0 { DEFAULT_SHARDS } else { config.shards };
+        let shards = (0..stripes)
+            .map(|_| Shard { slots: RwLock::new(HashMap::new()), contention: AtomicUsize::new(0) })
+            .collect();
         SessionRegistry {
-            sessions: RwLock::new(HashMap::new()),
+            shards,
             recovering: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(0),
             config,
@@ -369,23 +456,45 @@ impl SessionRegistry {
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             coalesced_deltas: self.coalesced_deltas.load(Ordering::Relaxed),
             reports: self.reports.load(Ordering::Relaxed),
+            shards: self.shards.len(),
+            shard_contention: self
+                .shards
+                .iter()
+                .map(|s| s.contention.load(Ordering::Relaxed))
+                .sum(),
         }
     }
 
-    fn sessions_read(
-        &self,
-    ) -> Result<std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Slot>>>, ServiceError> {
-        self.sessions.read().map_err(|_| ServiceError::Internal("session map poisoned".into()))
+    /// The lock stripe `name` hashes onto.
+    fn shard_of(&self, name: &str) -> &Shard {
+        &self.shards[(fnv1a(name.as_bytes()) as usize) % self.shards.len()]
     }
 
-    fn sessions_write(
+    fn shard_read<'a>(
         &self,
-    ) -> Result<std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Slot>>>, ServiceError> {
-        self.sessions.write().map_err(|_| ServiceError::Internal("session map poisoned".into()))
+        shard: &'a Shard,
+    ) -> Result<std::sync::RwLockReadGuard<'a, HashMap<String, Arc<Slot>>>, ServiceError> {
+        if let Ok(guard) = shard.slots.try_read() {
+            return Ok(guard);
+        }
+        // Contended (or poisoned — the blocking acquisition sorts it out).
+        shard.contention.fetch_add(1, Ordering::Relaxed);
+        shard.slots.read().map_err(|_| ServiceError::Internal("session shard poisoned".into()))
+    }
+
+    fn shard_write<'a>(
+        &self,
+        shard: &'a Shard,
+    ) -> Result<std::sync::RwLockWriteGuard<'a, HashMap<String, Arc<Slot>>>, ServiceError> {
+        if let Ok(guard) = shard.slots.try_write() {
+            return Ok(guard);
+        }
+        shard.contention.fetch_add(1, Ordering::Relaxed);
+        shard.slots.write().map_err(|_| ServiceError::Internal("session shard poisoned".into()))
     }
 
     fn slot(&self, name: &str) -> Result<Arc<Slot>, ServiceError> {
-        if let Some(slot) = self.sessions_read()?.get(name).cloned() {
+        if let Some(slot) = self.shard_read(self.shard_of(name))?.get(name).cloned() {
             return Ok(slot);
         }
         self.recover_slot(name)
@@ -398,7 +507,7 @@ impl SessionRegistry {
     /// slot's writer on the same file (duplicate seq numbers, interleaved
     /// frames), and its snapshots would clobber the live state.
     fn registered(&self, name: &str, slot: &Arc<Slot>) -> Result<bool, ServiceError> {
-        Ok(self.sessions_read()?.get(name).is_some_and(|s| Arc::ptr_eq(s, slot)))
+        Ok(self.shard_read(self.shard_of(name))?.get(name).is_some_and(|s| Arc::ptr_eq(s, slot)))
     }
 
     /// Transparently rebuilds a non-resident session from disk (the
@@ -444,7 +553,7 @@ impl SessionRegistry {
     ) -> Result<Arc<Slot>, ServiceError> {
         // The winner of a concurrent recovery registered the slot while we
         // waited on the gate — its WAL writer is authoritative.
-        if let Some(slot) = self.sessions_read()?.get(name).cloned() {
+        if let Some(slot) = self.shard_read(self.shard_of(name))?.get(name).cloned() {
             return Ok(slot);
         }
         let recovered = store.recover(name).map_err(|e| {
@@ -486,10 +595,14 @@ impl SessionRegistry {
                 last_deadline,
             }),
         };
+        let left_shape = RelationShape::of(state.session.left());
+        let right_shape = RelationShape::of(state.session.right());
+        let token = shape_token(&left_shape, &right_shape);
         let slot = Arc::new(Slot {
             name: name.to_string(),
-            left_shape: RelationShape::of(state.session.left()),
-            right_shape: RelationShape::of(state.session.right()),
+            left_shape,
+            right_shape,
+            shape_token: token,
             state: Mutex::new(state),
             pending: Mutex::new(VecDeque::new()),
             last_used: AtomicU64::new(0),
@@ -499,7 +612,7 @@ impl SessionRegistry {
         });
         self.touch(&slot);
         {
-            let mut map = self.sessions_write()?;
+            let mut map = self.shard_write(self.shard_of(name))?;
             // Defensive: the recovery gate means no other thread can have
             // recovered this name, and `create` refuses names with durable
             // state — but a racing insert must still win over this rebuild.
@@ -569,10 +682,14 @@ impl SessionRegistry {
             }
         }
         let created_durable = state.durable.is_some();
+        let left_shape = RelationShape::of(state.session.left());
+        let right_shape = RelationShape::of(state.session.right());
+        let token = shape_token(&left_shape, &right_shape);
         let slot = Arc::new(Slot {
             name: name.to_string(),
-            left_shape: RelationShape::of(state.session.left()),
-            right_shape: RelationShape::of(state.session.right()),
+            left_shape,
+            right_shape,
+            shape_token: token,
             state: Mutex::new(state),
             pending: Mutex::new(VecDeque::new()),
             last_used: AtomicU64::new(0),
@@ -582,7 +699,7 @@ impl SessionRegistry {
         });
         self.touch(&slot);
         {
-            let mut map = self.sessions_write()?;
+            let mut map = self.shard_write(self.shard_of(name))?;
             if map.contains_key(name) {
                 // Undo the genesis image written above so the loser of this
                 // race can never be recovered over the resident session.
@@ -605,6 +722,18 @@ impl SessionRegistry {
     pub fn shapes(&self, name: &str) -> Result<(RelationShape, RelationShape), ServiceError> {
         let slot = self.slot(name)?;
         Ok((slot.left_shape.clone(), slot.right_shape.clone()))
+    }
+
+    /// Like [`SessionRegistry::shapes`], plus the shape token to pass to
+    /// [`SessionRegistry::delta_checked`]: a delta parsed against these
+    /// shapes is applied only while the session still *has* these shapes,
+    /// closing the lookup/apply race with a concurrent drop + re-create.
+    pub fn shapes_tagged(
+        &self,
+        name: &str,
+    ) -> Result<(RelationShape, RelationShape, u64), ServiceError> {
+        let slot = self.slot(name)?;
+        Ok((slot.left_shape.clone(), slot.right_shape.clone(), slot.shape_token))
     }
 
     /// Runs a cold `explain` on the named session, returning (and storing)
@@ -653,9 +782,31 @@ impl SessionRegistry {
         delta: RelationDelta,
         deadline: Option<Duration>,
     ) -> Result<DeltaOutcome, ServiceError> {
+        self.delta_checked(name, delta, deadline, None)
+    }
+
+    /// [`SessionRegistry::delta`] with shape validation: when `expected`
+    /// carries the token a prior [`SessionRegistry::shapes_tagged`]
+    /// returned, the delta is applied only if the session (whatever its
+    /// incarnation) still has those shapes —
+    /// [`ServiceError::ShapeConflict`] otherwise. The check sits inside
+    /// the slot-acquisition loop, so a drop + re-create racing this call
+    /// either loses (the ticket landed on the old slot, which the
+    /// registration re-check withdraws) or is caught against the fresh
+    /// slot's token.
+    pub fn delta_checked(
+        &self,
+        name: &str,
+        delta: RelationDelta,
+        deadline: Option<Duration>,
+        expected: Option<u64>,
+    ) -> Result<DeltaOutcome, ServiceError> {
         let cell = Arc::new(TicketCell::default());
         let slot = loop {
             let slot = self.slot(name)?;
+            if expected.is_some_and(|token| token != slot.shape_token) {
+                return Err(ServiceError::ShapeConflict(name.to_string()));
+            }
             {
                 let mut pending = slot
                     .pending
@@ -683,6 +834,13 @@ impl SessionRegistry {
                 .map_err(|_| ServiceError::Internal("pending queue poisoned".into()))?;
             pending.retain(|t| !Arc::ptr_eq(&t.result, &cell));
         };
+        if let Some(window) = self.config.coalesce_window {
+            // Micro-batching: stay out of the lock competition for the
+            // window so concurrent tickets accumulate into one drain.
+            // Purely a scheduling delay — admission order was fixed by the
+            // push above.
+            cell.wait_until(Instant::now() + window);
+        }
         loop {
             if let Some(outcome) = cell.take()? {
                 self.touch(&slot);
@@ -740,7 +898,7 @@ impl SessionRegistry {
     /// Drops a session — both its resident slot and any durable state, so
     /// a spilled (non-resident) session can still be dropped by name.
     pub fn drop_session(&self, name: &str) -> Result<(), ServiceError> {
-        let resident = self.sessions_write()?.remove(name).is_some();
+        let resident = self.shard_write(self.shard_of(name))?.remove(name).is_some();
         let durable = match &self.store {
             Some(store) if store.contains(name) => {
                 let _ = store.remove(name);
@@ -756,32 +914,38 @@ impl SessionRegistry {
         }
     }
 
-    /// All resident sessions, sorted by name.
+    /// All resident sessions, sorted by name. Shard locks are taken one
+    /// stripe at a time, so the listing is a consistent snapshot per
+    /// stripe (not across stripes — adequate for an observability view).
     pub fn list(&self) -> Vec<SessionInfo> {
-        let Ok(map) = self.sessions.read() else {
-            return Vec::new();
-        };
-        let mut out: Vec<SessionInfo> = map
-            .values()
-            .map(|slot| SessionInfo {
+        let mut out: Vec<SessionInfo> = Vec::new();
+        for shard in self.shards.iter() {
+            let Ok(map) = shard.slots.read() else { continue };
+            out.extend(map.values().map(|slot| SessionInfo {
                 name: slot.name.clone(),
                 footprint: slot.footprint.load(Ordering::Relaxed),
                 // Mirrored atomically on every run — a busy session's lock
                 // being held must not make the stat default to anything.
                 explained: slot.explained.load(Ordering::Relaxed),
                 deltas_logged: slot.deltas_logged.load(Ordering::Relaxed),
-            })
-            .collect();
+            }));
+        }
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
     }
 
     /// Summed cached footprints of all resident sessions.
     pub fn total_footprint(&self) -> usize {
-        self.sessions
-            .read()
-            .map(|map| map.values().map(|s| s.footprint.load(Ordering::Relaxed)).sum())
-            .unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .slots
+                    .read()
+                    .map(|map| map.values().map(|s| s.footprint.load(Ordering::Relaxed)).sum())
+                    .unwrap_or(0usize)
+            })
+            .sum()
     }
 
     /// The ordered log of successfully applied deltas of a session
@@ -798,10 +962,12 @@ impl SessionRegistry {
     /// lock — call only after request intake has stopped. Returns how many
     /// sessions were flushed.
     pub fn flush_all(&self) -> usize {
-        let slots: Vec<Arc<Slot>> = match self.sessions.read() {
-            Ok(map) => map.values().cloned().collect(),
-            Err(_) => return 0,
-        };
+        let mut slots: Vec<Arc<Slot>> = Vec::new();
+        for shard in self.shards.iter() {
+            if let Ok(map) = shard.slots.read() {
+                slots.extend(map.values().cloned());
+            }
+        }
         let mut flushed = 0;
         for slot in slots {
             if let Ok(mut state) = slot.state.lock() {
@@ -814,35 +980,50 @@ impl SessionRegistry {
     }
 
     /// Evicts least-recently-used idle sessions until the summed footprint
-    /// fits the budget. The most recently touched session is never
-    /// evicted, so the working session of a single-tenant deployment
+    /// fits the budget. The budget and the LRU order are **global** across
+    /// the index shards — sharding stripes the lookup lock, never the
+    /// eviction policy, so which session is evicted is identical to the
+    /// unsharded registry's choice. The most recently touched session is
+    /// never evicted, so the working session of a single-tenant deployment
     /// survives any budget.
     fn enforce_budget(&self) -> Result<(), ServiceError> {
         let Some(budget) = self.config.memory_budget else {
             return Ok(());
         };
         loop {
-            let (total, victim) = {
-                let map = self.sessions_read()?;
-                let total: usize = map.values().map(|s| s.footprint.load(Ordering::Relaxed)).sum();
-                if total <= budget || map.len() <= 1 {
-                    return Ok(());
+            // Global scan, one stripe's read lock at a time. Cross-stripe
+            // totals are slightly racy; the budget is soft and the loop
+            // re-checks after every eviction.
+            let mut total = 0usize;
+            let mut count = 0usize;
+            let mut mru = 0u64;
+            let mut candidates: Vec<(String, u64)> = Vec::new();
+            for shard in self.shards.iter() {
+                let map = self.shard_read(shard)?;
+                for slot in map.values() {
+                    total += slot.footprint.load(Ordering::Relaxed);
+                    count += 1;
+                    let used = slot.last_used.load(Ordering::Relaxed);
+                    mru = mru.max(used);
+                    if slot.idle() {
+                        candidates.push((slot.name.clone(), used));
+                    }
                 }
-                let mru =
-                    map.values().map(|s| s.last_used.load(Ordering::Relaxed)).max().unwrap_or(0);
-                let victim = map
-                    .values()
-                    .filter(|s| s.last_used.load(Ordering::Relaxed) != mru && s.idle())
-                    .min_by_key(|s| s.last_used.load(Ordering::Relaxed))
-                    .map(|s| s.name.clone());
-                (total, victim)
-            };
+            }
+            if total <= budget || count <= 1 {
+                return Ok(());
+            }
+            let victim = candidates
+                .into_iter()
+                .filter(|(_, used)| *used != mru)
+                .min_by_key(|(_, used)| *used)
+                .map(|(name, _)| name);
             let Some(name) = victim else {
                 // Everything is busy or MRU: the budget is soft, try again
                 // on the next operation.
                 return Ok(());
             };
-            let mut map = self.sessions_write()?;
+            let mut map = self.shard_write(self.shard_of(&name))?;
             // Re-check idleness under the write lock so a request that
             // arrived meanwhile keeps its session — and hold the victim's
             // pending *and* state locks across the removal, so a racing
@@ -881,7 +1062,6 @@ impl SessionRegistry {
                 }
             }
             drop(map);
-            let _ = total;
         }
     }
 }
@@ -1345,6 +1525,125 @@ mod tests {
         assert!(matches!(registry.report("s"), Err(ServiceError::SessionNotFound(_))));
         assert!(matches!(registry.drop_session("s"), Err(ServiceError::SessionNotFound(_))));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_shape_token_is_a_typed_conflict() {
+        // The delta TOCTOU regression: shapes read, session dropped and
+        // re-created with different relations, delta applied — the stale
+        // token must be refused, never applied to shapes it wasn't parsed
+        // against.
+        let registry = SessionRegistry::new(ServiceConfig::default());
+        registry.create("s", request(&[("a", 1.0)], &[("a", 1.0)])).unwrap();
+        registry.explain("s", None).unwrap();
+        let (_, _, token) = registry.shapes_tagged("s").unwrap();
+        // Same incarnation: the token validates and the delta applies.
+        registry
+            .delta_checked(
+                "s",
+                RelationDelta::new().insert(Side::Right, tuple("b", 1.0)),
+                None,
+                Some(token),
+            )
+            .unwrap();
+        // Re-create with a different schema.
+        registry.drop_session("s").unwrap();
+        let mut alt_left = canon("Q1", &[("a", 1.0)]);
+        alt_left.schema = Schema::from_pairs(&[("kk", ValueType::Str)]);
+        alt_left.key_attrs = vec!["kk".to_string()];
+        let mut alt_right = canon("Q2", &[("a", 1.0)]);
+        alt_right.schema = Schema::from_pairs(&[("kk", ValueType::Str)]);
+        alt_right.key_attrs = vec!["kk".to_string()];
+        registry
+            .create(
+                "s",
+                CreateRequest {
+                    left: alt_left,
+                    right: alt_right,
+                    matches: AttributeMatches::single_equivalent("kk", "kk"),
+                    config: SessionConfig::default(),
+                },
+            )
+            .unwrap();
+        registry.explain("s", None).unwrap();
+        let stale = registry.delta_checked(
+            "s",
+            RelationDelta::new().insert(Side::Right, tuple("c", 1.0)),
+            None,
+            Some(token),
+        );
+        assert!(matches!(stale, Err(ServiceError::ShapeConflict(_))), "got {stale:?}");
+        assert_eq!(ServiceError::ShapeConflict("s".into()).http_status().0, 409);
+        // An untagged delta (no token) still applies — validation is
+        // opt-in, and the fresh token round-trips.
+        let (_, _, fresh) = registry.shapes_tagged("s").unwrap();
+        assert_ne!(fresh, token, "different shapes must produce a different token");
+        registry
+            .delta_checked(
+                "s",
+                RelationDelta::new().insert(Side::Right, tuple("c", 1.0)),
+                None,
+                Some(fresh),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn coalesce_window_batches_concurrent_deltas() {
+        let registry = Arc::new(SessionRegistry::new(ServiceConfig {
+            coalesce_window: Some(Duration::from_millis(250)),
+            ..ServiceConfig::default()
+        }));
+        registry.create("s", request(&[("a", 1.0), ("b", 2.0)], &[("a", 1.0)])).unwrap();
+        registry.explain("s", None).unwrap();
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let registry = Arc::clone(&registry);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    registry.delta(
+                        "s",
+                        RelationDelta::new().insert(Side::Right, tuple(&format!("t{i}"), 1.0)),
+                        None,
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.deltas_applied, 4);
+        // All four start inside one 250ms window, so at least one ticket
+        // must have piggybacked on another's run.
+        assert!(stats.coalesced_deltas >= 1, "window produced no batching: {stats:?}");
+    }
+
+    #[test]
+    fn sharded_index_keeps_eviction_global() {
+        // Many shards, sessions hashing to different stripes: the LRU
+        // choice must still be the global one (the unsharded registry's
+        // choice), and the budget must apply to the global total.
+        let probe = SessionRegistry::new(ServiceConfig::default());
+        probe.create("p", request(&[("x", 1.0), ("y", 2.0)], &[("x", 1.0)])).unwrap();
+        probe.explain("p", None).unwrap();
+        let per_session = probe.total_footprint();
+
+        let registry = SessionRegistry::new(ServiceConfig {
+            memory_budget: Some(per_session * 5 / 2),
+            shards: 64,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(registry.stats().shards, 64);
+        for name in ["a", "b", "c"] {
+            registry.create(name, request(&[("x", 1.0), ("y", 2.0)], &[("x", 1.0)])).unwrap();
+            registry.explain(name, None).unwrap();
+        }
+        let names: Vec<String> = registry.list().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["b", "c"], "globally-LRU \"a\" must be evicted across shards");
+        assert_eq!(registry.stats().evictions, 1);
     }
 
     #[test]

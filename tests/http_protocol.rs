@@ -1,0 +1,256 @@
+//! HTTP protocol edge cases over a real socket, pinned against the
+//! readiness-based server. These are the wire-level regression tests for
+//! the PR-7 bugfix sweep:
+//!
+//! * HTTP/1.0 (and versionless) requests default to `Connection: close`;
+//!   a `Connection` header overrides the default in either direction.
+//! * The request-line limit applies to the line's **content** — a line of
+//!   exactly 8192 bytes parses, one more byte is a 413 (the old parser
+//!   counted the CRLF against the limit, shrinking the usable line by two).
+//! * A connection that goes silent **mid-request** is answered
+//!   `408 Request Timeout` before the close (the old server closed
+//!   silently); a connection idle **between** requests is closed silently.
+//! * Session names are percent-decoded, so the wire can address any name
+//!   the library API can (`a%20b` ↔ `"a b"`); `%2F` and malformed escapes
+//!   are typed 400s, never aliased names.
+//!
+//! Plus lifecycle pins for the event loop itself: pipelined requests on
+//! one connection, and the full scripted lifecycle on the portable
+//! `poll(2)` backend (the CI fallback lane).
+
+use explain3d::service::client::Client;
+use explain3d::service::json::Json;
+use explain3d::service::registry::ServiceConfig;
+use explain3d::service::{Backend, Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const CREATE_BODY: &str = r#"{
+  "left":  {"name": "Q1", "columns": [["k", "str"]], "key": ["k"],
+            "tuples": [{"values": ["alpha"], "impact": 2.0},
+                       {"values": ["beta"]}]},
+  "right": {"name": "Q2", "columns": [["k", "str"]], "key": ["k"],
+            "tuples": [{"values": ["alpha"]}]},
+  "match": {"left": "k", "right": "k"}
+}"#;
+
+fn serve(config: ServerConfig) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (addr, server.spawn())
+}
+
+/// Reads exactly one HTTP response (headers + Content-Length body) off
+/// `stream`, returning (status, raw headers, body). Reads byte-at-a-time
+/// through the headers and `read_exact` for the body so it never consumes
+/// bytes belonging to a pipelined successor response.
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if buf.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        let n = stream.read(&mut byte).expect("read response");
+        assert!(n > 0, "connection closed before a full response; got {buf:?}");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf).expect("utf-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Content-Length header");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn at_eof(stream: &mut TcpStream) -> bool {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    matches!(stream.read(&mut [0u8; 1]), Ok(0))
+}
+
+#[test]
+fn http10_defaults_to_close_and_connection_header_overrides() {
+    let (addr, handle) = serve(ServerConfig::default());
+
+    // HTTP/1.0 without a Connection header: answered, then closed.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+    let (status, head, _) = read_response(&mut s);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "HTTP/1.0 must default to close: {head:?}");
+    assert!(at_eof(&mut s), "server must close an HTTP/1.0 connection after the response");
+
+    // A version-less (HTTP/0.9-style) request line also defaults to close.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz\r\n\r\n").unwrap();
+    let (status, head, _) = read_response(&mut s);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head:?}");
+    assert!(at_eof(&mut s));
+
+    // HTTP/1.0 + `Connection: keep-alive` stays open and serves again.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+    let (status, head, _) = read_response(&mut s);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: keep-alive"), "{head:?}");
+    s.write_all(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+    let (status, _, _) = read_response(&mut s);
+    assert_eq!(status, 200, "the overridden HTTP/1.0 connection must serve a second request");
+
+    // HTTP/1.1 + `Connection: close` closes despite the 1.1 default.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    let (status, head, _) = read_response(&mut s);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head:?}");
+    assert!(at_eof(&mut s));
+
+    handle.shutdown();
+}
+
+#[test]
+fn request_line_limit_excludes_the_crlf_terminator() {
+    let (addr, handle) = serve(ServerConfig::default());
+
+    // "GET /xxx…x HTTP/1.1" of exactly 8192 bytes of content: must parse
+    // (the unknown path is a routing 404, not a protocol error).
+    let path_len = 8192 - "GET  HTTP/1.1".len();
+    let path = format!("/{}", "x".repeat(path_len - 1));
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes()).unwrap();
+    let (status, _, body) = read_response(&mut s);
+    assert_eq!(status, 404, "an 8192-byte request line must be within the limit: {body}");
+
+    // One more byte crosses the content limit: 413.
+    let path = format!("/{}", "x".repeat(path_len));
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes()).unwrap();
+    let (status, _, body) = read_response(&mut s);
+    assert_eq!(status, 413, "an 8193-byte request line must be rejected: {body}");
+    assert!(body.contains("too_large"), "{body}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn stalled_mid_request_connection_gets_a_408() {
+    let (addr, handle) =
+        serve(ServerConfig { io_timeout: Duration::from_millis(300), ..ServerConfig::default() });
+
+    // Half a request line, then silence: the sweep must answer 408 and
+    // close, not hang or close silently.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"GET /hea").unwrap();
+    let (status, head, body) = read_response(&mut s);
+    assert_eq!(status, 408, "mid-request silence must be answered: {body}");
+    assert!(body.contains("timeout"), "{body}");
+    assert!(head.contains("Connection: close"), "{head:?}");
+    assert!(at_eof(&mut s));
+
+    // A connection idle *between* requests (no bytes at all) is closed
+    // silently — there is no request to answer.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut leftovers = Vec::new();
+    s.read_to_end(&mut leftovers).expect("clean EOF");
+    assert!(leftovers.is_empty(), "idle close must send nothing, got {leftovers:?}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn session_names_are_percent_decoded_on_the_wire() {
+    let (addr, handle) = serve(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // An encoded name addresses the decoded session, end to end.
+    let (status, body) = client.request("POST", "/sessions/a%20b", CREATE_BODY).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.get("created").and_then(Json::as_str), Some("a b"));
+    let names: Vec<String> = handle.registry().list().into_iter().map(|s| s.name).collect();
+    assert_eq!(names, vec!["a b".to_string()], "the registry must see the decoded name");
+    let (status, _) = client.request("POST", "/sessions/a%20b/explain", "").unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client.request("DELETE", "/sessions/a%20b", "").unwrap();
+    assert_eq!(status, 200);
+
+    // An encoded slash would alias a path separator: typed 400.
+    let (status, body) = client.request("POST", "/sessions/a%2Fb", CREATE_BODY).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("bad_request"));
+    // Malformed and truncated escapes too.
+    let (status, _) = client.request("POST", "/sessions/a%zz", CREATE_BODY).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.request("POST", "/sessions/a%2", CREATE_BODY).unwrap();
+    assert_eq!(status, 400);
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_on_one_connection() {
+    let (addr, handle) = serve(ServerConfig::default());
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /sessions HTTP/1.1\r\n\r\n").unwrap();
+    let (status, _, body) = read_response(&mut s);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "first pipelined response: {body}");
+    let (status, _, body) = read_response(&mut s);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"sessions\""), "second pipelined response: {body}");
+
+    drop(s);
+    handle.shutdown();
+}
+
+#[test]
+fn poll_backend_serves_the_full_lifecycle() {
+    // The portable poll(2) fallback must behave identically to epoll —
+    // this is the CI lane for non-Linux readiness.
+    let (addr, handle) = serve(ServerConfig {
+        backend: Backend::Poll,
+        service: ServiceConfig { record_deltas: true, ..ServiceConfig::default() },
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let (status, body) = client.request("POST", "/sessions/p", CREATE_BODY).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, explain) = client.request("POST", "/sessions/p/explain", "").unwrap();
+    assert_eq!(status, 200, "{explain}");
+    let fingerprint = explain.get("fingerprint").and_then(Json::as_str).unwrap().to_string();
+    let (status, delta) = client
+        .request(
+            "POST",
+            "/sessions/p/delta",
+            r#"{"ops": [{"op": "insert", "side": "right", "tuple": {"values": ["beta"]}}]}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{delta}");
+    assert_ne!(delta.get("fingerprint").and_then(Json::as_str), Some(fingerprint.as_str()));
+    let (status, report) = client.request("GET", "/sessions/p/report", "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        report.get("fingerprint").and_then(Json::as_str),
+        delta.get("fingerprint").and_then(Json::as_str),
+        "stored report must match the delta response on the poll backend"
+    );
+    let (status, _) = client.request("DELETE", "/sessions/p", "").unwrap();
+    assert_eq!(status, 200);
+
+    drop(client);
+    handle.shutdown();
+}

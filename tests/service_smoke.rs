@@ -2,8 +2,9 @@
 //! port, driven over `std::net::TcpStream` through the scripted session
 //! lifecycle, with the returned fingerprints checked byte-identical to the
 //! same operations run in-process. Also pins the admission-control shed:
-//! with one worker and a queue of one, a third concurrent connection gets
-//! a 429 from the accept thread.
+//! with one worker and a queue of one, a third concurrent *request* is
+//! shed by the event loop with a 429 — connections are free, requests are
+//! what admission control counts.
 
 use explain3d::service::client::Client;
 use explain3d::service::json::Json;
@@ -140,39 +141,63 @@ fn newline_free_flood_is_bounded_and_rejected() {
 
 #[test]
 fn saturated_admission_queue_sheds_with_429() {
-    // One worker, queue of one: connection A occupies the worker (keep-
-    // alive), connection B fills the queue, connection C must be shed by
-    // the accept thread with a 429.
+    // One worker, queue of one: request A occupies the worker (its delta
+    // parks in the coalesce window, so the occupancy is deterministic),
+    // request B fills the queue, request C must be shed by the event loop
+    // with a 429 — and A and B still answer 200 afterwards, because
+    // shedding C never touched the worker.
     let server = Server::bind(ServerConfig {
         threads: 1,
         queue_capacity: 1,
-        io_timeout: Duration::from_secs(5),
+        io_timeout: Duration::from_secs(10),
+        service: ServiceConfig {
+            coalesce_window: Some(Duration::from_millis(700)),
+            ..ServiceConfig::default()
+        },
         ..Default::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr();
     let handle = server.spawn();
 
-    let mut a = Client::connect(addr).expect("connect A");
-    // A's first response proves the worker owns A's connection.
-    expect_ok("A healthz", a.request("GET", "/healthz", ""));
+    let mut setup = Client::connect(addr).expect("connect setup");
+    expect_ok("create", setup.request("POST", "/sessions/s", CREATE_BODY));
+    expect_ok("explain", setup.request("POST", "/sessions/s/explain", ""));
 
-    // B parks in the admission queue (never answered until A releases the
-    // worker — we only need its queue slot).
-    let _b = Client::connect(addr).expect("connect B");
-    // Give the accept thread a moment to move B into the queue.
-    std::thread::sleep(Duration::from_millis(100));
+    let slow_delta = |tag: &'static str| {
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| panic!("connect {tag}: {e}"));
+            client
+                .request(
+                    "POST",
+                    "/sessions/s/delta",
+                    r#"{"ops": [{"op": "insert", "side": "right", "tuple": {"values": ["gamma"]}}]}"#,
+                )
+                .unwrap_or_else(|e| panic!("{tag}: {e}"))
+        })
+    };
+    // A's job reaches the worker and parks in the 700ms coalesce window.
+    let a = slow_delta("A");
+    std::thread::sleep(Duration::from_millis(200));
+    // B's job takes the single queue slot.
+    let b = slow_delta("B");
+    std::thread::sleep(Duration::from_millis(200));
 
+    // C finds the worker busy and the queue full: shed at dispatch.
     let mut c = Client::connect(addr).expect("connect C");
     let (status, body) = c.request("GET", "/healthz", "").expect("C gets an answer");
     assert_eq!(status, 429, "saturated queue must shed: {body}");
     assert_eq!(body.get("error").and_then(Json::as_str), Some("overloaded"));
 
-    // A's connection still works: shedding C never touched the worker.
-    expect_ok("A again", a.request("GET", "/healthz", ""));
-    // Close everything before shutdown so the drained worker sees EOFs.
-    drop(a);
-    drop(_b);
+    // A and B were admitted, so both must complete normally.
+    let (status_a, body_a) = a.join().expect("join A");
+    assert_eq!(status_a, 200, "A: {body_a}");
+    let (status_b, body_b) = b.join().expect("join B");
+    assert_eq!(status_b, 200, "B: {body_b}");
+
+    // The event loop kept serving throughout: new requests still answer.
+    expect_ok("healthz after shed", setup.request("GET", "/healthz", ""));
+    drop(setup);
     drop(c);
     handle.shutdown();
 }
