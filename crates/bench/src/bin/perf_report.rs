@@ -924,6 +924,22 @@ fn main() {
     let scale_rps = scale_total as f64 / scale_measured.as_secs_f64().max(1e-12);
     let (scale_shards, scale_contention_end) = scale_stats_probe("final");
     let scale_contention = scale_contention_end - scale_contention_base;
+    // Health probe after the storm: the cheap no-session-locks endpoint
+    // must answer even with 10k connections parked, and this lane runs
+    // without fault injection, so every durability counter must be zero.
+    let scale_health = {
+        let mut probe = Client::connect(scale_addr).expect("healthz connect");
+        let (status, body) = probe.request("GET", "/healthz", "").expect("healthz request");
+        assert_eq!(status, 200, "healthz after scale storm: {body}");
+        let counter = |k: &str| -> usize {
+            body.get(k)
+                .and_then(Json::as_i64)
+                .unwrap_or_else(|| panic!("healthz lacks {k}: {body}")) as usize
+        };
+        let health = (counter("degraded_sessions"), counter("wal_errors"), counter("quarantined"));
+        assert_eq!(health, (0, 0, 0), "fault-free scale lane reported durability trouble: {body}");
+        health
+    };
     if let Some(mut child) = scale_child.take() {
         let _ = child.kill();
         let _ = child.wait();
@@ -944,6 +960,10 @@ fn main() {
     println!(
         "service_scale: {scale_shards} registry shards, {scale_contention} contended lock \
          acquisitions, {scale_errors} errors"
+    );
+    println!(
+        "service_scale: healthz ok — {} degraded sessions, {} wal errors, {} quarantined",
+        scale_health.0, scale_health.1, scale_health.2
     );
 
     // --- Durability: the write-ahead-log cost of acknowledging a delta
@@ -968,6 +988,7 @@ fn main() {
         matches: inc_matches.clone(),
         left: make_relation("Q1", &ls, &lr[..8]),
         right: make_relation("Q2", &rs, &rr[..8]),
+        retry_window: Vec::new(),
     };
     let wal_policies: [(&str, FsyncPolicy); 3] = [
         ("off", FsyncPolicy::Never),
@@ -981,12 +1002,18 @@ fn main() {
             dir: dur_dir.join(label),
             fsync,
             snapshot_every: u64::MAX,
+            shim: None,
         });
         let mut wal = store.create_session("w", &wal_genesis).expect("bench WAL create");
         let t0 = Instant::now();
         for seq in 1..=WAL_APPENDS {
-            wal.append(&WalRecord { seq, deadline: None, delta: wal_delta.clone() })
-                .expect("bench WAL append");
+            wal.append(&WalRecord {
+                seq,
+                deadline: None,
+                request_id: None,
+                delta: wal_delta.clone(),
+            })
+            .expect("bench WAL append");
         }
         let rate = WAL_APPENDS as f64 / t0.elapsed().as_secs_f64().max(1e-12);
         wal_rates = wal_rates.set(&format!("append_rps_{label}"), rate);
@@ -1000,6 +1027,7 @@ fn main() {
             dir: recovery_dir.clone(),
             fsync: FsyncPolicy::Never,
             snapshot_every: u64::MAX,
+            shim: None,
         }),
         ..Default::default()
     };
@@ -1159,7 +1187,10 @@ fn main() {
                 .set("p99_ms", scale_quantile(0.99))
                 .set("shards", scale_shards)
                 .set("shard_contention", scale_contention)
-                .set("errors", scale_errors),
+                .set("errors", scale_errors)
+                .set("healthz_degraded_sessions", scale_health.0)
+                .set("healthz_wal_errors", scale_health.1)
+                .set("healthz_quarantined", scale_health.2),
         )
         .set(
             "durability",

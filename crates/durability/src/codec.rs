@@ -128,6 +128,17 @@ impl Enc {
         self.buf.extend_from_slice(v.as_bytes());
     }
 
+    /// Appends an optional length-prefixed string (presence byte + value).
+    pub fn opt_str(&mut self, v: Option<&str>) {
+        match v {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+        }
+    }
+
     /// Appends an optional u64 (presence byte + value).
     pub fn opt_u64(&mut self, v: Option<u64>) {
         match v {
@@ -233,6 +244,15 @@ impl<'a> Dec<'a> {
         }
         String::from_utf8(self.take(len)?.to_vec())
             .map_err(|_| CodecError::Invalid("non-UTF-8 string"))
+    }
+
+    /// Reads an optional length-prefixed string.
+    pub fn opt_str(&mut self) -> Result<Option<String>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            _ => Err(CodecError::Invalid("option tag")),
+        }
     }
 
     /// Reads an optional u64.

@@ -1,0 +1,662 @@
+//! Deterministic fault injection for the durability I/O stack.
+//!
+//! Every filesystem operation the durability crate performs — open, read,
+//! write, fsync, rename, directory sync — is routed through an [`IoShim`].
+//! In production the shim handle is `None` and each call site degrades to
+//! the plain `std::fs` call behind a single branch (zero measurable
+//! overhead, verified by the `durability` bench lane). Under test, a
+//! seeded [`FaultInjector`] implements the shim and executes a
+//! [`FaultPlan`]: fail the Nth matching op, every-Nth, or each op with a
+//! seeded probability, with typed failure modes:
+//!
+//! * [`FaultKind::Enospc`] / [`FaultKind::Eio`] — the op fails with the
+//!   corresponding OS error (`ENOSPC` = errno 28, `EIO` = errno 5);
+//! * [`FaultKind::ShortWrite`] — half the buffer reaches the file, then
+//!   the write errors (a torn frame, exactly what a crash mid-`write`
+//!   leaves behind);
+//! * [`FaultKind::SilentFsyncLoss`] — fsync **reports success** without
+//!   syncing. The injector tracks, per path, the length that has actually
+//!   been made durable; [`FaultInjector::power_cut`] then truncates every
+//!   tracked file back to its durable length, emulating power loss on a
+//!   disk whose cache lied.
+//!
+//! Determinism: the same plan + seed produces the same fault schedule,
+//! so every chaos-suite failure reproduces from its printed seed.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The operation classes the shim covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Opening a file (for read or write, including create).
+    Open,
+    /// Reading file contents.
+    Read,
+    /// Writing bytes to an open file.
+    Write,
+    /// `fsync`/`fdatasync` on an open file.
+    Fsync,
+    /// Renaming a file (the snapshot commit point).
+    Rename,
+    /// Syncing a directory (persisting a rename).
+    DirSync,
+}
+
+impl FaultOp {
+    /// Parses the CLI spelling used by `--fault-ops`.
+    pub fn parse(raw: &str) -> Option<FaultOp> {
+        match raw {
+            "open" => Some(FaultOp::Open),
+            "read" => Some(FaultOp::Read),
+            "write" => Some(FaultOp::Write),
+            "fsync" => Some(FaultOp::Fsync),
+            "rename" => Some(FaultOp::Rename),
+            "dirsync" => Some(FaultOp::DirSync),
+            _ => None,
+        }
+    }
+}
+
+/// How an injected fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The op fails with `ENOSPC` (disk full).
+    Enospc,
+    /// The op fails with `EIO` (generic I/O error; also the spelling for
+    /// "rename failure" when attached to [`FaultOp::Rename`]).
+    Eio,
+    /// Half the buffer is written, then the write errors with `EIO` —
+    /// a torn frame on disk. Only meaningful for [`FaultOp::Write`].
+    ShortWrite,
+    /// fsync returns `Ok` without syncing; the data is lost on the next
+    /// [`FaultInjector::power_cut`]. Only meaningful for [`FaultOp::Fsync`].
+    SilentFsyncLoss,
+}
+
+impl FaultKind {
+    fn parse(raw: &str) -> Option<FaultKind> {
+        match raw {
+            "enospc" => Some(FaultKind::Enospc),
+            "eio" => Some(FaultKind::Eio),
+            "short" | "shortwrite" => Some(FaultKind::ShortWrite),
+            "silentloss" | "fsyncloss" => Some(FaultKind::SilentFsyncLoss),
+            _ => None,
+        }
+    }
+}
+
+/// When a rule fires, counted per [`FaultOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire exactly once, on the Nth (1-based) op of the rule's class.
+    Nth(u64),
+    /// Fire on every Nth op of the class.
+    EveryNth(u64),
+    /// Fire each matching op with probability `ppm` / 1_000_000, drawn
+    /// from the plan's seeded generator.
+    Chance(u32),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRule {
+    /// The op class the rule matches.
+    pub op: FaultOp,
+    /// When it fires.
+    pub trigger: Trigger,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+}
+
+/// A complete seeded fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for [`Trigger::Chance`] draws.
+    pub seed: u64,
+    /// The rules, checked in order; the first that fires wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Parses the CLI spelling: comma-separated `op:trigger:kind` terms
+    /// where `trigger` is `nth=K`, `every=K`, or `ppm=P` (parts per
+    /// million). Example: `write:nth=5:enospc,fsync:ppm=20000:silentloss`.
+    pub fn parse(seed: u64, raw: &str) -> Option<FaultPlan> {
+        let mut rules = Vec::new();
+        for term in raw.split(',').filter(|t| !t.is_empty()) {
+            let mut parts = term.split(':');
+            let op = FaultOp::parse(parts.next()?)?;
+            let trigger = parts.next()?;
+            let kind = FaultKind::parse(parts.next()?)?;
+            if parts.next().is_some() {
+                return None;
+            }
+            let trigger = if let Some(n) = trigger.strip_prefix("nth=") {
+                Trigger::Nth(n.parse().ok().filter(|&n| n > 0)?)
+            } else if let Some(n) = trigger.strip_prefix("every=") {
+                Trigger::EveryNth(n.parse().ok().filter(|&n| n > 0)?)
+            } else if let Some(p) = trigger.strip_prefix("ppm=") {
+                Trigger::Chance(p.parse().ok().filter(|&p| p <= 1_000_000)?)
+            } else {
+                return None;
+            };
+            rules.push(FaultRule { op, trigger, kind });
+        }
+        Some(FaultPlan { seed, rules })
+    }
+}
+
+/// The I/O surface the durability crate performs all filesystem work
+/// through. [`RealIo`] is the production passthrough; [`FaultInjector`]
+/// interposes a [`FaultPlan`].
+pub trait IoShim: Send + Sync + std::fmt::Debug {
+    /// Opens `path` for reading.
+    fn open_read(&self, path: &Path) -> std::io::Result<File>;
+    /// Opens `path` for writing: `truncate` creates/truncates, otherwise
+    /// the file must already exist.
+    fn open_write(&self, path: &Path, truncate: bool) -> std::io::Result<File>;
+    /// Reads the file to the end into `buf`.
+    fn read_to_end(
+        &self,
+        file: &mut File,
+        path: &Path,
+        buf: &mut Vec<u8>,
+    ) -> std::io::Result<usize>;
+    /// Writes the whole buffer.
+    fn write_all(&self, file: &mut File, path: &Path, buf: &[u8]) -> std::io::Result<()>;
+    /// Forces file contents to stable storage.
+    fn fsync(&self, file: &File, path: &Path) -> std::io::Result<()>;
+    /// Renames `from` to `to` (atomic within a filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// Best-effort directory sync, persisting a rename.
+    fn dir_sync(&self, dir: &Path) -> std::io::Result<()>;
+}
+
+/// The production passthrough: every method is the plain `std::fs` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+impl IoShim for RealIo {
+    fn open_read(&self, path: &Path) -> std::io::Result<File> {
+        File::open(path)
+    }
+    fn open_write(&self, path: &Path, truncate: bool) -> std::io::Result<File> {
+        OpenOptions::new().create(truncate).write(true).truncate(truncate).open(path)
+    }
+    fn read_to_end(
+        &self,
+        file: &mut File,
+        _path: &Path,
+        buf: &mut Vec<u8>,
+    ) -> std::io::Result<usize> {
+        file.read_to_end(buf)
+    }
+    fn write_all(&self, file: &mut File, _path: &Path, buf: &[u8]) -> std::io::Result<()> {
+        file.write_all(buf)
+    }
+    fn fsync(&self, file: &File, _path: &Path) -> std::io::Result<()> {
+        file.sync_data()
+    }
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn dir_sync(&self, dir: &Path) -> std::io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+/// The optional injector handle threaded through [`DurabilityConfig`].
+/// `None` (production) costs one branch per I/O call.
+///
+/// [`DurabilityConfig`]: crate::DurabilityConfig
+pub type ShimHandle = Option<Arc<FaultInjector>>;
+
+#[derive(Debug, Default)]
+struct InjectorState {
+    /// Per-op-class 1-based counters of ops *seen* (faulted or not).
+    seen: HashMap<FaultOp, u64>,
+    /// xorshift64* state for [`Trigger::Chance`] draws.
+    rng: u64,
+    /// Total faults fired so far.
+    fired: u64,
+    /// Per path: bytes known to be on stable storage (maintained across
+    /// writes, fsyncs, and renames while the injector is attached).
+    durable: HashMap<PathBuf, u64>,
+}
+
+impl InjectorState {
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — deterministic, seedable, no external deps.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A seeded, thread-safe fault injector implementing [`IoShim`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<InjectorState>,
+    /// When false, no faults fire (durable-length tracking continues) —
+    /// flipped by [`FaultInjector::disarm`] so a test can run clean
+    /// recovery after a faulty episode.
+    armed: std::sync::atomic::AtomicBool,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<FaultInjector> {
+        // splitmix64 scrambles the seed so adjacent seeds produce
+        // unrelated schedules; xorshift state must also not be 0.
+        let mut z = plan.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let rng = (z ^ (z >> 31)).max(1);
+        Arc::new(FaultInjector {
+            plan,
+            state: Mutex::new(InjectorState { rng, ..InjectorState::default() }),
+            armed: std::sync::atomic::AtomicBool::new(true),
+        })
+    }
+
+    /// Stops firing faults (tracking continues).
+    pub fn disarm(&self) {
+        self.armed.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Resumes firing faults.
+    pub fn arm(&self) {
+        self.armed.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Total ops of `op`'s class observed so far.
+    pub fn ops_seen(&self, op: FaultOp) -> u64 {
+        *self.state.lock().expect("injector lock").seen.get(&op).unwrap_or(&0)
+    }
+
+    /// Total faults fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.state.lock().expect("injector lock").fired
+    }
+
+    /// Emulates power loss: truncates every tracked file back to its last
+    /// durably-synced length (never extends — a concurrent legitimate
+    /// truncation wins). Returns the paths that actually lost bytes.
+    pub fn power_cut(&self) -> Vec<PathBuf> {
+        let state = self.state.lock().expect("injector lock");
+        let mut lost = Vec::new();
+        for (path, &durable_len) in &state.durable {
+            let Ok(meta) = std::fs::metadata(path) else { continue };
+            if meta.len() > durable_len {
+                if let Ok(f) = OpenOptions::new().write(true).open(path) {
+                    if f.set_len(durable_len).is_ok() {
+                        lost.push(path.clone());
+                    }
+                }
+            }
+        }
+        lost
+    }
+
+    /// Checks the plan for `op`; `Some(kind)` when a fault fires.
+    fn check(&self, op: FaultOp) -> Option<FaultKind> {
+        let mut state = self.state.lock().expect("injector lock");
+        let count = state.seen.entry(op).or_insert(0);
+        *count += 1;
+        let count = *count;
+        if !self.armed.load(std::sync::atomic::Ordering::SeqCst) {
+            return None;
+        }
+        for rule in &self.plan.rules {
+            if rule.op != op {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::Nth(n) => count == n,
+                Trigger::EveryNth(n) => count.is_multiple_of(n),
+                Trigger::Chance(ppm) => (state.next_rand() % 1_000_000) < ppm as u64,
+            };
+            if fires {
+                state.fired += 1;
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    fn note_durable(&self, path: &Path, len: u64) {
+        self.state.lock().expect("injector lock").durable.insert(path.to_path_buf(), len);
+    }
+
+    fn io_err(kind: FaultKind) -> std::io::Error {
+        match kind {
+            FaultKind::Enospc => std::io::Error::from_raw_os_error(28), // ENOSPC
+            _ => std::io::Error::from_raw_os_error(5),                  // EIO
+        }
+    }
+}
+
+impl IoShim for FaultInjector {
+    fn open_read(&self, path: &Path) -> std::io::Result<File> {
+        if let Some(kind) = self.check(FaultOp::Open) {
+            return Err(Self::io_err(kind));
+        }
+        File::open(path)
+    }
+
+    fn open_write(&self, path: &Path, truncate: bool) -> std::io::Result<File> {
+        if let Some(kind) = self.check(FaultOp::Open) {
+            return Err(Self::io_err(kind));
+        }
+        let file = RealIo.open_write(path, truncate)?;
+        // Begin tracking durable length: a truncated/created file has no
+        // durable bytes; an existing one is assumed durable as found
+        // unless already tracked at a smaller length.
+        let len = if truncate { 0 } else { file.metadata().map(|m| m.len()).unwrap_or(0) };
+        let mut state = self.state.lock().expect("injector lock");
+        let entry = state.durable.entry(path.to_path_buf()).or_insert(len);
+        if truncate {
+            *entry = 0;
+        }
+        Ok(file)
+    }
+
+    fn read_to_end(
+        &self,
+        file: &mut File,
+        _path: &Path,
+        buf: &mut Vec<u8>,
+    ) -> std::io::Result<usize> {
+        if let Some(kind) = self.check(FaultOp::Read) {
+            return Err(Self::io_err(kind));
+        }
+        file.read_to_end(buf)
+    }
+
+    fn write_all(&self, file: &mut File, _path: &Path, buf: &[u8]) -> std::io::Result<()> {
+        match self.check(FaultOp::Write) {
+            None => file.write_all(buf),
+            Some(FaultKind::ShortWrite) => {
+                // Half the frame lands on disk, then the write "fails" —
+                // the torn-tail shape read_wal repairs on recovery.
+                let _ = file.write_all(&buf[..buf.len() / 2]);
+                Err(Self::io_err(FaultKind::ShortWrite))
+            }
+            Some(kind) => Err(Self::io_err(kind)),
+        }
+    }
+
+    fn fsync(&self, file: &File, path: &Path) -> std::io::Result<()> {
+        match self.check(FaultOp::Fsync) {
+            Some(FaultKind::SilentFsyncLoss) => {
+                // The disk cache lies: report success, sync nothing, leave
+                // the durable length where it was. power_cut() collects.
+                Ok(())
+            }
+            Some(kind) => Err(Self::io_err(kind)),
+            None => {
+                file.sync_data()?;
+                // Everything written so far is now genuinely durable.
+                let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+                self.note_durable(path, len);
+                Ok(())
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        if let Some(kind) = self.check(FaultOp::Rename) {
+            return Err(Self::io_err(kind));
+        }
+        std::fs::rename(from, to)?;
+        // Durable-length tracking follows the bytes to their new name.
+        let mut state = self.state.lock().expect("injector lock");
+        if let Some(len) = state.durable.remove(from) {
+            state.durable.insert(to.to_path_buf(), len);
+        }
+        Ok(())
+    }
+
+    fn dir_sync(&self, dir: &Path) -> std::io::Result<()> {
+        if let Some(kind) = self.check(FaultOp::DirSync) {
+            return Err(Self::io_err(kind));
+        }
+        RealIo.dir_sync(dir)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch helpers: `None` is the production fast path (direct std call
+// behind one branch), `Some` routes through the injector's IoShim impl.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn open_read(shim: &ShimHandle, path: &Path) -> std::io::Result<File> {
+    match shim {
+        None => File::open(path),
+        Some(s) => s.open_read(path),
+    }
+}
+
+pub(crate) fn open_write(shim: &ShimHandle, path: &Path, truncate: bool) -> std::io::Result<File> {
+    match shim {
+        None => RealIo.open_write(path, truncate),
+        Some(s) => s.open_write(path, truncate),
+    }
+}
+
+pub(crate) fn read_to_end(
+    shim: &ShimHandle,
+    file: &mut File,
+    path: &Path,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<usize> {
+    match shim {
+        None => file.read_to_end(buf),
+        Some(s) => s.read_to_end(file, path, buf),
+    }
+}
+
+pub(crate) fn write_all(
+    shim: &ShimHandle,
+    file: &mut File,
+    path: &Path,
+    buf: &[u8],
+) -> std::io::Result<()> {
+    match shim {
+        None => file.write_all(buf),
+        Some(s) => s.write_all(file, path, buf),
+    }
+}
+
+pub(crate) fn fsync(shim: &ShimHandle, file: &File, path: &Path) -> std::io::Result<()> {
+    match shim {
+        None => file.sync_data(),
+        Some(s) => s.fsync(file, path),
+    }
+}
+
+pub(crate) fn rename(shim: &ShimHandle, from: &Path, to: &Path) -> std::io::Result<()> {
+    match shim {
+        None => std::fs::rename(from, to),
+        Some(s) => s.rename(from, to),
+    }
+}
+
+pub(crate) fn dir_sync(shim: &ShimHandle, dir: &Path) -> std::io::Result<()> {
+    match shim {
+        None => RealIo.dir_sync(dir),
+        Some(s) => s.dir_sync(dir),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("e3d-fault-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn plan_parses_cli_spellings() {
+        let plan = FaultPlan::parse(7, "write:nth=5:enospc,fsync:ppm=20000:silentloss").unwrap();
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0].op, FaultOp::Write);
+        assert_eq!(plan.rules[0].trigger, Trigger::Nth(5));
+        assert_eq!(plan.rules[0].kind, FaultKind::Enospc);
+        assert_eq!(plan.rules[1].trigger, Trigger::Chance(20_000));
+        assert_eq!(plan.rules[1].kind, FaultKind::SilentFsyncLoss);
+        assert!(FaultPlan::parse(0, "write:nth=0:eio").is_none(), "nth must be positive");
+        assert!(FaultPlan::parse(0, "frobnicate:nth=1:eio").is_none());
+        assert!(FaultPlan::parse(0, "write:sometimes:eio").is_none());
+        assert!(FaultPlan::parse(0, "rename:every=2:eio").is_some());
+        assert!(FaultPlan::parse(0, "").unwrap().rules.is_empty());
+    }
+
+    #[test]
+    fn nth_write_fails_with_enospc_and_counter_advances() {
+        let dir = tempdir("nth");
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule {
+                op: FaultOp::Write,
+                trigger: Trigger::Nth(3),
+                kind: FaultKind::Enospc,
+            }],
+        });
+        let path = dir.join("f");
+        let mut file = inj.open_write(&path, true).unwrap();
+        assert!(inj.write_all(&mut file, &path, b"one").is_ok());
+        assert!(inj.write_all(&mut file, &path, b"two").is_ok());
+        let err = inj.write_all(&mut file, &path, b"three").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "third write must be ENOSPC");
+        assert!(inj.write_all(&mut file, &path, b"four").is_ok(), "Nth fires once");
+        assert_eq!(inj.ops_seen(FaultOp::Write), 4);
+        assert_eq!(inj.faults_fired(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_leaves_half_the_buffer() {
+        let dir = tempdir("short");
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule {
+                op: FaultOp::Write,
+                trigger: Trigger::Nth(1),
+                kind: FaultKind::ShortWrite,
+            }],
+        });
+        let path = dir.join("f");
+        let mut file = inj.open_write(&path, true).unwrap();
+        let err = inj.write_all(&mut file, &path, b"12345678").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert_eq!(std::fs::read(&path).unwrap(), b"1234", "exactly half must land");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn silent_fsync_loss_is_collected_by_power_cut() {
+        let dir = tempdir("powercut");
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule {
+                op: FaultOp::Fsync,
+                trigger: Trigger::Nth(2),
+                kind: FaultKind::SilentFsyncLoss,
+            }],
+        });
+        let path = dir.join("f");
+        let mut file = inj.open_write(&path, true).unwrap();
+        inj.write_all(&mut file, &path, b"durable!").unwrap();
+        inj.fsync(&file, &path).unwrap(); // real sync: 8 bytes durable
+        inj.write_all(&mut file, &path, b"lost").unwrap();
+        inj.fsync(&file, &path).unwrap(); // lying sync: reports Ok
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 12);
+        let lost = inj.power_cut();
+        assert_eq!(lost, vec![path.clone()]);
+        assert_eq!(std::fs::read(&path).unwrap(), b"durable!", "unsynced suffix must vanish");
+        assert!(inj.power_cut().is_empty(), "second cut loses nothing further");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rename_transfers_durability_tracking_and_can_fail() {
+        let dir = tempdir("rename");
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule {
+                op: FaultOp::Rename,
+                trigger: Trigger::Nth(2),
+                kind: FaultKind::Eio,
+            }],
+        });
+        let tmp = dir.join("t.tmp");
+        let dst = dir.join("t.snap");
+        let mut file = inj.open_write(&tmp, true).unwrap();
+        inj.write_all(&mut file, &tmp, b"abcdef").unwrap();
+        inj.fsync(&file, &tmp).unwrap();
+        drop(file);
+        inj.rename(&tmp, &dst).unwrap();
+        // The durable length followed the rename: a power cut keeps dst.
+        assert!(inj.power_cut().is_empty());
+        assert_eq!(std::fs::read(&dst).unwrap(), b"abcdef");
+        // Second rename fails per plan.
+        std::fs::write(&tmp, b"x").unwrap();
+        assert!(inj.rename(&tmp, &dst).is_err());
+        assert_eq!(std::fs::read(&dst).unwrap(), b"abcdef", "failed rename must not replace");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chance_trigger_is_deterministic_per_seed_and_disarm_stops_faults() {
+        let fire_pattern = |seed: u64, armed: bool| -> Vec<bool> {
+            let inj = FaultInjector::new(FaultPlan {
+                seed,
+                rules: vec![FaultRule {
+                    op: FaultOp::Write,
+                    trigger: Trigger::Chance(500_000),
+                    kind: FaultKind::Eio,
+                }],
+            });
+            if !armed {
+                inj.disarm();
+            }
+            (0..64).map(|_| inj.check(FaultOp::Write).is_some()).collect()
+        };
+        let a = fire_pattern(42, true);
+        assert_eq!(a, fire_pattern(42, true), "same seed, same schedule");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f), "p=0.5 fires sometimes");
+        assert_ne!(a, fire_pattern(43, true), "different seed, different schedule");
+        assert!(fire_pattern(42, false).iter().all(|&f| !f), "disarmed fires never");
+    }
+
+    #[test]
+    fn real_io_round_trips() {
+        let dir = tempdir("realio");
+        let path = dir.join("f");
+        let mut file = RealIo.open_write(&path, true).unwrap();
+        RealIo.write_all(&mut file, &path, b"payload").unwrap();
+        RealIo.fsync(&file, &path).unwrap();
+        drop(file);
+        let mut file = RealIo.open_read(&path).unwrap();
+        let mut buf = Vec::new();
+        RealIo.read_to_end(&mut file, &path, &mut buf).unwrap();
+        assert_eq!(buf, b"payload");
+        RealIo.rename(&path, &dir.join("g")).unwrap();
+        RealIo.dir_sync(&dir).unwrap();
+        assert!(RealIo.open_write(&dir.join("missing"), false).is_err(), "no-create mode");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

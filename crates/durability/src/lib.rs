@@ -33,13 +33,18 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod fault;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use fault::{
+    FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, IoShim, RealIo, ShimHandle, Trigger,
+};
 pub use snapshot::{load_snapshot, write_snapshot, SessionSnapshot};
 pub use store::{
-    session_dirname, DurabilityConfig, RecoveredSession, SessionStore, SNAPSHOT_FILE, WAL_FILE,
+    session_dirname, DurabilityConfig, RecoveredSession, SessionStore, QUARANTINE_DIR,
+    SNAPSHOT_FILE, WAL_FILE,
 };
 pub use wal::{read_wal, FsyncPolicy, WalReadOutcome, WalRecord, WalWriter};
 

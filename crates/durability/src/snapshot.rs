@@ -23,16 +23,16 @@ use crate::codec::{
     crc32, dec_matches, dec_relation, dec_session_config, enc_matches, enc_relation,
     enc_session_config, Dec, Enc,
 };
+use crate::fault::{self, ShimHandle};
 use crate::DurabilityError;
 use explain3d_core::prelude::{AttributeMatches, CanonicalRelation};
 use explain3d_incremental::SessionConfig;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::Path;
 use std::time::Duration;
 
-/// Magic bytes opening every snapshot file (format version 1).
-pub const SNAPSHOT_MAGIC: [u8; 8] = *b"E3DSNAP1";
+/// Magic bytes opening every snapshot file (format version 2 — carries
+/// the retry-dedup window used for exactly-once client retries).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"E3DSNAP2";
 
 /// A complete durable image of one session at a delta sequence number.
 #[derive(Debug, Clone)]
@@ -55,6 +55,10 @@ pub struct SessionSnapshot {
     pub left: CanonicalRelation,
     /// Right canonical relation, post-`seq` deltas.
     pub right: CanonicalRelation,
+    /// The retry-dedup window as of `seq`: recently applied
+    /// `(request_id, seq)` pairs, oldest first, so a recovered session
+    /// still answers retried deltas exactly once.
+    pub retry_window: Vec<(String, u64)>,
 }
 
 fn encode(snapshot: &SessionSnapshot) -> Vec<u8> {
@@ -66,6 +70,11 @@ fn encode(snapshot: &SessionSnapshot) -> Vec<u8> {
     enc_matches(&mut e, &snapshot.matches);
     enc_relation(&mut e, &snapshot.left);
     enc_relation(&mut e, &snapshot.right);
+    e.usize(snapshot.retry_window.len());
+    for (request_id, seq) in &snapshot.retry_window {
+        e.str(request_id);
+        e.u64(*seq);
+    }
     e.into_bytes()
 }
 
@@ -79,7 +88,23 @@ fn decode(payload: &[u8]) -> Result<SessionSnapshot, DurabilityError> {
         let matches = dec_matches(&mut d)?;
         let left = dec_relation(&mut d)?;
         let right = dec_relation(&mut d)?;
-        Ok(SessionSnapshot { seq, explained, last_deadline, config, matches, left, right })
+        let window_len = d.len(9)?;
+        let mut retry_window = Vec::with_capacity(window_len);
+        for _ in 0..window_len {
+            let request_id = d.str()?;
+            let seq = d.u64()?;
+            retry_window.push((request_id, seq));
+        }
+        Ok(SessionSnapshot {
+            seq,
+            explained,
+            last_deadline,
+            config,
+            matches,
+            left,
+            right,
+            retry_window,
+        })
     })();
     let snapshot = inner.map_err(|e| DurabilityError::Corrupt(format!("snapshot payload: {e}")))?;
     if !d.finished() {
@@ -91,6 +116,15 @@ fn decode(payload: &[u8]) -> Result<SessionSnapshot, DurabilityError> {
 /// Writes `snapshot` to `path` atomically (tmp + fsync + rename + best-
 /// effort directory fsync).
 pub fn write_snapshot(path: &Path, snapshot: &SessionSnapshot) -> Result<(), DurabilityError> {
+    write_snapshot_with(path, snapshot, &None)
+}
+
+/// [`write_snapshot`] with I/O routed through `shim`.
+pub fn write_snapshot_with(
+    path: &Path,
+    snapshot: &SessionSnapshot,
+    shim: &ShimHandle,
+) -> Result<(), DurabilityError> {
     let payload = encode(snapshot);
     let mut bytes = Vec::with_capacity(payload.len() + 20);
     bytes.extend_from_slice(&SNAPSHOT_MAGIC);
@@ -100,17 +134,15 @@ pub fn write_snapshot(path: &Path, snapshot: &SessionSnapshot) -> Result<(), Dur
 
     let tmp = path.with_extension("tmp");
     {
-        let mut file = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
-        file.write_all(&bytes)?;
-        file.sync_all()?;
+        let mut file = fault::open_write(shim, &tmp, true)?;
+        fault::write_all(shim, &mut file, &tmp, &bytes)?;
+        fault::fsync(shim, &file, &tmp)?;
     }
-    std::fs::rename(&tmp, path)?;
+    fault::rename(shim, &tmp, path)?;
     // Persist the rename itself; failure here only risks power-loss
     // visibility of the *new* snapshot, never corruption of the old.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        let _ = fault::dir_sync(shim, dir);
     }
     Ok(())
 }
@@ -119,10 +151,18 @@ pub fn write_snapshot(path: &Path, snapshot: &SessionSnapshot) -> Result<(), Dur
 /// when the file does not exist; [`DurabilityError::Corrupt`] (never a
 /// panic) when it exists but does not validate.
 pub fn load_snapshot(path: &Path) -> Result<Option<SessionSnapshot>, DurabilityError> {
+    load_snapshot_with(path, &None)
+}
+
+/// [`load_snapshot`] with I/O routed through `shim`.
+pub fn load_snapshot_with(
+    path: &Path,
+    shim: &ShimHandle,
+) -> Result<Option<SessionSnapshot>, DurabilityError> {
     let mut bytes = Vec::new();
-    match File::open(path) {
+    match fault::open_read(shim, path) {
         Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
+            fault::read_to_end(shim, &mut f, path, &mut bytes)?;
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
@@ -185,6 +225,7 @@ mod tests {
             matches: AttributeMatches::single_equivalent("k", "k"),
             left: rel("Q1", &["a", "b", "c"]),
             right: rel("Q2", &["a", "b"]),
+            retry_window: vec![("req-40".to_string(), 40), ("req-42".to_string(), 42)],
         }
     }
 
@@ -201,6 +242,7 @@ mod tests {
         assert_eq!(back.matches, snap.matches);
         assert_eq!(back.left, snap.left);
         assert_eq!(back.right, snap.right);
+        assert_eq!(back.retry_window, snap.retry_window);
         // No stray tmp file remains after the rename.
         assert!(!path.with_extension("tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();

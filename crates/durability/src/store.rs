@@ -29,8 +29,9 @@
 //! the rename leaves the old snapshot plus a complete log, which replays
 //! in full.
 
-use crate::snapshot::{load_snapshot, write_snapshot, SessionSnapshot};
-use crate::wal::{read_wal, FsyncPolicy, WalWriter};
+use crate::fault::ShimHandle;
+use crate::snapshot::{load_snapshot_with, write_snapshot_with, SessionSnapshot};
+use crate::wal::{read_wal_with, FsyncPolicy, WalWriter};
 use crate::DurabilityError;
 use explain3d_incremental::apply_delta;
 use std::path::PathBuf;
@@ -40,6 +41,9 @@ use std::time::Duration;
 pub const SNAPSHOT_FILE: &str = "current.snap";
 /// File name of the WAL inside a session directory.
 pub const WAL_FILE: &str = "wal.log";
+/// Directory (under the data dir) where stale session state is renamed
+/// aside instead of deleted when a session degrades.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Durability settings a registry is configured with.
 #[derive(Debug, Clone)]
@@ -50,13 +54,22 @@ pub struct DurabilityConfig {
     pub fsync: FsyncPolicy,
     /// Write a fresh snapshot (and reset the WAL) every N logged deltas.
     pub snapshot_every: u64,
+    /// Optional fault-injection shim every I/O call routes through.
+    /// `None` in production: each call site is the plain `std::fs` call
+    /// behind a single branch.
+    pub shim: ShimHandle,
 }
 
 impl DurabilityConfig {
     /// Defaults: group-commit fsync every 16 records, snapshot every 64
-    /// deltas.
+    /// deltas, no fault injection.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        DurabilityConfig { dir: dir.into(), fsync: FsyncPolicy::EveryN(16), snapshot_every: 64 }
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(16),
+            snapshot_every: 64,
+            shim: None,
+        }
     }
 }
 
@@ -106,12 +119,40 @@ pub struct SessionStore {
 }
 
 impl SessionStore {
-    /// Opens (creating if needed) the root directory. Creation failures
-    /// are deferred to the first per-session operation so construction
-    /// stays infallible for registry embedding.
+    /// Opens (creating if needed) the root directory and garbage-collects
+    /// stale `*.tmp` snapshot files a crash mid-`snapshot()` left behind
+    /// (the atomic-rename protocol makes them dead weight the moment the
+    /// writing process is gone). Creation failures are deferred to the
+    /// first per-session operation so construction stays infallible for
+    /// registry embedding.
     pub fn open(config: DurabilityConfig) -> SessionStore {
         let _ = std::fs::create_dir_all(&config.dir);
-        SessionStore { config }
+        let store = SessionStore { config };
+        store.collect_stale_tmp();
+        store
+    }
+
+    /// Removes `*.tmp` files from every session directory (best-effort;
+    /// the count is returned for tests and logs).
+    pub fn collect_stale_tmp(&self) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.config.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for session_dir in entries.filter_map(|e| e.ok()).map(|e| e.path()) {
+            if !session_dir.is_dir() {
+                continue;
+            }
+            let Ok(files) = std::fs::read_dir(&session_dir) else { continue };
+            for file in files.filter_map(|e| e.ok()).map(|e| e.path()) {
+                if file.extension().is_some_and(|ext| ext == "tmp")
+                    && std::fs::remove_file(&file).is_ok()
+                {
+                    removed += 1;
+                }
+            }
+        }
+        removed
     }
 
     /// The configuration this store was opened with.
@@ -158,8 +199,8 @@ impl SessionStore {
             )));
         }
         std::fs::create_dir_all(&dir)?;
-        write_snapshot(&dir.join(SNAPSHOT_FILE), snapshot)?;
-        Ok(WalWriter::create(&dir.join(WAL_FILE), self.config.fsync)?)
+        write_snapshot_with(&dir.join(SNAPSHOT_FILE), snapshot, &self.config.shim)?;
+        Ok(WalWriter::create_with(&dir.join(WAL_FILE), self.config.fsync, &self.config.shim)?)
     }
 
     /// Atomically replaces the session's snapshot. The caller resets the
@@ -172,7 +213,26 @@ impl SessionStore {
     ) -> Result<(), DurabilityError> {
         let dir = self.session_dir(name);
         std::fs::create_dir_all(&dir)?;
-        write_snapshot(&dir.join(SNAPSHOT_FILE), snapshot)
+        write_snapshot_with(&dir.join(SNAPSHOT_FILE), snapshot, &self.config.shim)
+    }
+
+    /// Re-attaches a degraded session: writes `snapshot` atomically over
+    /// whatever snapshot exists (creating the directory if needed), then
+    /// truncates a fresh WAL. The write order makes every crash point
+    /// recoverable: old snapshot + old WAL (the durable acked prefix),
+    /// new snapshot + old WAL (whose records all have `seq <=
+    /// snapshot.seq` and are skipped by replay), or new snapshot + fresh
+    /// WAL. Unlike [`SessionStore::create_session`] this never refuses an
+    /// existing snapshot — superseding the stale image is the point.
+    pub fn reattach(
+        &self,
+        name: &str,
+        snapshot: &SessionSnapshot,
+    ) -> Result<WalWriter, DurabilityError> {
+        let dir = self.session_dir(name);
+        std::fs::create_dir_all(&dir)?;
+        write_snapshot_with(&dir.join(SNAPSHOT_FILE), snapshot, &self.config.shim)?;
+        Ok(WalWriter::create_with(&dir.join(WAL_FILE), self.config.fsync, &self.config.shim)?)
     }
 
     /// Deletes the session's durable state (no-op when absent).
@@ -184,6 +244,31 @@ impl SessionStore {
         }
     }
 
+    /// Renames the session's durable state aside into the quarantine
+    /// directory instead of deleting it — the degraded-mode path: stale
+    /// state must never be recovered as truth, but it is evidence, not
+    /// garbage. Returns the quarantine path, or `Ok(None)` when the
+    /// session had no durable state.
+    pub fn quarantine(&self, name: &str) -> Result<Option<PathBuf>, DurabilityError> {
+        let dir = self.session_dir(name);
+        if !dir.exists() {
+            return Ok(None);
+        }
+        let qroot = self.config.dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&qroot)?;
+        let base = session_dirname(name);
+        // First free numeric suffix keeps repeated quarantines of the
+        // same name side by side instead of overwriting each other.
+        for k in 0..u32::MAX {
+            let target = qroot.join(format!("{base}.{k}"));
+            if !target.exists() {
+                std::fs::rename(&dir, &target)?;
+                return Ok(Some(target));
+            }
+        }
+        Err(DurabilityError::Corrupt(format!("no free quarantine slot for {name:?}")))
+    }
+
     /// Rebuilds a session's relation state from its snapshot plus the
     /// valid WAL suffix, returning the state and a writer positioned for
     /// further appends. `Ok(None)` when the session has no durable state.
@@ -192,11 +277,12 @@ impl SessionStore {
         name: &str,
     ) -> Result<Option<(RecoveredSession, WalWriter)>, DurabilityError> {
         let dir = self.session_dir(name);
-        let Some(mut snapshot) = load_snapshot(&dir.join(SNAPSHOT_FILE))? else {
+        let Some(mut snapshot) = load_snapshot_with(&dir.join(SNAPSHOT_FILE), &self.config.shim)?
+        else {
             return Ok(None);
         };
         let wal_path = dir.join(WAL_FILE);
-        let outcome = read_wal(&wal_path)?;
+        let outcome = read_wal_with(&wal_path, &self.config.shim)?;
         let mut seq = snapshot.seq;
         let mut last_deadline: Option<Duration> = snapshot.last_deadline;
         let mut explained = snapshot.explained;
@@ -220,12 +306,20 @@ impl SessionStore {
             seq = record.seq;
             last_deadline = record.deadline;
             explained = true; // a logged delta implies a completed re_explain
+            if let Some(request_id) = &record.request_id {
+                snapshot.retry_window.push((request_id.clone(), record.seq));
+            }
             replayed += 1;
         }
         snapshot.seq = seq;
         snapshot.last_deadline = last_deadline;
         snapshot.explained = explained;
-        let writer = WalWriter::open_end(&wal_path, self.config.fsync, outcome.valid_len)?;
+        let writer = WalWriter::open_end_with(
+            &wal_path,
+            self.config.fsync,
+            outcome.valid_len,
+            &self.config.shim,
+        )?;
         Ok(Some((
             RecoveredSession { snapshot, replayed, tail_discarded: outcome.tail_discarded },
             writer,
@@ -287,6 +381,7 @@ mod tests {
             matches: AttributeMatches::single_equivalent("k", "k"),
             left,
             right,
+            retry_window: Vec::new(),
         }
     }
 
@@ -313,10 +408,17 @@ mod tests {
         // Log two applied deltas.
         let d1 = RelationDelta::new().insert(Side::Right, tuple("b", 2.0));
         let d2 = RelationDelta::new().delete(Side::Left, 0);
-        wal.append(&WalRecord { seq: 1, deadline: None, delta: d1.clone() }).unwrap();
+        wal.append(&WalRecord {
+            seq: 1,
+            deadline: None,
+            request_id: Some("req-1".to_string()),
+            delta: d1.clone(),
+        })
+        .unwrap();
         wal.append(&WalRecord {
             seq: 2,
             deadline: Some(Duration::from_millis(100)),
+            request_id: None,
             delta: d2.clone(),
         })
         .unwrap();
@@ -330,6 +432,11 @@ mod tests {
         assert_eq!(snap.seq, 2);
         assert!(snap.explained);
         assert_eq!(snap.last_deadline, Some(Duration::from_millis(100)));
+        assert_eq!(
+            snap.retry_window,
+            vec![("req-1".to_string(), 1)],
+            "replay must rebuild the retry-dedup window from logged request ids"
+        );
         // The replayed relations equal a direct application of the deltas.
         let (mut left, mut right) = (rel("Q1", &["a", "b"]), rel("Q2", &["a"]));
         apply_delta(&mut left, &mut right, &d1).unwrap();
@@ -346,7 +453,8 @@ mod tests {
         let mut wal =
             store.create_session("s", &genesis(rel("Q1", &["a"]), rel("Q2", &[]))).unwrap();
         let d1 = RelationDelta::new().insert(Side::Right, tuple("a", 1.0));
-        wal.append(&WalRecord { seq: 1, deadline: None, delta: d1.clone() }).unwrap();
+        wal.append(&WalRecord { seq: 1, deadline: None, request_id: None, delta: d1.clone() })
+            .unwrap();
         wal.sync().unwrap();
         // Snapshot at seq 1 *without* resetting the WAL — the crash window
         // between snapshot rename and WAL reset.
@@ -360,6 +468,7 @@ mod tests {
             matches: AttributeMatches::single_equivalent("k", "k"),
             left: left.clone(),
             right: right.clone(),
+            retry_window: Vec::new(),
         };
         store.write_snapshot("s", &snap).unwrap();
         drop(wal);
@@ -382,6 +491,80 @@ mod tests {
         assert!(!store.contains("s"));
         store.remove("s").unwrap(); // absent: still Ok
         assert!(store.recover("s").unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_collects_stale_tmp_files() {
+        let dir = tempdir("tmpgc");
+        let store = SessionStore::open(DurabilityConfig::new(&dir));
+        let g = genesis(rel("Q1", &["a"]), rel("Q2", &["a"]));
+        let _w = store.create_session("s", &g).unwrap();
+        // A crash mid-snapshot leaves current.tmp behind; seed two.
+        let session_dir = dir.join(session_dirname("s"));
+        std::fs::write(session_dir.join("current.tmp"), b"torn half-snapshot").unwrap();
+        std::fs::write(session_dir.join("other.tmp"), b"older").unwrap();
+        let reopened = SessionStore::open(DurabilityConfig::new(&dir));
+        assert!(!session_dir.join("current.tmp").exists(), "open must GC stale tmp files");
+        assert!(!session_dir.join("other.tmp").exists());
+        assert!(session_dir.join(SNAPSHOT_FILE).exists(), "the real snapshot must survive");
+        assert!(reopened.recover("s").unwrap().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_renames_aside_and_never_deletes() {
+        let dir = tempdir("quarantine");
+        let store = SessionStore::open(DurabilityConfig::new(&dir));
+        let g = genesis(rel("Q1", &["a"]), rel("Q2", &["a"]));
+        let _w = store.create_session("s", &g).unwrap();
+        let q1 = store.quarantine("s").unwrap().expect("state existed");
+        assert!(!store.contains("s"), "quarantined state must not be recoverable as truth");
+        assert!(q1.join(SNAPSHOT_FILE).exists(), "the bytes must survive, renamed aside");
+        assert!(store.recover("s").unwrap().is_none());
+        // The name is free again; a second episode lands in a new slot.
+        let _w = store.create_session("s", &g).unwrap();
+        let q2 = store.quarantine("s").unwrap().expect("state existed");
+        assert_ne!(q1, q2, "repeated quarantines must not overwrite each other");
+        assert!(q1.exists() && q2.exists());
+        assert!(store.quarantine("s").unwrap().is_none(), "nothing left to quarantine");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_wal_fault_surfaces_and_clean_reopen_recovers() {
+        use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, Trigger};
+        let dir = tempdir("faulty");
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 9,
+            rules: vec![FaultRule {
+                op: FaultOp::Write,
+                trigger: Trigger::Nth(4),
+                kind: FaultKind::ShortWrite,
+            }],
+        });
+        let mut config = DurabilityConfig::new(&dir);
+        config.fsync = FsyncPolicy::Always;
+        config.shim = Some(inj.clone());
+        let store = SessionStore::open(config);
+        let g = genesis(rel("Q1", &["a", "b"]), rel("Q2", &["a"]));
+        // Writes 1–3: snapshot tmp, WAL magic, first record. Write 4 (the
+        // second record) tears mid-frame.
+        let mut wal = store.create_session("s", &g).unwrap();
+        let d = RelationDelta::new().insert(Side::Right, tuple("b", 2.0));
+        wal.append(&WalRecord { seq: 1, deadline: None, request_id: None, delta: d.clone() })
+            .unwrap();
+        let err = wal
+            .append(&WalRecord { seq: 2, deadline: None, request_id: None, delta: d.clone() })
+            .unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5), "torn write surfaces as EIO");
+        drop(wal);
+        // Recovery through a clean store repairs the torn tail: only the
+        // intact first record replays.
+        let clean = SessionStore::open(DurabilityConfig::new(&dir));
+        let (recovered, _w) = clean.recover("s").unwrap().expect("session on disk");
+        assert_eq!(recovered.replayed, 1, "the torn second record must be discarded");
+        assert!(recovered.tail_discarded);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -3,9 +3,10 @@
 //! ## File format
 //!
 //! ```text
-//! magic "E3DWAL01"                                  (8 bytes)
+//! magic "E3DWAL02"                                  (8 bytes)
 //! record*:  len: u32 | payload: len bytes | crc32(payload): u32
-//! payload:  seq: u64 | deadline: Option<u64 nanos> | RelationDelta
+//! payload:  seq: u64 | deadline: Option<u64 nanos>
+//!           | request_id: Option<str> | RelationDelta
 //! ```
 //!
 //! The WAL is a **redo log of applied deltas**: the registry appends a
@@ -27,15 +28,17 @@
 //! repaired on recovery.
 
 use crate::codec::{crc32, dec_delta, enc_delta, Dec, Enc};
+use crate::fault::{self, ShimHandle};
 use crate::DurabilityError;
 use explain3d_incremental::RelationDelta;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io::{Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-/// Magic bytes opening every WAL file (format version 01).
-pub const WAL_MAGIC: [u8; 8] = *b"E3DWAL01";
+/// Magic bytes opening every WAL file (format version 02 — records carry
+/// the client-generated `request_id` used for exactly-once retry dedup).
+pub const WAL_MAGIC: [u8; 8] = *b"E3DWAL02";
 
 /// Sanity bound on one record's payload: a corrupt length field larger
 /// than this is treated as a torn tail instead of attempted.
@@ -81,6 +84,9 @@ pub struct WalRecord {
     pub seq: u64,
     /// The request's scoped deadline override, if any.
     pub deadline: Option<Duration>,
+    /// The client-generated idempotency token, if the request carried one
+    /// — recovery rebuilds the retry-dedup window from these.
+    pub request_id: Option<String>,
     /// The applied edit script.
     pub delta: RelationDelta,
 }
@@ -89,6 +95,7 @@ fn encode_record(record: &WalRecord) -> Vec<u8> {
     let mut e = Enc::new();
     e.u64(record.seq);
     e.opt_duration(record.deadline);
+    e.opt_str(record.request_id.as_deref());
     enc_delta(&mut e, &record.delta);
     e.into_bytes()
 }
@@ -99,15 +106,25 @@ pub struct WalWriter {
     path: PathBuf,
     policy: FsyncPolicy,
     unsynced: u32,
+    shim: ShimHandle,
 }
 
 impl WalWriter {
     /// Creates a fresh (truncated) WAL containing only the magic header.
     pub fn create(path: &Path, policy: FsyncPolicy) -> std::io::Result<WalWriter> {
-        let mut file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
-        file.write_all(&WAL_MAGIC)?;
-        file.sync_data()?;
-        Ok(WalWriter { file, path: path.to_path_buf(), policy, unsynced: 0 })
+        WalWriter::create_with(path, policy, &None)
+    }
+
+    /// [`WalWriter::create`] with I/O routed through `shim`.
+    pub fn create_with(
+        path: &Path,
+        policy: FsyncPolicy,
+        shim: &ShimHandle,
+    ) -> std::io::Result<WalWriter> {
+        let mut file = fault::open_write(shim, path, true)?;
+        fault::write_all(shim, &mut file, path, &WAL_MAGIC)?;
+        fault::fsync(shim, &file, path)?;
+        Ok(WalWriter { file, path: path.to_path_buf(), policy, unsynced: 0, shim: shim.clone() })
     }
 
     /// Reopens an existing WAL for appending, first truncating it to
@@ -119,13 +136,23 @@ impl WalWriter {
         policy: FsyncPolicy,
         valid_len: u64,
     ) -> std::io::Result<WalWriter> {
+        WalWriter::open_end_with(path, policy, valid_len, &None)
+    }
+
+    /// [`WalWriter::open_end`] with I/O routed through `shim`.
+    pub fn open_end_with(
+        path: &Path,
+        policy: FsyncPolicy,
+        valid_len: u64,
+        shim: &ShimHandle,
+    ) -> std::io::Result<WalWriter> {
         if valid_len < WAL_MAGIC.len() as u64 {
-            return WalWriter::create(path, policy);
+            return WalWriter::create_with(path, policy, shim);
         }
-        let mut file = OpenOptions::new().write(true).open(path)?;
+        let mut file = fault::open_write(shim, path, false)?;
         file.set_len(valid_len)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(WalWriter { file, path: path.to_path_buf(), policy, unsynced: 0 })
+        Ok(WalWriter { file, path: path.to_path_buf(), policy, unsynced: 0, shim: shim.clone() })
     }
 
     /// The file this writer appends to.
@@ -141,14 +168,14 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        self.file.write_all(&frame)?;
+        fault::write_all(&self.shim, &mut self.file, &self.path, &frame)?;
         match self.policy {
             FsyncPolicy::Never => {}
-            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::Always => fault::fsync(&self.shim, &self.file, &self.path)?,
             FsyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n {
-                    self.file.sync_data()?;
+                    fault::fsync(&self.shim, &self.file, &self.path)?;
                     self.unsynced = 0;
                 }
             }
@@ -159,7 +186,7 @@ impl WalWriter {
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> std::io::Result<()> {
         self.unsynced = 0;
-        self.file.sync_data()
+        fault::fsync(&self.shim, &self.file, &self.path)
     }
 
     /// Truncates the log back to just the header — called after a snapshot
@@ -168,7 +195,7 @@ impl WalWriter {
         self.file.set_len(WAL_MAGIC.len() as u64)?;
         self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
         self.unsynced = 0;
-        self.file.sync_data()
+        fault::fsync(&self.shim, &self.file, &self.path)
     }
 }
 
@@ -191,10 +218,15 @@ pub struct WalReadOutcome {
 /// invalid payload, even a missing or wrong magic header — just ends the
 /// valid prefix. Only I/O failures surface as errors.
 pub fn read_wal(path: &Path) -> Result<WalReadOutcome, DurabilityError> {
+    read_wal_with(path, &None)
+}
+
+/// [`read_wal`] with I/O routed through `shim`.
+pub fn read_wal_with(path: &Path, shim: &ShimHandle) -> Result<WalReadOutcome, DurabilityError> {
     let mut bytes = Vec::new();
-    match File::open(path) {
+    match fault::open_read(shim, path) {
         Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
+            fault::read_to_end(shim, &mut f, path, &mut bytes)?;
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(WalReadOutcome { records: Vec::new(), valid_len: 0, tail_discarded: false })
@@ -227,8 +259,9 @@ pub fn read_wal(path: &Path) -> Result<WalReadOutcome, DurabilityError> {
         let record = (|| -> Result<WalRecord, crate::codec::CodecError> {
             let seq = d.u64()?;
             let deadline = d.opt_duration()?;
+            let request_id = d.opt_str()?;
             let delta = dec_delta(&mut d)?;
-            Ok(WalRecord { seq, deadline, delta })
+            Ok(WalRecord { seq, deadline, request_id, delta })
         })();
         let Ok(record) = record else { break };
         if !d.finished() {
@@ -267,6 +300,7 @@ mod tests {
         WalRecord {
             seq,
             deadline: seq.is_multiple_of(2).then(|| Duration::from_millis(seq * 10)),
+            request_id: seq.is_multiple_of(3).then(|| format!("req-{seq}")),
             delta: RelationDelta::new()
                 .insert(Side::Left, tuple(&format!("k{seq}")))
                 .delete(Side::Right, seq as usize),
@@ -292,6 +326,7 @@ mod tests {
         for (i, r) in out.records.iter().enumerate() {
             assert_eq!(r.seq, i as u64 + 1);
             assert_eq!(r.deadline, record(r.seq).deadline);
+            assert_eq!(r.request_id, record(r.seq).request_id);
             assert_eq!(r.delta.ops.len(), 2);
         }
         assert_eq!(out.valid_len, std::fs::metadata(&path).unwrap().len());

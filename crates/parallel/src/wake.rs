@@ -10,20 +10,29 @@
 //!
 //! ## Protocol
 //!
-//! The pipe is left in blocking mode on purpose — no `fcntl` binding
-//! needed — so the one rule is: **only call `drain` after the poller
-//! reported the fd readable** (then at least one byte is present and the
-//! bounded read cannot block). `drain` consumes at most one buffer's worth;
-//! leftover bytes keep the fd readable, so a level-triggered poller simply
-//! wakes again. Producers must enqueue their payload (under whatever lock
-//! guards it) *before* calling `notify`: the consumer drains the pipe first
-//! and the payload queue second, so every notified payload is observed by
-//! the wakeup it triggered or an earlier one.
+//! Both pipe ends are switched to `O_NONBLOCK`, which buys two liveness
+//! guarantees:
 //!
-//! A pipe holds 64 KiB, so `notify` only blocks if ~65k notifications pile
-//! up undrained; the event loop drains on every wakeup, which makes that a
-//! transient stall of the producer, never a deadlock (the consumer never
-//! waits on producers).
+//! * **`notify` never blocks.** A pipe holds ~64 KiB; once it is full,
+//!   `write` returns `EAGAIN` and `notify` treats that as success — a full
+//!   pipe *is* a pending wakeup, so the notification coalesces with the
+//!   ~65k already in flight instead of stalling a pool worker behind a
+//!   slow event loop.
+//! * **`drain` never blocks.** It loops until the pipe is empty
+//!   (`EAGAIN`), so a saturated pipe is fully recovered by one drain call
+//!   rather than re-waking the poller 128 times.
+//!
+//! Producers must enqueue their payload (under whatever lock guards it)
+//! *before* calling `notify`: the consumer drains the pipe first and the
+//! payload queue second, so every notified payload is observed by the
+//! wakeup it triggered or an earlier one. Coalescing keeps that contract —
+//! a dropped-for-EAGAIN byte is covered by the wakeup the resident bytes
+//! already guarantee.
+//!
+//! If `fcntl` ever fails (exotic platform), the pipe stays blocking and
+//! both calls degrade to the old bounded behaviour: `drain` performs one
+//! bounded read (call it only after the poller reported readability) and a
+//! saturated `notify` may briefly stall.
 
 use std::io;
 
@@ -34,6 +43,25 @@ mod sys {
         pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
         pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
         pub fn close(fd: i32) -> i32;
+        pub fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    }
+
+    pub const F_GETFL: i32 = 3;
+    pub const F_SETFL: i32 = 4;
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: i32 = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: i32 = 0x0004; // BSD lineage (macOS included)
+
+    /// Best-effort `O_NONBLOCK`; reports whether the flag is now set.
+    pub fn set_nonblocking(fd: i32) -> bool {
+        unsafe {
+            let flags = fcntl(fd, F_GETFL, 0);
+            if flags < 0 {
+                return false;
+            }
+            fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0
+        }
     }
 }
 
@@ -42,6 +70,9 @@ mod sys {
 pub struct WakeSignal {
     read_fd: i32,
     write_fd: i32,
+    /// Whether both ends took `O_NONBLOCK` (the normal case). When false,
+    /// the blocking-pipe fallback protocol applies.
+    nonblocking: bool,
 }
 
 impl WakeSignal {
@@ -52,7 +83,8 @@ impl WakeSignal {
         if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
             return Err(io::Error::last_os_error());
         }
-        Ok(WakeSignal { read_fd: fds[0], write_fd: fds[1] })
+        let nonblocking = sys::set_nonblocking(fds[0]) && sys::set_nonblocking(fds[1]);
+        Ok(WakeSignal { read_fd: fds[0], write_fd: fds[1], nonblocking })
     }
 
     /// Unsupported off unix (no event-loop backend exists there either).
@@ -68,13 +100,17 @@ impl WakeSignal {
 
     /// Wakes the event loop: writes one byte. Callable from any thread;
     /// enqueue the payload this wakeup announces *before* calling this.
+    /// Never blocks: a full pipe (`EAGAIN`) already guarantees a pending
+    /// wakeup, so the byte coalesces instead of stalling the producer.
     pub fn notify(&self) {
         #[cfg(unix)]
         {
             let byte = [1u8];
             let mut spins = 0;
-            // EINTR is the only retryable outcome; anything else (e.g. the
-            // read end closed during shutdown) just drops the wakeup.
+            // EINTR is the only retryable outcome. EAGAIN means the pipe
+            // is full — a wakeup is already guaranteed, mission
+            // accomplished. Anything else (e.g. the read end closed during
+            // shutdown) just drops the wakeup.
             while unsafe { sys::write(self.write_fd, byte.as_ptr(), 1) } < 0 {
                 if io::Error::last_os_error().kind() != io::ErrorKind::Interrupted || spins > 64 {
                     break;
@@ -84,18 +120,35 @@ impl WakeSignal {
         }
     }
 
-    /// Consumes pending wakeup bytes (up to one buffer's worth) and returns
-    /// how many were read. Call only after the poller reported
-    /// [`fd`](WakeSignal::fd) readable — the pipe is blocking.
+    /// Consumes every pending wakeup byte and returns how many were read.
+    /// Nonblocking: loops until the pipe reports empty, so even a
+    /// saturated pipe is cleared by one call. (On the blocking-pipe
+    /// fallback, performs one bounded read — call it only after the poller
+    /// reported [`fd`](WakeSignal::fd) readable.)
     pub fn drain(&self) -> usize {
         #[cfg(unix)]
         {
-            let mut buf = [0u8; 512];
-            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
-            if n > 0 {
-                return n as usize;
+            let mut total = 0usize;
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n > 0 {
+                    total += n as usize;
+                    // A blocking pipe must stop at the first (guaranteed
+                    // nonempty) read; a short read means empty either way.
+                    if !self.nonblocking || (n as usize) < buf.len() {
+                        return total;
+                    }
+                    continue;
+                }
+                if n < 0 && io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                // 0 (closed) or EAGAIN (empty): done.
+                return total;
             }
         }
+        #[cfg(not(unix))]
         0
     }
 }
@@ -121,7 +174,7 @@ mod tests {
         assert!(wake.fd() >= 0);
         wake.notify();
         wake.notify();
-        // Two notifies → two bytes, both consumed by one bounded drain.
+        // Two notifies → two bytes, both consumed by one drain.
         assert_eq!(wake.drain(), 2);
     }
 
@@ -144,5 +197,27 @@ mod tests {
             seen += n;
         }
         assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn saturating_the_pipe_never_blocks_the_producer() {
+        let wake = WakeSignal::new().unwrap();
+        assert!(wake.nonblocking, "test requires the O_NONBLOCK path");
+        // Far beyond any pipe's capacity: every write past the high-water
+        // mark hits EAGAIN and must coalesce instead of blocking. A
+        // regression here hangs the test rather than failing an assert.
+        const STORM: usize = 200_000;
+        for _ in 0..STORM {
+            wake.notify();
+        }
+        // One drain clears the whole backlog (capacity-dependent size)…
+        let drained = wake.drain();
+        assert!(drained > 0, "a saturated pipe must yield its bytes");
+        assert!(drained < STORM, "overflow notifies must have coalesced");
+        // …leaving the pipe empty (an empty nonblocking read is 0, not a
+        // hang), and immediately usable again.
+        assert_eq!(wake.drain(), 0);
+        wake.notify();
+        assert_eq!(wake.drain(), 1);
     }
 }

@@ -13,7 +13,9 @@
 //!                        [--coalesce-window-ms N]
 //!                        [--memory-budget-mb N] [--data-dir DIR]
 //!                        [--fsync off|interval[:N]|always]
-//!                        [--snapshot-every N] [--smoke]
+//!                        [--snapshot-every N]
+//!                        [--durability best-effort|strict]
+//!                        [--fault-seed N] [--fault-ops SPEC] [--smoke]
 //! ```
 //!
 //! One event-loop thread multiplexes every connection through the chosen
@@ -30,9 +32,18 @@
 //! log every `--snapshot-every` deltas, evicted sessions spill to disk,
 //! and a restart on the same directory transparently recovers every
 //! session. `--fsync` trades write latency for power-loss protection
-//! (process crashes lose nothing under any policy). `SIGTERM`/`SIGINT`
-//! drain gracefully: stop accepting, finish queued requests, flush every
-//! session to a fresh snapshot, exit 0.
+//! (process crashes lose nothing under any policy). `--durability` picks
+//! what a storage *failure* means: `best-effort` (default) keeps the
+//! session serving from memory with `durability: "degraded"` on every
+//! response while re-attach retries in the background; `strict` answers
+//! writes it cannot log with `503 durability_unavailable` instead.
+//! `SIGTERM`/`SIGINT` drain gracefully: stop accepting, finish queued
+//! requests, flush every session to a fresh snapshot, exit 0.
+//!
+//! `--fault-seed` / `--fault-ops` arm the deterministic fault-injection
+//! shim on the storage stack (chaos testing only — e.g.
+//! `--fault-ops write:ppm=20000:eio,fsync:ppm=5000:silentloss`); the same
+//! seed and spec replay the same fault schedule.
 //!
 //! `--smoke` runs the CI smoke lane instead of serving: bind an ephemeral
 //! port, drive a scripted create/explain/delta/report lifecycle over a real
@@ -41,10 +52,10 @@
 //!
 //! [`ExplainSession`]: explain3d_incremental::ExplainSession
 
-use explain3d_durability::{DurabilityConfig, FsyncPolicy};
+use explain3d_durability::{DurabilityConfig, FaultInjector, FaultPlan, FsyncPolicy};
 use explain3d_service::client::Client;
 use explain3d_service::json::Json;
-use explain3d_service::registry::{ServiceConfig, SessionRegistry};
+use explain3d_service::registry::{DurabilityMode, ServiceConfig, SessionRegistry};
 use explain3d_service::wire;
 use explain3d_service::{Backend, Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +64,7 @@ const USAGE: &str = "usage: explain3d-serve [--addr HOST:PORT] [--threads N] [--
                      [--backend epoll|poll|auto] [--max-conns N] [--shards N] \
                      [--io-timeout-ms N] [--coalesce-window-ms N] [--memory-budget-mb N] \
                      [--data-dir DIR] [--fsync off|interval[:N]|always] [--snapshot-every N] \
+                     [--durability best-effort|strict] [--fault-seed N] [--fault-ops SPEC] \
                      [--smoke]";
 
 /// Set by the `SIGTERM`/`SIGINT` handler; the accept loop polls it.
@@ -99,6 +111,8 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::EveryN(16);
     let mut snapshot_every: u64 = 64;
+    let mut fault_seed: u64 = 0;
+    let mut fault_ops: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -145,13 +159,36 @@ fn main() {
             "--snapshot-every" => {
                 snapshot_every = parse_count(&value("--snapshot-every"), "--snapshot-every") as u64;
             }
+            "--durability" => {
+                let raw = value("--durability");
+                config.service.durability_mode = DurabilityMode::parse(&raw).unwrap_or_else(|| {
+                    usage_error(&format!("--durability takes best-effort or strict; got {raw:?}"))
+                });
+            }
+            "--fault-seed" => {
+                let raw = value("--fault-seed");
+                fault_seed = raw.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--fault-seed takes a number, got {raw:?}"))
+                });
+            }
+            "--fault-ops" => fault_ops = Some(value("--fault-ops")),
             "--smoke" => smoke = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
+    let shim = fault_ops.map(|spec| {
+        let plan = FaultPlan::parse(fault_seed, &spec).unwrap_or_else(|| {
+            usage_error(&format!("--fault-ops: cannot parse {spec:?}"));
+        });
+        eprintln!("explain3d-serve: FAULT INJECTION ARMED (seed {fault_seed}, spec {spec:?})");
+        FaultInjector::new(plan)
+    });
+    if shim.is_some() && data_dir.is_none() {
+        usage_error("--fault-ops requires --data-dir (the shim wraps storage I/O)");
+    }
     if let Some(dir) = data_dir {
         config.service.durability =
-            Some(DurabilityConfig { dir: dir.into(), fsync, snapshot_every });
+            Some(DurabilityConfig { dir: dir.into(), fsync, snapshot_every, shim });
     }
 
     if smoke {

@@ -2,6 +2,18 @@
 //! enough to drive the server from the smoke tests, the CI lane, and the
 //! closed-loop bench clients. One request per call on a persistent
 //! keep-alive connection.
+//!
+//! [`Client`] is the raw single-attempt primitive. [`RetryClient`] wraps
+//! it with the full failure-model discipline:
+//!
+//! - per-attempt I/O **timeouts** (a silent server cannot hang the caller),
+//! - **jittered exponential backoff** between attempts (full jitter, a
+//!   seeded xorshift so test schedules are reproducible),
+//! - `Retry-After` honoured on `503`/`429`,
+//! - **idempotent deltas**: [`RetryClient::delta`] stamps the body with a
+//!   client-generated `request_id` *before* the first attempt, so a retry
+//!   of an acked-but-response-lost delta is answered from the server's
+//!   dedup window instead of being applied twice.
 
 use crate::json::Json;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -33,9 +45,20 @@ fn err(what: impl Into<String>) -> ClientError {
 impl Client {
     /// Connects with a 10-second I/O timeout.
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr).map_err(|e| err(format!("connect: {e}")))?;
-        stream.set_read_timeout(Some(Duration::from_secs(10))).map_err(|e| err(e.to_string()))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10))).map_err(|e| err(e.to_string()))?;
+        Client::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit per-operation I/O timeout (reads and
+    /// writes both): a server that accepts and then goes silent costs the
+    /// caller at most `timeout` per attempt, never a hang.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let stream =
+            TcpStream::connect_timeout(&addr, timeout).map_err(|e| err(format!("connect: {e}")))?;
+        stream.set_read_timeout(Some(timeout)).map_err(|e| err(e.to_string()))?;
+        stream.set_write_timeout(Some(timeout)).map_err(|e| err(e.to_string()))?;
         let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone().map_err(|e| err(e.to_string()))?);
         Ok(Client { reader, writer: stream })
@@ -49,6 +72,18 @@ impl Client {
         path: &str,
         body: &str,
     ) -> Result<(u16, Json), ClientError> {
+        let response = self.request_full(method, path, body)?;
+        Ok((response.status, response.body))
+    }
+
+    /// [`Client::request`] keeping the response headers the retry layer
+    /// cares about (`Retry-After`).
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<Response, ClientError> {
         let mut message = format!(
             "{method} {path} HTTP/1.1\r\nHost: explain3d\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
             body.len()
@@ -65,6 +100,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| err(format!("bad status line {status_line:?}")))?;
         let mut content_length = 0usize;
+        let mut retry_after = None;
         loop {
             let mut header = String::new();
             let n = self.reader.read_line(&mut header).map_err(|e| err(e.to_string()))?;
@@ -76,8 +112,11 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = trimmed.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse().map_err(|_| err("bad Content-Length"))?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse::<u64>().ok().map(Duration::from_secs);
                 }
             }
         }
@@ -85,6 +124,222 @@ impl Client {
         self.reader.read_exact(&mut buf).map_err(|e| err(format!("recv body: {e}")))?;
         let text = String::from_utf8(buf).map_err(|_| err("response body is not UTF-8"))?;
         let json = Json::parse(&text).map_err(|e| err(format!("response JSON: {e}")))?;
-        Ok((status, json))
+        Ok(Response { status, body: json, retry_after })
+    }
+}
+
+/// One decoded HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Parsed JSON body.
+    pub body: Json,
+    /// The server's `Retry-After` hint, when present.
+    pub retry_after: Option<Duration>,
+}
+
+/// How [`RetryClient`] paces itself.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (min 1).
+    pub attempts: u32,
+    /// Backoff ceiling before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Hard cap on any single sleep, including `Retry-After` hints.
+    pub max_backoff: Duration,
+    /// Per-attempt I/O timeout (connect, send, and receive each).
+    pub io_timeout: Duration,
+    /// Jitter PRNG seed — fix it to make a retry schedule reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// xorshift64 step (state must stay nonzero — the constructor guarantees
+/// it).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A [`Client`] wrapper that reconnects, times out, and retries with
+/// full-jitter exponential backoff. Transient failures — I/O errors,
+/// truncated responses, `429`, `503` — are retried; every other status is
+/// returned as-is (a `409` or `400` will not become a `200` by asking
+/// again).
+pub struct RetryClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    rng: u64,
+    next_id: u64,
+}
+
+impl RetryClient {
+    /// Builds a lazy client (no connection until the first call).
+    pub fn new(addr: SocketAddr, policy: RetryPolicy) -> RetryClient {
+        let rng = policy.seed | 1; // keep xorshift out of its zero fixpoint
+        RetryClient { addr, policy, conn: None, rng, next_id: 0 }
+    }
+
+    /// A fresh client-unique idempotency key. Ties the key to the jitter
+    /// seed so two clients with different seeds never collide, and two
+    /// runs with the same seed replay the same ids (deterministic tests).
+    pub fn idempotency_key(&mut self) -> String {
+        self.next_id += 1;
+        format!("{:016x}-{:x}", self.policy.seed | 1, self.next_id)
+    }
+
+    /// Full-jitter backoff for 0-based retry `n`: uniform in
+    /// `[0, min(max_backoff, base_backoff * 2^n)]`.
+    fn backoff(&mut self, n: u32) -> Duration {
+        let ceiling =
+            self.policy.base_backoff.saturating_mul(1u32 << n.min(16)).min(self.policy.max_backoff);
+        let nanos = ceiling.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(xorshift64(&mut self.rng) % (nanos + 1))
+    }
+
+    /// Sends `method path` with retries. Connections are (re)established
+    /// as needed; an I/O failure poisons the connection so the next
+    /// attempt starts on a fresh socket (the old one may hold half a
+    /// response).
+    ///
+    /// Non-idempotent callers beware: a retried request that the server
+    /// already executed will execute again unless it carries a
+    /// `request_id` — use [`RetryClient::delta`] for deltas.
+    pub fn call(&mut self, method: &str, path: &str, body: &str) -> Result<Response, ClientError> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let hint = match &last_err {
+                    Some(RetryCause::Status(response)) => response.retry_after,
+                    _ => None,
+                };
+                // Honour the server's hint, but never sleep past the
+                // policy cap — the caller bounded its patience, not the
+                // server.
+                let pause = match hint {
+                    Some(hint) => hint.min(self.policy.max_backoff),
+                    None => self.backoff(attempt - 1),
+                };
+                std::thread::sleep(pause);
+            }
+            let conn = match self.conn.as_mut() {
+                Some(conn) => conn,
+                None => match Client::connect_with_timeout(self.addr, self.policy.io_timeout) {
+                    Ok(fresh) => self.conn.insert(fresh),
+                    Err(e) => {
+                        last_err = Some(RetryCause::Io(e));
+                        continue;
+                    }
+                },
+            };
+            match conn.request_full(method, path, body) {
+                Ok(response) if response.status == 429 || response.status == 503 => {
+                    last_err = Some(RetryCause::Status(response));
+                }
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    self.conn = None;
+                    last_err = Some(RetryCause::Io(e));
+                }
+            }
+        }
+        Err(match last_err {
+            Some(RetryCause::Io(e)) => err(format!("{} (after {attempts} attempts)", e.0)),
+            Some(RetryCause::Status(response)) => err(format!(
+                "still {} after {attempts} attempts: {}",
+                response.status, response.body
+            )),
+            None => err("no attempts made"),
+        })
+    }
+
+    /// Applies a delta exactly once. The body is stamped with a generated
+    /// `request_id` (unless the caller already set one) **before** the
+    /// first attempt, so every retry carries the same id and an
+    /// acked-but-response-lost apply is answered from the server's dedup
+    /// window instead of running twice.
+    pub fn delta(&mut self, session: &str, body: &str) -> Result<Response, ClientError> {
+        let json = Json::parse(body).map_err(|e| err(format!("delta body: {e}")))?;
+        let stamped = if json.get("request_id").is_some() {
+            body.to_string()
+        } else {
+            json.set("request_id", self.idempotency_key()).to_string()
+        };
+        self.call("POST", &format!("/sessions/{session}/delta"), &stamped)
+    }
+}
+
+enum RetryCause {
+    Io(ClientError),
+    Status(Response),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unroutable() -> RetryClient {
+        // TEST-NET-1 (RFC 5737): connect attempts fail fast or time out.
+        let addr: SocketAddr = "192.0.2.1:1".parse().unwrap();
+        RetryClient::new(addr, RetryPolicy::default())
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_reproducible() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        let mut a = RetryClient::new("127.0.0.1:1".parse().unwrap(), policy.clone());
+        let mut b = RetryClient::new("127.0.0.1:1".parse().unwrap(), policy);
+        for n in 0..10 {
+            let pause = a.backoff(n);
+            let ceiling = Duration::from_millis(10).saturating_mul(1 << n.min(16));
+            assert!(pause <= ceiling.min(Duration::from_millis(80)), "attempt {n}: {pause:?}");
+            assert_eq!(pause, b.backoff(n), "same seed, same schedule");
+        }
+    }
+
+    #[test]
+    fn idempotency_keys_are_unique_per_client_and_stable_per_seed() {
+        let mut a = unroutable();
+        let mut b = unroutable();
+        let first = a.idempotency_key();
+        assert_ne!(first, a.idempotency_key(), "keys never repeat within a client");
+        assert_eq!(first, b.idempotency_key(), "same seed replays the same keys");
+    }
+
+    #[test]
+    fn delta_stamps_a_request_id_once() {
+        let mut client = unroutable();
+        let body = Json::parse(r#"{"ops": []}"#).unwrap();
+        let stamped = body.set("request_id", client.idempotency_key()).to_string();
+        // A caller-provided id is preserved verbatim (the exactly-once
+        // contract belongs to whoever generated the id).
+        let json = Json::parse(&stamped).unwrap();
+        assert!(json.get("request_id").is_some());
     }
 }

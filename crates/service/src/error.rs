@@ -38,6 +38,10 @@ pub enum ServiceError {
     ShapeConflict(String),
     /// The peer went silent mid-request and the connection timed out.
     Timeout(String),
+    /// Strict durability mode: the session's storage is degraded and the
+    /// write could not be logged, so it is refused rather than acked
+    /// without durability. Retry after the `Retry-After` hint.
+    DurabilityUnavailable(String),
     /// An internal invariant failed (e.g. a poisoned session lock after a
     /// worker panic). The worker survives and reports it instead of dying.
     Internal(String),
@@ -57,6 +61,7 @@ impl ServiceError {
             ServiceError::TooLarge(_) => "too_large",
             ServiceError::ShapeConflict(_) => "shape_conflict",
             ServiceError::Timeout(_) => "timeout",
+            ServiceError::DurabilityUnavailable(_) => "durability_unavailable",
             ServiceError::Internal(_) => "internal",
         }
     }
@@ -72,6 +77,7 @@ impl ServiceError {
             ServiceError::ShapeConflict(_) => (409, "Conflict"),
             ServiceError::Timeout(_) => (408, "Request Timeout"),
             ServiceError::Overloaded => (429, "Too Many Requests"),
+            ServiceError::DurabilityUnavailable(_) => (503, "Service Unavailable"),
             ServiceError::Internal(_) => (500, "Internal Server Error"),
         }
     }
@@ -105,6 +111,11 @@ impl fmt::Display for ServiceError {
                  delta was in flight — retry against the current session"
             ),
             ServiceError::Timeout(what) => write!(f, "request timed out: {what}"),
+            ServiceError::DurabilityUnavailable(name) => write!(
+                f,
+                "session {name:?} cannot log writes durably right now — \
+                 retry with the same request_id"
+            ),
             ServiceError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }

@@ -70,9 +70,11 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Hard cap on request body bytes.
     pub max_body_bytes: usize,
-    /// Idle timeout: how long a connection may sit in the reading or
-    /// writing state without progress before it is reaped (mid-request
-    /// silences answer 408 first). Executing requests are exempt.
+    /// I/O timeout. Reading: how long a connection may sit without
+    /// progress before it is reaped (mid-request silences answer 408
+    /// first). Writing: a **total** deadline for the whole response — a
+    /// peer draining one byte at a time is cut, not kept alive by its
+    /// trickle. Executing requests are exempt.
     pub io_timeout: Duration,
     /// Readiness backend (`epoll` on Linux, `poll` anywhere).
     pub backend: Backend,
@@ -356,6 +358,12 @@ impl EventLoop {
             if now.duration_since(self.last_sweep) >= SWEEP_EVERY {
                 self.last_sweep = now;
                 self.sweep_timeouts(now);
+                // Background re-attach for degraded durable sessions: idle
+                // sessions heal without waiting for their next request.
+                // Cheap when nothing is degraded (an atomic scan); when a
+                // session does re-attach, the snapshot write happens under
+                // try_lock, so a busy session is skipped, never blocked.
+                self.registry.reattach_degraded();
                 if self.accept_paused_until.is_some_and(|until| now >= until) {
                     self.accept_paused_until = None;
                     let _ = self.poller.register(
@@ -537,11 +545,24 @@ impl EventLoop {
                 route(&request, &registry)
             }))
             .unwrap_or_else(|_| Err(ServiceError::Internal("request handler panicked".into())));
-            let (status, body) = match routed {
-                Ok(json) => ((200, "OK"), json),
-                Err(e) => (e.http_status(), e.to_json()),
+            let response = match routed {
+                Ok(json) => proto::encode_response((200, "OK"), &json, keep_alive),
+                Err(e) => {
+                    // Refusals that name a retry moment carry it: a strict
+                    // 503 hints at the re-attach cadence, a 429 at the
+                    // next admission window.
+                    let retry_after = match &e {
+                        ServiceError::DurabilityUnavailable(_) => Some(registry.retry_after_secs()),
+                        ServiceError::Overloaded => Some(1),
+                        _ => None,
+                    };
+                    let extra: Vec<(&str, String)> = retry_after
+                        .map(|secs| ("Retry-After", secs.to_string()))
+                        .into_iter()
+                        .collect();
+                    proto::encode_response_with(e.http_status(), &extra, &e.to_json(), keep_alive)
+                }
             };
-            let response = proto::encode_response(status, &body, keep_alive);
             if let Ok(mut queue) = shared.completions.lock() {
                 queue.push(Completion { slot, gen, response, keep_alive });
             }
@@ -618,8 +639,12 @@ impl EventLoop {
                     return;
                 }
                 Ok(n) => {
+                    // Deliberately no `last_activity` refresh: the write
+                    // clock starts at `start_write`, so a peer draining
+                    // the response one byte at a time cannot hold the
+                    // slot open forever — the whole response must land
+                    // within `io_timeout`.
                     conn.written += n;
-                    conn.last_activity = now;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     self.set_interest(slot, Interest::WRITE);
@@ -726,12 +751,35 @@ fn session_route(path: &str) -> Result<Option<(String, Option<&str>)>, ServiceEr
     Ok(Some((proto::percent_decode(raw_name)?, verb)))
 }
 
+/// Tags a report response with its session's durability state (absent
+/// when the registry runs memory-only).
+fn with_durability(json: Json, durability: Option<&'static str>) -> Json {
+    match durability {
+        Some(label) => json.set("durability", label),
+        None => json,
+    }
+}
+
 /// Dispatches one request against the registry.
 fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, ServiceError> {
     let method = req.method.as_str();
     let path = req.path.split('?').next().unwrap_or(&req.path);
     match (method, path) {
-        ("GET", "/healthz") => return Ok(Json::obj().set("ok", true)),
+        ("GET", "/healthz") => {
+            // Liveness plus the durability health gauges. Deliberately
+            // cheap: atomic loads and the per-slot degraded mirror — no
+            // session lock is ever taken, so a wedged session cannot
+            // wedge the probe.
+            let stats = registry.stats();
+            return Ok(Json::obj()
+                .set("ok", true)
+                .set("degraded_sessions", stats.degraded_sessions)
+                .set("wal_errors", stats.wal_errors)
+                .set("storage_errors", stats.storage_errors)
+                .set("reattached", stats.reattached)
+                .set("quarantined", stats.quarantined)
+                .set("dedup_hits", stats.dedup_hits));
+        }
         ("GET", "/sessions") => {
             let sessions: Vec<Json> = registry
                 .list()
@@ -761,7 +809,13 @@ fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, Servic
                         .set("coalesced_deltas", stats.coalesced_deltas)
                         .set("reports", stats.reports)
                         .set("shards", stats.shards)
-                        .set("shard_contention", stats.shard_contention),
+                        .set("shard_contention", stats.shard_contention)
+                        .set("degraded_sessions", stats.degraded_sessions)
+                        .set("wal_errors", stats.wal_errors)
+                        .set("storage_errors", stats.storage_errors)
+                        .set("reattached", stats.reattached)
+                        .set("quarantined", stats.quarantined)
+                        .set("dedup_hits", stats.dedup_hits),
                 ));
         }
         _ => {}
@@ -783,7 +837,10 @@ fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, Servic
         ("POST", Some("explain")) => {
             let deadline = wire::parse_explain(&req.body)?;
             let report = registry.explain(name, deadline)?;
-            Ok(wire::emit_report(name, &report, 0))
+            Ok(with_durability(
+                wire::emit_report(name, &report, 0),
+                registry.durability_status(name)?,
+            ))
         }
         ("POST", Some("delta")) => {
             // The shapes and the apply are two registry calls; the token
@@ -792,13 +849,26 @@ fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, Servic
             // typed 409 instead of a delta parsed against stale shapes.
             let (left, right, token) = registry.shapes_tagged(name)?;
             let parsed = wire::parse_delta(&req.body, &left, &right)?;
-            let outcome =
-                registry.delta_checked(name, parsed.delta, parsed.deadline, Some(token))?;
-            Ok(wire::emit_report(name, &outcome.report, outcome.coalesced_with))
+            let outcome = registry.delta_tagged(
+                name,
+                parsed.delta,
+                parsed.deadline,
+                Some(token),
+                parsed.request_id,
+            )?;
+            let mut json = wire::emit_report(name, &outcome.report, outcome.coalesced_with);
+            json = with_durability(json, outcome.durability);
+            if outcome.deduplicated {
+                json = json.set("deduplicated", true);
+            }
+            Ok(json)
         }
         ("GET", Some("report")) => {
             let report = registry.report(name)?;
-            Ok(wire::emit_report(name, &report, 0))
+            Ok(with_durability(
+                wire::emit_report(name, &report, 0),
+                registry.durability_status(name)?,
+            ))
         }
         _ => Err(ServiceError::NotFound(format!("{method} {path}"))),
     }

@@ -70,6 +70,7 @@ pub mod proto;
 pub mod registry;
 pub mod wire;
 
+pub use client::{Client, ClientError, Response, RetryClient, RetryPolicy};
 pub use error::ServiceError;
 pub use http::{Server, ServerConfig, ServerHandle};
 pub use poller::Backend;

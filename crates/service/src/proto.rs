@@ -223,14 +223,32 @@ pub fn percent_decode(segment: &str) -> Result<String, ServiceError> {
 /// Encodes one response (status line, JSON content headers, connection
 /// disposition, body) as a single write-ready byte buffer.
 pub fn encode_response(status: (u16, &str), body: &Json, keep_alive: bool) -> Vec<u8> {
+    encode_response_with(status, &[], body, keep_alive)
+}
+
+/// [`encode_response`] plus extra headers (e.g. `Retry-After` on a 503).
+/// Header names and values must already be wire-safe — no CR/LF.
+pub fn encode_response_with(
+    status: (u16, &str),
+    extra_headers: &[(&str, String)],
+    body: &Json,
+    keep_alive: bool,
+) -> Vec<u8> {
     let body = body.to_string();
     let mut message = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status.0,
         status.1,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        message.push_str(name);
+        message.push_str(": ");
+        message.push_str(value);
+        message.push_str("\r\n");
+    }
+    message.push_str("\r\n");
     message.push_str(&body);
     message.into_bytes()
 }

@@ -67,19 +67,56 @@
 //! transparently recovers it: snapshot + WAL-suffix replay + one cold
 //! explain under the last recorded deadline, which the
 //! byte-identity-to-cold invariant makes fingerprint-equal to the report
-//! the session last served. A WAL or snapshot I/O failure never corrupts
-//! serving: durability for that session is abandoned (fail-open, with a
-//! stderr warning) and its on-disk state removed so a later recovery can
-//! never resurrect a stale image. Recovered sessions start with an empty
+//! the session last served. Recovered sessions start with an empty
 //! [`SessionRegistry::delta_log`] (the in-memory test oracle), and
 //! deadline-scoped `explain` overrides are durable only via the snapshot's
 //! `last_deadline` — both are serving-equivalent, not byte-level, caveats.
+//!
+//! ## Degraded mode (the durability state machine)
+//!
+//! A WAL or snapshot I/O failure never corrupts serving and never deletes
+//! on-disk state. Instead each session walks an explicit state machine:
+//! **Durable → Degraded → Reconciled**. On the first storage failure the
+//! session *degrades*: its broken writer is dropped, its on-disk state is
+//! left exactly where the last successful write put it (the durable acked
+//! prefix — a crash while degraded recovers to it), and what happens to
+//! the failing request depends on [`ServiceConfig::durability_mode`]:
+//!
+//! * [`DurabilityMode::BestEffort`] — the session keeps serving from
+//!   memory; every response carries `durability: "degraded"` so clients
+//!   can see the weakened guarantee, and each subsequent request (plus
+//!   the periodic [`SessionRegistry::reattach_degraded`] sweep) retries a
+//!   *re-attach*: a fresh snapshot of the current in-memory state written
+//!   atomically over the stale one, after which the session is
+//!   **Reconciled** (fully durable again, labelled `"reconciled"`).
+//! * [`DurabilityMode::Strict`] — a delta that cannot be logged answers a
+//!   typed `503 durability_unavailable` (with `Retry-After`), so a client
+//!   ack always implies the delta is on disk. The delta that *triggered*
+//!   the failure was already applied in memory; its `request_id` enters
+//!   the retry-dedup window so the client's retry (after re-attach)
+//!   acks exactly once instead of double-applying.
+//!
+//! On-disk state that recovery finds corrupt (bad checksum, WAL gap, a
+//! logged delta that no longer applies) is **quarantined** — renamed
+//! aside under `quarantine/`, never deleted — and the name answers
+//! `SessionNotFound` so a client can re-create it.
+//!
+//! ## Exactly-once client retries
+//!
+//! Deltas may carry a client-generated `request_id`. Each session keeps a
+//! bounded window of recently applied `(request_id, seq)` pairs —
+//! persisted in WAL records and snapshots, rebuilt on recovery — and a
+//! delta whose `request_id` is already in the window is **not re-applied**:
+//! the caller gets the current report with `deduplicated: true`. A retry
+//! of a delta whose first attempt was acked-but-response-lost therefore
+//! applies exactly once, pinned by fingerprint equality to serial replay.
 
 use crate::error::ServiceError;
 use crate::wire::{CreateRequest, RelationShape};
 use explain3d_core::pipeline::ExplanationReport;
 use explain3d_durability::{
-    DurabilityConfig, RecoveredSession, SessionSnapshot, SessionStore, WalRecord, WalWriter,
+    DurabilityConfig, DurabilityError, RecoveredSession, SessionSnapshot, SessionStore, WalRecord,
+    WalWriter,
 };
 use explain3d_incremental::{ExplainSession, RelationDelta};
 use std::collections::{HashMap, VecDeque};
@@ -95,8 +132,32 @@ const TICKET_POLL: Duration = Duration::from_millis(2);
 /// Lock stripes in the session index when [`ServiceConfig::shards`] is 0.
 const DEFAULT_SHARDS: usize = 16;
 
+/// What a storage failure means for the session it hits; see the
+/// "Degraded mode" section of the module docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// Keep serving from memory with `durability: "degraded"` on every
+    /// response, re-attaching in the background. The default.
+    #[default]
+    BestEffort,
+    /// A delta that cannot be logged answers `503 durability_unavailable`
+    /// — an ack always implies the delta is on disk.
+    Strict,
+}
+
+impl DurabilityMode {
+    /// Parses the `--durability` CLI spelling.
+    pub fn parse(raw: &str) -> Option<DurabilityMode> {
+        match raw {
+            "best-effort" => Some(DurabilityMode::BestEffort),
+            "strict" => Some(DurabilityMode::Strict),
+            _ => None,
+        }
+    }
+}
+
 /// Registry-level configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Soft cap on the summed [`ExplainSession::memory_footprint`] across
     /// all resident sessions; `None` disables eviction.
@@ -109,6 +170,12 @@ pub struct ServiceConfig {
     /// spill-to-disk eviction, and transparent crash/evict recovery.
     /// `None` (the default) keeps sessions purely in memory.
     pub durability: Option<DurabilityConfig>,
+    /// What happens to a session whose WAL or snapshot I/O fails.
+    pub durability_mode: DurabilityMode,
+    /// Minimum spacing between re-attach attempts of one degraded session
+    /// (the first attempt after degrading is never delayed). Also the
+    /// `Retry-After` hint strict-mode 503s carry.
+    pub reattach_interval: Duration,
     /// Lock stripes the session index is split across (names hash onto
     /// stripes, so lookups contend only within one). `0` — the default —
     /// picks 16. The memory budget and LRU policy stay **global** across
@@ -120,6 +187,20 @@ pub struct ServiceConfig {
     /// so concurrent deltas pile into one coalesced `re_explain`. `None`
     /// (the default) competes immediately.
     pub coalesce_window: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            memory_budget: None,
+            record_deltas: false,
+            durability: None,
+            durability_mode: DurabilityMode::BestEffort,
+            reattach_interval: Duration::from_secs(1),
+            shards: 0,
+            coalesce_window: None,
+        }
+    }
 }
 
 /// Monotone lifetime counters of a registry.
@@ -151,6 +232,19 @@ pub struct RegistryStats {
     /// caller had to block) — the sharding effectiveness gauge the bench
     /// lane records.
     pub shard_contention: usize,
+    /// Resident sessions currently in the Degraded durability state (a
+    /// gauge, not a monotone counter).
+    pub degraded_sessions: usize,
+    /// WAL appends that failed (each one degrades its session).
+    pub wal_errors: usize,
+    /// Snapshot / create / quarantine / re-attach I/O failures.
+    pub storage_errors: usize,
+    /// Degraded sessions successfully re-attached (→ Reconciled).
+    pub reattached: usize,
+    /// Session directories renamed aside into `quarantine/`.
+    pub quarantined: usize,
+    /// Retried deltas answered from the dedup window without re-applying.
+    pub dedup_hits: usize,
 }
 
 /// A summary row of [`SessionRegistry::list`].
@@ -174,12 +268,22 @@ pub struct DeltaOutcome {
     /// How many *other* tickets were folded into the run that produced
     /// this report (0 when the delta ran alone).
     pub coalesced_with: usize,
+    /// The session's durability state when the outcome was produced
+    /// (`"durable"`, `"degraded"`, `"reconciled"`); `None` when the
+    /// registry has no durability configured.
+    pub durability: Option<&'static str>,
+    /// True when the delta's `request_id` was already in the retry window:
+    /// the delta was **not** re-applied and `report` is the session's
+    /// current report.
+    pub deduplicated: bool,
 }
 
 /// One queued delta and the cell its caller is waiting on.
 struct Ticket {
     delta: RelationDelta,
     deadline: Option<Duration>,
+    /// Client-generated idempotency key; see the module docs.
+    request_id: Option<String>,
     result: Arc<TicketCell>,
 }
 
@@ -256,19 +360,106 @@ fn shape_token(left: &RelationShape, right: &RelationShape) -> u64 {
 }
 
 /// The per-session durable attachment: the open WAL, the store handle
-/// used for snapshots, and the sequencing counters.
+/// used for snapshots, and the snapshot cadence counter.
 struct DurableState {
     store: SessionStore,
     name: String,
     wal: WalWriter,
-    /// Sequence number of the last logged delta (== deltas applied since
-    /// creation — the WAL logs exactly the applied order).
-    seq: u64,
     /// Records appended since the last snapshot (snapshot cadence).
     since_snapshot: u64,
     /// The scoped deadline of the session's last run — recovery must
     /// re-run the final explain under the same deterministic node budget.
     last_deadline: Option<Duration>,
+    /// True when this attachment was produced by a re-attach after a
+    /// degradation (the "Reconciled" state of the durability machine) —
+    /// fully durable, labelled differently so clients can see the
+    /// degradation happened.
+    reconciled: bool,
+}
+
+/// A session whose storage failed: still serving from memory, retrying
+/// re-attach. The on-disk state is left untouched — it is the durable
+/// acked prefix a crash while degraded recovers to.
+struct DegradedState {
+    store: SessionStore,
+    name: String,
+    last_deadline: Option<Duration>,
+    /// When the last re-attach was attempted (`None` → try immediately).
+    last_attempt: Option<Instant>,
+}
+
+/// Where a session sits in the Durable → Degraded → Reconciled machine.
+enum Attachment {
+    /// Registry has no durability configured.
+    None,
+    /// Fully durable (Durable, or Reconciled after a re-attach).
+    Attached(DurableState),
+    /// Storage failed; serving from memory while re-attach retries.
+    Degraded(DegradedState),
+}
+
+/// How many `(request_id, seq)` pairs the retry-dedup window retains per
+/// session. A retry arriving after this many *other* deltas is no longer
+/// deduplicated — acceptable, since retries follow their original by
+/// seconds, not thousands of writes.
+const RETRY_WINDOW_CAP: usize = 1024;
+
+/// The per-session exactly-once window: recently applied request ids.
+#[derive(Default)]
+struct RetryWindow {
+    by_id: HashMap<String, u64>,
+    order: VecDeque<String>,
+}
+
+impl RetryWindow {
+    fn contains(&self, id: &str) -> bool {
+        self.by_id.contains_key(id)
+    }
+
+    fn insert(&mut self, id: String, seq: u64) {
+        if self.by_id.insert(id.clone(), seq).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > RETRY_WINDOW_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.by_id.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Oldest-first pairs for snapshot encoding.
+    fn to_pairs(&self) -> Vec<(String, u64)> {
+        self.order.iter().map(|id| (id.clone(), self.by_id.get(id).copied().unwrap_or(0))).collect()
+    }
+
+    fn from_pairs(pairs: Vec<(String, u64)>) -> RetryWindow {
+        let mut window = RetryWindow::default();
+        for (id, seq) in pairs {
+            window.insert(id, seq);
+        }
+        window
+    }
+}
+
+/// What [`SessionState::log_applied`] could promise about one delta.
+enum LogOutcome {
+    /// On disk (WAL appended under the configured fsync policy).
+    Logged,
+    /// In memory only: the registry is not durability-configured, or the
+    /// session is degraded.
+    NotDurable,
+    /// This very append failed and degraded the session.
+    Failed,
+}
+
+/// Lock-free durability health counters (surfaced by `/healthz`).
+#[derive(Debug, Default)]
+struct DuraCounters {
+    wal_errors: AtomicUsize,
+    storage_errors: AtomicUsize,
+    reattaches: AtomicUsize,
+    quarantines: AtomicUsize,
+    dedup_hits: AtomicUsize,
 }
 
 /// Session state guarded by the per-slot mutex.
@@ -276,76 +467,201 @@ struct SessionState {
     session: ExplainSession,
     last_report: Option<Arc<ExplanationReport>>,
     applied_log: Vec<RelationDelta>,
-    durable: Option<DurableState>,
+    /// Deltas applied since creation. Equals the WAL seq while attached;
+    /// keeps counting while degraded so the re-attach snapshot and the
+    /// retry window stay consistent.
+    applied_seq: u64,
+    retry_window: RetryWindow,
+    durable: Attachment,
 }
 
 impl SessionState {
-    /// Appends one applied delta to the WAL (no-op when not durable).
-    /// Called after `re_explain` succeeded and before the ticket is
-    /// fulfilled. On I/O failure durability is abandoned fail-open: the
-    /// in-memory session keeps serving, and the on-disk state is removed
-    /// so a later recovery can never resurrect a stale prefix.
-    fn log_applied(&mut self, delta: &RelationDelta, deadline: Option<Duration>) {
-        let Some(d) = self.durable.as_mut() else { return };
-        d.seq += 1;
-        d.since_snapshot += 1;
-        d.last_deadline = deadline;
-        let record = WalRecord { seq: d.seq, deadline, delta: delta.clone() };
-        if let Err(e) = d.wal.append(&record) {
-            eprintln!(
-                "explain3d-service: WAL append failed for session {:?} ({e}); \
-                 abandoning durability for it",
-                d.name
-            );
-            self.abandon_durability();
+    fn is_degraded(&self) -> bool {
+        matches!(self.durable, Attachment::Degraded(_))
+    }
+
+    fn durability_label(&self) -> Option<&'static str> {
+        match &self.durable {
+            Attachment::None => None,
+            Attachment::Attached(d) if d.reconciled => Some("reconciled"),
+            Attachment::Attached(_) => Some("durable"),
+            Attachment::Degraded(_) => Some("degraded"),
         }
     }
 
-    /// Writes a fresh snapshot of the current session state and resets the
-    /// WAL. Returns true on success; on failure durability is abandoned
-    /// (see [`SessionState::log_applied`]) and false is returned.
-    fn snapshot_now(&mut self) -> bool {
-        let SessionState { session, durable, .. } = self;
-        let Some(d) = durable.as_mut() else { return false };
-        let snapshot = SessionSnapshot {
-            seq: d.seq,
-            explained: session.has_explained(),
-            last_deadline: d.last_deadline,
-            config: session.config().clone(),
-            matches: session.matches().clone(),
-            left: session.left().clone(),
-            right: session.right().clone(),
+    fn durable_name(&self) -> Option<&str> {
+        match &self.durable {
+            Attachment::Attached(d) => Some(&d.name),
+            Attachment::Degraded(d) => Some(&d.name),
+            Attachment::None => None,
+        }
+    }
+
+    /// A snapshot of the current in-memory state (including the retry
+    /// window, so recovery still dedupes).
+    fn snapshot_image(&self) -> SessionSnapshot {
+        let last_deadline = match &self.durable {
+            Attachment::Attached(d) => d.last_deadline,
+            Attachment::Degraded(d) => d.last_deadline,
+            Attachment::None => None,
         };
+        SessionSnapshot {
+            seq: self.applied_seq,
+            explained: self.session.has_explained(),
+            last_deadline,
+            config: self.session.config().clone(),
+            matches: self.session.matches().clone(),
+            left: self.session.left().clone(),
+            right: self.session.right().clone(),
+            retry_window: self.retry_window.to_pairs(),
+        }
+    }
+
+    /// Appends one applied delta to the WAL. Called after `re_explain`
+    /// succeeded and before the ticket is acknowledged. The caller has
+    /// already advanced `applied_seq` for this delta.
+    fn log_applied(
+        &mut self,
+        delta: &RelationDelta,
+        deadline: Option<Duration>,
+        request_id: Option<&str>,
+        counters: &DuraCounters,
+    ) -> LogOutcome {
+        match &mut self.durable {
+            Attachment::None => return LogOutcome::NotDurable,
+            Attachment::Degraded(d) => {
+                d.last_deadline = deadline;
+                return LogOutcome::NotDurable;
+            }
+            Attachment::Attached(d) => {
+                d.since_snapshot += 1;
+                d.last_deadline = deadline;
+                let record = WalRecord {
+                    seq: self.applied_seq,
+                    deadline,
+                    request_id: request_id.map(str::to_string),
+                    delta: delta.clone(),
+                };
+                match d.wal.append(&record) {
+                    Ok(()) => return LogOutcome::Logged,
+                    Err(e) => {
+                        counters.wal_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "explain3d-service: WAL append failed for session {:?} ({e}); \
+                             entering degraded mode",
+                            d.name
+                        );
+                    }
+                }
+            }
+        }
+        self.degrade();
+        LogOutcome::Failed
+    }
+
+    /// Durable → Degraded: drop the broken writer and keep serving from
+    /// memory. The on-disk state is deliberately left in place — it is
+    /// the durable acked prefix, exactly what a crash while degraded
+    /// should recover to. It is superseded (atomically overwritten, with
+    /// the WAL records it obsoletes skipped by replay) only when a
+    /// re-attach succeeds.
+    fn degrade(&mut self) {
+        let taken = std::mem::replace(&mut self.durable, Attachment::None);
+        self.durable = match taken {
+            Attachment::Attached(d) => Attachment::Degraded(DegradedState {
+                store: d.store,
+                name: d.name,
+                last_deadline: d.last_deadline,
+                last_attempt: None,
+            }),
+            other => other,
+        };
+    }
+
+    /// Writes a fresh snapshot and resets the WAL. Returns true on
+    /// success; on failure the session degrades (never deleting on-disk
+    /// state) and false is returned.
+    fn snapshot_now(&mut self, counters: &DuraCounters) -> bool {
+        if !matches!(self.durable, Attachment::Attached(_)) {
+            return false;
+        }
+        let snapshot = self.snapshot_image();
+        let Attachment::Attached(d) = &mut self.durable else { return false };
         let result = d.store.write_snapshot(&d.name, &snapshot).and_then(|()| Ok(d.wal.reset()?));
         match result {
             Ok(()) => {
                 d.since_snapshot = 0;
-                true
+                return true;
             }
             Err(e) => {
                 eprintln!(
                     "explain3d-service: snapshot failed for session {:?} ({e}); \
-                     abandoning durability for it",
+                     entering degraded mode",
                     d.name
                 );
-                self.abandon_durability();
-                false
             }
         }
+        counters.storage_errors.fetch_add(1, Ordering::Relaxed);
+        self.degrade();
+        false
     }
 
     /// Snapshots if the cadence says so.
-    fn maybe_snapshot(&mut self) {
-        if let Some(d) = &self.durable {
+    fn maybe_snapshot(&mut self, counters: &DuraCounters) {
+        if let Attachment::Attached(d) = &self.durable {
             if d.since_snapshot >= d.store.config().snapshot_every {
-                self.snapshot_now();
+                self.snapshot_now(counters);
             }
         }
     }
 
-    fn abandon_durability(&mut self) {
-        if let Some(d) = self.durable.take() {
-            let _ = d.store.remove(&d.name);
+    /// Degraded → Reconciled: write a fresh snapshot of the current
+    /// in-memory state atomically over the stale on-disk image and open a
+    /// fresh WAL. Attempts are spaced at least `interval` apart (the
+    /// first one after degrading is immediate). Returns true when the
+    /// session is attached — already or newly — afterwards.
+    fn try_reattach(&mut self, interval: Duration, counters: &DuraCounters) -> bool {
+        match &self.durable {
+            Attachment::Attached(_) => return true,
+            Attachment::None => return false,
+            Attachment::Degraded(deg) => {
+                if deg.last_attempt.is_some_and(|t| t.elapsed() < interval) {
+                    return false;
+                }
+            }
+        }
+        let snapshot = self.snapshot_image();
+        let attempt = match &mut self.durable {
+            Attachment::Degraded(deg) => {
+                deg.last_attempt = Some(Instant::now());
+                deg.store.reattach(&deg.name, &snapshot)
+            }
+            _ => return false,
+        };
+        match attempt {
+            Ok(wal) => {
+                let taken = std::mem::replace(&mut self.durable, Attachment::None);
+                let Attachment::Degraded(deg) = taken else { return false };
+                counters.reattaches.fetch_add(1, Ordering::Relaxed);
+                self.durable = Attachment::Attached(DurableState {
+                    store: deg.store,
+                    name: deg.name,
+                    wal,
+                    since_snapshot: 0,
+                    last_deadline: deg.last_deadline,
+                    reconciled: true,
+                });
+                true
+            }
+            Err(e) => {
+                counters.storage_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "explain3d-service: re-attach of degraded session {:?} failed ({e}); \
+                     will retry",
+                    self.durable_name().unwrap_or("?")
+                );
+                false
+            }
         }
     }
 }
@@ -367,6 +683,11 @@ struct Slot {
     /// lock (for [`SessionRegistry::list`]) — a busy session must not
     /// misreport its explained status.
     explained: AtomicBool,
+    /// Mirror of the Degraded durability state, readable without the
+    /// state lock — drives the `/healthz` gauge, the re-attach sweep's
+    /// candidate scan, and the eviction pre-screen (degraded sessions
+    /// have no fresh spill image and are never evicted).
+    degraded: AtomicBool,
 }
 
 impl Slot {
@@ -416,6 +737,7 @@ pub struct SessionRegistry {
     deltas_applied: AtomicUsize,
     coalesced_deltas: AtomicUsize,
     reports: AtomicUsize,
+    dura: DuraCounters,
 }
 
 impl SessionRegistry {
@@ -441,6 +763,7 @@ impl SessionRegistry {
             deltas_applied: AtomicUsize::new(0),
             coalesced_deltas: AtomicUsize::new(0),
             reports: AtomicUsize::new(0),
+            dura: DuraCounters::default(),
         }
     }
 
@@ -462,7 +785,29 @@ impl SessionRegistry {
                 .iter()
                 .map(|s| s.contention.load(Ordering::Relaxed))
                 .sum(),
+            degraded_sessions: self.degraded_sessions(),
+            wal_errors: self.dura.wal_errors.load(Ordering::Relaxed),
+            storage_errors: self.dura.storage_errors.load(Ordering::Relaxed),
+            reattached: self.dura.reattaches.load(Ordering::Relaxed),
+            quarantined: self.dura.quarantines.load(Ordering::Relaxed),
+            dedup_hits: self.dura.dedup_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Resident sessions currently degraded — read from the per-slot
+    /// atomic mirrors, so this never touches a session lock (the
+    /// `/healthz` requirement).
+    pub fn degraded_sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .slots
+                    .read()
+                    .map(|map| map.values().filter(|s| s.degraded.load(Ordering::Relaxed)).count())
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
     /// The lock stripe `name` hashes onto.
@@ -556,10 +901,39 @@ impl SessionRegistry {
         if let Some(slot) = self.shard_read(self.shard_of(name))?.get(name).cloned() {
             return Ok(slot);
         }
-        let recovered = store.recover(name).map_err(|e| {
-            ServiceError::Internal(format!("recovery of session {name:?} failed: {e}"))
-        })?;
-        let Some((RecoveredSession { snapshot, replayed, tail_discarded }, wal)) = recovered else {
+        let recovered = match store.recover(name) {
+            Ok(recovered) => recovered,
+            Err(DurabilityError::Corrupt(what)) => {
+                // Corrupt durable state is quarantined — renamed aside,
+                // never deleted — so the name becomes creatable again and
+                // the bytes stay available for forensics.
+                eprintln!(
+                    "explain3d-service: session {name:?} has corrupt durable state ({what}); \
+                     quarantining it"
+                );
+                match store.quarantine(name) {
+                    Ok(Some(_)) => {
+                        self.dura.quarantines.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.dura.storage_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("explain3d-service: quarantine of session {name:?} failed: {e}");
+                        return Err(ServiceError::Internal(format!(
+                            "session {name:?} is corrupt and could not be quarantined"
+                        )));
+                    }
+                }
+                return Err(ServiceError::SessionNotFound(name.to_string()));
+            }
+            Err(e @ DurabilityError::Io(_)) => {
+                return Err(ServiceError::Internal(format!(
+                    "recovery of session {name:?} failed: {e}"
+                )));
+            }
+        };
+        let Some((RecoveredSession { mut snapshot, replayed, tail_discarded }, wal)) = recovered
+        else {
             return Err(ServiceError::SessionNotFound(name.to_string()));
         };
         if tail_discarded {
@@ -571,6 +945,7 @@ impl SessionRegistry {
         }
         let (seq, explained, last_deadline) =
             (snapshot.seq, snapshot.explained, snapshot.last_deadline);
+        let retry_pairs = std::mem::take(&mut snapshot.retry_window);
         let mut session =
             ExplainSession::new(snapshot.left, snapshot.right, snapshot.matches, snapshot.config);
         let last_report = if explained {
@@ -586,13 +961,15 @@ impl SessionRegistry {
             session,
             last_report,
             applied_log: Vec::new(),
-            durable: Some(DurableState {
+            applied_seq: seq,
+            retry_window: RetryWindow::from_pairs(retry_pairs),
+            durable: Attachment::Attached(DurableState {
                 store: store.clone(),
                 name: name.to_string(),
                 wal,
-                seq,
                 since_snapshot: replayed,
                 last_deadline,
+                reconciled: false,
             }),
         };
         let left_shape = RelationShape::of(state.session.left());
@@ -609,6 +986,7 @@ impl SessionRegistry {
             footprint: AtomicUsize::new(footprint),
             deltas_logged: AtomicU64::new(seq),
             explained: AtomicBool::new(explained),
+            degraded: AtomicBool::new(false),
         });
         self.touch(&slot);
         {
@@ -648,7 +1026,9 @@ impl SessionRegistry {
             ),
             last_report: None,
             applied_log: Vec::new(),
-            durable: None,
+            applied_seq: 0,
+            retry_window: RetryWindow::default(),
+            durable: Attachment::None,
         };
         if let Some(store) = &self.store {
             // A spilled (non-resident) session still owns its name.
@@ -663,25 +1043,57 @@ impl SessionRegistry {
                 matches: state.session.matches().clone(),
                 left: state.session.left().clone(),
                 right: state.session.right().clone(),
+                retry_window: Vec::new(),
             };
             match store.create_session(name, &genesis) {
                 Ok(wal) => {
-                    state.durable = Some(DurableState {
+                    state.durable = Attachment::Attached(DurableState {
                         store: store.clone(),
                         name: name.to_string(),
                         wal,
-                        seq: 0,
                         since_snapshot: 0,
                         last_deadline: None,
+                        reconciled: false,
                     });
                 }
-                Err(e) => eprintln!(
-                    "explain3d-service: could not create durable state for session \
-                     {name:?} ({e}); serving it in memory only"
-                ),
+                Err(e) => {
+                    self.dura.storage_errors.fetch_add(1, Ordering::Relaxed);
+                    // Partial residue (a genesis dir with a snapshot but no
+                    // WAL, say) would make the name uncreatable forever;
+                    // quarantine it aside.
+                    match store.quarantine(name) {
+                        Ok(Some(_)) => {
+                            self.dura.quarantines.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(None) => {}
+                        Err(qe) => eprintln!(
+                            "explain3d-service: quarantine of session {name:?} failed: {qe}"
+                        ),
+                    }
+                    if self.config.durability_mode == DurabilityMode::Strict {
+                        // Strict: a create we cannot make durable is refused
+                        // outright — the client retries once storage heals.
+                        eprintln!(
+                            "explain3d-service: could not create durable state for session \
+                             {name:?} ({e}); refusing the create (strict mode)"
+                        );
+                        return Err(ServiceError::DurabilityUnavailable(name.to_string()));
+                    }
+                    eprintln!(
+                        "explain3d-service: could not create durable state for session \
+                         {name:?} ({e}); serving it degraded (best-effort mode)"
+                    );
+                    state.durable = Attachment::Degraded(DegradedState {
+                        store: store.clone(),
+                        name: name.to_string(),
+                        last_deadline: None,
+                        last_attempt: Some(Instant::now()),
+                    });
+                }
             }
         }
-        let created_durable = state.durable.is_some();
+        let created_durable = matches!(state.durable, Attachment::Attached(_));
+        let created_degraded = state.is_degraded();
         let left_shape = RelationShape::of(state.session.left());
         let right_shape = RelationShape::of(state.session.right());
         let token = shape_token(&left_shape, &right_shape);
@@ -696,6 +1108,7 @@ impl SessionRegistry {
             footprint: AtomicUsize::new(0),
             deltas_logged: AtomicU64::new(0),
             explained: AtomicBool::new(false),
+            degraded: AtomicBool::new(created_degraded),
         });
         self.touch(&slot);
         {
@@ -754,18 +1167,32 @@ impl SessionRegistry {
                 drop(state);
                 continue;
             }
+            // A degraded session gets a lazy re-attach try on every
+            // request path (rate-limited inside).
+            state.try_reattach(self.config.reattach_interval, &self.dura);
             let report =
                 Arc::new(run_with_deadline(&mut state.session, deadline, ExplainSession::explain));
             state.last_report = Some(Arc::clone(&report));
             // Persist the explained flag (and the deadline this run used) so
             // recovery re-derives this report rather than an unexplained
             // session.
-            if let Some(d) = state.durable.as_mut() {
-                d.last_deadline = deadline;
-                state.snapshot_now();
+            let attached = match &mut state.durable {
+                Attachment::Attached(d) => {
+                    d.last_deadline = deadline;
+                    true
+                }
+                Attachment::Degraded(d) => {
+                    d.last_deadline = deadline;
+                    false
+                }
+                Attachment::None => false,
+            };
+            if attached {
+                state.snapshot_now(&self.dura);
             }
             slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
             slot.explained.store(state.session.has_explained(), Ordering::Relaxed);
+            slot.degraded.store(state.is_degraded(), Ordering::Relaxed);
             drop(state);
             self.touch(&slot);
             self.explains.fetch_add(1, Ordering::Relaxed);
@@ -782,7 +1209,7 @@ impl SessionRegistry {
         delta: RelationDelta,
         deadline: Option<Duration>,
     ) -> Result<DeltaOutcome, ServiceError> {
-        self.delta_checked(name, delta, deadline, None)
+        self.delta_tagged(name, delta, deadline, None, None)
     }
 
     /// [`SessionRegistry::delta`] with shape validation: when `expected`
@@ -801,6 +1228,23 @@ impl SessionRegistry {
         deadline: Option<Duration>,
         expected: Option<u64>,
     ) -> Result<DeltaOutcome, ServiceError> {
+        self.delta_tagged(name, delta, deadline, expected, None)
+    }
+
+    /// [`SessionRegistry::delta_checked`] plus an idempotency key: when
+    /// `request_id` is set and the session has already applied a delta
+    /// under the same id (it is in the retry window), the delta is **not**
+    /// re-applied — the current report is returned with
+    /// [`DeltaOutcome::deduplicated`] set. This is the exactly-once retry
+    /// contract; see the module docs.
+    pub fn delta_tagged(
+        &self,
+        name: &str,
+        delta: RelationDelta,
+        deadline: Option<Duration>,
+        expected: Option<u64>,
+        request_id: Option<String>,
+    ) -> Result<DeltaOutcome, ServiceError> {
         let cell = Arc::new(TicketCell::default());
         let slot = loop {
             let slot = self.slot(name)?;
@@ -815,6 +1259,7 @@ impl SessionRegistry {
                 pending.push_back(Ticket {
                     delta: delta.clone(),
                     deadline,
+                    request_id: request_id.clone(),
                     result: Arc::clone(&cell),
                 });
             }
@@ -844,14 +1289,19 @@ impl SessionRegistry {
         loop {
             if let Some(outcome) = cell.take()? {
                 self.touch(&slot);
-                if outcome.is_ok() {
-                    self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                if let Ok(out) = &outcome {
+                    if !out.deduplicated {
+                        self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 self.enforce_budget()?;
                 return outcome;
             }
             match slot.state.try_lock() {
                 Ok(mut state) => {
+                    // A degraded session gets a lazy re-attach try before
+                    // this drain serves anything (rate-limited inside).
+                    state.try_reattach(self.config.reattach_interval, &self.dura);
                     let batch: Vec<Ticket> = {
                         let mut pending = slot
                             .pending
@@ -864,14 +1314,20 @@ impl SessionRegistry {
                         // check and the lock; the next loop turn returns it.
                         continue;
                     }
-                    let coalesced = serve_batch(&mut state, batch, self.config.record_deltas);
+                    let ctx = ServeCtx {
+                        record: self.config.record_deltas,
+                        mode: self.config.durability_mode,
+                        counters: &self.dura,
+                    };
+                    let coalesced = serve_batch(&mut state, batch, &ctx);
                     self.coalesced_deltas.fetch_add(coalesced, Ordering::Relaxed);
-                    state.maybe_snapshot();
-                    if let Some(d) = &state.durable {
-                        slot.deltas_logged.store(d.seq, Ordering::Relaxed);
+                    state.maybe_snapshot(&self.dura);
+                    if matches!(state.durable, Attachment::Attached(_)) {
+                        slot.deltas_logged.store(state.applied_seq, Ordering::Relaxed);
                     }
                     slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
                     slot.explained.store(state.session.has_explained(), Ordering::Relaxed);
+                    slot.degraded.store(state.is_degraded(), Ordering::Relaxed);
                 }
                 Err(TryLockError::WouldBlock) => cell.wait_brief(),
                 Err(TryLockError::Poisoned(_)) => {
@@ -893,6 +1349,53 @@ impl SessionRegistry {
         self.touch(&slot);
         self.reports.fetch_add(1, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// The session's current durability label for response decoration:
+    /// `"durable"` or `"degraded"`, read from the lock-free slot mirror
+    /// (`None` when the registry has no durability configured). Delta
+    /// outcomes carry the exact label — including `"reconciled"` — from
+    /// inside the session lock; this cheap read is for explain/report
+    /// responses.
+    pub fn durability_status(&self, name: &str) -> Result<Option<&'static str>, ServiceError> {
+        if self.store.is_none() {
+            return Ok(None);
+        }
+        let slot = self.slot(name)?;
+        Ok(Some(if slot.degraded.load(Ordering::Relaxed) { "degraded" } else { "durable" }))
+    }
+
+    /// The `Retry-After` hint (seconds, at least 1) a refused write
+    /// travels with: the background re-attach cadence, i.e. the earliest
+    /// moment a retry could find the session healthy again.
+    pub fn retry_after_secs(&self) -> u64 {
+        self.config.reattach_interval.as_secs().max(1)
+    }
+
+    /// Attempts re-attach on every degraded resident session — the
+    /// periodic background sweep (requests also retry lazily on their own
+    /// sessions). Busy sessions are skipped; their next drain retries.
+    /// Returns how many sessions re-attached.
+    pub fn reattach_degraded(&self) -> usize {
+        if self.store.is_none() {
+            return 0;
+        }
+        let mut slots: Vec<Arc<Slot>> = Vec::new();
+        for shard in self.shards.iter() {
+            if let Ok(map) = shard.slots.read() {
+                slots.extend(map.values().filter(|s| s.degraded.load(Ordering::Relaxed)).cloned());
+            }
+        }
+        let mut reattached = 0;
+        for slot in slots {
+            let Ok(mut state) = slot.state.try_lock() else { continue };
+            if state.is_degraded() && state.try_reattach(self.config.reattach_interval, &self.dura)
+            {
+                reattached += 1;
+            }
+            slot.degraded.store(state.is_degraded(), Ordering::Relaxed);
+        }
+        reattached
     }
 
     /// Drops a session — both its resident slot and any durable state, so
@@ -971,9 +1474,17 @@ impl SessionRegistry {
         let mut flushed = 0;
         for slot in slots {
             if let Ok(mut state) = slot.state.lock() {
-                if state.durable.is_some() && state.snapshot_now() {
+                // Graceful drain: give a degraded session one immediate
+                // re-attach try so the flush can still make it durable.
+                if state.is_degraded() {
+                    state.try_reattach(Duration::ZERO, &self.dura);
+                }
+                if matches!(state.durable, Attachment::Attached(_))
+                    && state.snapshot_now(&self.dura)
+                {
                     flushed += 1;
                 }
+                slot.degraded.store(state.is_degraded(), Ordering::Relaxed);
             }
         }
         flushed
@@ -1005,7 +1516,10 @@ impl SessionRegistry {
                     count += 1;
                     let used = slot.last_used.load(Ordering::Relaxed);
                     mru = mru.max(used);
-                    if slot.idle() {
+                    // Degraded sessions have no fresh spill image —
+                    // evicting one would lose applied state — so they are
+                    // never victims (authoritatively re-checked below).
+                    if slot.idle() && !slot.degraded.load(Ordering::Relaxed) {
                         candidates.push((slot.name.clone(), used));
                     }
                 }
@@ -1040,12 +1554,26 @@ impl SessionRegistry {
                     match slot.state.try_lock() {
                         Ok(mut state) => {
                             // Spill: a final snapshot makes the victim
-                            // transparently recoverable.
-                            if state.durable.is_some() && state.snapshot_now() {
-                                self.spills.fetch_add(1, Ordering::Relaxed);
+                            // transparently recoverable. A session that is
+                            // (or just became) degraded is kept instead —
+                            // its mirror excludes it from the next pick, so
+                            // the loop still terminates.
+                            let can_evict = match &state.durable {
+                                Attachment::None => true,
+                                Attachment::Degraded(_) => false,
+                                Attachment::Attached(_) => {
+                                    let spilled = state.snapshot_now(&self.dura);
+                                    if spilled {
+                                        self.spills.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    spilled
+                                }
+                            };
+                            slot.degraded.store(state.is_degraded(), Ordering::Relaxed);
+                            if can_evict {
+                                map.remove(&name);
+                                self.evictions.fetch_add(1, Ordering::Relaxed);
                             }
-                            map.remove(&name);
-                            self.evictions.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(TryLockError::Poisoned(_)) => {
                             // A poisoned slot is evicted without a snapshot —
@@ -1089,19 +1617,109 @@ fn run_with_deadline<R>(
     }
 }
 
+/// Everything [`serve_batch`]/[`serve_run`] need besides the session
+/// state: the registry's recording flag, durability mode, and counters.
+struct ServeCtx<'a> {
+    record: bool,
+    mode: DurabilityMode,
+    counters: &'a DuraCounters,
+}
+
+/// Answers a retried, already-applied delta without re-applying it.
+fn fulfill_dedup(state: &SessionState, ticket: Ticket, ctx: &ServeCtx) {
+    ctx.counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+    // In strict mode a degraded session must not ack even a dedup hit:
+    // the original apply is not on disk yet, and a dedup ack is still an
+    // ack. The retry after re-attach succeeds (the window is persisted in
+    // the re-attach snapshot).
+    if ctx.mode == DurabilityMode::Strict && state.is_degraded() {
+        let name = state.durable_name().unwrap_or("").to_string();
+        ticket.result.fulfill(Err(ServiceError::DurabilityUnavailable(name)));
+        return;
+    }
+    match &state.last_report {
+        Some(report) => ticket.result.fulfill(Ok(DeltaOutcome {
+            report: Arc::clone(report),
+            coalesced_with: 0,
+            durability: state.durability_label(),
+            deduplicated: true,
+        })),
+        // Unreachable in practice: an entry in the window means a delta
+        // was applied, and every applied delta produced a report.
+        None => ticket.result.fulfill(Err(ServiceError::Internal(
+            "retried delta was applied but no report exists".into(),
+        ))),
+    }
+}
+
+/// Logs one applied ticket (WAL before ack), records its `request_id` in
+/// the retry window, and fulfills it according to the durability mode.
+/// `state.applied_seq` is advanced here — exactly once per applied delta.
+fn finish_applied(
+    state: &mut SessionState,
+    ticket: Ticket,
+    deadline: Option<Duration>,
+    coalesced_with: usize,
+    report: &Arc<ExplanationReport>,
+    ctx: &ServeCtx,
+) {
+    state.applied_seq += 1;
+    let logged =
+        state.log_applied(&ticket.delta, deadline, ticket.request_id.as_deref(), ctx.counters);
+    if let Some(id) = &ticket.request_id {
+        state.retry_window.insert(id.clone(), state.applied_seq);
+    }
+    let refused = match logged {
+        LogOutcome::Logged => false,
+        // The delta IS applied in memory either way; strict mode just
+        // refuses to ack it (the client retries; the window dedupes).
+        LogOutcome::NotDurable | LogOutcome::Failed => {
+            ctx.mode == DurabilityMode::Strict && state.is_degraded()
+        }
+    };
+    if refused {
+        let name = state.durable_name().unwrap_or("").to_string();
+        ticket.result.fulfill(Err(ServiceError::DurabilityUnavailable(name)));
+    } else {
+        ticket.result.fulfill(Ok(DeltaOutcome {
+            report: Arc::clone(report),
+            coalesced_with,
+            durability: state.durability_label(),
+            deduplicated: false,
+        }));
+    }
+}
+
 /// Serves a drained batch of tickets, returning how many of them were
 /// coalesced into another ticket's run.
 ///
-/// Tickets are grouped into maximal runs of **consecutive equal
+/// First the exactly-once filter: a ticket whose `request_id` is already
+/// in the retry window is answered from the current report without
+/// re-applying; a duplicate of a ticket *in this very batch* is deferred
+/// until the batch has been served, then answered the same way (its twin
+/// applied first — serially, the retry would arrive after the original).
+///
+/// The fresh tickets are grouped into maximal runs of **consecutive equal
 /// deadlines** (in admission order) and each run is served by
 /// [`serve_run`]. Coalescing across different deadlines would change
 /// semantics: serially, each delta runs under its own deadline-derived
 /// node budget, so only same-budget neighbours may share a `re_explain`.
 /// The common case — no per-request deadlines — still coalesces the whole
 /// batch.
-fn serve_batch(state: &mut SessionState, batch: Vec<Ticket>, record: bool) -> usize {
-    let mut runs: Vec<Vec<Ticket>> = Vec::new();
+fn serve_batch(state: &mut SessionState, batch: Vec<Ticket>, ctx: &ServeCtx) -> usize {
+    let mut fresh: Vec<Ticket> = Vec::new();
+    let mut deferred: Vec<Ticket> = Vec::new();
     for ticket in batch {
+        match &ticket.request_id {
+            Some(id) if state.retry_window.contains(id) => fulfill_dedup(state, ticket, ctx),
+            Some(id) if fresh.iter().any(|t| t.request_id.as_deref() == Some(id.as_str())) => {
+                deferred.push(ticket)
+            }
+            _ => fresh.push(ticket),
+        }
+    }
+    let mut runs: Vec<Vec<Ticket>> = Vec::new();
+    for ticket in fresh {
         match runs.last_mut() {
             Some(run) if run[0].deadline == ticket.deadline => run.push(ticket),
             _ => runs.push(vec![ticket]),
@@ -1110,7 +1728,17 @@ fn serve_batch(state: &mut SessionState, batch: Vec<Ticket>, record: bool) -> us
     let mut coalesced = 0;
     for run in runs {
         coalesced += run.len() - 1;
-        serve_run(state, run, record);
+        serve_run(state, run, ctx);
+    }
+    for ticket in deferred {
+        if ticket.request_id.as_deref().is_some_and(|id| state.retry_window.contains(id)) {
+            fulfill_dedup(state, ticket, ctx);
+        } else {
+            // Its twin failed to apply, so this is not a duplicate of an
+            // *applied* delta: serve it on its own for exactly the outcome
+            // a serial retry would get.
+            serve_run(state, vec![ticket], ctx);
+        }
     }
     coalesced
 }
@@ -1118,7 +1746,18 @@ fn serve_batch(state: &mut SessionState, batch: Vec<Ticket>, record: bool) -> us
 /// Serves one same-deadline run of tickets with one `re_explain` (fast
 /// path) or an individual replay (fallback when the merged script fails).
 /// See the module docs for why both paths are serially equivalent.
-fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, record: bool) {
+fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, ctx: &ServeCtx) {
+    // Strict mode refuses work it cannot log *before* applying: when the
+    // session is already degraded (this drain's re-attach try failed),
+    // answering 503 without mutating memory means the client's retry
+    // after re-attach applies fresh — still exactly once.
+    if ctx.mode == DurabilityMode::Strict && state.is_degraded() {
+        let name = state.durable_name().unwrap_or("").to_string();
+        for ticket in batch {
+            ticket.result.fulfill(Err(ServiceError::DurabilityUnavailable(name.clone())));
+        }
+        return;
+    }
     let deadline = batch[0].deadline;
     if batch.len() > 1 {
         let merged =
@@ -1129,20 +1768,15 @@ fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, record: bool) {
             Ok(report) => {
                 let report = Arc::new(report);
                 state.last_report = Some(Arc::clone(&report));
-                if record {
+                if ctx.record {
                     state.applied_log.extend(batch.iter().map(|t| t.delta.clone()));
                 }
                 // WAL before ack: log each ticket's delta (replay applies
                 // them in order, which is definitionally the merged script)
                 // so no acknowledged delta can be lost to a crash.
-                for ticket in &batch {
-                    state.log_applied(&ticket.delta, deadline);
-                }
                 let coalesced_with = batch.len() - 1;
                 for ticket in batch {
-                    ticket
-                        .result
-                        .fulfill(Ok(DeltaOutcome { report: Arc::clone(&report), coalesced_with }));
+                    finish_applied(state, ticket, deadline, coalesced_with, &report, ctx);
                 }
                 return;
             }
@@ -1155,17 +1789,22 @@ fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, record: bool) {
         }
     }
     for ticket in batch {
+        if ctx.mode == DurabilityMode::Strict && state.is_degraded() {
+            let name = state.durable_name().unwrap_or("").to_string();
+            ticket.result.fulfill(Err(ServiceError::DurabilityUnavailable(name)));
+            continue;
+        }
         let outcome =
             run_with_deadline(&mut state.session, ticket.deadline, |s| s.re_explain(&ticket.delta));
         match outcome {
             Ok(report) => {
                 let report = Arc::new(report);
                 state.last_report = Some(Arc::clone(&report));
-                if record {
+                if ctx.record {
                     state.applied_log.push(ticket.delta.clone());
                 }
-                state.log_applied(&ticket.delta, ticket.deadline);
-                ticket.result.fulfill(Ok(DeltaOutcome { report, coalesced_with: 0 }));
+                let ticket_deadline = ticket.deadline;
+                finish_applied(state, ticket, ticket_deadline, 0, &report, ctx);
             }
             Err(e) => ticket.result.fulfill(Err(e.into())),
         }
@@ -1270,9 +1909,17 @@ mod tests {
             let batch: Vec<Ticket> = deltas
                 .iter()
                 .zip(&cells)
-                .map(|(d, c)| Ticket { delta: d.clone(), deadline: None, result: Arc::clone(c) })
+                .map(|(d, c)| Ticket {
+                    delta: d.clone(),
+                    deadline: None,
+                    request_id: None,
+                    result: Arc::clone(c),
+                })
                 .collect();
-            serve_batch(&mut state, batch, false);
+            let counters = DuraCounters::default();
+            let ctx =
+                ServeCtx { record: false, mode: DurabilityMode::BestEffort, counters: &counters };
+            serve_batch(&mut state, batch, &ctx);
         }
         let outcomes: Vec<DeltaOutcome> =
             cells.iter().map(|c| c.take().unwrap().unwrap().unwrap()).collect();
@@ -1307,10 +1954,23 @@ mod tests {
         {
             let mut state = lock_state(&slot).unwrap();
             let batch = vec![
-                Ticket { delta: good.clone(), deadline: None, result: Arc::clone(&cells[0]) },
-                Ticket { delta: bad, deadline: None, result: Arc::clone(&cells[1]) },
+                Ticket {
+                    delta: good.clone(),
+                    deadline: None,
+                    request_id: None,
+                    result: Arc::clone(&cells[0]),
+                },
+                Ticket {
+                    delta: bad,
+                    deadline: None,
+                    request_id: None,
+                    result: Arc::clone(&cells[1]),
+                },
             ];
-            serve_batch(&mut state, batch, false);
+            let counters = DuraCounters::default();
+            let ctx =
+                ServeCtx { record: false, mode: DurabilityMode::BestEffort, counters: &counters };
+            serve_batch(&mut state, batch, &ctx);
         }
         let good_outcome = cells[0].take().unwrap().unwrap().unwrap();
         assert_eq!(good_outcome.coalesced_with, 0, "fallback runs tickets alone");
@@ -1644,6 +2304,200 @@ mod tests {
         let names: Vec<String> = registry.list().into_iter().map(|s| s.name).collect();
         assert_eq!(names, vec!["b", "c"], "globally-LRU \"a\" must be evicted across shards");
         assert_eq!(registry.stats().evictions, 1);
+    }
+
+    fn faulty_durable_config(
+        tag: &str,
+        plan: explain3d_durability::FaultPlan,
+    ) -> (std::path::PathBuf, ServiceConfig, Arc<explain3d_durability::FaultInjector>) {
+        let dir = std::env::temp_dir().join(format!("e3d-reg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shim = explain3d_durability::FaultInjector::new(plan);
+        shim.disarm();
+        let mut durability = DurabilityConfig::new(&dir);
+        durability.shim = Some(Arc::clone(&shim));
+        let config = ServiceConfig {
+            durability: Some(durability),
+            reattach_interval: Duration::ZERO,
+            ..ServiceConfig::default()
+        };
+        (dir, config, shim)
+    }
+
+    /// Every storage write fails with EIO while the injector is armed.
+    fn wal_killer() -> explain3d_durability::FaultPlan {
+        use explain3d_durability::{FaultKind, FaultOp, FaultRule, Trigger};
+        explain3d_durability::FaultPlan {
+            seed: 7,
+            rules: vec![FaultRule {
+                op: FaultOp::Write,
+                trigger: Trigger::EveryNth(1),
+                kind: FaultKind::Eio,
+            }],
+        }
+    }
+
+    #[test]
+    fn wal_failure_degrades_then_reattaches_best_effort() {
+        let (dir, config, shim) = faulty_durable_config("degrade", wal_killer());
+        let registry = SessionRegistry::new(config.clone());
+        registry.create("s", request(&[("a", 1.0), ("b", 2.0)], &[("a", 1.0)])).unwrap();
+        registry.explain("s", None).unwrap();
+        shim.arm();
+        // The WAL append fails, but best-effort keeps serving — labelled.
+        let degraded = registry
+            .delta("s", RelationDelta::new().insert(Side::Right, tuple("b", 2.0)), None)
+            .unwrap();
+        assert_eq!(degraded.durability, Some("degraded"));
+        let stats = registry.stats();
+        assert_eq!((stats.wal_errors, stats.degraded_sessions), (1, 1));
+        assert_eq!(registry.durability_status("s").unwrap(), Some("degraded"));
+        shim.disarm();
+        // The next drain re-attaches (fresh snapshot of the in-memory
+        // state over the stale image), then logs normally.
+        let healed = registry
+            .delta("s", RelationDelta::new().insert(Side::Left, tuple("c", 1.0)), None)
+            .unwrap();
+        assert_eq!(healed.durability, Some("reconciled"));
+        let stats = registry.stats();
+        assert_eq!((stats.reattached, stats.degraded_sessions), (1, 0));
+        let expected = fingerprint(&registry.report("s").unwrap());
+        drop(registry);
+        // Restart: the re-attach snapshot + fresh WAL recover everything,
+        // including the delta applied while degraded.
+        let recovered = SessionRegistry::new(config);
+        assert_eq!(fingerprint(&recovered.report("s").unwrap()), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn strict_mode_refuses_unlogged_writes_and_retries_exactly_once() {
+        let (dir, mut config, shim) = faulty_durable_config("strict", wal_killer());
+        config.durability_mode = DurabilityMode::Strict;
+        config.record_deltas = true;
+        let registry = SessionRegistry::new(config.clone());
+        registry.create("s", request(&[("a", 1.0), ("b", 2.0)], &[("a", 1.0)])).unwrap();
+        registry.explain("s", None).unwrap();
+        shim.arm();
+        let delta = RelationDelta::new().insert(Side::Right, tuple("b", 2.0));
+        let refused = registry
+            .delta_tagged("s", delta.clone(), None, None, Some("req-1".into()))
+            .unwrap_err();
+        assert!(matches!(refused, ServiceError::DurabilityUnavailable(_)), "got {refused:?}");
+        assert_eq!(refused.http_status().0, 503);
+        // Still degraded (re-attach keeps failing): the retry is refused
+        // too — an ack, even a dedup ack, would promise durability strict
+        // mode cannot give yet.
+        let still = registry
+            .delta_tagged("s", delta.clone(), None, None, Some("req-1".into()))
+            .unwrap_err();
+        assert!(matches!(still, ServiceError::DurabilityUnavailable(_)), "got {still:?}");
+        shim.disarm();
+        // Storage healed: re-attach succeeds and the retry is answered
+        // from the dedup window — applied exactly once.
+        let acked =
+            registry.delta_tagged("s", delta.clone(), None, None, Some("req-1".into())).unwrap();
+        assert!(acked.deduplicated, "retry must not re-apply");
+        assert_eq!(acked.durability, Some("reconciled"));
+        assert_eq!(registry.delta_log("s").unwrap().len(), 1, "applied exactly once");
+        assert_eq!(registry.stats().dedup_hits, 2);
+        // Fingerprint pinned to serial execution of a single apply.
+        let oracle = SessionRegistry::new(ServiceConfig::default());
+        oracle.create("s", request(&[("a", 1.0), ("b", 2.0)], &[("a", 1.0)])).unwrap();
+        oracle.explain("s", None).unwrap();
+        let serial = oracle.delta("s", delta.clone(), None).unwrap();
+        assert_eq!(fingerprint(&acked.report), fingerprint(&serial.report));
+        // Restart: the retry window survives recovery (it is in the
+        // re-attach snapshot), so the same request_id still dedupes.
+        drop(registry);
+        let recovered = SessionRegistry::new(config);
+        let replayed =
+            recovered.delta_tagged("s", delta, None, None, Some("req-1".into())).unwrap();
+        assert!(replayed.deduplicated, "window must survive recovery");
+        assert_eq!(fingerprint(&replayed.report), fingerprint(&serial.report));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_durable_state_is_quarantined_not_deleted() {
+        let (dir, config) = durable_config("quarantine");
+        {
+            let registry = SessionRegistry::new(config.clone());
+            registry.create("s", request(&[("a", 1.0)], &[("a", 1.0)])).unwrap();
+            registry.explain("s", None).unwrap();
+        }
+        let sdir = dir.join(explain3d_durability::session_dirname("s"));
+        std::fs::write(sdir.join(explain3d_durability::SNAPSHOT_FILE), b"garbage").unwrap();
+        let registry = SessionRegistry::new(config);
+        // Corrupt state answers NotFound (quarantined), never a 500 loop.
+        assert!(matches!(registry.report("s"), Err(ServiceError::SessionNotFound(_))));
+        assert_eq!(registry.stats().quarantined, 1);
+        // The bytes were renamed aside, not deleted…
+        let quarantined: Vec<_> = dir
+            .join(explain3d_durability::QUARANTINE_DIR)
+            .read_dir()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(quarantined.len(), 1);
+        assert!(!sdir.exists());
+        // …and the name is creatable again.
+        registry.create("s", request(&[("a", 1.0)], &[("a", 1.0)])).unwrap();
+        registry.explain("s", None).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_request_ids_in_one_batch_apply_once() {
+        let registry =
+            SessionRegistry::new(ServiceConfig { record_deltas: true, ..ServiceConfig::default() });
+        registry.create("s", request(&[("a", 1.0), ("b", 2.0)], &[("a", 1.0)])).unwrap();
+        registry.explain("s", None).unwrap();
+        let delta = RelationDelta::new().insert(Side::Right, tuple("b", 2.0));
+        let slot = registry.slot("s").unwrap();
+        let cells: Vec<Arc<TicketCell>> = (0..2).map(|_| Arc::new(TicketCell::default())).collect();
+        {
+            let mut state = lock_state(&slot).unwrap();
+            let batch = vec![
+                Ticket {
+                    delta: delta.clone(),
+                    deadline: None,
+                    request_id: Some("r".into()),
+                    result: Arc::clone(&cells[0]),
+                },
+                Ticket {
+                    delta: delta.clone(),
+                    deadline: None,
+                    request_id: Some("r".into()),
+                    result: Arc::clone(&cells[1]),
+                },
+            ];
+            let counters = DuraCounters::default();
+            let ctx =
+                ServeCtx { record: true, mode: DurabilityMode::BestEffort, counters: &counters };
+            serve_batch(&mut state, batch, &ctx);
+            assert_eq!(counters.dedup_hits.load(Ordering::Relaxed), 1);
+        }
+        let first = cells[0].take().unwrap().unwrap().unwrap();
+        let second = cells[1].take().unwrap().unwrap().unwrap();
+        assert!(!first.deduplicated && second.deduplicated);
+        assert_eq!(fingerprint(&first.report), fingerprint(&second.report));
+        assert_eq!(registry.delta_log("s").unwrap().len(), 1, "the twin applied once");
+    }
+
+    #[test]
+    fn retry_window_is_bounded() {
+        let mut window = RetryWindow::default();
+        for i in 0..(RETRY_WINDOW_CAP + 10) {
+            window.insert(format!("req-{i}"), i as u64);
+        }
+        assert_eq!(window.order.len(), RETRY_WINDOW_CAP);
+        assert_eq!(window.by_id.len(), RETRY_WINDOW_CAP);
+        assert!(!window.contains("req-0"), "oldest entries evicted");
+        assert!(window.contains(&format!("req-{}", RETRY_WINDOW_CAP + 9)));
+        // Round-trips through the snapshot encoding shape.
+        let back = RetryWindow::from_pairs(window.to_pairs());
+        assert_eq!(back.order, window.order);
     }
 
     #[test]

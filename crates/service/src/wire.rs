@@ -33,8 +33,13 @@
 //!    {"op": "update", "side": "right", "index": 3, "tuple": {...}},
 //!    {"op": "delete", "side": "left",  "index": 0}
 //!  ],
-//!  "deadline_ms": 500}
+//!  "deadline_ms": 500,
+//!  "request_id": "client-chosen-idempotency-key"}
 //! ```
+//!
+//! `request_id` is optional; a retry carrying the same id against the
+//! same session is acknowledged from the dedup window (`"deduplicated":
+//! true` in the response) instead of being applied twice.
 //!
 //! Reports serialise explanations, evidence, statistics, and the
 //! authoritative [`report_fingerprint`] as a hex string — the byte-identity
@@ -86,7 +91,14 @@ pub struct DeltaRequest {
     pub delta: RelationDelta,
     /// Optional per-request MILP deadline override.
     pub deadline: Option<Duration>,
+    /// Optional client-generated idempotency key: a retry carrying the
+    /// same id is answered from the dedup window instead of re-applied.
+    pub request_id: Option<String>,
 }
+
+/// Hard cap on `request_id` length — it is stored per session in the
+/// retry window and logged with every WAL record.
+pub const MAX_REQUEST_ID_BYTES: usize = 128;
 
 fn bad(field: &str, what: &str) -> ServiceError {
     ServiceError::BadRequest(format!("{field}: {what}"))
@@ -353,7 +365,28 @@ pub fn parse_delta(
             _ => return Err(bad(&field, "op must be one of \"insert\", \"update\", \"delete\"")),
         });
     }
-    Ok(DeltaRequest { delta, deadline: parse_deadline(&json)? })
+    Ok(DeltaRequest {
+        delta,
+        deadline: parse_deadline(&json)?,
+        request_id: parse_request_id(&json)?,
+    })
+}
+
+/// Parses the optional `request_id` idempotency key of a delta request.
+fn parse_request_id(json: &Json) -> Result<Option<String>, ServiceError> {
+    match json.get("request_id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let id = v.as_str().ok_or_else(|| bad("request_id", "must be a string"))?;
+            if id.is_empty() {
+                return Err(bad("request_id", "must not be empty"));
+            }
+            if id.len() > MAX_REQUEST_ID_BYTES {
+                return Err(bad("request_id", "too long (max 128 bytes)"));
+            }
+            Ok(Some(id.to_string()))
+        }
+    }
 }
 
 fn side_name(side: Side) -> &'static str {

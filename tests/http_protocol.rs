@@ -169,6 +169,130 @@ fn stalled_mid_request_connection_gets_a_408() {
     handle.shutdown();
 }
 
+/// Connects a socket tuned to behave like a congested, slow-draining
+/// client: a small receive buffer so the advertised TCP window stays
+/// tiny, and — crucially — `TCP_MAXSEG` clamped to 1 KiB *before*
+/// `connect` so the MSS negotiated in the SYN is small. On loopback the
+/// default MSS is the 64 KiB MTU, which breaks the test both ways: the
+/// server's kernel only learns of drained window space in ~MSS-sized
+/// updates (so a sipping reader shows the server *zero* progress for
+/// seconds, making every server cut, deadline bug or not), and segments
+/// larger than the whole receive buffer get dropped into a
+/// retransmit/zero-window-probe spiral that can hide the server's FIN for
+/// minutes. With a 1 KiB MSS every 2 KiB sip raises a window update, so
+/// the server sees steady sub-deadline write progress — exactly the
+/// trickle the total-response deadline must refuse to be strung along by.
+#[cfg(target_os = "linux")]
+fn connect_sipping_client(addr: SocketAddr) -> TcpStream {
+    use std::os::unix::io::FromRawFd;
+    extern "C" {
+        fn socket(domain: i32, ty: i32, proto: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const IPPROTO_TCP: i32 = 6;
+    const TCP_MAXSEG: i32 = 2;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let SocketAddr::V4(v4) = addr else { panic!("ephemeral bind yields v4") };
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, IPPROTO_TCP);
+        assert!(fd >= 0, "socket(2)");
+        let mss: i32 = 1024;
+        assert_eq!(setsockopt(fd, IPPROTO_TCP, TCP_MAXSEG, &mss, 4), 0, "TCP_MAXSEG");
+        let rcv: i32 = 8192;
+        assert_eq!(setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcv, 4), 0, "SO_RCVBUF");
+        // struct sockaddr_in: u16 family, u16 port (BE), u32 addr (BE), pad.
+        let mut sa = [0u8; 16];
+        sa[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+        sa[2..4].copy_from_slice(&v4.port().to_be_bytes());
+        sa[4..8].copy_from_slice(&v4.ip().octets());
+        assert_eq!(connect(fd, sa.as_ptr(), 16), 0, "connect(2)");
+        TcpStream::from_raw_fd(fd)
+    }
+}
+
+/// The write-side mirror of the 408 test: a peer that *reads* its response
+/// one sip at a time must be cut when the response misses the `io_timeout`
+/// deadline — never served to completion at trickle speed, never left
+/// holding its event-loop slot (and response buffers) forever. The server
+/// guarantees this by treating `io_timeout` as a *total* response deadline
+/// in `continue_write` (the write clock starts at `start_write` and
+/// partial progress does not extend it), so the bound holds even on paths
+/// where the kernel delivers write-ready events in steady sub-deadline
+/// trickles — which loopback, for the record, does not: EPOLLOUT only
+/// fires when a watermark's worth of send buffer frees at once.
+#[cfg(target_os = "linux")]
+#[test]
+fn slow_reading_client_is_cut_at_the_write_deadline() {
+    use std::time::Instant;
+    let (addr, handle) =
+        serve(ServerConfig { io_timeout: Duration::from_millis(400), ..ServerConfig::default() });
+
+    let s = connect_sipping_client(addr);
+    s.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    // Pipeline ~1500 requests whose 404 responses each echo a ~7 KiB
+    // path: ~10 MiB of responses, past even the kernel's auto-tuned send
+    // buffer ceiling (tcp_wmem caps at ~4 MiB), so the writer genuinely
+    // parks waiting on our tiny window — and at our drain rate (1 KiB
+    // every 100 ms) the parked 7 KiB response makes steady sub-deadline
+    // progress but cannot finish inside the 400 ms deadline. The burst is
+    // written from a helper thread because the server (rightly) stops
+    // reading while it writes — our own send would block mid-burst.
+    const REQUESTS: usize = 1500;
+    let request = format!("GET /no-such-route-{} HTTP/1.1\r\n\r\n", "x".repeat(7000));
+    let burst: Vec<u8> = request.as_bytes().repeat(REQUESTS);
+    let mut writer = s.try_clone().unwrap();
+    let pump = std::thread::spawn(move || {
+        let _ = writer.write_all(&burst); // errors once the server cuts us
+    });
+
+    let mut s = s;
+    let start = Instant::now();
+    let mut got = 0usize;
+    let mut buf = [0u8; 1024];
+    // Phase 1: sip for ~6 s — over a dozen deadline windows — so the
+    // response parked behind our tiny TCP window has long since blown its
+    // 400 ms budget and the server has cut the connection.
+    while start.elapsed() < Duration::from_secs(6) {
+        match s.read(&mut buf) {
+            Ok(0) => break,    // orderly close
+            Ok(n) => got += n, // the sip that must NOT extend the deadline
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break, // reset: the cut discarded buffered bytes
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // Phase 2: drain at full speed. How the cut lands depends on kernel
+    // buffer state (an RST errors out instantly; a FIN can hide behind
+    // megabytes of already-queued send buffer, which at sip speed would
+    // take minutes to surface) — but either way what remains is a finite
+    // tail. If the server *never* cut (the regression), draining fast
+    // unstalls it, the full ~10 MiB arrives, and the assert below fails.
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    loop {
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "server never closed the connection (read {got} bytes so far)"
+        );
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    assert!(got < REQUESTS * request.len(), "must be cut mid-stream, not served to completion");
+    pump.join().unwrap();
+    handle.shutdown();
+}
+
 #[test]
 fn session_names_are_percent_decoded_on_the_wire() {
     let (addr, handle) = serve(ServerConfig::default());
