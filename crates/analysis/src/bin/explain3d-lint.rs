@@ -1,0 +1,103 @@
+//! `explain3d-lint` — run the workspace invariant checks.
+//!
+//! ```text
+//! cargo run -p explain3d-analysis -- --workspace     # lint the whole tree
+//! cargo run -p explain3d-analysis -- file.rs …       # lint specific files
+//! cargo run -p explain3d-analysis -- --rules         # list the rule catalog
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any finding fired, 2 on usage or
+//! I/O errors. CI runs the `--workspace` form and treats a non-zero exit
+//! as a failed check.
+
+use explain3d_analysis::{engine, rules};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--rules") {
+        for rule in rules::ALL {
+            println!("{:<18} {}", rule.id, rule.summary);
+        }
+        return;
+    }
+    let findings = if args.iter().any(|a| a == "--workspace") {
+        let root = workspace_root();
+        match engine::lint_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("explain3d-lint: workspace walk failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        let mut findings = Vec::new();
+        for arg in &args {
+            if arg.starts_with('-') {
+                eprintln!("explain3d-lint: unknown flag `{arg}`");
+                usage();
+                std::process::exit(2);
+            }
+            let path = PathBuf::from(arg);
+            match std::fs::read_to_string(&path) {
+                Ok(src) => findings.extend(engine::lint_source(&path, &src)),
+                Err(e) => {
+                    eprintln!("explain3d-lint: cannot read `{arg}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        findings
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("explain3d-lint: clean ({} rules)", rules::ALL.len());
+    } else {
+        eprintln!("explain3d-lint: {} finding(s)", findings.len());
+        std::process::exit(1);
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo
+/// (crates/analysis → workspace), else the nearest ancestor of the current
+/// directory holding a `Cargo.toml` with a `[workspace]` table.
+fn workspace_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let crate_dir = PathBuf::from(manifest);
+        if let Some(root) = crate_dir.parent().and_then(Path::parent) {
+            if root.join("Cargo.toml").exists() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: explain3d-lint [--workspace | FILE.rs …]\n\
+         \n\
+         --workspace   lint every .rs file under the workspace root\n\
+         --rules       list the rule catalog\n\
+         \n\
+         Waive a finding with `// lint:allow(rule-id): reason` on or above\n\
+         the offending line; the reason is mandatory."
+    );
+}

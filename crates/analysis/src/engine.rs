@@ -1,0 +1,338 @@
+//! The rule engine: per-file context, the waiver grammar, and the
+//! workspace walker.
+//!
+//! ## Waivers
+//!
+//! A finding is silenced by a *waiver* comment:
+//!
+//! ```text
+//! // lint:allow(rule-id): why this site is exempt
+//! ```
+//!
+//! A waiver on its own line covers the next source line (comment-only and
+//! attribute-only lines in between are skipped, so waivers stack above
+//! attributes); a waiver trailing code covers its own line. A waiver
+//! **without a reason** — nothing after the `)`, or an empty reason — is
+//! itself a violation (`waiver-reason`), and a waiver naming a rule this
+//! binary does not know is a violation too (`waiver-unknown-rule`): a
+//! typo'd waiver that silently waives nothing is worse than noise.
+//!
+//! ## Test context
+//!
+//! Files under a `tests/` directory are integration tests; regions under a
+//! `#[cfg(test)]` (or `#[cfg(all(test, …))]`) module are unit tests. Each
+//! rule decides whether test context is exempt — the panic-edge rule is
+//! (tests panic by design), the unsafe-audit rule is not (unsafe needs a
+//! `SAFETY:` argument everywhere).
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::rules;
+use std::path::{Path, PathBuf};
+
+/// One lint finding: a rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired (e.g. `"panic-free-wire"`).
+    pub rule: &'static str,
+    /// The file, as passed to the engine (workspace-relative in
+    /// `--workspace` mode).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: String,
+    /// The stated reason (may be empty — which is itself a finding).
+    pub reason: String,
+    /// Line the waiver comment sits on.
+    pub line: u32,
+    /// The line the waiver covers (its own line for a trailing waiver,
+    /// the next source line for a standalone one).
+    pub covers: u32,
+}
+
+/// Everything a rule needs to inspect one file.
+pub struct FileContext<'a> {
+    /// The file path, as reported in findings.
+    pub path: &'a Path,
+    /// Raw source text.
+    pub src: &'a str,
+    /// The token stream.
+    pub tokens: &'a [Token],
+    /// Parsed waivers.
+    pub waivers: &'a [Waiver],
+    /// Whether the whole file is test code (lives under `tests/`).
+    pub test_file: bool,
+    /// For each token index, whether it sits inside a `#[cfg(test)]` mod.
+    pub in_test_region: &'a [bool],
+}
+
+impl FileContext<'_> {
+    /// True when `rule` is waived for `line` by a reasoned waiver.
+    pub fn waived(&self, rule: &str, line: u32) -> bool {
+        self.waivers.iter().any(|w| w.rule == rule && w.covers == line && !w.reason.is_empty())
+    }
+
+    /// True when token `i` is in test context (test file or test region).
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_file || self.in_test_region.get(i).copied().unwrap_or(false)
+    }
+
+    /// The path as a `/`-joined string for suffix matching.
+    pub fn path_str(&self) -> String {
+        self.path.to_string_lossy().replace('\\', "/")
+    }
+
+    /// Emits a finding unless a waiver covers it.
+    pub fn report(&self, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
+        if !self.waived(rule, line) {
+            out.push(Finding { rule, file: self.path.to_path_buf(), line, message });
+        }
+    }
+}
+
+/// Lints one file's source under the given (possibly virtual) path. The
+/// path matters: several rules are scoped to specific files.
+pub fn lint_source(path: &Path, src: &str) -> Vec<Finding> {
+    let tokens = tokenize(src);
+    let waivers = parse_waivers(src, &tokens);
+    let in_test_region = mark_test_regions(src, &tokens);
+    let path_s = path.to_string_lossy().replace('\\', "/");
+    let test_file = path_s.contains("/tests/") || path_s.starts_with("tests/");
+    let ctx = FileContext {
+        path,
+        src,
+        tokens: &tokens,
+        waivers: &waivers,
+        test_file,
+        in_test_region: &in_test_region,
+    };
+    let mut out = Vec::new();
+    check_waiver_hygiene(&ctx, &mut out);
+    for rule in rules::ALL {
+        (rule.check)(&ctx, &mut out);
+    }
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// Walks the workspace at `root` and lints every `.rs` file, returning
+/// findings with root-relative paths. Skips `target/` build output and
+/// this crate's own rule fixtures (which contain violations *on purpose*).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        out.extend(lint_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_s = rel.to_string_lossy().replace('\\', "/");
+        if SKIP_DIRS.iter().any(|skip| rel_s == *skip || rel_s.starts_with(&format!("{skip}/"))) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            // Nested target dirs (e.g. a fixture workspace) are skipped too.
+            if entry.file_name() == "target" || entry.file_name() == ".git" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel_s.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Directories the workspace walk never descends into: build output, and
+/// the lint's own fixtures (deliberate violations used by the rule tests).
+pub const SKIP_DIRS: &[&str] = &["target", "crates/analysis/tests/fixtures"];
+
+/// The marker a waiver comment starts with (after the `//` and optional
+/// doc-comment sigils).
+const WAIVER_MARK: &str = "lint:allow(";
+
+fn parse_waivers(src: &str, tokens: &[Token]) -> Vec<Waiver> {
+    // Lines that hold nothing but comments/attributes — a standalone
+    // waiver skips over these to find the line it covers.
+    let line_count = src.lines().count() as u32 + 1;
+    let mut has_code = vec![false; line_count as usize + 2];
+    for t in tokens {
+        if t.is_comment() {
+            continue;
+        }
+        for l in t.line..=t.end_line {
+            if let Some(slot) = has_code.get_mut(l as usize) {
+                *slot = true;
+            }
+        }
+    }
+    let mut waivers = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text(src).trim_start_matches('/').trim_start_matches('!').trim();
+        let Some(rest) = body.strip_prefix(WAIVER_MARK) else { continue };
+        let (rule, after) = match rest.split_once(')') {
+            Some(pair) => pair,
+            None => (rest, ""),
+        };
+        let reason = after.trim().strip_prefix(':').map(str::trim).unwrap_or("").to_string();
+        let trailing = has_code.get(t.line as usize).copied().unwrap_or(false);
+        let covers = if trailing {
+            t.line
+        } else {
+            // The next line with code on it; attribute/comment/blank lines
+            // in between are skipped (bounded by EOF).
+            (t.line + 1..line_count + 1)
+                .find(|&l| has_code.get(l as usize).copied().unwrap_or(false))
+                .unwrap_or(t.line)
+        };
+        waivers.push(Waiver { rule: rule.trim().to_string(), reason, line: t.line, covers });
+    }
+    waivers
+}
+
+/// Waiver hygiene: every waiver must name a known rule and state a reason.
+fn check_waiver_hygiene(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for w in ctx.waivers {
+        if w.reason.is_empty() {
+            out.push(Finding {
+                rule: "waiver-reason",
+                file: ctx.path.to_path_buf(),
+                line: w.line,
+                message: format!(
+                    "waiver for `{}` states no reason — write \
+                     `// lint:allow({}): <why this site is exempt>`",
+                    w.rule, w.rule
+                ),
+            });
+        }
+        if !rules::ALL.iter().any(|r| r.id == w.rule) {
+            out.push(Finding {
+                rule: "waiver-unknown-rule",
+                file: ctx.path.to_path_buf(),
+                line: w.line,
+                message: format!(
+                    "waiver names unknown rule `{}` (known: {})",
+                    w.rule,
+                    rules::ALL.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)] mod … { … }` region (also
+/// `#[cfg(all(test, …))]` and friends: any `cfg` attribute whose argument
+/// list mentions the bare ident `test`).
+fn mark_test_regions(src: &str, tokens: &[Token]) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    let sig: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    let mut k = 0usize;
+    while k < sig.len() {
+        if let Some(body_open) = test_mod_at(src, tokens, &sig, k) {
+            // Mark from the opening brace to its match.
+            let mut depth = 0i32;
+            for &j in &sig[body_open..] {
+                match tokens[j].kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => depth -= 1,
+                    _ => {}
+                }
+                marked[j] = true;
+                if depth == 0 && tokens[j].is_punct('}') {
+                    break;
+                }
+            }
+        }
+        k += 1;
+    }
+    marked
+}
+
+/// If significant-token position `k` starts `#[cfg(…test…)]` followed (after
+/// any further attributes) by `mod name {`, returns the sig-index of the
+/// `{`.
+fn test_mod_at(src: &str, tokens: &[Token], sig: &[usize], k: usize) -> Option<usize> {
+    let tk = |i: usize| -> Option<&Token> { sig.get(i).map(|&j| &tokens[j]) };
+    if !(tk(k)?.is_punct('#') && tk(k + 1)?.is_punct('[') && tk(k + 2)?.is_ident(src, "cfg")) {
+        return None;
+    }
+    // Scan the attribute's bracket group for a bare `test` ident.
+    let mut depth = 0i32;
+    let mut i = k + 1;
+    let mut saw_test = false;
+    loop {
+        let t = tk(i)?;
+        match t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Ident if t.text(src) == "test" => saw_test = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    if !saw_test {
+        return None;
+    }
+    // Skip any further attributes between the cfg and the item.
+    let mut i = i + 1;
+    while tk(i)?.is_punct('#') && tk(i + 1)?.is_punct('[') {
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        loop {
+            let t = tk(j)?;
+            match t.kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    if !tk(i)?.is_ident(src, "mod") {
+        return None;
+    }
+    // `mod name {` — find the `{` (there is none for `mod name;`).
+    let brace = i + 2;
+    if tk(brace)?.is_punct('{') {
+        Some(brace)
+    } else {
+        None
+    }
+}

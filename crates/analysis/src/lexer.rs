@@ -1,0 +1,388 @@
+//! A real Rust lexer — the foundation every rule reads source through.
+//!
+//! Regexes over raw source misfire on exactly the constructs Rust makes
+//! easy: `"unsafe"` inside a string, `partial_cmp` inside a doc comment,
+//! `r#"extern "C""#` inside a raw string, nested `/* /* */ */` block
+//! comments, `'a` lifetimes vs `'a'` char literals. This lexer resolves
+//! all of those into a flat token stream, so a rule that asks "is there an
+//! `unwrap` *identifier* here" can never be fooled by comment or literal
+//! content — and conversely, the comment tokens are preserved (with their
+//! text and line spans) because two rules *read* them: `safety-comments`
+//! looks for `SAFETY:` annotations and the waiver engine looks for
+//! `lint:allow(...)` markers.
+//!
+//! The lexer is deliberately lossless about position: every token carries
+//! its byte range and 1-based start/end lines, so findings point at real
+//! source lines.
+
+/// What a token is. Literal kinds are collapsed to what the rules need:
+/// all string-like literals are [`TokenKind::Str`], all numeric literals
+/// are [`TokenKind::Number`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `partial_cmp`, `r#async`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// A string, raw string, byte string, char, or byte literal.
+    Str,
+    /// An integer or float literal (suffixes included).
+    Number,
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// A `//` comment (doc comments `///` and `//!` included).
+    LineComment,
+    /// A `/* … */` comment, nesting handled; may span lines.
+    BlockComment,
+}
+
+/// One token: kind plus its byte range and line span in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based line of the last byte (differs from `line` only for block
+    /// comments and multi-line string literals).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// The token's text, borrowed from the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for an `Ident` token spelling exactly `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == word
+    }
+
+    /// True for the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+
+    /// True for a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated literals or comments are
+/// tolerated (the remainder becomes one token) — a lint must never panic
+/// on the code it is judging.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, text: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                b'r' | b'b' if self.raw_or_byte_string() => {
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.string_body(b'"');
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => {
+                    if self.lifetime_not_char() {
+                        self.pos += 1; // the quote
+                        while self.pos < self.src.len() && is_ident_byte(self.src[self.pos]) {
+                            self.pos += 1;
+                        }
+                        self.push(TokenKind::Lifetime, start, line);
+                    } else {
+                        self.pos += 1;
+                        self.string_body(b'\'');
+                        self.push(TokenKind::Str, start, line);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ if is_ident_start(b) || b >= 0x80 => {
+                    // `r#ident` raw identifiers were handled above only when
+                    // they open a raw *string*; `r#fn` falls through to here
+                    // via the `r` arm returning false.
+                    self.pos += 1;
+                    while self.pos < self.src.len() && is_ident_byte(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct(b as char), start, line);
+                }
+            }
+        }
+        debug_assert!(self.tokens.iter().all(|t| text.get(t.start..t.end).is_some()));
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token { kind, start, end: self.pos, line, end_line: self.line });
+    }
+
+    /// Consumes a `/* … */` comment with nesting. `self.pos` sits on `/`.
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    self.pos += 2;
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `b'…'` starting at
+    /// `self.pos`. Returns true (with the literal consumed) when one was
+    /// present; false (position untouched) when the `r`/`b` begins an
+    /// identifier like `raw` or `buffer` — or a raw identifier `r#match`.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let rest = &self.src[self.pos..];
+        // b'…' byte literal.
+        if rest.first() == Some(&b'b') && rest.get(1) == Some(&b'\'') {
+            self.pos += 2;
+            self.string_body(b'\'');
+            return true;
+        }
+        // b"…" byte string.
+        if rest.first() == Some(&b'b') && rest.get(1) == Some(&b'"') {
+            self.pos += 2;
+            self.string_body(b'"');
+            return true;
+        }
+        // r"…" / r#"…"# / br"…" / br#"…"# raw (byte) strings.
+        let mut i = 0;
+        if rest.first() == Some(&b'b') {
+            i += 1;
+        }
+        if rest.get(i) != Some(&b'r') {
+            return false;
+        }
+        i += 1;
+        let mut hashes = 0usize;
+        while rest.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if rest.get(i) != Some(&b'"') {
+            return false; // r#ident raw identifier, or plain ident.
+        }
+        self.pos += i + 1;
+        // Scan to `"` followed by `hashes` hash marks. No escapes in raw
+        // strings — that is the whole point of raw strings.
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b == b'\n' {
+                self.line += 1;
+            }
+            if b == b'"' {
+                let after = &self.src[self.pos + 1..];
+                if after.len() >= hashes && after[..hashes].iter().all(|&c| c == b'#') {
+                    self.pos += 1 + hashes;
+                    return true;
+                }
+            }
+            self.pos += 1;
+        }
+        true // unterminated: consumed to EOF
+    }
+
+    /// Consumes a quoted body (past the opening quote) up to an unescaped
+    /// `close`, honouring `\` escapes and counting newlines.
+    fn string_body(&mut self, close: u8) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2.min(self.src.len() - self.pos),
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b == close => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// At a `'`: lifetime (`'a`, `'static`) or char literal (`'a'`,
+    /// `'\n'`)? A lifetime is `'` + ident-start not followed by a closing
+    /// quote right after one ident char — `'a'` is a char, `'ab` is a
+    /// lifetime (`'ab'` is not valid Rust; treat as lifetime + stray).
+    fn lifetime_not_char(&self) -> bool {
+        match self.peek(1) {
+            Some(c) if is_ident_start(c) => self.peek(2) != Some(b'\''),
+            _ => false,
+        }
+    }
+
+    /// Consumes a numeric literal: ints, floats, radix prefixes, `_`
+    /// separators, type suffixes, exponents. `1..2` stops before `..`.
+    fn number(&mut self) {
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // `1e-3` / `1E+3`: the sign belongs to the literal.
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && matches!(self.peek(2), Some(c) if c.is_ascii_digit())
+                {
+                    self.pos += 2;
+                }
+                self.pos += 1;
+            } else if b == b'.' && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn comments_hide_code_tokens() {
+        let src = "// unsafe unwrap()\n/* partial_cmp /* nested */ still comment */ fn ok() {}";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("nested"));
+        assert!(toks[1].1.ends_with("*/"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "partial_cmp"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r####"let x = r#"extern "C" unsafe"# ; let y = r"plain";"####;
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].1.contains("extern"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let q = '\\''; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(chars.len(), 3, "{toks:?}");
+    }
+
+    #[test]
+    fn byte_literals_and_raw_identifiers() {
+        let src = "m.insert(b'x', b\"bytes\"); let r#fn = br#\"raw \" bytes\"#; rustle(r, b);";
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3, "{strs:?}");
+        // `r#fn` lexes as punct-ish raw ident pieces or ident — what matters
+        // is that `rustle`, `r`, and `b` stay ordinary identifiers.
+        for w in ["rustle", "r", "b"] {
+            assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == w), "missing {w}");
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_or_method_dots() {
+        let src = "a[1..2]; 1.5e-3; 0x_ffu32; (7).pow(2); 1e9;";
+        let toks = kinds(src);
+        let nums: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Number).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(nums, vec!["1", "2", "1.5e-3", "0x_ffu32", "7", "2", "1e9"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/*\n\n*/\nb \"x\ny\" c";
+        let toks = tokenize(src);
+        let b = toks.iter().find(|t| t.is_ident(src, "b")).expect("b");
+        assert_eq!(b.line, 5);
+        let c = toks.iter().find(|t| t.is_ident(src, "c")).expect("c");
+        assert_eq!(c.line, 6);
+        let block = toks.iter().find(|t| t.kind == TokenKind::BlockComment).expect("block");
+        assert_eq!((block.line, block.end_line), (2, 4));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in ["\"unterminated", "/* open", "r#\"open", "'", "b'", "\\", "€𝄞'a"] {
+            let _ = tokenize(src);
+        }
+    }
+}

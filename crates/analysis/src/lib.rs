@@ -1,0 +1,27 @@
+//! `explain3d-analysis`: in-tree static analysis for the Explain3D
+//! workspace.
+//!
+//! The workspace has accumulated invariants that rustc and clippy cannot
+//! express — "decoding arbitrary bytes never panics in these four files",
+//! "every `unsafe` carries a written soundness argument", "the registry's
+//! locks nest in one global order". This crate pins them: a hand-written
+//! Rust lexer (no external parser — the tool is std-only and offline)
+//! feeds a small rule engine, and `cargo run -p explain3d-analysis --
+//! --workspace` fails CI when any rule fires without a reasoned waiver.
+//!
+//! The pieces:
+//! - [`lexer`] — a real tokenizer (nested block comments, raw strings,
+//!   byte/char literals, lifetimes) so string literals and comments can
+//!   never false-positive a rule;
+//! - [`engine`] — per-file context, the `// lint:allow(rule): reason`
+//!   waiver grammar, `#[cfg(test)]` region tracking, the workspace walk;
+//! - [`rules`] — the rule catalog (R1–R5);
+//! - [`lock_order`] — the rank-discipline checker for the session
+//!   registry's lock family.
+
+pub mod engine;
+pub mod lexer;
+pub mod lock_order;
+pub mod rules;
+
+pub use engine::{lint_source, lint_workspace, Finding};

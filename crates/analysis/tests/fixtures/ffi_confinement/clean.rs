@@ -1,0 +1,6 @@
+//! Fixture: no FFI; a comment or string mentioning extern "C" must not
+//! fire ("extern \"C\" lives in poller.rs").
+
+pub fn pid() -> u32 {
+    std::process::id()
+}

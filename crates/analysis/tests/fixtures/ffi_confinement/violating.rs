@@ -1,0 +1,10 @@
+//! Fixture: raw FFI declared outside the designated modules.
+
+extern "C" {
+    fn getpid() -> i32;
+}
+
+pub fn pid() -> i32 {
+    // SAFETY: getpid takes no arguments and cannot fail.
+    unsafe { getpid() }
+}

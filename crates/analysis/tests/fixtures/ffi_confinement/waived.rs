@@ -1,0 +1,12 @@
+//! Fixture: an FFI declaration outside the allow-list, waived with a
+//! reason.
+
+// lint:allow(ffi-confinement): fixture — demonstrates the waiver path for a one-off binding.
+extern "C" {
+    fn getpid() -> i32;
+}
+
+pub fn pid() -> i32 {
+    // SAFETY: getpid takes no arguments and cannot fail.
+    unsafe { getpid() }
+}

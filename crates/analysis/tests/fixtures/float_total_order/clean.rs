@@ -1,0 +1,10 @@
+//! Fixture: the blessed float ordering. A `partial_cmp` inside a string
+//! or comment must not fire either: "x.partial_cmp(y)" stays invisible.
+
+pub fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn describe() -> &'static str {
+    "uses total_cmp, never partial_cmp"
+}

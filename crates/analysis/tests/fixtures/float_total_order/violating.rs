@@ -1,0 +1,6 @@
+//! Fixture: a float ordering through `partial_cmp` — nondeterministic
+//! under NaN, exactly what the PR-4 sweep removed.
+
+pub fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,6 @@
+//! Fixture: a `partial_cmp` site waived with a semantic reason.
+
+pub fn sql_compare(x: f64, y: f64) -> Option<std::cmp::Ordering> {
+    // lint:allow(float-total-order): SQL semantics — NaN must compare UNKNOWN (None), which is the partial ordering.
+    x.partial_cmp(&y)
+}

@@ -1,0 +1,15 @@
+//! Fixture: a deliberate rank inversion silenced by a reasoned waiver.
+
+use std::sync::Mutex;
+
+pub struct Slot {
+    pub state: Mutex<u32>,
+    pub pending: Mutex<Vec<u32>>,
+}
+
+pub fn drain_wrong_way(slot: &Slot) {
+    let pending = slot.pending.lock().unwrap();
+    // lint:allow(lock-order): fixture — documents the waiver path for a single-threaded teardown phase.
+    let state = slot.state.lock().unwrap();
+    let _ = (pending, state);
+}

@@ -1,0 +1,26 @@
+//! Fixture: the same decode written panic-free — typed errors for every
+//! malformed input. Mentions of unwrap() in strings ("never unwrap()")
+//! and comments must not fire. Unit tests may panic freely.
+
+pub fn decode(buf: &[u8]) -> Result<u32, String> {
+    let first = buf.first().ok_or("empty frame")?;
+    let last = buf.last().ok_or("empty frame")?;
+    let mid = buf.get(1).ok_or("need at least two bytes")?;
+    if *first == 0xFF {
+        return Err("reserved frame marker".to_string()); // never panic!()
+    }
+    Ok(u32::from(*first) + u32::from(*last) + u32::from(*mid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        // Test context is exempt: unwrap/indexing are fine here.
+        assert_eq!(decode(&[1, 2]).unwrap(), 1 + 2 + 2);
+        let buf = [3u8, 4];
+        assert_eq!(buf[0], 3);
+    }
+}

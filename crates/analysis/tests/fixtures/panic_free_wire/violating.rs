@@ -1,0 +1,13 @@
+//! Fixture: every banned panic path on the wire edge — `.unwrap()`,
+//! `.expect()`, `panic!`, and slice indexing. Linted under a virtual
+//! wire-edge path.
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let first = buf[0];
+    let last = buf.last().unwrap();
+    let mid = buf.get(1).expect("at least two bytes");
+    if first == 0xFF {
+        panic!("reserved frame marker");
+    }
+    u32::from(first) + u32::from(*last) + u32::from(*mid)
+}

@@ -1,0 +1,13 @@
+//! Fixture: wire-edge panics silenced by reasoned waivers — e.g. indexes
+//! whose bounds are proven by a mask or a checked length.
+
+const TABLE: [u32; 256] = [0; 256];
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    for &b in buf {
+        // lint:allow(panic-free-wire): index masked to 8 bits against a 256-entry table — always in range.
+        acc ^= TABLE[(b & 0xFF) as usize];
+    }
+    acc
+}

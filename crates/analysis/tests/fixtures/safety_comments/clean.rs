@@ -1,0 +1,17 @@
+//! Fixture: every `unsafe` carries a `SAFETY:` comment (same line or in
+//! the comment block directly above, attributes allowed in between).
+
+pub fn first_byte(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` points to at least one readable byte.
+    unsafe { *p }
+}
+
+// SAFETY: caller contract — `p` points to at least two readable bytes.
+#[inline]
+pub unsafe fn second_byte(p: *const u8) -> u8 {
+    *p.add(1)
+}
+
+pub fn third(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: trailing-style justification also counts.
+}

@@ -1,0 +1,9 @@
+//! Fixture: an `unsafe` block with no `SAFETY:` justification.
+
+pub fn first_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub unsafe fn second_byte(p: *const u8) -> u8 {
+    *p.add(1)
+}

@@ -1,0 +1,6 @@
+//! Fixture: an un-annotated `unsafe` silenced by a reasoned waiver.
+
+pub fn first_byte(p: *const u8) -> u8 {
+    // lint:allow(safety-comments): fixture — the soundness argument lives in the harness docs.
+    unsafe { *p }
+}

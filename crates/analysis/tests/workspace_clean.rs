@@ -1,0 +1,21 @@
+//! The meta-test: the live workspace itself is lint-clean. This is the
+//! same check CI's `lint` job runs via the binary; having it in `cargo
+//! test` means a finding cannot land even when someone skips the lint
+//! lane locally.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the workspace root");
+    assert!(root.join("Cargo.toml").exists(), "workspace root not found at {root:?}");
+    let findings = explain3d_analysis::lint_workspace(root).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay lint-clean; fix or waive (with a reason):\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -153,7 +153,17 @@ fn raise_fd_limit(desired: u64) -> u64 {
         fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
         fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
     }
+    // 7 on Linux; the BSD lineage (macOS included) uses 8. Getting this
+    // wrong on a platform would silently adjust the wrong resource limit.
+    #[cfg(target_os = "linux")]
     const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
+    // SAFETY: `lim`/`want`/`within_hard` are live repr(C) structs matching
+    // the kernel's rlimit layout (two u64s on LP64 unix), so getrlimit
+    // writes and setrlimit reads stay in bounds. Every call's -1 failure
+    // return is checked; nothing here can fault on bad input, only report
+    // an unchanged limit.
     unsafe {
         let mut lim = RLimit { cur: 0, max: 0 };
         if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {

@@ -55,6 +55,9 @@ const fn build_crc_table() -> [u32; 256] {
             crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             bit += 1;
         }
+        // lint:allow(panic-free-wire): const-evaluated — `i < 256` is the
+        // loop bound, and an out-of-range index here would be a compile
+        // error, not a runtime panic on attacker bytes.
         table[i] = crc;
         i += 1;
     }
@@ -65,6 +68,8 @@ const fn build_crc_table() -> [u32; 256] {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // lint:allow(panic-free-wire): the index is masked to 8 bits against
+        // a 256-entry table — in range for every input byte.
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
@@ -187,12 +192,14 @@ impl<'a> Dec<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(CodecError::Truncated);
-        }
-        let slice = &self.buf[self.pos..end];
+        let slice = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
         self.pos = end;
         Ok(slice)
+    }
+
+    /// [`take`](Dec::take) with a compile-time length, as an array.
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        self.take(N)?.try_into().map_err(|_| CodecError::Truncated)
     }
 
     /// Reads one byte.
@@ -202,12 +209,12 @@ impl<'a> Dec<'a> {
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(self.take_n()?))
     }
 
     /// Reads a little-endian u64.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes(self.take_n()?))
     }
 
     /// Reads a u64 narrowed to usize.
@@ -217,7 +224,7 @@ impl<'a> Dec<'a> {
 
     /// Reads a little-endian i64.
     pub fn i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+        Ok(i64::from_le_bytes(self.take_n()?))
     }
 
     /// Reads an f64 from its bit pattern.

@@ -133,6 +133,9 @@ impl Ord for Candidate {
 }
 
 impl PartialOrd for Candidate {
+    // lint:allow(float-total-order): mandatory trait method; it delegates to
+    // the total `Ord` above (similarity via `total_cmp`), so no NaN
+    // partiality can leak through.
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }

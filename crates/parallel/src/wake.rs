@@ -55,6 +55,10 @@ mod sys {
 
     /// Best-effort `O_NONBLOCK`; reports whether the flag is now set.
     pub fn set_nonblocking(fd: i32) -> bool {
+        // SAFETY: fcntl with F_GETFL/F_SETFL takes integer arguments only —
+        // no pointers, so no memory contract to uphold. Both calls report
+        // failure as -1 with errno; F_GETFL's result is checked before it is
+        // fed to F_SETFL, and an invalid `fd` degrades to `false`, never UB.
         unsafe {
             let flags = fcntl(fd, F_GETFL, 0);
             if flags < 0 {
@@ -80,6 +84,9 @@ impl WakeSignal {
     #[cfg(unix)]
     pub fn new() -> io::Result<WakeSignal> {
         let mut fds = [-1i32; 2];
+        // SAFETY: pipe(2) writes exactly two i32s into the pointed-to array
+        // and `fds` is a live [i32; 2] on this stack frame. On failure (!= 0)
+        // the array is untouched and we bail before reading it.
         if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
             return Err(io::Error::last_os_error());
         }
@@ -111,6 +118,11 @@ impl WakeSignal {
             // is full — a wakeup is already guaranteed, mission
             // accomplished. Anything else (e.g. the read end closed during
             // shutdown) just drops the wakeup.
+            // SAFETY: `byte` is a live 1-byte buffer and the count is 1, so
+            // write(2) reads exactly one valid byte. `write_fd` stays open
+            // for the life of `self` (closed only in Drop, which cannot run
+            // concurrently with this `&self` call). All error returns are
+            // handled via errno below.
             while unsafe { sys::write(self.write_fd, byte.as_ptr(), 1) } < 0 {
                 if io::Error::last_os_error().kind() != io::ErrorKind::Interrupted || spins > 64 {
                     break;
@@ -131,6 +143,10 @@ impl WakeSignal {
             let mut total = 0usize;
             let mut buf = [0u8; 4096];
             loop {
+                // SAFETY: `buf` is a live 4096-byte stack buffer and the
+                // count passed is exactly its length, so read(2) writes only
+                // within bounds; u8 has no invalid bit patterns. `read_fd`
+                // stays open for the life of `self`. -1/errno handled below.
                 let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
                 if n > 0 {
                     total += n as usize;
@@ -156,6 +172,10 @@ impl WakeSignal {
 impl Drop for WakeSignal {
     fn drop(&mut self) {
         #[cfg(unix)]
+        // SAFETY: both fds came from pipe(2) in `new`, are owned exclusively
+        // by this WakeSignal, and are closed exactly once (here). close(2)
+        // takes an integer — no pointer contract; failure is ignorable since
+        // the fd is gone either way and Drop cannot report it.
         unsafe {
             sys::close(self.read_fd);
             sys::close(self.write_fd);

@@ -144,6 +144,9 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             (a, b) => {
                 let (x, y) = (a.as_f64()?, b.as_f64()?);
+                // lint:allow(float-total-order): SQL comparison semantics — a
+                // NaN operand must yield None (UNKNOWN), exactly the partial
+                // ordering; deterministic sorting uses `total_cmp` below.
                 x.partial_cmp(&y)
             }
         }

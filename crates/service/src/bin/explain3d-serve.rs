@@ -83,9 +83,26 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
-    unsafe {
-        signal(SIGTERM, request_stop as *const () as usize);
-        signal(SIGINT, request_stop as *const () as usize);
+    /// `SIG_ERR` — `signal(2)` returns the previous handler, or this on
+    /// failure (cast of -1; `usize` here because the binding erases the
+    /// handler-pointer type).
+    const SIG_ERR: usize = usize::MAX;
+    // SAFETY: `request_stop` is an `extern "C" fn(i32)` whose body is a
+    // single relaxed atomic store — async-signal-safe, no allocation, no
+    // locks. The fn pointer outlives the process (it is a static item), so
+    // the kernel never invokes a dangling handler. signal(2) itself takes
+    // integers only; its failure return is checked below.
+    let (term, int) = unsafe {
+        (
+            signal(SIGTERM, request_stop as *const () as usize),
+            signal(SIGINT, request_stop as *const () as usize),
+        )
+    };
+    if term == SIG_ERR || int == SIG_ERR {
+        // Degraded but not fatal: the server still works, it just won't
+        // drain gracefully on signals. Say so instead of silently losing
+        // the guarantee.
+        eprintln!("explain3d-serve: warning: failed to install signal handlers; graceful drain on SIGTERM/SIGINT is disabled");
     }
 }
 

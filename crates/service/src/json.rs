@@ -333,7 +333,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -360,7 +360,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        if self.bytes.get(self.pos..).is_some_and(|rest| rest.starts_with(lit.as_bytes())) {
             self.pos += lit.len();
             Ok(value)
         } else {
@@ -369,7 +369,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -380,7 +380,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             entries.push((key, value));
@@ -397,7 +397,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -420,7 +420,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -446,7 +446,11 @@ impl<'a> Parser<'a> {
                             // Surrogate pairs: a high surrogate must be
                             // followed by an escaped low surrogate.
                             let c = if (0xD800..0xDC00).contains(&unit) {
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                let next_is_escape = self
+                                    .bytes
+                                    .get(self.pos..)
+                                    .is_some_and(|rest| rest.starts_with(b"\\u"));
+                                if next_is_escape {
                                     self.pos += 2;
                                     let low = self.hex4()?;
                                     if !(0xDC00..0xE000).contains(&low) {
@@ -476,13 +480,13 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
-                Some(_) => {
+                Some(b) => {
                     // Consume one UTF-8 scalar (input is &str, so slicing
                     // on a char boundary is guaranteed to exist).
-                    let rest = &self.bytes[self.pos..];
-                    let len = utf8_len(rest[0]);
-                    let chunk = rest
-                        .get(..len)
+                    let len = utf8_len(b);
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
                         .and_then(|c| std::str::from_utf8(c).ok())
                         .ok_or_else(|| self.err("invalid utf-8"))?;
                     out.push_str(chunk);
@@ -520,8 +524,11 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|t| std::str::from_utf8(t).ok())
+            .ok_or_else(|| self.err("invalid number"))?;
         if integral {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Int(i));

@@ -157,6 +157,9 @@ impl Poller {
             #[cfg(target_os = "linux")]
             Backend::Epoll => {
                 // EPOLL_CLOEXEC: the serve binary may fork (tests spawn it).
+                // SAFETY: epoll_create1 takes no pointers; the flag value is
+                // EPOLL_CLOEXEC per <sys/epoll.h>. A failure returns -1 with
+                // errno set, which is checked immediately below.
                 let epfd = unsafe { epoll_sys::epoll_create1(0o2000000) };
                 if epfd < 0 {
                     return Err(io::Error::last_os_error());
@@ -212,6 +215,11 @@ impl Poller {
             #[cfg(target_os = "linux")]
             Inner::Epoll { epfd, registered, .. } => {
                 let mut ev = epoll_sys::EpollEvent { events: epoll_events(interest), data: token };
+                // SAFETY: `ev` is a live, properly aligned EpollEvent for the
+                // duration of the call; the kernel reads it before returning
+                // and keeps no reference. `epfd` is the fd we created in
+                // `new` and have not closed (Drop is the only close). A bad
+                // `fd` yields -1/EBADF, checked below — never UB.
                 if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_ADD, fd, &mut ev) } < 0
                 {
                     return Err(io::Error::last_os_error());
@@ -235,6 +243,10 @@ impl Poller {
             #[cfg(target_os = "linux")]
             Inner::Epoll { epfd, .. } => {
                 let mut ev = epoll_sys::EpollEvent { events: epoll_events(interest), data: token };
+                // SAFETY: same contract as the ADD call in `register` — `ev`
+                // outlives the call, `epfd` is our open epoll fd, and an
+                // unregistered/closed `fd` reports ENOENT/EBADF via -1,
+                // checked below.
                 if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_MOD, fd, &mut ev) } < 0
                 {
                     return Err(io::Error::last_os_error());
@@ -262,6 +274,11 @@ impl Poller {
             #[cfg(target_os = "linux")]
             Inner::Epoll { epfd, registered, .. } => {
                 let mut ev = epoll_sys::EpollEvent { events: 0, data: 0 };
+                // SAFETY: DEL ignores the event payload on modern kernels but
+                // pre-2.6.9 ones dereference it, so a live `ev` is passed
+                // anyway. `epfd` is our open epoll fd; failure (-1) just
+                // means `fd` was never registered and is deliberately
+                // ignored apart from the `registered` count.
                 if unsafe { epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_DEL, fd, &mut ev) }
                     == 0
                 {
@@ -287,6 +304,11 @@ impl Poller {
         match &mut self.inner {
             #[cfg(target_os = "linux")]
             Inner::Epoll { epfd, buf, .. } => {
+                // SAFETY: `buf` is a live Vec of `buf.len()` initialized
+                // EpollEvent structs and `maxevents` is exactly that length,
+                // so the kernel writes only within the allocation. EpollEvent
+                // is plain-old-data; any bit pattern the kernel writes is a
+                // valid value. Errors return -1 with errno, checked below.
                 let n = unsafe {
                     epoll_sys::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
                 };
@@ -311,6 +333,10 @@ impl Poller {
             }
             #[cfg(unix)]
             Inner::Poll { fds, tokens } => {
+                // SAFETY: `fds` is a live Vec of `fds.len()` PollFd structs
+                // (repr(C) plain-old-data); poll(2) writes only the `revents`
+                // field of those same entries. nfds is the exact length, so
+                // no out-of-bounds access. Errors return -1, checked below.
                 let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
                 if n < 0 {
                     let err = io::Error::last_os_error();
@@ -341,6 +367,10 @@ impl Drop for Poller {
     fn drop(&mut self) {
         #[cfg(target_os = "linux")]
         if let Inner::Epoll { epfd, .. } = &self.inner {
+            // SAFETY: `epfd` was returned by epoll_create1 in `new`, is owned
+            // exclusively by this Poller, and is closed exactly once (here).
+            // close(2) cannot fault on an integer fd; a failure return is
+            // ignorable because the fd is unusable afterwards either way.
             unsafe { sys::close(*epfd) };
         }
     }

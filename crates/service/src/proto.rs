@@ -63,12 +63,16 @@ pub enum Parse {
     Invalid(ServiceError),
 }
 
-/// Scans for the next line end. Returns `(content_end, next_start)` —
+/// Scans for the next line end. Returns `(content, next_start)` — the
 /// content excludes the `\n` and an optional preceding `\r`.
-fn find_line(buf: &[u8], start: usize) -> Option<(usize, usize)> {
-    let nl = buf[start..].iter().position(|&b| b == b'\n')? + start;
-    let content_end = if nl > start && buf[nl - 1] == b'\r' { nl - 1 } else { nl };
-    Some((content_end, nl + 1))
+fn find_line(buf: &[u8], start: usize) -> Option<(&[u8], usize)> {
+    let rest = buf.get(start..)?;
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let content = match rest.get(..nl)? {
+        [head @ .., b'\r'] => head,
+        content => content,
+    };
+    Some((content, start + nl + 1))
 }
 
 /// Attempts to parse one request from `buf`; see the module docs.
@@ -76,7 +80,7 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
     let mut cursor = 0usize;
 
     // Request line.
-    let Some((line_end, after_line)) = find_line(buf, cursor) else {
+    let Some((line, after_line)) = find_line(buf, cursor) else {
         // No terminator yet: the content so far is at least `len - 1`
         // bytes (the last byte could still turn out to be a `\r`).
         if buf.len() - cursor > MAX_LINE_BYTES + 1 {
@@ -84,10 +88,10 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
         }
         return Parse::NeedMore;
     };
-    if line_end - cursor > MAX_LINE_BYTES {
+    if line.len() > MAX_LINE_BYTES {
         return Parse::Invalid(ServiceError::TooLarge("request line".into()));
     }
-    let Ok(request_line) = std::str::from_utf8(&buf[cursor..line_end]) else {
+    let Ok(request_line) = std::str::from_utf8(line) else {
         return Parse::Invalid(ServiceError::BadRequest("request line is not UTF-8".into()));
     };
     let mut parts = request_line.split_whitespace();
@@ -106,16 +110,16 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
     let mut content_length = 0usize;
     let mut headers_seen = 0usize;
     let body_start = loop {
-        let Some((line_end, after_line)) = find_line(buf, cursor) else {
+        let Some((line, after_line)) = find_line(buf, cursor) else {
             if buf.len() - cursor > MAX_LINE_BYTES + 1 {
                 return Parse::Invalid(ServiceError::TooLarge("header line".into()));
             }
             return Parse::NeedMore;
         };
-        if line_end - cursor > MAX_LINE_BYTES {
+        if line.len() > MAX_LINE_BYTES {
             return Parse::Invalid(ServiceError::TooLarge("header line".into()));
         }
-        if line_end == cursor {
+        if line.is_empty() {
             break after_line; // blank line: end of head
         }
         headers_seen += 1;
@@ -124,7 +128,7 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
                 "more than {MAX_HEADERS} headers"
             )));
         }
-        let Ok(header) = std::str::from_utf8(&buf[cursor..line_end]) else {
+        let Ok(header) = std::str::from_utf8(line) else {
             return Parse::Invalid(ServiceError::BadRequest("header is not UTF-8".into()));
         };
         let Some((name, value)) = header.split_once(':') else {
@@ -162,10 +166,10 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
 
     // Body.
     let body_end = body_start + content_length;
-    if buf.len() < body_end {
+    let Some(raw_body) = buf.get(body_start..body_end) else {
         return Parse::NeedMore;
-    }
-    let Ok(body) = std::str::from_utf8(&buf[body_start..body_end]) else {
+    };
+    let Ok(body) = std::str::from_utf8(raw_body) else {
         return Parse::Invalid(ServiceError::BadRequest("body is not UTF-8".into()));
     };
     Parse::Complete {
@@ -184,9 +188,9 @@ pub fn percent_decode(segment: &str) -> Result<String, ServiceError> {
     let bytes = segment.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] != b'%' {
-            out.push(bytes[i]);
+    while let Some(&b) = bytes.get(i) {
+        if b != b'%' {
+            out.push(b);
             i += 1;
             continue;
         }

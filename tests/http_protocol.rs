@@ -197,6 +197,12 @@ fn connect_sipping_client(addr: SocketAddr) -> TcpStream {
     const SOL_SOCKET: i32 = 1;
     const SO_RCVBUF: i32 = 8;
     let SocketAddr::V4(v4) = addr else { panic!("ephemeral bind yields v4") };
+    // SAFETY: the setsockopt pointers reference live i32s with len 4 (their
+    // exact size); `sa` is a 16-byte buffer matching sockaddr_in's layout and
+    // connect(2) reads exactly the 16 bytes passed as len. Every syscall's
+    // failure return is asserted. `from_raw_fd` takes ownership of an fd
+    // that is ours alone (just created, never duplicated), so the TcpStream
+    // is the sole closer.
     unsafe {
         let fd = socket(AF_INET, SOCK_STREAM, IPPROTO_TCP);
         assert!(fd >= 0, "socket(2)");
