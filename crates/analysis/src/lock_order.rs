@@ -64,6 +64,26 @@ fn family_name(rank: u8) -> &'static str {
     FAMILY.iter().find(|(r, _)| *r == rank).map(|(_, n)| *n).unwrap_or("?")
 }
 
+/// Metric-sink methods `telemetry-no-lock` flags: each records into a
+/// shared histogram or counter (an atomic RMW another core may contend
+/// on) and has no business running inside a ranked critical section.
+const SINKS: &[&str] = &["observe", "inc", "inc_by"];
+
+/// Lowest-ranked guard under which metric recording is refused. Ranks 0–1
+/// (the recovery table and gate) are cold paths held across whole
+/// recoveries; 2+ (slot-state, index-stripe, slot-pending) are the hot
+/// request-path locks the telemetry discipline protects.
+const SINK_MIN_RANK: u8 = 2;
+
+/// What a body scan looks for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// R5: blocking acquisitions must ascend in rank.
+    Order,
+    /// R6: no metric sink while a hot-path guard is held.
+    TelemetrySinks,
+}
+
 /// One recognized acquisition.
 struct Acquisition {
     rank: u8,
@@ -114,7 +134,30 @@ pub fn check(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     }
     // Pass B: scope-tracked scan of each body.
     for (name, range) in &bodies {
-        scan_body(ctx, &sig, name, *range, &acquired_by_fn, out);
+        scan_body(ctx, &sig, name, *range, &acquired_by_fn, Mode::Order, out);
+    }
+}
+
+/// R6 `telemetry-no-lock`: the instrumentation discipline of the
+/// observability layer, made permanent. Timings are *captured* under a
+/// lock as plain integers and *recorded* (`.observe(…)`, `.inc(…)`,
+/// `.inc_by(…)`) only after the guard is gone — shipping them out through
+/// `RunTimings` / local `Option`s where needed. A sink call while a
+/// slot-state, index-stripe, or slot-pending guard is held stretches the
+/// critical section by a shared-atomic RMW (and whatever the metrics
+/// library does next), which is exactly the per-session serialization
+/// the service's tail latency hangs on. Uses the same scope machine (and
+/// the same approximations) as `lock-order`.
+pub fn check_telemetry(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !ctx.path_str().ends_with(TARGET) {
+        return;
+    }
+    let sig: Vec<usize> =
+        (0..ctx.tokens.len()).filter(|&i| !ctx.tokens[i].is_comment() && !ctx.is_test(i)).collect();
+    let bodies = find_fn_bodies(ctx, &sig);
+    let no_inlining = HashMap::new();
+    for (name, range) in &bodies {
+        scan_body(ctx, &sig, name, *range, &no_inlining, Mode::TelemetrySinks, out);
     }
 }
 
@@ -243,6 +286,7 @@ fn scan_body(
     fn_name: &str,
     (start, end): (usize, usize),
     acquired_by_fn: &HashMap<String, Vec<(u8, u32)>>,
+    mode: Mode,
     out: &mut Vec<Finding>,
 ) {
     let tok = |i: usize| -> &Token { &ctx.tokens[sig[i]] };
@@ -317,9 +361,35 @@ fn scan_body(
             }
             _ => {}
         }
+        // Metric sink while a hot-path guard is held? (`X.observe(` /
+        // `X.inc(` / `X.inc_by(` — receiver irrelevant, the method names
+        // are reserved for metric handles in this file.)
+        if mode == Mode::TelemetrySinks
+            && t.kind == TokenKind::Ident
+            && SINKS.contains(&t.text(ctx.src))
+            && k > start
+            && tok(k - 1).is_punct('.')
+            && tok_is(ctx, sig, k + 1, '(')
+        {
+            if let Some(h) = held.iter().find(|h| h.rank >= SINK_MIN_RANK) {
+                ctx.report(
+                    out,
+                    "telemetry-no-lock",
+                    t.line,
+                    format!(
+                        "in `{fn_name}`: metric sink `.{}(` while holding {} (rank {}, line \
+                         {}) — capture the value under the lock, record it after release",
+                        t.text(ctx.src),
+                        family_name(h.rank),
+                        h.rank,
+                        h.line,
+                    ),
+                );
+            }
+        }
         // Acquisition?
         if let Some(acq) = classify(ctx, &sig[..end], k) {
-            if acq.blocking {
+            if mode == Mode::Order && acq.blocking {
                 for h in &held {
                     if h.rank >= acq.rank {
                         ctx.report(
@@ -351,7 +421,7 @@ fn scan_body(
             continue;
         }
         // One-level call inlining: free or `self.` call of a same-file fn.
-        if t.kind == TokenKind::Ident && tok_is(ctx, sig, k + 1, '(') {
+        if mode == Mode::Order && t.kind == TokenKind::Ident && tok_is(ctx, sig, k + 1, '(') {
             let word = t.text(ctx.src);
             if !held.is_empty() && !preceded_by_path_sep(ctx, sig, k) && word != "drop" {
                 if let Some(callee_ranks) = acquired_by_fn.get(word) {

@@ -44,6 +44,11 @@ pub const ALL: &[Rule] = &[
         summary: "the registry's lock family is acquired in declared rank order",
         check: lock_order::check,
     },
+    Rule {
+        id: "telemetry-no-lock",
+        summary: "no metric recording (`.observe`/`.inc`/`.inc_by`) under a hot-path registry lock",
+        check: lock_order::check_telemetry,
+    },
 ];
 
 /// Rust keywords — used to tell `value[i]` (indexing) from `if [a] = …`

@@ -1,0 +1,35 @@
+//! Fixture: the sanctioned instrumentation shapes — capture plain
+//! integers under the lock, record them after the guard is released
+//! (explicit `drop`, or the guard's block closing).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Histogram(AtomicU64);
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+pub struct Slot {
+    pub state: Mutex<u64>,
+}
+
+/// Capture under the lock, `drop`, then record.
+pub fn observe_after_drop(slot: &Slot, run_us: &Histogram) {
+    let state = slot.state.lock().unwrap();
+    let elapsed = *state;
+    drop(state);
+    run_us.observe(elapsed);
+}
+
+/// The guard dies with its block; the sink runs lock-free.
+pub fn observe_after_block(slot: &Slot, run_us: &Histogram) {
+    let elapsed = {
+        let state = slot.state.lock().unwrap();
+        *state
+    };
+    run_us.observe(elapsed);
+}

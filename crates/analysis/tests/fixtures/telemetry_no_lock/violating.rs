@@ -1,0 +1,39 @@
+//! Fixture: metric sinks recorded while hot-path registry guards are
+//! live — the critical-section stretch `telemetry-no-lock` exists to
+//! refuse. Linted under a virtual registry.rs path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Histogram(AtomicU64);
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub struct Slot {
+    pub state: Mutex<u64>,
+}
+
+/// Observes a histogram while the slot-state guard is still held.
+pub fn observe_under_state(slot: &Slot, run_us: &Histogram) {
+    let state = slot.state.lock().unwrap();
+    run_us.observe(*state);
+}
+
+/// Bumps a counter inside the same critical section.
+pub fn inc_under_state(slot: &Slot, runs: &Counter) {
+    let state = slot.state.lock().unwrap();
+    runs.inc();
+    let _ = state;
+}

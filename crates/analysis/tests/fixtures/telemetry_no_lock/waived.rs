@@ -1,0 +1,23 @@
+//! Fixture: a deliberate under-lock sink silenced by a reasoned waiver.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub struct Slot {
+    pub state: Mutex<u64>,
+}
+
+pub fn inc_under_state(slot: &Slot, runs: &Counter) {
+    let state = slot.state.lock().unwrap();
+    // lint:allow(telemetry-no-lock): fixture — single-threaded teardown accounting, no concurrent observer.
+    runs.inc();
+    let _ = state;
+}

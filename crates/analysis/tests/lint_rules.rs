@@ -88,6 +88,21 @@ fn lock_order_reports_the_inlined_call_site() {
 }
 
 #[test]
+fn telemetry_no_lock_triple() {
+    // Two sinks under a live slot-state guard: an `.observe(` and an `.inc(`.
+    assert_triple("telemetry-no-lock", "telemetry_no_lock", "crates/service/src/registry.rs", 2);
+}
+
+#[test]
+fn telemetry_no_lock_only_guards_the_registry() {
+    // The identical source anywhere else is out of scope: only the
+    // registry file owns the ranked lock family.
+    let findings =
+        lint_fixture("telemetry_no_lock", "violating", "crates/service/src/telemetry.rs");
+    assert!(findings.is_empty(), "non-registry path must be exempt, got {findings:#?}");
+}
+
+#[test]
 fn waiver_without_reason_is_a_finding() {
     let src = "// lint:allow(float-total-order)\npub fn f() {}\n";
     let findings = lint_source(Path::new("crates/example/src/lib.rs"), src);

@@ -190,6 +190,22 @@ fn raise_fd_limit(_desired: u64) -> u64 {
     1024
 }
 
+/// Fetches `path` with a one-shot raw HTTP request and returns the body —
+/// the JSON [`Client`] cannot carry the text `/metrics` exposition.
+fn fetch_text(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("metrics connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("metrics timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n")
+        .expect("metrics request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("metrics response");
+    let text = String::from_utf8(raw).expect("metrics is utf-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("metrics response has headers");
+    assert!(head.starts_with("HTTP/1.1 200"), "metrics scrape failed: {head}");
+    body.to_string()
+}
+
 /// Writes `request` on the keep-alive `stream` and reads exactly one
 /// HTTP response (headers + `Content-Length` body), returning the status.
 fn scale_round_trip(stream: &mut std::net::TcpStream, request: &[u8]) -> std::io::Result<u16> {
@@ -714,6 +730,91 @@ fn main() {
         service_stats.deltas_applied, service_stats.coalesced_deltas, service_errors,
     );
 
+    // --- Telemetry: the observability layer's cost and its scrape surface
+    // under live traffic. Two identical closed-loop runs — telemetry off,
+    // then armed — measure the throughput price of full instrumentation
+    // (per-request trace spans, histograms, the trace ring); the armed run
+    // is then scraped and the exposition sanity-checked: unique series,
+    // declared route counters, and a request count covering the driven
+    // traffic. The off run doubles as CI's regression baseline for the
+    // "zero overhead when disabled" claim.
+    const TEL_CLIENTS: usize = 4;
+    const TEL_REQS: usize = 150;
+    let telemetry_run = |armed: bool| -> (f64, Option<String>) {
+        let mut config = explain3d::service::ServerConfig {
+            threads: 4,
+            queue_capacity: 128,
+            ..Default::default()
+        };
+        if armed {
+            config.service.telemetry = Some(std::sync::Arc::new(
+                explain3d::service::Telemetry::new(explain3d::service::TelemetryConfig::default())
+                    .expect("telemetry arms without a slow log"),
+            ));
+        }
+        let server = explain3d::service::Server::bind(config).expect("bind telemetry lane");
+        let addr = server.local_addr();
+        let handle = server.spawn();
+        {
+            let mut setup = Client::connect(addr).expect("telemetry setup connect");
+            let (status, body) =
+                setup.request("POST", "/sessions/tel", &session_body(9)).expect("telemetry create");
+            assert_eq!(status, 200, "telemetry create failed: {body}");
+            let (status, body) =
+                setup.request("POST", "/sessions/tel/explain", "").expect("telemetry explain");
+            assert_eq!(status, 200, "telemetry explain failed: {body}");
+        }
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..TEL_CLIENTS {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("telemetry client connect");
+                    for step in 0..TEL_REQS {
+                        let (method, path, body) = if step % 5 == 0 {
+                            (
+                                "POST",
+                                "/sessions/tel/delta",
+                                format!(
+                                    "{{\"ops\": [{{\"op\": \"insert\", \"side\": \"left\", \
+                                     \"tuple\": {{\"values\": [\"t{c}x{step}\"]}}}}]}}"
+                                ),
+                            )
+                        } else {
+                            ("GET", "/sessions/tel/report", String::new())
+                        };
+                        let (status, _) =
+                            client.request(method, path, &body).expect("telemetry request");
+                        assert_eq!(status, 200, "telemetry lane request failed");
+                    }
+                });
+            }
+        });
+        let rps = (TEL_CLIENTS * TEL_REQS) as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+        let scrape = armed.then(|| fetch_text(addr, "/metrics"));
+        handle.shutdown();
+        (rps, scrape)
+    };
+    let (tel_off_rps, _) = telemetry_run(false);
+    let (tel_on_rps, tel_scrape) = telemetry_run(true);
+    let tel_scrape = tel_scrape.expect("the armed run scrapes /metrics");
+    let mut tel_seen = std::collections::HashSet::new();
+    let mut tel_series = 0usize;
+    let mut tel_scrape_ok = tel_scrape.contains("# TYPE e3d_http_requests_total counter")
+        && tel_scrape.contains("# TYPE e3d_request_us histogram")
+        && tel_scrape.contains("e3d_http_requests_total{route=\"delta\"}")
+        && tel_scrape.contains("e3d_http_requests_total{route=\"report\"}");
+    for line in tel_scrape.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        tel_series += 1;
+        let key = line.rsplit_once(' ').map(|(k, _)| k).unwrap_or(line);
+        tel_scrape_ok &= tel_seen.insert(key.to_string());
+    }
+    let tel_overhead_pct = (tel_off_rps / tel_on_rps.max(1e-12) - 1.0) * 100.0;
+    println!(
+        "telemetry: off {tel_off_rps:.0} req/s vs armed {tel_on_rps:.0} req/s \
+         ({tel_overhead_pct:+.1}% overhead), scrape has {tel_series} unique series, \
+         valid: {tel_scrape_ok}"
+    );
+
     // --- Service at scale: the readiness event loop holding thousands of
     // simultaneously open keep-alive connections while serving traffic.
     // Every connection is opened before any request is measured (a barrier
@@ -1180,6 +1281,17 @@ fn main() {
                 .set("serial_replay_identical", service_identical),
         )
         .set(
+            "telemetry",
+            Json::obj()
+                .set("clients", TEL_CLIENTS)
+                .set("requests_per_run", TEL_CLIENTS * TEL_REQS)
+                .set("off_rps", tel_off_rps)
+                .set("on_rps", tel_on_rps)
+                .set("overhead_pct", tel_overhead_pct)
+                .set("scrape_series", tel_series)
+                .set("scrape_valid", tel_scrape_ok),
+        )
+        .set(
             "service_scale",
             Json::obj()
                 .set("connections", scale_opened)
@@ -1233,6 +1345,10 @@ fn main() {
     assert!(
         recovery_identical,
         "the recovered session's report diverged from the pre-crash re_explain result"
+    );
+    assert!(
+        tel_scrape_ok,
+        "the live /metrics scrape was malformed (duplicate series or missing families)"
     );
     assert!(
         scale_all_served,

@@ -164,8 +164,15 @@ pub struct DeltaStats {
 /// Timing and size statistics for a pipeline run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PipelineStats {
+    /// Time spent generating / refreshing the candidate pair set. Zero for
+    /// the stateless [`Explain3D::explain`] path (candidate generation is
+    /// Stage 1, outside this solver); the incremental session fills it.
+    pub candidate_time: Duration,
     /// Time spent partitioning the mapping graph.
     pub partition_time: Duration,
+    /// Time spent merging per-component outcomes into the final report
+    /// ([`assemble_report`] — normalisation, scoring, completeness check).
+    pub assemble_time: Duration,
     /// Wall-clock time of the encode-and-solve phase. With `parallel`
     /// enabled this is the span of the whole concurrent phase, which on a
     /// multi-core machine is smaller than
@@ -411,8 +418,9 @@ pub fn component_jobs(
 /// re-explanation that substitutes cached outcomes for solves assembles a
 /// byte-identical report. Outcomes must arrive in job order (the
 /// work-stealing scheduler preserves input order). Timing fields
-/// (`partition_time`, `solve_time`, `total_time`) and scheduler fields
-/// (`threads`, `steals`) are left at their defaults for the caller to fill.
+/// (`partition_time`, `solve_time`, `total_time`, `candidate_time`) and
+/// scheduler fields (`threads`, `steals`) are left at their defaults for
+/// the caller to fill; `assemble_time` is measured here.
 pub fn assemble_report(
     left: &CanonicalRelation,
     right: &CanonicalRelation,
@@ -433,6 +441,7 @@ pub fn assemble_report(
         threads: 1,
         ..Default::default()
     };
+    let assemble_start = Instant::now();
     let mut part_times = vec![Duration::ZERO; meta.part_sizes.len()];
     for (part, outcome) in outcomes {
         stats.milp_nodes += outcome.nodes;
@@ -448,6 +457,7 @@ pub fn assemble_report(
 
     let log_prob = log_probability(&merged, left, right, mapping, &config.params);
     let complete = merged.is_complete(left, right, relation);
+    stats.assemble_time = assemble_start.elapsed();
     ExplanationReport { explanations: merged, log_probability: log_prob, complete, stats }
 }
 

@@ -34,7 +34,7 @@ use explain3d_incremental::RelationDelta;
 use std::fs::File;
 use std::io::{Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Magic bytes opening every WAL file (format version 02 — records carry
 /// the client-generated `request_id` used for exactly-once retry dedup).
@@ -107,6 +107,12 @@ pub struct WalWriter {
     policy: FsyncPolicy,
     unsynced: u32,
     shim: ShimHandle,
+    /// When true, [`WalWriter::append`] records how long the write and the
+    /// policy-driven fsync took, readable via [`WalWriter::last_timings`].
+    /// Off by default so the clock reads cost nothing when nobody asks.
+    timing: bool,
+    last_write: Duration,
+    last_fsync: Duration,
 }
 
 impl WalWriter {
@@ -124,7 +130,16 @@ impl WalWriter {
         let mut file = fault::open_write(shim, path, true)?;
         fault::write_all(shim, &mut file, path, &WAL_MAGIC)?;
         fault::fsync(shim, &file, path)?;
-        Ok(WalWriter { file, path: path.to_path_buf(), policy, unsynced: 0, shim: shim.clone() })
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+            shim: shim.clone(),
+            timing: false,
+            last_write: Duration::ZERO,
+            last_fsync: Duration::ZERO,
+        })
     }
 
     /// Reopens an existing WAL for appending, first truncating it to
@@ -152,7 +167,31 @@ impl WalWriter {
         let mut file = fault::open_write(shim, path, false)?;
         file.set_len(valid_len)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(WalWriter { file, path: path.to_path_buf(), policy, unsynced: 0, shim: shim.clone() })
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+            shim: shim.clone(),
+            timing: false,
+            last_write: Duration::ZERO,
+            last_fsync: Duration::ZERO,
+        })
+    }
+
+    /// Enables (or disables) per-append timing capture; see
+    /// [`WalWriter::last_timings`]. Disabled writers never read the clock.
+    pub fn set_timing(&mut self, on: bool) {
+        self.timing = on;
+        self.last_write = Duration::ZERO;
+        self.last_fsync = Duration::ZERO;
+    }
+
+    /// `(write, fsync)` durations of the most recent [`WalWriter::append`]
+    /// — both zero unless timing is enabled. The fsync component is zero
+    /// for appends whose policy skipped the sync.
+    pub fn last_timings(&self) -> (Duration, Duration) {
+        (self.last_write, self.last_fsync)
     }
 
     /// The file this writer appends to.
@@ -168,17 +207,27 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let started = self.timing.then(Instant::now);
         fault::write_all(&self.shim, &mut self.file, &self.path, &frame)?;
-        match self.policy {
-            FsyncPolicy::Never => {}
-            FsyncPolicy::Always => fault::fsync(&self.shim, &self.file, &self.path)?,
+        if let Some(t0) = started {
+            self.last_write = t0.elapsed();
+            self.last_fsync = Duration::ZERO;
+        }
+        let sync_due = match self.policy {
+            FsyncPolicy::Never => false,
+            FsyncPolicy::Always => true,
             FsyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
-                if self.unsynced >= n {
-                    fault::fsync(&self.shim, &self.file, &self.path)?;
-                    self.unsynced = 0;
-                }
+                self.unsynced >= n
             }
+        };
+        if sync_due {
+            let t0 = started.map(|_| Instant::now());
+            fault::fsync(&self.shim, &self.file, &self.path)?;
+            if let Some(t0) = t0 {
+                self.last_fsync = t0.elapsed();
+            }
+            self.unsynced = 0;
         }
         Ok(())
     }

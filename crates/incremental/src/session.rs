@@ -64,7 +64,7 @@ use explain3d_linkage::{BucketCalibrator, TupleMapping, TupleMatch};
 use explain3d_milp::prelude::SparseBasis;
 use explain3d_relation::prelude::Row;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cached solution entries older than this many session runs are evicted
 /// (a run is one `explain`/`re_explain` call). Keeping a few generations
@@ -343,7 +343,8 @@ impl ExplainSession {
         self.stats.pair_cache_misses += score_stats.misses;
         self.candidates = candidates;
         let mapping = self.calibrated_mapping();
-        let report = self.run(&mapping, start);
+        let candidate_time = start.elapsed();
+        let report = self.run(&mapping, start, candidate_time);
         self.explained = true;
         report
     }
@@ -383,7 +384,8 @@ impl ExplainSession {
         // 3. Merge the two sorted, disjoint runs.
         self.candidates = merge_candidates(clean, dirty);
         let mapping = self.calibrated_mapping();
-        Ok(self.run(&mapping, start))
+        let candidate_time = start.elapsed();
+        Ok(self.run(&mapping, start, candidate_time))
     }
 
     /// The representative rows of both relations (the linkage layer's
@@ -479,7 +481,12 @@ impl ExplainSession {
     /// answers content-hash hits from the solution cache, solves the misses
     /// on the work-stealing pool, and assembles the report with the shared
     /// `assemble_report`.
-    fn run(&mut self, mapping: &TupleMapping, start: Instant) -> ExplanationReport {
+    fn run(
+        &mut self,
+        mapping: &TupleMapping,
+        start: Instant,
+        candidate_time: Duration,
+    ) -> ExplanationReport {
         let partition_start = Instant::now();
         let (jobs, meta) =
             component_jobs(self.config.explain.strategy, &self.left, &self.right, mapping);
@@ -567,6 +574,7 @@ impl ExplainSession {
         );
         report.stats.threads = threads;
         report.stats.steals = sched.steals;
+        report.stats.candidate_time = candidate_time;
         report.stats.partition_time = partition_time;
         report.stats.solve_time = solve_start.elapsed();
         report.stats.total_time = start.elapsed();

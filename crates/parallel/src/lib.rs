@@ -38,7 +38,7 @@
 pub mod pool;
 pub mod wake;
 
-pub use pool::{PoolSaturated, PoolStats, TaskPool};
+pub use pool::{PoolMonitor, PoolSaturated, PoolStats, TaskPool};
 pub use wake::WakeSignal;
 
 use std::collections::VecDeque;

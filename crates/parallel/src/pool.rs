@@ -124,6 +124,13 @@ impl TaskPool {
         }
     }
 
+    /// A cloneable, read-only view of this pool's counters and queue
+    /// depth that outlives no pool but can travel away from it (e.g. into
+    /// a metrics scrape handler) without borrowing the pool itself.
+    pub fn monitor(&self) -> PoolMonitor {
+        PoolMonitor { shared: Arc::clone(&self.shared), threads: self.workers.len() }
+    }
+
     /// Enqueues `job` unless the queue is at capacity, in which case the
     /// job is returned inside [`PoolSaturated`] without blocking — the
     /// caller decides how to shed it.
@@ -139,6 +146,42 @@ impl TaskPool {
         self.shared.admitted.fetch_add(1, Ordering::Relaxed);
         self.shared.not_empty.notify_one();
         Ok(())
+    }
+}
+
+/// A detached observer of one [`TaskPool`]: the lifetime counters plus
+/// the instantaneous queue depth. Holding one does not keep workers alive
+/// or affect shutdown — it shares only the counter block.
+#[derive(Clone)]
+pub struct PoolMonitor {
+    shared: Arc<PoolShared>,
+    threads: usize,
+}
+
+impl PoolMonitor {
+    /// Lifetime admission/shed/completion counters (same as
+    /// [`TaskPool::stats`]).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jobs currently waiting in the queue. Takes the pool's queue lock
+    /// briefly; intended for scrape-time sampling, not hot paths.
+    pub fn queued(&self) -> usize {
+        match self.shared.state.lock() {
+            Ok(state) => state.queue.len(),
+            Err(poisoned) => poisoned.into_inner().queue.len(),
+        }
+    }
+
+    /// Number of worker threads the pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 }
 

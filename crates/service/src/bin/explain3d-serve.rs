@@ -15,6 +15,7 @@
 //!                        [--fsync off|interval[:N]|always]
 //!                        [--snapshot-every N]
 //!                        [--durability best-effort|strict]
+//!                        [--telemetry on|off] [--slow-log-ms N]
 //!                        [--fault-seed N] [--fault-ops SPEC] [--smoke]
 //! ```
 //!
@@ -40,6 +41,15 @@
 //! `SIGTERM`/`SIGINT` drain gracefully: stop accepting, finish queued
 //! requests, flush every session to a fresh snapshot, exit 0.
 //!
+//! `--telemetry` (default `on`) arms the observability layer: histogram
+//! metrics and per-route counters on `GET /metrics` (Prometheus text),
+//! per-request traces with an `X-Trace-Id` response header readable back
+//! via `GET /debug/trace/<id>` and `GET /debug/slow`. `--slow-log-ms N`
+//! additionally appends a JSON line for every request slower than `N`
+//! milliseconds to `slow.jsonl` under `--data-dir` (size-bounded). With
+//! `--telemetry off` the service reads no clocks and records nothing —
+//! every instrumentation site is one never-taken branch.
+//!
 //! `--fault-seed` / `--fault-ops` arm the deterministic fault-injection
 //! shim on the storage stack (chaos testing only — e.g.
 //! `--fault-ops write:ppm=20000:eio,fsync:ppm=5000:silentloss`); the same
@@ -56,16 +66,17 @@ use explain3d_durability::{DurabilityConfig, FaultInjector, FaultPlan, FsyncPoli
 use explain3d_service::client::Client;
 use explain3d_service::json::Json;
 use explain3d_service::registry::{DurabilityMode, ServiceConfig, SessionRegistry};
+use explain3d_service::telemetry::SLOW_LOG_MAX_BYTES;
 use explain3d_service::wire;
-use explain3d_service::{Backend, Server, ServerConfig};
+use explain3d_service::{Backend, Server, ServerConfig, SlowLogConfig, Telemetry, TelemetryConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 const USAGE: &str = "usage: explain3d-serve [--addr HOST:PORT] [--threads N] [--queue N] \
                      [--backend epoll|poll|auto] [--max-conns N] [--shards N] \
                      [--io-timeout-ms N] [--coalesce-window-ms N] [--memory-budget-mb N] \
                      [--data-dir DIR] [--fsync off|interval[:N]|always] [--snapshot-every N] \
-                     [--durability best-effort|strict] [--fault-seed N] [--fault-ops SPEC] \
-                     [--smoke]";
+                     [--durability best-effort|strict] [--telemetry on|off] [--slow-log-ms N] \
+                     [--fault-seed N] [--fault-ops SPEC] [--smoke]";
 
 /// Set by the `SIGTERM`/`SIGINT` handler; the accept loop polls it.
 static STOP: AtomicBool = AtomicBool::new(false);
@@ -130,6 +141,8 @@ fn main() {
     let mut snapshot_every: u64 = 64;
     let mut fault_seed: u64 = 0;
     let mut fault_ops: Option<String> = None;
+    let mut telemetry_on = true;
+    let mut slow_log_ms: Option<u64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -188,6 +201,17 @@ fn main() {
                     usage_error(&format!("--fault-seed takes a number, got {raw:?}"))
                 });
             }
+            "--telemetry" => {
+                let raw = value("--telemetry");
+                telemetry_on = match raw.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage_error(&format!("--telemetry takes on or off; got {raw:?}")),
+                };
+            }
+            "--slow-log-ms" => {
+                slow_log_ms = Some(parse_count(&value("--slow-log-ms"), "--slow-log-ms") as u64);
+            }
             "--fault-ops" => fault_ops = Some(value("--fault-ops")),
             "--smoke" => smoke = true,
             other => usage_error(&format!("unknown flag {other}")),
@@ -206,6 +230,43 @@ fn main() {
     if let Some(dir) = data_dir {
         config.service.durability =
             Some(DurabilityConfig { dir: dir.into(), fsync, snapshot_every, shim });
+    }
+    if slow_log_ms.is_some() && config.service.durability.is_none() {
+        usage_error("--slow-log-ms requires --data-dir (the log lives under it)");
+    }
+    if slow_log_ms.is_some() && !telemetry_on {
+        usage_error("--slow-log-ms requires --telemetry on");
+    }
+    if telemetry_on {
+        let slow_log = match (slow_log_ms, &config.service.durability) {
+            (Some(ms), Some(d)) => {
+                if let Err(e) = std::fs::create_dir_all(&d.dir) {
+                    eprintln!("explain3d-serve: cannot create {}: {e}", d.dir.display());
+                    std::process::exit(1);
+                }
+                Some(SlowLogConfig {
+                    path: d.dir.join("slow.jsonl"),
+                    threshold: std::time::Duration::from_millis(ms),
+                    max_bytes: SLOW_LOG_MAX_BYTES,
+                })
+            }
+            _ => None,
+        };
+        // Unique-ish per process so restarts do not replay trace ids, yet
+        // in-tree (no extra entropy source).
+        let trace_seed = (std::process::id() as u64) << 32
+            ^ std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64)
+                .unwrap_or(0);
+        let tel = TelemetryConfig { trace_seed, slow_log, ..TelemetryConfig::default() };
+        match Telemetry::new(tel) {
+            Ok(t) => config.service.telemetry = Some(std::sync::Arc::new(t)),
+            Err(e) => {
+                eprintln!("explain3d-serve: cannot open the slow log: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if smoke {
@@ -237,6 +298,13 @@ fn main() {
             d.fsync,
             d.snapshot_every
         );
+    }
+    match (&config.service.telemetry, slow_log_ms) {
+        (Some(_), Some(ms)) => {
+            println!("explain3d-serve: telemetry on (/metrics, /debug/trace; slow log at {ms}ms)")
+        }
+        (Some(_), None) => println!("explain3d-serve: telemetry on (/metrics, /debug/trace)"),
+        (None, _) => println!("explain3d-serve: telemetry off"),
     }
     install_signal_handlers();
     // `run` returns once STOP is set: it stops accepting, finishes every

@@ -33,6 +33,9 @@
 //! | `DELETE /sessions/{name}`      | drop the session                       |
 //! | `GET /sessions`                | list sessions + registry stats         |
 //! | `GET /healthz`                 | liveness probe                         |
+//! | `GET /metrics`                 | Prometheus text exposition             |
+//! | `GET /debug/trace/{id}`        | one retained trace as a span tree      |
+//! | `GET /debug/slow?limit=N`      | the N slowest retained traces          |
 //!
 //! `{name}` is percent-decoded (`%2F` rejected), so the wire addresses
 //! exactly the session a library caller names. Idle connections are
@@ -50,8 +53,10 @@ use crate::json::Json;
 use crate::poller::{Backend, Event, Interest, Poller};
 use crate::proto::{self, Parse, ParsedRequest};
 use crate::registry::{ServiceConfig, SessionRegistry};
+use crate::telemetry::TraceCtx;
 use crate::wire;
 use explain3d_parallel::{TaskPool, WakeSignal};
+use explain3d_telemetry::{FinishedTrace, Trace, NO_PARENT};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -240,6 +245,20 @@ struct Conn {
     phase: Phase,
     last_activity: Instant,
     interest: Interest,
+    /// When the first byte of the in-progress request arrived — the trace
+    /// epoch. Taken when the request finishes parsing.
+    req_start: Option<Instant>,
+    /// The request's trace, parked here while its response drains so the
+    /// `write` span covers the actual socket writes.
+    trace: Option<TraceCarry>,
+}
+
+/// A trace riding a connection through the write phase: sealed (and
+/// pushed to the ring) when the last response byte hits the socket.
+struct TraceCarry {
+    trace: Trace,
+    route: usize,
+    write_span: u32,
 }
 
 /// A finished request: the worker pushes this and notifies the wake pipe.
@@ -248,6 +267,7 @@ struct Completion {
     gen: u64,
     response: Vec<u8>,
     keep_alive: bool,
+    trace: Option<(Trace, usize)>,
 }
 
 /// State shared between the event loop and the pool workers.
@@ -295,10 +315,15 @@ impl EventLoop {
         let wake = WakeSignal::new()?;
         poller.register(raw_fd(&listener), LISTENER_TOKEN, Interest::READ)?;
         poller.register(wake.fd(), WAKE_TOKEN, Interest::READ)?;
+        let pool = TaskPool::new(config.threads, config.queue_capacity);
+        if let Some(tel) = registry.telemetry() {
+            // Scrape-time sampling only; the pool itself stays untouched.
+            tel.attach_pool(pool.monitor());
+        }
         Ok(EventLoop {
             listener,
             poller,
-            pool: TaskPool::new(config.threads, config.queue_capacity),
+            pool,
             registry,
             shared: Arc::new(Shared { completions: Mutex::new(Vec::new()), wake }),
             conns: Vec::new(),
@@ -428,6 +453,8 @@ impl EventLoop {
             phase: Phase::Reading,
             last_activity: now,
             interest: Interest::READ,
+            req_start: None,
+            trace: None,
         });
         self.active += 1;
     }
@@ -493,6 +520,10 @@ impl EventLoop {
             if conn.phase != Phase::Reading {
                 return;
             }
+            if conn.req_start.is_none() && !conn.inbuf.is_empty() {
+                // First byte of a new request: the trace clock starts here.
+                conn.req_start = Some(now);
+            }
             proto::parse_request(&conn.inbuf, self.max_body)
         };
         match parse {
@@ -516,37 +547,82 @@ impl EventLoop {
                 }
             }
             Parse::Complete { request, consumed } => {
-                {
+                let epoch = {
                     let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
                         return;
                     };
                     conn.inbuf.drain(..consumed);
                     conn.phase = Phase::Executing;
-                }
+                    conn.req_start.take().unwrap_or(now)
+                };
                 self.set_interest(slot, Interest::NONE);
-                self.dispatch(slot, request, now);
+                let trace = self.registry.telemetry().map(|tel| {
+                    let mut trace = tel.begin_trace(epoch);
+                    let parsed_at = trace.now_us();
+                    trace.record("parse", NO_PARENT, 0, parsed_at);
+                    (trace, route_index(&request))
+                });
+                self.dispatch(slot, request, trace, now);
             }
             Parse::Invalid(e) => self.respond_error(slot, e, now),
         }
     }
 
-    fn dispatch(&mut self, slot: usize, request: ParsedRequest, now: Instant) {
+    fn dispatch(
+        &mut self,
+        slot: usize,
+        request: ParsedRequest,
+        trace: Option<(Trace, usize)>,
+        now: Instant,
+    ) {
         let Some(gen) = self.conns.get(slot).map(|e| e.gen) else {
             return;
         };
         let registry = Arc::clone(&self.registry);
         let shared = Arc::clone(&self.shared);
         let keep_alive = request.keep_alive;
+        let queued_at = trace.as_ref().map(|(t, _)| t.now_us());
         let job = move || {
+            let mut trace = trace;
+            let mut handle_span = NO_PARENT;
+            if let (Some((t, _)), Some(from)) = (trace.as_mut(), queued_at) {
+                // The gap between dispatch and this line is time spent in
+                // the pool's admission queue.
+                let picked_up = t.now_us();
+                t.record("queue_wait", NO_PARENT, from, picked_up);
+                if let Some(tel) = registry.telemetry() {
+                    tel.queue_wait_us.observe(picked_up.saturating_sub(from));
+                }
+                handle_span = t.start("handle", NO_PARENT);
+            }
             // A panic in a handler answers 500 instead of unwinding into
             // the pool: the worker (and its session slot, which the
             // poisoned mutex marks) stays accounted for.
             let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                route(&request, &registry)
+                route(&request, &registry, trace.as_mut().map(|(t, _)| t), handle_span)
             }))
             .unwrap_or_else(|_| Err(ServiceError::Internal("request handler panicked".into())));
+            if let Some((t, _)) = trace.as_mut() {
+                t.end(handle_span);
+            }
+            let trace_id = trace.as_ref().map(|(t, _)| format!("{:016x}", t.id));
             let response = match routed {
-                Ok(json) => proto::encode_response((200, "OK"), &json, keep_alive),
+                Ok(RouteReply::Json(json)) => {
+                    let extra: Vec<(&str, String)> =
+                        trace_id.map(|id| ("X-Trace-Id", id)).into_iter().collect();
+                    proto::encode_response_with((200, "OK"), &extra, &json, keep_alive)
+                }
+                Ok(RouteReply::Text { content_type, body }) => {
+                    let extra: Vec<(&str, String)> =
+                        trace_id.map(|id| ("X-Trace-Id", id)).into_iter().collect();
+                    proto::encode_text_response(
+                        (200, "OK"),
+                        content_type,
+                        &extra,
+                        &body,
+                        keep_alive,
+                    )
+                }
                 Err(e) => {
                     // Refusals that name a retry moment carry it: a strict
                     // 503 hints at the re-attach cadence, a 429 at the
@@ -556,15 +632,18 @@ impl EventLoop {
                         ServiceError::Overloaded => Some(1),
                         _ => None,
                     };
-                    let extra: Vec<(&str, String)> = retry_after
+                    let mut extra: Vec<(&str, String)> = retry_after
                         .map(|secs| ("Retry-After", secs.to_string()))
                         .into_iter()
                         .collect();
+                    if let Some(id) = trace_id {
+                        extra.push(("X-Trace-Id", id));
+                    }
                     proto::encode_response_with(e.http_status(), &extra, &e.to_json(), keep_alive)
                 }
             };
             if let Ok(mut queue) = shared.completions.lock() {
-                queue.push(Completion { slot, gen, response, keep_alive });
+                queue.push(Completion { slot, gen, response, keep_alive, trace });
             }
             // Enqueue-then-notify: the loop drains the pipe before the
             // queue, so this completion is seen by the wakeup it triggers.
@@ -574,11 +653,16 @@ impl EventLoop {
             Ok(()) => self.inflight += 1,
             Err(saturated) => {
                 // Queue full: shed this request with a constant-cost 429
-                // from the event loop; the connection closes after.
+                // from the event loop; the connection closes after. The
+                // trace (moved into the refused job) is dropped with it —
+                // a shed request costs a counter bump, not a ring slot.
                 drop(saturated);
+                if let Some(tel) = self.registry.telemetry() {
+                    tel.shed.inc();
+                }
                 let e = ServiceError::Overloaded;
                 let response = proto::encode_response(e.http_status(), &e.to_json(), false);
-                self.start_write(slot, response, false, now);
+                self.start_write(slot, response, false, None, now);
             }
         }
     }
@@ -600,7 +684,7 @@ impl EventLoop {
             if stale {
                 continue; // the connection died while its request executed
             }
-            self.start_write(c.slot, c.response, c.keep_alive, now);
+            self.start_write(c.slot, c.response, c.keep_alive, c.trace, now);
         }
     }
 
@@ -608,10 +692,17 @@ impl EventLoop {
 
     fn respond_error(&mut self, slot: usize, e: ServiceError, now: Instant) {
         let response = proto::encode_response(e.http_status(), &e.to_json(), false);
-        self.start_write(slot, response, false, now);
+        self.start_write(slot, response, false, None, now);
     }
 
-    fn start_write(&mut self, slot: usize, response: Vec<u8>, keep_alive: bool, now: Instant) {
+    fn start_write(
+        &mut self,
+        slot: usize,
+        response: Vec<u8>,
+        keep_alive: bool,
+        trace: Option<(Trace, usize)>,
+        now: Instant,
+    ) {
         {
             let Some(conn) = self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()) else {
                 return;
@@ -620,6 +711,10 @@ impl EventLoop {
             conn.written = 0;
             conn.phase = Phase::Writing { keep_alive };
             conn.last_activity = now;
+            conn.trace = trace.map(|(mut trace, route)| {
+                let write_span = trace.start("write", NO_PARENT);
+                TraceCarry { trace, route, write_span }
+            });
         }
         self.continue_write(slot, now);
     }
@@ -657,6 +752,18 @@ impl EventLoop {
                 }
             }
         };
+        // The whole response hit the socket: seal the trace. Total wall
+        // time is measured from the same epoch every span uses, so the
+        // root spans (parse, queue_wait, handle, write) tile it.
+        let carry =
+            self.conns.get_mut(slot).and_then(|e| e.conn.as_mut()).and_then(|c| c.trace.take());
+        if let (Some(TraceCarry { mut trace, route, write_span }), Some(tel)) =
+            (carry, self.registry.telemetry())
+        {
+            trace.end(write_span);
+            let total_us = trace.now_us();
+            tel.finish_request(trace, route, total_us);
+        }
         if !keep_alive {
             self.close(slot);
             return;
@@ -760,25 +867,70 @@ fn with_durability(json: Json, durability: Option<&'static str>) -> Json {
     }
 }
 
-/// Dispatches one request against the registry.
-fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, ServiceError> {
+/// What a handler produced: the usual JSON document, or a verbatim text
+/// body (the Prometheus exposition).
+enum RouteReply {
+    Json(Json),
+    Text { content_type: &'static str, body: String },
+}
+
+/// Index into [`crate::telemetry::ROUTES`] for a request. Label
+/// cardinality stays fixed: every unrecognised path counts as `other`.
+fn route_index(req: &ParsedRequest) -> usize {
+    let method = req.method.as_str();
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match (method, path) {
+        ("GET", "/sessions") => 5,
+        ("GET", "/healthz") => 6,
+        ("GET", "/metrics") => 7,
+        ("GET", _) if path.starts_with("/debug/") => 8,
+        _ => match session_route(path) {
+            Ok(Some((_, verb))) => match (method, verb) {
+                ("POST", None) => 0,
+                ("POST", Some("explain")) => 1,
+                ("POST", Some("delta")) => 2,
+                ("GET", Some("report")) => 3,
+                ("DELETE", None) => 4,
+                _ => 9,
+            },
+            _ => 9,
+        },
+    }
+}
+
+/// Dispatches one request against the registry. `trace`/`parent` carry
+/// the request's in-flight trace (absent with telemetry off); handlers
+/// that do pipeline work thread it down as a [`TraceCtx`].
+fn route(
+    req: &ParsedRequest,
+    registry: &SessionRegistry,
+    trace: Option<&mut Trace>,
+    parent: u32,
+) -> Result<RouteReply, ServiceError> {
     let method = req.method.as_str();
     let path = req.path.split('?').next().unwrap_or(&req.path);
     match (method, path) {
         ("GET", "/healthz") => {
             // Liveness plus the durability health gauges. Deliberately
-            // cheap: atomic loads and the per-slot degraded mirror — no
-            // session lock is ever taken, so a wedged session cannot
-            // wedge the probe.
+            // cheap: atomic loads, the per-slot degraded mirror, and the
+            // sharded index's read locks — no per-session state lock is
+            // ever taken, so a wedged session cannot wedge the probe.
             let stats = registry.stats();
-            return Ok(Json::obj()
+            let degraded: Vec<Json> =
+                registry.degraded_names(16).into_iter().map(Json::from).collect();
+            let mut json = Json::obj()
                 .set("ok", true)
                 .set("degraded_sessions", stats.degraded_sessions)
                 .set("wal_errors", stats.wal_errors)
                 .set("storage_errors", stats.storage_errors)
                 .set("reattached", stats.reattached)
                 .set("quarantined", stats.quarantined)
-                .set("dedup_hits", stats.dedup_hits));
+                .set("dedup_hits", stats.dedup_hits)
+                .set("degraded", degraded);
+            if let Some(tel) = registry.telemetry() {
+                json = json.set("uptime_secs", tel.uptime_secs() as usize);
+            }
+            return Ok(RouteReply::Json(json));
         }
         ("GET", "/sessions") => {
             let sessions: Vec<Json> = registry
@@ -792,31 +944,23 @@ fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, Servic
                         .set("deltas_logged", s.deltas_logged as usize)
                 })
                 .collect();
-            let stats = registry.stats();
-            return Ok(Json::obj()
-                .set("sessions", sessions)
-                .set("total_footprint_bytes", registry.total_footprint())
-                .set(
-                    "stats",
-                    Json::obj()
-                        .set("creates", stats.creates)
-                        .set("drops", stats.drops)
-                        .set("evictions", stats.evictions)
-                        .set("spills", stats.spills)
-                        .set("recoveries", stats.recoveries)
-                        .set("explains", stats.explains)
-                        .set("deltas_applied", stats.deltas_applied)
-                        .set("coalesced_deltas", stats.coalesced_deltas)
-                        .set("reports", stats.reports)
-                        .set("shards", stats.shards)
-                        .set("shard_contention", stats.shard_contention)
-                        .set("degraded_sessions", stats.degraded_sessions)
-                        .set("wal_errors", stats.wal_errors)
-                        .set("storage_errors", stats.storage_errors)
-                        .set("reattached", stats.reattached)
-                        .set("quarantined", stats.quarantined)
-                        .set("dedup_hits", stats.dedup_hits),
-                ));
+            // The stats object and the /metrics exposition are generated
+            // from the same sample table, so the two surfaces can never
+            // drift apart.
+            let mut stats = Json::obj();
+            for s in registry.stats().samples() {
+                stats = stats.set(s.key, s.value as usize);
+            }
+            return Ok(RouteReply::Json(
+                Json::obj()
+                    .set("sessions", sessions)
+                    .set("total_footprint_bytes", registry.total_footprint())
+                    .set("stats", stats),
+            ));
+        }
+        ("GET", "/metrics") => return metrics_response(registry),
+        ("GET", _) if path.starts_with("/debug/") => {
+            return debug_route(registry, path, &req.path);
         }
         _ => {}
     }
@@ -828,19 +972,20 @@ fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, Servic
         ("POST", None) => {
             let create = wire::parse_create(&req.body)?;
             registry.create(name, create)?;
-            Ok(Json::obj().set("created", name))
+            Ok(RouteReply::Json(Json::obj().set("created", name)))
         }
         ("DELETE", None) => {
             registry.drop_session(name)?;
-            Ok(Json::obj().set("dropped", name))
+            Ok(RouteReply::Json(Json::obj().set("dropped", name)))
         }
         ("POST", Some("explain")) => {
             let deadline = wire::parse_explain(&req.body)?;
-            let report = registry.explain(name, deadline)?;
-            Ok(with_durability(
+            let tctx = trace.map(|trace| TraceCtx { trace, parent });
+            let report = registry.explain_traced(name, deadline, tctx)?;
+            Ok(RouteReply::Json(with_durability(
                 wire::emit_report(name, &report, 0),
                 registry.durability_status(name)?,
-            ))
+            )))
         }
         ("POST", Some("delta")) => {
             // The shapes and the apply are two registry calls; the token
@@ -849,29 +994,155 @@ fn route(req: &ParsedRequest, registry: &SessionRegistry) -> Result<Json, Servic
             // typed 409 instead of a delta parsed against stale shapes.
             let (left, right, token) = registry.shapes_tagged(name)?;
             let parsed = wire::parse_delta(&req.body, &left, &right)?;
-            let outcome = registry.delta_tagged(
+            let tctx = trace.map(|trace| TraceCtx { trace, parent });
+            let outcome = registry.delta_traced(
                 name,
                 parsed.delta,
                 parsed.deadline,
                 Some(token),
                 parsed.request_id,
+                tctx,
             )?;
             let mut json = wire::emit_report(name, &outcome.report, outcome.coalesced_with);
             json = with_durability(json, outcome.durability);
             if outcome.deduplicated {
                 json = json.set("deduplicated", true);
             }
-            Ok(json)
+            Ok(RouteReply::Json(json))
         }
         ("GET", Some("report")) => {
             let report = registry.report(name)?;
-            Ok(with_durability(
+            Ok(RouteReply::Json(with_durability(
                 wire::emit_report(name, &report, 0),
                 registry.durability_status(name)?,
-            ))
+            )))
         }
         _ => Err(ServiceError::NotFound(format!("{method} {path}"))),
     }
+}
+
+/// `GET /metrics`: the registered hot-path metrics plus scrape-time
+/// samples — registry lifetime stats (the same table `/sessions` renders),
+/// resident footprint, uptime, and pool occupancy.
+fn metrics_response(registry: &SessionRegistry) -> Result<RouteReply, ServiceError> {
+    let Some(tel) = registry.telemetry() else {
+        return Err(ServiceError::NotFound("telemetry is disabled".into()));
+    };
+    let mut exp = tel.registry().render();
+    for s in registry.stats().samples() {
+        if s.gauge {
+            exp.gauge_sample(s.metric, "", s.help, s.value as i64);
+        } else {
+            exp.sample(s.metric, "", s.help, s.value);
+        }
+    }
+    exp.gauge_sample(
+        "e3d_sessions_footprint_bytes",
+        "",
+        "Total resident session footprint in bytes",
+        registry.total_footprint() as i64,
+    );
+    exp.gauge_sample(
+        "e3d_uptime_seconds",
+        "",
+        "Seconds since telemetry was armed",
+        tel.uptime_secs() as i64,
+    );
+    if let Some(pool) = tel.pool() {
+        let stats = pool.stats();
+        exp.sample(
+            "e3d_pool_admitted_total",
+            "",
+            "Requests admitted to the worker pool",
+            stats.admitted as u64,
+        );
+        exp.sample(
+            "e3d_pool_shed_total",
+            "",
+            "Requests refused by the pool's bounded queue",
+            stats.shed as u64,
+        );
+        exp.sample(
+            "e3d_pool_executed_total",
+            "",
+            "Jobs finished by a worker",
+            stats.executed as u64,
+        );
+        exp.sample(
+            "e3d_pool_respawns_total",
+            "",
+            "Worker recoveries after a handler panic",
+            stats.respawns as u64,
+        );
+        exp.gauge_sample(
+            "e3d_pool_queue_depth",
+            "",
+            "Jobs waiting in the pool's admission queue",
+            pool.queued() as i64,
+        );
+        exp.gauge_sample("e3d_pool_threads", "", "Worker threads", pool.threads() as i64);
+    }
+    match exp.finish() {
+        Ok(body) => {
+            Ok(RouteReply::Text { content_type: "text/plain; version=0.0.4; charset=utf-8", body })
+        }
+        Err(dup) => Err(ServiceError::Internal(format!("duplicate metric series: {dup}"))),
+    }
+}
+
+/// `GET /debug/trace/<id>` (one trace by hex id) and
+/// `GET /debug/slow?limit=N` (the N slowest retained traces).
+fn debug_route(
+    registry: &SessionRegistry,
+    path: &str,
+    raw_path: &str,
+) -> Result<RouteReply, ServiceError> {
+    let Some(tel) = registry.telemetry() else {
+        return Err(ServiceError::NotFound("telemetry is disabled".into()));
+    };
+    if let Some(hex) = path.strip_prefix("/debug/trace/") {
+        let id = u64::from_str_radix(hex, 16)
+            .map_err(|_| ServiceError::BadRequest(format!("bad trace id {hex:?}")))?;
+        let trace = tel
+            .ring()
+            .get(id)
+            .ok_or_else(|| ServiceError::NotFound(format!("trace {hex} (unknown or evicted)")))?;
+        return Ok(RouteReply::Json(emit_trace(&trace)));
+    }
+    if path == "/debug/slow" {
+        let limit = raw_path
+            .split_once('?')
+            .and_then(|(_, query)| query.strip_prefix("limit="))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(10)
+            .min(100);
+        let traces: Vec<Json> = tel.ring().slowest(limit).iter().map(|t| emit_trace(t)).collect();
+        return Ok(RouteReply::Json(Json::obj().set("traces", traces)));
+    }
+    Err(ServiceError::NotFound(format!("GET {path}")))
+}
+
+/// Serialises one finished trace as a span tree: children name their
+/// parent by span index; root spans omit the key.
+fn emit_trace(trace: &FinishedTrace) -> Json {
+    let spans: Vec<Json> = trace
+        .spans
+        .iter()
+        .map(|s| {
+            let mut span = Json::obj()
+                .set("name", s.name)
+                .set("start_us", s.start_us as usize)
+                .set("end_us", s.end_us as usize);
+            if s.parent != NO_PARENT {
+                span = span.set("parent", s.parent as usize);
+            }
+            span
+        })
+        .collect();
+    Json::obj()
+        .set("trace_id", format!("{:016x}", trace.id))
+        .set("total_us", trace.total_us as usize)
+        .set("spans", spans)
 }
 
 #[cfg(test)]

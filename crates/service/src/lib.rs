@@ -68,10 +68,12 @@ pub mod json;
 pub mod poller;
 pub mod proto;
 pub mod registry;
+pub mod telemetry;
 pub mod wire;
 
 pub use client::{Client, ClientError, Response, RetryClient, RetryPolicy};
 pub use error::ServiceError;
 pub use http::{Server, ServerConfig, ServerHandle};
 pub use poller::Backend;
-pub use registry::{DeltaOutcome, RegistryStats, ServiceConfig, SessionRegistry};
+pub use registry::{DeltaOutcome, RegistryStats, RunTimings, ServiceConfig, SessionRegistry};
+pub use telemetry::{SlowLogConfig, Telemetry, TelemetryConfig};

@@ -257,6 +257,35 @@ pub fn encode_response_with(
     message.into_bytes()
 }
 
+/// Encode a non-JSON response (e.g. the Prometheus `/metrics` exposition).
+/// The body is shipped verbatim; `content_type` and `extra_headers` must
+/// already be wire-safe — no CR/LF.
+pub fn encode_text_response(
+    status: (u16, &str),
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut message = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status.0,
+        status.1,
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        message.push_str(name);
+        message.push_str(": ");
+        message.push_str(value);
+        message.push_str("\r\n");
+    }
+    message.push_str("\r\n");
+    message.push_str(body);
+    message.into_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -112,8 +112,9 @@
 //! applies exactly once, pinned by fingerprint equality to serial replay.
 
 use crate::error::ServiceError;
+use crate::telemetry::{Telemetry, TraceCtx};
 use crate::wire::{CreateRequest, RelationShape};
-use explain3d_core::pipeline::ExplanationReport;
+use explain3d_core::pipeline::{ExplanationReport, PipelineStats};
 use explain3d_durability::{
     DurabilityConfig, DurabilityError, RecoveredSession, SessionSnapshot, SessionStore, WalRecord,
     WalWriter,
@@ -187,6 +188,10 @@ pub struct ServiceConfig {
     /// so concurrent deltas pile into one coalesced `re_explain`. `None`
     /// (the default) competes immediately.
     pub coalesce_window: Option<Duration>,
+    /// Armed telemetry (metrics + traces). `None` — the default — makes
+    /// every instrumentation site a single never-taken branch: no clock
+    /// reads, no atomics, no allocation.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for ServiceConfig {
@@ -199,6 +204,7 @@ impl Default for ServiceConfig {
             reattach_interval: Duration::from_secs(1),
             shards: 0,
             coalesce_window: None,
+            telemetry: None,
         }
     }
 }
@@ -247,6 +253,133 @@ pub struct RegistryStats {
     pub dedup_hits: usize,
 }
 
+/// One registry stat, addressable both as a `GET /sessions` JSON key and
+/// as a Prometheus series — the single source of truth both surfaces
+/// iterate, so they can never drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct StatSample {
+    /// The `/sessions` `stats` object key.
+    pub key: &'static str,
+    /// The `/metrics` series name.
+    pub metric: &'static str,
+    /// The `# HELP` text.
+    pub help: &'static str,
+    /// True for point-in-time values (`gauge` type); false for monotone
+    /// lifetime counters.
+    pub gauge: bool,
+    /// The sampled value.
+    pub value: u64,
+}
+
+impl RegistryStats {
+    /// Every stat as a [`StatSample`], in the wire's historical key order.
+    pub fn samples(&self) -> [StatSample; 17] {
+        let counter = |key, metric, help, value: usize| StatSample {
+            key,
+            metric,
+            help,
+            gauge: false,
+            value: value as u64,
+        };
+        let gauge = |key, metric, help, value: usize| StatSample {
+            key,
+            metric,
+            help,
+            gauge: true,
+            value: value as u64,
+        };
+        [
+            counter("creates", "e3d_registry_creates_total", "Sessions created", self.creates),
+            counter("drops", "e3d_registry_drops_total", "Sessions dropped by request", self.drops),
+            counter(
+                "evictions",
+                "e3d_registry_evictions_total",
+                "Sessions evicted under the memory budget",
+                self.evictions,
+            ),
+            counter(
+                "spills",
+                "e3d_registry_spills_total",
+                "Evictions that wrote a final spill snapshot",
+                self.spills,
+            ),
+            counter(
+                "recoveries",
+                "e3d_registry_recoveries_total",
+                "Sessions transparently rebuilt from disk",
+                self.recoveries,
+            ),
+            counter(
+                "explains",
+                "e3d_registry_explains_total",
+                "Cold explain runs served",
+                self.explains,
+            ),
+            counter(
+                "deltas_applied",
+                "e3d_registry_deltas_applied_total",
+                "Deltas applied (coalesced or not)",
+                self.deltas_applied,
+            ),
+            counter(
+                "coalesced_deltas",
+                "e3d_registry_coalesced_deltas_total",
+                "Deltas that piggybacked on another ticket's re_explain",
+                self.coalesced_deltas,
+            ),
+            counter("reports", "e3d_registry_reports_total", "Report reads served", self.reports),
+            gauge(
+                "shards",
+                "e3d_registry_shards",
+                "Lock stripes the session index is split across",
+                self.shards,
+            ),
+            counter(
+                "shard_contention",
+                "e3d_registry_shard_contention_total",
+                "Contended shard-lock acquisitions",
+                self.shard_contention,
+            ),
+            gauge(
+                "degraded_sessions",
+                "e3d_registry_degraded_sessions",
+                "Resident sessions currently degraded",
+                self.degraded_sessions,
+            ),
+            counter(
+                "wal_errors",
+                "e3d_registry_wal_errors_total",
+                "WAL appends that failed",
+                self.wal_errors,
+            ),
+            counter(
+                "storage_errors",
+                "e3d_registry_storage_errors_total",
+                "Snapshot / create / quarantine / re-attach I/O failures",
+                self.storage_errors,
+            ),
+            counter(
+                "reattached",
+                "e3d_registry_reattached_total",
+                "Degraded sessions successfully re-attached",
+                self.reattached,
+            ),
+            counter(
+                "quarantined",
+                "e3d_registry_quarantined_total",
+                "Session directories renamed aside into quarantine",
+                self.quarantined,
+            ),
+            counter(
+                "dedup_hits",
+                "e3d_registry_dedup_hits_total",
+                "Retried deltas answered from the dedup window",
+                self.dedup_hits,
+            ),
+        ]
+    }
+}
+
 /// A summary row of [`SessionRegistry::list`].
 #[derive(Debug, Clone)]
 pub struct SessionInfo {
@@ -276,6 +409,24 @@ pub struct DeltaOutcome {
     /// the delta was **not** re-applied and `report` is the session's
     /// current report.
     pub deduplicated: bool,
+    /// Coarse timing breakdown of serving this delta, captured inside the
+    /// session lock and shipped out through the ticket cell so the waiter
+    /// can record histograms with **no lock held**. All-zero when
+    /// telemetry is off (no clocks were read).
+    pub timings: RunTimings,
+}
+
+/// Where a served delta's time went, in microseconds. A coalesced batch
+/// shares `run_us` (every ticket waited on the same `re_explain`); the
+/// WAL numbers are per ticket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunTimings {
+    /// The `re_explain` run this ticket's ack waited on.
+    pub run_us: u64,
+    /// This ticket's WAL record append (the write syscall).
+    pub wal_write_us: u64,
+    /// This ticket's fsync (zero when the sync policy skipped it).
+    pub fsync_us: u64,
 }
 
 /// One queued delta and the cell its caller is waiting on.
@@ -610,13 +761,25 @@ impl SessionState {
         false
     }
 
-    /// Snapshots if the cadence says so.
-    fn maybe_snapshot(&mut self, counters: &DuraCounters) {
+    /// The attached WAL writer's last append/fsync durations (zeros when
+    /// detached or when timing is off).
+    fn last_wal_timings(&self) -> (Duration, Duration) {
+        match &self.durable {
+            Attachment::Attached(d) => d.wal.last_timings(),
+            _ => (Duration::ZERO, Duration::ZERO),
+        }
+    }
+
+    /// Snapshots if the cadence says so. Returns true when a snapshot was
+    /// actually attempted (so callers can time real snapshots only).
+    fn maybe_snapshot(&mut self, counters: &DuraCounters) -> bool {
         if let Attachment::Attached(d) = &self.durable {
             if d.since_snapshot >= d.store.config().snapshot_every {
                 self.snapshot_now(counters);
+                return true;
             }
         }
+        false
     }
 
     /// Degraded → Reconciled: write a fresh snapshot of the current
@@ -624,7 +787,7 @@ impl SessionState {
     /// fresh WAL. Attempts are spaced at least `interval` apart (the
     /// first one after degrading is immediate). Returns true when the
     /// session is attached — already or newly — afterwards.
-    fn try_reattach(&mut self, interval: Duration, counters: &DuraCounters) -> bool {
+    fn try_reattach(&mut self, interval: Duration, counters: &DuraCounters, timing: bool) -> bool {
         match &self.durable {
             Attachment::Attached(_) => return true,
             Attachment::None => return false,
@@ -643,7 +806,8 @@ impl SessionState {
             _ => return false,
         };
         match attempt {
-            Ok(wal) => {
+            Ok(mut wal) => {
+                wal.set_timing(timing);
                 let taken = std::mem::replace(&mut self.durable, Attachment::None);
                 let Attachment::Degraded(deg) = taken else { return false };
                 counters.reattaches.fetch_add(1, Ordering::Relaxed);
@@ -814,6 +978,53 @@ impl SessionRegistry {
             .sum()
     }
 
+    /// The armed telemetry instance, if any (the HTTP layer uses this for
+    /// `/metrics`, tracing, and the slow log).
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.config.telemetry.as_ref()
+    }
+
+    /// Names of currently degraded resident sessions, capped at `cap` —
+    /// like [`SessionRegistry::degraded_sessions`] this reads only shard
+    /// locks and per-slot atomic mirrors, never a session lock, so it is
+    /// safe for the `/healthz` probe.
+    pub fn degraded_names(&self, cap: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            if out.len() >= cap {
+                break;
+            }
+            if let Ok(map) = shard.slots.read() {
+                for slot in map.values() {
+                    if slot.degraded.load(Ordering::Relaxed) {
+                        out.push(slot.name.clone());
+                        if out.len() >= cap {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Test support: runs `f` while the named session's state lock is
+    /// held by the calling thread. Lets integration tests pin the
+    /// "liveness endpoints never take a session lock" guarantee — a probe
+    /// issued from inside `f` deadlocks (times out) if it regresses into
+    /// locking session state.
+    #[doc(hidden)]
+    pub fn with_state_lock_held<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, ServiceError> {
+        let slot = self.slot(name)?;
+        let _state = lock_state(&slot)?;
+        Ok(f())
+    }
+
     /// The lock stripe `name` hashes onto.
     fn shard_of(&self, name: &str) -> &Shard {
         &self.shards[(fnv1a(name.as_bytes()) as usize) % self.shards.len()]
@@ -936,10 +1147,12 @@ impl SessionRegistry {
                 )));
             }
         };
-        let Some((RecoveredSession { mut snapshot, replayed, tail_discarded }, wal)) = recovered
+        let Some((RecoveredSession { mut snapshot, replayed, tail_discarded }, mut wal)) =
+            recovered
         else {
             return Err(ServiceError::SessionNotFound(name.to_string()));
         };
+        wal.set_timing(self.config.telemetry.is_some());
         if tail_discarded {
             eprintln!(
                 "explain3d-service: session {name:?}: discarded a torn WAL tail \
@@ -1050,7 +1263,8 @@ impl SessionRegistry {
                 retry_window: Vec::new(),
             };
             match store.create_session(name, &genesis) {
-                Ok(wal) => {
+                Ok(mut wal) => {
+                    wal.set_timing(self.config.telemetry.is_some());
                     state.durable = Attachment::Attached(DurableState {
                         store: store.clone(),
                         name: name.to_string(),
@@ -1160,7 +1374,22 @@ impl SessionRegistry {
         name: &str,
         deadline: Option<Duration>,
     ) -> Result<Arc<ExplanationReport>, ServiceError> {
+        self.explain_traced(name, deadline, None)
+    }
+
+    /// [`SessionRegistry::explain`] with optional span recording: when
+    /// `tctx` is set, `acquire`, `explain_run` (with per-stage children),
+    /// and `snapshot` spans land under the given parent. Span intervals
+    /// are captured as plain integers while the session lock is held;
+    /// every **metric** observation happens after the lock is released.
+    pub fn explain_traced(
+        &self,
+        name: &str,
+        deadline: Option<Duration>,
+        mut tctx: Option<TraceCtx<'_>>,
+    ) -> Result<Arc<ExplanationReport>, ServiceError> {
         loop {
+            let acquire_start = tctx.as_ref().map(|c| c.trace.now_us());
             let slot = self.slot(name)?;
             let mut state = lock_state(&slot)?;
             // Eviction holds the state lock across the map removal, so
@@ -1173,9 +1402,23 @@ impl SessionRegistry {
             }
             // A degraded session gets a lazy re-attach try on every
             // request path (rate-limited inside).
-            state.try_reattach(self.config.reattach_interval, &self.dura);
+            state.try_reattach(
+                self.config.reattach_interval,
+                &self.dura,
+                self.config.telemetry.is_some(),
+            );
+            if let (Some(c), Some(start)) = (tctx.as_mut(), acquire_start) {
+                let now = c.trace.now_us();
+                c.trace.record("acquire", c.parent, start, now);
+            }
+            let run_started = self.config.telemetry.as_ref().map(|_| Instant::now());
+            let run_start_us = tctx.as_ref().map(|c| c.trace.now_us());
             let report =
                 Arc::new(run_with_deadline(&mut state.session, deadline, ExplainSession::explain));
+            let run_us = run_started.map(|t| t.elapsed().as_micros() as u64);
+            if let (Some(c), Some(start)) = (tctx.as_mut(), run_start_us) {
+                record_stage_spans(c, "explain_run", start, &report.stats);
+            }
             state.last_report = Some(Arc::clone(&report));
             // Persist the explained flag (and the deadline this run used) so
             // recovery re-derives this report rather than an unexplained
@@ -1191,13 +1434,33 @@ impl SessionRegistry {
                 }
                 Attachment::None => false,
             };
+            let mut snap_us = None;
             if attached {
+                let snap_start_us = tctx.as_ref().map(|c| c.trace.now_us());
+                let snap_started = self.config.telemetry.as_ref().map(|_| Instant::now());
                 state.snapshot_now(&self.dura);
+                snap_us = snap_started.map(|t| t.elapsed().as_micros() as u64);
+                if let (Some(c), Some(start)) = (tctx.as_mut(), snap_start_us) {
+                    let now = c.trace.now_us();
+                    c.trace.record("snapshot", c.parent, start, now);
+                }
             }
             slot.footprint.store(state.session.memory_footprint(), Ordering::Relaxed);
             slot.explained.store(state.session.has_explained(), Ordering::Relaxed);
             slot.degraded.store(state.is_degraded(), Ordering::Relaxed);
             drop(state);
+            // Metrics are recorded here — after the state lock is gone —
+            // so a scrape-heavy deployment never adds tail latency under
+            // the per-session lock (and the telemetry lint stays clean).
+            if let Some(tel) = &self.config.telemetry {
+                if let Some(us) = run_us {
+                    tel.explain_run_us.observe(us);
+                }
+                if let Some(us) = snap_us {
+                    tel.snapshot_us.observe(us);
+                }
+                tel.steals.inc_by(report.stats.steals as u64);
+            }
             self.touch(&slot);
             self.explains.fetch_add(1, Ordering::Relaxed);
             self.enforce_budget()?;
@@ -1249,6 +1512,28 @@ impl SessionRegistry {
         expected: Option<u64>,
         request_id: Option<String>,
     ) -> Result<DeltaOutcome, ServiceError> {
+        self.delta_traced(name, delta, deadline, expected, request_id, None)
+    }
+
+    /// [`SessionRegistry::delta_tagged`] with optional span recording:
+    /// when `tctx` is set, a `pending_wait` span (enqueue → outcome) is
+    /// recorded under the given parent, with `re_explain` / `wal_append` /
+    /// `fsync` children reconstructed from the outcome's [`RunTimings`]
+    /// (those intervals ran on whichever thread drained the queue; they
+    /// are laid back-to-back ending at the wait end). Metric observations
+    /// happen on this waiter thread with **no lock held** — the timings
+    /// travel out through the ticket cell.
+    pub fn delta_traced(
+        &self,
+        name: &str,
+        delta: RelationDelta,
+        deadline: Option<Duration>,
+        expected: Option<u64>,
+        request_id: Option<String>,
+        mut tctx: Option<TraceCtx<'_>>,
+    ) -> Result<DeltaOutcome, ServiceError> {
+        let wait_started = self.config.telemetry.as_ref().map(|_| Instant::now());
+        let wait_start_us = tctx.as_ref().map(|c| c.trace.now_us());
         let cell = Arc::new(TicketCell::default());
         let slot = loop {
             let slot = self.slot(name)?;
@@ -1298,14 +1583,58 @@ impl SessionRegistry {
                         self.deltas_applied.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                // Waiter-side recording: this thread holds nothing but its
+                // own (already-taken) ticket cell, so observing here is
+                // lock-free by construction.
+                if let Some(tel) = &self.config.telemetry {
+                    if let Some(t) = wait_started {
+                        tel.delta_wait_us.observe(t.elapsed().as_micros() as u64);
+                    }
+                    if let Ok(out) = &outcome {
+                        if !out.deduplicated {
+                            tel.delta_run_us.observe(out.timings.run_us);
+                        }
+                        if out.timings.wal_write_us > 0 {
+                            tel.wal_append_us.observe(out.timings.wal_write_us);
+                        }
+                        if out.timings.fsync_us > 0 {
+                            tel.fsync_us.observe(out.timings.fsync_us);
+                        }
+                    }
+                }
+                if let (Some(c), Some(start)) = (tctx.as_mut(), wait_start_us) {
+                    let end = c.trace.now_us();
+                    let wait = c.trace.record("pending_wait", c.parent, start, end);
+                    if let Ok(out) = &outcome {
+                        let t = &out.timings;
+                        let width = t.run_us + t.wal_write_us + t.fsync_us;
+                        let mut at = end.saturating_sub(width).max(start);
+                        for (nm, us) in [
+                            ("re_explain", t.run_us),
+                            ("wal_append", t.wal_write_us),
+                            ("fsync", t.fsync_us),
+                        ] {
+                            if us > 0 {
+                                let stage_end = (at + us).min(end);
+                                c.trace.record(nm, wait, at, stage_end);
+                                at = stage_end;
+                            }
+                        }
+                    }
+                }
                 self.enforce_budget()?;
                 return outcome;
             }
+            let mut snap_us = None;
             match slot.state.try_lock() {
                 Ok(mut state) => {
                     // A degraded session gets a lazy re-attach try before
                     // this drain serves anything (rate-limited inside).
-                    state.try_reattach(self.config.reattach_interval, &self.dura);
+                    state.try_reattach(
+                        self.config.reattach_interval,
+                        &self.dura,
+                        self.config.telemetry.is_some(),
+                    );
                     let batch: Vec<Ticket> = {
                         let mut pending = slot
                             .pending
@@ -1322,10 +1651,14 @@ impl SessionRegistry {
                         record: self.config.record_deltas,
                         mode: self.config.durability_mode,
                         counters: &self.dura,
+                        timing: self.config.telemetry.is_some(),
                     };
                     let coalesced = serve_batch(&mut state, batch, &ctx);
                     self.coalesced_deltas.fetch_add(coalesced, Ordering::Relaxed);
-                    state.maybe_snapshot(&self.dura);
+                    let snap_started = self.config.telemetry.as_ref().map(|_| Instant::now());
+                    if state.maybe_snapshot(&self.dura) {
+                        snap_us = snap_started.map(|t| t.elapsed().as_micros() as u64);
+                    }
                     if matches!(state.durable, Attachment::Attached(_)) {
                         slot.deltas_logged.store(state.applied_seq, Ordering::Relaxed);
                     }
@@ -1339,6 +1672,11 @@ impl SessionRegistry {
                         "session {name:?} poisoned by an earlier panic"
                     )))
                 }
+            }
+            // The drain arm's state guard is gone; record its snapshot
+            // timing (if any) lock-free before the next loop turn.
+            if let (Some(tel), Some(us)) = (&self.config.telemetry, snap_us) {
+                tel.snapshot_us.observe(us);
             }
         }
     }
@@ -1393,7 +1731,12 @@ impl SessionRegistry {
         let mut reattached = 0;
         for slot in slots {
             let Ok(mut state) = slot.state.try_lock() else { continue };
-            if state.is_degraded() && state.try_reattach(self.config.reattach_interval, &self.dura)
+            if state.is_degraded()
+                && state.try_reattach(
+                    self.config.reattach_interval,
+                    &self.dura,
+                    self.config.telemetry.is_some(),
+                )
             {
                 reattached += 1;
             }
@@ -1481,7 +1824,7 @@ impl SessionRegistry {
                 // Graceful drain: give a degraded session one immediate
                 // re-attach try so the flush can still make it durable.
                 if state.is_degraded() {
-                    state.try_reattach(Duration::ZERO, &self.dura);
+                    state.try_reattach(Duration::ZERO, &self.dura, self.config.telemetry.is_some());
                 }
                 if matches!(state.durable, Attachment::Attached(_))
                     && state.snapshot_now(&self.dura)
@@ -1621,12 +1964,44 @@ fn run_with_deadline<R>(
     }
 }
 
+/// Records a pipeline run as one span plus per-stage children (candidate
+/// → partition → solve → assemble, laid out sequentially from the run
+/// start; stage durations come from the report's own
+/// [`PipelineStats`]). Zero-width stages are skipped.
+fn record_stage_spans(
+    c: &mut TraceCtx<'_>,
+    name: &'static str,
+    start_us: u64,
+    stats: &PipelineStats,
+) {
+    let end_us = c.trace.now_us();
+    let run = c.trace.record(name, c.parent, start_us, end_us);
+    let mut at = start_us;
+    for (stage, time) in [
+        ("candidate", stats.candidate_time),
+        ("partition", stats.partition_time),
+        ("solve", stats.solve_time),
+        ("assemble", stats.assemble_time),
+    ] {
+        let us = time.as_micros() as u64;
+        if us == 0 {
+            continue;
+        }
+        let stage_end = (at + us).min(end_us);
+        c.trace.record(stage, run, at, stage_end);
+        at = stage_end;
+    }
+}
+
 /// Everything [`serve_batch`]/[`serve_run`] need besides the session
 /// state: the registry's recording flag, durability mode, and counters.
 struct ServeCtx<'a> {
     record: bool,
     mode: DurabilityMode,
     counters: &'a DuraCounters,
+    /// Telemetry is armed: capture run/WAL durations into each outcome's
+    /// [`RunTimings`]. Off ⇒ no clock reads on the serving thread.
+    timing: bool,
 }
 
 /// Answers a retried, already-applied delta without re-applying it.
@@ -1647,6 +2022,7 @@ fn fulfill_dedup(state: &SessionState, ticket: Ticket, ctx: &ServeCtx) {
             coalesced_with: 0,
             durability: state.durability_label(),
             deduplicated: true,
+            timings: RunTimings::default(),
         })),
         // Unreachable in practice: an entry in the window means a delta
         // was applied, and every applied delta produced a report.
@@ -1665,11 +2041,24 @@ fn finish_applied(
     deadline: Option<Duration>,
     coalesced_with: usize,
     report: &Arc<ExplanationReport>,
+    run_us: u64,
     ctx: &ServeCtx,
 ) {
     state.applied_seq += 1;
     let logged =
         state.log_applied(&ticket.delta, deadline, ticket.request_id.as_deref(), ctx.counters);
+    // Timings ship inside the outcome so the *waiter* thread can observe
+    // histograms after it takes its cell — never from under this lock.
+    let timings = if ctx.timing && matches!(&logged, LogOutcome::Logged) {
+        let (write, fsync) = state.last_wal_timings();
+        RunTimings {
+            run_us,
+            wal_write_us: write.as_micros() as u64,
+            fsync_us: fsync.as_micros() as u64,
+        }
+    } else {
+        RunTimings { run_us, ..RunTimings::default() }
+    };
     if let Some(id) = &ticket.request_id {
         state.retry_window.insert(id.clone(), state.applied_seq);
     }
@@ -1690,6 +2079,7 @@ fn finish_applied(
             coalesced_with,
             durability: state.durability_label(),
             deduplicated: false,
+            timings,
         }));
     }
 }
@@ -1766,8 +2156,10 @@ fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, ctx: &ServeCtx) {
     if batch.len() > 1 {
         let merged =
             RelationDelta { ops: batch.iter().flat_map(|t| t.delta.ops.iter().cloned()).collect() };
+        let run_started = ctx.timing.then(Instant::now);
         let merged_result =
             run_with_deadline(&mut state.session, deadline, |s| s.re_explain(&merged));
+        let run_us = run_started.map_or(0, |t| t.elapsed().as_micros() as u64);
         match merged_result {
             Ok(report) => {
                 let report = Arc::new(report);
@@ -1780,7 +2172,7 @@ fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, ctx: &ServeCtx) {
                 // so no acknowledged delta can be lost to a crash.
                 let coalesced_with = batch.len() - 1;
                 for ticket in batch {
-                    finish_applied(state, ticket, deadline, coalesced_with, &report, ctx);
+                    finish_applied(state, ticket, deadline, coalesced_with, &report, run_us, ctx);
                 }
                 return;
             }
@@ -1798,8 +2190,10 @@ fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, ctx: &ServeCtx) {
             ticket.result.fulfill(Err(ServiceError::DurabilityUnavailable(name)));
             continue;
         }
+        let run_started = ctx.timing.then(Instant::now);
         let outcome =
             run_with_deadline(&mut state.session, ticket.deadline, |s| s.re_explain(&ticket.delta));
+        let run_us = run_started.map_or(0, |t| t.elapsed().as_micros() as u64);
         match outcome {
             Ok(report) => {
                 let report = Arc::new(report);
@@ -1808,7 +2202,7 @@ fn serve_run(state: &mut SessionState, batch: Vec<Ticket>, ctx: &ServeCtx) {
                     state.applied_log.push(ticket.delta.clone());
                 }
                 let ticket_deadline = ticket.deadline;
-                finish_applied(state, ticket, ticket_deadline, 0, &report, ctx);
+                finish_applied(state, ticket, ticket_deadline, 0, &report, run_us, ctx);
             }
             Err(e) => ticket.result.fulfill(Err(e.into())),
         }
@@ -1921,8 +2315,12 @@ mod tests {
                 })
                 .collect();
             let counters = DuraCounters::default();
-            let ctx =
-                ServeCtx { record: false, mode: DurabilityMode::BestEffort, counters: &counters };
+            let ctx = ServeCtx {
+                record: false,
+                mode: DurabilityMode::BestEffort,
+                counters: &counters,
+                timing: false,
+            };
             serve_batch(&mut state, batch, &ctx);
         }
         let outcomes: Vec<DeltaOutcome> =
@@ -1972,8 +2370,12 @@ mod tests {
                 },
             ];
             let counters = DuraCounters::default();
-            let ctx =
-                ServeCtx { record: false, mode: DurabilityMode::BestEffort, counters: &counters };
+            let ctx = ServeCtx {
+                record: false,
+                mode: DurabilityMode::BestEffort,
+                counters: &counters,
+                timing: false,
+            };
             serve_batch(&mut state, batch, &ctx);
         }
         let good_outcome = cells[0].take().unwrap().unwrap().unwrap();
@@ -2477,8 +2879,12 @@ mod tests {
                 },
             ];
             let counters = DuraCounters::default();
-            let ctx =
-                ServeCtx { record: true, mode: DurabilityMode::BestEffort, counters: &counters };
+            let ctx = ServeCtx {
+                record: true,
+                mode: DurabilityMode::BestEffort,
+                counters: &counters,
+                timing: false,
+            };
             serve_batch(&mut state, batch, &ctx);
             assert_eq!(counters.dedup_hits.load(Ordering::Relaxed), 1);
         }

@@ -1,0 +1,456 @@
+//! Wire-level contract of the observability layer: `/metrics` renders
+//! valid Prometheus text exposition whose counters are monotone across
+//! scrapes and whose histograms are internally consistent; every traced
+//! response carries an `X-Trace-Id` readable back via `/debug/trace/<id>`
+//! whose root spans tile the measured wall time; `/debug/slow` ranks
+//! retained traces; `/healthz` stays lock-free and reports uptime plus
+//! degraded names; and with telemetry off none of the surfaces exist.
+
+use explain3d_service::json::Json;
+use explain3d_service::{Server, ServerConfig, ServerHandle, Telemetry, TelemetryConfig};
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CREATE_BODY: &str = r#"{
+  "left":  {"name": "Q1", "columns": [["name", "str"], ["year", "int"]],
+            "key": ["name"],
+            "tuples": [{"values": ["computer science", 1999], "impact": 2.0},
+                       {"values": ["electrical engineering", 2001]},
+                       {"values": ["design", 2003]},
+                       {"values": ["mathematics", 1997]}]},
+  "right": {"name": "Q2", "columns": [["title", "str"], ["published", "int"]],
+            "key": ["title"],
+            "tuples": [{"values": ["computer science", 1999]},
+                       {"values": ["electrical engineering", 2001]}]},
+  "match": {"left": "name", "right": "title"},
+  "options": {"min_similarity": 0.2}
+}"#;
+
+const DELTA_BODY: &str = r#"{"ops": [
+    {"op": "insert", "side": "right", "tuple": {"values": ["design", 2003]}}
+]}"#;
+
+fn telemetry_server() -> (ServerHandle, SocketAddr) {
+    let mut config = ServerConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() };
+    config.service.telemetry =
+        Some(Arc::new(Telemetry::new(TelemetryConfig::default()).expect("telemetry arms")));
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    (server.spawn(), addr)
+}
+
+fn plain_server() -> (ServerHandle, SocketAddr) {
+    let config = ServerConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() };
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    (server.spawn(), addr)
+}
+
+/// One raw HTTP exchange keeping status, headers (lowercased names), and
+/// the body verbatim — the shipped `Client` hides both headers and
+/// non-JSON bodies, and this test is about exactly those.
+struct RawResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl RawResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        Json::parse(&self.body).expect("response body parses as JSON")
+    }
+}
+
+fn raw_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> RawResponse {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("read timeout");
+    stream.set_write_timeout(Some(Duration::from_secs(5))).expect("write timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        assert_ne!(reader.read_line(&mut line).expect("header line"), 0, "truncated headers");
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed.split_once(':').expect("header has a colon");
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().expect("numeric Content-Length");
+        }
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf).expect("body");
+    RawResponse { status, headers, body: String::from_utf8(buf).expect("utf-8 body") }
+}
+
+// ---------------------------------------------------------------------------
+// A minimal Prometheus text-format 0.0.4 parser: enough to assert the
+// exposition is well-formed, series are unique, and histograms cohere.
+// ---------------------------------------------------------------------------
+
+struct Scrape {
+    /// Full series key (name + label set) → value.
+    samples: HashMap<String, f64>,
+    /// Metric family → declared TYPE.
+    types: HashMap<String, String>,
+}
+
+impl Scrape {
+    /// Resolves a sample's family: `_bucket`/`_sum`/`_count` suffixes
+    /// belong to their histogram when one is declared.
+    fn family<'a>(&self, series: &'a str) -> &'a str {
+        let name = series.split('{').next().unwrap_or(series);
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stem) = name.strip_suffix(suffix) {
+                if self.types.get(stem).is_some_and(|t| t == "histogram") {
+                    return stem;
+                }
+            }
+        }
+        name
+    }
+
+    fn counters(&self) -> HashMap<String, f64> {
+        self.samples
+            .iter()
+            .filter(|(series, _)| {
+                self.types.get(self.family(series)).is_some_and(|t| t == "counter")
+            })
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    fn value(&self, series: &str) -> f64 {
+        *self.samples.get(series).unwrap_or_else(|| panic!("series {series} missing"))
+    }
+}
+
+fn parse_scrape(text: &str) -> Scrape {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashSet<String> = HashSet::new();
+    let mut samples: HashMap<String, f64> = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split_whitespace().next().expect("HELP names a family").to_string();
+            assert!(helps.insert(family.clone()), "duplicate # HELP for {family}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().expect("TYPE names a family").to_string();
+            let ty = parts.next().expect("TYPE declares a type").to_string();
+            assert!(
+                matches!(ty.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown type {ty} for {family}"
+            );
+            assert!(helps.contains(&family), "# TYPE {family} without a preceding # HELP");
+            assert!(types.insert(family.clone(), ty).is_none(), "duplicate # TYPE for {family}");
+        } else if line.starts_with('#') {
+            panic!("unrecognised comment line {line:?}");
+        } else {
+            let (series, value) = line.rsplit_once(' ').expect("sample is `series value`");
+            let value: f64 = match value {
+                "+Inf" => f64::INFINITY,
+                v => v.parse().unwrap_or_else(|_| panic!("non-numeric value {v:?} in {line:?}")),
+            };
+            assert!(
+                samples.insert(series.to_string(), value).is_none(),
+                "duplicate series {series}"
+            );
+        }
+    }
+    let scrape = Scrape { samples, types };
+    for series in scrape.samples.keys() {
+        let family = scrape.family(series);
+        assert!(scrape.types.contains_key(family), "sample {series} has no # TYPE {family}");
+    }
+    scrape
+}
+
+/// Histogram coherence: cumulative buckets are non-decreasing, the `+Inf`
+/// bucket equals `_count`, and an empty histogram has a zero sum.
+fn assert_histograms_cohere(scrape: &Scrape) {
+    for (family, ty) in &scrape.types {
+        if ty != "histogram" {
+            continue;
+        }
+        let mut buckets: Vec<(f64, f64)> = scrape
+            .samples
+            .iter()
+            .filter(|(series, _)| {
+                series.starts_with(&format!("{family}_bucket{{")) && series.contains("le=")
+            })
+            .map(|(series, v)| {
+                let le = series
+                    .split("le=\"")
+                    .nth(1)
+                    .and_then(|s| s.split('"').next())
+                    .expect("le label");
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().expect("le bound") };
+                (le, *v)
+            })
+            .collect();
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert!(!buckets.is_empty(), "{family}: no buckets");
+        for pair in buckets.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "{family}: cumulative buckets must be non-decreasing, got {pair:?}"
+            );
+        }
+        let last = buckets.last().expect("checked non-empty");
+        assert_eq!(last.0, f64::INFINITY, "{family}: final bucket must be +Inf");
+        let count = scrape.value(&format!("{family}_count"));
+        let sum = scrape.value(&format!("{family}_sum"));
+        assert_eq!(last.1, count, "{family}: +Inf bucket must equal _count");
+        assert!(sum >= 0.0, "{family}: negative _sum");
+        if count == 0.0 {
+            assert_eq!(sum, 0.0, "{family}: empty histogram with non-zero _sum");
+        }
+    }
+}
+
+fn drive_mixed_traffic(addr: SocketAddr, session: &str) {
+    let create = raw_request(addr, "POST", &format!("/sessions/{session}"), CREATE_BODY);
+    assert_eq!(create.status, 200, "create: {}", create.body);
+    let explain = raw_request(addr, "POST", &format!("/sessions/{session}/explain"), "");
+    assert_eq!(explain.status, 200, "explain: {}", explain.body);
+    let delta = raw_request(addr, "POST", &format!("/sessions/{session}/delta"), DELTA_BODY);
+    assert_eq!(delta.status, 200, "delta: {}", delta.body);
+    assert_eq!(raw_request(addr, "GET", &format!("/sessions/{session}/report"), "").status, 200);
+    assert_eq!(raw_request(addr, "GET", "/sessions", "").status, 200);
+    assert_eq!(raw_request(addr, "GET", "/healthz", "").status, 200);
+    assert_eq!(raw_request(addr, "GET", "/nope", "").status, 404);
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_counters_are_monotone() {
+    let (handle, addr) = telemetry_server();
+    drive_mixed_traffic(addr, "m1");
+
+    let first = raw_request(addr, "GET", "/metrics", "");
+    assert_eq!(first.status, 200);
+    assert!(
+        first.header("content-type").is_some_and(|ct| ct.starts_with("text/plain")),
+        "metrics content type: {:?}",
+        first.header("content-type")
+    );
+    let scrape1 = parse_scrape(&first.body);
+    assert_histograms_cohere(&scrape1);
+
+    // The hot-path families, the per-route counters, the registry sample
+    // table, and the pool samples all land in one exposition.
+    assert!(scrape1.value(r#"e3d_http_requests_total{route="explain"}"#) >= 1.0);
+    assert!(scrape1.value(r#"e3d_http_requests_total{route="delta"}"#) >= 1.0);
+    assert!(scrape1.value(r#"e3d_http_requests_total{route="other"}"#) >= 1.0);
+    assert!(scrape1.value("e3d_registry_creates_total") >= 1.0);
+    assert!(scrape1.value("e3d_registry_explains_total") >= 1.0);
+    assert!(scrape1.value("e3d_request_us_count") >= 1.0);
+    assert!(scrape1.value("e3d_queue_wait_us_count") >= 1.0);
+    assert!(scrape1.value("e3d_explain_run_us_count") >= 1.0);
+    assert!(scrape1.value("e3d_delta_run_us_count") >= 1.0);
+    assert!(scrape1.value("e3d_pool_admitted_total") >= 1.0);
+    assert!(scrape1.value("e3d_pool_threads") >= 1.0);
+    assert!(scrape1.value("e3d_sessions_footprint_bytes") > 0.0);
+
+    drive_mixed_traffic(addr, "m2");
+
+    let second = raw_request(addr, "GET", "/metrics", "");
+    assert_eq!(second.status, 200);
+    let scrape2 = parse_scrape(&second.body);
+    assert_histograms_cohere(&scrape2);
+    for (series, v1) in scrape1.counters() {
+        let v2 = scrape2.value(&series);
+        assert!(v2 >= v1, "counter {series} went backwards: {v1} -> {v2}");
+    }
+    assert!(
+        scrape2.value(r#"e3d_http_requests_total{route="explain"}"#)
+            > scrape1.value(r#"e3d_http_requests_total{route="explain"}"#),
+        "a second explain must advance its route counter"
+    );
+    handle.shutdown();
+}
+
+/// Fetches a response's trace by its `X-Trace-Id` header, asserts the
+/// root spans (parse, queue_wait, handle, write) are present exactly
+/// once with sane bounds, and returns `(root_sum_us, total_us, spans)`.
+fn fetch_trace(addr: SocketAddr, response: &RawResponse) -> (f64, f64, Vec<Json>) {
+    let id = response.header("x-trace-id").expect("traced response echoes X-Trace-Id");
+    assert_eq!(id.len(), 16, "trace id is 16 hex digits, got {id:?}");
+    assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+
+    let debug = raw_request(addr, "GET", &format!("/debug/trace/{id}"), "");
+    assert_eq!(debug.status, 200, "trace lookup: {}", debug.body);
+    let json = debug.json();
+    assert_eq!(json.get("trace_id").and_then(Json::as_str), Some(id));
+    let total = json.get("total_us").and_then(Json::as_f64).expect("total_us");
+    let spans = json.get("spans").and_then(Json::as_arr).map(<[Json]>::to_vec).expect("spans");
+
+    let mut roots: HashMap<&str, f64> = HashMap::new();
+    for span in &spans {
+        let name = span.get("name").and_then(Json::as_str).expect("span name");
+        let start = span.get("start_us").and_then(Json::as_f64).expect("start_us");
+        let end = span.get("end_us").and_then(Json::as_f64).expect("end_us");
+        assert!(end >= start, "span {name} runs backwards");
+        assert!(end <= total, "span {name} ends after the request finished");
+        if span.get("parent").is_none() {
+            assert!(roots.insert(name, end - start).is_none(), "duplicate root {name}");
+        }
+    }
+    for required in ["parse", "queue_wait", "handle", "write"] {
+        assert!(roots.contains_key(required), "missing root span {required}");
+    }
+    (roots.values().sum(), total, spans)
+}
+
+#[test]
+fn trace_spans_tile_the_request_wall_time() {
+    let (handle, addr) = telemetry_server();
+
+    // The root spans (parse, queue_wait, handle, write) are laid
+    // end-to-end from the same epoch the total is measured from; the only
+    // untraced time is scheduling (completion-queue delivery between
+    // handle and write), a fixed few tens of microseconds. Measure on a
+    // request with real work — a create whose large body takes
+    // milliseconds of traced parse + canonicalisation — so that fixed
+    // gap is well under the 5% criterion; the min over a few attempts
+    // shields against a one-off scheduler stall.
+    let tuples = |n: usize, tag: &str| -> String {
+        (0..n)
+            .map(|i| format!("{{\"values\": [\"{tag}{i}\", {}]}}", 1950 + (i % 60)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let big_body = format!(
+        "{{\"left\": {{\"name\": \"Q1\", \"columns\": [[\"k\", \"str\"], [\"year\", \"int\"]], \
+         \"key\": [\"k\"], \"tuples\": [{}]}}, \
+         \"right\": {{\"name\": \"Q2\", \"columns\": [[\"k\", \"str\"], [\"year\", \"int\"]], \
+         \"key\": [\"k\"], \"tuples\": [{}]}}, \
+         \"match\": {{\"left\": \"k\", \"right\": \"k\"}}}}",
+        tuples(1200, "x"),
+        tuples(1000, "x"),
+    );
+    let mut best_gap = f64::INFINITY;
+    let mut checked = None;
+    for attempt in 0..5 {
+        let create = raw_request(addr, "POST", &format!("/sessions/big{attempt}"), &big_body);
+        assert_eq!(create.status, 200, "create: {}", create.body);
+        let (root_sum, total, _) = fetch_trace(addr, &create);
+        let gap = (total - root_sum).abs() / total.max(1.0);
+        if gap < best_gap {
+            best_gap = gap;
+            checked = Some((root_sum, total));
+        }
+    }
+    assert!(
+        best_gap <= 0.05,
+        "root spans must tile the wall time within 5%; best attempt was {:?} (gap {:.1}%)",
+        checked,
+        best_gap * 100.0
+    );
+
+    // An explain's trace carries the pipeline children under `handle`.
+    let create = raw_request(addr, "POST", "/sessions/t1", CREATE_BODY);
+    assert_eq!(create.status, 200, "create: {}", create.body);
+    let explain = raw_request(addr, "POST", "/sessions/t1/explain", "");
+    assert_eq!(explain.status, 200, "explain: {}", explain.body);
+    let (_, _, spans) = fetch_trace(addr, &explain);
+    assert!(
+        spans.iter().any(|s| s.get("name").and_then(Json::as_str) == Some("explain_run")),
+        "explain request must carry an explain_run child span"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn debug_slow_ranks_retained_traces() {
+    let (handle, addr) = telemetry_server();
+    drive_mixed_traffic(addr, "s1");
+
+    let slow = raw_request(addr, "GET", "/debug/slow?limit=3", "");
+    assert_eq!(slow.status, 200);
+    let traces = slow.json().get("traces").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap();
+    assert!(!traces.is_empty() && traces.len() <= 3, "limit respected, got {}", traces.len());
+    let totals: Vec<f64> =
+        traces.iter().map(|t| t.get("total_us").and_then(Json::as_f64).unwrap()).collect();
+    assert!(totals.windows(2).all(|w| w[0] >= w[1]), "slowest-first order, got {totals:?}");
+
+    // Typed errors on the lookup edge: bad hex is a 400, unknown a 404.
+    assert_eq!(raw_request(addr, "GET", "/debug/trace/zzzz", "").status, 400);
+    assert_eq!(raw_request(addr, "GET", "/debug/trace/ffffffffffffffff", "").status, 404);
+    assert_eq!(raw_request(addr, "GET", "/debug/unknown", "").status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_answers_while_a_session_state_lock_is_held() {
+    let (handle, addr) = telemetry_server();
+    let create = raw_request(addr, "POST", "/sessions/held", CREATE_BODY);
+    assert_eq!(create.status, 200, "create: {}", create.body);
+
+    // Hold the session's state mutex on this thread and probe from inside
+    // the critical section: if /healthz (or its degraded-name listing)
+    // ever regresses into taking session locks, this deadlocks and the
+    // 5-second client read timeout fails the test.
+    let registry = handle.registry();
+    let health = registry
+        .with_state_lock_held("held", || raw_request(addr, "GET", "/healthz", ""))
+        .expect("session exists");
+    assert_eq!(health.status, 200);
+    let json = health.json();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(json.get("uptime_secs").and_then(Json::as_f64).is_some(), "uptime: {}", health.body);
+    let degraded = json.get("degraded").and_then(Json::as_arr).expect("degraded names array");
+    assert!(degraded.is_empty(), "healthy session must not be listed degraded");
+    handle.shutdown();
+}
+
+#[test]
+fn telemetry_off_has_no_surfaces_and_no_headers() {
+    let (handle, addr) = plain_server();
+    let create = raw_request(addr, "POST", "/sessions/off", CREATE_BODY);
+    assert_eq!(create.status, 200, "create: {}", create.body);
+    let explain = raw_request(addr, "POST", "/sessions/off/explain", "");
+    assert_eq!(explain.status, 200);
+    assert!(explain.header("x-trace-id").is_none(), "no trace header with telemetry off");
+
+    assert_eq!(raw_request(addr, "GET", "/metrics", "").status, 404);
+    assert_eq!(raw_request(addr, "GET", "/debug/slow", "").status, 404);
+    assert_eq!(raw_request(addr, "GET", "/debug/trace/abcd", "").status, 404);
+
+    // /healthz keeps its historical keys (plus the degraded-name list);
+    // uptime only appears when telemetry is armed.
+    let health = raw_request(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    let json = health.json();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(json.get("uptime_secs").is_none());
+    assert!(json.get("degraded").and_then(Json::as_arr).is_some());
+    handle.shutdown();
+}

@@ -1,0 +1,614 @@
+//! Atomic metrics and the Prometheus text renderer.
+//!
+//! ## Histogram layout
+//!
+//! Values are non-negative integers in whatever unit the metric declares
+//! (the service records microseconds). Buckets are **log-linear**: exact
+//! one-per-value buckets for `0..8`, then every power-of-two octave
+//! `[2^o, 2^(o+1))` split into [`SUBS`] equal sub-buckets up to
+//! [`HIST_MAX`], plus one overflow bucket. Relative quantile error is
+//! bounded by `1/SUBS` (25%), the array is a fixed 101 slots
+//! (`101 × 8 B` per histogram), and recording is branch-light integer
+//! arithmetic plus relaxed `fetch_add`s — safe to call from any thread
+//! with any locks held, though the service's lint forbids even that while
+//! a ranked registry lock is held.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (set from a sampler or
+/// adjusted incrementally).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power-of-two octave.
+pub const SUBS: usize = 4;
+/// Values below this get exact one-per-value buckets.
+const LINEAR_MAX: u64 = 8;
+/// First octave covered by log-linear buckets (`2^3 = LINEAR_MAX`).
+const FIRST_OCTAVE: u32 = 3;
+/// Last covered octave; values at or above `2^(LAST_OCTAVE+1)` overflow.
+const LAST_OCTAVE: u32 = 25;
+/// Smallest value landing in the overflow bucket (`2^26` ≈ 67 s in µs).
+pub const HIST_MAX: u64 = 1 << (LAST_OCTAVE + 1);
+/// Total bucket count including the overflow bucket.
+pub const BUCKETS: usize =
+    LINEAR_MAX as usize + (LAST_OCTAVE - FIRST_OCTAVE + 1) as usize * SUBS + 1;
+
+/// Bucket index for a recorded value.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    if v >= HIST_MAX {
+        return BUCKETS - 1;
+    }
+    let octave = 63 - v.leading_zeros();
+    let sub = ((v - (1u64 << octave)) >> (octave - 2)) as usize;
+    LINEAR_MAX as usize + (octave - FIRST_OCTAVE) as usize * SUBS + sub
+}
+
+/// Largest value mapping into bucket `i` (the inclusive `le` bound);
+/// `u64::MAX` for the overflow bucket (rendered as `+Inf`).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        return i as u64;
+    }
+    if i >= BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let k = i - LINEAR_MAX as usize;
+    let octave = FIRST_OCTAVE + (k / SUBS) as u32;
+    let sub = (k % SUBS) as u64;
+    (1u64 << octave) + ((sub + 1) << (octave - 2)) - 1
+}
+
+/// A fixed-size log-linear histogram; see the module docs for the bucket
+/// layout. Recording is lock-free and allocation-free.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts. `count` is derived from
+    /// the buckets themselves, so a snapshot's `count` always equals its
+    /// `+Inf` cumulative bucket — even while writers race the read.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A consistent-enough copy of one histogram, with quantile estimation
+/// and merging (used to combine per-shard or per-thread histograms).
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts, `BUCKETS` long.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds another snapshot's observations into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated quantile (`q` in `0.0..=1.0`): the upper bound of the
+    /// bucket holding the `ceil(q·count)`-th observation, clamped to the
+    /// observed max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// What a registered metric is.
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: &'static str,
+    labels: &'static str,
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A process-wide metric registry. Registration (cold path) takes a
+/// mutex; the returned `Arc` handles record straight onto atomics.
+/// Registering the same `(name, labels)` twice returns the existing
+/// metric, so handle construction is idempotent.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Registry")
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_labeled(name, "", help)
+    }
+
+    /// Registers (or retrieves) a counter with a fixed label set, e.g.
+    /// `labels = r#"route="delta""#`.
+    pub fn counter_labeled(
+        &self,
+        name: &'static str,
+        labels: &'static str,
+        help: &'static str,
+    ) -> Arc<Counter> {
+        let mut entries = self.entries();
+        for e in entries.iter() {
+            if e.name == name && e.labels == labels {
+                if let Metric::Counter(c) = &e.metric {
+                    return Arc::clone(c);
+                }
+            }
+        }
+        let c = Arc::new(Counter::new());
+        entries.push(Entry { name, labels, help, metric: Metric::Counter(Arc::clone(&c)) });
+        c
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let mut entries = self.entries();
+        for e in entries.iter() {
+            if e.name == name && e.labels.is_empty() {
+                if let Metric::Gauge(g) = &e.metric {
+                    return Arc::clone(g);
+                }
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        entries.push(Entry { name, labels: "", help, metric: Metric::Gauge(Arc::clone(&g)) });
+        g
+    }
+
+    /// Registers (or retrieves) a histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_labeled(name, "", help)
+    }
+
+    /// Registers (or retrieves) a histogram with a fixed label set.
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        labels: &'static str,
+        help: &'static str,
+    ) -> Arc<Histogram> {
+        let mut entries = self.entries();
+        for e in entries.iter() {
+            if e.name == name && e.labels == labels {
+                if let Metric::Histogram(h) = &e.metric {
+                    return Arc::clone(h);
+                }
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        entries.push(Entry { name, labels, help, metric: Metric::Histogram(Arc::clone(&h)) });
+        h
+    }
+
+    /// Renders every registered metric into a fresh [`Exposition`]; the
+    /// caller may append sampled values before calling
+    /// [`finish`](Exposition::finish).
+    pub fn render(&self) -> Exposition {
+        let mut exp = Exposition::new();
+        let entries = self.entries();
+        for e in entries.iter() {
+            match &e.metric {
+                Metric::Counter(c) => exp.sample(e.name, e.labels, e.help, c.get()),
+                Metric::Gauge(g) => exp.gauge_sample(e.name, e.labels, e.help, g.get()),
+                Metric::Histogram(h) => exp.histogram(e.name, e.labels, e.help, &h.snapshot()),
+            }
+        }
+        exp
+    }
+}
+
+/// An in-progress Prometheus text exposition (format version 0.0.4).
+///
+/// `# HELP`/`# TYPE` headers are emitted once per metric family (the
+/// first time the name appears); every `(name, labels)` series may be
+/// written at most once — a duplicate is a programming error surfaced by
+/// [`finish`](Exposition::finish) returning `Err`.
+pub struct Exposition {
+    out: String,
+    families: HashSet<&'static str>,
+    series: HashSet<String>,
+    duplicate: Option<String>,
+}
+
+impl Default for Exposition {
+    fn default() -> Self {
+        Exposition::new()
+    }
+}
+
+impl Exposition {
+    /// Creates an empty exposition.
+    pub fn new() -> Exposition {
+        Exposition {
+            out: String::new(),
+            families: HashSet::new(),
+            series: HashSet::new(),
+            duplicate: None,
+        }
+    }
+
+    fn header(&mut self, name: &'static str, help: &'static str, kind: &str) {
+        if self.families.insert(name) {
+            self.out.push_str("# HELP ");
+            self.out.push_str(name);
+            self.out.push(' ');
+            self.out.push_str(help);
+            self.out.push_str("\n# TYPE ");
+            self.out.push_str(name);
+            self.out.push(' ');
+            self.out.push_str(kind);
+            self.out.push('\n');
+        }
+    }
+
+    fn claim(&mut self, name: &str, labels: &str) {
+        let key = format!("{name}{{{labels}}}");
+        if !self.series.insert(key.clone()) && self.duplicate.is_none() {
+            self.duplicate = Some(key);
+        }
+    }
+
+    fn line(&mut self, name: &str, labels: &str, value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            self.out.push_str(labels);
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Appends one counter sample.
+    pub fn sample(&mut self, name: &'static str, labels: &'static str, help: &'static str, v: u64) {
+        self.header(name, help, "counter");
+        self.claim(name, labels);
+        self.line(name, labels, &v.to_string());
+    }
+
+    /// Appends one gauge sample.
+    pub fn gauge_sample(
+        &mut self,
+        name: &'static str,
+        labels: &'static str,
+        help: &'static str,
+        v: i64,
+    ) {
+        self.header(name, help, "gauge");
+        self.claim(name, labels);
+        self.line(name, labels, &v.to_string());
+    }
+
+    /// Appends one histogram: cumulative `le` buckets, `_sum`, `_count`.
+    /// Only buckets up to the last non-empty one are emitted individually
+    /// (plus `+Inf`), keeping the exposition compact while staying valid —
+    /// cumulative counts make trailing empty buckets redundant.
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        labels: &'static str,
+        help: &'static str,
+        snap: &HistogramSnapshot,
+    ) {
+        self.header(name, help, "histogram");
+        let count = snap.count();
+        let last_used = snap.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (i, &c) in snap.counts.iter().enumerate() {
+            cumulative += c;
+            if i > last_used {
+                break;
+            }
+            if i == BUCKETS - 1 {
+                break; // +Inf is emitted below, once
+            }
+            let le = bucket_bound(i).to_string();
+            let with_le = if labels.is_empty() {
+                format!("le=\"{le}\"")
+            } else {
+                format!("{labels},le=\"{le}\"")
+            };
+            self.claim(&format!("{name}_bucket"), &with_le);
+            self.line(&format!("{name}_bucket"), &with_le, &cumulative.to_string());
+        }
+        let inf = if labels.is_empty() {
+            "le=\"+Inf\"".to_string()
+        } else {
+            format!("{labels},le=\"+Inf\"")
+        };
+        self.claim(&format!("{name}_bucket"), &inf);
+        self.line(&format!("{name}_bucket"), &inf, &count.to_string());
+        self.claim(&format!("{name}_sum"), labels);
+        self.line(&format!("{name}_sum"), labels, &snap.sum.to_string());
+        self.claim(&format!("{name}_count"), labels);
+        self.line(&format!("{name}_count"), labels, &count.to_string());
+    }
+
+    /// Finishes the exposition. `Err` carries the first duplicated series
+    /// name if any `(name, labels)` pair was written twice.
+    pub fn finish(self) -> Result<String, String> {
+        match self.duplicate {
+            Some(dup) => Err(dup),
+            None => Ok(self.out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_partition_the_value_space() {
+        // Every value maps into exactly the bucket whose bound brackets it:
+        // bound(i-1) < v <= bound(i).
+        let probes: Vec<u64> = (0..200)
+            .chain((0..40).flat_map(|o: u32| {
+                let base = 1u64 << (o % 27);
+                [base.saturating_sub(1), base, base + 1, base + base / 2]
+            }))
+            .chain([HIST_MAX - 1, HIST_MAX, HIST_MAX + 5, u64::MAX])
+            .collect();
+        for v in probes {
+            let i = bucket_index(v);
+            assert!(v <= bucket_bound(i), "v={v} above its bucket bound {}", bucket_bound(i));
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1), "v={v} not above previous bound");
+            }
+        }
+        // Bounds strictly increase.
+        for i in 1..BUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1), "bounds must increase at {i}");
+        }
+    }
+
+    #[test]
+    fn observe_snapshot_and_count_agree() {
+        let h = Histogram::new();
+        for v in [0, 1, 7, 8, 9, 100, 1_000_000, HIST_MAX + 1] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.sum, 1 + 7 + 8 + 9 + 100 + 1_000_000 + HIST_MAX + 1);
+        assert_eq!(s.max, HIST_MAX + 1);
+        assert_eq!(s.counts[BUCKETS - 1], 1, "overflow value lands in +Inf bucket");
+    }
+
+    #[test]
+    fn merge_adds_counts_sums_and_maxes() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1, 10, 100] {
+            a.observe(v);
+        }
+        for v in [2, 20, 2_000] {
+            b.observe(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 6);
+        assert_eq!(m.sum, 1 + 10 + 100 + 2 + 20 + 2_000);
+        assert_eq!(m.max, 2_000);
+    }
+
+    #[test]
+    fn quantiles_from_buckets_track_exact_quantiles_on_random_samples() {
+        use explain3d_datagen::rng::{Rng, SeedableRng, StdRng};
+        let mut rng = StdRng::seed_from_u64(0xE3D_7E1E);
+        for round in 0..8 {
+            let h = Histogram::new();
+            let mut exact: Vec<u64> = Vec::new();
+            let n = 500 + round * 700;
+            for _ in 0..n {
+                // Log-uniform-ish values spanning the bucket range.
+                let magnitude = rng.gen_range(0..22u32);
+                let v = rng.gen_range(0..(2u64 << magnitude));
+                h.observe(v);
+                exact.push(v);
+            }
+            exact.sort_unstable();
+            let snap = h.snapshot();
+            for q in [0.5, 0.9, 0.99] {
+                let target = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                let truth = exact[target];
+                let est = snap.quantile(q);
+                // Log-linear with 4 sub-buckets: estimate is the bucket
+                // upper bound, so truth <= est <= truth * 1.25 (+ the
+                // linear-region absolute slack of 1).
+                assert!(est >= truth, "round {round} q{q}: est {est} < truth {truth}");
+                let ceiling = truth + truth / SUBS as u64 + 1;
+                assert!(est <= ceiling, "round {round} q{q}: est {est} > ceiling {ceiling}");
+            }
+            assert_eq!(snap.quantile(1.0), *exact.last().unwrap(), "p100 is the exact max");
+        }
+    }
+
+    #[test]
+    fn registry_registration_is_idempotent() {
+        let r = Registry::new();
+        let c1 = r.counter("e3d_test_total", "a counter");
+        let c2 = r.counter("e3d_test_total", "a counter");
+        c1.inc();
+        c2.inc_by(2);
+        assert_eq!(c1.get(), 3, "same handle behind both registrations");
+        let h1 = r.histogram_labeled("e3d_lat_us", r#"route="x""#, "hist");
+        let h2 = r.histogram_labeled("e3d_lat_us", r#"route="y""#, "hist");
+        h1.observe(5);
+        assert_eq!(h2.snapshot().count(), 0, "different labels are different series");
+    }
+
+    #[test]
+    fn exposition_renders_families_once_and_flags_duplicates() {
+        let r = Registry::new();
+        r.counter_labeled("e3d_req_total", r#"route="a""#, "requests").inc();
+        r.counter_labeled("e3d_req_total", r#"route="b""#, "requests").inc_by(2);
+        r.gauge("e3d_depth", "queue depth").set(7);
+        r.histogram("e3d_lat_us", "latency").observe(10);
+        let text = r.render().finish().expect("no duplicates");
+        assert_eq!(text.matches("# TYPE e3d_req_total counter").count(), 1);
+        assert!(text.contains("e3d_req_total{route=\"a\"} 1"));
+        assert!(text.contains("e3d_req_total{route=\"b\"} 2"));
+        assert!(text.contains("e3d_depth 7"));
+        assert!(text.contains("e3d_lat_us_count 1"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+
+        let mut exp = r.render();
+        exp.sample("e3d_depth", "", "smuggled duplicate", 1);
+        assert!(exp.finish().is_err(), "duplicate series must be rejected");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.observe(t * 1_000 + (i % 97));
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.snapshot().count(), 80_000);
+    }
+}

@@ -1,0 +1,329 @@
+//! Per-request structured traces and the retention ring.
+//!
+//! A [`Trace`] is built by exactly one thread at a time (ownership moves
+//! along the request path with the request itself), so span recording is
+//! plain `Vec` pushes against a pre-sized buffer — no atomics, no locks.
+//! Cross-thread cost is paid only twice per request: once to draw an id
+//! from [`TraceIdGen`] and once to park the finished trace in the
+//! lock-striped [`TraceRing`].
+
+use explain3d_datagen::rng::{SeedableRng, StdRng};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Parent sentinel for root spans.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Spans a trace pre-allocates room for; requests with deeper trees just
+/// grow the vector (rare, cold).
+const SPAN_CAPACITY: usize = 24;
+
+/// One recorded span: a named interval with a parent link, as offsets in
+/// microseconds from the trace epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Static span name (e.g. `"parse"`, `"wal_append"`).
+    pub name: &'static str,
+    /// Index of the parent span in the trace, or [`NO_PARENT`].
+    pub parent: u32,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// End offset from the trace epoch, microseconds (`>= start_us`).
+    pub end_us: u64,
+}
+
+/// An in-flight trace: an id, an epoch, and the spans recorded so far.
+#[derive(Debug)]
+pub struct Trace {
+    /// Wire-visible identifier (nonzero; rendered as 16 hex digits).
+    pub id: u64,
+    epoch: Instant,
+    spans: Vec<SpanRec>,
+}
+
+impl Trace {
+    /// Starts a trace whose span offsets are measured from `epoch`
+    /// (typically the instant the first request byte arrived).
+    pub fn new(id: u64, epoch: Instant) -> Trace {
+        Trace { id, epoch, spans: Vec::with_capacity(SPAN_CAPACITY) }
+    }
+
+    /// Microseconds elapsed since the trace epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Opens a span starting now; close it with [`end`](Trace::end).
+    /// Returns the span's index, usable as a `parent` for children.
+    pub fn start(&mut self, name: &'static str, parent: u32) -> u32 {
+        let idx = self.spans.len() as u32;
+        let now = self.now_us();
+        self.spans.push(SpanRec { name, parent, start_us: now, end_us: now });
+        idx
+    }
+
+    /// Closes the span opened by [`start`](Trace::start).
+    pub fn end(&mut self, idx: u32) {
+        let now = self.now_us();
+        if let Some(span) = self.spans.get_mut(idx as usize) {
+            span.end_us = now.max(span.start_us);
+        }
+    }
+
+    /// Records an interval that was timed externally (e.g. a WAL append
+    /// measured while a lock was held, reported after release). `start_us`
+    /// and `end_us` are offsets from the trace epoch.
+    pub fn record(&mut self, name: &'static str, parent: u32, start_us: u64, end_us: u64) -> u32 {
+        let idx = self.spans.len() as u32;
+        self.spans.push(SpanRec { name, parent, start_us, end_us: end_us.max(start_us) });
+        idx
+    }
+
+    /// Seals the trace. `total_us` is the request's wall time measured
+    /// from the same epoch the spans use.
+    pub fn finish(self, total_us: u64) -> FinishedTrace {
+        FinishedTrace { id: self.id, total_us, spans: self.spans }
+    }
+}
+
+/// A completed trace retained for `/debug/trace/<id>` lookups.
+#[derive(Debug, Clone)]
+pub struct FinishedTrace {
+    /// The trace id.
+    pub id: u64,
+    /// Request wall time in microseconds.
+    pub total_us: u64,
+    /// All recorded spans, in recording order (parents precede children).
+    pub spans: Vec<SpanRec>,
+}
+
+/// Seeded trace-id source (xoshiro256++ behind a mutex; one draw per
+/// request). Ids are nonzero so `0` can mean "no trace" on the wire.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    rng: Mutex<StdRng>,
+}
+
+impl TraceIdGen {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> TraceIdGen {
+        TraceIdGen { rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Draws the next id (nonzero).
+    pub fn next_id(&self) -> u64 {
+        let mut rng = match self.rng.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        loop {
+            // xoshiro yields 0 with probability 2^-64; loop for the contract.
+            let id = rng.gen_u64();
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+}
+
+/// Extension drawing raw words out of the datagen PRNG (its public
+/// surface is range-oriented; ids want the full 64 bits).
+trait GenU64 {
+    fn gen_u64(&mut self) -> u64;
+}
+
+impl GenU64 for StdRng {
+    fn gen_u64(&mut self) -> u64 {
+        use explain3d_datagen::rng::Rng;
+        // Two 32-bit draws spliced together keep us on the public API.
+        let hi = self.gen_range(0..=u32::MAX as u64);
+        let lo = self.gen_range(0..=u32::MAX as u64);
+        (hi << 32) | lo
+    }
+}
+
+/// Number of independently locked stripes.
+const STRIPES: usize = 8;
+
+struct Stripe {
+    slots: Vec<Option<Arc<FinishedTrace>>>,
+    next: usize,
+}
+
+/// A fixed-capacity ring of finished traces, striped by trace id so
+/// writers on different stripes never contend and a lookup only scans
+/// one stripe. When a stripe is full the oldest trace in it is evicted.
+pub struct TraceRing {
+    stripes: Vec<Mutex<Stripe>>,
+    per_stripe: usize,
+}
+
+impl TraceRing {
+    /// Creates a ring retaining roughly `capacity` traces (rounded up to
+    /// a multiple of the stripe count; minimum one slot per stripe).
+    pub fn new(capacity: usize) -> TraceRing {
+        let per_stripe = capacity.div_ceil(STRIPES).max(1);
+        let stripes = (0..STRIPES)
+            .map(|_| Mutex::new(Stripe { slots: vec![None; per_stripe], next: 0 }))
+            .collect();
+        TraceRing { stripes, per_stripe }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.per_stripe * STRIPES
+    }
+
+    fn stripe(&self, id: u64) -> MutexGuard<'_, Stripe> {
+        let m = &self.stripes[(id % STRIPES as u64) as usize];
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Retains a finished trace, evicting the oldest in its stripe if
+    /// the stripe is full.
+    pub fn push(&self, trace: FinishedTrace) {
+        let arc = Arc::new(trace);
+        let mut stripe = self.stripe(arc.id);
+        let at = stripe.next;
+        stripe.slots[at] = Some(arc);
+        stripe.next = (at + 1) % self.per_stripe;
+    }
+
+    /// Looks up a retained trace by id.
+    pub fn get(&self, id: u64) -> Option<Arc<FinishedTrace>> {
+        let stripe = self.stripe(id);
+        stripe.slots.iter().flatten().find(|t| t.id == id).cloned()
+    }
+
+    /// The `limit` slowest retained traces, slowest first.
+    pub fn slowest(&self, limit: usize) -> Vec<Arc<FinishedTrace>> {
+        let mut all: Vec<Arc<FinishedTrace>> = Vec::new();
+        for m in &self.stripes {
+            let stripe = match m.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            all.extend(stripe.slots.iter().flatten().cloned());
+        }
+        all.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.id.cmp(&b.id)));
+        all.truncate(limit);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn finished(id: u64, total_us: u64) -> FinishedTrace {
+        FinishedTrace { id, total_us, spans: Vec::new() }
+    }
+
+    #[test]
+    fn ids_are_seeded_deterministic_and_nonzero() {
+        let a = TraceIdGen::new(11);
+        let b = TraceIdGen::new(11);
+        for _ in 0..100 {
+            let id = a.next_id();
+            assert_eq!(id, b.next_id(), "same seed, same stream");
+            assert_ne!(id, 0);
+        }
+        let c = TraceIdGen::new(12);
+        assert_ne!(a.next_id(), c.next_id(), "different seeds diverge");
+    }
+
+    #[test]
+    fn spans_nest_and_offsets_are_monotone() {
+        let mut t = Trace::new(5, Instant::now());
+        let root = t.start("handle", NO_PARENT);
+        std::thread::sleep(Duration::from_millis(2));
+        let child = t.start("inner", root);
+        std::thread::sleep(Duration::from_millis(2));
+        t.end(child);
+        t.end(root);
+        t.record("external", root, 1, 3);
+        let total = t.now_us();
+        let f = t.finish(total);
+        assert_eq!(f.spans.len(), 3);
+        let r = &f.spans[root as usize];
+        let c = &f.spans[child as usize];
+        assert_eq!(c.parent, root);
+        assert!(c.start_us >= r.start_us && c.end_us <= r.end_us, "child inside parent");
+        assert!(r.end_us <= f.total_us);
+        assert_eq!(f.spans[2], SpanRec { name: "external", parent: root, start_us: 1, end_us: 3 });
+    }
+
+    #[test]
+    fn ring_wraps_around_keeping_the_newest() {
+        let ring = TraceRing::new(16);
+        let cap = ring.capacity();
+        // Saturate one stripe: ids congruent mod STRIPES share a stripe.
+        let per_stripe = cap / 8;
+        let ids: Vec<u64> = (0..(per_stripe as u64 * 3)).map(|i| i * 8 + 1).collect();
+        for &id in &ids {
+            ring.push(finished(id, id));
+        }
+        for &id in &ids[..ids.len() - per_stripe] {
+            assert!(ring.get(id).is_none(), "evicted trace {id} must be gone");
+        }
+        for &id in &ids[ids.len() - per_stripe..] {
+            assert!(ring.get(id).is_some(), "recent trace {id} must be retained");
+        }
+    }
+
+    #[test]
+    fn slowest_orders_by_total_and_respects_limit() {
+        let ring = TraceRing::new(64);
+        for id in 1..=20u64 {
+            ring.push(finished(id, id * 100));
+        }
+        let top = ring.slowest(5);
+        let totals: Vec<u64> = top.iter().map(|t| t.total_us).collect();
+        assert_eq!(totals, vec![2000, 1900, 1800, 1700, 1600]);
+        assert!(ring.slowest(0).is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_torture() {
+        let ring = Arc::new(TraceRing::new(128));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let id = w * 1_000_000 + i + 1;
+                        ring.push(finished(id, i));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2u64)
+            .map(|r| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let _ = ring.get(r * 1_000_000 + i + 1);
+                        if i % 64 == 0 {
+                            let top = ring.slowest(10);
+                            assert!(top.len() <= 10);
+                            assert!(top.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        // Ring is full and every retained trace is findable by id.
+        let all = ring.slowest(usize::MAX);
+        assert_eq!(all.len(), ring.capacity());
+        for t in &all {
+            assert!(ring.get(t.id).is_some());
+        }
+    }
+}

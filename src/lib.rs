@@ -26,6 +26,7 @@
 //! | [`baselines`] | GREEDY / THRESHOLD / RSWOOSH / EXACTCOVER / FORMALEXP |
 //! | [`datagen`] | synthetic, academic, and IMDb-view workloads + gold |
 //! | [`eval`] | precision / recall / F-measure metrics |
+//! | [`telemetry`] | metrics registry, Prometheus exposition, trace ring |
 //!
 //! ## Quick start
 //!
@@ -93,6 +94,7 @@ pub use explain3d_partition as partition;
 pub use explain3d_relation as relation;
 pub use explain3d_service as service;
 pub use explain3d_summarize as summarize;
+pub use explain3d_telemetry as telemetry;
 
 use explain3d_core::prelude::{
     build_initial_mapping, prepare, AttributeMatches, CanonicalRelation, Explain3D,
